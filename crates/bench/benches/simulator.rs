@@ -1,0 +1,25 @@
+//! Criterion benchmarks for whole-network simulation: MOCHA vs baselines on
+//! LeNet-5 (functional execution + exact accounting, verification off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mocha::prelude::*;
+
+fn simulator_benches(c: &mut Criterion) {
+    let workload = Workload::generate(network::lenet5(), SparsityProfile::NOMINAL, 3);
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for acc in Accelerator::comparison_set(Objective::Edp) {
+        let name = acc.name.clone();
+        group.bench_with_input(BenchmarkId::new("lenet5", &name), &acc, |b, a| {
+            b.iter(|| {
+                let mut sim = Simulator::new(a.clone());
+                sim.verify = false;
+                sim.run(&workload)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulator_benches);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! `repro` — regenerates the reconstructed tables and figures of the MOCHA
+//! paper (see DESIGN.md for the experiment index and EXPERIMENTS.md for the
+//! recorded paper-vs-measured comparison).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p mocha-bench --release --bin repro -- all
+//! cargo run -p mocha-bench --release --bin repro -- t1 f5 f8
+//! cargo run -p mocha-bench --release --bin repro -- --quick all
+//! ```
+
+use mocha_bench::{run_by_id, ExpConfig, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
+        ALL.to_vec()
+    } else {
+        ids
+    };
+
+    let cfg = ExpConfig { quick, seed: 42 };
+    for id in ids {
+        match run_by_id(id, &cfg) {
+            Some(out) => {
+                println!("{out}");
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}; known: {ALL:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! `sweep` — factorial experiment sweeps with CSV output, for plotting and
+//! downstream analysis.
+//!
+//! ```text
+//! cargo run -p mocha-bench --release --bin sweep -- [--networks a,b] \
+//!     [--accelerators a,b] [--profiles a,b] [--seeds 1,2,3] [--quick]
+//! ```
+//!
+//! Emits one CSV row per (network × accelerator × profile × seed) cell:
+//! cycles, GOPS, GOPS/W, EDP, peak storage, DRAM bytes, compression ratio.
+
+use mocha::prelude::*;
+
+fn parse_list(args: &[String], key: &str, default: &[&str]) -> Vec<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| default.iter().map(|s| s.to_string()).collect())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let default_networks: &[&str] =
+        if quick { &["tiny", "lenet5"] } else { &["lenet5", "mobilenet", "alexnet"] };
+    let networks = parse_list(&args, "--networks", default_networks);
+    let accelerators =
+        parse_list(&args, "--accelerators", &["mocha", "mocha-nc", "tiling", "fusion", "parallel"]);
+    let profiles = parse_list(&args, "--profiles", &["dense", "nominal", "sparse"]);
+    let seeds: Vec<u64> = parse_list(&args, "--seeds", &["42"])
+        .iter()
+        .map(|s| s.parse().expect("--seeds must be integers"))
+        .collect();
+
+    let table = EnergyTable::default();
+    println!(
+        "network,accelerator,profile,seed,cycles,seconds,gops,gops_per_watt,edp_js,peak_storage_bytes,dram_bytes,compression_ratio"
+    );
+    for net_name in &networks {
+        let net = network::by_name(net_name).unwrap_or_else(|| {
+            eprintln!("unknown network {net_name:?}");
+            std::process::exit(2);
+        });
+        for prof_name in &profiles {
+            let profile = match prof_name.as_str() {
+                "dense" => SparsityProfile::DENSE,
+                "nominal" => SparsityProfile::NOMINAL,
+                "sparse" => SparsityProfile::SPARSE,
+                other => {
+                    eprintln!("unknown profile {other:?}");
+                    std::process::exit(2);
+                }
+            };
+            for &seed in &seeds {
+                let workload = Workload::generate(net.clone(), profile, seed);
+                for acc_name in &accelerators {
+                    let acc = match acc_name.as_str() {
+                        "mocha" => Accelerator::mocha(Objective::Edp),
+                        "mocha-nc" => Accelerator::mocha_no_compression(Objective::Edp),
+                        "tiling" => Accelerator::tiling_only(),
+                        "fusion" => Accelerator::fusion_only(),
+                        "parallel" => Accelerator::parallelism_only(),
+                        other => {
+                            eprintln!("unknown accelerator {other:?}");
+                            std::process::exit(2);
+                        }
+                    };
+                    let mut sim = Simulator::new(acc);
+                    sim.verify = false;
+                    let run = sim.run(&workload);
+                    let r = run.report(&table);
+                    println!(
+                        "{net_name},{acc_name},{prof_name},{seed},{},{:.6e},{:.3},{:.3},{:.6e},{},{},{:.4}",
+                        r.cycles,
+                        r.seconds(),
+                        r.gops(),
+                        r.gops_per_watt(),
+                        r.edp(),
+                        r.peak_storage_bytes,
+                        r.dram_bytes,
+                        run.compression().overall_ratio(),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! A1 (ablation) — double vs single buffering: the storage/throughput trade
+//! the tile pipeline exposes. Double buffering hides transfer latency behind
+//! compute but doubles the streamed-buffer footprint; the controller weighs
+//! this per layer, and this ablation quantifies both sides.
+
+use crate::table::{f, kb, pct, Table};
+use mocha::core::exec::{default_morph, execute_layer, ExecContext};
+use mocha::prelude::*;
+
+use super::ExpConfig;
+
+/// Runs the ablation and renders its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let net_name = if cfg.quick { "tiny" } else { "alexnet" };
+    let net = network::by_name(net_name).unwrap();
+    let workload = Workload::generate(net.clone(), SparsityProfile::NOMINAL, cfg.seed);
+    let fabric = FabricConfig::mocha();
+    let costs = CodecCostTable::default();
+    let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+
+    let mut t = Table::new(
+        format!("A1 — buffering ablation on {net_name}: cycles and scratchpad of the same config at depth 1 vs 2"),
+        &["layer", "single cyc", "double cyc", "speedup", "single KB", "double KB", "extra storage"],
+    );
+
+    let mut current = workload.input.clone();
+    for (i, layer) in net.layers().iter().enumerate() {
+        let base = default_morph(layer);
+        let single = MorphConfig { buffering: Buffering::Single, ..base };
+        let double = MorphConfig { buffering: Buffering::Double, ..base };
+        let r1 = execute_layer(&ctx, layer, &current, workload.kernels[i].as_ref(), &single, true).unwrap();
+        let r2 = execute_layer(&ctx, layer, &current, workload.kernels[i].as_ref(), &double, true).unwrap();
+        assert_eq!(r1.output, r2.output);
+        t.row(vec![
+            layer.name.clone(),
+            r1.cycles.to_string(),
+            r2.cycles.to_string(),
+            f(r1.cycles as f64 / r2.cycles as f64, 2),
+            kb(r1.spm_peak as u64),
+            kb(r2.spm_peak as u64),
+            pct((r2.spm_peak as f64 - r1.spm_peak as f64) / r1.spm_peak as f64),
+        ]);
+        current = r2.output;
+    }
+    t.note("speedup > 1 means double buffering helped; extra storage is what it cost");
+    t.render()
+}

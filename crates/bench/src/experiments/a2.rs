@@ -1,0 +1,61 @@
+//! A2 (ablation) — loop order: weight-stationary vs input-stationary
+//! traversal of the same tiling. WS re-fetches input windows once per
+//! output-channel block; IS re-fetches kernel blocks once per spatial tile —
+//! so which wins flips with the kernel-bytes : ifmap-bytes ratio across the
+//! network (early convs are ifmap-heavy, fc layers are kernel-heavy).
+
+use crate::table::{mb, Table};
+use mocha::core::exec::{default_morph, execute_layer, ExecContext};
+use mocha::prelude::*;
+
+use super::ExpConfig;
+
+/// Runs the ablation and renders its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let net_name = if cfg.quick { "tiny" } else { "alexnet" };
+    let net = network::by_name(net_name).unwrap();
+    let workload = Workload::generate(net.clone(), SparsityProfile::NOMINAL, cfg.seed);
+    let fabric = FabricConfig::mocha();
+    let costs = CodecCostTable::default();
+    let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+
+    let mut t = Table::new(
+        format!("A2 — loop-order ablation on {net_name}: DRAM traffic (MB) of the same tiling under WS vs IS"),
+        &["layer", "ws dram", "is dram", "ws cyc", "is cyc", "winner"],
+    );
+
+    let mut current = workload.input.clone();
+    for (i, layer) in net.layers().iter().enumerate() {
+        let base = default_morph(layer);
+        let ws = MorphConfig { loop_order: LoopOrder::WeightStationary, ..base };
+        let is = MorphConfig { loop_order: LoopOrder::InputStationary, ..base };
+        let rw = execute_layer(&ctx, layer, &current, workload.kernels[i].as_ref(), &ws, true);
+        let ri = execute_layer(&ctx, layer, &current, workload.kernels[i].as_ref(), &is, true);
+        match (rw, ri) {
+            (Ok(rw), Ok(ri)) => {
+                assert_eq!(rw.output, ri.output);
+                let winner = if rw.cycles <= ri.cycles { "ws" } else { "is" };
+                t.row(vec![
+                    layer.name.clone(),
+                    mb(rw.events.dram_bytes()),
+                    mb(ri.events.dram_bytes()),
+                    rw.cycles.to_string(),
+                    ri.cycles.to_string(),
+                    winner.into(),
+                ]);
+                current = rw.output;
+            }
+            (Ok(rw), Err(_)) => {
+                t.row(vec![layer.name.clone(), mb(rw.events.dram_bytes()), "-".into(), rw.cycles.to_string(), "infeasible".into(), "ws".into()]);
+                current = rw.output;
+            }
+            (Err(_), Ok(ri)) => {
+                t.row(vec![layer.name.clone(), "-".into(), mb(ri.events.dram_bytes()), "infeasible".into(), ri.cycles.to_string(), "is".into()]);
+                current = ri.output;
+            }
+            (Err(e), Err(_)) => panic!("{}: both orders infeasible: {e}", layer.name),
+        }
+    }
+    t.note("IS pins the input window (good when kernels dominate, e.g. fc); WS pins the kernel block (good when windows dominate)");
+    t.render()
+}

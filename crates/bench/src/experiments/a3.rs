@@ -1,0 +1,75 @@
+//! A3 (ablation) — hybrid parallelism granularity: sweeping the number of
+//! output-channel groups the PE grid is split into, between the pure
+//! intra-fmap (1 group) and pure inter-fmap (PEs groups) extremes, on layer
+//! shapes that favour different points. Motivates why `fmap_groups` is a
+//! morphable parameter rather than a design-time constant.
+
+use crate::table::{f, Table};
+use mocha::core::plan::plan_layer;
+use mocha::prelude::*;
+
+use super::ExpConfig;
+
+/// Runs the ablation and renders its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let shapes: Vec<(&str, Network)> = if cfg.quick {
+        vec![
+            ("wide 4x64x64", network::single_conv(3, 64, 64, 4, 3, 1, 1)),
+            ("square 16x16x16", network::single_conv(16, 16, 16, 16, 3, 1, 1)),
+            ("deep 128x4x4", network::single_conv(64, 4, 4, 128, 3, 1, 1)),
+        ]
+    } else {
+        vec![
+            ("conv1-like 96x55x55", network::single_conv(3, 227, 227, 96, 11, 4, 0)),
+            ("conv3-like 384x13x13", network::single_conv(256, 13, 13, 384, 3, 1, 1)),
+            ("deep 512x4x4", network::single_conv(256, 4, 4, 512, 3, 1, 1)),
+        ]
+    };
+
+    let fabric = FabricConfig::mocha();
+    let costs = CodecCostTable::default();
+    let energy = EnergyTable::default();
+    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let est = SparsityEstimate {
+        ifmap_sparsity: 0.6,
+        ifmap_mean_run: 3.0,
+        kernel_sparsity: 0.3,
+        ofmap_sparsity: 0.5,
+        ofmap_mean_run: 2.0,
+    };
+
+    let mut t = Table::new(
+        "A3 — hybrid-parallelism granularity: cycles (millions) vs fmap_groups on a 64-PE grid",
+        &["layer shape", "intra(=1)", "hyb2", "hyb4", "hyb8", "hyb16", "inter(=64)", "best"],
+    );
+    for (name, net) in shapes {
+        let layer = &net.layers()[0];
+        let base = mocha::core::exec::default_morph(layer);
+        let modes: Vec<(String, Parallelism)> = vec![
+            ("intra".into(), Parallelism::IntraFmap),
+            ("hyb2".into(), Parallelism::Hybrid { fmap_groups: 2 }),
+            ("hyb4".into(), Parallelism::Hybrid { fmap_groups: 4 }),
+            ("hyb8".into(), Parallelism::Hybrid { fmap_groups: 8 }),
+            ("hyb16".into(), Parallelism::Hybrid { fmap_groups: 16 }),
+            ("inter".into(), Parallelism::InterFmap),
+        ];
+        let mut cells = vec![name.to_string()];
+        let mut best = ("?".to_string(), u64::MAX);
+        for (mname, mode) in &modes {
+            let m = MorphConfig { parallelism: *mode, ..base };
+            match plan_layer(&ctx, layer, &m, &est, true) {
+                Ok(p) => {
+                    if p.cycles < best.1 {
+                        best = (mname.clone(), p.cycles);
+                    }
+                    cells.push(f(p.cycles as f64 / 1e6, 2));
+                }
+                Err(_) => cells.push("-".into()),
+            }
+        }
+        cells.push(best.0);
+        t.row(cells);
+    }
+    t.note("no single granularity wins all shapes — the morphing controller picks per layer");
+    t.render()
+}

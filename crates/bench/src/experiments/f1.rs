@@ -1,0 +1,61 @@
+//! F1 — Per-layer throughput: MOCHA vs each fixed-optimization baseline,
+//! layer by layer. Shows *where* each baseline falls over (tiling-only on
+//! late layers, parallelism-only on fc, fusion-only on big-kernel layers)
+//! while MOCHA tracks the per-layer winner.
+
+use crate::table::{f, Table};
+use mocha::prelude::*;
+use std::collections::HashMap;
+
+use super::ExpConfig;
+
+/// Per-layer GOPS of one accelerator: each layer gets the throughput of the
+/// group that contained it.
+fn per_layer_gops(acc: Accelerator, workload: &Workload, clock_ghz: f64) -> HashMap<String, f64> {
+    let mut sim = Simulator::new(acc);
+    sim.verify = false;
+    let run = sim.run(workload);
+    let mut map = HashMap::new();
+    for g in &run.groups {
+        let gops = g.gops(clock_ghz);
+        for l in &g.layers {
+            map.insert(l.clone(), gops);
+        }
+    }
+    map
+}
+
+/// Runs the experiment and renders its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let net_name = if cfg.quick { "tiny" } else { "alexnet" };
+    let net = network::by_name(net_name).unwrap();
+    let workload = Workload::generate(net.clone(), SparsityProfile::NOMINAL, cfg.seed);
+    let clock = EnergyTable::default().clock_ghz;
+
+    let accs = Accelerator::comparison_set(Objective::Throughput);
+    let names: Vec<String> = accs.iter().map(|a| a.name.clone()).collect();
+    let maps: Vec<HashMap<String, f64>> =
+        accs.into_iter().map(|a| per_layer_gops(a, &workload, clock)).collect();
+
+    let mut headers: Vec<&str> = vec!["layer"];
+    for n in &names {
+        headers.push(n);
+    }
+    headers.push("mocha vs best baseline");
+    let mut t = Table::new(
+        format!("F1 — per-layer throughput on {net_name} (GOPS; layers inside a fused group share the group's rate)"),
+        &headers,
+    );
+
+    for layer in net.layers() {
+        let mut cells = vec![layer.name.clone()];
+        let vals: Vec<f64> = maps.iter().map(|m| m[&layer.name]).collect();
+        for v in &vals {
+            cells.push(f(*v, 1));
+        }
+        let best_base = vals[1..].iter().cloned().fold(f64::MIN, f64::max);
+        cells.push(crate::table::pct((vals[0] - best_base) / best_base));
+        t.row(cells);
+    }
+    t.render()
+}

@@ -1,0 +1,66 @@
+//! F2 — Per-layer energy breakdown (DRAM / SRAM / NoC / PE / codec /
+//! leakage) with and without compression. Shows where compression buys its
+//! energy: DRAM and SRAM shrink, a small codec slice appears.
+
+use crate::table::{f, Table};
+use mocha::prelude::*;
+
+use super::ExpConfig;
+
+fn breakdowns(acc: Accelerator, workload: &Workload) -> Vec<(String, mocha::energy::EnergyBreakdown)> {
+    let mut sim = Simulator::new(acc);
+    sim.verify = false;
+    sim.run(workload)
+        .groups
+        .iter()
+        .map(|g| (g.name(), g.energy))
+        .collect()
+}
+
+/// Runs the experiment and renders its tables.
+pub fn run(cfg: &ExpConfig) -> String {
+    let net_name = if cfg.quick { "tiny" } else { "alexnet" };
+    let net = network::by_name(net_name).unwrap();
+    // Sparse regime: where compression has something to compress.
+    let workload = Workload::generate(net, SparsityProfile::SPARSE, cfg.seed);
+
+    let mut out = String::new();
+    for (label, acc) in [
+        ("with compression (mocha)", Accelerator::mocha(Objective::Energy)),
+        ("without compression (mocha-nc)", Accelerator::mocha_no_compression(Objective::Energy)),
+    ] {
+        let mut t = Table::new(
+            format!("F2 — energy breakdown per group, {label} (µJ)"),
+            &["group", "PE", "RF", "SRAM", "NoC", "DRAM", "codec", "leak", "total"],
+        );
+        let mut total = mocha::energy::EnergyBreakdown::default();
+        for (name, b) in breakdowns(acc, &workload) {
+            t.row(vec![
+                name,
+                f(b.compute_pj / 1e6, 1),
+                f(b.rf_pj / 1e6, 1),
+                f(b.spm_pj / 1e6, 1),
+                f(b.noc_pj / 1e6, 1),
+                f(b.dram_pj / 1e6, 1),
+                f(b.codec_pj / 1e6, 1),
+                f(b.leakage_pj / 1e6, 1),
+                f(b.total_pj() / 1e6, 1),
+            ]);
+            total.merge(&b);
+        }
+        t.row(vec![
+            "TOTAL".into(),
+            f(total.compute_pj / 1e6, 1),
+            f(total.rf_pj / 1e6, 1),
+            f(total.spm_pj / 1e6, 1),
+            f(total.noc_pj / 1e6, 1),
+            f(total.dram_pj / 1e6, 1),
+            f(total.codec_pj / 1e6, 1),
+            f(total.leakage_pj / 1e6, 1),
+            f(total.total_pj() / 1e6, 1),
+        ]);
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}

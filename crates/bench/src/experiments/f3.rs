@@ -1,0 +1,45 @@
+//! F3 — Compression ratio and effective-bandwidth gain vs sparsity, for
+//! both codecs and both zero distributions (i.i.d. pruning-style vs
+//! clustered ReLU-style). The effective-bandwidth gain of a stream equals
+//! its compression ratio (the same wire carries ratio× more raw bytes).
+
+use crate::table::{f, Table};
+use mocha::model::gen;
+use mocha::model::shape::{KernelShape, TensorShape};
+use mocha::prelude::*;
+
+use super::ExpConfig;
+
+/// Runs the experiment and renders its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let shape = if cfg.quick { TensorShape::new(8, 32, 32) } else { TensorShape::new(32, 64, 64) };
+    let kshape = if cfg.quick { KernelShape::new(16, 8, 3) } else { KernelShape::new(64, 32, 3) };
+
+    let mut t = Table::new(
+        "F3 — compression ratio (= effective bandwidth gain) vs sparsity",
+        &["sparsity", "zrle iid", "zrle clustered", "nibble iid", "bitmask iid", "best-of"],
+    );
+    for pct in (0..=95).step_by(5) {
+        let s = pct as f64 / 100.0;
+        let mut rng = gen::rng(cfg.seed + pct as u64);
+        let iid = gen::activations(shape, s, &mut rng);
+        let clustered = gen::clustered_activations(shape, s * 0.75, 8, &mut rng);
+        let kern = gen::kernel(kshape, s, &mut rng);
+
+        let zr_iid = Compressed::encode(Codec::Zrle, iid.data()).ratio();
+        let zr_cl = Compressed::encode(Codec::Zrle, clustered.data()).ratio();
+        let nb_iid = Compressed::encode(Codec::Nibble, iid.data()).ratio();
+        let bm = Compressed::encode(Codec::Bitmask, kern.data()).ratio();
+        let best = Compressed::encode(best_codec(iid.data()), iid.data()).ratio();
+        t.row(vec![
+            format!("{pct} %"),
+            f(zr_iid, 2),
+            f(zr_cl, 2),
+            f(nb_iid, 2),
+            f(bm, 2),
+            f(best.max(1.0), 2),
+        ]);
+    }
+    t.note("zrle inflates below ~50 % i.i.d. sparsity (2 B/record); best-of never drops below 1.0 because the controller can always pick `none`");
+    t.render()
+}

@@ -1,0 +1,64 @@
+//! F4 — Per-layer on-chip storage footprint with and without compression
+//! (paper claim: up to 30 % less storage). Both sides run under the Storage
+//! objective so each is doing its best at the metric being compared.
+
+use crate::table::{kb, pct, Table};
+use mocha::prelude::*;
+use std::collections::HashMap;
+
+use super::ExpConfig;
+
+fn per_layer_storage(acc: Accelerator, workload: &Workload) -> HashMap<String, usize> {
+    let mut sim = Simulator::new(acc);
+    sim.verify = false;
+    let run = sim.run(workload);
+    let mut map = HashMap::new();
+    for g in &run.groups {
+        for l in &g.layers {
+            map.insert(l.clone(), g.spm_peak);
+        }
+    }
+    map
+}
+
+/// Runs the experiment and renders its tables.
+pub fn run(cfg: &ExpConfig) -> String {
+    let nets: Vec<&str> = if cfg.quick { vec!["tiny"] } else { vec!["alexnet", "vgg16"] };
+    let mut out = String::new();
+    for net_name in nets {
+        let net = network::by_name(net_name).unwrap();
+        let workload = Workload::generate(net.clone(), SparsityProfile::SPARSE, cfg.seed);
+        let with = per_layer_storage(Accelerator::mocha(Objective::Storage), &workload);
+        let without =
+            per_layer_storage(Accelerator::mocha_no_compression(Objective::Storage), &workload);
+
+        let mut t = Table::new(
+            format!("F4 — per-layer scratchpad footprint on {net_name} (KB, Storage objective)"),
+            &["layer", "uncompressed", "compressed", "saving"],
+        );
+        let mut peak_with = 0usize;
+        let mut peak_without = 0usize;
+        for layer in net.layers() {
+            let w = with[&layer.name];
+            let wo = without[&layer.name];
+            peak_with = peak_with.max(w);
+            peak_without = peak_without.max(wo);
+            t.row(vec![
+                layer.name.clone(),
+                kb(wo as u64),
+                kb(w as u64),
+                pct(-reduction(w as f64, wo as f64)),
+            ]);
+        }
+        t.row(vec![
+            "PEAK".into(),
+            kb(peak_without as u64),
+            kb(peak_with as u64),
+            pct(-reduction(peak_with as f64, peak_without as f64)),
+        ]);
+        t.note("paper claim: up to 30 % less storage; negative saving = compression reduced the footprint");
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}

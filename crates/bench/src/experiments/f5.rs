@@ -1,0 +1,66 @@
+//! F5 — Morphing policy ablation: per-layer EDP of the auto controller vs
+//! each fixed policy (analytical planner). The crossovers — different fixed
+//! policies winning different layers — are the paper's motivation for
+//! morphability.
+
+use crate::table::{f, Table};
+use mocha::core::controller;
+use mocha::prelude::*;
+
+use super::ExpConfig;
+
+/// Runs the experiment and renders its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let net_name = if cfg.quick { "tiny" } else { "alexnet" };
+    let net = network::by_name(net_name).unwrap();
+    let fabric_m = FabricConfig::mocha();
+    let fabric_b = FabricConfig::baseline();
+    let costs = CodecCostTable::default();
+    let energy = EnergyTable::default();
+
+    let mut est = SparsityEstimate {
+        ifmap_sparsity: 0.6,
+        ifmap_mean_run: 3.0,
+        kernel_sparsity: 0.3,
+        ofmap_sparsity: 0.5,
+        ofmap_mean_run: 2.0,
+    };
+
+    let fixed = [Policy::TilingOnly, Policy::FusionOnly, Policy::ParallelismOnly];
+    let mut t = Table::new(
+        format!("F5 — per-layer EDP normalized to MOCHA=1.00 on {net_name} (lower is better; winner among fixed)"),
+        &["layer", "tiling", "fusion", "parallel", "mocha", "best fixed"],
+    );
+
+    let mut wins = std::collections::BTreeMap::<&str, usize>::new();
+    for i in 0..net.len() {
+        let layers = &net.layers()[i..];
+        let pctx_b = PlanContext { fabric: &fabric_b, codec_costs: &costs, energy: &energy };
+        let scores: Vec<f64> = fixed
+            .iter()
+            .map(|&p| {
+                let d = controller::decide(&pctx_b, p, layers, &est, true);
+                d.plan.edp() / d.group_len as f64
+            })
+            .collect();
+        let pctx_m = PlanContext { fabric: &fabric_m, codec_costs: &costs, energy: &energy };
+        let md = controller::decide(&pctx_m, Policy::Mocha { objective: Objective::Edp }, layers, &est, true);
+        let mocha = md.plan.edp() / md.group_len as f64;
+
+        let names = ["tiling", "fusion", "parallel"];
+        let (wi, _) = scores.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap();
+        *wins.entry(names[wi]).or_default() += 1;
+
+        t.row(vec![
+            net.layers()[i].name.clone(),
+            f(scores[0] / mocha, 2),
+            f(scores[1] / mocha, 2),
+            f(scores[2] / mocha, 2),
+            "1.00".into(),
+            names[wi].into(),
+        ]);
+        est = controller::propagate_estimate(&net.layers()[i], &est);
+    }
+    t.note(format!("fixed-policy wins per layer: {wins:?} — no fixed policy dominates"));
+    t.render()
+}

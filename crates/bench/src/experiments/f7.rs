@@ -1,0 +1,42 @@
+//! F7 — DRAM-access reduction of the optimizations alone and cascaded:
+//! tiling-only → + morphable fusion/parallelism (mocha-nc) → + compression
+//! (full mocha). The cascade is the paper's point: the optimizations
+//! compose.
+
+use crate::table::{mb, pct, Table};
+use mocha::prelude::*;
+
+use super::ExpConfig;
+
+fn dram(acc: Accelerator, workload: &Workload) -> u64 {
+    let mut sim = Simulator::new(acc);
+    sim.verify = false;
+    sim.run(workload).events().dram_bytes()
+}
+
+/// Runs the experiment and renders its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let nets: Vec<&str> = if cfg.quick { vec!["tiny", "lenet5"] } else { vec!["lenet5", "alexnet"] };
+    let mut t = Table::new(
+        "F7 — DRAM traffic as optimizations cascade (MB)",
+        &["network", "tiling-only", "+fusion", "+morph (mocha-nc)", "+compression (mocha)", "total reduction"],
+    );
+    for net_name in nets {
+        let workload =
+            Workload::generate(network::by_name(net_name).unwrap(), SparsityProfile::SPARSE, cfg.seed);
+        let tiling = dram(Accelerator::tiling_only(), &workload);
+        let fusion = dram(Accelerator::fusion_only(), &workload);
+        let nc = dram(Accelerator::mocha_no_compression(Objective::Energy), &workload);
+        let full = dram(Accelerator::mocha(Objective::Energy), &workload);
+        t.row(vec![
+            net_name.into(),
+            mb(tiling),
+            mb(fusion),
+            mb(nc),
+            mb(full),
+            pct(-reduction(full as f64, tiling as f64)),
+        ]);
+    }
+    t.note("each column adds an optimization class; negative = less traffic than tiling-only");
+    t.render()
+}

@@ -1,0 +1,87 @@
+//! F8 — The compression crossover: net energy gain vs sparsity on one conv
+//! layer. Below the crossover the codec's own cost (and ZRLE's worst-case
+//! inflation) makes compression lose — the controller must auto-disable it,
+//! which this experiment also verifies column-by-column.
+
+use crate::table::{pct, Table};
+use mocha::core::exec;
+use mocha::model::gen;
+use mocha::prelude::*;
+
+use super::ExpConfig;
+
+/// Runs the experiment and renders its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let net = if cfg.quick {
+        network::single_conv(16, 32, 32, 32, 3, 1, 1)
+    } else {
+        network::single_conv(32, 64, 64, 64, 3, 1, 1)
+    };
+    let layer = &net.layers()[0];
+    let fabric = FabricConfig::mocha();
+    let costs = CodecCostTable::default();
+    let energy = EnergyTable::default();
+    let pctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let ectx = ExecContext { fabric: &fabric, codec_costs: &costs };
+
+    let mut t = Table::new(
+        "F8 — compression crossover: energy of forced-on vs off, and the controller's choice",
+        &["sparsity", "forced-on Δenergy", "controller choice", "controller Δenergy"],
+    );
+
+    for pct_s in [0, 5, 10, 15, 20, 30, 40, 60, 80, 90] {
+        let s = pct_s as f64 / 100.0;
+        let mut rng = gen::rng(cfg.seed + pct_s as u64);
+        let input = gen::clustered_activations(layer.input, s * 0.8, 6, &mut rng);
+        let kernel = gen::kernel(layer.kernel_shape().unwrap(), s, &mut rng);
+        let stats = mocha::model::stats::analyze(input.data());
+        let est = SparsityEstimate {
+            ifmap_sparsity: stats.sparsity(),
+            ifmap_mean_run: stats.mean_zero_run(),
+            kernel_sparsity: kernel.sparsity(),
+            ofmap_sparsity: 0.5,
+            ofmap_mean_run: 2.0,
+        };
+
+        // Baseline: best uncompressed config.
+        let off = mocha::core::controller::decide(
+            &pctx,
+            Policy::MochaNoCompression { objective: Objective::Energy },
+            net.layers(),
+            &est,
+            true,
+        );
+        let off_run = exec::execute_layer(&ectx, layer, &input, Some(&kernel), &off.morph, true).unwrap();
+        let e_off = energy.price(&off_run.events).total_pj();
+
+        // Forced-on: same config with full compression (or the nearest
+        // feasible config if the raw tiling no longer fits).
+        let forced = MorphConfig { compression: CompressionChoice::ON, ..off.morph };
+        let e_forced = exec::execute_layer(&ectx, layer, &input, Some(&kernel), &forced, true)
+            .map(|r| energy.price(&r.events).total_pj());
+
+        // The controller's own pick.
+        let auto = mocha::core::controller::decide(
+            &pctx,
+            Policy::Mocha { objective: Objective::Energy },
+            net.layers(),
+            &est,
+            true,
+        );
+        let auto_run = exec::execute_layer(&ectx, layer, &input, Some(&kernel), &auto.morph, true).unwrap();
+        let e_auto = energy.price(&auto_run.events).total_pj();
+        assert_eq!(auto_run.output, off_run.output, "compression changed results");
+
+        t.row(vec![
+            format!("{pct_s} %"),
+            match e_forced {
+                Ok(e) => pct((e - e_off) / e_off),
+                Err(_) => "infeasible".into(),
+            },
+            auto.morph.compression.to_string(),
+            pct((e_auto - e_off) / e_off),
+        ]);
+    }
+    t.note("positive Δ = compression costs energy; the controller's Δ must never be materially positive (it can opt out)");
+    t.render()
+}

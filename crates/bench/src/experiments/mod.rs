@@ -1,0 +1,57 @@
+//! The reconstructed experiment suite — one module per table/figure of the
+//! paper's evaluation (see DESIGN.md's experiment index). Every module
+//! exposes `run(&ExpConfig) -> String` returning the rendered table(s).
+
+pub mod a1;
+pub mod a2;
+pub mod a3;
+pub mod f1;
+pub mod f2;
+pub mod f3;
+pub mod f4;
+pub mod f5;
+pub mod f6;
+pub mod f7;
+pub mod f8;
+pub mod t1;
+pub mod t2;
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Quick mode substitutes small networks for the big ones so the whole
+    /// suite runs in seconds (used by smoke tests); full mode reproduces
+    /// the paper-scale workloads.
+    pub quick: bool,
+    /// Workload generation seed.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self { quick: false, seed: 42 }
+    }
+}
+
+/// All experiment ids in presentation order.
+pub const ALL: &[&str] = &["t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "a1", "a2", "a3"];
+
+/// Runs one experiment by id; `None` for unknown ids.
+pub fn run_by_id(id: &str, cfg: &ExpConfig) -> Option<String> {
+    match id {
+        "t1" => Some(t1::run(cfg)),
+        "t2" => Some(t2::run(cfg)),
+        "f1" => Some(f1::run(cfg)),
+        "f2" => Some(f2::run(cfg)),
+        "f3" => Some(f3::run(cfg)),
+        "f4" => Some(f4::run(cfg)),
+        "f5" => Some(f5::run(cfg)),
+        "f6" => Some(f6::run(cfg)),
+        "f7" => Some(f7::run(cfg)),
+        "f8" => Some(f8::run(cfg)),
+        "a1" => Some(a1::run(cfg)),
+        "a2" => Some(a2::run(cfg)),
+        "a3" => Some(a3::run(cfg)),
+        _ => None,
+    }
+}

@@ -1,0 +1,86 @@
+//! T1 — Headline comparison (the abstract's claims): energy efficiency,
+//! throughput and storage of MOCHA vs the next-best fixed-optimization
+//! accelerator, per network and sparsity regime.
+//!
+//! Paper claim: up to **63 % higher energy efficiency**, up to **42 % higher
+//! throughput**, up to **30 % less storage** than the next-best accelerator.
+
+use crate::table::{f, kb, pct, Table};
+use mocha::prelude::*;
+
+use super::ExpConfig;
+
+fn networks(cfg: &ExpConfig) -> Vec<&'static str> {
+    if cfg.quick {
+        vec!["tiny", "lenet5"]
+    } else {
+        vec!["lenet5", "mobilenet", "alexnet", "vgg16"]
+    }
+}
+
+/// One accelerator's measured row.
+struct Row {
+    name: String,
+    report: PerfReport,
+}
+
+fn measure(net_name: &str, profile: SparsityProfile, seed: u64) -> Vec<Row> {
+    let workload = Workload::generate(network::by_name(net_name).unwrap(), profile, seed);
+    let table = EnergyTable::default();
+    Accelerator::comparison_set(Objective::Edp)
+        .into_iter()
+        .map(|acc| {
+            let name = acc.name.clone();
+            let mut sim = Simulator::new(acc);
+            sim.verify = false; // correctness is pinned by the test suite
+            let report = sim.run(&workload).report(&table);
+            Row { name, report }
+        })
+        .collect()
+}
+
+/// Runs the experiment and renders its tables.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+    let mut summary = Table::new(
+        "T1 summary — MOCHA vs next-best accelerator (paper: up to +63 % eff, +42 % thr, -30 % storage)",
+        &["network", "profile", "energy eff", "throughput", "storage"],
+    );
+
+    for net in networks(cfg) {
+        for (pname, profile) in [("nominal", SparsityProfile::NOMINAL), ("sparse", SparsityProfile::SPARSE)] {
+            let rows = measure(net, profile, cfg.seed);
+            let mut t = Table::new(
+                format!("T1 — {net} ({pname} sparsity: input {:.0} %, weights {:.0} %)", profile.input * 100.0, profile.weights * 100.0),
+                &["accelerator", "cycles", "GOPS", "GOPS/W", "storage KB", "DRAM MB"],
+            );
+            for r in &rows {
+                t.row(vec![
+                    r.name.clone(),
+                    r.report.cycles.to_string(),
+                    f(r.report.gops(), 2),
+                    f(r.report.gops_per_watt(), 1),
+                    kb(r.report.peak_storage_bytes),
+                    crate::table::mb(r.report.dram_bytes),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+
+            let mocha = &rows[0].report;
+            let next_eff = rows[1..].iter().map(|r| r.report.gops_per_watt()).fold(f64::MIN, f64::max);
+            let next_gops = rows[1..].iter().map(|r| r.report.gops()).fold(f64::MIN, f64::max);
+            let next_storage = rows[1..].iter().map(|r| r.report.peak_storage_bytes).min().unwrap();
+            summary.row(vec![
+                net.to_string(),
+                pname.to_string(),
+                pct(improvement(mocha.gops_per_watt(), next_eff)),
+                pct(improvement(mocha.gops(), next_gops)),
+                pct(-reduction(mocha.peak_storage_bytes as f64, next_storage as f64)),
+            ]);
+        }
+    }
+    summary.note("storage column: negative = MOCHA needs less peak scratchpad than the best baseline");
+    out.push_str(&summary.render());
+    out
+}

@@ -1,0 +1,65 @@
+//! T2 — Area breakdown and overhead: what MOCHA's morphability and
+//! compression engines cost in silicon.
+//!
+//! Paper claim: **26–35 % additional area** over the next-best accelerator.
+
+use crate::table::{f, pct, Table};
+use mocha::prelude::*;
+
+use super::ExpConfig;
+
+/// Runs the experiment and renders its tables.
+pub fn run(_cfg: &ExpConfig) -> String {
+    let table = AreaTable::default();
+    let mocha = Accelerator::mocha(Objective::Edp);
+    let baseline = Accelerator::tiling_only();
+
+    let ma = mocha.area(&table);
+    let ba = baseline.area(&table);
+
+    let mut t = Table::new(
+        "T2 — post-synthesis area breakdown (mm², 45 nm-class)",
+        &["component", "baseline", "mocha", "delta"],
+    );
+    let rows: [(&str, f64, f64); 6] = [
+        ("PE array", ba.pes_mm2, ma.pes_mm2),
+        ("scratchpad SRAM", ba.sram_mm2, ma.sram_mm2),
+        ("NoC", ba.noc_mm2, ma.noc_mm2),
+        ("DMA", ba.dma_mm2, ma.dma_mm2),
+        ("compression engines", ba.codec_mm2, ma.codec_mm2),
+        ("control (+morph cfg)", ba.control_mm2, ma.control_mm2),
+    ];
+    for (name, b, m) in rows {
+        t.row(vec![name.into(), f(b, 3), f(m, 3), f(m - b, 3)]);
+    }
+    t.row(vec![
+        "TOTAL".into(),
+        f(ba.total_mm2(), 3),
+        f(ma.total_mm2(), 3),
+        f(ma.total_mm2() - ba.total_mm2(), 3),
+    ]);
+    let overhead = (ma.total_mm2() - ba.total_mm2()) / ba.total_mm2();
+    t.note(format!(
+        "area overhead: {} (paper band: +26–35 %)",
+        pct(overhead)
+    ));
+
+    // Sensitivity: the overhead across fabric sizes.
+    let mut s = Table::new("T2b — overhead vs fabric size", &["PE grid", "scratchpad KB", "overhead"]);
+    for (grid, kb) in [(4usize, 64usize), (8, 128), (12, 256), (16, 512)] {
+        let mut mf = FabricConfig::mocha();
+        mf.pe_rows = grid;
+        mf.pe_cols = grid;
+        mf.spm_banks = kb / mf.spm_bank_kb;
+        // Codec stations scale with the scratchpad column count.
+        mf.codec_engines = grid + 2 * mf.dma_engines;
+        let mut bf = FabricConfig::baseline();
+        bf.pe_rows = grid;
+        bf.pe_cols = grid;
+        bf.spm_banks = kb / bf.spm_bank_kb;
+        let oh = table.overhead(&mf.inventory(), &bf.inventory());
+        s.row(vec![format!("{grid}x{grid}"), kb.to_string(), pct(oh)]);
+    }
+
+    format!("{}\n{}", t.render(), s.render())
+}

@@ -1,0 +1,117 @@
+//! Tiny dependency-free argument parsing for `mocha-sim`: positional
+//! subcommand + `--key value` / `--flag` options. Deliberately minimal —
+//! the CLI surface is small and stable, and a hand-rolled parser keeps the
+//! offline dependency set to the workspace-approved crates.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand, positionals, and `--key [value]` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional), if any.
+    pub command: Option<String>,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    /// Options; a flag without a value maps to an empty string.
+    pub options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of argument strings (excluding `argv[0]`).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => String::new(),
+                };
+                out.options.insert(key.to_string(), value);
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        out
+    }
+
+    /// Option value with a default.
+    pub fn opt(&self, key: &str, default: &str) -> String {
+        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Numeric option with a default; exits with a message on a bad value.
+    pub fn opt_u64(&self, key: &str, default: u64) -> u64 {
+        match self.options.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} expects an integer, got {v:?}");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// Float option with a default; exits with a message on a bad value.
+    pub fn opt_f64(&self, key: &str, default: f64) -> f64 {
+        match self.options.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} expects a number, got {v:?}");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// True when the flag is present (with or without a value).
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_positionals() {
+        let a = parse("simulate alexnet extra");
+        assert_eq!(a.command.as_deref(), Some("simulate"));
+        assert_eq!(a.positional, vec!["alexnet", "extra"]);
+    }
+
+    #[test]
+    fn options_with_values_and_flags() {
+        let a = parse("simulate alexnet --seed 7 --trace --profile sparse");
+        assert_eq!(a.opt_u64("seed", 0), 7);
+        assert!(a.flag("trace"));
+        assert_eq!(a.opt("profile", "nominal"), "sparse");
+        assert_eq!(a.opt("missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn flag_followed_by_option_is_not_swallowed() {
+        let a = parse("x --verify --seed 3");
+        assert!(a.flag("verify"));
+        assert_eq!(a.opt("verify", "?"), "");
+        assert_eq!(a.opt_u64("seed", 0), 3);
+    }
+
+    #[test]
+    fn empty_args() {
+        let a = parse("");
+        assert!(a.command.is_none());
+        assert!(a.positional.is_empty());
+    }
+
+    #[test]
+    fn float_options() {
+        let a = parse("codec --sparsity 0.7");
+        assert!((a.opt_f64("sparsity", 0.0) - 0.7).abs() < 1e-12);
+    }
+}

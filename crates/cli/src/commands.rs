@@ -1,0 +1,367 @@
+//! `mocha-sim` subcommand implementations.
+
+use crate::args::Args;
+use mocha::core::controller;
+use mocha::core::trace::Trace;
+use mocha::model::gen;
+use mocha::prelude::*;
+
+/// Usage text shown by `help`.
+pub const USAGE: &str = "\
+mocha-sim — MOCHA CNN-accelerator simulator
+
+USAGE:
+  mocha-sim simulate <network> [options]   run a network end-to-end
+      --accelerator  mocha|mocha-nc|tiling|fusion|parallel   (default mocha)
+      --objective    edp|throughput|energy|storage           (default edp)
+      --profile      dense|nominal|sparse                    (default nominal)
+      --seed N       workload seed                           (default 42)
+      --trace        print a per-group pipeline Gantt chart
+      --json         emit metrics as JSON
+      --no-verify    skip golden-model verification
+  mocha-sim decide <network> [--layer NAME] [--profile P]
+                                           show the controller's decision
+  mocha-sim area [--grid N] [--spm-kb KB]  silicon area breakdown
+  mocha-sim codec [--sparsity S] [--clustered] [--elements N] [--seed N]
+                                           codec ratios on synthetic data
+  mocha-sim pareto <network> [--layer NAME] [--profile P]
+                                           Pareto front (cycles/energy/storage)
+  mocha-sim networks                       list the network zoo
+
+Fabric and energy tables can be overridden from JSON for any command:
+  --fabric FILE.json     a serialized FabricConfig
+  --energy FILE.json     a serialized EnergyTable
+";
+
+fn profile(name: &str) -> SparsityProfile {
+    match name {
+        "dense" => SparsityProfile::DENSE,
+        "nominal" => SparsityProfile::NOMINAL,
+        "sparse" => SparsityProfile::SPARSE,
+        other => {
+            eprintln!("unknown profile {other:?} (dense|nominal|sparse)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn objective(name: &str) -> Objective {
+    match name {
+        "edp" => Objective::Edp,
+        "throughput" => Objective::Throughput,
+        "energy" => Objective::Energy,
+        "storage" => Objective::Storage,
+        other => {
+            eprintln!("unknown objective {other:?} (edp|throughput|energy|storage)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn accelerator(name: &str, obj: Objective) -> Accelerator {
+    match name {
+        "mocha" => Accelerator::mocha(obj),
+        "mocha-nc" => Accelerator::mocha_no_compression(obj),
+        "tiling" => Accelerator::tiling_only(),
+        "fusion" => Accelerator::fusion_only(),
+        "parallel" => Accelerator::parallelism_only(),
+        other => {
+            eprintln!("unknown accelerator {other:?} (mocha|mocha-nc|tiling|fusion|parallel)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Loads the fabric, honouring `--fabric FILE.json`.
+fn load_fabric(args: &Args) -> FabricConfig {
+    match args.options.get("fabric") {
+        None => FabricConfig::mocha(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read fabric config {path:?}: {e}");
+                std::process::exit(2);
+            });
+            let fabric: FabricConfig = serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("invalid fabric config {path:?}: {e}");
+                std::process::exit(2);
+            });
+            if let Err(e) = fabric.validate() {
+                eprintln!("inconsistent fabric config {path:?}: {e}");
+                std::process::exit(2);
+            }
+            fabric
+        }
+    }
+}
+
+/// Loads the energy table, honouring `--energy FILE.json`.
+fn load_energy(args: &Args) -> EnergyTable {
+    match args.options.get("energy") {
+        None => EnergyTable::default(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read energy table {path:?}: {e}");
+                std::process::exit(2);
+            });
+            serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("invalid energy table {path:?}: {e}");
+                std::process::exit(2);
+            })
+        }
+    }
+}
+
+fn load_network(args: &Args) -> Network {
+    let Some(name) = args.positional.first() else {
+        eprintln!("missing <network> argument (try `mocha-sim networks`)");
+        std::process::exit(2);
+    };
+    network::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown network {name:?} (try `mocha-sim networks`)");
+        std::process::exit(2);
+    })
+}
+
+/// `simulate` subcommand.
+pub fn simulate(args: &Args) -> i32 {
+    let net = load_network(args);
+    let obj = objective(&args.opt("objective", "edp"));
+    let acc = accelerator(&args.opt("accelerator", "mocha"), obj);
+    let prof = profile(&args.opt("profile", "nominal"));
+    let seed = args.opt_u64("seed", 42);
+
+    let workload = Workload::generate(net, prof, seed);
+    let mut acc = acc;
+    acc.fabric = match args.options.get("fabric") {
+        None => acc.fabric,
+        Some(_) => load_fabric(args),
+    };
+    let mut sim = Simulator::new(acc);
+    sim.energy = load_energy(args);
+    sim.verify = !args.flag("no-verify");
+    let run = sim.run(&workload);
+    let table = sim.energy;
+    let report = run.report(&table);
+
+    if args.flag("json") {
+        let json = serde_json::json!({
+            "network": run.network,
+            "accelerator": run.accelerator,
+            "cycles": report.cycles,
+            "seconds": report.seconds(),
+            "gops": report.gops(),
+            "gops_per_watt": report.gops_per_watt(),
+            "watts": report.watts(),
+            "edp_js": report.edp(),
+            "peak_storage_bytes": report.peak_storage_bytes,
+            "dram_bytes": report.dram_bytes,
+            "compression_ratio": run.compression().overall_ratio(),
+            "groups": run.groups.iter().map(|g| serde_json::json!({
+                "name": g.name(),
+                "morph": g.morph.to_string(),
+                "cycles": g.cycles,
+                "spm_peak": g.spm_peak,
+                "work_macs": g.work_macs,
+            })).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&json).unwrap());
+        return 0;
+    }
+
+    println!("{} on {} ({} groups)", run.network, run.accelerator, run.groups.len());
+    for g in &run.groups {
+        println!(
+            "  {:20} {:>36}  {:>10} cyc  {:>7.1} GOPS  {:>6.1} KB",
+            g.name(),
+            g.morph.to_string(),
+            g.cycles,
+            g.gops(table.clock_ghz),
+            g.spm_peak as f64 / 1024.0,
+        );
+        if args.flag("trace") {
+            let trace = Trace::new(&g.phases, g.morph.buffering);
+            // Cap at 24 rows per group so big layers stay readable.
+            let gantt = trace.gantt(100);
+            for line in gantt.lines().take(25) {
+                println!("      {line}");
+            }
+            if g.phases.len() > 24 {
+                println!("      ... ({} more tiles)", g.phases.len() - 24);
+            }
+        }
+    }
+    println!(
+        "total: {} cycles ({:.3} ms) | {:.1} GOPS | {:.1} GOPS/W | {:.1} KB storage | {:.2} MB DRAM | ratio {:.2}x",
+        report.cycles,
+        report.seconds() * 1e3,
+        report.gops(),
+        report.gops_per_watt(),
+        report.peak_storage_bytes as f64 / 1024.0,
+        report.dram_bytes as f64 / 1e6,
+        run.compression().overall_ratio(),
+    );
+    0
+}
+
+/// `decide` subcommand: show what the controller would pick at a layer.
+pub fn decide(args: &Args) -> i32 {
+    let net = load_network(args);
+    let prof = profile(&args.opt("profile", "nominal"));
+    let layer_name = args.opt("layer", &net.layers()[0].name);
+    let Some(start) = net.layers().iter().position(|l| l.name == layer_name) else {
+        eprintln!("no layer named {layer_name:?} in {}", net.name);
+        return 2;
+    };
+
+    let fabric = load_fabric(args);
+    let costs = CodecCostTable::default();
+    let energy = load_energy(args);
+    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let est = SparsityEstimate {
+        ifmap_sparsity: prof.input,
+        ifmap_mean_run: 1.0 + 5.0 * prof.input,
+        kernel_sparsity: prof.weights,
+        ofmap_sparsity: 0.5,
+        ofmap_mean_run: 2.0,
+    };
+
+    println!("layer: {}", net.layers()[start]);
+    for (name, policy) in [
+        ("mocha", Policy::Mocha { objective: Objective::Edp }),
+        ("tiling", Policy::TilingOnly),
+        ("fusion", Policy::FusionOnly),
+        ("parallel", Policy::ParallelismOnly),
+    ] {
+        let d = controller::decide(&ctx, policy, &net.layers()[start..], &est, true);
+        println!(
+            "  {:9} fuses {} layer(s), {:>36}: {:>10} cycles, {:>8.1} µJ, {:>6.1} KB  ({} candidates)",
+            name,
+            d.group_len,
+            d.morph.to_string(),
+            d.plan.cycles,
+            d.plan.energy_pj / 1e6,
+            d.plan.spm_peak as f64 / 1024.0,
+            d.candidates,
+        );
+    }
+    0
+}
+
+/// `area` subcommand.
+pub fn area(args: &Args) -> i32 {
+    let grid = args.opt_u64("grid", 8) as usize;
+    let spm_kb = args.opt_u64("spm-kb", 128) as usize;
+    let table = AreaTable::default();
+
+    let mut mocha = FabricConfig::mocha();
+    mocha.pe_rows = grid;
+    mocha.pe_cols = grid;
+    mocha.spm_banks = (spm_kb / mocha.spm_bank_kb).max(1);
+    mocha.codec_engines = grid + 2 * mocha.dma_engines;
+    let mut base = FabricConfig::baseline();
+    base.pe_rows = grid;
+    base.pe_cols = grid;
+    base.spm_banks = (spm_kb / base.spm_bank_kb).max(1);
+
+    let ma = table.price(&mocha.inventory());
+    let ba = table.price(&base.inventory());
+    println!("fabric: {grid}x{grid} PEs, {spm_kb} KB scratchpad");
+    println!("  {:22} {:>9} {:>9}", "component", "baseline", "mocha");
+    for (name, b, m) in [
+        ("PE array", ba.pes_mm2, ma.pes_mm2),
+        ("scratchpad SRAM", ba.sram_mm2, ma.sram_mm2),
+        ("NoC", ba.noc_mm2, ma.noc_mm2),
+        ("DMA", ba.dma_mm2, ma.dma_mm2),
+        ("compression engines", ba.codec_mm2, ma.codec_mm2),
+        ("control", ba.control_mm2, ma.control_mm2),
+    ] {
+        println!("  {name:22} {b:>8.3}  {m:>8.3}");
+    }
+    let (bt, mt) = (ba.total_mm2(), ma.total_mm2());
+    println!("  {:22} {bt:>8.3}  {mt:>8.3}  ({:+.0} %)", "TOTAL", 100.0 * (mt - bt) / bt);
+    0
+}
+
+/// `codec` subcommand.
+pub fn codec(args: &Args) -> i32 {
+    let sparsity = args.opt_f64("sparsity", 0.6);
+    let elements = args.opt_u64("elements", 65536) as usize;
+    let seed = args.opt_u64("seed", 1);
+    if !(0.0..=1.0).contains(&sparsity) {
+        eprintln!("--sparsity must be in [0, 1]");
+        return 2;
+    }
+    let shape = mocha::model::TensorShape::new(1, 1, elements.max(1));
+    let mut rng = gen::rng(seed);
+    let data = if args.flag("clustered") {
+        gen::clustered_activations(shape, sparsity, 8, &mut rng)
+    } else {
+        gen::activations(shape, sparsity, &mut rng)
+    };
+    let stats = mocha::model::stats::analyze(data.data());
+    println!(
+        "{} elements, measured sparsity {:.1} %, mean zero-run {:.1}",
+        elements,
+        100.0 * stats.sparsity(),
+        stats.mean_zero_run()
+    );
+    for codec in [Codec::None, Codec::Zrle, Codec::Bitmask, Codec::Nibble] {
+        let c = Compressed::encode(codec, data.data());
+        assert_eq!(c.decode(), data.data(), "roundtrip");
+        println!("  {:8} {:>8} B  ratio {:.2}x", codec.name(), c.bytes(), c.ratio());
+    }
+    println!("  best: {}", best_codec(data.data()).name());
+    0
+}
+
+/// `networks` subcommand.
+pub fn networks() -> i32 {
+    for name in ["tiny", "lenet5", "mobilenet", "alexnet", "vgg16"] {
+        let n = network::by_name(name).unwrap();
+        println!(
+            "{:8} {:3} layers  input {:>11}  {:>8.1} M MACs  {:>7.2} MB weights",
+            name,
+            n.len(),
+            n.input_shape().to_string(),
+            n.total_macs() as f64 / 1e6,
+            n.total_weight_bytes() as f64 / 1e6,
+        );
+    }
+    0
+}
+
+/// `pareto` subcommand: the layer's trade-off surface.
+pub fn pareto(args: &Args) -> i32 {
+    let net = load_network(args);
+    let prof = profile(&args.opt("profile", "nominal"));
+    let layer_name = args.opt("layer", &net.layers()[0].name);
+    let Some(start) = net.layers().iter().position(|l| l.name == layer_name) else {
+        eprintln!("no layer named {layer_name:?} in {}", net.name);
+        return 2;
+    };
+    let fabric = load_fabric(args);
+    let costs = CodecCostTable::default();
+    let energy = load_energy(args);
+    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let est = SparsityEstimate {
+        ifmap_sparsity: prof.input,
+        ifmap_mean_run: 1.0 + 5.0 * prof.input,
+        kernel_sparsity: prof.weights,
+        ofmap_sparsity: 0.5,
+        ofmap_mean_run: 2.0,
+    };
+    let front = mocha::core::dse::explore_layer(&ctx, &net.layers()[start], &est, true);
+    println!("layer: {}", net.layers()[start]);
+    println!("Pareto front over (cycles, energy, storage): {} points", front.len());
+    println!("{:>12}  {:>10}  {:>9}  config", "cycles", "energy µJ", "SPM KB");
+    for p in &front {
+        println!(
+            "{:>12}  {:>10.1}  {:>9.1}  {}",
+            p.plan.cycles,
+            p.plan.energy_pj / 1e6,
+            p.plan.spm_peak as f64 / 1024.0,
+            p.morph,
+        );
+    }
+    0
+}

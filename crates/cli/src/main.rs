@@ -1,0 +1,36 @@
+//! `mocha-sim` — command-line interface to the MOCHA accelerator simulator.
+//!
+//! ```text
+//! mocha-sim simulate <network> [--accelerator A] [--objective O] [--profile P]
+//!                              [--seed N] [--trace] [--json] [--no-verify]
+//! mocha-sim decide   <network> [--layer NAME] [--profile P]
+//! mocha-sim area     [--grid N] [--spm-kb KB]
+//! mocha-sim codec    [--sparsity S] [--clustered] [--elements N] [--seed N]
+//! mocha-sim networks
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = Args::parse(std::env::args().skip(1));
+    let code = match parsed.command.as_deref() {
+        Some("simulate") => commands::simulate(&parsed),
+        Some("decide") => commands::decide(&parsed),
+        Some("area") => commands::area(&parsed),
+        Some("codec") => commands::codec(&parsed),
+        Some("pareto") => commands::pareto(&parsed),
+        Some("networks") => commands::networks(),
+        Some("help") | None => {
+            print!("{}", commands::USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n\n{}", commands::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,148 @@
+//! Bitmask-sparse encoding for kernel streams.
+//!
+//! The weight codec of MOCHA's compression engines. Pruned kernels have
+//! *scattered* (i.i.d.) zeros rather than the clustered runs ReLU produces,
+//! so a per-element presence bitmask beats run-length coding:
+//!
+//! ```text
+//! output := mask bytes (⌈n/8⌉, LSB-first per byte) ++ nonzero values
+//! ```
+//!
+//! Size is `⌈n/8⌉ + nnz` bytes — a fixed 12.5 % overhead plus one byte per
+//! surviving weight. Dense data costs 1.125×; at 30 % weight sparsity the
+//! ratio is ~1.22×, at 60 % ~1.38×. The decoder also exposes the mask to the
+//! PE array directly, which is what enables zero-skipping MACs (computation
+//! on absent weights is elided, raising effective throughput).
+
+/// Encodes an i8 element stream into `mask ++ nonzeros`.
+pub fn encode(input: &[i8]) -> Vec<u8> {
+    let mask_len = input.len().div_ceil(8);
+    let mut out = vec![0u8; mask_len];
+    for (i, &v) in input.iter().enumerate() {
+        if v != 0 {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out.extend(input.iter().filter(|&&v| v != 0).map(|&v| v as u8));
+    out
+}
+
+/// Decodes `mask ++ nonzeros` back into exactly `len` elements.
+///
+/// # Panics
+/// Panics if the stream is inconsistent with `len` (truncated mask, missing
+/// or surplus value bytes).
+pub fn decode(stream: &[u8], len: usize) -> Vec<i8> {
+    let mask_len = len.div_ceil(8);
+    assert!(stream.len() >= mask_len, "bitmask stream shorter than mask");
+    let (mask, values) = stream.split_at(mask_len);
+    let mut out = Vec::with_capacity(len);
+    let mut vi = 0usize;
+    for i in 0..len {
+        if mask[i / 8] & (1 << (i % 8)) != 0 {
+            assert!(vi < values.len(), "bitmask stream missing value bytes");
+            out.push(values[vi] as i8);
+            vi += 1;
+        } else {
+            out.push(0);
+        }
+    }
+    assert_eq!(vi, values.len(), "bitmask stream has surplus value bytes");
+    // Padding bits of the final mask byte must be clear.
+    for i in len..mask_len * 8 {
+        assert_eq!(mask[i / 8] & (1 << (i % 8)), 0, "set padding bit in mask");
+    }
+    out
+}
+
+/// Exact compressed size in bytes without materializing the encoding.
+pub fn encoded_size(input: &[i8]) -> usize {
+    input.len().div_ceil(8) + input.iter().filter(|&&v| v != 0).count()
+}
+
+/// Analytical size estimate from sparsity alone.
+pub fn estimated_size(elements: usize, sparsity: f64) -> usize {
+    elements.div_ceil(8) + (elements as f64 * (1.0 - sparsity)).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[i8]) {
+        let enc = encode(data);
+        assert_eq!(enc.len(), encoded_size(data), "size fn disagrees with encoder");
+        assert_eq!(decode(&enc, data.len()), data);
+    }
+
+    #[test]
+    fn empty_stream() {
+        roundtrip(&[]);
+        assert_eq!(encode(&[]).len(), 0);
+    }
+
+    #[test]
+    fn all_zero_is_mask_only() {
+        let data = vec![0i8; 16];
+        assert_eq!(encode(&data), vec![0, 0]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn dense_pays_mask_overhead() {
+        let data = vec![1i8; 16];
+        assert_eq!(encode(&data).len(), 2 + 16);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn mask_is_lsb_first() {
+        let data = [7i8, 0, 0, 0, 0, 0, 0, 0];
+        let enc = encode(&data);
+        assert_eq!(enc, vec![0b0000_0001, 7]);
+    }
+
+    #[test]
+    fn non_multiple_of_eight_lengths() {
+        roundtrip(&[1, 0, 2]);
+        roundtrip(&[0; 9]);
+        let data: Vec<i8> = (0..13).map(|i| if i % 3 == 0 { i as i8 + 1 } else { 0 }).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn negative_values_survive() {
+        roundtrip(&[-128, 0, 127, -1, 0, 0, 0, 0, 0, -5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than mask")]
+    fn truncated_mask_panics() {
+        decode(&[0], 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value bytes")]
+    fn missing_values_panic() {
+        // Mask says 1 nonzero but no value byte follows.
+        decode(&[0b0000_0001], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "surplus value bytes")]
+    fn surplus_values_panic() {
+        decode(&[0b0000_0000, 42], 8);
+    }
+
+    #[test]
+    fn estimated_size_is_exact_in_expectation() {
+        use mocha_model::gen;
+        use mocha_model::shape::KernelShape;
+        for sparsity in [0.0, 0.3, 0.6, 0.9] {
+            let k = gen::kernel(KernelShape::new(16, 16, 3), sparsity, &mut gen::rng(5));
+            let exact = encoded_size(k.data());
+            let est = estimated_size(k.data().len(), k.sparsity());
+            assert_eq!(est, exact, "sparsity {sparsity}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # mocha-compress
+//!
+//! Bit-exact streaming compression codecs of the MOCHA accelerator — the
+//! "compression aware" third of the paper's title. Two hardware-shaped
+//! formats are provided, matching the two sparsity regimes the accelerator
+//! sees:
+//!
+//! * [`zrle`] — zero run-length records for activation streams, whose zeros
+//!   cluster spatially (ReLU output);
+//! * [`bitmask`] — presence bitmask + packed nonzeros for kernel streams,
+//!   whose zeros scatter (pruning); the mask additionally feeds the PE
+//!   array's zero-skipping logic;
+//! * [`nibble`] — EIE-style 4-bit run-length records, splitting the
+//!   difference: denser than ZRLE on short-run data, weaker on long runs.
+//!
+//! [`stream::Codec`] selects per stream, [`cost::CodecCostTable`] prices the
+//! engines in cycles and pJ, and [`stats::CompressionStats`] aggregates what
+//! a run saved.
+//!
+//! ```
+//! use mocha_compress::stream::{best_codec, Compressed};
+//!
+//! let data: Vec<i8> = vec![0, 0, 0, 5, 0, 0, -3, 0, 0, 0, 0, 1];
+//! let codec = best_codec(&data);
+//! let enc = Compressed::encode(codec, &data);
+//! assert!(enc.ratio() > 1.0);
+//! assert_eq!(enc.decode(), data); // always bit-exact
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitmask;
+pub mod cost;
+pub mod nibble;
+pub mod stats;
+pub mod stream;
+pub mod zrle;
+
+pub use cost::CodecCostTable;
+pub use stats::CompressionStats;
+pub use stream::{best_codec, Codec, Compressed};

@@ -1,0 +1,199 @@
+//! Nibble run-length encoding (EIE-style) for activation streams.
+//!
+//! A denser cousin of [`crate::zrle`]: each surviving value carries only a
+//! **4-bit** count of the zeros preceding it (EIE, ISCA'16 uses exactly this
+//! trick for its sparse weight streams). Layout:
+//!
+//! ```text
+//! output := packed run nibbles (⌈entries/2⌉ bytes, low nibble first)
+//!        ++ value bytes (entries bytes)
+//! ```
+//!
+//! An entry costs 1.5 bytes instead of ZRLE's 2, so nibble-RLE wins on
+//! moderately sparse streams with *short* runs; zero runs longer than 16
+//! spill `(15, 0)` entries, so ZRLE overtakes it again on long-run
+//! (heavily clustered) data — which is exactly why the morphing controller
+//! gets to choose per stream.
+
+/// Entries (run, value) of the logical stream, before packing.
+fn entries(input: &[i8]) -> Vec<(u8, i8)> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 4);
+    let mut zeros = 0usize;
+    for &v in input {
+        if v == 0 {
+            zeros += 1;
+            if zeros == 16 {
+                out.push((15, 0));
+                zeros = 0;
+            }
+        } else {
+            out.push((zeros as u8, v));
+            zeros = 0;
+        }
+    }
+    if zeros > 0 {
+        out.push(((zeros - 1) as u8, 0));
+    }
+    out
+}
+
+/// Encodes an i8 element stream into packed nibble-RLE.
+pub fn encode(input: &[i8]) -> Vec<u8> {
+    let es = entries(input);
+    let mut out = vec![0u8; es.len().div_ceil(2)];
+    for (i, (run, _)) in es.iter().enumerate() {
+        debug_assert!(*run < 16);
+        out[i / 2] |= run << (4 * (i % 2));
+    }
+    out.extend(es.iter().map(|&(_, v)| v as u8));
+    out
+}
+
+/// Decodes packed nibble-RLE back into exactly `len` elements.
+///
+/// # Panics
+/// Panics on a malformed stream (inconsistent nibble/value counts or wrong
+/// decoded length).
+pub fn decode(stream: &[u8], len: usize) -> Vec<i8> {
+    // entries e satisfy: ceil(e/2) + e == stream.len(). Solve for e.
+    let e = (2 * stream.len()) / 3;
+    let e = if e.div_ceil(2) + e == stream.len() {
+        e
+    } else {
+        let e2 = e + 1;
+        assert!(
+            e2.div_ceil(2) + e2 == stream.len(),
+            "nibble stream length {} matches no entry count",
+            stream.len()
+        );
+        e2
+    };
+    let (nibbles, values) = stream.split_at(e.div_ceil(2));
+    let mut out = Vec::with_capacity(len);
+    for i in 0..e {
+        let run = (nibbles[i / 2] >> (4 * (i % 2))) & 0xF;
+        out.resize(out.len() + run as usize, 0);
+        out.push(values[i] as i8);
+    }
+    assert_eq!(out.len(), len, "nibble stream decodes to wrong element count");
+    out
+}
+
+/// Exact encoded size in bytes without materializing the encoding.
+pub fn encoded_size(input: &[i8]) -> usize {
+    let e = entries(input).len();
+    e.div_ceil(2) + e
+}
+
+/// Analytical size estimate from sparsity statistics alone. Runs are
+/// modelled geometric with the observed mean: a run spills one `(15, 0)`
+/// entry per full 16 zeros, and for a geometric run of mean `m` the
+/// expected spills per run are `Σ_j P(len ≥ 16j) = q¹⁵ / (1 − q¹⁶)` with
+/// continuation probability `q = (m−1)/m`.
+pub fn estimated_size(elements: usize, sparsity: f64, mean_zero_run: f64) -> usize {
+    let nonzeros = (elements as f64 * (1.0 - sparsity)).round();
+    let zeros = elements as f64 - nonzeros;
+    let spill = if mean_zero_run > 1.0 && zeros > 0.0 {
+        let q = (mean_zero_run - 1.0) / mean_zero_run;
+        let q16 = q.powi(16);
+        let per_run = q.powi(15) / (1.0 - q16);
+        (zeros / mean_zero_run) * per_run
+    } else {
+        0.0
+    };
+    let e = nonzeros + spill + 1.0;
+    ((e / 2.0).ceil() + e) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[i8]) {
+        let enc = encode(data);
+        assert_eq!(enc.len(), encoded_size(data), "size fn disagrees with encoder");
+        assert_eq!(decode(&enc, data.len()), data);
+    }
+
+    #[test]
+    fn empty_stream() {
+        roundtrip(&[]);
+        assert!(encode(&[]).is_empty());
+    }
+
+    #[test]
+    fn dense_stream_costs_one_and_a_half_bytes_per_element() {
+        let data = vec![7i8; 100];
+        assert_eq!(encode(&data).len(), 50 + 100);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn short_runs_beat_zrle() {
+        // 50 % i.i.d.-ish sparsity with short runs.
+        let data: Vec<i8> = (0..200).map(|i| if i % 2 == 0 { 0 } else { 3 }).collect();
+        let nib = encode(&data).len();
+        let zr = crate::zrle::encode(&data).len();
+        assert!(nib < zr, "nibble {nib} !< zrle {zr}");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_runs_lose_to_zrle() {
+        let mut data = vec![0i8; 1000];
+        data.push(5);
+        let nib = encode(&data).len();
+        let zr = crate::zrle::encode(&data).len();
+        assert!(nib > zr, "nibble {nib} !> zrle {zr}");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn run_of_exactly_16_zeros_spills_once() {
+        let data = vec![0i8; 16];
+        // One (15, 0) entry = 16 zeros.
+        assert_eq!(encode(&data), vec![0x0F, 0]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn run_of_17_zeros() {
+        let data = vec![0i8; 17];
+        // (15,0) then (0,0): nibbles 0x0F | 0x00<<4, values [0,0].
+        assert_eq!(encode(&data), vec![0x0F, 0, 0]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn trailing_zeros_and_negatives() {
+        roundtrip(&[-5, 0, 0, 0, 7, 0, 0]);
+        roundtrip(&[-128, 127, 0]);
+    }
+
+    #[test]
+    fn odd_entry_counts_pack_correctly() {
+        roundtrip(&[1, 2, 3]);
+        roundtrip(&[0, 1, 0, 0, 2, 0, 0, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong element count")]
+    fn wrong_length_panics() {
+        let enc = encode(&[1, 2, 3]);
+        decode(&enc, 5);
+    }
+
+    #[test]
+    fn estimated_size_tracks_exact_for_iid_data() {
+        use mocha_model::gen;
+        use mocha_model::shape::TensorShape;
+        for sparsity in [0.0, 0.3, 0.6, 0.9] {
+            let t = gen::activations(TensorShape::new(4, 32, 32), sparsity, &mut gen::rng(3));
+            let exact = encoded_size(t.data());
+            let stats = mocha_model::stats::analyze(t.data());
+            let est = estimated_size(t.data().len(), stats.sparsity(), stats.mean_zero_run());
+            let err = (est as f64 - exact as f64).abs() / exact.max(1) as f64;
+            assert!(err < 0.06, "sparsity {sparsity}: est {est} exact {exact}");
+        }
+    }
+}

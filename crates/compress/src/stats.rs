@@ -1,0 +1,124 @@
+//! Compression accounting: aggregates what every stream in a run saved.
+
+use crate::stream::Codec;
+use serde::{Deserialize, Serialize};
+
+/// Running totals of raw vs encoded bytes, split by stream class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompressionStats {
+    /// Raw bytes that went through activation-stream codecs.
+    pub activation_raw: u64,
+    /// Encoded bytes on the activation path.
+    pub activation_encoded: u64,
+    /// Raw bytes that went through kernel-stream codecs.
+    pub kernel_raw: u64,
+    /// Encoded bytes on the kernel path.
+    pub kernel_encoded: u64,
+    /// Streams that shipped uncompressed (codec disabled or not worthwhile).
+    pub uncompressed_streams: u64,
+    /// Streams that shipped compressed.
+    pub compressed_streams: u64,
+}
+
+impl CompressionStats {
+    /// Records one stream's accounting.
+    pub fn record(&mut self, codec: Codec, is_kernel: bool, raw: usize, encoded: usize) {
+        match codec {
+            Codec::None => self.uncompressed_streams += 1,
+            _ => self.compressed_streams += 1,
+        }
+        if is_kernel {
+            self.kernel_raw += raw as u64;
+            self.kernel_encoded += encoded as u64;
+        } else {
+            self.activation_raw += raw as u64;
+            self.activation_encoded += encoded as u64;
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &CompressionStats) {
+        self.activation_raw += other.activation_raw;
+        self.activation_encoded += other.activation_encoded;
+        self.kernel_raw += other.kernel_raw;
+        self.kernel_encoded += other.kernel_encoded;
+        self.uncompressed_streams += other.uncompressed_streams;
+        self.compressed_streams += other.compressed_streams;
+    }
+
+    /// Overall compression ratio `raw / encoded` across both stream classes
+    /// (1.0 when nothing was recorded).
+    pub fn overall_ratio(&self) -> f64 {
+        let raw = self.activation_raw + self.kernel_raw;
+        let enc = self.activation_encoded + self.kernel_encoded;
+        if enc == 0 {
+            1.0
+        } else {
+            raw as f64 / enc as f64
+        }
+    }
+
+    /// Activation-path ratio (1.0 when no activation streams were recorded).
+    pub fn activation_ratio(&self) -> f64 {
+        if self.activation_encoded == 0 {
+            1.0
+        } else {
+            self.activation_raw as f64 / self.activation_encoded as f64
+        }
+    }
+
+    /// Kernel-path ratio (1.0 when no kernel streams were recorded).
+    pub fn kernel_ratio(&self) -> f64 {
+        if self.kernel_encoded == 0 {
+            1.0
+        } else {
+            self.kernel_raw as f64 / self.kernel_encoded as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_neutral() {
+        let s = CompressionStats::default();
+        assert_eq!(s.overall_ratio(), 1.0);
+        assert_eq!(s.activation_ratio(), 1.0);
+        assert_eq!(s.kernel_ratio(), 1.0);
+    }
+
+    #[test]
+    fn record_splits_by_stream_class() {
+        let mut s = CompressionStats::default();
+        s.record(Codec::Zrle, false, 100, 50);
+        s.record(Codec::Bitmask, true, 200, 160);
+        assert_eq!(s.activation_ratio(), 2.0);
+        assert_eq!(s.kernel_ratio(), 1.25);
+        assert_eq!(s.overall_ratio(), 300.0 / 210.0);
+        assert_eq!(s.compressed_streams, 2);
+        assert_eq!(s.uncompressed_streams, 0);
+    }
+
+    #[test]
+    fn none_codec_counts_as_uncompressed() {
+        let mut s = CompressionStats::default();
+        s.record(Codec::None, false, 100, 100);
+        assert_eq!(s.uncompressed_streams, 1);
+        assert_eq!(s.compressed_streams, 0);
+        assert_eq!(s.activation_ratio(), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CompressionStats::default();
+        a.record(Codec::Zrle, false, 100, 40);
+        let mut b = CompressionStats::default();
+        b.record(Codec::Bitmask, true, 80, 60);
+        a.merge(&b);
+        assert_eq!(a.activation_raw, 100);
+        assert_eq!(a.kernel_raw, 80);
+        assert_eq!(a.compressed_streams, 2);
+    }
+}

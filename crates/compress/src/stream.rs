@@ -1,0 +1,174 @@
+//! Codec selection and the compressed-stream container.
+//!
+//! Every tensor stream the accelerator moves (input feature-map tiles,
+//! kernel blocks, output tiles) is tagged with a [`Codec`]; `Codec::None`
+//! makes the compressed path and the raw path share one code path in the
+//! dataflow engine, which is what keeps the bit-exactness proofs simple.
+
+use crate::{bitmask, nibble, zrle};
+use serde::{Deserialize, Serialize};
+
+/// Which compression engine a stream goes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Codec {
+    /// No compression; bytes ship verbatim.
+    None,
+    /// Zero run-length records — for activation streams (clustered zeros).
+    Zrle,
+    /// Presence bitmask + packed nonzeros — for kernel streams (scattered
+    /// zeros); also enables zero-skipping in the PE array.
+    Bitmask,
+    /// EIE-style 4-bit run-length records — denser than ZRLE on short-run
+    /// data, worse on long clustered runs.
+    Nibble,
+}
+
+impl Codec {
+    /// Short name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::None => "none",
+            Codec::Zrle => "zrle",
+            Codec::Bitmask => "bitmask",
+            Codec::Nibble => "nibble",
+        }
+    }
+
+    /// Exact encoded size of `data` under this codec, in bytes.
+    pub fn encoded_size(self, data: &[i8]) -> usize {
+        match self {
+            Codec::None => data.len(),
+            Codec::Zrle => zrle::encoded_size(data),
+            Codec::Bitmask => bitmask::encoded_size(data),
+            Codec::Nibble => nibble::encoded_size(data),
+        }
+    }
+
+    /// Analytical encoded-size estimate from sparsity statistics, used by
+    /// the morphing controller before the data exists.
+    pub fn estimated_size(self, elements: usize, sparsity: f64, mean_zero_run: f64) -> usize {
+        match self {
+            Codec::None => elements,
+            Codec::Zrle => zrle::estimated_size(elements, sparsity, mean_zero_run),
+            Codec::Bitmask => bitmask::estimated_size(elements, sparsity),
+            Codec::Nibble => nibble::estimated_size(elements, sparsity, mean_zero_run),
+        }
+    }
+}
+
+/// An encoded stream plus the metadata needed to decode it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Compressed {
+    /// Codec the payload was encoded with.
+    pub codec: Codec,
+    /// Number of i8 elements the payload decodes to.
+    pub elements: usize,
+    /// Encoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Compressed {
+    /// Encodes `data` with `codec`.
+    pub fn encode(codec: Codec, data: &[i8]) -> Self {
+        let payload = match codec {
+            Codec::None => data.iter().map(|&v| v as u8).collect(),
+            Codec::Zrle => zrle::encode(data),
+            Codec::Bitmask => bitmask::encode(data),
+            Codec::Nibble => nibble::encode(data),
+        };
+        Self { codec, elements: data.len(), payload }
+    }
+
+    /// Decodes back to the original elements (bit-exact).
+    pub fn decode(&self) -> Vec<i8> {
+        match self.codec {
+            Codec::None => self.payload.iter().map(|&v| v as i8).collect(),
+            Codec::Zrle => zrle::decode(&self.payload, self.elements),
+            Codec::Bitmask => bitmask::decode(&self.payload, self.elements),
+            Codec::Nibble => nibble::decode(&self.payload, self.elements),
+        }
+    }
+
+    /// Encoded size in bytes — what actually occupies scratchpad and crosses
+    /// the NoC/DRAM interface.
+    pub fn bytes(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Compression ratio `original / encoded` (> 1 means the codec won).
+    pub fn ratio(&self) -> f64 {
+        if self.payload.is_empty() {
+            return 1.0;
+        }
+        self.elements as f64 / self.payload.len() as f64
+    }
+}
+
+/// Picks the smaller of ZRLE/bitmask/none for the given data — the greedy
+/// per-stream choice MOCHA's compression engines support ("morphable"
+/// codecs). Ties prefer `None` (no decode latency), then `Bitmask` (enables
+/// zero-skipping).
+pub fn best_codec(data: &[i8]) -> Codec {
+    [Codec::None, Codec::Bitmask, Codec::Nibble, Codec::Zrle]
+        .into_iter()
+        .min_by_key(|c| c.encoded_size(data))
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocha_model::gen;
+    use mocha_model::shape::TensorShape;
+
+    #[test]
+    fn none_codec_roundtrips_verbatim() {
+        let data = [1i8, -2, 0, 127, -128];
+        let c = Compressed::encode(Codec::None, &data);
+        assert_eq!(c.bytes(), 5);
+        assert_eq!(c.decode(), data);
+        assert_eq!(c.ratio(), 1.0);
+    }
+
+    #[test]
+    fn all_codecs_roundtrip_random_data() {
+        let t = gen::activations(TensorShape::new(4, 16, 16), 0.6, &mut gen::rng(9));
+        for codec in [Codec::None, Codec::Zrle, Codec::Bitmask] {
+            let c = Compressed::encode(codec, t.data());
+            assert_eq!(c.decode(), t.data(), "codec {}", codec.name());
+            assert_eq!(c.bytes(), codec.encoded_size(t.data()));
+        }
+    }
+
+    #[test]
+    fn sparse_clustered_data_favors_zrle() {
+        let t = gen::clustered_activations(TensorShape::new(4, 32, 32), 0.5, 16, &mut gen::rng(2));
+        assert_eq!(best_codec(t.data()), Codec::Zrle);
+        let c = Compressed::encode(Codec::Zrle, t.data());
+        assert!(c.ratio() > 2.0, "ratio {}", c.ratio());
+    }
+
+    #[test]
+    fn scattered_sparse_data_favors_bitmask() {
+        let t = gen::activations(TensorShape::new(4, 32, 32), 0.5, &mut gen::rng(2));
+        assert_eq!(best_codec(t.data()), Codec::Bitmask);
+    }
+
+    #[test]
+    fn dense_data_favors_none() {
+        let t = gen::activations(TensorShape::new(4, 32, 32), 0.0, &mut gen::rng(2));
+        assert_eq!(best_codec(t.data()), Codec::None);
+    }
+
+    #[test]
+    fn empty_stream_ratio_is_one() {
+        let c = Compressed::encode(Codec::Zrle, &[]);
+        assert_eq!(c.ratio(), 1.0);
+        assert_eq!(c.decode(), Vec::<i8>::new());
+    }
+
+    #[test]
+    fn estimated_size_none_is_identity() {
+        assert_eq!(Codec::None.estimated_size(100, 0.5, 3.0), 100);
+    }
+}

@@ -1,0 +1,217 @@
+//! Zero run-length encoding (ZRLE) for activation streams.
+//!
+//! The feature-map codec of MOCHA's compression engines. ReLU makes
+//! activation streams zero-heavy with *clustered* zeros, which a run-length
+//! code monetizes directly. The hardware-friendly format is a sequence of
+//! 2-byte records:
+//!
+//! ```text
+//! record := (zeros: u8, value: i8)   // emit `zeros` zero bytes, then `value`
+//! ```
+//!
+//! A zero run longer than 255 is split across records by using a zero
+//! `value` byte as part of the run (a `(255, 0)` record contributes 256
+//! zeros). A *trailing* zero run of length `r` is encoded as `(255, 0)`
+//! chunks plus a final `(r-1, 0)` record, so every record still carries
+//! exactly `zeros + 1` elements and the decoder needs no special tail logic —
+//! it just stops after the element count recorded out-of-band.
+//!
+//! Worst case (fully dense stream) the output is 2× the input; the morphing
+//! controller only enables the codec when the estimated ratio is favourable
+//! (experiment F8 maps that crossover).
+
+/// Encodes an i8 element stream into ZRLE records.
+///
+/// Returns the raw record bytes; the element count travels out-of-band in
+/// [`crate::stream::Compressed`].
+pub fn encode(input: &[i8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 8);
+    let mut zeros: usize = 0;
+    for &v in input {
+        if v == 0 {
+            zeros += 1;
+            // A full (255, 0) record holds 256 zeros; flush eagerly so the
+            // pending count always fits a u8.
+            if zeros == 256 {
+                out.push(255);
+                out.push(0);
+                zeros = 0;
+            }
+        } else {
+            out.push(zeros as u8);
+            out.push(v as u8);
+            zeros = 0;
+        }
+    }
+    if zeros > 0 {
+        // Trailing zeros: `zeros` is in [1, 255] here (256 flushes above).
+        out.push((zeros - 1) as u8);
+        out.push(0);
+    }
+    out
+}
+
+/// Decodes ZRLE records back into exactly `len` elements.
+///
+/// # Panics
+/// Panics if the record stream is malformed for the given length (truncated,
+/// or decodes to a different element count) — corrupted compressed tiles are
+/// simulator bugs, not recoverable conditions.
+pub fn decode(records: &[u8], len: usize) -> Vec<i8> {
+    assert!(records.len() % 2 == 0, "ZRLE stream must be whole records");
+    let mut out = Vec::with_capacity(len);
+    for pair in records.chunks_exact(2) {
+        let zeros = pair[0] as usize;
+        let value = pair[1] as i8;
+        out.resize(out.len() + zeros, 0);
+        out.push(value);
+    }
+    assert_eq!(out.len(), len, "ZRLE stream decodes to wrong element count");
+    out
+}
+
+/// Exact compressed size in bytes without materializing the encoding —
+/// used by the morphing controller's storage estimator.
+pub fn encoded_size(input: &[i8]) -> usize {
+    let mut records = 0usize;
+    let mut zeros = 0usize;
+    for &v in input {
+        if v == 0 {
+            zeros += 1;
+            if zeros == 256 {
+                records += 1;
+                zeros = 0;
+            }
+        } else {
+            records += 1;
+            zeros = 0;
+        }
+    }
+    if zeros > 0 {
+        records += 1;
+    }
+    records * 2
+}
+
+/// Analytical size estimate from sparsity statistics alone (no data access):
+/// `records ≈ nonzeros + zeros/256·(spill records) + 1 tail`. The controller
+/// uses this when deciding a morph config before tensors exist (e.g. for an
+/// output stream that has not been produced yet).
+pub fn estimated_size(elements: usize, sparsity: f64, mean_zero_run: f64) -> usize {
+    let nonzeros = (elements as f64 * (1.0 - sparsity)).round();
+    let zeros = elements as f64 - nonzeros;
+    // Each nonzero record absorbs up to 255 preceding zeros; runs longer than
+    // 255 spill extra (255,0) records. With mean run m, a fraction of runs
+    // spill; approximate spill records as zeros/256 when m > 255/2.
+    let spill = if mean_zero_run > 128.0 { zeros / 256.0 } else { 0.0 };
+    (((nonzeros + spill) * 2.0) as usize + 2).min(2 * elements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[i8]) {
+        let enc = encode(data);
+        assert_eq!(enc.len(), encoded_size(data), "size fn disagrees with encoder");
+        let dec = decode(&enc, data.len());
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn empty_stream() {
+        roundtrip(&[]);
+        assert_eq!(encode(&[]), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn dense_stream_doubles() {
+        let data = [1i8, 2, 3, -4];
+        assert_eq!(encode(&data).len(), 8);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn single_zero() {
+        roundtrip(&[0]);
+        assert_eq!(encode(&[0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn leading_zeros_fold_into_record() {
+        let data = [0i8, 0, 0, 7];
+        assert_eq!(encode(&data), vec![3, 7]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn trailing_zeros_encoded_as_zero_value_records() {
+        let data = [5i8, 0, 0];
+        assert_eq!(encode(&data), vec![0, 5, 1, 0]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn run_of_exactly_256_zeros() {
+        let data = vec![0i8; 256];
+        assert_eq!(encode(&data), vec![255, 0]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn run_longer_than_256_spills() {
+        let mut data = vec![0i8; 300];
+        data.push(9);
+        let enc = encode(&data);
+        // 256 zeros -> (255,0); 44 zeros then 9 -> (44, 9).
+        assert_eq!(enc, vec![255, 0, 44, 9]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_trailing_run() {
+        let mut data = vec![3i8];
+        data.extend(std::iter::repeat(0i8).take(600));
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn negative_values_survive() {
+        roundtrip(&[-128, 0, 127, 0, -1]);
+    }
+
+    #[test]
+    fn alternating_pattern() {
+        let data: Vec<i8> = (0..100).map(|i| if i % 2 == 0 { 0 } else { 1 }).collect();
+        roundtrip(&data);
+        // 50 records of (1, 1) = 100 bytes: no gain on alternating data.
+        assert_eq!(encode(&data).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong element count")]
+    fn decode_length_mismatch_panics() {
+        let enc = encode(&[1, 2, 3]);
+        decode(&enc, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole records")]
+    fn decode_odd_stream_panics() {
+        decode(&[1, 2, 3], 4);
+    }
+
+    #[test]
+    fn estimated_size_tracks_exact_size_for_iid_data() {
+        use mocha_model::gen;
+        use mocha_model::shape::TensorShape;
+        for sparsity in [0.0, 0.3, 0.6, 0.9] {
+            let t = gen::activations(TensorShape::new(4, 32, 32), sparsity, &mut gen::rng(1));
+            let exact = encoded_size(t.data());
+            let stats = mocha_model::stats::analyze(t.data());
+            let est = estimated_size(t.data().len(), stats.sparsity(), stats.mean_zero_run());
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.05, "sparsity {sparsity}: est {est} exact {exact}");
+        }
+    }
+}

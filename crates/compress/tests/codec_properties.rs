@@ -1,0 +1,147 @@
+//! Property-based tests: codec invariants that must hold on *arbitrary*
+//! streams, not just the regimes the generators produce.
+
+use mocha_compress::stream::{best_codec, Codec, Compressed};
+use mocha_compress::{bitmask, nibble, zrle};
+use proptest::prelude::*;
+
+/// Arbitrary i8 streams, biased toward zeros so runs actually occur.
+fn sparse_stream() -> impl Strategy<Value = Vec<i8>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => Just(0i8),
+            1 => any::<i8>(),
+        ],
+        0..2048,
+    )
+}
+
+/// Dense random streams (no zero bias).
+fn dense_stream() -> impl Strategy<Value = Vec<i8>> {
+    prop::collection::vec(any::<i8>(), 0..2048)
+}
+
+/// Extreme-run streams: concatenated blocks of zeros/nonzeros with lengths
+/// crossing the u8 record boundary (255/256/257).
+fn run_stream() -> impl Strategy<Value = Vec<i8>> {
+    prop::collection::vec(
+        (any::<bool>(), 1usize..600),
+        0..8,
+    )
+    .prop_map(|blocks| {
+        let mut out = Vec::new();
+        for (zero, len) in blocks {
+            if zero {
+                out.extend(std::iter::repeat(0i8).take(len));
+            } else {
+                out.extend(std::iter::repeat(7i8).take(len));
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #[test]
+    fn zrle_roundtrip_sparse(data in sparse_stream()) {
+        let enc = zrle::encode(&data);
+        prop_assert_eq!(zrle::decode(&enc, data.len()), data);
+    }
+
+    #[test]
+    fn zrle_roundtrip_dense(data in dense_stream()) {
+        let enc = zrle::encode(&data);
+        prop_assert_eq!(zrle::decode(&enc, data.len()), data);
+    }
+
+    #[test]
+    fn zrle_roundtrip_extreme_runs(data in run_stream()) {
+        let enc = zrle::encode(&data);
+        prop_assert_eq!(zrle::decode(&enc, data.len()), data);
+    }
+
+    #[test]
+    fn zrle_size_fn_matches_encoder(data in sparse_stream()) {
+        prop_assert_eq!(zrle::encoded_size(&data), zrle::encode(&data).len());
+    }
+
+    #[test]
+    fn zrle_never_exceeds_two_x(data in dense_stream()) {
+        prop_assert!(zrle::encode(&data).len() <= 2 * data.len().max(1));
+    }
+
+    #[test]
+    fn bitmask_roundtrip_sparse(data in sparse_stream()) {
+        let enc = bitmask::encode(&data);
+        prop_assert_eq!(bitmask::decode(&enc, data.len()), data);
+    }
+
+    #[test]
+    fn bitmask_roundtrip_dense(data in dense_stream()) {
+        let enc = bitmask::encode(&data);
+        prop_assert_eq!(bitmask::decode(&enc, data.len()), data);
+    }
+
+    #[test]
+    fn bitmask_size_fn_matches_encoder(data in sparse_stream()) {
+        prop_assert_eq!(bitmask::encoded_size(&data), bitmask::encode(&data).len());
+    }
+
+    #[test]
+    fn bitmask_size_is_mask_plus_nnz(data in sparse_stream()) {
+        let nnz = data.iter().filter(|&&v| v != 0).count();
+        prop_assert_eq!(bitmask::encode(&data).len(), data.len().div_ceil(8) + nnz);
+    }
+
+    #[test]
+    fn compressed_container_roundtrips_all_codecs(data in sparse_stream()) {
+        for codec in [Codec::None, Codec::Zrle, Codec::Bitmask, Codec::Nibble] {
+            let c = Compressed::encode(codec, &data);
+            prop_assert_eq!(c.decode(), data.clone(), "codec {}", codec.name());
+            prop_assert_eq!(c.elements, data.len());
+        }
+    }
+
+    #[test]
+    fn best_codec_is_actually_best(data in sparse_stream()) {
+        let chosen = best_codec(&data);
+        let chosen_size = Compressed::encode(chosen, &data).bytes();
+        for codec in [Codec::None, Codec::Zrle, Codec::Bitmask, Codec::Nibble] {
+            let size = Compressed::encode(codec, &data).bytes();
+            prop_assert!(chosen_size <= size,
+                "best_codec chose {} ({chosen_size} B) but {} is {size} B",
+                chosen.name(), codec.name());
+        }
+    }
+
+    #[test]
+    fn nibble_roundtrip_sparse(data in sparse_stream()) {
+        let enc = nibble::encode(&data);
+        prop_assert_eq!(nibble::decode(&enc, data.len()), data);
+    }
+
+    #[test]
+    fn nibble_roundtrip_dense(data in dense_stream()) {
+        let enc = nibble::encode(&data);
+        prop_assert_eq!(nibble::decode(&enc, data.len()), data);
+    }
+
+    #[test]
+    fn nibble_roundtrip_extreme_runs(data in run_stream()) {
+        let enc = nibble::encode(&data);
+        prop_assert_eq!(nibble::decode(&enc, data.len()), data);
+    }
+
+    #[test]
+    fn nibble_size_fn_matches_encoder(data in sparse_stream()) {
+        prop_assert_eq!(nibble::encoded_size(&data), nibble::encode(&data).len());
+    }
+
+    #[test]
+    fn ratio_is_consistent_with_sizes(data in sparse_stream()) {
+        prop_assume!(!data.is_empty());
+        let c = Compressed::encode(Codec::Zrle, &data);
+        let expected = data.len() as f64 / c.bytes() as f64;
+        prop_assert!((c.ratio() - expected).abs() < 1e-12);
+    }
+}

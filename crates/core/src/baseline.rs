@@ -1,0 +1,144 @@
+//! Accelerator presets: MOCHA and the prior-art baselines it is compared
+//! against.
+//!
+//! An [`Accelerator`] pairs a control [`Policy`] with a fabric instance.
+//! Baselines run the *same* PE array, scratchpad and memory path as MOCHA
+//! but without codec stations or the morphing controller (matching how the
+//! paper's comparison isolates the architectural ideas rather than sizing
+//! differences), and with their policy locked to a single locality
+//! optimization:
+//!
+//! * `tiling-only` — per-layer tile-shape search, nothing else (tiling-based
+//!   prior art);
+//! * `fusion-only` — always merges layers as deep as legal (layer-merging
+//!   prior art);
+//! * `parallel-only` — picks intra/inter feature-map parallelism per layer
+//!   (parallelism-based prior art).
+//!
+//! `mocha-nc` (no compression) is the ablation separating the morphing gain
+//! from the compression gain.
+
+use crate::controller::Policy;
+use crate::morph::Objective;
+use mocha_energy::{AreaBreakdown, AreaTable};
+use mocha_fabric::FabricConfig;
+use serde::{Deserialize, Serialize};
+
+/// A named accelerator instance: policy + fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// Display name used in experiment tables.
+    pub name: String,
+    /// Control policy.
+    pub policy: Policy,
+    /// Fabric instance the policy runs on.
+    pub fabric: FabricConfig,
+}
+
+impl Accelerator {
+    /// The full MOCHA design under the given objective.
+    pub fn mocha(objective: Objective) -> Self {
+        Self {
+            name: "mocha".into(),
+            policy: Policy::Mocha { objective },
+            fabric: FabricConfig::mocha(),
+        }
+    }
+
+    /// MOCHA with its compression engines disabled (ablation). Runs on the
+    /// baseline fabric — no codec stations, so no codec area either.
+    pub fn mocha_no_compression(objective: Objective) -> Self {
+        Self {
+            name: "mocha-nc".into(),
+            policy: Policy::MochaNoCompression { objective },
+            fabric: FabricConfig::baseline(),
+        }
+    }
+
+    /// Tiling-only prior art.
+    pub fn tiling_only() -> Self {
+        Self { name: "tiling".into(), policy: Policy::TilingOnly, fabric: FabricConfig::baseline() }
+    }
+
+    /// Layer-merging-only prior art.
+    pub fn fusion_only() -> Self {
+        Self { name: "fusion".into(), policy: Policy::FusionOnly, fabric: FabricConfig::baseline() }
+    }
+
+    /// Parallelism-only prior art.
+    pub fn parallelism_only() -> Self {
+        Self {
+            name: "parallel".into(),
+            policy: Policy::ParallelismOnly,
+            fabric: FabricConfig::baseline(),
+        }
+    }
+
+    /// The three prior-art baselines the abstract's "next best accelerator"
+    /// is drawn from.
+    pub fn baselines() -> Vec<Self> {
+        vec![Self::tiling_only(), Self::fusion_only(), Self::parallelism_only()]
+    }
+
+    /// MOCHA plus every baseline — the comparison set of experiment T1/F1.
+    pub fn comparison_set(objective: Objective) -> Vec<Self> {
+        let mut v = vec![Self::mocha(objective)];
+        v.extend(Self::baselines());
+        v
+    }
+
+    /// Silicon area of this accelerator instance.
+    pub fn area(&self, table: &AreaTable) -> AreaBreakdown {
+        table.price(&self.fabric.inventory())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_carry_no_codecs_or_morph_controller() {
+        for b in Accelerator::baselines() {
+            assert!(!b.fabric.has_codecs(), "{}", b.name);
+            assert!(!b.fabric.morphable, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn mocha_carries_both() {
+        let m = Accelerator::mocha(Objective::Edp);
+        assert!(m.fabric.has_codecs());
+        assert!(m.fabric.morphable);
+    }
+
+    #[test]
+    fn mocha_area_overhead_is_in_the_papers_band() {
+        let table = AreaTable::default();
+        let mocha = Accelerator::mocha(Objective::Edp).area(&table).total_mm2();
+        let base = Accelerator::tiling_only().area(&table).total_mm2();
+        let overhead = (mocha - base) / base;
+        assert!(
+            (0.26..=0.35).contains(&overhead),
+            "area overhead {overhead:.3} outside the abstract's 26–35 % band"
+        );
+    }
+
+    #[test]
+    fn comparison_set_has_unique_names() {
+        let set = Accelerator::comparison_set(Objective::Edp);
+        let mut names: Vec<&str> = set.iter().map(|a| a.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), set.len());
+    }
+
+    #[test]
+    fn fabrics_are_otherwise_identical() {
+        let m = Accelerator::mocha(Objective::Edp).fabric;
+        let b = Accelerator::tiling_only().fabric;
+        assert_eq!(m.pes(), b.pes());
+        assert_eq!(m.spm_bytes(), b.spm_bytes());
+        assert_eq!(m.dram_bytes_per_cycle, b.dram_bytes_per_cycle);
+    }
+}

@@ -1,0 +1,726 @@
+//! Functional execution of one layer under a morph configuration —
+//! bit-exact, with exact (data-dependent) timing and energy accounting.
+//!
+//! Every tile's streams are *actually encoded* with the configured codecs,
+//! decoded back, and asserted equal to the source bytes — so a run is
+//! simultaneously the timing simulation and the proof that morphing never
+//! changes results. Compressed sizes entering the timing model are therefore
+//! exact, not estimates (the analytical mirror lives in [`crate::plan`]).
+
+use crate::morph::{LoopOrder, MorphConfig};
+use crate::parallel::{compute_phase, map_tile, TileWork};
+use crate::streams;
+use crate::tiling::{input_window, reduction_depth, reduction_slabs, tiles, OutputTile, Region};
+use mocha_compress::{Codec, CodecCostTable, Compressed, CompressionStats};
+use mocha_energy::EventCounts;
+use mocha_fabric::{
+    pipeline_cycles, scratchpad, Buffering, CapacityError, FabricConfig, RegionClass, Scratchpad,
+    TilePhase,
+};
+use mocha_model::layer::{Layer, LayerKind};
+use mocha_model::tensor::{requantize, Kernel, Tensor};
+
+/// Shared simulation context: the fabric instance and codec cost table.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecContext<'a> {
+    /// The fabric being simulated.
+    pub fabric: &'a FabricConfig,
+    /// Compression-engine cost parameters.
+    pub codec_costs: &'a CodecCostTable,
+}
+
+/// Result of executing one layer.
+#[derive(Debug, Clone)]
+pub struct LayerRun {
+    /// The layer's output feature map (bit-exact vs the golden model).
+    pub output: Tensor<i8>,
+    /// Total cycles under the configured buffering discipline.
+    pub cycles: u64,
+    /// All counted hardware events.
+    pub events: EventCounts,
+    /// Scratchpad high-water mark in bytes (the storage metric).
+    pub spm_peak: usize,
+    /// Compression accounting for the layer's streams.
+    pub compression: CompressionStats,
+    /// Output tiles executed.
+    pub tiles: usize,
+    /// The tile phases that were scheduled (for trace/Gantt rendering).
+    pub phases: Vec<TilePhase>,
+}
+
+/// NoC lanes granted to loads vs stores (the default fabric has two DMA
+/// queues sharing four lanes).
+const LOAD_LANES: usize = 2;
+const STORE_LANES: usize = 2;
+
+/// Encodes `data` under `codec`, proves the roundtrip is bit-exact, and
+/// returns the encoded size in bytes.
+fn encode_checked(codec: Codec, data: &[i8]) -> usize {
+    let enc = Compressed::encode(codec, data);
+    debug_assert_eq!(enc.decode(), data, "codec {} roundtrip broken", codec.name());
+    enc.bytes()
+}
+
+/// Extracts the raw bytes of an input window, handling the fc flattened
+/// special case (where the "window" is a flat reduction range).
+fn window_bytes(layer: &Layer, input: &Tensor<i8>, win: &Region) -> Vec<i8> {
+    // A tile whose receptive field lies entirely in padding (possible with
+    // stride > 1 and generous padding) has an empty clipped window.
+    if win.volume() == 0 {
+        return Vec::new();
+    }
+    match layer.kind {
+        LayerKind::Fc { .. } => input.data()[win.c0..win.c0 + win.cn].to_vec(),
+        _ => input.window(win.c0, win.cn, win.y0, win.yn, win.x0, win.xn).data().to_vec(),
+    }
+}
+
+/// Scratchpad accumulator traffic of a tile whose reduction ran over
+/// `slabs` slabs: with one slab the accumulation lives in register files;
+/// with more, 4-byte partials are spilled and re-read per slab.
+fn accumulator_traffic(out_volume: usize, slabs: usize) -> (u64, u64) {
+    if slabs <= 1 {
+        (0, 0)
+    } else {
+        let vol = out_volume as u64;
+        // One 4-byte write per element per slab; one read per element per
+        // slab after the first, plus the final requantization read.
+        (4 * vol * slabs as u64, 4 * vol * slabs as u64)
+    }
+}
+
+/// Executes a conv or fc layer. `store_output = false` suppresses the DRAM
+/// writeback (used when a fused successor consumes the tile on-chip).
+pub fn execute_weighted(
+    ctx: &ExecContext<'_>,
+    layer: &Layer,
+    input: &Tensor<i8>,
+    kernel: &Kernel,
+    morph: &MorphConfig,
+    store_output: bool,
+) -> Result<LayerRun, CapacityError> {
+    let out_shape = layer.output();
+    let depth = reduction_depth(layer);
+    let (k, stride_relu): (usize, (u32, bool)) = match layer.kind {
+        LayerKind::Conv { k, relu, .. } | LayerKind::DwConv { k, relu, .. } => {
+            (k, (layer.requant_shift, relu))
+        }
+        LayerKind::Fc { relu, .. } => (1, (layer.requant_shift, relu)),
+        LayerKind::Pool { .. } => panic!("{}: pool layer on weighted path", layer.name),
+    };
+    let (shift, relu) = stride_relu;
+
+    let tiling = morph.tiling.clamp(out_shape.c, out_shape.h, out_shape.w, depth);
+    let slabs = reduction_slabs(depth, tiling.tile_ic);
+    let tile_list = tiles(layer, tiling, morph.loop_order);
+    let buffer_sets = mocha_fabric::buffer_sets(morph.buffering);
+
+    let mut output = Tensor::zeros(out_shape);
+    let mut spm = Scratchpad::new(ctx.fabric);
+    let mut events = EventCounts::default();
+    let mut compression = CompressionStats::default();
+    let mut phases: Vec<TilePhase> = Vec::with_capacity(tile_list.len() + 8);
+
+    // Pinned-operand state: (block key, scratchpad region, encoded bytes).
+    let mut pinned: Option<(usize, mocha_fabric::RegionId, usize)> = None;
+
+    for tile in &tile_list {
+        let out_vol = tile.out.volume();
+
+        // ---- pinned operand (re)load on block change -------------------
+        let pin_key = match morph.loop_order {
+            LoopOrder::WeightStationary => tile.oc_block,
+            LoopOrder::InputStationary => tile.spatial_block,
+        };
+        let pinned_encoded = match &pinned {
+            Some((key, _, bytes)) if *key == pin_key => *bytes,
+            _ => {
+                if let Some((_, region, _)) = pinned.take() {
+                    spm.free(region);
+                }
+                let (class, raw, codec) = match morph.loop_order {
+                    LoopOrder::WeightStationary => {
+                        let raw = kernel.filter_block(tile.out.c0, tile.out.cn, 0, depth_channels(layer));
+                        (RegionClass::KernelBlock, raw, morph.compression.kernel)
+                    }
+                    LoopOrder::InputStationary => {
+                        let win = input_window(layer, &tile.out, 0, depth);
+                        let raw = window_bytes(layer, input, &win);
+                        (RegionClass::IfmapTile, raw, morph.compression.ifmap)
+                    }
+                };
+                let encoded = encode_checked(codec, &raw);
+                compression.record(codec, class == RegionClass::KernelBlock, raw.len(), encoded);
+                let region = spm.alloc(class, encoded)?;
+                let transfer = streams::load_encoded(encoded, LOAD_LANES);
+                transfer.count_events(ctx.fabric, &mut events);
+                phases.push(TilePhase {
+                    load_cycles: transfer.cycles(ctx.fabric),
+                    compute_cycles: 0,
+                    store_cycles: 0,
+                });
+                pinned = Some((pin_key, region, encoded));
+                encoded
+            }
+        };
+
+        // ---- streamed slab loads ---------------------------------------
+        let mut load_cycles = 0u64;
+        let mut streamed_encoded_total = 0usize;
+        let mut max_slab_encoded = 0usize;
+        let mut ifmap_raw_tile = 0usize; // raw ifmap bytes the tile reads
+        let mut kernel_raw_tile = 0usize; // raw kernel bytes the tile reads
+        for &(ic0, icn) in &slabs {
+            let (raw, codec, is_kernel) = match morph.loop_order {
+                LoopOrder::WeightStationary => {
+                    let win = input_window(layer, &tile.out, ic0, icn);
+                    let raw = window_bytes(layer, input, &win);
+                    (raw, morph.compression.ifmap, false)
+                }
+                LoopOrder::InputStationary => {
+                    let raw = kernel.filter_block(tile.out.c0, tile.out.cn, ic0, icn);
+                    (raw, morph.compression.kernel, true)
+                }
+            };
+            if is_kernel {
+                kernel_raw_tile += raw.len();
+            } else {
+                ifmap_raw_tile += raw.len();
+            }
+            let encoded = encode_checked(codec, &raw);
+            compression.record(codec, is_kernel, raw.len(), encoded);
+            streamed_encoded_total += encoded;
+            max_slab_encoded = max_slab_encoded.max(encoded);
+            let transfer = streams::load_encoded(encoded, LOAD_LANES);
+            transfer.count_events(ctx.fabric, &mut events);
+            load_cycles += transfer.cycles(ctx.fabric);
+        }
+        // The pinned operand contributes the *other* stream's raw bytes.
+        match morph.loop_order {
+            LoopOrder::WeightStationary => {
+                kernel_raw_tile += tile.out.cn * depth_channels(layer) * k * k
+            }
+            LoopOrder::InputStationary => {
+                let win = input_window(layer, &tile.out, 0, depth);
+                ifmap_raw_tile += match layer.kind {
+                    LayerKind::Fc { .. } => win.cn,
+                    _ => win.volume(),
+                };
+            }
+        }
+
+        // ---- scratchpad working set for this tile ----------------------
+        let slab_buf = spm.alloc(RegionClass::IfmapTile, max_slab_encoded * buffer_sets)?;
+        let acc_buf = spm.alloc(RegionClass::OfmapTile, 4 * out_vol)?;
+        let stage_buf = spm.alloc(RegionClass::OfmapTile, out_vol * buffer_sets)?;
+
+        // ---- compute ----------------------------------------------------
+        let work = TileWork {
+            out_channels: tile.out.cn,
+            spatial: tile.out.plane(),
+            macs_per_output: (depth * k * k / depth_divisor(layer)) as u64,
+        };
+        let skip_fraction = if morph.compression.kernel == Codec::Bitmask {
+            kernel_zero_fraction(kernel, tile, layer)
+        } else {
+            0.0
+        };
+        let mapping = map_tile(&work, ctx.fabric.pes(), morph.parallelism);
+        let mut pe_phase = compute_phase(&work, &mapping, skip_fraction);
+        pe_phase.pool_ops += out_vol as u64; // requantization pass
+        pe_phase.count_events(&mut events);
+        let pe_cycles = pe_phase.cycles(ctx.fabric);
+
+        // PE feed: operands stream from the scratchpad once per tile.
+        let feed_bytes = streamed_encoded_total as u64 + pinned_encoded as u64;
+        let (acc_w, acc_r) = accumulator_traffic(out_vol, slabs.len());
+        events.spm_read_bytes += feed_bytes + acc_r;
+        events.spm_write_bytes += acc_w + out_vol as u64; // staging write
+        let feed_cycles =
+            scratchpad::stream_cycles(ctx.fabric, feed_bytes + acc_r + acc_w, ctx.fabric.spm_banks);
+
+        // On-the-fly decode while feeding the PEs.
+        let decode_cycles = ctx.codec_costs.decode_cycles(morph.compression.ifmap, ifmap_raw_tile)
+            + ctx.codec_costs.decode_cycles(morph.compression.kernel, kernel_raw_tile);
+        events.priced_pj += ctx.codec_costs.energy_pj(morph.compression.ifmap, ifmap_raw_tile)
+            + ctx.codec_costs.energy_pj(morph.compression.kernel, kernel_raw_tile);
+        if morph.compression.ifmap != Codec::None {
+            events.codec_bytes += ifmap_raw_tile as u64;
+        }
+        if morph.compression.kernel != Codec::None {
+            events.codec_bytes += kernel_raw_tile as u64;
+        }
+        let compute_cycles = pe_cycles.max(feed_cycles).max(decode_cycles);
+
+        // ---- functional compute ----------------------------------------
+        let tile_out = compute_tile(layer, input, kernel, tile, shift, relu);
+
+        // ---- store -------------------------------------------------------
+        let store_cycles = if store_output {
+            let encoded = encode_checked(morph.compression.ofmap, &tile_out);
+            compression.record(morph.compression.ofmap, false, tile_out.len(), encoded);
+            let transfer =
+                streams::store_encoded(morph.compression.ofmap, tile_out.len(), encoded, ctx.codec_costs, STORE_LANES);
+            transfer.count_events(ctx.fabric, &mut events);
+            transfer.cycles(ctx.fabric)
+        } else {
+            0
+        };
+
+        write_tile(&mut output, &tile.out, &tile_out);
+        phases.push(TilePhase { load_cycles, compute_cycles, store_cycles });
+
+        spm.free(slab_buf);
+        spm.free(acc_buf);
+        spm.free(stage_buf);
+    }
+
+    let cycles = pipeline_cycles(&phases, morph.buffering);
+    events.active_cycles = cycles;
+    Ok(LayerRun {
+        output,
+        cycles,
+        events,
+        spm_peak: spm.peak(),
+        compression,
+        tiles: tile_list.len(),
+        phases,
+    })
+}
+
+/// Input channels for conv, 1 for fc (whose reduction depth already *is* the
+/// flattened volume, so `depth × k × k` must not double-count).
+fn depth_channels(layer: &Layer) -> usize {
+    match layer.kind {
+        LayerKind::Fc { .. } => reduction_depth(layer),
+        LayerKind::DwConv { .. } => 1,
+        _ => layer.input.c,
+    }
+}
+
+/// Divisor making `depth × k² / divisor` the true MACs-per-output for both
+/// conv (divisor 1) and fc (k = 1, divisor 1). Kept as a function for
+/// clarity at the call site.
+fn depth_divisor(_layer: &Layer) -> usize {
+    1
+}
+
+/// Fraction of zero weights in the kernel block a tile consumes.
+fn kernel_zero_fraction(kernel: &Kernel, tile: &OutputTile, layer: &Layer) -> f64 {
+    let block = kernel.filter_block(tile.out.c0, tile.out.cn, 0, depth_channels(layer));
+    if block.is_empty() {
+        return 0.0;
+    }
+    block.iter().filter(|&&v| v == 0).count() as f64 / block.len() as f64
+}
+
+/// Computes one output tile functionally (bit-exact), reading the input via
+/// absolute coordinates so padding behaves identically to the golden model.
+/// Returns the tile's output bytes in region-local CHW order.
+pub fn compute_tile(
+    layer: &Layer,
+    input: &Tensor<i8>,
+    kernel: &Kernel,
+    tile: &OutputTile,
+    shift: u32,
+    relu: bool,
+) -> Vec<i8> {
+    let r = &tile.out;
+    let mut out = vec![0i8; r.volume()];
+    match layer.kind {
+        LayerKind::Conv { k, stride, pad, .. } => {
+            let in_shape = layer.input;
+            for (ci, c) in (r.c0..r.c0 + r.cn).enumerate() {
+                for (yi, oy) in (r.y0..r.y0 + r.yn).enumerate() {
+                    for (xi, ox) in (r.x0..r.x0 + r.xn).enumerate() {
+                        let mut acc: i32 = 0;
+                        for ic in 0..in_shape.c {
+                            for ky in 0..k {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                if iy < 0 || iy as usize >= in_shape.h {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if ix < 0 || ix as usize >= in_shape.w {
+                                        continue;
+                                    }
+                                    acc += input.get(ic, iy as usize, ix as usize) as i32
+                                        * kernel.get(c, ic, ky, kx) as i32;
+                                }
+                            }
+                        }
+                        out[(ci * r.yn + yi) * r.xn + xi] = requantize(acc, shift, relu);
+                    }
+                }
+            }
+        }
+        LayerKind::Fc { .. } => {
+            let flat = input.data();
+            for (ci, c) in (r.c0..r.c0 + r.cn).enumerate() {
+                let w = kernel.filter(c);
+                let acc: i32 = flat.iter().zip(w).map(|(&a, &b)| a as i32 * b as i32).sum();
+                out[ci] = requantize(acc, shift, relu);
+            }
+        }
+        LayerKind::DwConv { k, stride, pad, relu } => {
+            let in_shape = layer.input;
+            for (ci, c) in (r.c0..r.c0 + r.cn).enumerate() {
+                for (yi, oy) in (r.y0..r.y0 + r.yn).enumerate() {
+                    for (xi, ox) in (r.x0..r.x0 + r.xn).enumerate() {
+                        let mut acc: i32 = 0;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= in_shape.h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix as usize >= in_shape.w {
+                                    continue;
+                                }
+                                acc += input.get(c, iy as usize, ix as usize) as i32
+                                    * kernel.get(c, 0, ky, kx) as i32;
+                            }
+                        }
+                        out[(ci * r.yn + yi) * r.xn + xi] = requantize(acc, shift, relu);
+                    }
+                }
+            }
+        }
+        LayerKind::Pool { .. } => panic!("{}: pool tile on weighted path", layer.name),
+    }
+    out
+}
+
+
+/// Writes a region-local tile buffer back into the full output tensor.
+pub fn write_tile(output: &mut Tensor<i8>, r: &Region, data: &[i8]) {
+    debug_assert_eq!(data.len(), r.volume());
+    for ci in 0..r.cn {
+        for yi in 0..r.yn {
+            for xi in 0..r.xn {
+                output.set(r.c0 + ci, r.y0 + yi, r.x0 + xi, data[(ci * r.yn + yi) * r.xn + xi]);
+            }
+        }
+    }
+}
+
+/// Executes a pooling layer under a morph configuration.
+pub fn execute_pool(
+    ctx: &ExecContext<'_>,
+    layer: &Layer,
+    input: &Tensor<i8>,
+    morph: &MorphConfig,
+    store_output: bool,
+) -> Result<LayerRun, CapacityError> {
+    let LayerKind::Pool { kind, k, stride } = layer.kind else {
+        panic!("{}: not a pool layer", layer.name);
+    };
+    let out_shape = layer.output();
+    let tiling = morph.tiling.clamp(out_shape.c, out_shape.h, out_shape.w, layer.input.c);
+    let tile_list = tiles(layer, tiling, morph.loop_order);
+    let buffer_sets = mocha_fabric::buffer_sets(morph.buffering);
+
+    let mut output = Tensor::zeros(out_shape);
+    let mut spm = Scratchpad::new(ctx.fabric);
+    let mut events = EventCounts::default();
+    let mut compression = CompressionStats::default();
+    let mut phases = Vec::with_capacity(tile_list.len());
+
+    for tile in &tile_list {
+        let win = input_window(layer, &tile.out, tile.out.c0, tile.out.cn);
+        let raw = window_bytes(layer, input, &win);
+        let encoded = encode_checked(morph.compression.ifmap, &raw);
+        compression.record(morph.compression.ifmap, false, raw.len(), encoded);
+
+        let in_buf = spm.alloc(RegionClass::IfmapTile, encoded * buffer_sets)?;
+        let out_vol = tile.out.volume();
+        let out_buf = spm.alloc(RegionClass::OfmapTile, out_vol * buffer_sets)?;
+
+        let load = streams::load_encoded(encoded, LOAD_LANES);
+        load.count_events(ctx.fabric, &mut events);
+        let load_cycles = load.cycles(ctx.fabric);
+
+        // Pooling runs on the PE array's reduction path.
+        let pool_ops = out_vol as u64 * (k * k) as u64;
+        let active = ctx.fabric.pes().min(out_vol.max(1));
+        let mut phase = mocha_fabric::ComputePhase {
+            active_pes: active,
+            max_macs_per_pe: 0,
+            total_macs: 0,
+            skipped_macs: 0,
+            max_skipped_per_pe: 0,
+            pool_ops,
+        };
+        phase.pool_ops += out_vol as u64; // output write pass
+        phase.count_events(&mut events);
+        let decode_cycles = ctx.codec_costs.decode_cycles(morph.compression.ifmap, raw.len());
+        events.priced_pj += ctx.codec_costs.energy_pj(morph.compression.ifmap, raw.len());
+        if morph.compression.ifmap != Codec::None {
+            events.codec_bytes += raw.len() as u64;
+        }
+        events.spm_read_bytes += encoded as u64;
+        events.spm_write_bytes += out_vol as u64;
+        let feed = scratchpad::stream_cycles(ctx.fabric, encoded as u64, ctx.fabric.spm_banks);
+        let compute_cycles = phase.cycles(ctx.fabric).max(feed).max(decode_cycles);
+
+        // Functional pooling.
+        let mut tile_out = vec![0i8; out_vol];
+        for (ci, c) in (tile.out.c0..tile.out.c0 + tile.out.cn).enumerate() {
+            for (yi, oy) in (tile.out.y0..tile.out.y0 + tile.out.yn).enumerate() {
+                for (xi, ox) in (tile.out.x0..tile.out.x0 + tile.out.xn).enumerate() {
+                    tile_out[(ci * tile.out.yn + yi) * tile.out.xn + xi] =
+                        mocha_model::golden::pool_window(input, kind, c, oy * stride, ox * stride, k);
+                }
+            }
+        }
+
+        let store_cycles = if store_output {
+            let enc_out = encode_checked(morph.compression.ofmap, &tile_out);
+            compression.record(morph.compression.ofmap, false, tile_out.len(), enc_out);
+            let t = streams::store_encoded(morph.compression.ofmap, tile_out.len(), enc_out, ctx.codec_costs, STORE_LANES);
+            t.count_events(ctx.fabric, &mut events);
+            t.cycles(ctx.fabric)
+        } else {
+            0
+        };
+
+        write_tile(&mut output, &tile.out, &tile_out);
+        phases.push(TilePhase { load_cycles, compute_cycles, store_cycles });
+        spm.free(in_buf);
+        spm.free(out_buf);
+    }
+
+    let cycles = pipeline_cycles(&phases, morph.buffering);
+    events.active_cycles = cycles;
+    Ok(LayerRun {
+        output,
+        cycles,
+        events,
+        spm_peak: spm.peak(),
+        compression,
+        tiles: tile_list.len(),
+        phases,
+    })
+}
+
+/// Executes any layer kind under a morph configuration.
+pub fn execute_layer(
+    ctx: &ExecContext<'_>,
+    layer: &Layer,
+    input: &Tensor<i8>,
+    kernel: Option<&Kernel>,
+    morph: &MorphConfig,
+    store_output: bool,
+) -> Result<LayerRun, CapacityError> {
+    match layer.kind {
+        LayerKind::Pool { .. } => execute_pool(ctx, layer, input, morph, store_output),
+        _ => execute_weighted(ctx, layer, input, kernel.expect("weighted layer needs kernel"), morph, store_output),
+    }
+}
+
+/// A sensible default morph configuration for a layer: whole-layer tiles if
+/// they fit, otherwise a generic blocked shape; used by tests and as the
+/// seed point of controller searches.
+pub fn default_morph(layer: &Layer) -> MorphConfig {
+    let out = layer.output();
+    let depth = reduction_depth(layer);
+    // Weight-stationary execution pins a whole `tile_oc × depth × k²` kernel
+    // block on-chip; size the block to a quarter of the default scratchpad.
+    let kk = match layer.kind {
+        LayerKind::Conv { k, .. } | LayerKind::DwConv { k, .. } => k * k,
+        _ => 1,
+    };
+    let pinned_budget = 32 * 1024;
+    let tile_oc_max = (pinned_budget / (depth * kk).max(1)).max(1);
+    MorphConfig {
+        tiling: crate::morph::Tiling {
+            tile_oc: out.c.min(64).min(tile_oc_max),
+            tile_oh: out.h.min(16),
+            tile_ow: out.w.min(16),
+            tile_ic: depth.min(256),
+        },
+        parallelism: crate::morph::Parallelism::InterFmap,
+        loop_order: LoopOrder::WeightStationary,
+        compression: crate::morph::CompressionChoice::OFF,
+        buffering: Buffering::Double,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morph::{CompressionChoice, Parallelism, Tiling};
+    use mocha_model::gen::{self, SparsityProfile, Workload};
+    use mocha_model::{golden, network};
+
+    fn ctx_objects() -> (FabricConfig, CodecCostTable) {
+        (FabricConfig::mocha(), CodecCostTable::default())
+    }
+
+    /// Runs every layer of `tiny` under `morph` and asserts bit-exactness
+    /// against the golden model.
+    fn assert_network_exact(morph_for: impl Fn(&Layer) -> MorphConfig) {
+        let (fabric, costs) = ctx_objects();
+        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 17);
+        let golden_outs = golden::forward(&w);
+        let mut current = w.input.clone();
+        for (i, layer) in w.network.layers().iter().enumerate() {
+            let morph = morph_for(layer);
+            let run = execute_layer(&ctx, layer, &current, w.kernels[i].as_ref(), &morph, true)
+                .unwrap_or_else(|e| panic!("{}: {e}", layer.name));
+            assert_eq!(run.output, golden_outs[i], "layer {} mismatch", layer.name);
+            assert!(run.cycles > 0, "layer {} took no cycles", layer.name);
+            current = run.output;
+        }
+    }
+
+    #[test]
+    fn default_morph_is_bit_exact_on_tiny() {
+        assert_network_exact(default_morph);
+    }
+
+    #[test]
+    fn compressed_execution_is_bit_exact() {
+        assert_network_exact(|l| MorphConfig {
+            compression: CompressionChoice::ON,
+            ..default_morph(l)
+        });
+    }
+
+    #[test]
+    fn input_stationary_is_bit_exact() {
+        assert_network_exact(|l| MorphConfig {
+            loop_order: LoopOrder::InputStationary,
+            ..default_morph(l)
+        });
+    }
+
+    #[test]
+    fn small_tiles_are_bit_exact() {
+        assert_network_exact(|l| MorphConfig {
+            tiling: Tiling { tile_oc: 3, tile_oh: 5, tile_ow: 7, tile_ic: 2 },
+            ..default_morph(l)
+        });
+    }
+
+    #[test]
+    fn intra_fmap_and_hybrid_are_bit_exact() {
+        assert_network_exact(|l| MorphConfig {
+            parallelism: Parallelism::IntraFmap,
+            ..default_morph(l)
+        });
+        assert_network_exact(|l| MorphConfig {
+            parallelism: Parallelism::Hybrid { fmap_groups: 4 },
+            ..default_morph(l)
+        });
+    }
+
+    #[test]
+    fn single_buffering_is_bit_exact_and_slower() {
+        let (fabric, costs) = ctx_objects();
+        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 3);
+        let layer = &w.network.layers()[0];
+        let base = default_morph(layer);
+        let single = MorphConfig { buffering: Buffering::Single, ..base };
+        let r2 = execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &base, true).unwrap();
+        let r1 = execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &single, true).unwrap();
+        assert_eq!(r1.output, r2.output);
+        assert!(r1.cycles >= r2.cycles, "single {} < double {}", r1.cycles, r2.cycles);
+        // Single buffering must use less scratchpad.
+        assert!(r1.spm_peak < r2.spm_peak, "single {} !< double {}", r1.spm_peak, r2.spm_peak);
+    }
+
+    #[test]
+    fn compression_reduces_dram_traffic_on_sparse_inputs() {
+        let (fabric, costs) = ctx_objects();
+        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let net = network::single_conv(16, 32, 32, 32, 3, 1, 1);
+        let layer = &net.layers()[0];
+        let mut rng = gen::rng(5);
+        let input = gen::clustered_activations(layer.input, 0.7, 8, &mut rng);
+        let kernel = gen::kernel(layer.kernel_shape().unwrap(), 0.5, &mut rng);
+        let base = default_morph(layer);
+        let comp = MorphConfig { compression: CompressionChoice::ON, ..base };
+        let r_raw = execute_weighted(&ctx, layer, &input, &kernel, &base, true).unwrap();
+        let r_cmp = execute_weighted(&ctx, layer, &input, &kernel, &comp, true).unwrap();
+        assert_eq!(r_raw.output, r_cmp.output);
+        assert!(
+            r_cmp.events.dram_bytes() < r_raw.events.dram_bytes(),
+            "compressed {} !< raw {}",
+            r_cmp.events.dram_bytes(),
+            r_raw.events.dram_bytes()
+        );
+        assert!(r_cmp.compression.overall_ratio() > 1.3);
+        // Zero-skipping: fewer MACs issued.
+        assert!(r_cmp.events.macs < r_raw.events.macs);
+    }
+
+    #[test]
+    fn oversized_working_set_reports_capacity_error() {
+        let (mut fabric, costs) = ctx_objects();
+        fabric.spm_banks = 1;
+        fabric.spm_bank_kb = 1; // 1 KB scratchpad
+        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let net = network::single_conv(16, 32, 32, 32, 3, 1, 1);
+        let layer = &net.layers()[0];
+        let mut rng = gen::rng(5);
+        let input = gen::activations(layer.input, 0.0, &mut rng);
+        let kernel = gen::kernel(layer.kernel_shape().unwrap(), 0.0, &mut rng);
+        let morph = MorphConfig {
+            tiling: Tiling::whole(32, 32, 32, 16),
+            ..default_morph(layer)
+        };
+        assert!(execute_weighted(&ctx, layer, &input, &kernel, &morph, true).is_err());
+    }
+
+    #[test]
+    fn skipping_store_zeroes_writeback_traffic() {
+        let (fabric, costs) = ctx_objects();
+        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 3);
+        let layer = &w.network.layers()[0];
+        let m = default_morph(layer);
+        let with = execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &m, true).unwrap();
+        let without = execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &m, false).unwrap();
+        assert_eq!(without.events.dram_write_bytes, 0);
+        assert!(with.events.dram_write_bytes > 0);
+        assert_eq!(with.output, without.output);
+    }
+
+    #[test]
+    fn spm_peak_respects_capacity() {
+        let (fabric, costs) = ctx_objects();
+        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 3);
+        for (i, layer) in w.network.layers().iter().enumerate() {
+            let run = execute_layer(&ctx, layer, &golden_input(&w, i), w.kernels[i].as_ref(), &default_morph(layer), true).unwrap();
+            assert!(run.spm_peak <= fabric.spm_bytes(), "layer {}", layer.name);
+        }
+    }
+
+    fn golden_input(w: &Workload, i: usize) -> Tensor<i8> {
+        if i == 0 {
+            w.input.clone()
+        } else {
+            golden::forward(w)[i - 1].clone()
+        }
+    }
+
+    #[test]
+    fn event_macs_match_layer_work_when_dense() {
+        let (fabric, costs) = ctx_objects();
+        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let net = network::single_conv(8, 16, 16, 8, 3, 1, 1);
+        let layer = &net.layers()[0];
+        let mut rng = gen::rng(1);
+        let input = gen::activations(layer.input, 0.5, &mut rng);
+        let kernel = gen::kernel(layer.kernel_shape().unwrap(), 0.0, &mut rng);
+        let run = execute_weighted(&ctx, layer, &input, &kernel, &default_morph(layer), true).unwrap();
+        assert_eq!(run.events.macs + run.events.macs_skipped, layer.macs());
+        assert_eq!(run.events.macs_skipped, 0);
+    }
+}

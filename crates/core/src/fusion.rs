@@ -1,0 +1,853 @@
+//! Layer merging (fusion): executing a cascade of conv/pool layers
+//! tile-by-tile without round-tripping intermediate feature maps through
+//! DRAM.
+//!
+//! A [`FusionGroup`] is a run of consecutive layers starting with a conv.
+//! Execution tiles the *final* layer's output; each tile's required region
+//! is back-propagated through the group ([`back_regions`]), the group input
+//! window is fetched once, and every member layer computes its region
+//! on-chip. Overlapping halos between adjacent tiles are **recomputed** —
+//! the classic fused-layer trade: DRAM traffic down, MACs up, on-chip
+//! buffering up. Whether that trade wins is exactly what the morphing
+//! controller evaluates per layer (experiment F7).
+//!
+//! Intermediate regions stay *raw* in the scratchpad (encoding between fused
+//! layers would cost codec energy for no wire savings); the group input is
+//! decoded at the port on arrival, and only the final output is re-encoded.
+
+use crate::morph::MorphConfig;
+use crate::parallel::{compute_phase, map_tile, TileWork};
+use crate::streams;
+use crate::tiling::{input_window, tiles, Region};
+use mocha_compress::{Codec, CodecCostTable, Compressed, CompressionStats};
+use mocha_energy::EventCounts;
+use mocha_fabric::{
+    pipeline_cycles, scratchpad, CapacityError, FabricConfig, RegionClass, Scratchpad, TilePhase,
+};
+use mocha_model::layer::{Layer, LayerKind};
+use mocha_model::tensor::{requantize, Kernel, Tensor};
+use mocha_model::TensorShape;
+
+/// A run of consecutive layers executed as one fused cascade.
+#[derive(Debug, Clone)]
+pub struct FusionGroup {
+    /// Index of the first layer within the network.
+    pub start: usize,
+    /// The member layers, in execution order.
+    pub layers: Vec<Layer>,
+}
+
+/// Maximum number of layers a group may contain. Deeper cascades explode
+/// halo recomputation and buffering without additional DRAM savings on the
+/// networks evaluated.
+pub const MAX_GROUP_DEPTH: usize = 3;
+
+impl FusionGroup {
+    /// The group's final layer.
+    pub fn last(&self) -> &Layer {
+        self.layers.last().expect("group is never empty")
+    }
+
+    /// True if the group is a single layer (no fusion).
+    pub fn is_singleton(&self) -> bool {
+        self.layers.len() == 1
+    }
+}
+
+/// Whether `next` may be appended to a group currently ending in `last`.
+///
+/// Groups start with a weighted spatial layer (conv); pool and further conv
+/// layers may cascade. Fc layers never fuse (they flatten the tensor, so
+/// there is no spatial tiling to share), and nothing fuses *after* an fc.
+pub fn can_extend(group_len: usize, last: &Layer, next: &Layer) -> bool {
+    if group_len >= MAX_GROUP_DEPTH {
+        return false;
+    }
+    let last_ok = matches!(
+        last.kind,
+        LayerKind::Conv { .. } | LayerKind::Pool { .. } | LayerKind::DwConv { .. }
+    );
+    let next_ok = matches!(
+        next.kind,
+        LayerKind::Conv { .. } | LayerKind::Pool { .. } | LayerKind::DwConv { .. }
+    );
+    // A group must begin with a conv; `group_len >= 1` callers guarantee the
+    // first member was weighted.
+    last_ok && next_ok
+}
+
+/// Back-propagates an output region of the group's final layer through every
+/// member. Returns `regions[i]` = the region of layer `i`'s *output* needed,
+/// for `i` in `0..layers.len()`, plus the group-input window as element 0 of
+/// the second return (the region of the group's input tensor).
+pub fn back_regions(layers: &[Layer], final_region: Region) -> (Vec<Region>, Region) {
+    let n = layers.len();
+    let mut regions = vec![final_region; n];
+    for i in (0..n - 1).rev() {
+        let consumer = &layers[i + 1];
+        let needed = regions[i + 1];
+        regions[i] = match consumer.kind {
+            // A conv consumer needs all of its input channels.
+            LayerKind::Conv { .. } => {
+                let w = input_window(consumer, &needed, 0, consumer.input.c);
+                Region { c0: 0, cn: consumer.input.c, ..w }
+            }
+            // Pool and depthwise consumers are per-channel: they need the
+            // same channels they produce.
+            LayerKind::Pool { .. } | LayerKind::DwConv { .. } => {
+                input_window(consumer, &needed, needed.c0, needed.cn)
+            }
+            LayerKind::Fc { .. } => unreachable!("fc never fuses"),
+        };
+    }
+    let first = &layers[0];
+    let input_win = {
+        let w = input_window(first, &regions[0], 0, first.input.c);
+        Region { c0: 0, cn: first.input.c, ..w }
+    };
+    (regions, input_win)
+}
+
+/// A partial tensor: a region's worth of data addressed by *absolute*
+/// coordinates of the full logical tensor it belongs to.
+#[derive(Debug, Clone)]
+pub struct RegionBuf {
+    /// The covered region.
+    pub region: Region,
+    /// Logical shape of the full tensor this is a piece of.
+    pub full: TensorShape,
+    data: Vec<i8>,
+}
+
+impl RegionBuf {
+    /// Allocates a zeroed region buffer.
+    pub fn zeros(region: Region, full: TensorShape) -> Self {
+        Self { region, full, data: vec![0; region.volume()] }
+    }
+
+    /// Wraps existing region-local data (CHW order within the region).
+    pub fn from_vec(region: Region, full: TensorShape, data: Vec<i8>) -> Self {
+        assert_eq!(data.len(), region.volume());
+        Self { region, full, data }
+    }
+
+    /// Value at absolute coordinates; zero outside the full tensor (padding),
+    /// panic for in-tensor coordinates the region does not cover (a region
+    /// derivation bug).
+    #[inline]
+    pub fn get(&self, c: usize, y: isize, x: isize) -> i8 {
+        if y < 0 || x < 0 || y as usize >= self.full.h || x as usize >= self.full.w {
+            return 0;
+        }
+        let (y, x) = (y as usize, x as usize);
+        assert!(
+            self.region.contains(c, y, x),
+            "read ({c},{y},{x}) outside region {:?}",
+            self.region
+        );
+        let r = &self.region;
+        self.data[((c - r.c0) * r.yn + (y - r.y0)) * r.xn + (x - r.x0)]
+    }
+
+    /// Region-local data slice.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+}
+
+/// Reader abstraction over "full tensor in DRAM" vs "region buffer in SPM".
+enum Input<'a> {
+    Full(&'a Tensor<i8>),
+    Partial(&'a RegionBuf),
+}
+
+impl Input<'_> {
+    #[inline]
+    fn get(&self, c: usize, y: isize, x: isize) -> i8 {
+        match self {
+            Input::Full(t) => {
+                let s = t.shape();
+                if y < 0 || x < 0 || y as usize >= s.h || x as usize >= s.w {
+                    0
+                } else {
+                    t.get(c, y as usize, x as usize)
+                }
+            }
+            Input::Partial(r) => r.get(c, y, x),
+        }
+    }
+}
+
+/// Computes one layer's output region from a reader (bit-exact).
+fn compute_region(layer: &Layer, input: &Input<'_>, kernel: Option<&Kernel>, out_region: Region) -> RegionBuf {
+    let full_out = layer.output();
+    let mut buf = RegionBuf::zeros(out_region, full_out);
+    let r = out_region;
+    match layer.kind {
+        LayerKind::Conv { k, stride, pad, relu, .. } => {
+            let kernel = kernel.expect("conv needs weights");
+            let in_c = layer.input.c;
+            for (ci, c) in (r.c0..r.c0 + r.cn).enumerate() {
+                for (yi, oy) in (r.y0..r.y0 + r.yn).enumerate() {
+                    for (xi, ox) in (r.x0..r.x0 + r.xn).enumerate() {
+                        let mut acc: i32 = 0;
+                        for ic in 0..in_c {
+                            for ky in 0..k {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                for kx in 0..k {
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    let a = input.get(ic, iy, ix) as i32;
+                                    if a != 0 {
+                                        acc += a * kernel.get(c, ic, ky, kx) as i32;
+                                    }
+                                }
+                            }
+                        }
+                        buf.data[(ci * r.yn + yi) * r.xn + xi] =
+                            requantize(acc, layer.requant_shift, relu);
+                    }
+                }
+            }
+        }
+        LayerKind::Pool { kind, k, stride } => {
+            for (ci, c) in (r.c0..r.c0 + r.cn).enumerate() {
+                for (yi, oy) in (r.y0..r.y0 + r.yn).enumerate() {
+                    for (xi, ox) in (r.x0..r.x0 + r.xn).enumerate() {
+                        let v = match kind {
+                            mocha_model::PoolKind::Max => {
+                                let mut m = i8::MIN;
+                                for ky in 0..k {
+                                    for kx in 0..k {
+                                        m = m.max(input.get(c, (oy * stride + ky) as isize, (ox * stride + kx) as isize));
+                                    }
+                                }
+                                m
+                            }
+                            mocha_model::PoolKind::Avg => {
+                                let mut s: i32 = 0;
+                                for ky in 0..k {
+                                    for kx in 0..k {
+                                        s += input.get(c, (oy * stride + ky) as isize, (ox * stride + kx) as isize) as i32;
+                                    }
+                                }
+                                (s / (k * k) as i32) as i8
+                            }
+                        };
+                        buf.data[(ci * r.yn + yi) * r.xn + xi] = v;
+                    }
+                }
+            }
+        }
+        LayerKind::DwConv { k, stride, pad, relu } => {
+            let kernel = kernel.expect("dwconv needs weights");
+            for (ci, c) in (r.c0..r.c0 + r.cn).enumerate() {
+                for (yi, oy) in (r.y0..r.y0 + r.yn).enumerate() {
+                    for (xi, ox) in (r.x0..r.x0 + r.xn).enumerate() {
+                        let mut acc: i32 = 0;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                let a = input.get(c, iy, ix) as i32;
+                                if a != 0 {
+                                    acc += a * kernel.get(c, 0, ky, kx) as i32;
+                                }
+                            }
+                        }
+                        buf.data[(ci * r.yn + yi) * r.xn + xi] =
+                            requantize(acc, layer.requant_shift, relu);
+                    }
+                }
+            }
+        }
+        LayerKind::Fc { .. } => unreachable!("fc never fuses"),
+    }
+    buf
+}
+
+/// Result of executing a fused group (mirrors `exec::LayerRun` but the
+/// output is the *final* layer's feature map).
+#[derive(Debug, Clone)]
+pub struct GroupRun {
+    /// The group's final output feature map.
+    pub output: Tensor<i8>,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Hardware events.
+    pub events: EventCounts,
+    /// Scratchpad high-water mark.
+    pub spm_peak: usize,
+    /// Compression accounting.
+    pub compression: CompressionStats,
+    /// Output tiles executed.
+    pub tiles: usize,
+    /// Dense MACs actually performed, including halo recomputation (≥ the
+    /// sum of member layers' nominal MACs).
+    pub performed_macs: u64,
+    /// The tile phases that were scheduled (for trace/Gantt rendering).
+    pub phases: Vec<TilePhase>,
+}
+
+const LOAD_LANES: usize = 2;
+const STORE_LANES: usize = 2;
+
+/// Executes a fused group functionally with exact timing/energy accounting.
+///
+/// `kernels[i]` must be `Some` exactly for the weighted members.
+pub fn execute_group(
+    fabric: &FabricConfig,
+    codec_costs: &CodecCostTable,
+    group: &FusionGroup,
+    input: &Tensor<i8>,
+    kernels: &[Option<&Kernel>],
+    morph: &MorphConfig,
+    store_output: bool,
+) -> Result<GroupRun, CapacityError> {
+    assert_eq!(kernels.len(), group.layers.len());
+    let last = group.last();
+    let out_shape = last.output();
+    let tiling = morph.tiling.clamp(out_shape.c, out_shape.h, out_shape.w, 1);
+    let tile_list = tiles(last, tiling, morph.loop_order);
+    let buffer_sets = mocha_fabric::buffer_sets(morph.buffering);
+
+    let mut output = Tensor::zeros(out_shape);
+    let mut spm = Scratchpad::new(fabric);
+    let mut events = EventCounts::default();
+    let mut compression = CompressionStats::default();
+    let mut phases: Vec<TilePhase> = Vec::with_capacity(tile_list.len() + group.layers.len());
+    let mut performed_macs = 0u64;
+
+    // ---- pin every member kernel once, encoded ------------------------
+    let mut kernel_regions = Vec::new();
+    let mut kernel_encoded_total = 0usize;
+    for (i, layer) in group.layers.iter().enumerate() {
+        if let Some(kernel) = kernels[i] {
+            let enc = Compressed::encode(morph.compression.kernel, kernel.data());
+            debug_assert_eq!(enc.decode(), kernel.data());
+            compression.record(morph.compression.kernel, true, kernel.data().len(), enc.bytes());
+            let region = spm.alloc(RegionClass::KernelBlock, enc.bytes())?;
+            kernel_regions.push(region);
+            kernel_encoded_total += enc.bytes();
+            let t = streams::load_encoded(enc.bytes(), LOAD_LANES);
+            t.count_events(fabric, &mut events);
+            phases.push(TilePhase { load_cycles: t.cycles(fabric), compute_cycles: 0, store_cycles: 0 });
+        } else {
+            debug_assert!(matches!(layer.kind, LayerKind::Pool { .. }));
+        }
+    }
+
+    for tile in &tile_list {
+        let (regions, input_win) = back_regions(&group.layers, tile.out);
+
+        // ---- group input window: decoded at the port, raw in SPM -------
+        // Guard the degenerate all-padding window (possible with k=1 and
+        // generous padding on the first member).
+        let raw_window: Vec<i8> = if input_win.volume() == 0 {
+            Vec::new()
+        } else {
+            input
+                .window(input_win.c0, input_win.cn, input_win.y0, input_win.yn, input_win.x0, input_win.xn)
+                .data()
+                .to_vec()
+        };
+        let enc_in = Compressed::encode(morph.compression.ifmap, &raw_window);
+        debug_assert_eq!(enc_in.decode(), raw_window);
+        compression.record(morph.compression.ifmap, false, raw_window.len(), enc_in.bytes());
+        let in_buf = spm.alloc(RegionClass::IfmapTile, raw_window.len() * buffer_sets)?;
+        let load = streams::load_decode_at_port(
+            morph.compression.ifmap,
+            raw_window.len(),
+            enc_in.bytes(),
+            codec_costs,
+            LOAD_LANES,
+        );
+        load.count_events(fabric, &mut events);
+        let load_cycles = load.cycles(fabric);
+
+        // ---- intermediate region buffers --------------------------------
+        let mut inter_bufs = Vec::new();
+        for region in regions.iter().take(regions.len() - 1) {
+            inter_bufs.push(spm.alloc(RegionClass::FusionBuffer, region.volume())?);
+        }
+        // Largest weighted member needs an i32 accumulator for its region.
+        let max_acc = group
+            .layers
+            .iter()
+            .zip(&regions)
+            .filter(|(l, _)| l.has_weights())
+            .map(|(_, r)| 4 * r.volume())
+            .max()
+            .unwrap_or(0);
+        let acc_buf = spm.alloc(RegionClass::OfmapTile, max_acc)?;
+        let stage_buf = spm.alloc(RegionClass::OfmapTile, tile.out.volume() * buffer_sets)?;
+
+        // ---- per-layer compute (sequential cascade) ----------------------
+        let mut compute_cycles = 0u64;
+        let mut current: Option<RegionBuf> = None;
+        for (i, layer) in group.layers.iter().enumerate() {
+            let region = regions[i];
+            let reader = match &current {
+                None => Input::Full({
+                    // The functional read goes through the full input tensor;
+                    // equality with the decoded window is asserted above.
+                    input
+                }),
+                Some(buf) => Input::Partial(buf),
+            };
+            let produced = compute_region(layer, &reader, kernels[i], region);
+
+            match layer.kind {
+                LayerKind::Conv { k, .. } | LayerKind::DwConv { k, .. } => {
+                    let kernel = kernels[i].expect("weighted layer needs weights");
+                    let reduction_c = if matches!(layer.kind, LayerKind::DwConv { .. }) {
+                        1
+                    } else {
+                        layer.input.c
+                    };
+                    let work = TileWork {
+                        out_channels: region.cn,
+                        spatial: region.plane(),
+                        macs_per_output: (reduction_c * k * k) as u64,
+                    };
+                    performed_macs += work.dense_macs();
+                    let skip = if morph.compression.kernel == Codec::Bitmask {
+                        kernel.sparsity()
+                    } else {
+                        0.0
+                    };
+                    let mapping = map_tile(&work, fabric.pes(), morph.parallelism);
+                    let mut phase = compute_phase(&work, &mapping, skip);
+                    phase.pool_ops += region.volume() as u64;
+                    phase.count_events(&mut events);
+                    // Kernel decode at feed: this layer's share of pinned bytes.
+                    let kraw = kernel.data().len() * region.cn / layer.output().c.max(1);
+                    let dec = codec_costs.decode_cycles(morph.compression.kernel, kraw);
+                    events.priced_pj += codec_costs.energy_pj(morph.compression.kernel, kraw);
+                    if morph.compression.kernel != Codec::None {
+                        events.codec_bytes += kraw as u64;
+                    }
+                    // Input region read + output region write (raw, on-chip).
+                    let in_bytes = match &current {
+                        None => raw_window.len(),
+                        Some(buf) => buf.data().len(),
+                    } as u64;
+                    events.spm_read_bytes += in_bytes;
+                    events.spm_write_bytes += region.volume() as u64;
+                    let feed = scratchpad::stream_cycles(fabric, in_bytes, fabric.spm_banks);
+                    compute_cycles += phase.cycles(fabric).max(feed).max(dec);
+                }
+                LayerKind::Pool { k, .. } => {
+                    let pool_ops = region.volume() as u64 * (k * k) as u64;
+                    let active = fabric.pes().min(region.volume().max(1));
+                    let phase = mocha_fabric::ComputePhase {
+                        active_pes: active,
+                        max_macs_per_pe: 0,
+                        total_macs: 0,
+                        skipped_macs: 0,
+                        max_skipped_per_pe: 0,
+                        pool_ops: pool_ops + region.volume() as u64,
+                    };
+                    phase.count_events(&mut events);
+                    let in_bytes = current.as_ref().map(|b| b.data().len()).unwrap_or(raw_window.len()) as u64;
+                    events.spm_read_bytes += in_bytes;
+                    events.spm_write_bytes += region.volume() as u64;
+                    compute_cycles += phase.cycles(fabric);
+                }
+                LayerKind::Fc { .. } => unreachable!(),
+            }
+            current = Some(produced);
+        }
+
+        // ---- store final region -----------------------------------------
+        let final_buf = current.expect("group produced no output");
+        debug_assert_eq!(final_buf.region, tile.out);
+        let store_cycles = if store_output {
+            let enc = Compressed::encode(morph.compression.ofmap, final_buf.data());
+            debug_assert_eq!(enc.decode(), final_buf.data());
+            compression.record(morph.compression.ofmap, false, final_buf.data().len(), enc.bytes());
+            let t = streams::store_encoded(
+                morph.compression.ofmap,
+                final_buf.data().len(),
+                enc.bytes(),
+                codec_costs,
+                STORE_LANES,
+            );
+            t.count_events(fabric, &mut events);
+            t.cycles(fabric)
+        } else {
+            0
+        };
+
+        crate::exec::write_tile(&mut output, &tile.out, final_buf.data());
+        phases.push(TilePhase { load_cycles, compute_cycles, store_cycles });
+
+        spm.free(in_buf);
+        for b in inter_bufs {
+            spm.free(b);
+        }
+        spm.free(acc_buf);
+        spm.free(stage_buf);
+    }
+
+    for r in kernel_regions {
+        spm.free(r);
+    }
+    // Unused but documented: kernel_encoded_total reserved for feed modeling.
+    let _ = kernel_encoded_total;
+
+    let cycles = pipeline_cycles(&phases, morph.buffering);
+    events.active_cycles = cycles;
+    Ok(GroupRun {
+        output,
+        cycles,
+        events,
+        spm_peak: spm.peak(),
+        compression,
+        tiles: tile_list.len(),
+        performed_macs,
+        phases,
+    })
+}
+
+/// Analytical mirror of [`execute_group`] for the morphing controller: same
+/// traversal, estimated stream sizes (see [`crate::plan`] for the
+/// anti-divergence contract — exact equality for uncompressed configs).
+pub fn plan_group(
+    ctx: &crate::plan::PlanContext<'_>,
+    group: &FusionGroup,
+    kernel_shapes: &[Option<mocha_model::KernelShape>],
+    morph: &MorphConfig,
+    est: &crate::plan::SparsityEstimate,
+    store_output: bool,
+) -> Result<crate::plan::LayerPlan, CapacityError> {
+    assert_eq!(kernel_shapes.len(), group.layers.len());
+    let fabric = ctx.fabric;
+    let codec_costs = ctx.codec_costs;
+    let last = group.last();
+    let out_shape = last.output();
+    let tiling = morph.tiling.clamp(out_shape.c, out_shape.h, out_shape.w, 1);
+    let tile_list = tiles(last, tiling, morph.loop_order);
+    let buffer_sets = mocha_fabric::buffer_sets(morph.buffering);
+
+    let mut spm = crate::plan::planning_scratchpad(fabric, morph);
+    let mut events = EventCounts::default();
+    let mut phases: Vec<TilePhase> = Vec::with_capacity(tile_list.len() + group.layers.len());
+
+    // Pinned kernels.
+    let mut kernel_regions = Vec::new();
+    let mut kernel_enc_bytes: Vec<usize> = Vec::with_capacity(group.layers.len());
+    for ks in kernel_shapes {
+        if let Some(ks) = ks {
+            let enc = morph.compression.kernel.estimated_size(ks.volume(), est.kernel_sparsity, 1.0);
+            kernel_enc_bytes.push(enc);
+            let region = spm.alloc(RegionClass::KernelBlock, enc)?;
+            kernel_regions.push(region);
+            let t = streams::load_encoded(enc, LOAD_LANES);
+            t.count_events(fabric, &mut events);
+            phases.push(TilePhase { load_cycles: t.cycles(fabric), compute_cycles: 0, store_cycles: 0 });
+        } else {
+            kernel_enc_bytes.push(0);
+        }
+    }
+
+    for tile in &tile_list {
+        let (regions, input_win) = back_regions(&group.layers, tile.out);
+        let raw_in = input_win.volume();
+        let enc_in = morph.compression.ifmap.estimated_size(raw_in, est.ifmap_sparsity, est.ifmap_mean_run);
+        let in_buf = spm.alloc(RegionClass::IfmapTile, raw_in * buffer_sets)?;
+        let load = streams::load_decode_at_port(morph.compression.ifmap, raw_in, enc_in, codec_costs, LOAD_LANES);
+        load.count_events(fabric, &mut events);
+        let load_cycles = load.cycles(fabric);
+
+        let mut inter_bufs = Vec::new();
+        for region in regions.iter().take(regions.len() - 1) {
+            inter_bufs.push(spm.alloc(RegionClass::FusionBuffer, region.volume())?);
+        }
+        let max_acc = group
+            .layers
+            .iter()
+            .zip(&regions)
+            .filter(|(l, _)| l.has_weights())
+            .map(|(_, r)| 4 * r.volume())
+            .max()
+            .unwrap_or(0);
+        let acc_buf = spm.alloc(RegionClass::OfmapTile, max_acc)?;
+        let stage_buf = spm.alloc(RegionClass::OfmapTile, tile.out.volume() * buffer_sets)?;
+
+        let mut compute_cycles = 0u64;
+        let mut prev_bytes = raw_in;
+        for (i, layer) in group.layers.iter().enumerate() {
+            let region = regions[i];
+            match layer.kind {
+                LayerKind::Conv { k, .. } | LayerKind::DwConv { k, .. } => {
+                    let reduction_c = if matches!(layer.kind, LayerKind::DwConv { .. }) {
+                        1
+                    } else {
+                        layer.input.c
+                    };
+                    let work = TileWork {
+                        out_channels: region.cn,
+                        spatial: region.plane(),
+                        macs_per_output: (reduction_c * k * k) as u64,
+                    };
+                    let skip = if morph.compression.kernel == Codec::Bitmask {
+                        est.kernel_sparsity
+                    } else {
+                        0.0
+                    };
+                    let mapping = map_tile(&work, fabric.pes(), morph.parallelism);
+                    let mut phase = compute_phase(&work, &mapping, skip);
+                    phase.pool_ops += region.volume() as u64;
+                    phase.count_events(&mut events);
+                    let kraw = kernel_shapes[i].as_ref().map(|k| k.volume()).unwrap_or(0) * region.cn
+                        / layer.output().c.max(1);
+                    let dec = codec_costs.decode_cycles(morph.compression.kernel, kraw);
+                    events.priced_pj += codec_costs.energy_pj(morph.compression.kernel, kraw);
+                    if morph.compression.kernel != Codec::None {
+                        events.codec_bytes += kraw as u64;
+                    }
+                    events.spm_read_bytes += prev_bytes as u64;
+                    events.spm_write_bytes += region.volume() as u64;
+                    let feed = scratchpad::stream_cycles(fabric, prev_bytes as u64, fabric.spm_banks);
+                    compute_cycles += phase.cycles(fabric).max(feed).max(dec);
+                }
+                LayerKind::Pool { k, .. } => {
+                    let pool_ops = region.volume() as u64 * (k * k) as u64;
+                    let active = fabric.pes().min(region.volume().max(1));
+                    let phase = mocha_fabric::ComputePhase {
+                        active_pes: active,
+                        max_macs_per_pe: 0,
+                        total_macs: 0,
+                        skipped_macs: 0,
+                        max_skipped_per_pe: 0,
+                        pool_ops: pool_ops + region.volume() as u64,
+                    };
+                    phase.count_events(&mut events);
+                    events.spm_read_bytes += prev_bytes as u64;
+                    events.spm_write_bytes += region.volume() as u64;
+                    compute_cycles += phase.cycles(fabric);
+                }
+                LayerKind::Fc { .. } => unreachable!(),
+            }
+            prev_bytes = region.volume();
+        }
+
+        let store_cycles = if store_output {
+            let out_vol = tile.out.volume();
+            let enc = morph.compression.ofmap.estimated_size(out_vol, est.ofmap_sparsity, est.ofmap_mean_run);
+            let t = streams::store_encoded(morph.compression.ofmap, out_vol, enc, codec_costs, STORE_LANES);
+            t.count_events(fabric, &mut events);
+            t.cycles(fabric)
+        } else {
+            0
+        };
+
+        phases.push(TilePhase { load_cycles, compute_cycles, store_cycles });
+        spm.free(in_buf);
+        for b in inter_bufs {
+            spm.free(b);
+        }
+        spm.free(acc_buf);
+        spm.free(stage_buf);
+    }
+
+    for r in kernel_regions {
+        spm.free(r);
+    }
+
+    let cycles = pipeline_cycles(&phases, morph.buffering);
+    events.active_cycles = cycles;
+    let energy_pj = ctx.energy.price(&events).total_pj();
+    Ok(crate::plan::LayerPlan {
+        cycles,
+        events,
+        energy_pj,
+        spm_peak: spm.peak(),
+        dram_bytes: events.dram_bytes(),
+        tiles: tile_list.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::default_morph;
+    use crate::morph::CompressionChoice;
+    use mocha_model::gen::{SparsityProfile, Workload};
+    use mocha_model::{golden, network};
+
+    fn tiny_group(w: &Workload, start: usize, len: usize) -> (FusionGroup, Vec<Option<&Kernel>>) {
+        let layers: Vec<Layer> = w.network.layers()[start..start + len].to_vec();
+        let kernels: Vec<Option<&Kernel>> =
+            (start..start + len).map(|i| w.kernels[i].as_ref()).collect();
+        (FusionGroup { start, layers }, kernels)
+    }
+
+    #[test]
+    fn back_regions_conv_pool() {
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 1);
+        // conv1 (16x32x32 out) + pool1 (16x16x16 out).
+        let (group, _) = tiny_group(&w, 0, 2);
+        let final_region = Region { c0: 0, cn: 8, y0: 0, yn: 4, x0: 0, xn: 4 };
+        let (regions, input_win) = back_regions(&group.layers, final_region);
+        // Pool k2s2: conv must produce rows [0, 8) of channels [0, 8).
+        assert_eq!(regions[0], Region { c0: 0, cn: 8, y0: 0, yn: 8, x0: 0, xn: 8 });
+        assert_eq!(regions[1], final_region);
+        // Conv k5s1p2: input rows [0, 10) after clip, all 3 channels.
+        assert_eq!(input_win.c0, 0);
+        assert_eq!(input_win.cn, 3);
+        assert_eq!((input_win.y0, input_win.yn), (0, 10));
+    }
+
+    #[test]
+    fn back_regions_conv_conv_needs_all_producer_channels() {
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 1);
+        // conv2 (32 out) + conv3-like? tiny: conv2 at index 2, pool2 at 3,
+        // conv3 at 4. Build conv2+pool2+conv3.
+        let (group, _) = tiny_group(&w, 2, 3);
+        let final_region = Region { c0: 0, cn: 16, y0: 0, yn: 2, x0: 0, xn: 2 };
+        let (regions, _) = back_regions(&group.layers, final_region);
+        // conv3 consumer: needs ALL 32 channels of pool2's output.
+        assert_eq!(regions[1].cn, 32);
+        assert_eq!(regions[0].cn, 32);
+    }
+
+    #[test]
+    fn fused_conv_pool_is_bit_exact() {
+        let fabric = FabricConfig::mocha();
+        let costs = CodecCostTable::default();
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 7);
+        let golden_outs = golden::forward(&w);
+        let (group, kernels) = tiny_group(&w, 0, 2);
+        let morph = default_morph(group.last());
+        let run = execute_group(&fabric, &costs, &group, &w.input, &kernels, &morph, true).unwrap();
+        assert_eq!(run.output, golden_outs[1], "fused conv+pool mismatch");
+        assert!(run.performed_macs >= w.network.layers()[0].macs());
+    }
+
+    #[test]
+    fn fused_three_layer_cascade_is_bit_exact() {
+        let fabric = FabricConfig::mocha();
+        let costs = CodecCostTable::default();
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 7);
+        let golden_outs = golden::forward(&w);
+        // conv2+pool2+conv3 starting from pool1's output.
+        let (group, kernels) = tiny_group(&w, 2, 3);
+        let morph = default_morph(group.last());
+        let run = execute_group(&fabric, &costs, &group, &golden_outs[1], &kernels, &morph, true).unwrap();
+        assert_eq!(run.output, golden_outs[4], "fused 3-layer cascade mismatch");
+    }
+
+    #[test]
+    fn fused_compressed_is_bit_exact_and_reduces_dram() {
+        let fabric = FabricConfig::mocha();
+        let costs = CodecCostTable::default();
+        let w = Workload::generate(network::tiny(), SparsityProfile::SPARSE, 7);
+        let golden_outs = golden::forward(&w);
+        let (group, kernels) = tiny_group(&w, 0, 2);
+        let base = default_morph(group.last());
+        // Max-pooling densifies the output, so forcing ZRLE on the ofmap can
+        // inflate writes (the F8 crossover the controller must navigate);
+        // compress only the input and kernel streams here.
+        let comp = MorphConfig {
+            compression: crate::morph::CompressionChoice {
+                ofmap: Codec::None,
+                ..CompressionChoice::ON
+            },
+            ..base
+        };
+        let raw = execute_group(&fabric, &costs, &group, &w.input, &kernels, &base, true).unwrap();
+        let cmp = execute_group(&fabric, &costs, &group, &w.input, &kernels, &comp, true).unwrap();
+        assert_eq!(raw.output, golden_outs[1]);
+        assert_eq!(cmp.output, golden_outs[1]);
+        assert!(cmp.events.dram_bytes() < raw.events.dram_bytes());
+    }
+
+    #[test]
+    fn fusion_eliminates_intermediate_dram_traffic() {
+        let fabric = FabricConfig::mocha();
+        let costs = CodecCostTable::default();
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 7);
+        let golden_outs = golden::forward(&w);
+        let (group, kernels) = tiny_group(&w, 0, 2);
+        let morph = default_morph(group.last());
+        let fused = execute_group(&fabric, &costs, &group, &w.input, &kernels, &morph, true).unwrap();
+
+        // Unfused: conv1 stores its output, pool1 reloads it.
+        let ectx = crate::exec::ExecContext { fabric: &fabric, codec_costs: &costs };
+        let conv_morph = default_morph(&w.network.layers()[0]);
+        let pool_morph = default_morph(&w.network.layers()[1]);
+        let r0 =
+            crate::exec::execute_layer(&ectx, &w.network.layers()[0], &w.input, w.kernels[0].as_ref(), &conv_morph, true)
+                .unwrap();
+        let r1 =
+            crate::exec::execute_layer(&ectx, &w.network.layers()[1], &golden_outs[0], None, &pool_morph, true).unwrap();
+        let unfused_dram = r0.events.dram_bytes() + r1.events.dram_bytes();
+        assert!(
+            fused.events.dram_bytes() < unfused_dram,
+            "fused {} !< unfused {unfused_dram}",
+            fused.events.dram_bytes()
+        );
+    }
+
+    #[test]
+    fn can_extend_rules() {
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 1);
+        let l = w.network.layers();
+        // conv -> pool: yes.
+        assert!(can_extend(1, &l[0], &l[1]));
+        // pool -> conv: yes (cascade continues).
+        assert!(can_extend(2, &l[1], &l[2]));
+        // anything -> fc: no.
+        assert!(!can_extend(1, &l[4], &l[5]));
+        // depth cap.
+        assert!(!can_extend(MAX_GROUP_DEPTH, &l[0], &l[1]));
+    }
+
+    #[test]
+    fn region_buf_absolute_addressing_and_padding() {
+        let region = Region { c0: 1, cn: 1, y0: 2, yn: 2, x0: 3, xn: 2 };
+        let full = TensorShape::new(4, 8, 8);
+        let buf = RegionBuf::from_vec(region, full, vec![10, 20, 30, 40]);
+        assert_eq!(buf.get(1, 2, 3), 10);
+        assert_eq!(buf.get(1, 2, 4), 20);
+        assert_eq!(buf.get(1, 3, 3), 30);
+        assert_eq!(buf.get(1, 3, 4), 40);
+        // Outside the full tensor = padding zero.
+        assert_eq!(buf.get(1, -1, 3), 0);
+        assert_eq!(buf.get(1, 2, 100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside region")]
+    fn region_buf_rejects_uncovered_reads() {
+        let region = Region { c0: 0, cn: 1, y0: 2, yn: 2, x0: 3, xn: 2 };
+        let buf = RegionBuf::zeros(region, TensorShape::new(4, 8, 8));
+        buf.get(0, 0, 0);
+    }
+
+    #[test]
+    fn plan_group_equals_exec_group_when_uncompressed() {
+        let fabric = FabricConfig::mocha();
+        let costs = CodecCostTable::default();
+        let energy = mocha_energy::EnergyTable::default();
+        let pctx = crate::plan::PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 7);
+        for (start, len) in [(0usize, 2usize), (2, 3)] {
+            let input = if start == 0 {
+                w.input.clone()
+            } else {
+                golden::forward(&w)[start - 1].clone()
+            };
+            let (group, kernels) = tiny_group(&w, start, len);
+            let shapes: Vec<_> = group.layers.iter().map(|l| l.kernel_shape()).collect();
+            let morph = default_morph(group.last());
+            let run = execute_group(&fabric, &costs, &group, &input, &kernels, &morph, true).unwrap();
+            let plan = plan_group(&pctx, &group, &shapes, &morph, &crate::plan::SparsityEstimate::DENSE, true).unwrap();
+            assert_eq!(plan.cycles, run.cycles, "group@{start} cycles");
+            assert_eq!(plan.dram_bytes, run.events.dram_bytes(), "group@{start} dram");
+            assert_eq!(plan.spm_peak, run.spm_peak, "group@{start} spm");
+            assert_eq!(plan.events.macs, run.events.macs, "group@{start} macs");
+        }
+    }
+}

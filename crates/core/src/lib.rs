@@ -1,0 +1,47 @@
+//! # mocha-core
+//!
+//! The paper's primary contribution: the morphable, compression-aware CNN
+//! accelerator. The crate layers as
+//!
+//! * [`morph`] — the configuration space (tiling, parallelism, loop order,
+//!   per-stream codecs, buffering) the controller chooses from;
+//! * [`tiling`] / [`parallel`] — tile geometry and PE-array mapping;
+//! * [`streams`] — codec-aware memory-path transfers;
+//! * [`exec`] — bit-exact functional execution of one layer with exact
+//!   timing/energy accounting;
+//! * [`plan`] — the analytical mirror of `exec` the controller uses to
+//!   search the configuration space without touching data;
+//! * [`fusion`] — layer merging (cascaded execution of conv/pool groups
+//!   without DRAM round-trips);
+//! * [`controller`] — the "intelligence": per-layer design-space search
+//!   under resource constraints;
+//! * [`baseline`] — prior-art accelerator models (fixed single-optimization
+//!   policies, no compression);
+//! * [`simulator`] — whole-network orchestration producing the metrics the
+//!   experiments report.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod controller;
+pub mod dse;
+pub mod exec;
+pub mod fusion;
+pub mod metrics;
+pub mod morph;
+pub mod parallel;
+pub mod plan;
+pub mod simulator;
+pub mod streams;
+pub mod tiling;
+pub mod trace;
+
+pub use baseline::Accelerator;
+pub use controller::{decide, Decision, Policy};
+pub use dse::{explore_layer, pareto_front, DesignPoint};
+pub use exec::{execute_layer, ExecContext, LayerRun};
+pub use metrics::{GroupMetrics, RunMetrics};
+pub use morph::{CompressionChoice, LoopOrder, MorphConfig, Objective, Parallelism, Tiling};
+pub use plan::{plan_layer, LayerPlan, PlanContext, SparsityEstimate};
+pub use simulator::Simulator;
+pub use trace::Trace;

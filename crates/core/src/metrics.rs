@@ -1,0 +1,173 @@
+//! Run metrics: what one simulated network execution reports.
+
+use crate::morph::MorphConfig;
+use mocha_compress::CompressionStats;
+use mocha_energy::{EnergyBreakdown, EnergyTable, EventCounts, PerfReport};
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one executed group (a single layer or a fused cascade).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupMetrics {
+    /// Names of the member layers (`["conv1"]` or `["conv1","pool1"]`).
+    pub layers: Vec<String>,
+    /// The configuration the controller chose.
+    pub morph: MorphConfig,
+    /// Cycles the group took.
+    pub cycles: u64,
+    /// Hardware events.
+    pub events: EventCounts,
+    /// Priced energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Scratchpad high-water mark during the group, bytes.
+    pub spm_peak: usize,
+    /// Compression accounting.
+    pub compression: CompressionStats,
+    /// Nominal dense MACs of the member layers (work accomplished).
+    pub work_macs: u64,
+    /// Candidate configurations the controller scored.
+    pub candidates: usize,
+    /// The tile phases that were scheduled (for trace/Gantt rendering;
+    /// ~24 bytes per tile).
+    pub phases: Vec<mocha_fabric::TilePhase>,
+}
+
+impl GroupMetrics {
+    /// Display name: member layer names joined with `+`.
+    pub fn name(&self) -> String {
+        self.layers.join("+")
+    }
+
+    /// Throughput of the group in GOPS at the given clock.
+    pub fn gops(&self, clock_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let seconds = self.cycles as f64 / (clock_ghz * 1e9);
+        2.0 * self.work_macs as f64 / seconds / 1e9
+    }
+
+    /// Energy efficiency of the group in GOPS/W.
+    pub fn gops_per_watt(&self) -> f64 {
+        let joules = self.energy.total_pj() / 1e12;
+        if joules == 0.0 {
+            return 0.0;
+        }
+        2.0 * self.work_macs as f64 / 1e9 / joules
+    }
+}
+
+/// Metrics of a whole-network run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Network name.
+    pub network: String,
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Per-group metrics in execution order.
+    pub groups: Vec<GroupMetrics>,
+}
+
+impl RunMetrics {
+    /// Total cycles (groups execute back-to-back).
+    pub fn cycles(&self) -> u64 {
+        self.groups.iter().map(|g| g.cycles).sum()
+    }
+
+    /// Merged event counts.
+    pub fn events(&self) -> EventCounts {
+        let mut e = EventCounts::default();
+        for g in &self.groups {
+            e.merge(&g.events);
+        }
+        e
+    }
+
+    /// Total work in dense MACs.
+    pub fn work_macs(&self) -> u64 {
+        self.groups.iter().map(|g| g.work_macs).sum()
+    }
+
+    /// Peak on-chip storage over the run (scratchpad is reused per group).
+    pub fn peak_storage(&self) -> usize {
+        self.groups.iter().map(|g| g.spm_peak).max().unwrap_or(0)
+    }
+
+    /// Merged compression accounting.
+    pub fn compression(&self) -> CompressionStats {
+        let mut c = CompressionStats::default();
+        for g in &self.groups {
+            c.merge(&g.compression);
+        }
+        c
+    }
+
+    /// Prices the run into the paper's reporting metrics.
+    pub fn report(&self, table: &EnergyTable) -> PerfReport {
+        let events = self.events();
+        PerfReport::new(
+            self.cycles(),
+            self.work_macs(),
+            table.price(&events),
+            self.peak_storage() as u64,
+            events.dram_bytes(),
+            table,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::default_morph;
+    use mocha_model::network;
+
+    fn group(cycles: u64, macs: u64, spm: usize) -> GroupMetrics {
+        let net = network::tiny();
+        let layer = &net.layers()[0];
+        GroupMetrics {
+            layers: vec![layer.name.clone()],
+            morph: default_morph(layer),
+            cycles,
+            events: EventCounts { macs, active_cycles: cycles, ..Default::default() },
+            energy: EnergyBreakdown { compute_pj: macs as f64 * 0.2, ..Default::default() },
+            spm_peak: spm,
+            compression: CompressionStats::default(),
+            work_macs: macs,
+            candidates: 1,
+            phases: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_groups() {
+        let run = RunMetrics {
+            network: "t".into(),
+            accelerator: "mocha".into(),
+            groups: vec![group(100, 1000, 64), group(200, 3000, 128)],
+        };
+        assert_eq!(run.cycles(), 300);
+        assert_eq!(run.work_macs(), 4000);
+        assert_eq!(run.peak_storage(), 128);
+        assert_eq!(run.events().macs, 4000);
+    }
+
+    #[test]
+    fn report_uses_peak_not_sum_for_storage() {
+        let run = RunMetrics {
+            network: "t".into(),
+            accelerator: "mocha".into(),
+            groups: vec![group(100, 1000, 64), group(200, 3000, 128)],
+        };
+        let r = run.report(&EnergyTable::default());
+        assert_eq!(r.peak_storage_bytes, 128);
+        assert_eq!(r.cycles, 300);
+        assert!(r.gops() > 0.0);
+    }
+
+    #[test]
+    fn group_gops_math() {
+        let g = group(1_000_000, 32_000_000, 0);
+        // 64e6 ops in 2 ms at 0.5 GHz = 32 GOPS.
+        assert!((g.gops(0.5) - 32.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,247 @@
+//! The morph configuration space — everything the MOCHA controller can
+//! reconfigure per layer (or per fused layer group).
+//!
+//! The abstract's three differentiators map to axes here:
+//!
+//! * **compression** — per-stream codec choice ([`CompressionChoice`]);
+//! * **flexibility to interleave optimizations** — tiling shape
+//!   ([`Tiling`]), PE-array partitioning ([`Parallelism`]), loop order
+//!   ([`LoopOrder`]) and buffering depth are all free per layer;
+//! * **cascading** — fusion depth is decided at the group level (see
+//!   `fusion`), and a fused group's members each still carry their own
+//!   [`MorphConfig`], i.e. optimizations cascade.
+
+use mocha_compress::Codec;
+use mocha_fabric::Buffering;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Output-space tile shape for one layer.
+///
+/// Tiling is over the *output* tensor (output channels × spatial block) plus
+/// a reduction slab over input channels; every output element belongs to
+/// exactly one tile, and input-channel slabs accumulate into an on-chip
+/// i32 buffer (partial sums never touch DRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tiling {
+    /// Output channels per tile.
+    pub tile_oc: usize,
+    /// Output rows per tile.
+    pub tile_oh: usize,
+    /// Output columns per tile.
+    pub tile_ow: usize,
+    /// Input channels per reduction slab.
+    pub tile_ic: usize,
+}
+
+impl Tiling {
+    /// A tiling covering the whole layer in one tile (no tiling) — what a
+    /// layer that fits entirely on-chip uses.
+    pub fn whole(out_c: usize, out_h: usize, out_w: usize, in_c: usize) -> Self {
+        Self { tile_oc: out_c, tile_oh: out_h, tile_ow: out_w, tile_ic: in_c }
+    }
+
+    /// Clamps the tile to the layer's actual dimensions (menus propose
+    /// power-of-two shapes that may exceed small layers).
+    pub fn clamp(self, out_c: usize, out_h: usize, out_w: usize, in_c: usize) -> Self {
+        Self {
+            tile_oc: self.tile_oc.min(out_c).max(1),
+            tile_oh: self.tile_oh.min(out_h).max(1),
+            tile_ow: self.tile_ow.min(out_w).max(1),
+            tile_ic: self.tile_ic.min(in_c).max(1),
+        }
+    }
+
+    /// Number of tiles along each axis for the given layer dims, as
+    /// `(oc_blocks, oh_blocks, ow_blocks, ic_slabs)`.
+    pub fn counts(&self, out_c: usize, out_h: usize, out_w: usize, in_c: usize) -> (usize, usize, usize, usize) {
+        (
+            out_c.div_ceil(self.tile_oc),
+            out_h.div_ceil(self.tile_oh),
+            out_w.div_ceil(self.tile_ow),
+            in_c.div_ceil(self.tile_ic),
+        )
+    }
+}
+
+impl fmt::Display for Tiling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oc{}·{}x{}·ic{}", self.tile_oc, self.tile_oh, self.tile_ow, self.tile_ic)
+    }
+}
+
+/// How a tile's work is spread over the PE array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// PEs split the *spatial positions* of the same feature maps
+    /// (intra-feature-map parallelism): efficient when tiles are spatially
+    /// large but channel-narrow (early conv layers).
+    IntraFmap,
+    /// PEs each own different *output channels* (inter-feature-map
+    /// parallelism): efficient when tiles are channel-rich (late conv
+    /// layers, fc).
+    InterFmap,
+    /// The grid is split `fmap_groups` ways over output channels and the
+    /// PEs within a group split spatial positions — the interleaved mode
+    /// only a morphable fabric offers.
+    Hybrid {
+        /// Number of output-channel groups the PE array is divided into.
+        fmap_groups: usize,
+    },
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::IntraFmap => write!(f, "intra"),
+            Parallelism::InterFmap => write!(f, "inter"),
+            Parallelism::Hybrid { fmap_groups } => write!(f, "hyb{fmap_groups}"),
+        }
+    }
+}
+
+/// Loop order of the tile traversal — which operand stays resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopOrder {
+    /// Output-channel blocks outermost: a kernel block is fetched once and
+    /// pinned while all spatial tiles stream past it (weight-stationary).
+    /// Input windows are re-fetched once per output-channel block.
+    WeightStationary,
+    /// Spatial tiles outermost: an input window is fetched once and pinned
+    /// while all output-channel blocks stream past it (input-stationary).
+    /// Kernel blocks are re-fetched once per spatial tile.
+    InputStationary,
+}
+
+impl fmt::Display for LoopOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopOrder::WeightStationary => write!(f, "ws"),
+            LoopOrder::InputStationary => write!(f, "is"),
+        }
+    }
+}
+
+/// Per-stream codec selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CompressionChoice {
+    /// Codec for input feature-map streams.
+    pub ifmap: Codec,
+    /// Codec for kernel streams.
+    pub kernel: Codec,
+    /// Codec for output feature-map writeback.
+    pub ofmap: Codec,
+}
+
+impl CompressionChoice {
+    /// Everything uncompressed — what baselines and low-sparsity layers use.
+    pub const OFF: Self = Self { ifmap: Codec::None, kernel: Codec::None, ofmap: Codec::None };
+
+    /// The natural pairing: run-length for activations, bitmask for weights.
+    pub const ON: Self = Self { ifmap: Codec::Zrle, kernel: Codec::Bitmask, ofmap: Codec::Zrle };
+
+    /// True if any stream is compressed.
+    pub fn any(&self) -> bool {
+        self.ifmap != Codec::None || self.kernel != Codec::None || self.ofmap != Codec::None
+    }
+}
+
+impl fmt::Display for CompressionChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i:{}/k:{}/o:{}", self.ifmap.name(), self.kernel.name(), self.ofmap.name())
+    }
+}
+
+/// The complete morph configuration of one layer's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MorphConfig {
+    /// Output tile shape.
+    pub tiling: Tiling,
+    /// PE-array partitioning.
+    pub parallelism: Parallelism,
+    /// Tile traversal order.
+    pub loop_order: LoopOrder,
+    /// Per-stream codecs.
+    pub compression: CompressionChoice,
+    /// Tile pipeline buffering depth.
+    pub buffering: Buffering,
+}
+
+impl fmt::Display for MorphConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {} {} {}]",
+            self.tiling,
+            self.parallelism,
+            self.loop_order,
+            self.compression,
+            match self.buffering {
+                Buffering::Single => "1buf",
+                Buffering::Double => "2buf",
+            }
+        )
+    }
+}
+
+/// Objective the controller optimizes when ranking candidate configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize total cycles (maximize throughput).
+    Throughput,
+    /// Minimize total energy.
+    Energy,
+    /// Minimize energy-delay product (the default balanced objective).
+    Edp,
+    /// Minimize peak on-chip storage.
+    Storage,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_tiling_yields_single_tile() {
+        let t = Tiling::whole(96, 55, 55, 3);
+        assert_eq!(t.counts(96, 55, 55, 3), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn counts_round_up() {
+        let t = Tiling { tile_oc: 32, tile_oh: 16, tile_ow: 16, tile_ic: 4 };
+        assert_eq!(t.counts(96, 55, 55, 3), (3, 4, 4, 1));
+    }
+
+    #[test]
+    fn clamp_respects_layer_dims() {
+        let t = Tiling { tile_oc: 128, tile_oh: 64, tile_ow: 64, tile_ic: 512 };
+        let c = t.clamp(96, 55, 55, 3);
+        assert_eq!(c, Tiling { tile_oc: 96, tile_oh: 55, tile_ow: 55, tile_ic: 3 });
+    }
+
+    #[test]
+    fn compression_choice_any() {
+        assert!(!CompressionChoice::OFF.any());
+        assert!(CompressionChoice::ON.any());
+        let partial = CompressionChoice { ifmap: Codec::Zrle, kernel: Codec::None, ofmap: Codec::None };
+        assert!(partial.any());
+    }
+
+    #[test]
+    fn display_is_compact_and_informative() {
+        let m = MorphConfig {
+            tiling: Tiling { tile_oc: 32, tile_oh: 8, tile_ow: 8, tile_ic: 16 },
+            parallelism: Parallelism::Hybrid { fmap_groups: 4 },
+            loop_order: LoopOrder::WeightStationary,
+            compression: CompressionChoice::ON,
+            buffering: Buffering::Double,
+        };
+        let s = m.to_string();
+        assert!(s.contains("oc32·8x8·ic16"));
+        assert!(s.contains("hyb4"));
+        assert!(s.contains("ws"));
+        assert!(s.contains("zrle"));
+        assert!(s.contains("2buf"));
+    }
+}

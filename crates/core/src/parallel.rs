@@ -1,0 +1,215 @@
+//! PE-array partitioning: turning one tile's work into a
+//! [`mocha_fabric::ComputePhase`].
+//!
+//! This is where intra- vs inter-feature-map parallelism (and their hybrid
+//! interleaving) become concrete: each mode fills the PE grid differently,
+//! and each leaves different utilization holes depending on the tile's shape
+//! — the effect behind the F5 policy crossovers.
+
+use crate::morph::Parallelism;
+use mocha_fabric::ComputePhase;
+use serde::{Deserialize, Serialize};
+
+/// Work shape of one tile, independent of mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileWork {
+    /// Output channels in the tile.
+    pub out_channels: usize,
+    /// Spatial output positions in the tile (`yn × xn`).
+    pub spatial: usize,
+    /// Dense MACs per output element in this reduction slab
+    /// (`icn × k × k` for conv, `icn` for fc).
+    pub macs_per_output: u64,
+}
+
+impl TileWork {
+    /// Total dense MACs of the tile×slab.
+    pub fn dense_macs(&self) -> u64 {
+        self.out_channels as u64 * self.spatial as u64 * self.macs_per_output
+    }
+}
+
+/// The result of mapping a tile onto the PE grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// PEs that received work.
+    pub active_pes: usize,
+    /// Dense MACs on the most-loaded PE (before zero-skipping).
+    pub max_dense_per_pe: u64,
+}
+
+impl Mapping {
+    /// Utilization of the whole grid during the phase: useful MACs over
+    /// issued slots (`pes × makespan`).
+    pub fn utilization(&self, work: &TileWork, grid_pes: usize) -> f64 {
+        if self.max_dense_per_pe == 0 {
+            return 0.0;
+        }
+        work.dense_macs() as f64 / (grid_pes as u64 * self.max_dense_per_pe) as f64
+    }
+}
+
+/// Maps `work` onto a grid of `pes` PEs under the given parallelism mode.
+pub fn map_tile(work: &TileWork, pes: usize, mode: Parallelism) -> Mapping {
+    assert!(pes > 0, "grid must have PEs");
+    if work.dense_macs() == 0 {
+        return Mapping { active_pes: 0, max_dense_per_pe: 0 };
+    }
+    match mode {
+        Parallelism::InterFmap => {
+            let active = pes.min(work.out_channels);
+            let ch_per_pe = work.out_channels.div_ceil(active);
+            Mapping {
+                active_pes: active,
+                max_dense_per_pe: ch_per_pe as u64 * work.spatial as u64 * work.macs_per_output,
+            }
+        }
+        Parallelism::IntraFmap => {
+            let active = pes.min(work.spatial);
+            let pos_per_pe = work.spatial.div_ceil(active);
+            Mapping {
+                active_pes: active,
+                max_dense_per_pe: pos_per_pe as u64 * work.out_channels as u64 * work.macs_per_output,
+            }
+        }
+        Parallelism::Hybrid { fmap_groups } => {
+            let groups = fmap_groups.clamp(1, pes).min(work.out_channels);
+            let pes_per_group = pes / groups;
+            assert!(pes_per_group > 0, "more groups than PEs");
+            let ch_per_group = work.out_channels.div_ceil(groups);
+            let active_per_group = pes_per_group.min(work.spatial);
+            let pos_per_pe = work.spatial.div_ceil(active_per_group);
+            Mapping {
+                active_pes: groups * active_per_group,
+                max_dense_per_pe: pos_per_pe as u64 * ch_per_group as u64 * work.macs_per_output,
+            }
+        }
+    }
+}
+
+/// Builds the fabric compute phase for a mapped tile, applying the
+/// zero-skip fraction (0 when the kernel stream is not bitmask-compressed).
+pub fn compute_phase(work: &TileWork, mapping: &Mapping, skip_fraction: f64) -> ComputePhase {
+    let dense = work.dense_macs();
+    let skipped = (dense as f64 * skip_fraction).round() as u64;
+    let issued = dense - skipped;
+    let max_dense = mapping.max_dense_per_pe;
+    let max_skipped = (max_dense as f64 * skip_fraction).round() as u64;
+    ComputePhase {
+        active_pes: mapping.active_pes,
+        max_macs_per_pe: max_dense - max_skipped,
+        total_macs: issued,
+        skipped_macs: skipped,
+        max_skipped_per_pe: max_skipped,
+        pool_ops: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PES: usize = 64;
+
+    #[test]
+    fn inter_fmap_saturates_on_channel_rich_tiles() {
+        let w = TileWork { out_channels: 256, spatial: 4, macs_per_output: 9 };
+        let m = map_tile(&w, PES, Parallelism::InterFmap);
+        assert_eq!(m.active_pes, 64);
+        assert_eq!(m.max_dense_per_pe, 4 * 4 * 9);
+        assert!((m.utilization(&w, PES) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inter_fmap_starves_on_channel_poor_tiles() {
+        let w = TileWork { out_channels: 4, spatial: 1024, macs_per_output: 9 };
+        let m = map_tile(&w, PES, Parallelism::InterFmap);
+        assert_eq!(m.active_pes, 4);
+        assert!(m.utilization(&w, PES) < 0.1);
+    }
+
+    #[test]
+    fn intra_fmap_saturates_on_spatially_rich_tiles() {
+        let w = TileWork { out_channels: 4, spatial: 1024, macs_per_output: 9 };
+        let m = map_tile(&w, PES, Parallelism::IntraFmap);
+        assert_eq!(m.active_pes, 64);
+        assert!((m.utilization(&w, PES) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intra_fmap_starves_on_fc_tiles() {
+        // Fc has spatial = 1: intra-fmap collapses to one PE.
+        let w = TileWork { out_channels: 512, spatial: 1, macs_per_output: 4096 };
+        let m = map_tile(&w, PES, Parallelism::IntraFmap);
+        assert_eq!(m.active_pes, 1);
+    }
+
+    #[test]
+    fn hybrid_covers_middling_shapes_better_than_either_pure_mode() {
+        // 16 channels, 16 positions: inter uses 16 PEs, intra uses 16 PEs,
+        // hybrid 4×16 uses all 64.
+        let w = TileWork { out_channels: 16, spatial: 16, macs_per_output: 9 };
+        let inter = map_tile(&w, PES, Parallelism::InterFmap);
+        let intra = map_tile(&w, PES, Parallelism::IntraFmap);
+        let hybrid = map_tile(&w, PES, Parallelism::Hybrid { fmap_groups: 4 });
+        assert_eq!(inter.active_pes, 16);
+        assert_eq!(intra.active_pes, 16);
+        assert_eq!(hybrid.active_pes, 64);
+        assert!(hybrid.max_dense_per_pe < inter.max_dense_per_pe);
+        assert!(hybrid.max_dense_per_pe < intra.max_dense_per_pe);
+    }
+
+    #[test]
+    fn hybrid_clamps_groups() {
+        let w = TileWork { out_channels: 2, spatial: 100, macs_per_output: 1 };
+        // 16 groups requested but only 2 channels: clamps to 2 groups.
+        let m = map_tile(&w, PES, Parallelism::Hybrid { fmap_groups: 16 });
+        assert_eq!(m.active_pes, 2 * 32);
+    }
+
+    #[test]
+    fn empty_work_maps_to_nothing() {
+        let w = TileWork { out_channels: 0, spatial: 10, macs_per_output: 9 };
+        let m = map_tile(&w, PES, Parallelism::InterFmap);
+        assert_eq!(m.active_pes, 0);
+        assert_eq!(m.max_dense_per_pe, 0);
+    }
+
+    #[test]
+    fn makespan_times_active_bounds_work() {
+        // No mapping may finish before total_work / active_pes.
+        for mode in [
+            Parallelism::InterFmap,
+            Parallelism::IntraFmap,
+            Parallelism::Hybrid { fmap_groups: 8 },
+        ] {
+            for (oc, sp) in [(3, 100), (100, 3), (17, 17), (1, 1), (64, 64)] {
+                let w = TileWork { out_channels: oc, spatial: sp, macs_per_output: 5 };
+                let m = map_tile(&w, PES, mode);
+                assert!(
+                    m.max_dense_per_pe as u128 * m.active_pes as u128 >= w.dense_macs() as u128,
+                    "mode {mode:?} oc {oc} sp {sp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compute_phase_splits_skipped_macs() {
+        let w = TileWork { out_channels: 64, spatial: 16, macs_per_output: 100 };
+        let m = map_tile(&w, PES, Parallelism::InterFmap);
+        let p = compute_phase(&w, &m, 0.25);
+        assert_eq!(p.total_macs + p.skipped_macs, w.dense_macs());
+        assert_eq!(p.skipped_macs, w.dense_macs() / 4);
+        assert_eq!(p.max_macs_per_pe + p.max_skipped_per_pe, m.max_dense_per_pe);
+    }
+
+    #[test]
+    fn zero_skip_fraction_is_noop() {
+        let w = TileWork { out_channels: 8, spatial: 8, macs_per_output: 10 };
+        let m = map_tile(&w, PES, Parallelism::InterFmap);
+        let p = compute_phase(&w, &m, 0.0);
+        assert_eq!(p.skipped_macs, 0);
+        assert_eq!(p.total_macs, w.dense_macs());
+    }
+}

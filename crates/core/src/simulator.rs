@@ -1,0 +1,286 @@
+//! Whole-network simulation: the orchestrator tying controller, executor
+//! and fusion engine together.
+//!
+//! For each network position the simulator measures the live input tensor's
+//! sparsity statistics, asks the controller for the next group decision
+//! (fusion depth + morph config), executes it functionally — optionally
+//! verifying bit-exactness against the golden model — and accumulates
+//! metrics. This is the entry point every experiment drives.
+
+use crate::controller::decide;
+use crate::exec::{execute_layer, ExecContext};
+use crate::fusion::{execute_group, FusionGroup};
+use crate::metrics::{GroupMetrics, RunMetrics};
+use crate::plan::{PlanContext, SparsityEstimate};
+use mocha_compress::CodecCostTable;
+use mocha_energy::EnergyTable;
+use mocha_model::gen::Workload;
+use mocha_model::golden;
+use mocha_model::layer::LayerKind;
+use mocha_model::tensor::Kernel;
+
+use crate::baseline::Accelerator;
+
+/// The network simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    /// Accelerator under simulation.
+    pub accelerator: Accelerator,
+    /// Codec engine cost parameters.
+    pub codec_costs: CodecCostTable,
+    /// Energy pricing.
+    pub energy: EnergyTable,
+    /// When true (default), every group's output is compared against the
+    /// golden model — catching any morphing bug at the exact layer.
+    pub verify: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator with default cost tables and verification on.
+    pub fn new(accelerator: Accelerator) -> Self {
+        Self {
+            accelerator,
+            codec_costs: CodecCostTable::default(),
+            energy: EnergyTable::default(),
+            verify: true,
+        }
+    }
+
+    /// Builds the controller's sparsity estimate from the live input and the
+    /// workload's kernels for the group starting at `start`.
+    fn estimate(&self, workload: &Workload, start: usize, input: &mocha_model::Tensor<i8>) -> SparsityEstimate {
+        let in_stats = mocha_model::stats::analyze(input.data());
+        let kernel_sparsity = workload.kernels[start]
+            .as_ref()
+            .map(Kernel::sparsity)
+            .unwrap_or(0.0);
+        // Output statistics are a forecast: ReLU layers emit roughly half
+        // zeros on symmetric data; non-ReLU outputs stay mostly dense.
+        let layer = &workload.network.layers()[start];
+        let (ofmap_sparsity, ofmap_mean_run) = if layer.has_relu() {
+            (0.5, 2.0)
+        } else {
+            (0.1, 1.0)
+        };
+        SparsityEstimate {
+            ifmap_sparsity: in_stats.sparsity(),
+            ifmap_mean_run: in_stats.mean_zero_run(),
+            kernel_sparsity,
+            ofmap_sparsity,
+            ofmap_mean_run,
+        }
+    }
+
+    /// Executes one controller decision at network position `start`,
+    /// returning `(output, cycles, events, spm_peak, compression)`.
+    #[allow(clippy::type_complexity)]
+    fn execute_decision(
+        &self,
+        workload: &Workload,
+        start: usize,
+        input: &mocha_model::Tensor<i8>,
+        decision: &crate::controller::Decision,
+    ) -> Result<
+        (
+            mocha_model::Tensor<i8>,
+            u64,
+            mocha_energy::EventCounts,
+            usize,
+            mocha_compress::CompressionStats,
+            Vec<mocha_fabric::TilePhase>,
+        ),
+        mocha_fabric::CapacityError,
+    > {
+        let fabric = &self.accelerator.fabric;
+        let ectx = ExecContext { fabric, codec_costs: &self.codec_costs };
+        let layers = workload.network.layers();
+        let len = decision.group_len;
+        if len == 1 {
+            let run = execute_layer(
+                &ectx,
+                &layers[start],
+                input,
+                workload.kernels[start].as_ref(),
+                &decision.morph,
+                true,
+            )?;
+            Ok((run.output, run.cycles, run.events, run.spm_peak, run.compression, run.phases))
+        } else {
+            let group = FusionGroup { start, layers: layers[start..start + len].to_vec() };
+            let kernels: Vec<Option<&Kernel>> =
+                (start..start + len).map(|j| workload.kernels[j].as_ref()).collect();
+            let run = execute_group(
+                fabric,
+                &self.codec_costs,
+                &group,
+                input,
+                &kernels,
+                &decision.morph,
+                true,
+            )?;
+            Ok((run.output, run.cycles, run.events, run.spm_peak, run.compression, run.phases))
+        }
+    }
+
+    /// Simulates the full workload, returning per-group and aggregate
+    /// metrics.
+    ///
+    /// # Panics
+    /// Panics if verification is enabled and any group's output deviates
+    /// from the golden model, or if the controller finds no feasible
+    /// configuration (which the fallback ladders make unreachable for the
+    /// fabrics and networks shipped here).
+    pub fn run(&self, workload: &Workload) -> RunMetrics {
+        let fabric = &self.accelerator.fabric;
+        let pctx = PlanContext { fabric, codec_costs: &self.codec_costs, energy: &self.energy };
+        let golden_outs = if self.verify { golden::forward(workload) } else { Vec::new() };
+
+        let layers = workload.network.layers();
+        let mut groups = Vec::new();
+        let mut current = workload.input.clone();
+        let mut i = 0;
+        while i < layers.len() {
+            let est = self.estimate(workload, i, &current);
+            let mut decision = decide(&pctx, self.accelerator.policy, &layers[i..], &est, true);
+
+            // Execute the decision. Compressed plans size buffers from
+            // *estimated* encoded sizes (with a 2 % planning margin); on
+            // pathological data the real encoding can still overflow, in
+            // which case the controller re-decides without compression —
+            // whose plan is exact and therefore always executable.
+            let mut attempt = self.execute_decision(workload, i, &current, &decision);
+            if attempt.is_err() && decision.morph.compression.any() {
+                let fallback_policy = match self.accelerator.policy {
+                    crate::controller::Policy::Mocha { objective } => {
+                        crate::controller::Policy::MochaNoCompression { objective }
+                    }
+                    p => p,
+                };
+                decision = decide(&pctx, fallback_policy, &layers[i..], &est, true);
+                attempt = self.execute_decision(workload, i, &current, &decision);
+            }
+            let (output, cycles, events, spm_peak, compression, phases) = attempt
+                .unwrap_or_else(|e| panic!("{}: chosen config infeasible: {e}", layers[i].name));
+            let len = decision.group_len;
+
+            if self.verify {
+                assert_eq!(
+                    output,
+                    golden_outs[i + len - 1],
+                    "{}: simulated output deviates from golden model",
+                    layers[i + len - 1].name
+                );
+            }
+
+            let work_macs: u64 = layers[i..i + len]
+                .iter()
+                .map(|l| l.macs() + pool_work(l))
+                .sum();
+            groups.push(GroupMetrics {
+                layers: layers[i..i + len].iter().map(|l| l.name.clone()).collect(),
+                morph: decision.morph,
+                cycles,
+                events,
+                energy: self.energy.price(&events),
+                spm_peak,
+                compression,
+                work_macs,
+                candidates: decision.candidates,
+                phases,
+            });
+
+            current = output;
+            i += len;
+        }
+
+        RunMetrics {
+            network: workload.network.name.clone(),
+            accelerator: self.accelerator.name.clone(),
+            groups,
+        }
+    }
+}
+
+/// Pooling contributes window-reduction work; count it as half a MAC per
+/// element so pool-heavy groups don't report zero work.
+fn pool_work(layer: &mocha_model::Layer) -> u64 {
+    match layer.kind {
+        LayerKind::Pool { .. } => layer.pool_ops() / 2,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morph::Objective;
+    use mocha_model::gen::SparsityProfile;
+    use mocha_model::network;
+
+    fn run(acc: Accelerator, seed: u64) -> RunMetrics {
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, seed);
+        Simulator::new(acc).run(&w)
+    }
+
+    #[test]
+    fn mocha_runs_tiny_bit_exact() {
+        // `verify: true` inside `run` asserts golden equality per group.
+        let m = run(Accelerator::mocha(Objective::Edp), 11);
+        assert!(!m.groups.is_empty());
+        assert!(m.cycles() > 0);
+        assert!(m.report(&EnergyTable::default()).gops() > 0.0);
+    }
+
+    #[test]
+    fn every_baseline_runs_tiny_bit_exact() {
+        for acc in Accelerator::baselines() {
+            let m = run(acc.clone(), 11);
+            assert!(m.cycles() > 0, "{}", acc.name);
+        }
+    }
+
+    #[test]
+    fn groups_cover_all_layers_exactly_once() {
+        let m = run(Accelerator::mocha(Objective::Edp), 11);
+        let names: Vec<String> = m.groups.iter().flat_map(|g| g.layers.clone()).collect();
+        let expected: Vec<String> =
+            network::tiny().layers().iter().map(|l| l.name.clone()).collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn mocha_beats_every_baseline_on_edp_for_sparse_workloads() {
+        let w = Workload::generate(network::tiny(), SparsityProfile::SPARSE, 5);
+        let table = EnergyTable::default();
+        let mocha = Simulator::new(Accelerator::mocha(Objective::Edp)).run(&w);
+        let mocha_edp = mocha.report(&table).edp();
+        for acc in Accelerator::baselines() {
+            let name = acc.name.clone();
+            let base = Simulator::new(acc).run(&w);
+            let base_edp = base.report(&table).edp();
+            assert!(
+                mocha_edp <= base_edp * 1.001,
+                "mocha EDP {mocha_edp:.3e} worse than {name} {base_edp:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(Accelerator::mocha(Objective::Edp), 3);
+        let b = run(Accelerator::mocha(Objective::Edp), 3);
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.peak_storage(), b.peak_storage());
+    }
+
+    #[test]
+    fn lenet_runs_end_to_end() {
+        let w = Workload::generate(network::lenet5(), SparsityProfile::NOMINAL, 2);
+        let m = Simulator::new(Accelerator::mocha(Objective::Edp)).run(&w);
+        assert_eq!(
+            m.groups.iter().map(|g| g.layers.len()).sum::<usize>(),
+            network::lenet5().len()
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Builders for codec-aware [`StreamTransfer`]s — the one place that knows
+//! how compression interacts with the memory path:
+//!
+//! * **Loads** (DRAM→SPM): tensors already live *encoded* in DRAM (the host
+//!   pre-encodes the first input and all kernels; intermediate feature maps
+//!   were encoded by the previous layer's store). Compressed tiles land in
+//!   the scratchpad still encoded — that is where the storage saving comes
+//!   from — and are decoded on the fly while feeding the PE array, so loads
+//!   carry no codec cycles.
+//! * **Stores** (SPM→DRAM): output tiles leave the scratchpad raw and pass
+//!   through an encoder at the port, so stores pay encode cycles/energy and
+//!   put only encoded bytes on the wire.
+//! * **Decode-at-arrival loads** (fused groups): a fused group's input
+//!   window is decoded once at the port and stored raw, because its producer
+//!   /consumer layers inside the group exchange raw regions.
+
+use mocha_compress::{Codec, CodecCostTable};
+use mocha_fabric::{Dir, StreamTransfer};
+
+/// Load of a pre-encoded stream that stays encoded in the scratchpad.
+pub fn load_encoded(encoded_bytes: usize, lanes: usize) -> StreamTransfer {
+    StreamTransfer {
+        wire_bytes: encoded_bytes as u64,
+        spm_bytes: encoded_bytes as u64,
+        codec_cycles: 0,
+        codec_pj: 0.0,
+        codec_raw_bytes: 0,
+        dir: Dir::Read,
+        lanes,
+    }
+}
+
+/// Load of a pre-encoded stream that is decoded at the port and stored raw
+/// (fused-group inputs).
+pub fn load_decode_at_port(
+    codec: Codec,
+    raw_bytes: usize,
+    encoded_bytes: usize,
+    costs: &CodecCostTable,
+    lanes: usize,
+) -> StreamTransfer {
+    StreamTransfer {
+        wire_bytes: encoded_bytes as u64,
+        spm_bytes: raw_bytes as u64,
+        codec_cycles: costs.decode_cycles(codec, raw_bytes),
+        codec_pj: costs.energy_pj(codec, raw_bytes),
+        codec_raw_bytes: if codec == Codec::None { 0 } else { raw_bytes as u64 },
+        dir: Dir::Read,
+        lanes,
+    }
+}
+
+/// Store of a raw scratchpad region, encoded at the port.
+pub fn store_encoded(
+    codec: Codec,
+    raw_bytes: usize,
+    encoded_bytes: usize,
+    costs: &CodecCostTable,
+    lanes: usize,
+) -> StreamTransfer {
+    StreamTransfer {
+        wire_bytes: encoded_bytes as u64,
+        spm_bytes: raw_bytes as u64,
+        codec_cycles: costs.encode_cycles(codec, raw_bytes),
+        codec_pj: costs.energy_pj(codec, raw_bytes),
+        codec_raw_bytes: if codec == Codec::None { 0 } else { raw_bytes as u64 },
+        dir: Dir::Write,
+        lanes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocha_fabric::FabricConfig;
+
+    #[test]
+    fn load_encoded_carries_no_codec_cost() {
+        let t = load_encoded(1000, 4);
+        assert_eq!(t.codec_cycles, 0);
+        assert_eq!(t.codec_pj, 0.0);
+        assert_eq!(t.wire_bytes, 1000);
+        assert_eq!(t.spm_bytes, 1000);
+    }
+
+    #[test]
+    fn decode_at_port_expands_into_spm() {
+        let costs = CodecCostTable::default();
+        let t = load_decode_at_port(Codec::Zrle, 2000, 900, &costs, 4);
+        assert_eq!(t.wire_bytes, 900);
+        assert_eq!(t.spm_bytes, 2000);
+        assert_eq!(t.codec_cycles, costs.decode_cycles(Codec::Zrle, 2000));
+        assert_eq!(t.codec_raw_bytes, 2000);
+    }
+
+    #[test]
+    fn store_pays_encode_and_ships_encoded() {
+        let costs = CodecCostTable::default();
+        let t = store_encoded(Codec::Zrle, 2000, 700, &costs, 2);
+        assert_eq!(t.wire_bytes, 700);
+        assert_eq!(t.spm_bytes, 2000);
+        assert!(t.codec_cycles > 0);
+        assert!(t.codec_pj > 0.0);
+    }
+
+    #[test]
+    fn none_codec_records_no_codec_bytes() {
+        let costs = CodecCostTable::default();
+        let t = store_encoded(Codec::None, 500, 500, &costs, 2);
+        assert_eq!(t.codec_raw_bytes, 0);
+        assert_eq!(t.codec_cycles, 0);
+    }
+
+    #[test]
+    fn compressed_load_is_faster_than_raw_on_default_fabric() {
+        let cfg = FabricConfig::default();
+        let raw = load_encoded(10_000, 4);
+        let comp = load_encoded(4_000, 4);
+        assert!(comp.cycles(&cfg) < raw.cycles(&cfg));
+    }
+}

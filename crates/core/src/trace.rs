@@ -1,0 +1,149 @@
+//! Execution traces: turning a run's tile phases into a human-readable
+//! Gantt chart (and a machine-readable schedule), so users can *see* where
+//! a configuration's cycles go — exposed loads, pipeline bubbles,
+//! store tails — the way an RTL waveform would show it.
+
+use mocha_fabric::{pipeline_schedule, Buffering, Schedule, TilePhase};
+
+/// A rendered Gantt chart plus the underlying schedule.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The resolved schedule (per-tile stage intervals).
+    pub schedule: Schedule,
+    /// Buffering discipline the schedule was computed under.
+    pub buffering: Buffering,
+}
+
+impl Trace {
+    /// Builds the trace for a phase list.
+    pub fn new(phases: &[TilePhase], buffering: Buffering) -> Self {
+        Self { schedule: pipeline_schedule(phases, buffering), buffering }
+    }
+
+    /// Fraction of the makespan during which the compute stage is busy —
+    /// the utilization figure a pipeline tuner watches.
+    pub fn compute_occupancy(&self) -> f64 {
+        if self.schedule.total == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.schedule.stages.iter().map(|s| s.compute.1 - s.compute.0).sum();
+        busy as f64 / self.schedule.total as f64
+    }
+
+    /// Renders an ASCII Gantt chart, one row per tile, `width` characters
+    /// across the full makespan. `L`/`C`/`S` mark load/compute/store spans;
+    /// overlapping rows show the pipelining.
+    pub fn gantt(&self, width: usize) -> String {
+        assert!(width >= 10, "gantt needs at least 10 columns");
+        let total = self.schedule.total.max(1);
+        let scale = |t: u64| ((t as u128 * width as u128) / total as u128) as usize;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pipeline schedule: {} tiles, {} cycles, compute occupancy {:.0} % ({:?} buffering)\n",
+            self.schedule.stages.len(),
+            self.schedule.total,
+            100.0 * self.compute_occupancy(),
+            self.buffering,
+        ));
+        for (i, s) in self.schedule.stages.iter().enumerate() {
+            let mut row = vec![b' '; width];
+            let mut paint = |interval: (u64, u64), ch: u8| {
+                let (a, b) = (scale(interval.0), scale(interval.1));
+                // Non-empty stages always get at least one cell.
+                let b = if interval.1 > interval.0 { b.max(a + 1).min(width) } else { a };
+                for cell in row.iter_mut().take(b).skip(a) {
+                    *cell = ch;
+                }
+            };
+            paint(s.load, b'L');
+            paint(s.compute, b'C');
+            paint(s.store, b'S');
+            out.push_str(&format!("{i:>4} |{}|\n", String::from_utf8(row).unwrap()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(l: u64, c: u64, s: u64) -> TilePhase {
+        TilePhase { load_cycles: l, compute_cycles: c, store_cycles: s }
+    }
+
+    #[test]
+    fn occupancy_of_compute_bound_pipeline_is_high() {
+        let phases = vec![tile(5, 50, 2); 10];
+        let t = Trace::new(&phases, Buffering::Double);
+        assert!(t.compute_occupancy() > 0.9, "occupancy {}", t.compute_occupancy());
+    }
+
+    #[test]
+    fn occupancy_of_memory_bound_pipeline_is_low() {
+        let phases = vec![tile(50, 5, 2); 10];
+        let t = Trace::new(&phases, Buffering::Double);
+        assert!(t.compute_occupancy() < 0.3, "occupancy {}", t.compute_occupancy());
+    }
+
+    #[test]
+    fn gantt_renders_all_rows_and_marks() {
+        let phases = vec![tile(10, 20, 5); 4];
+        let t = Trace::new(&phases, Buffering::Double);
+        let g = t.gantt(60);
+        assert_eq!(g.lines().count(), 5); // header + 4 tiles
+        assert!(g.contains('L'));
+        assert!(g.contains('C'));
+        assert!(g.contains('S'));
+    }
+
+    #[test]
+    fn gantt_single_buffering_shows_serial_rows() {
+        let phases = vec![tile(10, 10, 10); 2];
+        let t = Trace::new(&phases, Buffering::Single);
+        let g = t.gantt(60);
+        // In a serial schedule the second tile's load starts at cycle 30 of
+        // 60 — the second row's first mark is in the right half.
+        let row2 = g.lines().nth(2).unwrap();
+        let bar = row2.split('|').nth(1).unwrap();
+        let first_mark = bar.find(|c| c != ' ').unwrap();
+        assert!(first_mark >= 28, "mark at {first_mark} in {bar:?}");
+    }
+
+    #[test]
+    fn empty_schedule_is_safe() {
+        let t = Trace::new(&[], Buffering::Double);
+        assert_eq!(t.compute_occupancy(), 0.0);
+        assert_eq!(t.gantt(20).lines().count(), 1);
+    }
+
+    #[test]
+    fn zero_length_stages_paint_nothing() {
+        let phases = vec![tile(0, 10, 0); 2];
+        let t = Trace::new(&phases, Buffering::Double);
+        let g = t.gantt(40);
+        assert!(!g.contains('L'));
+        assert!(g.contains('C'));
+        assert!(!g.contains('S'));
+    }
+
+    #[test]
+    fn trace_from_real_layer_run() {
+        use crate::exec::{default_morph, execute_layer, ExecContext};
+        use mocha_compress::CodecCostTable;
+        use mocha_fabric::FabricConfig;
+        use mocha_model::gen::{SparsityProfile, Workload};
+        use mocha_model::network;
+
+        let fabric = FabricConfig::mocha();
+        let costs = CodecCostTable::default();
+        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 9);
+        let layer = &w.network.layers()[0];
+        let morph = default_morph(layer);
+        let run = execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &morph, true).unwrap();
+        let trace = Trace::new(&run.phases, morph.buffering);
+        assert_eq!(trace.schedule.total, run.cycles, "trace total must equal the run's cycles");
+        assert!(trace.compute_occupancy() > 0.0);
+    }
+}

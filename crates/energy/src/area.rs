@@ -1,0 +1,175 @@
+//! Component area model.
+//!
+//! Reproduces the abstract's area claim: MOCHA pays **26–35 % extra area**
+//! over the next-best accelerator for its compression engines, morphing
+//! controller and the wider configuration storage morphability needs.
+//! Per-component densities are 45 nm-class standard-cell estimates; as with
+//! energy, only *relative* area between configurations matters and both
+//! sides are priced with the same table.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-component silicon area parameters (mm²).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaTable {
+    /// One PE: 8-bit MAC datapath + local register file + sequencer.
+    pub pe_mm2: f64,
+    /// SRAM macro density per KB of scratchpad.
+    pub sram_mm2_per_kb: f64,
+    /// One NoC router/switchbox.
+    pub noc_router_mm2: f64,
+    /// One DMA engine.
+    pub dma_mm2: f64,
+    /// One compression engine (encoder+decoder pair at a memory port).
+    pub codec_mm2: f64,
+    /// The morphing controller (config selection logic + tables).
+    pub morph_controller_mm2: f64,
+    /// A fixed-function (non-morphable) control unit, as prior-art
+    /// accelerators carry.
+    pub fixed_controller_mm2: f64,
+    /// Per-PE configuration-memory overhead morphability adds (wider
+    /// instruction/config words in every sequencer).
+    pub morph_config_mm2_per_pe: f64,
+}
+
+impl Default for AreaTable {
+    fn default() -> Self {
+        Self {
+            pe_mm2: 0.012,
+            sram_mm2_per_kb: 0.0055,
+            noc_router_mm2: 0.006,
+            dma_mm2: 0.03,
+            codec_mm2: 0.022,
+            morph_controller_mm2: 0.12,
+            fixed_controller_mm2: 0.04,
+            morph_config_mm2_per_pe: 0.003,
+        }
+    }
+}
+
+/// Structural inventory of a fabric instance, from which area is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricInventory {
+    /// Number of processing elements.
+    pub pes: usize,
+    /// Total scratchpad capacity in KB.
+    pub scratchpad_kb: usize,
+    /// Number of NoC routers.
+    pub noc_routers: usize,
+    /// Number of DMA engines.
+    pub dma_engines: usize,
+    /// Number of compression engines (0 for prior-art baselines).
+    pub codec_engines: usize,
+    /// Whether the fabric carries the morphing controller.
+    pub morphable: bool,
+}
+
+/// Area of one fabric split by component (mm²).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// PE array area.
+    pub pes_mm2: f64,
+    /// Scratchpad SRAM area.
+    pub sram_mm2: f64,
+    /// NoC area.
+    pub noc_mm2: f64,
+    /// DMA engines.
+    pub dma_mm2: f64,
+    /// Compression engines.
+    pub codec_mm2: f64,
+    /// Control (fixed or morphing controller + config overhead).
+    pub control_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total die area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.pes_mm2 + self.sram_mm2 + self.noc_mm2 + self.dma_mm2 + self.codec_mm2 + self.control_mm2
+    }
+}
+
+impl AreaTable {
+    /// Prices a fabric inventory into an area breakdown.
+    pub fn price(&self, inv: &FabricInventory) -> AreaBreakdown {
+        let control = if inv.morphable {
+            self.morph_controller_mm2 + inv.pes as f64 * self.morph_config_mm2_per_pe
+        } else {
+            self.fixed_controller_mm2
+        };
+        AreaBreakdown {
+            pes_mm2: inv.pes as f64 * self.pe_mm2,
+            sram_mm2: inv.scratchpad_kb as f64 * self.sram_mm2_per_kb,
+            noc_mm2: inv.noc_routers as f64 * self.noc_router_mm2,
+            dma_mm2: inv.dma_engines as f64 * self.dma_mm2,
+            codec_mm2: inv.codec_engines as f64 * self.codec_mm2,
+            control_mm2: control,
+        }
+    }
+
+    /// Relative area overhead of `a` versus `b` (e.g. MOCHA vs baseline):
+    /// `(area(a) - area(b)) / area(b)`.
+    pub fn overhead(&self, a: &FabricInventory, b: &FabricInventory) -> f64 {
+        let aa = self.price(a).total_mm2();
+        let bb = self.price(b).total_mm2();
+        (aa - bb) / bb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_8x8() -> FabricInventory {
+        FabricInventory {
+            pes: 64,
+            scratchpad_kb: 128,
+            noc_routers: 16,
+            dma_engines: 2,
+            codec_engines: 0,
+            morphable: false,
+        }
+    }
+
+    fn mocha_8x8() -> FabricInventory {
+        // One codec pair per scratchpad column port (8) + two per DMA engine.
+        FabricInventory { codec_engines: 12, morphable: true, ..baseline_8x8() }
+    }
+
+    #[test]
+    fn total_is_sum_of_components() {
+        let t = AreaTable::default();
+        let b = t.price(&baseline_8x8());
+        let sum = b.pes_mm2 + b.sram_mm2 + b.noc_mm2 + b.dma_mm2 + b.codec_mm2 + b.control_mm2;
+        assert!((b.total_mm2() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_has_no_codec_area() {
+        let t = AreaTable::default();
+        assert_eq!(t.price(&baseline_8x8()).codec_mm2, 0.0);
+    }
+
+    #[test]
+    fn mocha_overhead_lands_in_the_papers_band() {
+        // The abstract claims 26–35 % additional area. With the default
+        // table and the default 8x8 fabric, MOCHA must land inside it.
+        let t = AreaTable::default();
+        let oh = t.overhead(&mocha_8x8(), &baseline_8x8());
+        assert!((0.26..=0.35).contains(&oh), "overhead {oh:.3} outside 26–35 %");
+    }
+
+    #[test]
+    fn morphable_control_scales_with_pes() {
+        let t = AreaTable::default();
+        let small = FabricInventory { pes: 16, ..mocha_8x8() };
+        let large = FabricInventory { pes: 256, ..mocha_8x8() };
+        let d = t.price(&large).control_mm2 - t.price(&small).control_mm2;
+        assert!((d - 240.0 * t.morph_config_mm2_per_pe).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_is_zero_against_self() {
+        let t = AreaTable::default();
+        assert_eq!(t.overhead(&baseline_8x8(), &baseline_8x8()), 0.0);
+    }
+}

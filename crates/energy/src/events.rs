@@ -1,0 +1,107 @@
+//! Event counters — the interface between the timing simulation and the
+//! energy model.
+//!
+//! The fabric and dataflow engines count *what happened* (MACs issued, bytes
+//! read, flits routed…); [`crate::table::EnergyTable`] prices those counts.
+//! Keeping counts and prices separate means one simulation run can be
+//! re-priced under different technology assumptions without re-simulating.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw event counts accumulated over a simulated execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// MAC operations actually issued to datapaths.
+    pub macs: u64,
+    /// MAC operations elided by zero-skipping (no datapath energy, but the
+    /// skip logic itself costs a comparator toggle).
+    pub macs_skipped: u64,
+    /// Pooling window-reduction operations (compare/add).
+    pub pool_ops: u64,
+    /// Register-file read accesses (operand fetches).
+    pub rf_reads: u64,
+    /// Register-file write accesses (operand loads + accumulator spills).
+    pub rf_writes: u64,
+    /// Bytes read from scratchpad SRAM banks.
+    pub spm_read_bytes: u64,
+    /// Bytes written to scratchpad SRAM banks.
+    pub spm_write_bytes: u64,
+    /// Flit-hops through the NoC (one flit crossing one link).
+    pub noc_flit_hops: u64,
+    /// Bytes read from DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub dram_write_bytes: u64,
+    /// DRAM bursts issued (row/command overhead accounting).
+    pub dram_bursts: u64,
+    /// Raw-side bytes pushed through compression engines (both directions).
+    pub codec_bytes: u64,
+    /// Extra energy already priced in pJ by specialized models (codec
+    /// engines price themselves via `CodecCostTable`).
+    pub priced_pj: f64,
+    /// Total cycles the fabric was active (for leakage integration).
+    pub active_cycles: u64,
+}
+
+impl EventCounts {
+    /// Accumulates another run's counts into this one.
+    pub fn merge(&mut self, other: &EventCounts) {
+        self.macs += other.macs;
+        self.macs_skipped += other.macs_skipped;
+        self.pool_ops += other.pool_ops;
+        self.rf_reads += other.rf_reads;
+        self.rf_writes += other.rf_writes;
+        self.spm_read_bytes += other.spm_read_bytes;
+        self.spm_write_bytes += other.spm_write_bytes;
+        self.noc_flit_hops += other.noc_flit_hops;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.dram_bursts += other.dram_bursts;
+        self.codec_bytes += other.codec_bytes;
+        self.priced_pj += other.priced_pj;
+        // Cycles of sequential phases add; callers doing overlap accounting
+        // set this field directly instead of merging.
+        self.active_cycles += other.active_cycles;
+    }
+
+    /// Total bytes that crossed the DRAM interface — the paper's key
+    /// memory-access metric.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let e = EventCounts::default();
+        assert_eq!(e.macs, 0);
+        assert_eq!(e.dram_bytes(), 0);
+        assert_eq!(e.priced_pj, 0.0);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = EventCounts { macs: 1, rf_reads: 2, dram_read_bytes: 3, priced_pj: 1.5, ..Default::default() };
+        let b = EventCounts {
+            macs: 10,
+            macs_skipped: 5,
+            rf_reads: 20,
+            dram_read_bytes: 30,
+            dram_write_bytes: 7,
+            priced_pj: 0.5,
+            active_cycles: 100,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.macs, 11);
+        assert_eq!(a.macs_skipped, 5);
+        assert_eq!(a.rf_reads, 22);
+        assert_eq!(a.dram_bytes(), 40);
+        assert_eq!(a.priced_pj, 2.0);
+        assert_eq!(a.active_cycles, 100);
+    }
+}

@@ -1,0 +1,25 @@
+//! # mocha-energy
+//!
+//! Energy, power and area models standing in for the paper's post-layout
+//! synthesis flow. The simulation layers count events
+//! ([`events::EventCounts`]); this crate prices them
+//! ([`table::EnergyTable`]), prices silicon ([`area::AreaTable`]) and derives
+//! the metrics the paper's tables report ([`report::PerfReport`]: GOPS,
+//! GOPS/W, storage, EDP).
+//!
+//! Separating counting from pricing lets one simulation be re-priced under
+//! different technology assumptions — and guarantees every accelerator
+//! variant in a comparison is costed identically, which is what makes the
+//! relative claims (the abstract's "%s") meaningful.
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod events;
+pub mod report;
+pub mod table;
+
+pub use area::{AreaBreakdown, AreaTable, FabricInventory};
+pub use events::EventCounts;
+pub use report::{improvement, reduction, PerfReport};
+pub use table::{EnergyBreakdown, EnergyTable};

@@ -1,0 +1,147 @@
+//! Derived performance metrics: the numbers the paper's tables report.
+
+use crate::table::{EnergyBreakdown, EnergyTable};
+use serde::{Deserialize, Serialize};
+
+/// Performance summary of one simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Total cycles the execution took.
+    pub cycles: u64,
+    /// Dense MAC count of the workload (work accomplished, independent of
+    /// how many MACs were actually issued after zero-skipping).
+    pub work_macs: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Peak on-chip storage demand in bytes (scratchpad high-water mark).
+    pub peak_storage_bytes: u64,
+    /// Bytes that crossed the DRAM interface.
+    pub dram_bytes: u64,
+    /// Clock frequency used, GHz.
+    pub clock_ghz: f64,
+}
+
+impl PerfReport {
+    /// Builds a report from raw outputs.
+    pub fn new(
+        cycles: u64,
+        work_macs: u64,
+        energy: EnergyBreakdown,
+        peak_storage_bytes: u64,
+        dram_bytes: u64,
+        table: &EnergyTable,
+    ) -> Self {
+        Self { cycles, work_macs, energy, peak_storage_bytes, dram_bytes, clock_ghz: table.clock_ghz }
+    }
+
+    /// Wall-clock runtime in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Throughput in GOPS, counting one MAC as two operations (the
+    /// accelerator-literature convention).
+    pub fn gops(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (2.0 * self.work_macs as f64) / self.seconds() / 1e9
+    }
+
+    /// Energy efficiency in GOPS/W.
+    pub fn gops_per_watt(&self) -> f64 {
+        let joules = self.energy.total_pj() / 1e12;
+        if joules == 0.0 {
+            return 0.0;
+        }
+        (2.0 * self.work_macs as f64) / 1e9 / joules * self.seconds() / self.seconds()
+    }
+
+    /// Average power in watts.
+    pub fn watts(&self) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.energy.total_pj() / 1e12 / s
+        }
+    }
+
+    /// Energy-delay product in J·s — the controller's balanced objective.
+    pub fn edp(&self) -> f64 {
+        (self.energy.total_pj() / 1e12) * self.seconds()
+    }
+}
+
+/// Relative improvement of `a` over `b` for a higher-is-better metric:
+/// `(a - b) / b`. A +0.42 means "42 % higher", matching the abstract's
+/// phrasing.
+pub fn improvement(a: f64, b: f64) -> f64 {
+    (a - b) / b
+}
+
+/// Relative reduction of `a` versus `b` for a lower-is-better metric:
+/// `(b - a) / b`. A +0.30 means "30 % less".
+pub fn reduction(a: f64, b: f64) -> f64 {
+    (b - a) / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, macs: u64, pj: f64) -> PerfReport {
+        PerfReport {
+            cycles,
+            work_macs: macs,
+            energy: EnergyBreakdown { compute_pj: pj, ..Default::default() },
+            peak_storage_bytes: 0,
+            dram_bytes: 0,
+            clock_ghz: 0.5,
+        }
+    }
+
+    #[test]
+    fn gops_matches_hand_calculation() {
+        // 1e9 MACs in 1e9 cycles at 0.5 GHz = 2 s -> 2e9 ops / 2 s = 1 GOPS.
+        let r = report(1_000_000_000, 1_000_000_000, 1.0);
+        assert!((r.seconds() - 2.0).abs() < 1e-12);
+        assert!((r.gops() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gops_per_watt_is_ops_per_joule() {
+        // 1e9 MACs at 1e12 pJ = 1 J -> 2e9 ops / 1 J = 2 GOPS/W.
+        let r = report(100, 1_000_000_000, 1e12);
+        assert!((r.gops_per_watt() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn watts_is_energy_over_time() {
+        // 1e12 pJ = 1 J over 2 s -> 0.5 W.
+        let r = report(1_000_000_000, 1, 1e12);
+        assert!((r.watts() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edp_is_energy_times_delay() {
+        let r = report(500_000_000, 1, 2e12); // 1 s, 2 J
+        assert!((r.edp() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycle_report_is_safe() {
+        let r = report(0, 100, 0.0);
+        assert_eq!(r.gops(), 0.0);
+        assert_eq!(r.watts(), 0.0);
+        assert_eq!(r.gops_per_watt(), 0.0);
+    }
+
+    #[test]
+    fn improvement_and_reduction_match_paper_phrasing() {
+        // "63 % higher energy efficiency": a = 1.63 b.
+        assert!((improvement(1.63, 1.0) - 0.63).abs() < 1e-12);
+        // "30 % less storage": a = 0.70 b.
+        assert!((reduction(0.70, 1.0) - 0.30).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,210 @@
+//! Fabric configuration: the structural parameters of one accelerator
+//! instance.
+//!
+//! The default models the DRRA/DiMArch-class fabric MOCHA is built on: an
+//! 8×8 PE array, a 16-bank distributed scratchpad (DiMArch), a 2-D
+//! circuit-switched mesh NoC and a single LPDDR-class DRAM channel. The same
+//! structure serves MOCHA and every baseline; baselines simply carry no
+//! codec engines and a fixed controller (see `mocha_energy::AreaTable`).
+
+use mocha_energy::FabricInventory;
+use serde::{Deserialize, Serialize};
+
+/// Structural and rate parameters of a fabric instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// PE grid rows.
+    pub pe_rows: usize,
+    /// PE grid columns.
+    pub pe_cols: usize,
+    /// Register-file capacity per PE, bytes.
+    pub rf_bytes_per_pe: usize,
+    /// MACs each PE issues per cycle (1 for the 8-bit datapath).
+    pub macs_per_pe_per_cycle: usize,
+    /// Number of scratchpad banks.
+    pub spm_banks: usize,
+    /// Capacity of each bank, KB.
+    pub spm_bank_kb: usize,
+    /// Bytes each bank can read or write per cycle.
+    pub spm_bank_bytes_per_cycle: usize,
+    /// Payload bytes one NoC link moves per cycle.
+    pub noc_link_bytes_per_cycle: usize,
+    /// Per-hop pipeline latency of the NoC, cycles.
+    pub noc_hop_latency: u64,
+    /// Parallel NoC lanes between the DRAM-side DMA and the scratchpad.
+    pub noc_dma_lanes: usize,
+    /// Sustained DRAM bandwidth, bytes per fabric cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// DRAM burst granularity, bytes (transfers round up to bursts).
+    pub dram_burst_bytes: usize,
+    /// Fixed latency of one DRAM access before data flows, cycles.
+    pub dram_latency_cycles: u64,
+    /// Number of DMA engines (concurrent outstanding transfers).
+    pub dma_engines: usize,
+    /// Number of compression engines; 0 disables the compressed path.
+    pub codec_engines: usize,
+    /// Whether the morphing controller is present (area accounting).
+    pub morphable: bool,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        Self {
+            pe_rows: 8,
+            pe_cols: 8,
+            rf_bytes_per_pe: 512,
+            macs_per_pe_per_cycle: 1,
+            spm_banks: 16,
+            spm_bank_kb: 8,
+            spm_bank_bytes_per_cycle: 4,
+            noc_link_bytes_per_cycle: 4,
+            noc_hop_latency: 1,
+            noc_dma_lanes: 4,
+            dram_bytes_per_cycle: 3.2,
+            dram_burst_bytes: 64,
+            dram_latency_cycles: 40,
+            dma_engines: 2,
+            codec_engines: 12,
+            morphable: true,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// The default MOCHA instance (morphable, with codecs).
+    pub fn mocha() -> Self {
+        Self::default()
+    }
+
+    /// The same fabric stripped to prior-art shape: no compression engines,
+    /// fixed controller. Used by every baseline accelerator.
+    pub fn baseline() -> Self {
+        Self { codec_engines: 0, morphable: false, ..Self::default() }
+    }
+
+    /// Total number of PEs.
+    pub fn pes(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Peak MAC throughput, MACs per cycle.
+    pub fn peak_macs_per_cycle(&self) -> usize {
+        self.pes() * self.macs_per_pe_per_cycle
+    }
+
+    /// Total scratchpad capacity in bytes.
+    pub fn spm_bytes(&self) -> usize {
+        self.spm_banks * self.spm_bank_kb * 1024
+    }
+
+    /// Aggregate scratchpad bandwidth, bytes per cycle.
+    pub fn spm_bytes_per_cycle(&self) -> usize {
+        self.spm_banks * self.spm_bank_bytes_per_cycle
+    }
+
+    /// Aggregate DMA↔scratchpad NoC bandwidth, bytes per cycle.
+    pub fn noc_dma_bytes_per_cycle(&self) -> usize {
+        self.noc_dma_lanes * self.noc_link_bytes_per_cycle
+    }
+
+    /// Whether compressed streams can be decoded in hardware.
+    pub fn has_codecs(&self) -> bool {
+        self.codec_engines > 0
+    }
+
+    /// Mean Manhattan hop count between the DMA port (at the array edge) and
+    /// a uniformly random scratchpad bank — used for NoC energy accounting.
+    pub fn mean_noc_hops(&self) -> f64 {
+        // Banks sit along the array columns; the DMA injects at one edge.
+        // Mean distance over a row of `spm_banks/rows` positions plus the
+        // column traversal averages to half the mesh diameter.
+        (self.pe_rows + self.pe_cols) as f64 / 2.0
+    }
+
+    /// Structural inventory for area pricing.
+    pub fn inventory(&self) -> FabricInventory {
+        FabricInventory {
+            pes: self.pes(),
+            scratchpad_kb: self.spm_banks * self.spm_bank_kb,
+            noc_routers: self.spm_banks,
+            dma_engines: self.dma_engines,
+            codec_engines: self.codec_engines,
+            morphable: self.morphable,
+        }
+    }
+
+    /// Validates internal consistency, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pe_rows == 0 || self.pe_cols == 0 {
+            return Err("PE grid must be non-empty".into());
+        }
+        if self.spm_banks == 0 || self.spm_bank_kb == 0 {
+            return Err("scratchpad must have capacity".into());
+        }
+        if self.dram_bytes_per_cycle <= 0.0 {
+            return Err("DRAM bandwidth must be positive".into());
+        }
+        if self.dma_engines == 0 {
+            return Err("need at least one DMA engine".into());
+        }
+        if self.noc_dma_lanes == 0 || self.noc_link_bytes_per_cycle == 0 {
+            return Err("NoC must have bandwidth".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_sized_as_documented() {
+        let c = FabricConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.pes(), 64);
+        assert_eq!(c.spm_bytes(), 128 * 1024);
+        assert_eq!(c.peak_macs_per_cycle(), 64);
+    }
+
+    #[test]
+    fn baseline_strips_codecs_and_morphing() {
+        let b = FabricConfig::baseline();
+        assert!(!b.has_codecs());
+        assert!(!b.morphable);
+        // Everything else identical to MOCHA.
+        assert_eq!(b.pes(), FabricConfig::mocha().pes());
+        assert_eq!(b.spm_bytes(), FabricConfig::mocha().spm_bytes());
+    }
+
+    #[test]
+    fn inventory_matches_config() {
+        let c = FabricConfig::default();
+        let inv = c.inventory();
+        assert_eq!(inv.pes, 64);
+        assert_eq!(inv.scratchpad_kb, 128);
+        assert_eq!(inv.codec_engines, 12);
+        assert!(inv.morphable);
+    }
+
+    #[test]
+    fn bandwidth_aggregates() {
+        let c = FabricConfig::default();
+        assert_eq!(c.spm_bytes_per_cycle(), 64);
+        assert_eq!(c.noc_dma_bytes_per_cycle(), 16);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configs() {
+        let mut c = FabricConfig::default();
+        c.pe_rows = 0;
+        assert!(c.validate().is_err());
+        let mut c = FabricConfig::default();
+        c.dram_bytes_per_cycle = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = FabricConfig::default();
+        c.dma_engines = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! DMA engine: end-to-end timing of one stream transfer between DRAM and
+//! the scratchpad, through the NoC and (optionally) a compression engine.
+//!
+//! The path is fully pipelined, so the streaming time is governed by the
+//! slowest stage, plus the fixed setup latencies of the stages that have
+//! them. The fabric stays codec-agnostic: callers (the dataflow engine in
+//! `mocha-core`) supply the codec's cycle cost for the raw-side bytes, keeping
+//! the layering `compress ⊥ fabric`.
+
+use crate::config::FabricConfig;
+use crate::dram::{Dir, DramTransfer};
+use crate::noc::NocTransfer;
+use mocha_energy::EventCounts;
+
+/// One stream transfer between DRAM and scratchpad.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamTransfer {
+    /// Bytes on the wire (DRAM + NoC): the *encoded* size when a codec is
+    /// active, the raw size otherwise.
+    pub wire_bytes: u64,
+    /// Bytes that land in (or leave) the scratchpad. Inputs are stored
+    /// compressed (== `wire_bytes`); outputs leave the scratchpad raw and are
+    /// encoded at the port (== raw size).
+    pub spm_bytes: u64,
+    /// Cycles the codec stage needs for this stream (0 when no codec).
+    pub codec_cycles: u64,
+    /// Codec energy for this stream in pJ (0 when no codec).
+    pub codec_pj: f64,
+    /// Raw-side bytes through the codec (for event accounting; 0 = no codec).
+    pub codec_raw_bytes: u64,
+    /// Transfer direction (Read = DRAM→SPM).
+    pub dir: Dir,
+    /// NoC lanes granted to this transfer.
+    pub lanes: usize,
+}
+
+impl StreamTransfer {
+    /// An uncompressed transfer of `bytes`.
+    pub fn raw(bytes: u64, dir: Dir, lanes: usize) -> Self {
+        Self { wire_bytes: bytes, spm_bytes: bytes, codec_cycles: 0, codec_pj: 0.0, codec_raw_bytes: 0, dir, lanes }
+    }
+
+    /// Cycles until the transfer completes.
+    pub fn cycles(&self, config: &FabricConfig) -> u64 {
+        if self.wire_bytes == 0 && self.codec_cycles == 0 {
+            return 0;
+        }
+        let dram = DramTransfer { bytes: self.wire_bytes, dir: self.dir };
+        let noc = NocTransfer::mean_path(config, self.wire_bytes, self.lanes);
+        // Pipelined stages: total = fixed setup + slowest stage's streaming
+        // time. DRAM latency and NoC path setup are the fixed parts; their
+        // streaming components race with the codec.
+        let dram_stream = dram.cycles(config).saturating_sub(config.dram_latency_cycles);
+        let noc_stream = noc.cycles(config).saturating_sub(noc.hops * config.noc_hop_latency);
+        let setup = config.dram_latency_cycles + noc.hops * config.noc_hop_latency;
+        setup + dram_stream.max(noc_stream).max(self.codec_cycles)
+    }
+
+    /// Records all events of the transfer: DRAM bytes/bursts, NoC flit-hops,
+    /// scratchpad bytes, codec energy.
+    pub fn count_events(&self, config: &FabricConfig, counts: &mut EventCounts) {
+        DramTransfer { bytes: self.wire_bytes, dir: self.dir }.count_events(config, counts);
+        NocTransfer::mean_path(config, self.wire_bytes, self.lanes).count_events(counts);
+        match self.dir {
+            Dir::Read => counts.spm_write_bytes += self.spm_bytes,
+            Dir::Write => counts.spm_read_bytes += self.spm_bytes,
+        }
+        counts.codec_bytes += self.codec_raw_bytes;
+        counts.priced_pj += self.codec_pj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FabricConfig {
+        FabricConfig::default()
+    }
+
+    #[test]
+    fn empty_transfer_is_free() {
+        let t = StreamTransfer::raw(0, Dir::Read, 4);
+        assert_eq!(t.cycles(&cfg()), 0);
+    }
+
+    #[test]
+    fn dram_bandwidth_is_the_bottleneck_for_wide_noc() {
+        // 4 lanes × 4 B = 16 B/cycle NoC vs 3.2 B/cycle DRAM: DRAM limits.
+        let t = StreamTransfer::raw(6400, Dir::Read, 4);
+        let setup = 40 + 8; // dram latency + 8 hops
+        assert_eq!(t.cycles(&cfg()), setup + 2000);
+    }
+
+    #[test]
+    fn narrow_noc_becomes_the_bottleneck() {
+        let mut c = cfg();
+        c.dram_bytes_per_cycle = 64.0; // absurdly fast DRAM
+        let t = StreamTransfer::raw(6400, Dir::Read, 1); // 4 B/cycle NoC
+        let setup = 40 + 8;
+        assert_eq!(t.cycles(&c), setup + 1600);
+    }
+
+    #[test]
+    fn slow_codec_dominates_streaming() {
+        let t = StreamTransfer {
+            wire_bytes: 64,
+            spm_bytes: 64,
+            codec_cycles: 10_000,
+            codec_pj: 1.0,
+            codec_raw_bytes: 128,
+            dir: Dir::Read,
+            lanes: 4,
+        };
+        assert_eq!(t.cycles(&cfg()), 40 + 8 + 10_000);
+    }
+
+    #[test]
+    fn compressed_transfer_beats_raw_when_codec_keeps_up() {
+        let raw = StreamTransfer::raw(10_000, Dir::Read, 4);
+        // 2x compression, codec fast enough.
+        let comp = StreamTransfer {
+            wire_bytes: 5_000,
+            spm_bytes: 5_000,
+            codec_cycles: 1_000,
+            codec_pj: 0.0,
+            codec_raw_bytes: 10_000,
+            dir: Dir::Read,
+            lanes: 4,
+        };
+        assert!(comp.cycles(&cfg()) < raw.cycles(&cfg()));
+    }
+
+    #[test]
+    fn events_account_wire_and_spm_separately() {
+        let t = StreamTransfer {
+            wire_bytes: 64,
+            spm_bytes: 128, // e.g. a store leaving SPM raw, encoded on the way out
+            codec_cycles: 5,
+            codec_pj: 3.5,
+            codec_raw_bytes: 128,
+            dir: Dir::Write,
+            lanes: 2,
+        };
+        let mut e = EventCounts::default();
+        t.count_events(&cfg(), &mut e);
+        assert_eq!(e.dram_write_bytes, 64);
+        assert_eq!(e.spm_read_bytes, 128);
+        assert_eq!(e.codec_bytes, 128);
+        assert!((e.priced_pj - 3.5).abs() < 1e-12);
+        assert_eq!(e.noc_flit_hops, 64 * 8);
+    }
+}

@@ -1,0 +1,111 @@
+//! Off-chip DRAM interface model.
+//!
+//! Bandwidth-limited streaming with burst granularity: transfers round up to
+//! whole bursts (so small, poorly-shaped tile fetches waste bandwidth — one
+//! of the effects tiling-shape selection trades against), pay a fixed access
+//! latency, and cost per-byte plus per-burst energy.
+
+use crate::config::FabricConfig;
+use mocha_energy::EventCounts;
+
+/// Direction of a DRAM transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// DRAM → fabric.
+    Read,
+    /// Fabric → DRAM.
+    Write,
+}
+
+/// One DRAM transfer of `bytes` payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTransfer {
+    /// Payload bytes requested.
+    pub bytes: u64,
+    /// Transfer direction.
+    pub dir: Dir,
+}
+
+impl DramTransfer {
+    /// Bursts the transfer occupies (rounded up).
+    pub fn bursts(&self, config: &FabricConfig) -> u64 {
+        if self.bytes == 0 {
+            return 0;
+        }
+        self.bytes.div_ceil(config.dram_burst_bytes as u64)
+    }
+
+    /// Bytes that actually cross the interface (whole bursts).
+    pub fn wire_bytes(&self, config: &FabricConfig) -> u64 {
+        self.bursts(config) * config.dram_burst_bytes as u64
+    }
+
+    /// Cycles until the transfer completes: access latency + streaming whole
+    /// bursts at the sustained bandwidth.
+    pub fn cycles(&self, config: &FabricConfig) -> u64 {
+        if self.bytes == 0 {
+            return 0;
+        }
+        let stream = (self.wire_bytes(config) as f64 / config.dram_bytes_per_cycle).ceil() as u64;
+        config.dram_latency_cycles + stream
+    }
+
+    /// Records byte and burst events.
+    pub fn count_events(&self, config: &FabricConfig, counts: &mut EventCounts) {
+        let wire = self.wire_bytes(config);
+        match self.dir {
+            Dir::Read => counts.dram_read_bytes += wire,
+            Dir::Write => counts.dram_write_bytes += wire,
+        }
+        counts.dram_bursts += self.bursts(config);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FabricConfig {
+        FabricConfig::default() // 64 B bursts, 3.2 B/cycle, 40 cycle latency
+    }
+
+    #[test]
+    fn zero_transfer_is_free() {
+        let t = DramTransfer { bytes: 0, dir: Dir::Read };
+        assert_eq!(t.cycles(&cfg()), 0);
+        assert_eq!(t.bursts(&cfg()), 0);
+    }
+
+    #[test]
+    fn small_transfer_pays_a_whole_burst() {
+        let t = DramTransfer { bytes: 1, dir: Dir::Read };
+        assert_eq!(t.bursts(&cfg()), 1);
+        assert_eq!(t.wire_bytes(&cfg()), 64);
+        assert_eq!(t.cycles(&cfg()), 40 + 20); // 64 / 3.2 = 20
+    }
+
+    #[test]
+    fn aligned_transfer_wastes_nothing() {
+        let t = DramTransfer { bytes: 6400, dir: Dir::Write };
+        assert_eq!(t.bursts(&cfg()), 100);
+        assert_eq!(t.wire_bytes(&cfg()), 6400);
+        assert_eq!(t.cycles(&cfg()), 40 + 2000);
+    }
+
+    #[test]
+    fn events_split_by_direction() {
+        let mut c = EventCounts::default();
+        DramTransfer { bytes: 100, dir: Dir::Read }.count_events(&cfg(), &mut c);
+        DramTransfer { bytes: 200, dir: Dir::Write }.count_events(&cfg(), &mut c);
+        assert_eq!(c.dram_read_bytes, 128); // 2 bursts
+        assert_eq!(c.dram_write_bytes, 256); // 4 bursts
+        assert_eq!(c.dram_bursts, 6);
+    }
+
+    #[test]
+    fn burst_rounding_penalizes_misaligned_tiles() {
+        // 65 bytes needs 2 bursts: 128 wire bytes, nearly 2x waste.
+        let t = DramTransfer { bytes: 65, dir: Dir::Read };
+        assert_eq!(t.wire_bytes(&cfg()), 128);
+    }
+}

@@ -1,0 +1,39 @@
+//! # mocha-fabric
+//!
+//! Cycle-approximate model of the hardware substrate MOCHA is built on — a
+//! DRRA/DiMArch-class coarse-grained reconfigurable fabric:
+//!
+//! * [`config::FabricConfig`] — structural parameters (PE grid, banks, NoC,
+//!   DRAM, codec stations); [`FabricConfig::mocha`] and
+//!   [`FabricConfig::baseline`] give the two instances every experiment
+//!   compares.
+//! * [`pe`] — PE-array compute-phase timing with load imbalance and
+//!   zero-skipping.
+//! * [`scratchpad`] — banked capacity allocator with high-water-mark
+//!   tracking (the paper's storage metric) and bank-bandwidth streaming.
+//! * [`noc`] / [`dram`] / [`dma`] — the memory path: circuit-switched mesh,
+//!   burst-granular DRAM, and fully-pipelined stream transfers.
+//! * [`engine`] — the tile pipeline (single vs double buffering), which
+//!   turns per-tile stage times into total cycles.
+//!
+//! The fabric is deliberately codec-agnostic: compression enters as byte
+//! counts and codec cycle costs computed by `mocha-core` from
+//! `mocha-compress`, keeping the dependency graph a clean DAG.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dma;
+pub mod dram;
+pub mod engine;
+pub mod noc;
+pub mod pe;
+pub mod scratchpad;
+
+pub use config::FabricConfig;
+pub use dma::StreamTransfer;
+pub use dram::{Dir, DramTransfer};
+pub use engine::{buffer_sets, pipeline_cycles, pipeline_schedule, Buffering, Schedule, StageTimes, TilePhase};
+pub use noc::NocTransfer;
+pub use pe::ComputePhase;
+pub use scratchpad::{CapacityError, RegionClass, RegionId, Scratchpad};

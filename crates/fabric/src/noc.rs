@@ -1,0 +1,87 @@
+//! Circuit-switched mesh NoC between the DMA ports and the scratchpad banks.
+//!
+//! DiMArch uses a circuit-switched NoC: a path is set up once per transfer
+//! and then streams at link rate — so the timing model is path setup (hop
+//! latency) + serialization over the allocated lanes, and the energy model
+//! counts flit-hops.
+
+use crate::config::FabricConfig;
+use mocha_energy::EventCounts;
+
+/// Timing and accounting for one NoC transfer of `bytes` payload using
+/// `lanes` parallel links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocTransfer {
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Parallel lanes granted by the DMA scheduler.
+    pub lanes: usize,
+    /// Manhattan hop count of the established path.
+    pub hops: u64,
+}
+
+impl NocTransfer {
+    /// Builds a transfer using the config's mean DMA↔bank distance.
+    pub fn mean_path(config: &FabricConfig, bytes: u64, lanes: usize) -> Self {
+        Self { bytes, lanes: lanes.clamp(1, config.noc_dma_lanes), hops: config.mean_noc_hops().round() as u64 }
+    }
+
+    /// Cycles until the last byte arrives: path setup plus serialization.
+    pub fn cycles(&self, config: &FabricConfig) -> u64 {
+        if self.bytes == 0 {
+            return 0;
+        }
+        let rate = (self.lanes * config.noc_link_bytes_per_cycle) as u64;
+        self.hops * config.noc_hop_latency + self.bytes.div_ceil(rate)
+    }
+
+    /// Records flit-hop events (one flit = one byte of payload).
+    pub fn count_events(&self, counts: &mut EventCounts) {
+        counts.noc_flit_hops += self.bytes * self.hops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FabricConfig {
+        FabricConfig::default()
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let t = NocTransfer { bytes: 0, lanes: 1, hops: 8 };
+        assert_eq!(t.cycles(&cfg()), 0);
+    }
+
+    #[test]
+    fn serialization_dominates_large_transfers() {
+        let t = NocTransfer { bytes: 4096, lanes: 1, hops: 8 };
+        // 8 hops setup + 4096/4 = 1024 stream cycles.
+        assert_eq!(t.cycles(&cfg()), 8 + 1024);
+    }
+
+    #[test]
+    fn lanes_divide_serialization() {
+        let one = NocTransfer { bytes: 4096, lanes: 1, hops: 0 };
+        let four = NocTransfer { bytes: 4096, lanes: 4, hops: 0 };
+        assert_eq!(one.cycles(&cfg()), 4 * four.cycles(&cfg()));
+    }
+
+    #[test]
+    fn mean_path_clamps_lanes() {
+        let t = NocTransfer::mean_path(&cfg(), 100, 99);
+        assert_eq!(t.lanes, cfg().noc_dma_lanes);
+        let t = NocTransfer::mean_path(&cfg(), 100, 0);
+        assert_eq!(t.lanes, 1);
+    }
+
+    #[test]
+    fn flit_hops_are_bytes_times_hops() {
+        let t = NocTransfer { bytes: 100, lanes: 2, hops: 5 };
+        let mut c = EventCounts::default();
+        t.count_events(&mut c);
+        assert_eq!(c.noc_flit_hops, 500);
+    }
+}

@@ -1,0 +1,171 @@
+//! PE-array compute-phase timing.
+//!
+//! The PE array is a grid of DRRA-style cells, each with an 8-bit MAC
+//! datapath, a small register file and a sequencer. For a compute phase the
+//! mapper tells us how many PEs participate and how many MACs each performs;
+//! this module turns that into cycles, modelling the two utilization-loss
+//! mechanisms that matter at this granularity:
+//!
+//! * **load imbalance** — the phase ends when the most-loaded PE finishes;
+//! * **zero-skipping** — with the bitmask codec feeding the datapath, MACs
+//!   whose weight is zero are elided at a fraction of a cycle each (the skip
+//!   logic still examines the mask).
+
+use crate::config::FabricConfig;
+use mocha_energy::EventCounts;
+use serde::{Deserialize, Serialize};
+
+/// Work description of one compute phase on the PE array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputePhase {
+    /// PEs participating (≤ `config.pes()`).
+    pub active_pes: usize,
+    /// MACs assigned to the *most loaded* PE (issued, after skipping).
+    pub max_macs_per_pe: u64,
+    /// Total MACs issued across all PEs.
+    pub total_macs: u64,
+    /// Total MACs elided by zero-skipping across all PEs.
+    pub skipped_macs: u64,
+    /// Skipped MACs on the most-loaded PE (they still cost skip slots).
+    pub max_skipped_per_pe: u64,
+    /// Pooling/elementwise ops (processed at one per PE per cycle).
+    pub pool_ops: u64,
+}
+
+/// Cycles one elided MAC occupies in the issue pipeline, as a fraction of a
+/// real MAC slot. The mask lets the sequencer compress skip bursts, so a
+/// skip costs well under a full cycle but not zero.
+pub const SKIP_SLOT_FRACTION: f64 = 0.15;
+
+/// Register-file traffic generated per issued MAC: one operand pair read and
+/// an accumulator update every `ACC_WRITE_INTERVAL` MACs.
+pub const RF_READS_PER_MAC: u64 = 2;
+/// MACs between accumulator register-file write-backs.
+pub const ACC_WRITE_INTERVAL: u64 = 16;
+
+impl ComputePhase {
+    /// Cycles the phase occupies the PE array.
+    pub fn cycles(&self, config: &FabricConfig) -> u64 {
+        assert!(self.active_pes <= config.pes(), "more active PEs than exist");
+        if self.active_pes == 0 {
+            return 0;
+        }
+        let mac_cycles = self.max_macs_per_pe.div_ceil(config.macs_per_pe_per_cycle as u64);
+        let skip_cycles = (self.max_skipped_per_pe as f64 * SKIP_SLOT_FRACTION).ceil() as u64;
+        let pool_cycles = self.pool_ops.div_ceil(self.active_pes as u64);
+        mac_cycles + skip_cycles + pool_cycles
+    }
+
+    /// Records the phase's datapath and register-file events.
+    pub fn count_events(&self, counts: &mut EventCounts) {
+        counts.macs += self.total_macs;
+        counts.macs_skipped += self.skipped_macs;
+        counts.pool_ops += self.pool_ops;
+        counts.rf_reads += self.total_macs * RF_READS_PER_MAC;
+        counts.rf_writes += self.total_macs / ACC_WRITE_INTERVAL + self.pool_ops / ACC_WRITE_INTERVAL;
+    }
+
+    /// Builds a phase from an even split of `total_macs` over `active_pes`,
+    /// with a zero-skip fraction applied uniformly. `dense_macs` is the
+    /// pre-skipping work; `skip_fraction` of it is elided.
+    pub fn balanced(active_pes: usize, dense_macs: u64, skip_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&skip_fraction));
+        assert!(active_pes > 0, "compute phase needs at least one PE");
+        let skipped = (dense_macs as f64 * skip_fraction).round() as u64;
+        let issued = dense_macs - skipped;
+        let per_pe = issued.div_ceil(active_pes as u64);
+        let skip_per_pe = skipped.div_ceil(active_pes as u64);
+        Self {
+            active_pes,
+            max_macs_per_pe: per_pe,
+            total_macs: issued,
+            skipped_macs: skipped,
+            max_skipped_per_pe: skip_per_pe,
+            pool_ops: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FabricConfig {
+        FabricConfig::default()
+    }
+
+    #[test]
+    fn cycles_follow_most_loaded_pe() {
+        let p = ComputePhase {
+            active_pes: 4,
+            max_macs_per_pe: 100,
+            total_macs: 250, // imbalanced: others have less
+            skipped_macs: 0,
+            max_skipped_per_pe: 0,
+            pool_ops: 0,
+        };
+        assert_eq!(p.cycles(&cfg()), 100);
+    }
+
+    #[test]
+    fn zero_skipping_shortens_the_phase() {
+        let dense = ComputePhase::balanced(64, 64_000, 0.0);
+        let sparse = ComputePhase::balanced(64, 64_000, 0.5);
+        let (cd, cs) = (dense.cycles(&cfg()), sparse.cycles(&cfg()));
+        assert!(cs < cd, "skip phase {cs} !< dense {cd}");
+        // 50 % skipped at 0.15 slot each: expect ~57.5 % of dense cycles.
+        let ratio = cs as f64 / cd as f64;
+        assert!((0.5..0.65).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn balanced_split_covers_all_macs() {
+        let p = ComputePhase::balanced(7, 1000, 0.3);
+        assert_eq!(p.total_macs + p.skipped_macs, 1000);
+        assert!(p.max_macs_per_pe * 7 >= p.total_macs);
+    }
+
+    #[test]
+    fn empty_phase_is_free() {
+        let p = ComputePhase {
+            active_pes: 0,
+            max_macs_per_pe: 0,
+            total_macs: 0,
+            skipped_macs: 0,
+            max_skipped_per_pe: 0,
+            pool_ops: 0,
+        };
+        assert_eq!(p.cycles(&cfg()), 0);
+    }
+
+    #[test]
+    fn pool_ops_timeshare_the_array() {
+        let p = ComputePhase {
+            active_pes: 8,
+            max_macs_per_pe: 0,
+            total_macs: 0,
+            skipped_macs: 0,
+            max_skipped_per_pe: 0,
+            pool_ops: 800,
+        };
+        assert_eq!(p.cycles(&cfg()), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "more active PEs than exist")]
+    fn too_many_pes_panics() {
+        let p = ComputePhase::balanced(65, 100, 0.0);
+        p.cycles(&cfg());
+    }
+
+    #[test]
+    fn event_counting_matches_totals() {
+        let p = ComputePhase::balanced(4, 1600, 0.25);
+        let mut c = EventCounts::default();
+        p.count_events(&mut c);
+        assert_eq!(c.macs, 1200);
+        assert_eq!(c.macs_skipped, 400);
+        assert_eq!(c.rf_reads, 1200 * RF_READS_PER_MAC);
+        assert_eq!(c.rf_writes, 1200 / ACC_WRITE_INTERVAL);
+    }
+}

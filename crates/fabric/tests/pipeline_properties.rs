@@ -1,0 +1,99 @@
+//! Property-based tests for the tile pipeline engine: schedule invariants
+//! that must hold for arbitrary phase lists.
+
+use mocha_fabric::{pipeline_cycles, pipeline_schedule, Buffering, TilePhase};
+use proptest::prelude::*;
+
+fn phases() -> impl Strategy<Value = Vec<TilePhase>> {
+    prop::collection::vec(
+        (0u64..500, 0u64..500, 0u64..500).prop_map(|(l, c, s)| TilePhase {
+            load_cycles: l,
+            compute_cycles: c,
+            store_cycles: s,
+        }),
+        0..40,
+    )
+}
+
+proptest! {
+    /// Double buffering never loses to single buffering.
+    #[test]
+    fn double_never_slower_than_single(p in phases()) {
+        prop_assert!(
+            pipeline_cycles(&p, Buffering::Double) <= pipeline_cycles(&p, Buffering::Single)
+        );
+    }
+
+    /// The makespan can never beat the slowest single stage's total work —
+    /// the pipeline bound.
+    #[test]
+    fn makespan_respects_stage_totals(p in phases()) {
+        let loads: u64 = p.iter().map(|t| t.load_cycles).sum();
+        let computes: u64 = p.iter().map(|t| t.compute_cycles).sum();
+        let stores: u64 = p.iter().map(|t| t.store_cycles).sum();
+        let bound = loads.max(computes).max(stores);
+        for b in [Buffering::Single, Buffering::Double] {
+            prop_assert!(pipeline_cycles(&p, b) >= bound, "{b:?}");
+        }
+    }
+
+    /// The makespan can never beat any single tile's critical path.
+    #[test]
+    fn makespan_respects_tile_critical_path(p in phases()) {
+        let critical = p
+            .iter()
+            .map(|t| t.load_cycles + t.compute_cycles + t.store_cycles)
+            .max()
+            .unwrap_or(0);
+        for b in [Buffering::Single, Buffering::Double] {
+            prop_assert!(pipeline_cycles(&p, b) >= critical, "{b:?}");
+        }
+    }
+
+    /// Schedule totals agree with the cycle shortcut, intervals are ordered
+    /// within a tile, and every stage resource is used serially.
+    #[test]
+    fn schedules_are_consistent_and_resource_serial(p in phases()) {
+        for b in [Buffering::Single, Buffering::Double] {
+            let s = pipeline_schedule(&p, b);
+            prop_assert_eq!(s.total, pipeline_cycles(&p, b), "{:?}", b);
+            prop_assert_eq!(s.stages.len(), p.len());
+            for (st, ph) in s.stages.iter().zip(&p) {
+                prop_assert_eq!(st.load.1 - st.load.0, ph.load_cycles);
+                prop_assert_eq!(st.compute.1 - st.compute.0, ph.compute_cycles);
+                prop_assert_eq!(st.store.1 - st.store.0, ph.store_cycles);
+                prop_assert!(st.load.1 <= st.compute.0);
+                prop_assert!(st.compute.1 <= st.store.0);
+                prop_assert!(st.store.1 <= s.total);
+            }
+            for w in s.stages.windows(2) {
+                prop_assert!(w[0].load.1 <= w[1].load.0, "loader overlap");
+                prop_assert!(w[0].compute.1 <= w[1].compute.0, "compute overlap");
+                prop_assert!(w[0].store.1 <= w[1].store.0, "storer overlap");
+            }
+        }
+    }
+
+    /// The double-buffer constraint: load i never starts before compute of
+    /// tile i-2 has finished (its buffer must be free).
+    #[test]
+    fn double_buffer_depth_is_respected(p in phases()) {
+        let s = pipeline_schedule(&p, Buffering::Double);
+        for i in 2..s.stages.len() {
+            prop_assert!(
+                s.stages[i].load.0 >= s.stages[i - 2].compute.1,
+                "tile {i} prefetched more than 2 buffers ahead"
+            );
+        }
+    }
+
+    /// Appending a tile never shortens the schedule (monotonicity).
+    #[test]
+    fn makespan_is_monotone_in_tiles(p in phases(), extra in (0u64..100, 0u64..100, 0u64..100)) {
+        let mut q = p.clone();
+        q.push(TilePhase { load_cycles: extra.0, compute_cycles: extra.1, store_cycles: extra.2 });
+        for b in [Buffering::Single, Buffering::Double] {
+            prop_assert!(pipeline_cycles(&q, b) >= pipeline_cycles(&p, b), "{b:?}");
+        }
+    }
+}

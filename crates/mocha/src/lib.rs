@@ -1,0 +1,71 @@
+//! # MOCHA — Morphable Locality and Compression Aware Architecture for CNNs
+//!
+//! A cycle-approximate, functionally bit-exact simulator of the MOCHA CNN
+//! accelerator (Jafri, Hemani, Paul, Abbas — IPDPS 2017), including every
+//! substrate it runs on and the prior-art baselines it is compared against.
+//!
+//! ## The design in one paragraph
+//!
+//! MOCHA is a CGRA-class accelerator (DRRA PE array + DiMArch distributed
+//! scratchpad) with three differentiators: (i) hardware **compression** of
+//! feature-map and kernel streams (ZRLE / bitmask-sparse), (ii) the
+//! **flexibility** to pick tiling shape, layer fusion depth, intra/inter
+//! feature-map parallelism, loop order and buffering depth per layer, and
+//! (iii) a **morphing controller** that selects and cascades those
+//! optimizations automatically from the layer's dimensions, the measured
+//! sparsity of the live tensors, and the available on-chip resources.
+//!
+//! ## Crate map
+//!
+//! * [`model`] — layer IR, network zoo (LeNet-5 / AlexNet / VGG-16),
+//!   tensors, sparsity-controlled workload generators, golden executor;
+//! * [`compress`] — the codecs with cycle/energy cost models;
+//! * [`fabric`] — PE array, scratchpad, NoC, DRAM, DMA, tile pipeline;
+//! * [`energy`] — event pricing, area model, derived metrics;
+//! * [`core`] — tiling/fusion/parallelism engines, planner, controller,
+//!   simulator, baselines (re-exported at the top level).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mocha::prelude::*;
+//!
+//! // A workload: LeNet-5 with 60 % input sparsity and 30 % weight sparsity.
+//! let workload = Workload::generate(network::lenet5(), SparsityProfile::NOMINAL, 42);
+//!
+//! // MOCHA optimizing energy-delay product, verified against the golden model.
+//! let sim = Simulator::new(Accelerator::mocha(Objective::Edp));
+//! let run = sim.run(&workload);
+//!
+//! let report = run.report(&EnergyTable::default());
+//! println!("{}: {:.2} GOPS, {:.2} GOPS/W, {} KB peak storage",
+//!          run.network, report.gops(), report.gops_per_watt(),
+//!          report.peak_storage_bytes / 1024);
+//! assert!(report.gops() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mocha_compress as compress;
+pub use mocha_core as core;
+pub use mocha_energy as energy;
+pub use mocha_fabric as fabric;
+pub use mocha_model as model;
+
+/// The commonly-used API surface in one import.
+pub mod prelude {
+    pub use mocha_compress::{best_codec, Codec, CodecCostTable, Compressed};
+    pub use mocha_core::{
+        decide, execute_layer, plan_layer, Accelerator, CompressionChoice, Decision, ExecContext,
+        GroupMetrics, LayerPlan, LayerRun, LoopOrder, MorphConfig, Objective, Parallelism,
+        PlanContext, Policy, RunMetrics, Simulator, SparsityEstimate, Tiling,
+    };
+    pub use mocha_energy::{
+        improvement, reduction, AreaTable, EnergyTable, EventCounts, FabricInventory, PerfReport,
+    };
+    pub use mocha_fabric::{Buffering, FabricConfig};
+    pub use mocha_model::{
+        gen::SparsityProfile, gen::Workload, golden, network, KernelShape, Layer, LayerKind,
+        Network, PoolKind, TensorShape,
+    };
+}

@@ -1,0 +1,134 @@
+//! A second, independent convolution oracle: im2col + GEMM.
+//!
+//! The direct executor in [`crate::golden`] is the correctness anchor of the
+//! whole simulator — so it deserves its own independent cross-check. This
+//! module lowers convolution to the classic im2col matrix form and multiplies
+//! with a plain GEMM; agreement between two *structurally different*
+//! implementations makes a shared-bug coincidence vastly less likely.
+
+use crate::layer::{Layer, LayerKind};
+use crate::tensor::{requantize, Kernel, Tensor};
+
+/// Lowers the padded input of a conv layer to its im2col matrix:
+/// `rows = out_h × out_w` patches, `cols = in_c × k × k` patch elements,
+/// row-major. Padding positions contribute zeros.
+pub fn im2col(layer: &Layer, input: &Tensor<i8>) -> Vec<i8> {
+    let LayerKind::Conv { k, stride, pad, .. } = layer.kind else {
+        panic!("{}: im2col is defined for conv layers", layer.name);
+    };
+    let out = layer.output();
+    let in_shape = input.shape();
+    let cols = in_shape.c * k * k;
+    let mut m = vec![0i8; out.h * out.w * cols];
+    for oy in 0..out.h {
+        for ox in 0..out.w {
+            let row = oy * out.w + ox;
+            let base = row * cols;
+            for ic in 0..in_shape.c {
+                for ky in 0..k {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    for kx in 0..k {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        let v = if iy < 0
+                            || ix < 0
+                            || iy as usize >= in_shape.h
+                            || ix as usize >= in_shape.w
+                        {
+                            0
+                        } else {
+                            input.get(ic, iy as usize, ix as usize)
+                        };
+                        m[base + (ic * k + ky) * k + kx] = v;
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Convolution as `kernel-matrix (out_c × cols) × im2colᵀ`, requantized —
+/// must agree bit-exactly with [`crate::golden::conv`].
+pub fn conv_via_gemm(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> {
+    let LayerKind::Conv { out_c, relu, .. } = layer.kind else {
+        panic!("{}: not a conv layer", layer.name);
+    };
+    let out_shape = layer.output();
+    let patches = im2col(layer, input);
+    let cols = kernel.shape().filter_volume();
+    let rows = out_shape.h * out_shape.w;
+    debug_assert_eq!(patches.len(), rows * cols);
+
+    let mut out = Tensor::zeros(out_shape);
+    for oc in 0..out_c {
+        let w = kernel.filter(oc); // exactly the im2col column order
+        for row in 0..rows {
+            let patch = &patches[row * cols..(row + 1) * cols];
+            let acc: i32 = patch.iter().zip(w).map(|(&a, &b)| a as i32 * b as i32).sum();
+            out.data_mut()[oc * rows + row] = requantize(acc, layer.requant_shift, relu);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, SparsityProfile, Workload};
+    use crate::shape::TensorShape;
+    use crate::{golden, network};
+
+    fn conv_layer(in_c: usize, h: usize, w: usize, out_c: usize, k: usize, stride: usize, pad: usize) -> Layer {
+        Layer {
+            name: "g".into(),
+            kind: LayerKind::Conv { out_c, k, stride, pad, relu: true },
+            input: TensorShape::new(in_c, h, w),
+            requant_shift: 7,
+        }
+    }
+
+    #[test]
+    fn im2col_dimensions_and_padding() {
+        let layer = conv_layer(2, 4, 4, 3, 3, 1, 1);
+        let input = gen::activations(layer.input, 0.0, &mut gen::rng(1));
+        let m = im2col(&layer, &input);
+        assert_eq!(m.len(), 16 * 2 * 9);
+        // First patch (output (0,0)) starts at padded (-1,-1): its first
+        // row of taps for channel 0 is padding.
+        assert_eq!(&m[0..3], &[0, 0, 0]);
+        // Centre tap of patch (0,0), channel 0 = input (0,0).
+        assert_eq!(m[4], input.get(0, 0, 0));
+    }
+
+    #[test]
+    fn gemm_oracle_agrees_with_direct_oracle() {
+        for (in_c, h, w, out_c, k, stride, pad) in [
+            (3usize, 16usize, 16usize, 8usize, 3usize, 1usize, 1usize),
+            (1, 12, 12, 4, 5, 2, 0),
+            (4, 9, 7, 6, 3, 2, 2),
+            (2, 8, 8, 2, 1, 1, 0),
+        ] {
+            let layer = conv_layer(in_c, h, w, out_c, k, stride, pad);
+            let mut rng = gen::rng(9);
+            let input = gen::activations(layer.input, 0.4, &mut rng);
+            let kernel = gen::kernel(layer.kernel_shape().unwrap(), 0.3, &mut rng);
+            let direct = golden::conv(&layer, &input, &kernel);
+            let gemm = conv_via_gemm(&layer, &input, &kernel);
+            assert_eq!(direct, gemm, "k{k}s{stride}p{pad}");
+        }
+    }
+
+    #[test]
+    fn both_oracles_agree_across_a_whole_network() {
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 33);
+        let mut current = w.input.clone();
+        for (i, layer) in w.network.layers().iter().enumerate() {
+            let next = golden::layer(layer, &current, w.kernels[i].as_ref());
+            if matches!(layer.kind, LayerKind::Conv { .. }) {
+                let gemm = conv_via_gemm(layer, &current, w.kernels[i].as_ref().unwrap());
+                assert_eq!(next, gemm, "layer {}", layer.name);
+            }
+            current = next;
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Bit-exact golden reference executor.
+//!
+//! The simplest possible direct implementation of each operator, used as the
+//! correctness oracle for every simulated dataflow: tiled, fused, parallel or
+//! compressed execution must reproduce these bytes exactly. Convolutions are
+//! parallelized over output channels with Rayon — each output channel is an
+//! independent reduction, so parallel and sequential results are identical.
+
+use crate::gen::Workload;
+use crate::layer::{Layer, LayerKind, PoolKind};
+use crate::tensor::{requantize, Kernel, Tensor};
+use rayon::prelude::*;
+
+/// Direct convolution of `input` with `kernel`, with stride/pad/ReLU and
+/// requantization taken from `layer`.
+///
+/// # Panics
+/// Panics if `layer` is not a conv layer or shapes are inconsistent.
+pub fn conv(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> {
+    let LayerKind::Conv { out_c, k, stride, pad, relu } = layer.kind else {
+        panic!("{}: not a conv layer", layer.name);
+    };
+    assert_eq!(input.shape(), layer.input, "{}: input shape mismatch", layer.name);
+    assert_eq!(Some(kernel.shape()), layer.kernel_shape(), "{}: kernel shape mismatch", layer.name);
+
+    let out_shape = layer.output();
+    let in_shape = input.shape();
+    let shift = layer.requant_shift;
+    let plane = out_shape.plane();
+
+    let mut out = Tensor::zeros(out_shape);
+    // Each output channel writes a disjoint plane: embarrassingly parallel.
+    out.data_mut()
+        .par_chunks_mut(plane)
+        .enumerate()
+        .for_each(|(oc, out_plane)| {
+            debug_assert!(oc < out_c);
+            for oy in 0..out_shape.h {
+                for ox in 0..out_shape.w {
+                    let mut acc: i32 = 0;
+                    for ic in 0..in_shape.c {
+                        for ky in 0..k {
+                            // Signed arithmetic for the padded coordinate.
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= in_shape.h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix as usize >= in_shape.w {
+                                    continue;
+                                }
+                                let a = input.get(ic, iy as usize, ix as usize) as i32;
+                                let w = kernel.get(oc, ic, ky, kx) as i32;
+                                acc += a * w;
+                            }
+                        }
+                    }
+                    out_plane[oy * out_shape.w + ox] = requantize(acc, shift, relu);
+                }
+            }
+        });
+    out
+}
+
+/// Spatial pooling (max or truncating average) per `layer`.
+pub fn pool(layer: &Layer, input: &Tensor<i8>) -> Tensor<i8> {
+    let LayerKind::Pool { kind, k, stride } = layer.kind else {
+        panic!("{}: not a pool layer", layer.name);
+    };
+    assert_eq!(input.shape(), layer.input, "{}: input shape mismatch", layer.name);
+    let out_shape = layer.output();
+    let mut out = Tensor::zeros(out_shape);
+    for c in 0..out_shape.c {
+        for oy in 0..out_shape.h {
+            for ox in 0..out_shape.w {
+                let v = pool_window(input, kind, c, oy * stride, ox * stride, k);
+                out.set(c, oy, ox, v);
+            }
+        }
+    }
+    out
+}
+
+/// Reduction of one pooling window. Shared with the simulated dataflows so
+/// both sides agree on the (truncating) average semantics.
+#[inline]
+pub fn pool_window(input: &Tensor<i8>, kind: PoolKind, c: usize, y0: usize, x0: usize, k: usize) -> i8 {
+    match kind {
+        PoolKind::Max => {
+            let mut m = i8::MIN;
+            for y in y0..y0 + k {
+                for x in x0..x0 + k {
+                    m = m.max(input.get(c, y, x));
+                }
+            }
+            m
+        }
+        PoolKind::Avg => {
+            let mut s: i32 = 0;
+            for y in y0..y0 + k {
+                for x in x0..x0 + k {
+                    s += input.get(c, y, x) as i32;
+                }
+            }
+            (s / (k * k) as i32) as i8
+        }
+    }
+}
+
+/// Fully-connected layer: dense matrix-vector product over the flattened
+/// input, with requantization + optional ReLU.
+pub fn fc(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> {
+    let LayerKind::Fc { out, relu } = layer.kind else {
+        panic!("{}: not an fc layer", layer.name);
+    };
+    assert_eq!(input.shape(), layer.input, "{}: input shape mismatch", layer.name);
+    assert_eq!(Some(kernel.shape()), layer.kernel_shape(), "{}: kernel shape mismatch", layer.name);
+    let flat = input.data();
+    let shift = layer.requant_shift;
+    let data: Vec<i8> = (0..out)
+        .into_par_iter()
+        .map(|o| {
+            let w = kernel.filter(o);
+            let acc: i32 = flat
+                .iter()
+                .zip(w)
+                .map(|(&a, &b)| a as i32 * b as i32)
+                .sum();
+            requantize(acc, shift, relu)
+        })
+        .collect();
+    Tensor::from_vec(layer.output(), data)
+}
+
+/// Depthwise convolution: each channel is convolved with its own `k × k`
+/// filter, with stride/pad/ReLU and requantization from `layer`.
+pub fn dwconv(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> {
+    let LayerKind::DwConv { k, stride, pad, relu } = layer.kind else {
+        panic!("{}: not a dwconv layer", layer.name);
+    };
+    assert_eq!(input.shape(), layer.input, "{}: input shape mismatch", layer.name);
+    assert_eq!(Some(kernel.shape()), layer.kernel_shape(), "{}: kernel shape mismatch", layer.name);
+
+    let out_shape = layer.output();
+    let in_shape = input.shape();
+    let shift = layer.requant_shift;
+    let plane = out_shape.plane();
+
+    let mut out = Tensor::zeros(out_shape);
+    out.data_mut()
+        .par_chunks_mut(plane)
+        .enumerate()
+        .for_each(|(c, out_plane)| {
+            for oy in 0..out_shape.h {
+                for ox in 0..out_shape.w {
+                    let mut acc: i32 = 0;
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy as usize >= in_shape.h {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix as usize >= in_shape.w {
+                                continue;
+                            }
+                            acc += input.get(c, iy as usize, ix as usize) as i32
+                                * kernel.get(c, 0, ky, kx) as i32;
+                        }
+                    }
+                    out_plane[oy * out_shape.w + ox] = requantize(acc, shift, relu);
+                }
+            }
+        });
+    out
+}
+
+/// Executes one layer against its input, dispatching on the operator.
+pub fn layer(l: &Layer, input: &Tensor<i8>, kernel: Option<&Kernel>) -> Tensor<i8> {
+    match l.kind {
+        LayerKind::Conv { .. } => conv(l, input, kernel.expect("conv needs weights")),
+        LayerKind::Pool { .. } => pool(l, input),
+        LayerKind::Fc { .. } => fc(l, input, kernel.expect("fc needs weights")),
+        LayerKind::DwConv { .. } => dwconv(l, input, kernel.expect("dwconv needs weights")),
+    }
+}
+
+/// Runs the full network forward pass, returning every intermediate feature
+/// map (index `i` = output of layer `i`). Keeping the intermediates lets
+/// equivalence tests compare any simulated layer in isolation.
+pub fn forward(workload: &Workload) -> Vec<Tensor<i8>> {
+    let mut outputs = Vec::with_capacity(workload.network.len());
+    let mut current = workload.input.clone();
+    for (i, l) in workload.network.layers().iter().enumerate() {
+        let next = layer(l, &current, workload.kernels[i].as_ref());
+        outputs.push(next.clone());
+        current = next;
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, SparsityProfile, Workload};
+    use crate::network;
+    use crate::shape::{KernelShape, TensorShape};
+
+    fn conv_layer(input: TensorShape, out_c: usize, k: usize, stride: usize, pad: usize, relu: bool) -> Layer {
+        Layer {
+            name: "t".into(),
+            kind: LayerKind::Conv { out_c, k, stride, pad, relu },
+            input,
+            requant_shift: 0,
+        }
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        // 1x1 kernel with weight 1, shift 0: output == input.
+        let shape = TensorShape::new(1, 4, 4);
+        let input = gen::activations(shape, 0.3, &mut gen::rng(1));
+        let l = conv_layer(shape, 1, 1, 1, 0, false);
+        let k = Kernel::from_vec(KernelShape::new(1, 1, 1), vec![1]);
+        let out = conv(&l, &input, &k);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn hand_computed_3x3_conv() {
+        // 3x3 input, 2x2 kernel of ones, stride 1, no pad.
+        let input = Tensor::from_vec(TensorShape::new(1, 3, 3), vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let l = conv_layer(TensorShape::new(1, 3, 3), 1, 2, 1, 0, false);
+        let k = Kernel::from_vec(KernelShape::new(1, 1, 2), vec![1, 1, 1, 1]);
+        let out = conv(&l, &input, &k);
+        assert_eq!(out.shape(), TensorShape::new(1, 2, 2));
+        assert_eq!(out.data(), &[12, 16, 24, 28]);
+    }
+
+    #[test]
+    fn padding_reads_zeros() {
+        // Single-pixel input, 3x3 kernel, pad 1: only centre tap contributes.
+        let input = Tensor::from_vec(TensorShape::new(1, 1, 1), vec![5]);
+        let l = conv_layer(TensorShape::new(1, 1, 1), 1, 3, 1, 1, false);
+        let mut kd = vec![0i8; 9];
+        kd[4] = 2; // centre tap
+        let k = Kernel::from_vec(KernelShape::new(1, 1, 3), kd);
+        let out = conv(&l, &input, &k);
+        assert_eq!(out.data(), &[10]);
+    }
+
+    #[test]
+    fn relu_zeroes_negative_accumulations() {
+        let input = Tensor::from_vec(TensorShape::new(1, 1, 1), vec![3]);
+        let l = conv_layer(TensorShape::new(1, 1, 1), 1, 1, 1, 0, true);
+        let k = Kernel::from_vec(KernelShape::new(1, 1, 1), vec![-2]);
+        let out = conv(&l, &input, &k);
+        assert_eq!(out.data(), &[0]);
+    }
+
+    #[test]
+    fn multi_channel_accumulates_across_input_channels() {
+        // 2 input channels, all-ones 1x1 kernels: output = sum of channels.
+        let input = Tensor::from_vec(TensorShape::new(2, 1, 2), vec![1, 2, 10, 20]);
+        let l = conv_layer(TensorShape::new(2, 1, 2), 1, 1, 1, 0, false);
+        let k = Kernel::from_vec(KernelShape::new(1, 2, 1), vec![1, 1]);
+        let out = conv(&l, &input, &k);
+        assert_eq!(out.data(), &[11, 22]);
+    }
+
+    #[test]
+    fn strided_conv_skips_positions() {
+        let input = Tensor::from_vec(TensorShape::new(1, 1, 5), vec![1, 2, 3, 4, 5]);
+        let l = conv_layer(TensorShape::new(1, 1, 5), 1, 1, 2, 0, false);
+        let k = Kernel::from_vec(KernelShape::new(1, 1, 1), vec![1]);
+        let out = conv(&l, &input, &k);
+        assert_eq!(out.data(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn max_pool_hand_case() {
+        let input = Tensor::from_vec(TensorShape::new(1, 2, 4), vec![1, 9, 2, 3, 4, 5, 6, -7]);
+        let l = Layer {
+            name: "p".into(),
+            kind: LayerKind::Pool { kind: PoolKind::Max, k: 2, stride: 2 },
+            input: TensorShape::new(1, 2, 4),
+            requant_shift: 0,
+        };
+        let out = pool(&l, &input);
+        assert_eq!(out.data(), &[9, 6]);
+    }
+
+    #[test]
+    fn avg_pool_truncates_toward_zero() {
+        let input = Tensor::from_vec(TensorShape::new(1, 2, 2), vec![1, 2, 3, 5]);
+        let l = Layer {
+            name: "p".into(),
+            kind: LayerKind::Pool { kind: PoolKind::Avg, k: 2, stride: 2 },
+            input: TensorShape::new(1, 2, 2),
+            requant_shift: 0,
+        };
+        let out = pool(&l, &input);
+        assert_eq!(out.data(), &[2]); // (1+2+3+5)/4 = 2 (truncating)
+    }
+
+    #[test]
+    fn fc_matches_manual_dot_product() {
+        let input = Tensor::from_vec(TensorShape::new(1, 1, 3), vec![1, 2, 3]);
+        let l = Layer {
+            name: "fc".into(),
+            kind: LayerKind::Fc { out: 2, relu: false },
+            input: TensorShape::new(1, 1, 3),
+            requant_shift: 0,
+        };
+        let k = Kernel::from_vec(KernelShape::new(2, 3, 1), vec![1, 0, -1, 2, 2, 2]);
+        let out = fc(&l, &input, &k);
+        assert_eq!(out.data(), &[-2, 12]);
+    }
+
+    #[test]
+    fn forward_runs_whole_tiny_network() {
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 3);
+        let outs = forward(&w);
+        assert_eq!(outs.len(), w.network.len());
+        for (i, l) in w.network.layers().iter().enumerate() {
+            assert_eq!(outs[i].shape(), l.output(), "layer {}", l.name);
+        }
+    }
+
+    #[test]
+    fn relu_layers_produce_sparse_outputs() {
+        // With symmetric random weights, ~half the accumulators go negative;
+        // ReLU should leave visibly sparse activations — the property the
+        // whole compression story rests on.
+        let w = Workload::generate(network::tiny(), SparsityProfile::DENSE, 3);
+        let outs = forward(&w);
+        let conv1_sparsity = outs[0].sparsity();
+        assert!(conv1_sparsity > 0.3, "got {conv1_sparsity}");
+    }
+
+    #[test]
+    fn dwconv_hand_case() {
+        // 2 channels, 2x2 kernel of ones per channel, stride 1, no pad:
+        // each channel pools its own window sum; channels never mix.
+        let input = Tensor::from_vec(
+            TensorShape::new(2, 2, 2),
+            vec![1, 2, 3, 4, 10, 20, 30, 40],
+        );
+        let l = Layer {
+            name: "dw".into(),
+            kind: LayerKind::DwConv { k: 2, stride: 1, pad: 0, relu: false },
+            input: TensorShape::new(2, 2, 2),
+            requant_shift: 0,
+        };
+        let k = Kernel::from_vec(KernelShape::new(2, 1, 2), vec![1, 1, 1, 1, 1, 1, 1, 1]);
+        let out = dwconv(&l, &input, &k);
+        assert_eq!(out.shape(), TensorShape::new(2, 1, 1));
+        assert_eq!(out.data(), &[10, 100]);
+    }
+
+    #[test]
+    fn dwconv_channels_are_independent() {
+        // Zeroing one channel's filter must zero only that channel's output.
+        let shape = TensorShape::new(3, 6, 6);
+        let input = gen::activations(shape, 0.2, &mut gen::rng(4));
+        let l = Layer {
+            name: "dw".into(),
+            kind: LayerKind::DwConv { k: 3, stride: 1, pad: 1, relu: false },
+            input: shape,
+            requant_shift: 4,
+        };
+        let mut k = gen::kernel(KernelShape::new(3, 1, 3), 0.0, &mut gen::rng(5));
+        for v in k.data_mut()[9..18].iter_mut() {
+            *v = 0; // channel 1's filter
+        }
+        let out = dwconv(&l, &input, &k);
+        assert!(out.channel(1).iter().all(|&v| v == 0));
+        assert!(out.channel(0).iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn mobilenet_forward_runs() {
+        let w = Workload::generate(crate::network::mobilenet(), SparsityProfile::NOMINAL, 8);
+        let outs = forward(&w);
+        assert_eq!(outs.last().unwrap().shape(), TensorShape::new(100, 1, 1));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 3);
+        assert_eq!(forward(&w), forward(&w));
+    }
+}

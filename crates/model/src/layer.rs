@@ -1,0 +1,308 @@
+//! The CNN layer intermediate representation.
+//!
+//! A [`Layer`] pairs an operator description with the input shape it will be
+//! applied to; the output shape is derived, never stored, so shapes can't
+//! drift out of sync. The IR covers exactly the operator set of the networks
+//! MOCHA evaluates (AlexNet-class CNNs): convolution with fused ReLU,
+//! max/average pooling, and fully-connected layers.
+
+use crate::shape::{conv_out_dim, KernelShape, TensorShape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Pooling flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Maximum over the window.
+    Max,
+    /// Arithmetic mean over the window (truncating division, matching an
+    /// integer datapath).
+    Avg,
+}
+
+/// Operator payload of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution over all input channels.
+    Conv {
+        /// Number of output channels (filters).
+        out_c: usize,
+        /// Square kernel size.
+        k: usize,
+        /// Spatial stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+        /// Whether a ReLU is fused into the requantization step.
+        relu: bool,
+    },
+    /// Spatial pooling, applied per channel.
+    Pool {
+        /// Pooling flavour.
+        kind: PoolKind,
+        /// Square window size.
+        k: usize,
+        /// Spatial stride.
+        stride: usize,
+    },
+    /// Fully-connected layer: flattens the input and multiplies by a dense
+    /// `out × volume(in)` weight matrix.
+    Fc {
+        /// Number of output neurons.
+        out: usize,
+        /// Whether a ReLU is fused into the requantization step.
+        relu: bool,
+    },
+    /// Depthwise 2-D convolution: each channel is convolved with its own
+    /// `k × k` filter (no cross-channel reduction) — the MobileNet-era
+    /// operator, included as the reproduction's extension workload.
+    DwConv {
+        /// Square kernel size.
+        k: usize,
+        /// Spatial stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+        /// Whether a ReLU is fused into the requantization step.
+        relu: bool,
+    },
+}
+
+/// One layer of a network: an operator applied to a known input shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable name (`conv1`, `pool2`, `fc6`, …).
+    pub name: String,
+    /// Operator.
+    pub kind: LayerKind,
+    /// Shape of the input feature map.
+    pub input: TensorShape,
+    /// Right-shift applied when requantizing i32 accumulators to i8. Chosen
+    /// per layer by the network builder to keep activations in range.
+    pub requant_shift: u32,
+}
+
+impl Layer {
+    /// Derives the output feature-map shape.
+    ///
+    /// # Panics
+    /// Panics if the operator does not fit the input (e.g. kernel larger than
+    /// the padded input) — network construction is expected to be validated.
+    pub fn output(&self) -> TensorShape {
+        match self.kind {
+            LayerKind::Conv { out_c, k, stride, pad, .. } => {
+                let h = conv_out_dim(self.input.h, k, stride, pad)
+                    .unwrap_or_else(|| panic!("{}: kernel does not fit input", self.name));
+                let w = conv_out_dim(self.input.w, k, stride, pad)
+                    .unwrap_or_else(|| panic!("{}: kernel does not fit input", self.name));
+                TensorShape::new(out_c, h, w)
+            }
+            LayerKind::Pool { k, stride, .. } => {
+                let h = conv_out_dim(self.input.h, k, stride, 0)
+                    .unwrap_or_else(|| panic!("{}: pool window does not fit", self.name));
+                let w = conv_out_dim(self.input.w, k, stride, 0)
+                    .unwrap_or_else(|| panic!("{}: pool window does not fit", self.name));
+                TensorShape::new(self.input.c, h, w)
+            }
+            LayerKind::Fc { out, .. } => TensorShape::new(out, 1, 1),
+            LayerKind::DwConv { k, stride, pad, .. } => {
+                let h = conv_out_dim(self.input.h, k, stride, pad)
+                    .unwrap_or_else(|| panic!("{}: kernel does not fit input", self.name));
+                let w = conv_out_dim(self.input.w, k, stride, pad)
+                    .unwrap_or_else(|| panic!("{}: kernel does not fit input", self.name));
+                TensorShape::new(self.input.c, h, w)
+            }
+        }
+    }
+
+    /// Shape of the weight tensor, if the layer has one. A fully-connected
+    /// layer is modelled as a 1×1 convolution over the flattened input, which
+    /// is exactly how the fabric executes it.
+    pub fn kernel_shape(&self) -> Option<KernelShape> {
+        match self.kind {
+            LayerKind::Conv { out_c, k, .. } => Some(KernelShape::new(out_c, self.input.c, k)),
+            LayerKind::Fc { out, .. } => Some(KernelShape::new(out, self.input.volume(), 1)),
+            LayerKind::DwConv { k, .. } => Some(KernelShape::new(self.input.c, 1, k)),
+            LayerKind::Pool { .. } => None,
+        }
+    }
+
+    /// Number of multiply-accumulate operations a dense execution performs.
+    /// This is the work metric throughput (GOPS) is normalized against; the
+    /// convention (as in the accelerator literature) counts one MAC as two
+    /// ops.
+    pub fn macs(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv { k, .. } => {
+                let out = self.output();
+                out.volume() as u64 * (self.input.c * k * k) as u64
+            }
+            LayerKind::Fc { out, .. } => out as u64 * self.input.volume() as u64,
+            LayerKind::DwConv { k, .. } => self.output().volume() as u64 * (k * k) as u64,
+            // Pooling does comparisons/adds, not MACs; we count one op per
+            // window element for utilization purposes but report it
+            // separately from MAC throughput.
+            LayerKind::Pool { .. } => 0,
+        }
+    }
+
+    /// Window-reduction operations for pooling layers (elements visited).
+    pub fn pool_ops(&self) -> u64 {
+        match self.kind {
+            LayerKind::Pool { k, .. } => self.output().volume() as u64 * (k * k) as u64,
+            _ => 0,
+        }
+    }
+
+    /// True if this layer's operator ends with a fused ReLU.
+    pub fn has_relu(&self) -> bool {
+        matches!(
+            self.kind,
+            LayerKind::Conv { relu: true, .. }
+                | LayerKind::Fc { relu: true, .. }
+                | LayerKind::DwConv { relu: true, .. }
+        )
+    }
+
+    /// True for layers carrying weights (conv and fc).
+    pub fn has_weights(&self) -> bool {
+        self.kernel_shape().is_some()
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            LayerKind::Conv { out_c, k, stride, pad, relu } => write!(
+                f,
+                "{}: conv {}→{} k{}s{}p{}{} [{}→{}]",
+                self.name,
+                self.input.c,
+                out_c,
+                k,
+                stride,
+                pad,
+                if relu { "+relu" } else { "" },
+                self.input,
+                self.output()
+            ),
+            LayerKind::Pool { kind, k, stride } => write!(
+                f,
+                "{}: {}pool k{}s{} [{}→{}]",
+                self.name,
+                match kind {
+                    PoolKind::Max => "max",
+                    PoolKind::Avg => "avg",
+                },
+                k,
+                stride,
+                self.input,
+                self.output()
+            ),
+            LayerKind::Fc { out, relu } => write!(
+                f,
+                "{}: fc {}→{}{} [{}→{}]",
+                self.name,
+                self.input.volume(),
+                out,
+                if relu { "+relu" } else { "" },
+                self.input,
+                self.output()
+            ),
+            LayerKind::DwConv { k, stride, pad, relu } => write!(
+                f,
+                "{}: dwconv k{}s{}p{}{} [{}→{}]",
+                self.name,
+                k,
+                stride,
+                pad,
+                if relu { "+relu" } else { "" },
+                self.input,
+                self.output()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(name: &str, input: TensorShape, out_c: usize, k: usize, stride: usize, pad: usize) -> Layer {
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Conv { out_c, k, stride, pad, relu: true },
+            input,
+            requant_shift: 8,
+        }
+    }
+
+    #[test]
+    fn conv_output_shape_alexnet_conv1() {
+        let l = conv("conv1", TensorShape::new(3, 227, 227), 96, 11, 4, 0);
+        assert_eq!(l.output(), TensorShape::new(96, 55, 55));
+    }
+
+    #[test]
+    fn conv_macs_alexnet_conv1() {
+        let l = conv("conv1", TensorShape::new(3, 227, 227), 96, 11, 4, 0);
+        // 96*55*55 outputs, each 3*11*11 MACs = 105,415,200.
+        assert_eq!(l.macs(), 105_415_200);
+    }
+
+    #[test]
+    fn pool_output_shape_and_ops() {
+        let l = Layer {
+            name: "pool1".into(),
+            kind: LayerKind::Pool { kind: PoolKind::Max, k: 3, stride: 2 },
+            input: TensorShape::new(96, 55, 55),
+            requant_shift: 0,
+        };
+        assert_eq!(l.output(), TensorShape::new(96, 27, 27));
+        assert_eq!(l.macs(), 0);
+        assert_eq!(l.pool_ops(), 96 * 27 * 27 * 9);
+        assert!(!l.has_weights());
+    }
+
+    #[test]
+    fn fc_is_one_by_one_conv_over_flattened_input() {
+        let l = Layer {
+            name: "fc6".into(),
+            kind: LayerKind::Fc { out: 4096, relu: true },
+            input: TensorShape::new(256, 6, 6),
+            requant_shift: 10,
+        };
+        assert_eq!(l.output(), TensorShape::new(4096, 1, 1));
+        let ks = l.kernel_shape().unwrap();
+        assert_eq!(ks, KernelShape::new(4096, 256 * 36, 1));
+        assert_eq!(l.macs(), 4096 * 256 * 36);
+    }
+
+    #[test]
+    fn relu_flag_detection() {
+        let l = conv("c", TensorShape::new(1, 8, 8), 4, 3, 1, 1);
+        assert!(l.has_relu());
+        let p = Layer {
+            name: "p".into(),
+            kind: LayerKind::Pool { kind: PoolKind::Avg, k: 2, stride: 2 },
+            input: TensorShape::new(4, 8, 8),
+            requant_shift: 0,
+        };
+        assert!(!p.has_relu());
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel does not fit")]
+    fn oversized_kernel_panics() {
+        conv("bad", TensorShape::new(1, 4, 4), 1, 7, 1, 0).output();
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let l = conv("conv1", TensorShape::new(3, 227, 227), 96, 11, 4, 0);
+        let s = l.to_string();
+        assert!(s.contains("conv1"));
+        assert!(s.contains("k11s4p0"));
+        assert!(s.contains("96x55x55"));
+    }
+}

@@ -1,0 +1,380 @@
+//! Networks: validated linear chains of layers, plus the evaluation zoo.
+//!
+//! MOCHA's evaluation uses AlexNet-class feed-forward CNNs, so a network here
+//! is a straight pipeline — each layer consumes the previous layer's output.
+//! [`NetworkBuilder`] chains shapes automatically and validates every layer
+//! at construction, so a `Network` is legal by construction.
+
+use crate::layer::{Layer, LayerKind, PoolKind};
+use crate::shape::TensorShape;
+use serde::{Deserialize, Serialize};
+
+/// A validated feed-forward CNN.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    /// Model name (`alexnet`, `lenet5`, …).
+    pub name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// The network's layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the network has no layers (never produced by the builder).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Shape of the network input.
+    pub fn input_shape(&self) -> TensorShape {
+        self.layers.first().expect("network has no layers").input
+    }
+
+    /// Shape of the final output.
+    pub fn output_shape(&self) -> TensorShape {
+        self.layers.last().expect("network has no layers").output()
+    }
+
+    /// Total dense MAC count across all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total weight bytes across all layers.
+    pub fn total_weight_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .filter_map(|l| l.kernel_shape())
+            .map(|k| k.bytes())
+            .sum()
+    }
+
+    /// Indices of layers that carry weights (conv/fc) — the layers the
+    /// accelerator actually schedules compute for.
+    pub fn compute_layer_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.has_weights())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Incremental builder that chains layer shapes and validates each addition.
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    next_input: TensorShape,
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Starts a network with the given input feature-map shape.
+    pub fn new(name: impl Into<String>, input: TensorShape) -> Self {
+        Self { name: name.into(), next_input: input, layers: Vec::new() }
+    }
+
+    fn push(&mut self, name: String, kind: LayerKind, requant_shift: u32) -> &mut Self {
+        let layer = Layer { name, kind, input: self.next_input, requant_shift };
+        // `output()` panics on illegal configurations, validating eagerly.
+        self.next_input = layer.output();
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends a convolution (+ optional fused ReLU).
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        &mut self,
+        name: &str,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        relu: bool,
+        requant_shift: u32,
+    ) -> &mut Self {
+        self.push(name.into(), LayerKind::Conv { out_c, k, stride, pad, relu }, requant_shift)
+    }
+
+    /// Appends a max-pooling layer.
+    pub fn max_pool(&mut self, name: &str, k: usize, stride: usize) -> &mut Self {
+        self.push(name.into(), LayerKind::Pool { kind: PoolKind::Max, k, stride }, 0)
+    }
+
+    /// Appends an average-pooling layer.
+    pub fn avg_pool(&mut self, name: &str, k: usize, stride: usize) -> &mut Self {
+        self.push(name.into(), LayerKind::Pool { kind: PoolKind::Avg, k, stride }, 0)
+    }
+
+    /// Appends a fully-connected layer (+ optional fused ReLU).
+    pub fn fc(&mut self, name: &str, out: usize, relu: bool, requant_shift: u32) -> &mut Self {
+        self.push(name.into(), LayerKind::Fc { out, relu }, requant_shift)
+    }
+
+    /// Appends a depthwise convolution (+ optional fused ReLU).
+    pub fn dwconv(&mut self, name: &str, k: usize, stride: usize, pad: usize, relu: bool, requant_shift: u32) -> &mut Self {
+        self.push(name.into(), LayerKind::DwConv { k, stride, pad, relu }, requant_shift)
+    }
+
+    /// Finishes the network.
+    ///
+    /// # Panics
+    /// Panics if no layers were added.
+    pub fn build(&mut self) -> Network {
+        assert!(!self.layers.is_empty(), "network must have at least one layer");
+        Network { name: std::mem::take(&mut self.name), layers: std::mem::take(&mut self.layers) }
+    }
+}
+
+/// Requantization shifts below are chosen so that i8×i8 accumulations over
+/// each layer's reduction depth land back in i8 range with headroom; they are
+/// workload plumbing, not tuned hyper-parameters.
+mod shifts {
+    pub const SMALL: u32 = 6;
+    pub const MEDIUM: u32 = 8;
+    pub const LARGE: u32 = 10;
+}
+
+/// LeNet-5 (32×32 grey input) — the small end of the evaluation range.
+pub fn lenet5() -> Network {
+    let mut b = NetworkBuilder::new("lenet5", TensorShape::new(1, 32, 32));
+    b.conv("conv1", 6, 5, 1, 0, true, shifts::SMALL)
+        .max_pool("pool1", 2, 2)
+        .conv("conv2", 16, 5, 1, 0, true, shifts::MEDIUM)
+        .max_pool("pool2", 2, 2)
+        .conv("conv3", 120, 5, 1, 0, true, shifts::MEDIUM)
+        .fc("fc4", 84, true, shifts::MEDIUM)
+        .fc("fc5", 10, false, shifts::MEDIUM);
+    b.build()
+}
+
+/// AlexNet (227×227 RGB input) — the paper's primary workload class.
+/// Grouped convolutions of the original are modelled dense (the standard
+/// single-GPU formulation), which only increases the dense MAC count the
+/// same way for MOCHA and every baseline.
+pub fn alexnet() -> Network {
+    let mut b = NetworkBuilder::new("alexnet", TensorShape::new(3, 227, 227));
+    b.conv("conv1", 96, 11, 4, 0, true, shifts::MEDIUM)
+        .max_pool("pool1", 3, 2)
+        .conv("conv2", 256, 5, 1, 2, true, shifts::LARGE)
+        .max_pool("pool2", 3, 2)
+        .conv("conv3", 384, 3, 1, 1, true, shifts::LARGE)
+        .conv("conv4", 384, 3, 1, 1, true, shifts::LARGE)
+        .conv("conv5", 256, 3, 1, 1, true, shifts::LARGE)
+        .max_pool("pool5", 3, 2)
+        .fc("fc6", 4096, true, shifts::LARGE)
+        .fc("fc7", 4096, true, shifts::LARGE)
+        .fc("fc8", 1000, false, shifts::LARGE);
+    b.build()
+}
+
+/// VGG-16 (224×224 RGB input) — the large end of the evaluation range.
+pub fn vgg16() -> Network {
+    let mut b = NetworkBuilder::new("vgg16", TensorShape::new(3, 224, 224));
+    b.conv("conv1_1", 64, 3, 1, 1, true, shifts::MEDIUM)
+        .conv("conv1_2", 64, 3, 1, 1, true, shifts::LARGE)
+        .max_pool("pool1", 2, 2)
+        .conv("conv2_1", 128, 3, 1, 1, true, shifts::LARGE)
+        .conv("conv2_2", 128, 3, 1, 1, true, shifts::LARGE)
+        .max_pool("pool2", 2, 2)
+        .conv("conv3_1", 256, 3, 1, 1, true, shifts::LARGE)
+        .conv("conv3_2", 256, 3, 1, 1, true, shifts::LARGE)
+        .conv("conv3_3", 256, 3, 1, 1, true, shifts::LARGE)
+        .max_pool("pool3", 2, 2)
+        .conv("conv4_1", 512, 3, 1, 1, true, shifts::LARGE)
+        .conv("conv4_2", 512, 3, 1, 1, true, shifts::LARGE)
+        .conv("conv4_3", 512, 3, 1, 1, true, shifts::LARGE)
+        .max_pool("pool4", 2, 2)
+        .conv("conv5_1", 512, 3, 1, 1, true, shifts::LARGE)
+        .conv("conv5_2", 512, 3, 1, 1, true, shifts::LARGE)
+        .conv("conv5_3", 512, 3, 1, 1, true, shifts::LARGE)
+        .max_pool("pool5", 2, 2)
+        .fc("fc6", 4096, true, shifts::LARGE)
+        .fc("fc7", 4096, true, shifts::LARGE)
+        .fc("fc8", 1000, false, shifts::LARGE);
+    b.build()
+}
+
+/// A small conv/pool/fc pipeline for tests and fast experiment sweeps:
+/// the same operator mix as AlexNet at a fraction of the compute.
+pub fn tiny() -> Network {
+    let mut b = NetworkBuilder::new("tiny", TensorShape::new(3, 32, 32));
+    b.conv("conv1", 16, 5, 1, 2, true, shifts::SMALL)
+        .max_pool("pool1", 2, 2)
+        .conv("conv2", 32, 3, 1, 1, true, shifts::MEDIUM)
+        .max_pool("pool2", 2, 2)
+        .conv("conv3", 64, 3, 1, 1, true, shifts::MEDIUM)
+        .fc("fc4", 64, true, shifts::MEDIUM)
+        .fc("fc5", 10, false, shifts::MEDIUM);
+    b.build()
+}
+
+/// A single-conv-layer network with fully parameterized dimensions, used by
+/// experiment sweeps (e.g. F8's sparsity crossover study).
+pub fn single_conv(
+    in_c: usize,
+    h: usize,
+    w: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Network {
+    let mut b = NetworkBuilder::new("single_conv", TensorShape::new(in_c, h, w));
+    b.conv("conv", out_c, k, stride, pad, true, shifts::MEDIUM);
+    b.build()
+}
+
+/// A MobileNet-v1-style network (reduced to 96×96 input, width 0.5): the
+/// depthwise-separable extension workload. Each block is a 3×3 depthwise
+/// conv followed by a 1×1 pointwise conv — shapes that stress the morphing
+/// controller very differently from AlexNet-class nets (depthwise layers
+/// have no cross-channel reduction, so inter-fmap parallelism and kernel
+/// compression behave differently).
+pub fn mobilenet() -> Network {
+    let mut b = NetworkBuilder::new("mobilenet", TensorShape::new(3, 96, 96));
+    b.conv("conv1", 16, 3, 2, 1, true, shifts::SMALL);
+    let blocks: &[(usize, usize)] = &[
+        // (pointwise out channels, depthwise stride)
+        (32, 1),
+        (64, 2),
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+    ];
+    for (i, &(out_c, stride)) in blocks.iter().enumerate() {
+        b.dwconv(&format!("dw{}", i + 2), 3, stride, 1, true, shifts::SMALL)
+            .conv(&format!("pw{}", i + 2), out_c, 1, 1, 0, true, shifts::MEDIUM);
+    }
+    b.avg_pool("pool", 3, 3).fc("fc", 100, false, shifts::LARGE);
+    b.build()
+}
+
+/// All zoo networks keyed by name; `None` for unknown names.
+pub fn by_name(name: &str) -> Option<Network> {
+    match name {
+        "lenet5" => Some(lenet5()),
+        "alexnet" => Some(alexnet()),
+        "vgg16" => Some(vgg16()),
+        "tiny" => Some(tiny()),
+        "mobilenet" => Some(mobilenet()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_shapes() {
+        let n = tiny();
+        let mut prev = n.input_shape();
+        for l in n.layers() {
+            assert_eq!(l.input, prev, "layer {} input mismatch", l.name);
+            prev = l.output();
+        }
+        assert_eq!(n.output_shape(), prev);
+    }
+
+    #[test]
+    fn alexnet_shapes_match_reference() {
+        let n = alexnet();
+        let shapes: Vec<TensorShape> = n.layers().iter().map(|l| l.output()).collect();
+        assert_eq!(shapes[0], TensorShape::new(96, 55, 55)); // conv1
+        assert_eq!(shapes[1], TensorShape::new(96, 27, 27)); // pool1
+        assert_eq!(shapes[2], TensorShape::new(256, 27, 27)); // conv2
+        assert_eq!(shapes[3], TensorShape::new(256, 13, 13)); // pool2
+        assert_eq!(shapes[4], TensorShape::new(384, 13, 13)); // conv3
+        assert_eq!(shapes[6], TensorShape::new(256, 13, 13)); // conv5
+        assert_eq!(shapes[7], TensorShape::new(256, 6, 6)); // pool5
+        assert_eq!(n.output_shape(), TensorShape::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn alexnet_mac_count_is_in_known_ballpark() {
+        // Dense AlexNet (no groups) is ~1.14 G MACs in conv + ~58.6 M in fc.
+        let n = alexnet();
+        let total = n.total_macs();
+        assert!(total > 1_100_000_000 && total < 1_300_000_000, "got {total}");
+    }
+
+    #[test]
+    fn vgg16_mac_count_is_in_known_ballpark() {
+        // VGG-16 is ~15.3 G MACs conv + ~0.12 G fc.
+        let n = vgg16();
+        let total = n.total_macs();
+        assert!(total > 15_000_000_000 && total < 16_000_000_000, "got {total}");
+    }
+
+    #[test]
+    fn lenet5_output_is_ten_classes() {
+        assert_eq!(lenet5().output_shape(), TensorShape::new(10, 1, 1));
+    }
+
+    #[test]
+    fn weight_bytes_alexnet_dense() {
+        // Dense AlexNet has ~60.9 M parameters (8-bit => bytes).
+        let n = alexnet();
+        let bytes = n.total_weight_bytes();
+        assert!(bytes > 55_000_000 && bytes < 65_000_000, "got {bytes}");
+    }
+
+    #[test]
+    fn compute_layer_indices_skip_pools() {
+        let n = tiny();
+        let idx = n.compute_layer_indices();
+        let names: Vec<&str> = idx.iter().map(|&i| n.layers()[i].name.as_str()).collect();
+        assert_eq!(names, ["conv1", "conv2", "conv3", "fc4", "fc5"]);
+    }
+
+    #[test]
+    fn zoo_lookup() {
+        assert!(by_name("alexnet").is_some());
+        assert!(by_name("lenet5").is_some());
+        assert!(by_name("vgg16").is_some());
+        assert!(by_name("tiny").is_some());
+        assert!(by_name("resnet152").is_none());
+    }
+
+    #[test]
+    fn mobilenet_alternates_dw_and_pw() {
+        let n = mobilenet();
+        let kinds: Vec<bool> = n
+            .layers()
+            .iter()
+            .map(|l| matches!(l.kind, LayerKind::DwConv { .. }))
+            .collect();
+        // dw layers exist and each is followed by a 1x1 conv.
+        let dw_count = kinds.iter().filter(|&&b| b).count();
+        assert_eq!(dw_count, 7);
+        for (i, &is_dw) in kinds.iter().enumerate() {
+            if is_dw {
+                assert!(
+                    matches!(n.layers()[i + 1].kind, LayerKind::Conv { k: 1, .. }),
+                    "dw at {i} not followed by pointwise conv"
+                );
+            }
+        }
+        assert!(by_name("mobilenet").is_some());
+    }
+
+    #[test]
+    fn single_conv_parameterized() {
+        let n = single_conv(8, 16, 16, 4, 3, 1, 1);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.output_shape(), TensorShape::new(4, 16, 16));
+    }
+}

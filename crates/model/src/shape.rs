@@ -1,0 +1,208 @@
+//! Tensor and layer shape arithmetic.
+//!
+//! Shapes are the currency of the whole simulator: the morphing controller
+//! reasons about layer dimensions, the tiling engine slices them, and the
+//! fabric model sizes transfers from them. Keeping the arithmetic here — with
+//! exhaustive unit tests — means every other crate can trust it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a 3-D feature-map tensor in `CHW` order (channels, height, width).
+///
+/// All CNN tensors in the simulator are batch-1 (the embedded-inference
+/// setting the paper targets), so a 3-D shape suffices for feature maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Number of channels (feature maps).
+    pub c: usize,
+    /// Spatial height in elements.
+    pub h: usize,
+    /// Spatial width in elements.
+    pub w: usize,
+}
+
+impl TensorShape {
+    /// Creates a shape; all dimensions must be non-zero.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero — a zero-sized tensor is always a bug
+    /// in shape derivation, never a legitimate workload.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        assert!(c > 0 && h > 0 && w > 0, "zero tensor dimension: {c}x{h}x{w}");
+        Self { c, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Size in bytes for 8-bit elements (the fabric's native datatype).
+    pub fn bytes(&self) -> usize {
+        self.volume()
+    }
+
+    /// Number of elements in one channel plane.
+    pub fn plane(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Linear index of element `(c, y, x)` in the canonical CHW layout.
+    #[inline]
+    pub fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        (c * self.h + y) * self.w + x
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+/// Shape of a convolution weight tensor: `out_c` filters of `in_c × k × k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelShape {
+    /// Number of output channels (filters).
+    pub out_c: usize,
+    /// Number of input channels each filter spans.
+    pub in_c: usize,
+    /// Spatial kernel size (square kernels, as in all networks the paper
+    /// evaluates).
+    pub k: usize,
+}
+
+impl KernelShape {
+    /// Creates a kernel shape; all dimensions must be non-zero.
+    pub fn new(out_c: usize, in_c: usize, k: usize) -> Self {
+        assert!(out_c > 0 && in_c > 0 && k > 0, "zero kernel dimension");
+        Self { out_c, in_c, k }
+    }
+
+    /// Total number of weight elements.
+    pub fn volume(&self) -> usize {
+        self.out_c * self.in_c * self.k * self.k
+    }
+
+    /// Size in bytes for 8-bit weights.
+    pub fn bytes(&self) -> usize {
+        self.volume()
+    }
+
+    /// Elements in a single filter (`in_c × k × k`).
+    pub fn filter_volume(&self) -> usize {
+        self.in_c * self.k * self.k
+    }
+
+    /// Linear index of weight `(oc, ic, ky, kx)` in canonical layout.
+    #[inline]
+    pub fn index(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> usize {
+        debug_assert!(oc < self.out_c && ic < self.in_c && ky < self.k && kx < self.k);
+        ((oc * self.in_c + ic) * self.k + ky) * self.k + kx
+    }
+}
+
+impl fmt::Display for KernelShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.out_c, self.in_c, self.k, self.k)
+    }
+}
+
+/// Computes the output spatial extent of a strided, padded sliding window.
+///
+/// Returns `None` when the window does not fit even once (input smaller than
+/// kernel after padding), which callers treat as an illegal layer
+/// configuration.
+pub fn conv_out_dim(input: usize, k: usize, stride: usize, pad: usize) -> Option<usize> {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    if padded < k {
+        return None;
+    }
+    Some((padded - k) / stride + 1)
+}
+
+/// Inverse of [`conv_out_dim`]: the input extent (unpadded) that a window of
+/// `out` output elements touches. Used by the fusion engine to size the
+/// halo region a fused consumer layer demands from its producer.
+pub fn conv_in_extent(out: usize, k: usize, stride: usize) -> usize {
+    assert!(out > 0 && stride > 0);
+    (out - 1) * stride + k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_shape_volume_and_bytes() {
+        let s = TensorShape::new(3, 227, 227);
+        assert_eq!(s.volume(), 3 * 227 * 227);
+        assert_eq!(s.bytes(), s.volume());
+        assert_eq!(s.plane(), 227 * 227);
+    }
+
+    #[test]
+    fn tensor_shape_index_is_chw() {
+        let s = TensorShape::new(2, 3, 4);
+        assert_eq!(s.index(0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 3), 3);
+        assert_eq!(s.index(0, 1, 0), 4);
+        assert_eq!(s.index(1, 0, 0), 12);
+        assert_eq!(s.index(1, 2, 3), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tensor dimension")]
+    fn tensor_shape_rejects_zero() {
+        TensorShape::new(0, 1, 1);
+    }
+
+    #[test]
+    fn kernel_shape_volume_and_index() {
+        let k = KernelShape::new(96, 3, 11);
+        assert_eq!(k.volume(), 96 * 3 * 11 * 11);
+        assert_eq!(k.filter_volume(), 3 * 11 * 11);
+        assert_eq!(k.index(0, 0, 0, 0), 0);
+        assert_eq!(k.index(1, 0, 0, 0), 3 * 11 * 11);
+        assert_eq!(k.index(95, 2, 10, 10), k.volume() - 1);
+    }
+
+    #[test]
+    fn conv_out_dim_matches_known_layers() {
+        // AlexNet conv1: 227 input, k=11, stride=4, pad=0 -> 55.
+        assert_eq!(conv_out_dim(227, 11, 4, 0), Some(55));
+        // AlexNet conv2: 27 input, k=5, stride=1, pad=2 -> 27.
+        assert_eq!(conv_out_dim(27, 5, 1, 2), Some(27));
+        // VGG conv: 224 input, k=3, stride=1, pad=1 -> 224.
+        assert_eq!(conv_out_dim(224, 3, 1, 1), Some(224));
+        // Pool: 55 input, k=3, stride=2 -> 27.
+        assert_eq!(conv_out_dim(55, 3, 2, 0), Some(27));
+    }
+
+    #[test]
+    fn conv_out_dim_rejects_undersized_input() {
+        assert_eq!(conv_out_dim(2, 5, 1, 0), None);
+        // ... but padding can rescue it.
+        assert_eq!(conv_out_dim(2, 5, 1, 2), Some(2));
+    }
+
+    #[test]
+    fn conv_in_extent_roundtrips_out_dim() {
+        for (input, k, stride) in [(227, 11, 4), (27, 5, 1), (13, 3, 1), (55, 3, 2)] {
+            let out = conv_out_dim(input, k, stride, 0).unwrap();
+            let extent = conv_in_extent(out, k, stride);
+            assert!(extent <= input, "extent {extent} > input {input}");
+            // The next window would not fit.
+            assert!(extent + stride > input);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TensorShape::new(3, 4, 5).to_string(), "3x4x5");
+        assert_eq!(KernelShape::new(8, 3, 3).to_string(), "8x3x3x3");
+    }
+}

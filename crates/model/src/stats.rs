@@ -1,0 +1,113 @@
+//! Tensor statistics used by experiment reporting and by the morphing
+//! controller's compression-benefit estimator.
+
+use crate::tensor::Tensor;
+
+/// Summary statistics of an i8 tensor relevant to compression decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorStats {
+    /// Total element count.
+    pub elements: usize,
+    /// Number of zero elements.
+    pub zeros: usize,
+    /// Number of maximal zero runs (in linear CHW order).
+    pub zero_runs: usize,
+    /// Length of the longest zero run.
+    pub longest_zero_run: usize,
+}
+
+impl TensorStats {
+    /// Zero fraction in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.zeros as f64 / self.elements as f64
+        }
+    }
+
+    /// Mean zero-run length (zero if the tensor has no zeros). Long runs are
+    /// what run-length coding monetizes; the controller's analytical codec
+    /// model keys on this.
+    pub fn mean_zero_run(&self) -> f64 {
+        if self.zero_runs == 0 {
+            0.0
+        } else {
+            self.zeros as f64 / self.zero_runs as f64
+        }
+    }
+}
+
+/// Computes [`TensorStats`] over a raw i8 slice in linear order.
+pub fn analyze(data: &[i8]) -> TensorStats {
+    let mut zeros = 0usize;
+    let mut zero_runs = 0usize;
+    let mut longest = 0usize;
+    let mut run = 0usize;
+    for &v in data {
+        if v == 0 {
+            if run == 0 {
+                zero_runs += 1;
+            }
+            run += 1;
+            zeros += 1;
+            longest = longest.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    TensorStats { elements: data.len(), zeros, zero_runs, longest_zero_run: longest }
+}
+
+/// Convenience wrapper over a tensor.
+pub fn analyze_tensor(t: &Tensor<i8>) -> TensorStats {
+    analyze(t.data())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::TensorShape;
+
+    #[test]
+    fn empty_slice() {
+        let s = analyze(&[]);
+        assert_eq!(s.elements, 0);
+        assert_eq!(s.sparsity(), 0.0);
+        assert_eq!(s.mean_zero_run(), 0.0);
+    }
+
+    #[test]
+    fn all_zero_is_one_run() {
+        let s = analyze(&[0, 0, 0, 0]);
+        assert_eq!(s.zeros, 4);
+        assert_eq!(s.zero_runs, 1);
+        assert_eq!(s.longest_zero_run, 4);
+        assert_eq!(s.sparsity(), 1.0);
+        assert_eq!(s.mean_zero_run(), 4.0);
+    }
+
+    #[test]
+    fn mixed_runs_counted_correctly() {
+        //            [  run1 ]        [run2]           [   run3   ]
+        let s = analyze(&[0, 0, 5, 0, 1, -3, 0, 0, 0, 2]);
+        assert_eq!(s.zeros, 6);
+        assert_eq!(s.zero_runs, 3);
+        assert_eq!(s.longest_zero_run, 3);
+        assert_eq!(s.mean_zero_run(), 2.0);
+    }
+
+    #[test]
+    fn dense_slice_has_no_runs() {
+        let s = analyze(&[1, 2, 3]);
+        assert_eq!(s.zeros, 0);
+        assert_eq!(s.zero_runs, 0);
+        assert_eq!(s.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn tensor_wrapper_matches_slice() {
+        let t = Tensor::from_vec(TensorShape::new(1, 1, 4), vec![0, 1, 0, 0]);
+        assert_eq!(analyze_tensor(&t), analyze(&[0, 1, 0, 0]));
+    }
+}

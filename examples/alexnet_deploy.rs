@@ -1,0 +1,49 @@
+//! Deploying a real network: run AlexNet (or any zoo network) on MOCHA and
+//! print the morphing controller's per-layer decisions — which optimizations
+//! it interleaved and cascaded for each layer shape.
+//!
+//! Run with: `cargo run --release --example alexnet_deploy [network]`
+//! where `network` is one of `tiny`, `lenet5`, `alexnet` (default), `vgg16`.
+
+use mocha::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "alexnet".into());
+    let net = network::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown network {name:?}; use tiny, lenet5, alexnet or vgg16");
+        std::process::exit(1);
+    });
+    let workload = Workload::generate(net, SparsityProfile::NOMINAL, 7);
+    let energy_table = EnergyTable::default();
+
+    let mut sim = Simulator::new(Accelerator::mocha(Objective::Edp));
+    // Golden verification doubles runtime on big networks; keep it on — the
+    // point of this simulator is that morphing provably never changes results.
+    sim.verify = true;
+    let run = sim.run(&workload);
+
+    println!("{:22} {:>34}  {:>10}  {:>8}  {:>8}  {:>9}", "group", "chosen morph config", "cycles", "GOPS", "GOPS/W", "SPM KB");
+    for g in &run.groups {
+        println!(
+            "{:22} {:>34}  {:>10}  {:>8.1}  {:>8.1}  {:>9.1}",
+            g.name(),
+            g.morph.to_string(),
+            g.cycles,
+            g.gops(energy_table.clock_ghz),
+            g.gops_per_watt(),
+            g.spm_peak as f64 / 1024.0,
+        );
+    }
+
+    let report = run.report(&energy_table);
+    println!(
+        "\ntotal: {} cycles ({:.2} ms) | {:.1} GOPS | {:.1} GOPS/W | {:.0} KB peak storage | {:.2} MB DRAM traffic | compression ratio {:.2}x",
+        report.cycles,
+        report.seconds() * 1e3,
+        report.gops(),
+        report.gops_per_watt(),
+        report.peak_storage_bytes as f64 / 1024.0,
+        report.dram_bytes as f64 / 1e6,
+        run.compression().overall_ratio(),
+    );
+}

@@ -1,0 +1,76 @@
+//! Compression study: sweep activation sparsity on one conv layer and watch
+//! (a) the codec ratios, (b) the DRAM traffic, and (c) the crossover where
+//! the morphing controller turns compression off because dense data would
+//! inflate through the codec.
+//!
+//! Run with: `cargo run --release --example compression_study`
+
+use mocha::model::gen;
+use mocha::prelude::*;
+
+fn main() {
+    let net = network::single_conv(32, 64, 64, 64, 3, 1, 1);
+    let layer = &net.layers()[0];
+    let energy_table = EnergyTable::default();
+    let costs = CodecCostTable::default();
+    let fabric = FabricConfig::mocha();
+
+    println!(
+        "{:>9} | {:>9} {:>9} | {:>12} {:>12} | {:>9} | {}",
+        "sparsity", "zrle", "bitmask", "dram raw", "dram mocha", "energy", "controller's codec choice"
+    );
+
+    for pct in [0, 10, 20, 30, 40, 50, 60, 70, 80, 90] {
+        let sparsity = pct as f64 / 100.0;
+        let mut rng = gen::rng(100 + pct as u64);
+        let input = gen::clustered_activations(layer.input, sparsity * 0.8, 6, &mut rng);
+        let kernel = gen::kernel(layer.kernel_shape().unwrap(), sparsity, &mut rng);
+
+        // Raw codec ratios on the actual tensors.
+        let zr = Compressed::encode(Codec::Zrle, input.data()).ratio();
+        let bm = Compressed::encode(Codec::Bitmask, kernel.data()).ratio();
+
+        // What the controller decides, given measured statistics.
+        let stats = mocha::model::stats::analyze(input.data());
+        let est = SparsityEstimate {
+            ifmap_sparsity: stats.sparsity(),
+            ifmap_mean_run: stats.mean_zero_run(),
+            kernel_sparsity: kernel.sparsity(),
+            ofmap_sparsity: 0.5,
+            ofmap_mean_run: 2.0,
+        };
+        let pctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy_table };
+        let decision = decide(&pctx, Policy::Mocha { objective: Objective::Energy }, net.layers(), &est, true);
+
+        // Execute both the controller's choice and the best compression-off
+        // config (searched separately — a tiling sized for compressed
+        // buffers may not fit once streams ship raw).
+        let ectx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let chosen = mocha::core::exec::execute_layer(&ectx, layer, &input, Some(&kernel), &decision.morph, true)
+            .expect("chosen config must be feasible");
+        let off_decision = decide(
+            &pctx,
+            Policy::MochaNoCompression { objective: Objective::Energy },
+            net.layers(),
+            &est,
+            true,
+        );
+        let raw = mocha::core::exec::execute_layer(&ectx, layer, &input, Some(&kernel), &off_decision.morph, true)
+            .expect("uncompressed config must be feasible");
+        assert_eq!(chosen.output, raw.output, "compression changed results");
+
+        let e_chosen = energy_table.price(&chosen.events).total_pj();
+        let e_raw = energy_table.price(&raw.events).total_pj();
+        println!(
+            "{:>8}% | {:>8.2}x {:>8.2}x | {:>10} B {:>10} B | {:>+7.1} % | {}",
+            pct,
+            zr,
+            bm,
+            raw.events.dram_bytes(),
+            chosen.events.dram_bytes(),
+            100.0 * (e_chosen - e_raw) / e_raw,
+            decision.morph.compression,
+        );
+    }
+    println!("\n(negative energy delta = compression won; the controller disables codecs below the crossover)");
+}

@@ -1,0 +1,66 @@
+//! Quickstart: simulate LeNet-5 on MOCHA and on the prior-art baselines,
+//! and print the comparison the paper's abstract is about.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mocha::prelude::*;
+
+fn main() {
+    // A deterministic synthetic workload: LeNet-5 with nominal sparsity
+    // (60 % input zeros, 30 % pruned weights).
+    let workload = Workload::generate(network::lenet5(), SparsityProfile::NOMINAL, 42);
+    let energy_table = EnergyTable::default();
+
+    println!(
+        "network: {} ({} layers, {:.1} M MACs)\n",
+        workload.network.name,
+        workload.network.len(),
+        workload.network.total_macs() as f64 / 1e6
+    );
+
+    let mut reports = Vec::new();
+    for accelerator in Accelerator::comparison_set(Objective::Edp) {
+        let name = accelerator.name.clone();
+        let run = Simulator::new(accelerator).run(&workload); // verifies vs golden
+        let report = run.report(&energy_table);
+        println!(
+            "{:10} {:>10} cycles  {:7.2} GOPS  {:8.2} GOPS/W  {:6.1} KB peak storage  {:8.1} KB DRAM traffic",
+            name,
+            report.cycles,
+            report.gops(),
+            report.gops_per_watt(),
+            report.peak_storage_bytes as f64 / 1024.0,
+            report.dram_bytes as f64 / 1024.0,
+        );
+        reports.push((name, report));
+    }
+
+    // The abstract's comparison: MOCHA vs the *next best* accelerator.
+    let mocha = &reports[0].1;
+    let next_best_eff = reports[1..]
+        .iter()
+        .map(|(_, r)| r.gops_per_watt())
+        .fold(f64::MIN, f64::max);
+    let next_best_gops = reports[1..].iter().map(|(_, r)| r.gops()).fold(f64::MIN, f64::max);
+    let next_best_storage = reports[1..]
+        .iter()
+        .map(|(_, r)| r.peak_storage_bytes)
+        .min()
+        .unwrap();
+
+    println!(
+        "\nMOCHA vs next-best: {:+.0} % energy efficiency, {:+.0} % throughput, {:+.0} % storage",
+        100.0 * improvement(mocha.gops_per_watt(), next_best_eff),
+        100.0 * improvement(mocha.gops(), next_best_gops),
+        -100.0 * reduction(mocha.peak_storage_bytes as f64, next_best_storage as f64),
+    );
+
+    // And the cost side: area overhead.
+    let area_table = AreaTable::default();
+    let mocha_area = Accelerator::mocha(Objective::Edp).area(&area_table).total_mm2();
+    let base_area = Accelerator::tiling_only().area(&area_table).total_mm2();
+    println!(
+        "area: MOCHA {mocha_area:.2} mm² vs baseline {base_area:.2} mm² ({:+.0} %)",
+        100.0 * (mocha_area - base_area) / base_area
+    );
+}

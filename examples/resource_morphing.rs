@@ -1,0 +1,66 @@
+//! Resource morphing: sweep the PE array size and show that MOCHA re-morphs
+//! its configuration to keep scaling, while a fixed-mapping design saturates
+//! once its single parallelism mode runs out of work units (reconstructed
+//! figure F6).
+//!
+//! Run with: `cargo run --release --example resource_morphing`
+
+use mocha::core::controller;
+use mocha::prelude::*;
+
+fn main() {
+    // AlexNet conv3: 384 output channels over 13x13 — a shape where neither
+    // pure intra- nor pure inter-fmap parallelism fills every grid size.
+    let net = network::single_conv(256, 13, 13, 384, 3, 1, 1);
+    let costs = CodecCostTable::default();
+    let energy_table = EnergyTable::default();
+    let est = SparsityEstimate {
+        ifmap_sparsity: 0.6,
+        ifmap_mean_run: 3.0,
+        kernel_sparsity: 0.3,
+        ofmap_sparsity: 0.5,
+        ofmap_mean_run: 2.0,
+    };
+
+    println!(
+        "{:>5} | {:>12} {:>10} | {:>12} {:>10} | mocha's re-morphed config",
+        "PEs", "mocha cyc", "GOPS", "fixed cyc", "GOPS"
+    );
+
+    for grid in [2usize, 4, 6, 8, 12, 16] {
+        let mut fabric = FabricConfig::mocha();
+        fabric.pe_rows = grid;
+        fabric.pe_cols = grid;
+        let pctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy_table };
+
+        // MOCHA: full search at this grid size.
+        let mocha = controller::decide(
+            &pctx,
+            Policy::Mocha { objective: Objective::Throughput },
+            net.layers(),
+            &est,
+            true,
+        );
+
+        // Fixed design: inter-fmap only (parallelism chosen at design time).
+        let mut fb = FabricConfig::baseline();
+        fb.pe_rows = grid;
+        fb.pe_cols = grid;
+        let pctx_b = PlanContext { fabric: &fb, codec_costs: &costs, energy: &energy_table };
+        let fixed = controller::decide(&pctx_b, Policy::TilingOnly, net.layers(), &est, true);
+
+        let gops = |cycles: u64| {
+            2.0 * net.total_macs() as f64 / (cycles as f64 / (energy_table.clock_ghz * 1e9)) / 1e9
+        };
+        println!(
+            "{:>5} | {:>12} {:>10.1} | {:>12} {:>10.1} | {}",
+            grid * grid,
+            mocha.plan.cycles,
+            gops(mocha.plan.cycles),
+            fixed.plan.cycles,
+            gops(fixed.plan.cycles),
+            mocha.morph,
+        );
+    }
+    println!("\nMOCHA re-partitions the grid (parallelism mode + tile shape) as PEs grow; the fixed design saturates");
+}

@@ -1,0 +1,69 @@
+//! End-to-end compression behaviour: bit-exactness, traffic reduction and
+//! the storage claim, across whole networks.
+
+use mocha::prelude::*;
+
+#[test]
+fn compression_reduces_dram_traffic_end_to_end() {
+    let w = Workload::generate(network::tiny(), SparsityProfile::SPARSE, 40);
+    let with = Simulator::new(Accelerator::mocha(Objective::Energy)).run(&w);
+    let without = Simulator::new(Accelerator::mocha_no_compression(Objective::Energy)).run(&w);
+    assert!(
+        with.events().dram_bytes() < without.events().dram_bytes(),
+        "compressed {} !< uncompressed {}",
+        with.events().dram_bytes(),
+        without.events().dram_bytes()
+    );
+}
+
+#[test]
+fn compression_reduces_peak_storage_on_sparse_workloads() {
+    // The abstract's "up to 30 % less storage": compressed tiles occupy
+    // fewer scratchpad bytes. Compare under the Storage objective so both
+    // sides are minimizing the same thing.
+    let w = Workload::generate(network::tiny(), SparsityProfile::SPARSE, 41);
+    let with = Simulator::new(Accelerator::mocha(Objective::Storage)).run(&w);
+    let without = Simulator::new(Accelerator::mocha_no_compression(Objective::Storage)).run(&w);
+    assert!(
+        with.peak_storage() <= without.peak_storage(),
+        "compressed {} > uncompressed {}",
+        with.peak_storage(),
+        without.peak_storage()
+    );
+}
+
+#[test]
+fn zero_skipping_reduces_issued_macs() {
+    let w = Workload::generate(network::tiny(), SparsityProfile::SPARSE, 42);
+    let with = Simulator::new(Accelerator::mocha(Objective::Energy)).run(&w);
+    let without = Simulator::new(Accelerator::mocha_no_compression(Objective::Energy)).run(&w);
+    assert!(with.events().macs < without.events().macs);
+    assert!(with.events().macs_skipped > 0);
+    assert_eq!(without.events().macs_skipped, 0);
+}
+
+#[test]
+fn compression_accounting_is_consistent() {
+    let w = Workload::generate(network::tiny(), SparsityProfile::SPARSE, 43);
+    let run = Simulator::new(Accelerator::mocha(Objective::Energy)).run(&w);
+    let c = run.compression();
+    assert!(c.overall_ratio() >= 1.0, "net inflation {}", c.overall_ratio());
+    // Encoded never exceeds the 2x ZRLE worst case.
+    assert!(c.activation_encoded <= 2 * c.activation_raw.max(1));
+}
+
+#[test]
+fn dense_workload_compression_is_a_no_op_choice() {
+    // On fully dense data the controller should never pick a codec that
+    // inflates traffic — MOCHA with codecs must not lose to itself without.
+    let w = Workload::generate(network::tiny(), SparsityProfile::DENSE, 44);
+    let with = Simulator::new(Accelerator::mocha(Objective::Energy)).run(&w);
+    let without = Simulator::new(Accelerator::mocha_no_compression(Objective::Energy)).run(&w);
+    let table = EnergyTable::default();
+    let e_with = with.report(&table).energy.total_pj();
+    let e_without = without.report(&table).energy.total_pj();
+    assert!(
+        e_with <= e_without * 1.02,
+        "codecs hurt on dense data: {e_with:.3e} vs {e_without:.3e}"
+    );
+}

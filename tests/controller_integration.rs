@@ -1,0 +1,102 @@
+//! End-to-end behaviour of the morphing controller across whole networks.
+
+use mocha::core::controller;
+use mocha::prelude::*;
+
+fn est(sparsity: f64) -> SparsityEstimate {
+    SparsityEstimate {
+        ifmap_sparsity: sparsity,
+        ifmap_mean_run: 1.0 + 4.0 * sparsity,
+        kernel_sparsity: sparsity / 2.0,
+        ofmap_sparsity: 0.5,
+        ofmap_mean_run: 2.0,
+    }
+}
+
+#[test]
+fn controller_adapts_parallelism_to_layer_shape() {
+    // Spatially-huge, channel-poor layer vs channel-rich, spatially-tiny
+    // layer must not get the same parallelism mode under a throughput
+    // objective (this is the crossover that motivates morphing).
+    let fabric = FabricConfig::mocha();
+    let costs = CodecCostTable::default();
+    let energy = EnergyTable::default();
+    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+
+    let wide = network::single_conv(3, 128, 128, 4, 3, 1, 1);
+    let deep = network::single_conv(256, 4, 4, 512, 3, 1, 1);
+    let d_wide = controller::decide(&ctx, Policy::Mocha { objective: Objective::Throughput }, wide.layers(), &est(0.5), true);
+    let d_deep = controller::decide(&ctx, Policy::Mocha { objective: Objective::Throughput }, deep.layers(), &est(0.5), true);
+    assert_ne!(
+        d_wide.morph.parallelism, d_deep.morph.parallelism,
+        "wide {} vs deep {} should differ",
+        d_wide.morph, d_deep.morph
+    );
+}
+
+#[test]
+fn mocha_fuses_somewhere_on_tiny() {
+    // tiny's conv+pool pairs are classic fusion wins; the EDP controller
+    // should fuse at least one group.
+    let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 21);
+    let run = Simulator::new(Accelerator::mocha(Objective::Edp)).run(&w);
+    assert!(
+        run.groups.iter().any(|g| g.layers.len() > 1),
+        "no fused group chosen: {:?}",
+        run.groups.iter().map(|g| g.name()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn storage_objective_reduces_peak_storage() {
+    let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 22);
+    let storage = Simulator::new(Accelerator::mocha(Objective::Storage)).run(&w);
+    let throughput = Simulator::new(Accelerator::mocha(Objective::Throughput)).run(&w);
+    assert!(
+        storage.peak_storage() <= throughput.peak_storage(),
+        "storage objective {} > throughput objective {}",
+        storage.peak_storage(),
+        throughput.peak_storage()
+    );
+}
+
+#[test]
+fn throughput_objective_is_competitive_on_cycles() {
+    // The controller optimizes *predicted* cycles greedily per group, so the
+    // executed cycle count may deviate by the planner's codec-estimation
+    // error; allow that slack, but a throughput-objective run must never be
+    // materially slower than runs optimizing something else entirely.
+    let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 23);
+    let t = Simulator::new(Accelerator::mocha(Objective::Throughput)).run(&w).cycles();
+    for objective in [Objective::Energy, Objective::Storage] {
+        let other = Simulator::new(Accelerator::mocha(objective)).run(&w).cycles();
+        assert!(
+            t as f64 <= other as f64 * 1.10,
+            "{objective:?}: throughput run {t} way slower than {other}"
+        );
+    }
+}
+
+#[test]
+fn candidates_scale_with_policy_freedom() {
+    let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 24);
+    let mocha = Simulator::new(Accelerator::mocha(Objective::Edp)).run(&w);
+    let tiling = Simulator::new(Accelerator::tiling_only()).run(&w);
+    let mocha_cands: usize = mocha.groups.iter().map(|g| g.candidates).sum();
+    let tiling_cands: usize = tiling.groups.iter().map(|g| g.candidates).sum();
+    assert!(
+        mocha_cands > 5 * tiling_cands,
+        "mocha searched {mocha_cands}, tiling {tiling_cands}"
+    );
+}
+
+#[test]
+fn controller_turns_compression_on_for_sparse_runs_and_reports_it() {
+    let w = Workload::generate(network::tiny(), SparsityProfile::SPARSE, 25);
+    let run = Simulator::new(Accelerator::mocha(Objective::Energy)).run(&w);
+    assert!(
+        run.groups.iter().any(|g| g.morph.compression.any()),
+        "no group compressed under a sparse profile"
+    );
+    assert!(run.compression().compressed_streams > 0);
+}

@@ -1,0 +1,100 @@
+//! Integration tests for the research-tooling surface: Pareto DSE, pipeline
+//! traces, and the serde contract the CLI's JSON overrides rely on.
+
+use mocha::core::dse::{explore_layer, pareto_front, DesignPoint};
+use mocha::core::trace::Trace;
+use mocha::prelude::*;
+
+fn ctxless_est() -> SparsityEstimate {
+    SparsityEstimate {
+        ifmap_sparsity: 0.6,
+        ifmap_mean_run: 3.0,
+        kernel_sparsity: 0.3,
+        ofmap_sparsity: 0.5,
+        ofmap_mean_run: 2.0,
+    }
+}
+
+#[test]
+fn pareto_front_spans_a_real_tradeoff_on_alexnet_conv3() {
+    let net = network::single_conv(256, 13, 13, 384, 3, 1, 1);
+    let fabric = FabricConfig::mocha();
+    let costs = CodecCostTable::default();
+    let energy = EnergyTable::default();
+    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let front = explore_layer(&ctx, &net.layers()[0], &ctxless_est(), true);
+    assert!(front.len() >= 3, "front too small: {}", front.len());
+    // Sorted by cycles, and storage must generally fall as cycles rise
+    // (that's the trade): the last point needs strictly less SPM than the
+    // first.
+    let first = front.first().unwrap();
+    let last = front.last().unwrap();
+    assert!(first.plan.cycles < last.plan.cycles);
+    assert!(last.plan.spm_peak < first.plan.spm_peak);
+}
+
+#[test]
+fn pareto_points_execute_bit_exactly() {
+    // Every point on the front is a real executable config.
+    let net = network::single_conv(16, 16, 16, 16, 3, 1, 1);
+    let layer = &net.layers()[0];
+    let fabric = FabricConfig::mocha();
+    let costs = CodecCostTable::default();
+    let energy = EnergyTable::default();
+    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let front: Vec<DesignPoint> = explore_layer(&ctx, layer, &ctxless_est(), true);
+
+    let mut rng = mocha::model::gen::rng(4);
+    let input = mocha::model::gen::activations(layer.input, 0.6, &mut rng);
+    let kernel = mocha::model::gen::kernel(layer.kernel_shape().unwrap(), 0.3, &mut rng);
+    let expected = golden::conv(layer, &input, &kernel);
+    let ectx = ExecContext { fabric: &fabric, codec_costs: &costs };
+    for p in front.iter().take(8) {
+        let run = mocha::core::exec::execute_layer(&ectx, layer, &input, Some(&kernel), &p.morph, true)
+            .unwrap_or_else(|e| panic!("front point {} infeasible: {e}", p.morph));
+        assert_eq!(run.output, expected, "front point {}", p.morph);
+    }
+}
+
+#[test]
+fn degenerate_front_helpers() {
+    assert!(pareto_front(Vec::new()).is_empty());
+}
+
+#[test]
+fn traces_cover_every_group_of_a_run() {
+    let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 13);
+    let run = Simulator::new(Accelerator::mocha(Objective::Edp)).run(&w);
+    for g in &run.groups {
+        let trace = Trace::new(&g.phases, g.morph.buffering);
+        assert_eq!(trace.schedule.total, g.cycles, "group {}", g.name());
+        let occupancy = trace.compute_occupancy();
+        assert!((0.0..=1.0).contains(&occupancy), "group {}: {occupancy}", g.name());
+        let gantt = trace.gantt(80);
+        assert!(gantt.lines().count() >= g.phases.len());
+    }
+}
+
+#[test]
+fn fabric_and_energy_tables_roundtrip_through_json() {
+    // The CLI's --fabric/--energy overrides depend on this serde contract.
+    let fabric = FabricConfig::mocha();
+    let json = serde_json::to_string_pretty(&fabric).unwrap();
+    let back: FabricConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, fabric);
+    back.validate().unwrap();
+
+    let energy = EnergyTable::default();
+    let json = serde_json::to_string(&energy).unwrap();
+    let back: EnergyTable = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, energy);
+
+    // Metrics serialize too (for downstream analysis pipelines).
+    let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 3);
+    let mut sim = Simulator::new(Accelerator::mocha(Objective::Edp));
+    sim.verify = false;
+    let run = sim.run(&w);
+    let json = serde_json::to_string(&run).unwrap();
+    let back: RunMetrics = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.cycles(), run.cycles());
+}

@@ -1,0 +1,77 @@
+//! Metric sanity invariants on full runs: bounds that must hold for any
+//! correct simulation regardless of configuration.
+
+use mocha::prelude::*;
+
+fn mocha_run(profile: SparsityProfile, seed: u64) -> (Workload, RunMetrics) {
+    let w = Workload::generate(network::tiny(), profile, seed);
+    let run = Simulator::new(Accelerator::mocha(Objective::Edp)).run(&w);
+    (w, run)
+}
+
+#[test]
+fn cycles_respect_the_compute_lower_bound() {
+    let (w, run) = mocha_run(SparsityProfile::DENSE, 3);
+    // With dense kernels nothing is skipped: the run can never beat
+    // total_macs / peak_macs_per_cycle.
+    let fabric = FabricConfig::mocha();
+    let lower = w.network.total_macs() / fabric.peak_macs_per_cycle() as u64;
+    assert!(run.cycles() >= lower, "cycles {} < compute bound {lower}", run.cycles());
+}
+
+#[test]
+fn energy_is_positive_and_dram_dominated_components_exist() {
+    let (_, run) = mocha_run(SparsityProfile::NOMINAL, 4);
+    let table = EnergyTable::default();
+    let breakdown = table.price(&run.events());
+    assert!(breakdown.compute_pj > 0.0);
+    assert!(breakdown.spm_pj > 0.0);
+    assert!(breakdown.dram_pj > 0.0);
+    assert!(breakdown.total_pj() > 0.0);
+}
+
+#[test]
+fn peak_storage_never_exceeds_scratchpad_capacity() {
+    for seed in [1, 2, 3] {
+        let (_, run) = mocha_run(SparsityProfile::NOMINAL, seed);
+        assert!(run.peak_storage() <= FabricConfig::mocha().spm_bytes());
+    }
+}
+
+#[test]
+fn dram_reads_cover_compulsory_traffic() {
+    // At minimum the input feature map and every kernel must be read once
+    // (compressed runs read encoded bytes, so compare against encoded size).
+    let (w, run) = mocha_run(SparsityProfile::DENSE, 5);
+    let compulsory: u64 = w.input.data().len() as u64;
+    assert!(run.events().dram_read_bytes >= compulsory);
+}
+
+#[test]
+fn report_derivations_are_consistent() {
+    let (_, run) = mocha_run(SparsityProfile::NOMINAL, 6);
+    let table = EnergyTable::default();
+    let report = run.report(&table);
+    // GOPS × seconds == total ops.
+    let ops = report.gops() * 1e9 * report.seconds();
+    assert!((ops - 2.0 * run.work_macs() as f64).abs() / ops < 1e-9);
+    // watts × seconds == joules.
+    let joules = report.watts() * report.seconds();
+    assert!((joules - report.energy.total_pj() / 1e12).abs() / joules < 1e-9);
+}
+
+#[test]
+fn skipped_plus_issued_macs_equal_dense_work() {
+    let w = Workload::generate(network::tiny(), SparsityProfile::SPARSE, 7);
+    let run = Simulator::new(Accelerator::mocha(Objective::Edp)).run(&w);
+    let events = run.events();
+    // Fused groups recompute halos, so total ≥ network MACs; without fusion
+    // it's exact. Either way issued+skipped ≥ dense and both are consistent.
+    assert!(events.macs + events.macs_skipped >= w.network.total_macs());
+}
+
+#[test]
+fn active_cycles_equal_total_cycles() {
+    let (_, run) = mocha_run(SparsityProfile::NOMINAL, 8);
+    assert_eq!(run.events().active_cycles, run.cycles());
+}
