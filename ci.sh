@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, release build, full test suite, and a smoke
+# run of the serving experiment. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== repro r1 smoke (quick mode)"
+cargo run --release -p mocha-bench --bin repro -- --quick r1
+
+echo "CI OK"

@@ -1,46 +1,34 @@
-//! Criterion micro-benchmarks for the compression codecs: encode/decode
-//! throughput across sparsity regimes — the rates the `CodecCostTable`
-//! abstracts in hardware, measured here in software for the simulator's
-//! own hot path.
+//! Micro-benchmarks for the compression codecs: encode/decode throughput
+//! across sparsity regimes — the rates the `CodecCostTable` abstracts in
+//! hardware, measured here in software for the simulator's own hot path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mocha::compress::{bitmask, zrle};
 use mocha::model::gen;
 use mocha::model::shape::TensorShape;
+use mocha_bench::micro::Group;
 
-fn codec_benches(c: &mut Criterion) {
+fn main() {
     let shape = TensorShape::new(32, 64, 64);
-    let mut group = c.benchmark_group("codec");
+    let group = Group::new("codec");
     for sparsity in [0.0, 0.5, 0.9] {
         let data = gen::clustered_activations(shape, sparsity, 8, &mut gen::rng(1));
-        group.throughput(Throughput::Bytes(data.data().len() as u64));
+        let bytes = data.data().len() as u64;
+        let pct = format!("{:.0}%", sparsity * 100.0);
 
-        group.bench_with_input(
-            BenchmarkId::new("zrle_encode", format!("{:.0}%", sparsity * 100.0)),
-            data.data(),
-            |b, d| b.iter(|| zrle::encode(d)),
-        );
+        group.bench(&format!("zrle_encode/{pct}"), Some(bytes), || {
+            zrle::encode(data.data())
+        });
         let enc = zrle::encode(data.data());
-        group.bench_with_input(
-            BenchmarkId::new("zrle_decode", format!("{:.0}%", sparsity * 100.0)),
-            &enc,
-            |b, e| b.iter(|| zrle::decode(e, data.data().len())),
-        );
+        group.bench(&format!("zrle_decode/{pct}"), Some(bytes), || {
+            zrle::decode(&enc, data.data().len())
+        });
 
-        group.bench_with_input(
-            BenchmarkId::new("bitmask_encode", format!("{:.0}%", sparsity * 100.0)),
-            data.data(),
-            |b, d| b.iter(|| bitmask::encode(d)),
-        );
+        group.bench(&format!("bitmask_encode/{pct}"), Some(bytes), || {
+            bitmask::encode(data.data())
+        });
         let benc = bitmask::encode(data.data());
-        group.bench_with_input(
-            BenchmarkId::new("bitmask_decode", format!("{:.0}%", sparsity * 100.0)),
-            &benc,
-            |b, e| b.iter(|| bitmask::decode(e, data.data().len())),
-        );
+        group.bench(&format!("bitmask_decode/{pct}"), Some(bytes), || {
+            bitmask::decode(&benc, data.data().len())
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, codec_benches);
-criterion_main!(benches);

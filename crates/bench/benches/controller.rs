@@ -1,15 +1,19 @@
-//! Criterion micro-benchmarks for the morphing controller's design-space
-//! search — the "intelligence" must stay cheap enough to run per layer.
+//! Micro-benchmarks for the morphing controller's design-space search — the
+//! "intelligence" must stay cheap enough to run per layer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mocha::core::controller;
 use mocha::prelude::*;
+use mocha_bench::micro::Group;
 
-fn controller_benches(c: &mut Criterion) {
+fn main() {
     let fabric = FabricConfig::mocha();
     let costs = CodecCostTable::default();
     let energy = EnergyTable::default();
-    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let ctx = PlanContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+        energy: &energy,
+    };
     let est = SparsityEstimate {
         ifmap_sparsity: 0.6,
         ifmap_mean_run: 3.0,
@@ -18,25 +22,27 @@ fn controller_benches(c: &mut Criterion) {
         ofmap_mean_run: 2.0,
     };
 
-    let mut group = c.benchmark_group("controller");
+    let group = Group::new("controller");
     for (name, net) in [
-        ("conv3_shape", network::single_conv(256, 13, 13, 384, 3, 1, 1)),
-        ("conv1_shape", network::single_conv(3, 227, 227, 96, 11, 4, 0)),
+        (
+            "conv3_shape",
+            network::single_conv(256, 13, 13, 384, 3, 1, 1),
+        ),
+        (
+            "conv1_shape",
+            network::single_conv(3, 227, 227, 96, 11, 4, 0),
+        ),
     ] {
-        group.bench_with_input(BenchmarkId::new("decide_mocha", name), &net, |b, n| {
-            b.iter(|| {
-                controller::decide(
-                    &ctx,
-                    Policy::Mocha { objective: Objective::Edp },
-                    n.layers(),
-                    &est,
-                    true,
-                )
-            })
+        group.bench(&format!("decide_mocha/{name}"), None, || {
+            controller::decide(
+                &ctx,
+                Policy::Mocha {
+                    objective: Objective::Edp,
+                },
+                net.layers(),
+                &est,
+                true,
+            )
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, controller_benches);
-criterion_main!(benches);

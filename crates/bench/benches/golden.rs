@@ -1,27 +1,20 @@
-//! Criterion micro-benchmarks for the golden reference executor — the
-//! correctness oracle every simulated dataflow is checked against, and the
-//! dominant cost of `verify = true` runs.
+//! Micro-benchmarks for the golden reference executor — the correctness
+//! oracle every simulated dataflow is checked against, and the dominant
+//! cost of `verify = true` runs.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mocha::model::gen::{SparsityProfile, Workload};
 use mocha::model::{golden, network};
+use mocha_bench::micro::Group;
 
-fn golden_benches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("golden");
+fn main() {
+    let group = Group::new("golden");
 
     let lenet = Workload::generate(network::lenet5(), SparsityProfile::NOMINAL, 3);
-    group.throughput(Throughput::Elements(lenet.network.total_macs()));
-    group.bench_function("forward_lenet5", |b| b.iter(|| golden::forward(&lenet)));
+    group.bench("forward_lenet5", None, || golden::forward(&lenet));
 
     let tiny = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 3);
     let conv1 = &tiny.network.layers()[0];
-    group.throughput(Throughput::Elements(conv1.macs()));
-    group.bench_function("conv_tiny_conv1", |b| {
-        b.iter(|| golden::conv(conv1, &tiny.input, tiny.kernel(0)))
+    group.bench("conv_tiny_conv1", None, || {
+        golden::conv(conv1, &tiny.input, tiny.kernel(0))
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, golden_benches);
-criterion_main!(benches);

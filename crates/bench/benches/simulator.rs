@@ -1,25 +1,19 @@
-//! Criterion benchmarks for whole-network simulation: MOCHA vs baselines on
-//! LeNet-5 (functional execution + exact accounting, verification off).
+//! Benchmarks for whole-network simulation: MOCHA vs baselines on LeNet-5
+//! (functional execution + exact accounting, verification off).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mocha::prelude::*;
+use mocha_bench::micro::Group;
+use std::time::Duration;
 
-fn simulator_benches(c: &mut Criterion) {
+fn main() {
     let workload = Workload::generate(network::lenet5(), SparsityProfile::NOMINAL, 3);
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
+    let group = Group::new("simulator").budget(Duration::from_millis(500));
     for acc in Accelerator::comparison_set(Objective::Edp) {
         let name = acc.name.clone();
-        group.bench_with_input(BenchmarkId::new("lenet5", &name), &acc, |b, a| {
-            b.iter(|| {
-                let mut sim = Simulator::new(a.clone());
-                sim.verify = false;
-                sim.run(&workload)
-            })
+        group.bench(&format!("lenet5/{name}"), None, || {
+            let mut sim = Simulator::new(acc.clone());
+            sim.verify = false;
+            sim.run(&workload)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, simulator_benches);
-criterion_main!(benches);

@@ -22,11 +22,17 @@ fn parse_list(args: &[String], key: &str, default: &[&str]) -> Vec<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let default_networks: &[&str] =
-        if quick { &["tiny", "lenet5"] } else { &["lenet5", "mobilenet", "alexnet"] };
+    let default_networks: &[&str] = if quick {
+        &["tiny", "lenet5"]
+    } else {
+        &["lenet5", "mobilenet", "alexnet"]
+    };
     let networks = parse_list(&args, "--networks", default_networks);
-    let accelerators =
-        parse_list(&args, "--accelerators", &["mocha", "mocha-nc", "tiling", "fusion", "parallel"]);
+    let accelerators = parse_list(
+        &args,
+        "--accelerators",
+        &["mocha", "mocha-nc", "tiling", "fusion", "parallel"],
+    );
     let profiles = parse_list(&args, "--profiles", &["dense", "nominal", "sparse"]);
     let seeds: Vec<u64> = parse_list(&args, "--seeds", &["42"])
         .iter()

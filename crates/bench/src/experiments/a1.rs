@@ -16,7 +16,10 @@ pub fn run(cfg: &ExpConfig) -> String {
     let workload = Workload::generate(net.clone(), SparsityProfile::NOMINAL, cfg.seed);
     let fabric = FabricConfig::mocha();
     let costs = CodecCostTable::default();
-    let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+    let ctx = ExecContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+    };
 
     let mut t = Table::new(
         format!("A1 — buffering ablation on {net_name}: cycles and scratchpad of the same config at depth 1 vs 2"),
@@ -26,10 +29,32 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut current = workload.input.clone();
     for (i, layer) in net.layers().iter().enumerate() {
         let base = default_morph(layer);
-        let single = MorphConfig { buffering: Buffering::Single, ..base };
-        let double = MorphConfig { buffering: Buffering::Double, ..base };
-        let r1 = execute_layer(&ctx, layer, &current, workload.kernels[i].as_ref(), &single, true).unwrap();
-        let r2 = execute_layer(&ctx, layer, &current, workload.kernels[i].as_ref(), &double, true).unwrap();
+        let single = MorphConfig {
+            buffering: Buffering::Single,
+            ..base
+        };
+        let double = MorphConfig {
+            buffering: Buffering::Double,
+            ..base
+        };
+        let r1 = execute_layer(
+            &ctx,
+            layer,
+            &current,
+            workload.kernels[i].as_ref(),
+            &single,
+            true,
+        )
+        .unwrap();
+        let r2 = execute_layer(
+            &ctx,
+            layer,
+            &current,
+            workload.kernels[i].as_ref(),
+            &double,
+            true,
+        )
+        .unwrap();
         assert_eq!(r1.output, r2.output);
         t.row(vec![
             layer.name.clone(),

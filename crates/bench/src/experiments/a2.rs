@@ -17,7 +17,10 @@ pub fn run(cfg: &ExpConfig) -> String {
     let workload = Workload::generate(net.clone(), SparsityProfile::NOMINAL, cfg.seed);
     let fabric = FabricConfig::mocha();
     let costs = CodecCostTable::default();
-    let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+    let ctx = ExecContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+    };
 
     let mut t = Table::new(
         format!("A2 — loop-order ablation on {net_name}: DRAM traffic (MB) of the same tiling under WS vs IS"),
@@ -27,10 +30,30 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut current = workload.input.clone();
     for (i, layer) in net.layers().iter().enumerate() {
         let base = default_morph(layer);
-        let ws = MorphConfig { loop_order: LoopOrder::WeightStationary, ..base };
-        let is = MorphConfig { loop_order: LoopOrder::InputStationary, ..base };
-        let rw = execute_layer(&ctx, layer, &current, workload.kernels[i].as_ref(), &ws, true);
-        let ri = execute_layer(&ctx, layer, &current, workload.kernels[i].as_ref(), &is, true);
+        let ws = MorphConfig {
+            loop_order: LoopOrder::WeightStationary,
+            ..base
+        };
+        let is = MorphConfig {
+            loop_order: LoopOrder::InputStationary,
+            ..base
+        };
+        let rw = execute_layer(
+            &ctx,
+            layer,
+            &current,
+            workload.kernels[i].as_ref(),
+            &ws,
+            true,
+        );
+        let ri = execute_layer(
+            &ctx,
+            layer,
+            &current,
+            workload.kernels[i].as_ref(),
+            &is,
+            true,
+        );
         match (rw, ri) {
             (Ok(rw), Ok(ri)) => {
                 assert_eq!(rw.output, ri.output);
@@ -46,11 +69,25 @@ pub fn run(cfg: &ExpConfig) -> String {
                 current = rw.output;
             }
             (Ok(rw), Err(_)) => {
-                t.row(vec![layer.name.clone(), mb(rw.events.dram_bytes()), "-".into(), rw.cycles.to_string(), "infeasible".into(), "ws".into()]);
+                t.row(vec![
+                    layer.name.clone(),
+                    mb(rw.events.dram_bytes()),
+                    "-".into(),
+                    rw.cycles.to_string(),
+                    "infeasible".into(),
+                    "ws".into(),
+                ]);
                 current = rw.output;
             }
             (Err(_), Ok(ri)) => {
-                t.row(vec![layer.name.clone(), "-".into(), mb(ri.events.dram_bytes()), "infeasible".into(), ri.cycles.to_string(), "is".into()]);
+                t.row(vec![
+                    layer.name.clone(),
+                    "-".into(),
+                    mb(ri.events.dram_bytes()),
+                    "infeasible".into(),
+                    ri.cycles.to_string(),
+                    "is".into(),
+                ]);
                 current = ri.output;
             }
             (Err(e), Err(_)) => panic!("{}: both orders infeasible: {e}", layer.name),

@@ -15,21 +15,37 @@ pub fn run(cfg: &ExpConfig) -> String {
     let shapes: Vec<(&str, Network)> = if cfg.quick {
         vec![
             ("wide 4x64x64", network::single_conv(3, 64, 64, 4, 3, 1, 1)),
-            ("square 16x16x16", network::single_conv(16, 16, 16, 16, 3, 1, 1)),
+            (
+                "square 16x16x16",
+                network::single_conv(16, 16, 16, 16, 3, 1, 1),
+            ),
             ("deep 128x4x4", network::single_conv(64, 4, 4, 128, 3, 1, 1)),
         ]
     } else {
         vec![
-            ("conv1-like 96x55x55", network::single_conv(3, 227, 227, 96, 11, 4, 0)),
-            ("conv3-like 384x13x13", network::single_conv(256, 13, 13, 384, 3, 1, 1)),
-            ("deep 512x4x4", network::single_conv(256, 4, 4, 512, 3, 1, 1)),
+            (
+                "conv1-like 96x55x55",
+                network::single_conv(3, 227, 227, 96, 11, 4, 0),
+            ),
+            (
+                "conv3-like 384x13x13",
+                network::single_conv(256, 13, 13, 384, 3, 1, 1),
+            ),
+            (
+                "deep 512x4x4",
+                network::single_conv(256, 4, 4, 512, 3, 1, 1),
+            ),
         ]
     };
 
     let fabric = FabricConfig::mocha();
     let costs = CodecCostTable::default();
     let energy = EnergyTable::default();
-    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let ctx = PlanContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+        energy: &energy,
+    };
     let est = SparsityEstimate {
         ifmap_sparsity: 0.6,
         ifmap_mean_run: 3.0,
@@ -40,7 +56,16 @@ pub fn run(cfg: &ExpConfig) -> String {
 
     let mut t = Table::new(
         "A3 — hybrid-parallelism granularity: cycles (millions) vs fmap_groups on a 64-PE grid",
-        &["layer shape", "intra(=1)", "hyb2", "hyb4", "hyb8", "hyb16", "inter(=64)", "best"],
+        &[
+            "layer shape",
+            "intra(=1)",
+            "hyb2",
+            "hyb4",
+            "hyb8",
+            "hyb16",
+            "inter(=64)",
+            "best",
+        ],
     );
     for (name, net) in shapes {
         let layer = &net.layers()[0];
@@ -56,7 +81,10 @@ pub fn run(cfg: &ExpConfig) -> String {
         let mut cells = vec![name.to_string()];
         let mut best = ("?".to_string(), u64::MAX);
         for (mname, mode) in &modes {
-            let m = MorphConfig { parallelism: *mode, ..base };
+            let m = MorphConfig {
+                parallelism: *mode,
+                ..base
+            };
             match plan_layer(&ctx, layer, &m, &est, true) {
                 Ok(p) => {
                     if p.cycles < best.1 {

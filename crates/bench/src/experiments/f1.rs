@@ -34,8 +34,10 @@ pub fn run(cfg: &ExpConfig) -> String {
 
     let accs = Accelerator::comparison_set(Objective::Throughput);
     let names: Vec<String> = accs.iter().map(|a| a.name.clone()).collect();
-    let maps: Vec<HashMap<String, f64>> =
-        accs.into_iter().map(|a| per_layer_gops(a, &workload, clock)).collect();
+    let maps: Vec<HashMap<String, f64>> = accs
+        .into_iter()
+        .map(|a| per_layer_gops(a, &workload, clock))
+        .collect();
 
     let mut headers: Vec<&str> = vec!["layer"];
     for n in &names {

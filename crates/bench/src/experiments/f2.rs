@@ -7,7 +7,10 @@ use mocha::prelude::*;
 
 use super::ExpConfig;
 
-fn breakdowns(acc: Accelerator, workload: &Workload) -> Vec<(String, mocha::energy::EnergyBreakdown)> {
+fn breakdowns(
+    acc: Accelerator,
+    workload: &Workload,
+) -> Vec<(String, mocha::energy::EnergyBreakdown)> {
     let mut sim = Simulator::new(acc);
     sim.verify = false;
     sim.run(workload)
@@ -26,12 +29,20 @@ pub fn run(cfg: &ExpConfig) -> String {
 
     let mut out = String::new();
     for (label, acc) in [
-        ("with compression (mocha)", Accelerator::mocha(Objective::Energy)),
-        ("without compression (mocha-nc)", Accelerator::mocha_no_compression(Objective::Energy)),
+        (
+            "with compression (mocha)",
+            Accelerator::mocha(Objective::Energy),
+        ),
+        (
+            "without compression (mocha-nc)",
+            Accelerator::mocha_no_compression(Objective::Energy),
+        ),
     ] {
         let mut t = Table::new(
             format!("F2 — energy breakdown per group, {label} (µJ)"),
-            &["group", "PE", "RF", "SRAM", "NoC", "DRAM", "codec", "leak", "total"],
+            &[
+                "group", "PE", "RF", "SRAM", "NoC", "DRAM", "codec", "leak", "total",
+            ],
         );
         let mut total = mocha::energy::EnergyBreakdown::default();
         for (name, b) in breakdowns(acc, &workload) {

@@ -12,12 +12,27 @@ use super::ExpConfig;
 
 /// Runs the experiment and renders its table.
 pub fn run(cfg: &ExpConfig) -> String {
-    let shape = if cfg.quick { TensorShape::new(8, 32, 32) } else { TensorShape::new(32, 64, 64) };
-    let kshape = if cfg.quick { KernelShape::new(16, 8, 3) } else { KernelShape::new(64, 32, 3) };
+    let shape = if cfg.quick {
+        TensorShape::new(8, 32, 32)
+    } else {
+        TensorShape::new(32, 64, 64)
+    };
+    let kshape = if cfg.quick {
+        KernelShape::new(16, 8, 3)
+    } else {
+        KernelShape::new(64, 32, 3)
+    };
 
     let mut t = Table::new(
         "F3 — compression ratio (= effective bandwidth gain) vs sparsity",
-        &["sparsity", "zrle iid", "zrle clustered", "nibble iid", "bitmask iid", "best-of"],
+        &[
+            "sparsity",
+            "zrle iid",
+            "zrle clustered",
+            "nibble iid",
+            "bitmask iid",
+            "best-of",
+        ],
     );
     for pct in (0..=95).step_by(5) {
         let s = pct as f64 / 100.0;

@@ -23,14 +23,20 @@ fn per_layer_storage(acc: Accelerator, workload: &Workload) -> HashMap<String, u
 
 /// Runs the experiment and renders its tables.
 pub fn run(cfg: &ExpConfig) -> String {
-    let nets: Vec<&str> = if cfg.quick { vec!["tiny"] } else { vec!["alexnet", "vgg16"] };
+    let nets: Vec<&str> = if cfg.quick {
+        vec!["tiny"]
+    } else {
+        vec!["alexnet", "vgg16"]
+    };
     let mut out = String::new();
     for net_name in nets {
         let net = network::by_name(net_name).unwrap();
         let workload = Workload::generate(net.clone(), SparsityProfile::SPARSE, cfg.seed);
         let with = per_layer_storage(Accelerator::mocha(Objective::Storage), &workload);
-        let without =
-            per_layer_storage(Accelerator::mocha_no_compression(Objective::Storage), &workload);
+        let without = per_layer_storage(
+            Accelerator::mocha_no_compression(Objective::Storage),
+            &workload,
+        );
 
         let mut t = Table::new(
             format!("F4 — per-layer scratchpad footprint on {net_name} (KB, Storage objective)"),

@@ -26,7 +26,11 @@ pub fn run(cfg: &ExpConfig) -> String {
         ofmap_mean_run: 2.0,
     };
 
-    let fixed = [Policy::TilingOnly, Policy::FusionOnly, Policy::ParallelismOnly];
+    let fixed = [
+        Policy::TilingOnly,
+        Policy::FusionOnly,
+        Policy::ParallelismOnly,
+    ];
     let mut t = Table::new(
         format!("F5 — per-layer EDP normalized to MOCHA=1.00 on {net_name} (lower is better; winner among fixed)"),
         &["layer", "tiling", "fusion", "parallel", "mocha", "best fixed"],
@@ -35,7 +39,11 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut wins = std::collections::BTreeMap::<&str, usize>::new();
     for i in 0..net.len() {
         let layers = &net.layers()[i..];
-        let pctx_b = PlanContext { fabric: &fabric_b, codec_costs: &costs, energy: &energy };
+        let pctx_b = PlanContext {
+            fabric: &fabric_b,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let scores: Vec<f64> = fixed
             .iter()
             .map(|&p| {
@@ -43,12 +51,28 @@ pub fn run(cfg: &ExpConfig) -> String {
                 d.plan.edp() / d.group_len as f64
             })
             .collect();
-        let pctx_m = PlanContext { fabric: &fabric_m, codec_costs: &costs, energy: &energy };
-        let md = controller::decide(&pctx_m, Policy::Mocha { objective: Objective::Edp }, layers, &est, true);
+        let pctx_m = PlanContext {
+            fabric: &fabric_m,
+            codec_costs: &costs,
+            energy: &energy,
+        };
+        let md = controller::decide(
+            &pctx_m,
+            Policy::Mocha {
+                objective: Objective::Edp,
+            },
+            layers,
+            &est,
+            true,
+        );
         let mocha = md.plan.edp() / md.group_len as f64;
 
         let names = ["tiling", "fusion", "parallel"];
-        let (wi, _) = scores.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap();
+        let (wi, _) = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
         *wins.entry(names[wi]).or_default() += 1;
 
         t.row(vec![
@@ -61,6 +85,8 @@ pub fn run(cfg: &ExpConfig) -> String {
         ]);
         est = controller::propagate_estimate(&net.layers()[i], &est);
     }
-    t.note(format!("fixed-policy wins per layer: {wins:?} — no fixed policy dominates"));
+    t.note(format!(
+        "fixed-policy wins per layer: {wins:?} — no fixed policy dominates"
+    ));
     t.render()
 }

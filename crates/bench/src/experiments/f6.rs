@@ -37,14 +37,29 @@ pub fn run(cfg: &ExpConfig) -> String {
         let mut fm = FabricConfig::mocha();
         fm.pe_rows = grid;
         fm.pe_cols = grid;
-        let pm = PlanContext { fabric: &fm, codec_costs: &costs, energy: &energy };
-        let mocha =
-            controller::decide(&pm, Policy::Mocha { objective: Objective::Throughput }, net.layers(), &est, true);
+        let pm = PlanContext {
+            fabric: &fm,
+            codec_costs: &costs,
+            energy: &energy,
+        };
+        let mocha = controller::decide(
+            &pm,
+            Policy::Mocha {
+                objective: Objective::Throughput,
+            },
+            net.layers(),
+            &est,
+            true,
+        );
 
         let mut fb = FabricConfig::baseline();
         fb.pe_rows = grid;
         fb.pe_cols = grid;
-        let pb = PlanContext { fabric: &fb, codec_costs: &costs, energy: &energy };
+        let pb = PlanContext {
+            fabric: &fb,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let fixed = controller::decide(&pb, Policy::TilingOnly, net.layers(), &est, true);
 
         t.row(vec![

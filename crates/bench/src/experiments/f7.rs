@@ -16,17 +16,34 @@ fn dram(acc: Accelerator, workload: &Workload) -> u64 {
 
 /// Runs the experiment and renders its table.
 pub fn run(cfg: &ExpConfig) -> String {
-    let nets: Vec<&str> = if cfg.quick { vec!["tiny", "lenet5"] } else { vec!["lenet5", "alexnet"] };
+    let nets: Vec<&str> = if cfg.quick {
+        vec!["tiny", "lenet5"]
+    } else {
+        vec!["lenet5", "alexnet"]
+    };
     let mut t = Table::new(
         "F7 — DRAM traffic as optimizations cascade (MB)",
-        &["network", "tiling-only", "+fusion", "+morph (mocha-nc)", "+compression (mocha)", "total reduction"],
+        &[
+            "network",
+            "tiling-only",
+            "+fusion",
+            "+morph (mocha-nc)",
+            "+compression (mocha)",
+            "total reduction",
+        ],
     );
     for net_name in nets {
-        let workload =
-            Workload::generate(network::by_name(net_name).unwrap(), SparsityProfile::SPARSE, cfg.seed);
+        let workload = Workload::generate(
+            network::by_name(net_name).unwrap(),
+            SparsityProfile::SPARSE,
+            cfg.seed,
+        );
         let tiling = dram(Accelerator::tiling_only(), &workload);
         let fusion = dram(Accelerator::fusion_only(), &workload);
-        let nc = dram(Accelerator::mocha_no_compression(Objective::Energy), &workload);
+        let nc = dram(
+            Accelerator::mocha_no_compression(Objective::Energy),
+            &workload,
+        );
         let full = dram(Accelerator::mocha(Objective::Energy), &workload);
         t.row(vec![
             net_name.into(),

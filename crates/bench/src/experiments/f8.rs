@@ -21,12 +21,24 @@ pub fn run(cfg: &ExpConfig) -> String {
     let fabric = FabricConfig::mocha();
     let costs = CodecCostTable::default();
     let energy = EnergyTable::default();
-    let pctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
-    let ectx = ExecContext { fabric: &fabric, codec_costs: &costs };
+    let pctx = PlanContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+        energy: &energy,
+    };
+    let ectx = ExecContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+    };
 
     let mut t = Table::new(
         "F8 — compression crossover: energy of forced-on vs off, and the controller's choice",
-        &["sparsity", "forced-on Δenergy", "controller choice", "controller Δenergy"],
+        &[
+            "sparsity",
+            "forced-on Δenergy",
+            "controller choice",
+            "controller Δenergy",
+        ],
     );
 
     for pct_s in [0, 5, 10, 15, 20, 30, 40, 60, 80, 90] {
@@ -46,31 +58,43 @@ pub fn run(cfg: &ExpConfig) -> String {
         // Baseline: best uncompressed config.
         let off = mocha::core::controller::decide(
             &pctx,
-            Policy::MochaNoCompression { objective: Objective::Energy },
+            Policy::MochaNoCompression {
+                objective: Objective::Energy,
+            },
             net.layers(),
             &est,
             true,
         );
-        let off_run = exec::execute_layer(&ectx, layer, &input, Some(&kernel), &off.morph, true).unwrap();
+        let off_run =
+            exec::execute_layer(&ectx, layer, &input, Some(&kernel), &off.morph, true).unwrap();
         let e_off = energy.price(&off_run.events).total_pj();
 
         // Forced-on: same config with full compression (or the nearest
         // feasible config if the raw tiling no longer fits).
-        let forced = MorphConfig { compression: CompressionChoice::ON, ..off.morph };
+        let forced = MorphConfig {
+            compression: CompressionChoice::ON,
+            ..off.morph
+        };
         let e_forced = exec::execute_layer(&ectx, layer, &input, Some(&kernel), &forced, true)
             .map(|r| energy.price(&r.events).total_pj());
 
         // The controller's own pick.
         let auto = mocha::core::controller::decide(
             &pctx,
-            Policy::Mocha { objective: Objective::Energy },
+            Policy::Mocha {
+                objective: Objective::Energy,
+            },
             net.layers(),
             &est,
             true,
         );
-        let auto_run = exec::execute_layer(&ectx, layer, &input, Some(&kernel), &auto.morph, true).unwrap();
+        let auto_run =
+            exec::execute_layer(&ectx, layer, &input, Some(&kernel), &auto.morph, true).unwrap();
         let e_auto = energy.price(&auto_run.events).total_pj();
-        assert_eq!(auto_run.output, off_run.output, "compression changed results");
+        assert_eq!(
+            auto_run.output, off_run.output,
+            "compression changed results"
+        );
 
         t.row(vec![
             format!("{pct_s} %"),

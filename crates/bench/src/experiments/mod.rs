@@ -13,6 +13,7 @@ pub mod f5;
 pub mod f6;
 pub mod f7;
 pub mod f8;
+pub mod r1;
 pub mod t1;
 pub mod t2;
 
@@ -29,12 +30,17 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        Self { quick: false, seed: 42 }
+        Self {
+            quick: false,
+            seed: 42,
+        }
     }
 }
 
 /// All experiment ids in presentation order.
-pub const ALL: &[&str] = &["t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "a1", "a2", "a3"];
+pub const ALL: &[&str] = &[
+    "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "a1", "a2", "a3", "r1",
+];
 
 /// Runs one experiment by id; `None` for unknown ids.
 pub fn run_by_id(id: &str, cfg: &ExpConfig) -> Option<String> {
@@ -52,6 +58,7 @@ pub fn run_by_id(id: &str, cfg: &ExpConfig) -> Option<String> {
         "a1" => Some(a1::run(cfg)),
         "a2" => Some(a2::run(cfg)),
         "a3" => Some(a3::run(cfg)),
+        "r1" => Some(r1::run(cfg)),
         _ => None,
     }
 }

@@ -1,0 +1,94 @@
+//! R1 (runtime) — multi-tenant serving under load: throughput and tail
+//! latency vs offered load, with the adaptive re-morphing lease policy
+//! against a static equal-partition baseline on the same arrival trace.
+//!
+//! The paper's morphing argument, extended to serving: a fixed partition
+//! wastes fabric whenever fewer tenants are resident than slots, while
+//! adaptive leases grow a lone tenant to the whole fabric and re-carve at
+//! the next group boundary when jobs arrive or retire. The gap should open
+//! with load, where arrivals force frequent re-carves.
+
+use crate::table::{f, Table};
+use mocha_runtime::{generate, run as run_runtime, LeasePolicy, Mix, RuntimeConfig, TrafficConfig};
+
+use super::ExpConfig;
+
+/// Runs the load sweep and renders its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    // Both modes use the quick tenant mix (tiny/LeNet-5): R1 sweeps two
+    // policies over several loads, so paper-scale networks would take hours.
+    // Full mode differs by driving more jobs per point for tighter tails.
+    let jobs = if cfg.quick { 8 } else { 16 };
+    let loads: &[f64] = if cfg.quick {
+        &[0.5, 4.0]
+    } else {
+        &[0.5, 2.0, 4.0, 8.0]
+    };
+
+    let mut t = Table::new(
+        format!(
+            "R1 — multi-tenant serving, {jobs} jobs/point on the quad fabric: \
+             adaptive re-morphing vs static equal partition"
+        ),
+        &[
+            "load",
+            "policy",
+            "jobs/Mcyc",
+            "p50 kcyc",
+            "p95 kcyc",
+            "p99 kcyc",
+            "util %",
+            "GOPS/W",
+            "remorphs",
+        ],
+    );
+
+    let mut adaptive_wins_at_peak = false;
+    for &load in loads {
+        let traffic = TrafficConfig {
+            jobs,
+            load,
+            seed: cfg.seed,
+            mix: Mix::Quick,
+        };
+        let subs = generate(&traffic);
+        let mut throughput = [0.0f64; 2];
+        for (i, policy) in [LeasePolicy::Adaptive, LeasePolicy::StaticEqual]
+            .iter()
+            .enumerate()
+        {
+            let rt = RuntimeConfig {
+                policy: *policy,
+                ..RuntimeConfig::default()
+            };
+            let report = run_runtime(&rt, &subs);
+            throughput[i] = report.jobs_per_mcycle();
+            let remorphs: usize = report.jobs.iter().map(|j| j.remorphs).sum();
+            t.row(vec![
+                f(load, 1),
+                policy.name().to_string(),
+                f(report.jobs_per_mcycle(), 2),
+                f(report.latency_percentile(50.0) as f64 / 1e3, 1),
+                f(report.latency_percentile(95.0) as f64 / 1e3, 1),
+                f(report.latency_percentile(99.0) as f64 / 1e3, 1),
+                f(100.0 * report.utilization(), 1),
+                f(report.gops_per_watt(), 1),
+                remorphs.to_string(),
+            ]);
+        }
+        if load == *loads.last().unwrap() {
+            adaptive_wins_at_peak = throughput[0] > throughput[1];
+        }
+    }
+
+    t.note(format!(
+        "at the highest load, adaptive re-morphing {} the static partition on throughput",
+        if adaptive_wins_at_peak {
+            "beats"
+        } else {
+            "does NOT beat"
+        }
+    ));
+    t.note("same seeded arrival trace for both policies at each load point");
+    t.render()
+}

@@ -48,11 +48,25 @@ pub fn run(cfg: &ExpConfig) -> String {
     );
 
     for net in networks(cfg) {
-        for (pname, profile) in [("nominal", SparsityProfile::NOMINAL), ("sparse", SparsityProfile::SPARSE)] {
+        for (pname, profile) in [
+            ("nominal", SparsityProfile::NOMINAL),
+            ("sparse", SparsityProfile::SPARSE),
+        ] {
             let rows = measure(net, profile, cfg.seed);
             let mut t = Table::new(
-                format!("T1 — {net} ({pname} sparsity: input {:.0} %, weights {:.0} %)", profile.input * 100.0, profile.weights * 100.0),
-                &["accelerator", "cycles", "GOPS", "GOPS/W", "storage KB", "DRAM MB"],
+                format!(
+                    "T1 — {net} ({pname} sparsity: input {:.0} %, weights {:.0} %)",
+                    profile.input * 100.0,
+                    profile.weights * 100.0
+                ),
+                &[
+                    "accelerator",
+                    "cycles",
+                    "GOPS",
+                    "GOPS/W",
+                    "storage KB",
+                    "DRAM MB",
+                ],
             );
             for r in &rows {
                 t.row(vec![
@@ -68,19 +82,33 @@ pub fn run(cfg: &ExpConfig) -> String {
             out.push('\n');
 
             let mocha = &rows[0].report;
-            let next_eff = rows[1..].iter().map(|r| r.report.gops_per_watt()).fold(f64::MIN, f64::max);
-            let next_gops = rows[1..].iter().map(|r| r.report.gops()).fold(f64::MIN, f64::max);
-            let next_storage = rows[1..].iter().map(|r| r.report.peak_storage_bytes).min().unwrap();
+            let next_eff = rows[1..]
+                .iter()
+                .map(|r| r.report.gops_per_watt())
+                .fold(f64::MIN, f64::max);
+            let next_gops = rows[1..]
+                .iter()
+                .map(|r| r.report.gops())
+                .fold(f64::MIN, f64::max);
+            let next_storage = rows[1..]
+                .iter()
+                .map(|r| r.report.peak_storage_bytes)
+                .min()
+                .unwrap();
             summary.row(vec![
                 net.to_string(),
                 pname.to_string(),
                 pct(improvement(mocha.gops_per_watt(), next_eff)),
                 pct(improvement(mocha.gops(), next_gops)),
-                pct(-reduction(mocha.peak_storage_bytes as f64, next_storage as f64)),
+                pct(-reduction(
+                    mocha.peak_storage_bytes as f64,
+                    next_storage as f64,
+                )),
             ]);
         }
     }
-    summary.note("storage column: negative = MOCHA needs less peak scratchpad than the best baseline");
+    summary
+        .note("storage column: negative = MOCHA needs less peak scratchpad than the best baseline");
     out.push_str(&summary.render());
     out
 }

@@ -45,7 +45,10 @@ pub fn run(_cfg: &ExpConfig) -> String {
     ));
 
     // Sensitivity: the overhead across fabric sizes.
-    let mut s = Table::new("T2b — overhead vs fabric size", &["PE grid", "scratchpad KB", "overhead"]);
+    let mut s = Table::new(
+        "T2b — overhead vs fabric size",
+        &["PE grid", "scratchpad KB", "overhead"],
+    );
     for (grid, kb) in [(4usize, 64usize), (8, 128), (12, 256), (16, 512)] {
         let mut mf = FabricConfig::mocha();
         mf.pe_rows = grid;

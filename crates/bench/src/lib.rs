@@ -8,13 +8,14 @@
 //! * [`table`] — fixed-width table rendering;
 //! * the `repro` binary (`cargo run -p mocha-bench --release --bin repro --
 //!   all`) runs any or all of them;
-//! * criterion micro-benchmarks (`cargo bench`) cover the hot paths: the
+//! * std-timer micro-benchmarks (`cargo bench`) cover the hot paths: the
 //!   codecs, the golden executor, the controller search and the full
 //!   simulator.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod micro;
 pub mod table;
 
 pub use experiments::{run_by_id, ExpConfig, ALL};
@@ -26,7 +27,10 @@ mod tests {
     /// Every experiment must at least run in quick mode and produce a table.
     #[test]
     fn all_experiments_run_in_quick_mode() {
-        let cfg = ExpConfig { quick: true, seed: 7 };
+        let cfg = ExpConfig {
+            quick: true,
+            seed: 7,
+        };
         for id in ALL {
             let out = run_by_id(id, &cfg).unwrap_or_else(|| panic!("unknown id {id}"));
             assert!(out.contains("=="), "{id} produced no table header");

@@ -1,0 +1,73 @@
+//! A minimal wall-clock micro-benchmark harness (the offline build has no
+//! criterion): calibrated warm-up, fixed measurement budget, median-of-runs
+//! reporting. Used by the `benches/` targets, which run with
+//! `cargo bench -p mocha-bench`.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark group, printed as an aligned block of `name  ns/op` rows.
+pub struct Group {
+    name: String,
+    budget: Duration,
+}
+
+impl Group {
+    /// Creates a group with the default per-case budget (~200 ms).
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        Self {
+            name: name.to_string(),
+            budget: Duration::from_millis(200),
+        }
+    }
+
+    /// Overrides the per-case measurement budget.
+    pub fn budget(mut self, d: Duration) -> Self {
+        self.budget = d;
+        self
+    }
+
+    /// Times `f`, printing the median per-iteration latency and optional
+    /// throughput against `bytes` processed per iteration.
+    pub fn bench<T>(&self, case: &str, bytes: Option<u64>, mut f: impl FnMut() -> T) {
+        // Calibrate: find an iteration count that fills ~1/5 of the budget.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= self.budget / 5 || iters >= 1 << 30 {
+                break;
+            }
+            iters = if dt.is_zero() {
+                iters * 16
+            } else {
+                (iters * 2).max((self.budget.as_nanos() / 5 / dt.as_nanos().max(1)) as u64 * iters)
+            };
+        }
+        // Measure: 5 samples, report the median.
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t0.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let ns = samples[samples.len() / 2];
+        match bytes {
+            Some(b) => {
+                let gbs = b as f64 / ns; // bytes/ns == GB/s
+                println!(
+                    "{:10}/{:32} {:>12.1} ns/op  {:>8.2} GB/s",
+                    self.name, case, ns, gbs
+                );
+            }
+            None => println!("{:10}/{:32} {:>12.1} ns/op", self.name, case, ns),
+        }
+    }
+}

@@ -39,7 +39,10 @@ impl Args {
 
     /// Option value with a default.
     pub fn opt(&self, key: &str, default: &str) -> String {
-        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Numeric option with a default; exits with a message on a bad value.

@@ -27,11 +27,47 @@ USAGE:
   mocha-sim pareto <network> [--layer NAME] [--profile P]
                                            Pareto front (cycles/energy/storage)
   mocha-sim networks                       list the network zoo
+  mocha-sim runtime [options]              multi-tenant runtime on synthetic traffic
+      --jobs N           jobs to generate                     (default 8)
+      --load F           offered load, arrivals per service   (default 2.0)
+      --seed N           traffic seed                         (default 42)
+      --mix quick|full   tenant mix (full = AlexNet/VGG: slow)(default quick)
+      --policy adaptive|static   lease policy                 (default adaptive)
+      --max-tenants N    admission cap                        (default 4)
+      --json             emit the RuntimeReport as JSON
+      --no-verify        skip golden-model verification
+  mocha-sim serve [--tcp ADDR] [--once] [--policy P] [--max-tenants N] [--no-verify]
+      JSON-lines batch server: one job request per line on stdin (or one
+      TCP connection with --tcp), e.g.
+        {\"network\": \"lenet5\", \"profile\": \"sparse\", \"priority\": \"high\",
+         \"objective\": \"edp\", \"seed\": 7, \"arrival_cycle\": 0}
+      A blank line (or EOF) closes the batch; per-job reports and a summary
+      come back as JSON lines.
 
 Fabric and energy tables can be overridden from JSON for any command:
   --fabric FILE.json     a serialized FabricConfig
   --energy FILE.json     a serialized EnergyTable
 ";
+
+/// Rejects options the subcommand doesn't know and positionals beyond the
+/// expected count, with a one-line scriptable error on stderr.
+pub fn strict(args: &Args, positionals: usize, allowed: &[&str]) -> Result<(), i32> {
+    let cmd = args.command.as_deref().unwrap_or("");
+    for key in args.options.keys() {
+        if !allowed.contains(&key.as_str()) {
+            eprintln!("unknown option --{key} for `mocha-sim {cmd}` (see `mocha-sim help`)");
+            return Err(2);
+        }
+    }
+    if args.positional.len() > positionals {
+        eprintln!(
+            "unexpected argument {:?} for `mocha-sim {cmd}` (see `mocha-sim help`)",
+            args.positional[positionals]
+        );
+        return Err(2);
+    }
+    Ok(())
+}
 
 fn profile(name: &str) -> SparsityProfile {
     match name {
@@ -73,7 +109,7 @@ fn accelerator(name: &str, obj: Objective) -> Accelerator {
 }
 
 /// Loads the fabric, honouring `--fabric FILE.json`.
-fn load_fabric(args: &Args) -> FabricConfig {
+pub(crate) fn load_fabric(args: &Args) -> FabricConfig {
     match args.options.get("fabric") {
         None => FabricConfig::mocha(),
         Some(path) => {
@@ -81,10 +117,12 @@ fn load_fabric(args: &Args) -> FabricConfig {
                 eprintln!("cannot read fabric config {path:?}: {e}");
                 std::process::exit(2);
             });
-            let fabric: FabricConfig = serde_json::from_str(&text).unwrap_or_else(|e| {
-                eprintln!("invalid fabric config {path:?}: {e}");
-                std::process::exit(2);
-            });
+            let fabric: FabricConfig = mocha_json::parse(&text)
+                .and_then(|v| mocha_json::FromJson::from_json(&v))
+                .unwrap_or_else(|e| {
+                    eprintln!("invalid fabric config {path:?}: {e}");
+                    std::process::exit(2);
+                });
             if let Err(e) = fabric.validate() {
                 eprintln!("inconsistent fabric config {path:?}: {e}");
                 std::process::exit(2);
@@ -103,10 +141,12 @@ fn load_energy(args: &Args) -> EnergyTable {
                 eprintln!("cannot read energy table {path:?}: {e}");
                 std::process::exit(2);
             });
-            serde_json::from_str(&text).unwrap_or_else(|e| {
-                eprintln!("invalid energy table {path:?}: {e}");
-                std::process::exit(2);
-            })
+            mocha_json::parse(&text)
+                .and_then(|v| mocha_json::FromJson::from_json(&v))
+                .unwrap_or_else(|e| {
+                    eprintln!("invalid energy table {path:?}: {e}");
+                    std::process::exit(2);
+                })
         }
     }
 }
@@ -124,6 +164,23 @@ fn load_network(args: &Args) -> Network {
 
 /// `simulate` subcommand.
 pub fn simulate(args: &Args) -> i32 {
+    if let Err(code) = strict(
+        args,
+        1,
+        &[
+            "accelerator",
+            "objective",
+            "profile",
+            "seed",
+            "trace",
+            "json",
+            "no-verify",
+            "fabric",
+            "energy",
+        ],
+    ) {
+        return code;
+    }
     let net = load_network(args);
     let obj = objective(&args.opt("objective", "edp"));
     let acc = accelerator(&args.opt("accelerator", "mocha"), obj);
@@ -144,31 +201,36 @@ pub fn simulate(args: &Args) -> i32 {
     let report = run.report(&table);
 
     if args.flag("json") {
-        let json = serde_json::json!({
-            "network": run.network,
-            "accelerator": run.accelerator,
-            "cycles": report.cycles,
-            "seconds": report.seconds(),
-            "gops": report.gops(),
-            "gops_per_watt": report.gops_per_watt(),
-            "watts": report.watts(),
-            "edp_js": report.edp(),
-            "peak_storage_bytes": report.peak_storage_bytes,
-            "dram_bytes": report.dram_bytes,
-            "compression_ratio": run.compression().overall_ratio(),
-            "groups": run.groups.iter().map(|g| serde_json::json!({
-                "name": g.name(),
-                "morph": g.morph.to_string(),
-                "cycles": g.cycles,
-                "spm_peak": g.spm_peak,
-                "work_macs": g.work_macs,
-            })).collect::<Vec<_>>(),
-        });
-        println!("{}", serde_json::to_string_pretty(&json).unwrap());
+        let json = mocha_json::jobj! {
+            "network" => run.network.as_str(),
+            "accelerator" => run.accelerator.as_str(),
+            "cycles" => report.cycles,
+            "seconds" => report.seconds(),
+            "gops" => report.gops(),
+            "gops_per_watt" => report.gops_per_watt(),
+            "watts" => report.watts(),
+            "edp_js" => report.edp(),
+            "peak_storage_bytes" => report.peak_storage_bytes,
+            "dram_bytes" => report.dram_bytes,
+            "compression_ratio" => run.compression().overall_ratio(),
+            "groups" => run.groups.iter().map(|g| mocha_json::jobj! {
+                "name" => g.name(),
+                "morph" => g.morph.to_string(),
+                "cycles" => g.cycles,
+                "spm_peak" => g.spm_peak,
+                "work_macs" => g.work_macs,
+            }).collect::<Vec<_>>(),
+        };
+        println!("{}", json.to_string_pretty());
         return 0;
     }
 
-    println!("{} on {} ({} groups)", run.network, run.accelerator, run.groups.len());
+    println!(
+        "{} on {} ({} groups)",
+        run.network,
+        run.accelerator,
+        run.groups.len()
+    );
     for g in &run.groups {
         println!(
             "  {:20} {:>36}  {:>10} cyc  {:>7.1} GOPS  {:>6.1} KB",
@@ -205,6 +267,9 @@ pub fn simulate(args: &Args) -> i32 {
 
 /// `decide` subcommand: show what the controller would pick at a layer.
 pub fn decide(args: &Args) -> i32 {
+    if let Err(code) = strict(args, 1, &["layer", "profile", "fabric", "energy"]) {
+        return code;
+    }
     let net = load_network(args);
     let prof = profile(&args.opt("profile", "nominal"));
     let layer_name = args.opt("layer", &net.layers()[0].name);
@@ -216,7 +281,11 @@ pub fn decide(args: &Args) -> i32 {
     let fabric = load_fabric(args);
     let costs = CodecCostTable::default();
     let energy = load_energy(args);
-    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let ctx = PlanContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+        energy: &energy,
+    };
     let est = SparsityEstimate {
         ifmap_sparsity: prof.input,
         ifmap_mean_run: 1.0 + 5.0 * prof.input,
@@ -227,7 +296,12 @@ pub fn decide(args: &Args) -> i32 {
 
     println!("layer: {}", net.layers()[start]);
     for (name, policy) in [
-        ("mocha", Policy::Mocha { objective: Objective::Edp }),
+        (
+            "mocha",
+            Policy::Mocha {
+                objective: Objective::Edp,
+            },
+        ),
         ("tiling", Policy::TilingOnly),
         ("fusion", Policy::FusionOnly),
         ("parallel", Policy::ParallelismOnly),
@@ -249,6 +323,9 @@ pub fn decide(args: &Args) -> i32 {
 
 /// `area` subcommand.
 pub fn area(args: &Args) -> i32 {
+    if let Err(code) = strict(args, 0, &["grid", "spm-kb"]) {
+        return code;
+    }
     let grid = args.opt_u64("grid", 8) as usize;
     let spm_kb = args.opt_u64("spm-kb", 128) as usize;
     let table = AreaTable::default();
@@ -278,12 +355,19 @@ pub fn area(args: &Args) -> i32 {
         println!("  {name:22} {b:>8.3}  {m:>8.3}");
     }
     let (bt, mt) = (ba.total_mm2(), ma.total_mm2());
-    println!("  {:22} {bt:>8.3}  {mt:>8.3}  ({:+.0} %)", "TOTAL", 100.0 * (mt - bt) / bt);
+    println!(
+        "  {:22} {bt:>8.3}  {mt:>8.3}  ({:+.0} %)",
+        "TOTAL",
+        100.0 * (mt - bt) / bt
+    );
     0
 }
 
 /// `codec` subcommand.
 pub fn codec(args: &Args) -> i32 {
+    if let Err(code) = strict(args, 0, &["sparsity", "clustered", "elements", "seed"]) {
+        return code;
+    }
     let sparsity = args.opt_f64("sparsity", 0.6);
     let elements = args.opt_u64("elements", 65536) as usize;
     let seed = args.opt_u64("seed", 1);
@@ -308,14 +392,22 @@ pub fn codec(args: &Args) -> i32 {
     for codec in [Codec::None, Codec::Zrle, Codec::Bitmask, Codec::Nibble] {
         let c = Compressed::encode(codec, data.data());
         assert_eq!(c.decode(), data.data(), "roundtrip");
-        println!("  {:8} {:>8} B  ratio {:.2}x", codec.name(), c.bytes(), c.ratio());
+        println!(
+            "  {:8} {:>8} B  ratio {:.2}x",
+            codec.name(),
+            c.bytes(),
+            c.ratio()
+        );
     }
     println!("  best: {}", best_codec(data.data()).name());
     0
 }
 
 /// `networks` subcommand.
-pub fn networks() -> i32 {
+pub fn networks(args: &Args) -> i32 {
+    if let Err(code) = strict(args, 0, &[]) {
+        return code;
+    }
     for name in ["tiny", "lenet5", "mobilenet", "alexnet", "vgg16"] {
         let n = network::by_name(name).unwrap();
         println!(
@@ -332,6 +424,9 @@ pub fn networks() -> i32 {
 
 /// `pareto` subcommand: the layer's trade-off surface.
 pub fn pareto(args: &Args) -> i32 {
+    if let Err(code) = strict(args, 1, &["layer", "profile", "fabric", "energy"]) {
+        return code;
+    }
     let net = load_network(args);
     let prof = profile(&args.opt("profile", "nominal"));
     let layer_name = args.opt("layer", &net.layers()[0].name);
@@ -342,7 +437,11 @@ pub fn pareto(args: &Args) -> i32 {
     let fabric = load_fabric(args);
     let costs = CodecCostTable::default();
     let energy = load_energy(args);
-    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let ctx = PlanContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+        energy: &energy,
+    };
     let est = SparsityEstimate {
         ifmap_sparsity: prof.input,
         ifmap_mean_run: 1.0 + 5.0 * prof.input,
@@ -352,8 +451,14 @@ pub fn pareto(args: &Args) -> i32 {
     };
     let front = mocha::core::dse::explore_layer(&ctx, &net.layers()[start], &est, true);
     println!("layer: {}", net.layers()[start]);
-    println!("Pareto front over (cycles, energy, storage): {} points", front.len());
-    println!("{:>12}  {:>10}  {:>9}  config", "cycles", "energy µJ", "SPM KB");
+    println!(
+        "Pareto front over (cycles, energy, storage): {} points",
+        front.len()
+    );
+    println!(
+        "{:>12}  {:>10}  {:>9}  config",
+        "cycles", "energy µJ", "SPM KB"
+    );
     for p in &front {
         println!(
             "{:>12}  {:>10.1}  {:>9.1}  {}",

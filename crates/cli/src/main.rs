@@ -7,10 +7,16 @@
 //! mocha-sim area     [--grid N] [--spm-kb KB]
 //! mocha-sim codec    [--sparsity S] [--clustered] [--elements N] [--seed N]
 //! mocha-sim networks
+//! mocha-sim runtime  [--jobs N] [--load F] [--seed N] [--mix M] [--policy P]
+//! mocha-sim serve    [--tcp ADDR] [--once] [--policy P] [--max-tenants N]
 //! ```
+//!
+//! Errors are scriptable: unknown subcommands, options or stray arguments
+//! produce a one-line message on stderr and exit code 2.
 
 mod args;
 mod commands;
+mod serve;
 
 use args::Args;
 
@@ -22,13 +28,19 @@ fn main() {
         Some("area") => commands::area(&parsed),
         Some("codec") => commands::codec(&parsed),
         Some("pareto") => commands::pareto(&parsed),
-        Some("networks") => commands::networks(),
-        Some("help") | None => {
+        Some("networks") => commands::networks(&parsed),
+        Some("runtime") => serve::runtime_cmd(&parsed),
+        Some("serve") => serve::serve(&parsed),
+        Some("help") => {
             print!("{}", commands::USAGE);
             0
         }
+        None => {
+            eprint!("{}", commands::USAGE);
+            2
+        }
         Some(other) => {
-            eprintln!("unknown command {other:?}\n\n{}", commands::USAGE);
+            eprintln!("unknown command {other:?} (see `mocha-sim help`)");
             2
         }
     };

@@ -1,0 +1,282 @@
+//! The serving front-end: `mocha-sim serve` and `mocha-sim runtime`.
+//!
+//! `serve` speaks a std-only JSON-lines protocol: one job request per line,
+//! a blank line (or EOF) closes the batch, and the runtime's per-job
+//! reports plus a summary come back as JSON lines. The same handler runs
+//! over stdin/stdout or a TCP socket (`--tcp ADDR`), so a shell pipe and a
+//! network client see identical behaviour.
+//!
+//! `runtime` is the closed-loop twin: it generates a seeded Poisson-like
+//! arrival trace over a tenant mix and prints per-job rows and fleet
+//! aggregates, in a table or as JSON.
+
+use crate::args::Args;
+use crate::commands;
+use mocha::runtime::{
+    self, JobSpec, LeasePolicy, Mix, RuntimeConfig, RuntimeReport, Submission, TrafficConfig,
+};
+use mocha_json::{FromJson, ToJson};
+use std::io::{BufRead, BufReader, Write};
+
+/// Builds the runtime configuration shared by `serve` and `runtime` from
+/// `--fabric`, `--policy`, `--max-tenants` and `--no-verify`.
+fn runtime_config(args: &Args) -> Result<RuntimeConfig, String> {
+    let fabric = match args.options.get("fabric") {
+        None => mocha::fabric::FabricConfig::mocha_quad(),
+        Some(_) => commands::load_fabric(args),
+    };
+    let policy_name = args.opt("policy", "adaptive");
+    let policy = LeasePolicy::parse(&policy_name)
+        .ok_or_else(|| format!("unknown policy {policy_name:?} (adaptive|static)"))?;
+    let max_tenants = args.opt_u64("max-tenants", 4) as usize;
+    if max_tenants == 0 {
+        return Err("--max-tenants must be at least 1".into());
+    }
+    Ok(RuntimeConfig {
+        fabric,
+        policy,
+        max_tenants,
+        verify: !args.flag("no-verify"),
+    })
+}
+
+/// Parses one JSON-lines request into a submission.
+fn parse_request(line: &str) -> Result<Submission, String> {
+    let v = mocha_json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    let spec = JobSpec::from_json(&v).map_err(|e| format!("bad request: {e}"))?;
+    spec.validate()?;
+    let arrival_cycle = match v.get("arrival_cycle") {
+        None => 0,
+        Some(c) => c
+            .as_u64()
+            .ok_or("arrival_cycle must be a non-negative integer")?,
+    };
+    Ok(Submission {
+        arrival_cycle,
+        spec,
+    })
+}
+
+/// Reads a batch of requests, runs the runtime, writes responses. Returns
+/// an error message for protocol failures (reported and non-zero-exited by
+/// the caller in stdin mode, written to the peer in TCP mode).
+fn serve_stream(
+    cfg: &RuntimeConfig,
+    reader: impl BufRead,
+    writer: &mut impl Write,
+) -> Result<(), String> {
+    let mut subs = Vec::new();
+    for (n, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            break; // blank line closes the batch
+        }
+        let sub = parse_request(trimmed).map_err(|e| format!("line {}: {e}", n + 1))?;
+        subs.push(sub);
+    }
+    // The scheduler wants non-decreasing arrivals; clients may interleave.
+    subs.sort_by_key(|s| s.arrival_cycle);
+    let report = runtime::run(cfg, &subs);
+    for job in &report.jobs {
+        writeln!(writer, "{}", job.to_json().to_string_compact())
+            .map_err(|e| format!("write error: {e}"))?;
+    }
+    writeln!(writer, "{}", summary_json(&report).to_string_compact())
+        .map_err(|e| format!("write error: {e}"))?;
+    Ok(())
+}
+
+/// The fleet-level summary line (job list omitted — jobs were streamed
+/// above).
+fn summary_json(report: &RuntimeReport) -> mocha_json::Value {
+    mocha_json::jobj! {
+        "summary" => true,
+        "policy" => report.policy.as_str(),
+        "completed" => report.completed(),
+        "horizon" => report.horizon,
+        "jobs_per_mcycle" => report.jobs_per_mcycle(),
+        "latency_p50" => report.latency_percentile(50.0),
+        "latency_p95" => report.latency_percentile(95.0),
+        "latency_p99" => report.latency_percentile(99.0),
+        "mean_queue_wait" => report.mean_queue_wait(),
+        "utilization" => report.utilization(),
+        "gops" => report.gops(),
+        "gops_per_watt" => report.gops_per_watt(),
+    }
+}
+
+/// `serve` subcommand.
+pub fn serve(args: &Args) -> i32 {
+    if let Err(code) = commands::strict(
+        args,
+        0,
+        &[
+            "policy",
+            "max-tenants",
+            "no-verify",
+            "fabric",
+            "tcp",
+            "once",
+        ],
+    ) {
+        return code;
+    }
+    let cfg = match runtime_config(args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    match args.options.get("tcp") {
+        None => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout().lock();
+            match serve_stream(&cfg, stdin.lock(), &mut stdout) {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("{e}");
+                    2
+                }
+            }
+        }
+        Some(addr) => {
+            let listener = match std::net::TcpListener::bind(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot bind {addr:?}: {e}");
+                    return 2;
+                }
+            };
+            match listener.local_addr() {
+                Ok(a) => eprintln!("listening on {a}"),
+                Err(_) => eprintln!("listening on {addr}"),
+            }
+            loop {
+                let (stream, peer) = match listener.accept() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("accept failed: {e}");
+                        return 2;
+                    }
+                };
+                eprintln!("batch from {peer}");
+                let reader = match stream.try_clone() {
+                    Ok(r) => BufReader::new(r),
+                    Err(e) => {
+                        eprintln!("cannot clone socket: {e}");
+                        continue;
+                    }
+                };
+                let mut writer = stream;
+                if let Err(e) = serve_stream(&cfg, reader, &mut writer) {
+                    // Report protocol errors to the peer, stay up.
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        mocha_json::jobj! { "error" => e.as_str() }.to_string_compact()
+                    );
+                }
+                if args.flag("once") {
+                    return 0;
+                }
+            }
+        }
+    }
+}
+
+/// `runtime` subcommand.
+pub fn runtime_cmd(args: &Args) -> i32 {
+    if let Err(code) = commands::strict(
+        args,
+        0,
+        &[
+            "jobs",
+            "load",
+            "seed",
+            "policy",
+            "max-tenants",
+            "mix",
+            "no-verify",
+            "json",
+            "fabric",
+        ],
+    ) {
+        return code;
+    }
+    let cfg = match runtime_config(args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mix_name = args.opt("mix", "quick");
+    let Some(mix) = Mix::parse(&mix_name) else {
+        eprintln!("unknown mix {mix_name:?} (quick|full)");
+        return 2;
+    };
+    let traffic = TrafficConfig {
+        jobs: args.opt_u64("jobs", 8) as usize,
+        load: args.opt_f64("load", 2.0),
+        seed: args.opt_u64("seed", 42),
+        mix,
+    };
+    if traffic.load <= 0.0 {
+        eprintln!("--load must be positive");
+        return 2;
+    }
+    let subs = runtime::generate(&traffic);
+    let report = runtime::run(&cfg, &subs);
+
+    if args.flag("json") {
+        println!("{}", report.to_json().to_string_pretty());
+        return 0;
+    }
+
+    println!(
+        "{} jobs ({} mix, load {:.2}, seed {}) on {}x{} fabric, policy {}",
+        traffic.jobs,
+        mix.name(),
+        traffic.load,
+        traffic.seed,
+        cfg.fabric.pe_rows,
+        cfg.fabric.pe_cols,
+        cfg.policy.name(),
+    );
+    println!(
+        "  {:>3} {:<10} {:<8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>8}",
+        "job", "network", "priority", "arrival", "wait", "latency", "busy", "groups", "remorphs"
+    );
+    for j in &report.jobs {
+        println!(
+            "  {:>3} {:<10} {:<8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>8}",
+            j.id,
+            j.spec.network,
+            j.spec
+                .priority
+                .to_json()
+                .as_str()
+                .unwrap_or("?")
+                .to_string(),
+            j.arrival,
+            j.queue_wait(),
+            j.latency(),
+            j.busy_cycles,
+            j.groups,
+            j.remorphs,
+        );
+    }
+    println!(
+        "throughput {:.3} jobs/Mcycle | p50 {} p95 {} p99 {} cycles | util {:.1} % | {:.1} GOPS | {:.1} GOPS/W",
+        report.jobs_per_mcycle(),
+        report.latency_percentile(50.0),
+        report.latency_percentile(95.0),
+        report.latency_percentile(99.0),
+        100.0 * report.utilization(),
+        report.gops(),
+        report.gops_per_watt(),
+    );
+    0
+}

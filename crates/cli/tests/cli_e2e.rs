@@ -1,0 +1,177 @@
+//! End-to-end tests driving the `mocha-sim` binary: the multi-tenant
+//! `runtime` command on a seeded workload (with golden-model verification
+//! on, so any divergence under contention aborts the run), the `serve`
+//! JSON-lines batch protocol, and the scriptable error contract (one-line
+//! stderr + exit code 2).
+
+use mocha_json::ToJson;
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+fn mocha_sim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+        .args(args)
+        .output()
+        .expect("spawn mocha-sim")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf-8 stderr")
+}
+
+/// The acceptance path: `mocha-sim runtime` on a seeded multi-tenant
+/// workload. Verification is on by default, so every executed group was
+/// checked against the golden executor in-process — a non-zero exit would
+/// mean morphing under contention changed a result. The JSON report must
+/// also match the library run bit for bit (cross-process determinism).
+#[test]
+fn runtime_on_seeded_workload_matches_the_library_and_the_golden_model() {
+    let out = mocha_sim(&[
+        "runtime", "--jobs", "5", "--load", "3.0", "--seed", "13", "--json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    let traffic = mocha::runtime::TrafficConfig {
+        jobs: 5,
+        load: 3.0,
+        seed: 13,
+        mix: mocha::runtime::Mix::Quick,
+    };
+    let subs = mocha::runtime::generate(&traffic);
+    let report = mocha::runtime::run(&mocha::runtime::RuntimeConfig::default(), &subs);
+    assert_eq!(report.completed(), 5);
+    let expected = format!("{}\n", report.to_json().to_string_pretty());
+    assert_eq!(stdout(&out), expected);
+}
+
+/// The human-readable table carries one row per job plus the fleet summary.
+#[test]
+fn runtime_table_lists_every_job_and_a_summary() {
+    let out = mocha_sim(&["runtime", "--jobs", "3", "--load", "2.0", "--seed", "5"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for needle in ["job", "latency", "remorphs", "throughput", "p99", "GOPS/W"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    // Header + column row + 3 job rows + summary.
+    assert_eq!(text.lines().count(), 6, "unexpected shape:\n{text}");
+}
+
+/// `serve` over stdin: two requests in, two job reports plus one summary
+/// line out, all valid JSON.
+#[test]
+fn serve_answers_a_stdin_batch_with_json_lines() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mocha-sim serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(
+            b"{\"network\": \"tiny\", \"profile\": \"sparse\", \"priority\": \"high\", \"seed\": 7}\n\
+              {\"network\": \"tiny\", \"arrival_cycle\": 5000}\n\n",
+        )
+        .expect("write requests");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "expected 2 job reports + summary:\n{text}");
+    for line in &lines {
+        mocha_json::parse(line).expect("every output line is JSON");
+    }
+    let summary = mocha_json::parse(lines[2]).unwrap();
+    assert_eq!(summary.get("completed").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(summary.get("summary").and_then(|v| v.as_bool()), Some(true));
+}
+
+/// A malformed request is rejected with the offending line number, a
+/// one-line stderr message and exit code 2.
+#[test]
+fn serve_rejects_bad_requests_with_line_numbers() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mocha-sim serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"{\"network\": \"nope\"}\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.starts_with("line 1:"), "stderr: {err}");
+    assert_eq!(err.lines().count(), 1, "stderr: {err}");
+}
+
+/// Unknown subcommands fail with a single-line stderr message and exit
+/// code 2 — no usage dump to scrape around.
+#[test]
+fn unknown_subcommand_is_a_one_line_error() {
+    let out = mocha_sim(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert_eq!(err.lines().count(), 1, "stderr: {err}");
+    assert!(err.contains("frobnicate"), "stderr: {err}");
+    assert!(stdout(&out).is_empty());
+}
+
+/// Unknown options and stray positionals are rejected per subcommand.
+#[test]
+fn unknown_flags_and_stray_arguments_exit_nonzero() {
+    for args in [
+        &["runtime", "--bogus", "3"][..],
+        &["serve", "--jobs", "4"][..],
+        &["simulate", "tiny", "extra"][..],
+        &["networks", "tiny"][..],
+        &["area", "--sparsity", "0.5"][..],
+    ] {
+        let out = mocha_sim(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        assert_eq!(stderr(&out).lines().count(), 1, "args: {args:?}");
+    }
+}
+
+/// Invalid option *values* (not just unknown keys) are also exit code 2.
+#[test]
+fn invalid_option_values_exit_nonzero() {
+    for args in [
+        &["runtime", "--policy", "greedy"][..],
+        &["runtime", "--mix", "heavy"][..],
+        &["runtime", "--load", "-1"][..],
+        &["runtime", "--max-tenants", "0"][..],
+    ] {
+        let out = mocha_sim(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+    }
+}
+
+/// No arguments prints usage to stderr and exits 2 (stdout stays clean for
+/// pipelines); `help` prints the same usage to stdout and exits 0.
+#[test]
+fn bare_invocation_is_an_error_but_help_is_not() {
+    let bare = mocha_sim(&[]);
+    assert_eq!(bare.status.code(), Some(2));
+    assert!(stdout(&bare).is_empty());
+    assert!(stderr(&bare).contains("USAGE"));
+
+    let help = mocha_sim(&["help"]);
+    assert!(help.status.success());
+    assert!(stdout(&help).contains("USAGE"));
+    assert!(stdout(&help).contains("mocha-sim serve"));
+}

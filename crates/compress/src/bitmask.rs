@@ -71,7 +71,11 @@ mod tests {
 
     fn roundtrip(data: &[i8]) {
         let enc = encode(data);
-        assert_eq!(enc.len(), encoded_size(data), "size fn disagrees with encoder");
+        assert_eq!(
+            enc.len(),
+            encoded_size(data),
+            "size fn disagrees with encoder"
+        );
         assert_eq!(decode(&enc, data.len()), data);
     }
 
@@ -106,7 +110,9 @@ mod tests {
     fn non_multiple_of_eight_lengths() {
         roundtrip(&[1, 0, 2]);
         roundtrip(&[0; 9]);
-        let data: Vec<i8> = (0..13).map(|i| if i % 3 == 0 { i as i8 + 1 } else { 0 }).collect();
+        let data: Vec<i8> = (0..13)
+            .map(|i| if i % 3 == 0 { i as i8 + 1 } else { 0 })
+            .collect();
         roundtrip(&data);
     }
 

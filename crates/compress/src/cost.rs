@@ -9,10 +9,9 @@
 //! controller must navigate.
 
 use crate::stream::Codec;
-use serde::{Deserialize, Serialize};
 
 /// Throughput/latency/energy parameters of one codec engine instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CodecCost {
     /// Pipeline fill latency in cycles before the first byte emerges.
     pub startup_cycles: u64,
@@ -25,7 +24,7 @@ pub struct CodecCost {
 }
 
 /// Cost table for all codec kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CodecCostTable {
     /// ZRLE engine parameters.
     pub zrle: CodecCost,
@@ -69,7 +68,9 @@ impl CodecCostTable {
     pub fn encode_cycles(&self, codec: Codec, raw_bytes: usize) -> u64 {
         match self.cost(codec) {
             None => 0,
-            Some(c) => c.startup_cycles + (raw_bytes as f64 / c.encode_bytes_per_cycle).ceil() as u64,
+            Some(c) => {
+                c.startup_cycles + (raw_bytes as f64 / c.encode_bytes_per_cycle).ceil() as u64
+            }
         }
     }
 
@@ -78,7 +79,9 @@ impl CodecCostTable {
     pub fn decode_cycles(&self, codec: Codec, raw_bytes: usize) -> u64 {
         match self.cost(codec) {
             None => 0,
-            Some(c) => c.startup_cycles + (raw_bytes as f64 / c.decode_bytes_per_cycle).ceil() as u64,
+            Some(c) => {
+                c.startup_cycles + (raw_bytes as f64 / c.decode_bytes_per_cycle).ceil() as u64
+            }
         }
     }
 

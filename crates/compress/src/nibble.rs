@@ -75,7 +75,11 @@ pub fn decode(stream: &[u8], len: usize) -> Vec<i8> {
         out.resize(out.len() + run as usize, 0);
         out.push(values[i] as i8);
     }
-    assert_eq!(out.len(), len, "nibble stream decodes to wrong element count");
+    assert_eq!(
+        out.len(),
+        len,
+        "nibble stream decodes to wrong element count"
+    );
     out
 }
 
@@ -111,7 +115,11 @@ mod tests {
 
     fn roundtrip(data: &[i8]) {
         let enc = encode(data);
-        assert_eq!(enc.len(), encoded_size(data), "size fn disagrees with encoder");
+        assert_eq!(
+            enc.len(),
+            encoded_size(data),
+            "size fn disagrees with encoder"
+        );
         assert_eq!(decode(&enc, data.len()), data);
     }
 

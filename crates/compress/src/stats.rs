@@ -1,10 +1,9 @@
 //! Compression accounting: aggregates what every stream in a run saved.
 
 use crate::stream::Codec;
-use serde::{Deserialize, Serialize};
 
 /// Running totals of raw vs encoded bytes, split by stream class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CompressionStats {
     /// Raw bytes that went through activation-stream codecs.
     pub activation_raw: u64,
@@ -19,6 +18,15 @@ pub struct CompressionStats {
     /// Streams that shipped compressed.
     pub compressed_streams: u64,
 }
+
+mocha_json::impl_json_struct!(CompressionStats {
+    activation_raw,
+    activation_encoded,
+    kernel_raw,
+    kernel_encoded,
+    uncompressed_streams,
+    compressed_streams,
+});
 
 impl CompressionStats {
     /// Records one stream's accounting.

@@ -6,10 +6,9 @@
 //! dataflow engine, which is what keeps the bit-exactness proofs simple.
 
 use crate::{bitmask, nibble, zrle};
-use serde::{Deserialize, Serialize};
 
 /// Which compression engine a stream goes through.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Codec {
     /// No compression; bytes ship verbatim.
     None,
@@ -22,6 +21,13 @@ pub enum Codec {
     /// data, worse on long clustered runs.
     Nibble,
 }
+
+mocha_json::impl_json_unit_enum!(Codec {
+    None => "none",
+    Zrle => "zrle",
+    Bitmask => "bitmask",
+    Nibble => "nibble",
+});
 
 impl Codec {
     /// Short name used in experiment tables.
@@ -76,7 +82,11 @@ impl Compressed {
             Codec::Bitmask => bitmask::encode(data),
             Codec::Nibble => nibble::encode(data),
         };
-        Self { codec, elements: data.len(), payload }
+        Self {
+            codec,
+            elements: data.len(),
+            payload,
+        }
     }
 
     /// Decodes back to the original elements (bit-exact).

@@ -103,7 +103,11 @@ pub fn estimated_size(elements: usize, sparsity: f64, mean_zero_run: f64) -> usi
     // Each nonzero record absorbs up to 255 preceding zeros; runs longer than
     // 255 spill extra (255,0) records. With mean run m, a fraction of runs
     // spill; approximate spill records as zeros/256 when m > 255/2.
-    let spill = if mean_zero_run > 128.0 { zeros / 256.0 } else { 0.0 };
+    let spill = if mean_zero_run > 128.0 {
+        zeros / 256.0
+    } else {
+        0.0
+    };
     (((nonzeros + spill) * 2.0) as usize + 2).min(2 * elements)
 }
 
@@ -113,7 +117,11 @@ mod tests {
 
     fn roundtrip(data: &[i8]) {
         let enc = encode(data);
-        assert_eq!(enc.len(), encoded_size(data), "size fn disagrees with encoder");
+        assert_eq!(
+            enc.len(),
+            encoded_size(data),
+            "size fn disagrees with encoder"
+        );
         let dec = decode(&enc, data.len());
         assert_eq!(dec, data);
     }
@@ -171,7 +179,7 @@ mod tests {
     #[test]
     fn long_trailing_run() {
         let mut data = vec![3i8];
-        data.extend(std::iter::repeat(0i8).take(600));
+        data.extend(std::iter::repeat_n(0i8, 600));
         roundtrip(&data);
     }
 

@@ -1,147 +1,223 @@
 //! Property-based tests: codec invariants that must hold on *arbitrary*
 //! streams, not just the regimes the generators produce.
+//!
+//! Cases are drawn from a seeded RNG (the offline build has no proptest);
+//! every assertion carries the seed so failures reproduce exactly.
 
 use mocha_compress::stream::{best_codec, Codec, Compressed};
 use mocha_compress::{bitmask, nibble, zrle};
-use proptest::prelude::*;
+use mocha_model::rng::ModelRng;
+
+fn any_i8(rng: &mut ModelRng) -> i8 {
+    rng.gen_range(-128i32..=127) as i8
+}
 
 /// Arbitrary i8 streams, biased toward zeros so runs actually occur.
-fn sparse_stream() -> impl Strategy<Value = Vec<i8>> {
-    prop::collection::vec(
-        prop_oneof![
-            4 => Just(0i8),
-            1 => any::<i8>(),
-        ],
-        0..2048,
-    )
+fn sparse_stream(rng: &mut ModelRng) -> Vec<i8> {
+    let n = rng.gen_range(0usize..2048);
+    (0..n)
+        .map(|_| if rng.gen_bool(0.8) { 0 } else { any_i8(rng) })
+        .collect()
 }
 
 /// Dense random streams (no zero bias).
-fn dense_stream() -> impl Strategy<Value = Vec<i8>> {
-    prop::collection::vec(any::<i8>(), 0..2048)
+fn dense_stream(rng: &mut ModelRng) -> Vec<i8> {
+    let n = rng.gen_range(0usize..2048);
+    (0..n).map(|_| any_i8(rng)).collect()
 }
 
 /// Extreme-run streams: concatenated blocks of zeros/nonzeros with lengths
 /// crossing the u8 record boundary (255/256/257).
-fn run_stream() -> impl Strategy<Value = Vec<i8>> {
-    prop::collection::vec(
-        (any::<bool>(), 1usize..600),
-        0..8,
-    )
-    .prop_map(|blocks| {
-        let mut out = Vec::new();
-        for (zero, len) in blocks {
-            if zero {
-                out.extend(std::iter::repeat(0i8).take(len));
-            } else {
-                out.extend(std::iter::repeat(7i8).take(len));
-            }
-        }
-        out
-    })
+fn run_stream(rng: &mut ModelRng) -> Vec<i8> {
+    let blocks = rng.gen_range(0usize..8);
+    let mut out = Vec::new();
+    for _ in 0..blocks {
+        let zero = rng.gen_bool(0.5);
+        let len = rng.gen_range(1usize..600);
+        out.extend(std::iter::repeat_n(if zero { 0i8 } else { 7i8 }, len));
+    }
+    out
 }
 
-proptest! {
-    #[test]
-    fn zrle_roundtrip_sparse(data in sparse_stream()) {
+/// Runs `f` over `n` deterministic seeded cases.
+fn cases(n: u64, mut f: impl FnMut(u64, &mut ModelRng)) {
+    for seed in 0..n {
+        let mut rng = ModelRng::seed_from_u64(seed);
+        f(seed, &mut rng);
+    }
+}
+
+#[test]
+fn zrle_roundtrip_sparse() {
+    cases(256, |seed, rng| {
+        let data = sparse_stream(rng);
         let enc = zrle::encode(&data);
-        prop_assert_eq!(zrle::decode(&enc, data.len()), data);
-    }
+        assert_eq!(zrle::decode(&enc, data.len()), data, "seed {seed}");
+    });
+}
 
-    #[test]
-    fn zrle_roundtrip_dense(data in dense_stream()) {
+#[test]
+fn zrle_roundtrip_dense() {
+    cases(256, |seed, rng| {
+        let data = dense_stream(rng);
         let enc = zrle::encode(&data);
-        prop_assert_eq!(zrle::decode(&enc, data.len()), data);
-    }
+        assert_eq!(zrle::decode(&enc, data.len()), data, "seed {seed}");
+    });
+}
 
-    #[test]
-    fn zrle_roundtrip_extreme_runs(data in run_stream()) {
+#[test]
+fn zrle_roundtrip_extreme_runs() {
+    cases(256, |seed, rng| {
+        let data = run_stream(rng);
         let enc = zrle::encode(&data);
-        prop_assert_eq!(zrle::decode(&enc, data.len()), data);
-    }
+        assert_eq!(zrle::decode(&enc, data.len()), data, "seed {seed}");
+    });
+}
 
-    #[test]
-    fn zrle_size_fn_matches_encoder(data in sparse_stream()) {
-        prop_assert_eq!(zrle::encoded_size(&data), zrle::encode(&data).len());
-    }
+#[test]
+fn zrle_size_fn_matches_encoder() {
+    cases(256, |seed, rng| {
+        let data = sparse_stream(rng);
+        assert_eq!(
+            zrle::encoded_size(&data),
+            zrle::encode(&data).len(),
+            "seed {seed}"
+        );
+    });
+}
 
-    #[test]
-    fn zrle_never_exceeds_two_x(data in dense_stream()) {
-        prop_assert!(zrle::encode(&data).len() <= 2 * data.len().max(1));
-    }
+#[test]
+fn zrle_never_exceeds_two_x() {
+    cases(256, |seed, rng| {
+        let data = dense_stream(rng);
+        assert!(
+            zrle::encode(&data).len() <= 2 * data.len().max(1),
+            "seed {seed}"
+        );
+    });
+}
 
-    #[test]
-    fn bitmask_roundtrip_sparse(data in sparse_stream()) {
+#[test]
+fn bitmask_roundtrip_sparse() {
+    cases(256, |seed, rng| {
+        let data = sparse_stream(rng);
         let enc = bitmask::encode(&data);
-        prop_assert_eq!(bitmask::decode(&enc, data.len()), data);
-    }
+        assert_eq!(bitmask::decode(&enc, data.len()), data, "seed {seed}");
+    });
+}
 
-    #[test]
-    fn bitmask_roundtrip_dense(data in dense_stream()) {
+#[test]
+fn bitmask_roundtrip_dense() {
+    cases(256, |seed, rng| {
+        let data = dense_stream(rng);
         let enc = bitmask::encode(&data);
-        prop_assert_eq!(bitmask::decode(&enc, data.len()), data);
-    }
+        assert_eq!(bitmask::decode(&enc, data.len()), data, "seed {seed}");
+    });
+}
 
-    #[test]
-    fn bitmask_size_fn_matches_encoder(data in sparse_stream()) {
-        prop_assert_eq!(bitmask::encoded_size(&data), bitmask::encode(&data).len());
-    }
+#[test]
+fn bitmask_size_fn_matches_encoder() {
+    cases(256, |seed, rng| {
+        let data = sparse_stream(rng);
+        assert_eq!(
+            bitmask::encoded_size(&data),
+            bitmask::encode(&data).len(),
+            "seed {seed}"
+        );
+    });
+}
 
-    #[test]
-    fn bitmask_size_is_mask_plus_nnz(data in sparse_stream()) {
+#[test]
+fn bitmask_size_is_mask_plus_nnz() {
+    cases(256, |seed, rng| {
+        let data = sparse_stream(rng);
         let nnz = data.iter().filter(|&&v| v != 0).count();
-        prop_assert_eq!(bitmask::encode(&data).len(), data.len().div_ceil(8) + nnz);
-    }
+        assert_eq!(
+            bitmask::encode(&data).len(),
+            data.len().div_ceil(8) + nnz,
+            "seed {seed}"
+        );
+    });
+}
 
-    #[test]
-    fn compressed_container_roundtrips_all_codecs(data in sparse_stream()) {
+#[test]
+fn compressed_container_roundtrips_all_codecs() {
+    cases(128, |seed, rng| {
+        let data = sparse_stream(rng);
         for codec in [Codec::None, Codec::Zrle, Codec::Bitmask, Codec::Nibble] {
             let c = Compressed::encode(codec, &data);
-            prop_assert_eq!(c.decode(), data.clone(), "codec {}", codec.name());
-            prop_assert_eq!(c.elements, data.len());
+            assert_eq!(c.decode(), data, "seed {seed} codec {}", codec.name());
+            assert_eq!(c.elements, data.len(), "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn best_codec_is_actually_best(data in sparse_stream()) {
+#[test]
+fn best_codec_is_actually_best() {
+    cases(128, |seed, rng| {
+        let data = sparse_stream(rng);
         let chosen = best_codec(&data);
         let chosen_size = Compressed::encode(chosen, &data).bytes();
         for codec in [Codec::None, Codec::Zrle, Codec::Bitmask, Codec::Nibble] {
             let size = Compressed::encode(codec, &data).bytes();
-            prop_assert!(chosen_size <= size,
-                "best_codec chose {} ({chosen_size} B) but {} is {size} B",
-                chosen.name(), codec.name());
+            assert!(
+                chosen_size <= size,
+                "seed {seed}: best_codec chose {} ({chosen_size} B) but {} is {size} B",
+                chosen.name(),
+                codec.name()
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn nibble_roundtrip_sparse(data in sparse_stream()) {
+#[test]
+fn nibble_roundtrip_sparse() {
+    cases(256, |seed, rng| {
+        let data = sparse_stream(rng);
         let enc = nibble::encode(&data);
-        prop_assert_eq!(nibble::decode(&enc, data.len()), data);
-    }
+        assert_eq!(nibble::decode(&enc, data.len()), data, "seed {seed}");
+    });
+}
 
-    #[test]
-    fn nibble_roundtrip_dense(data in dense_stream()) {
+#[test]
+fn nibble_roundtrip_dense() {
+    cases(256, |seed, rng| {
+        let data = dense_stream(rng);
         let enc = nibble::encode(&data);
-        prop_assert_eq!(nibble::decode(&enc, data.len()), data);
-    }
+        assert_eq!(nibble::decode(&enc, data.len()), data, "seed {seed}");
+    });
+}
 
-    #[test]
-    fn nibble_roundtrip_extreme_runs(data in run_stream()) {
+#[test]
+fn nibble_roundtrip_extreme_runs() {
+    cases(256, |seed, rng| {
+        let data = run_stream(rng);
         let enc = nibble::encode(&data);
-        prop_assert_eq!(nibble::decode(&enc, data.len()), data);
-    }
+        assert_eq!(nibble::decode(&enc, data.len()), data, "seed {seed}");
+    });
+}
 
-    #[test]
-    fn nibble_size_fn_matches_encoder(data in sparse_stream()) {
-        prop_assert_eq!(nibble::encoded_size(&data), nibble::encode(&data).len());
-    }
+#[test]
+fn nibble_size_fn_matches_encoder() {
+    cases(256, |seed, rng| {
+        let data = sparse_stream(rng);
+        assert_eq!(
+            nibble::encoded_size(&data),
+            nibble::encode(&data).len(),
+            "seed {seed}"
+        );
+    });
+}
 
-    #[test]
-    fn ratio_is_consistent_with_sizes(data in sparse_stream()) {
-        prop_assume!(!data.is_empty());
+#[test]
+fn ratio_is_consistent_with_sizes() {
+    cases(256, |seed, rng| {
+        let data = sparse_stream(rng);
+        if data.is_empty() {
+            return;
+        }
         let c = Compressed::encode(Codec::Zrle, &data);
         let expected = data.len() as f64 / c.bytes() as f64;
-        prop_assert!((c.ratio() - expected).abs() < 1e-12);
-    }
+        assert!((c.ratio() - expected).abs() < 1e-12, "seed {seed}");
+    });
 }

@@ -22,10 +22,9 @@ use crate::controller::Policy;
 use crate::morph::Objective;
 use mocha_energy::{AreaBreakdown, AreaTable};
 use mocha_fabric::FabricConfig;
-use serde::{Deserialize, Serialize};
 
 /// A named accelerator instance: policy + fabric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Accelerator {
     /// Display name used in experiment tables.
     pub name: String,
@@ -57,12 +56,20 @@ impl Accelerator {
 
     /// Tiling-only prior art.
     pub fn tiling_only() -> Self {
-        Self { name: "tiling".into(), policy: Policy::TilingOnly, fabric: FabricConfig::baseline() }
+        Self {
+            name: "tiling".into(),
+            policy: Policy::TilingOnly,
+            fabric: FabricConfig::baseline(),
+        }
     }
 
     /// Layer-merging-only prior art.
     pub fn fusion_only() -> Self {
-        Self { name: "fusion".into(), policy: Policy::FusionOnly, fabric: FabricConfig::baseline() }
+        Self {
+            name: "fusion".into(),
+            policy: Policy::FusionOnly,
+            fabric: FabricConfig::baseline(),
+        }
     }
 
     /// Parallelism-only prior art.
@@ -77,7 +84,11 @@ impl Accelerator {
     /// The three prior-art baselines the abstract's "next best accelerator"
     /// is drawn from.
     pub fn baselines() -> Vec<Self> {
-        vec![Self::tiling_only(), Self::fusion_only(), Self::parallelism_only()]
+        vec![
+            Self::tiling_only(),
+            Self::fusion_only(),
+            Self::parallelism_only(),
+        ]
     }
 
     /// MOCHA plus every baseline — the comparison set of experiment T1/F1.

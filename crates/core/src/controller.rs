@@ -19,20 +19,16 @@
 
 use crate::exec::default_morph;
 use crate::fusion::{can_extend, plan_group, FusionGroup, MAX_GROUP_DEPTH};
-use crate::morph::{
-    CompressionChoice, LoopOrder, MorphConfig, Objective, Parallelism, Tiling,
-};
+use crate::morph::{CompressionChoice, LoopOrder, MorphConfig, Objective, Parallelism, Tiling};
 use crate::plan::{plan_layer, LayerPlan, PlanContext, SparsityEstimate};
 use crate::tiling::reduction_depth;
 use mocha_compress::Codec;
 use mocha_fabric::Buffering;
 use mocha_model::layer::{Layer, LayerKind};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Accelerator policy: MOCHA's full search, its no-compression ablation, or
 /// a prior-art fixed-optimization design.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// Full morphable search (the paper's contribution).
     Mocha {
@@ -120,8 +116,13 @@ fn tiling_menu(layer: &Layer) -> Vec<Tiling> {
         for (oh, ow) in [(8usize, 8usize), (16, 16), (32, 32)] {
             for ic in [64usize, 512, depth] {
                 menu.push(
-                    Tiling { tile_oc: oc, tile_oh: oh, tile_ow: ow, tile_ic: ic }
-                        .clamp(out.c, out.h, out.w, depth),
+                    Tiling {
+                        tile_oc: oc,
+                        tile_oh: oh,
+                        tile_ow: ow,
+                        tile_ic: ic,
+                    }
+                    .clamp(out.c, out.h, out.w, depth),
                 );
             }
         }
@@ -151,18 +152,43 @@ fn codec_menu(policy: Policy, has_codecs: bool) -> Vec<CompressionChoice> {
     vec![
         CompressionChoice::OFF,
         CompressionChoice::ON,
-        CompressionChoice { ifmap: Codec::Zrle, kernel: Codec::Bitmask, ofmap: Codec::None },
-        CompressionChoice { ifmap: Codec::None, kernel: Codec::Bitmask, ofmap: Codec::None },
-        CompressionChoice { ifmap: Codec::Zrle, kernel: Codec::None, ofmap: Codec::Zrle },
-        CompressionChoice { ifmap: Codec::Nibble, kernel: Codec::Bitmask, ofmap: Codec::None },
-        CompressionChoice { ifmap: Codec::Nibble, kernel: Codec::Bitmask, ofmap: Codec::Nibble },
+        CompressionChoice {
+            ifmap: Codec::Zrle,
+            kernel: Codec::Bitmask,
+            ofmap: Codec::None,
+        },
+        CompressionChoice {
+            ifmap: Codec::None,
+            kernel: Codec::Bitmask,
+            ofmap: Codec::None,
+        },
+        CompressionChoice {
+            ifmap: Codec::Zrle,
+            kernel: Codec::None,
+            ofmap: Codec::Zrle,
+        },
+        CompressionChoice {
+            ifmap: Codec::Nibble,
+            kernel: Codec::Bitmask,
+            ofmap: Codec::None,
+        },
+        CompressionChoice {
+            ifmap: Codec::Nibble,
+            kernel: Codec::Bitmask,
+            ofmap: Codec::Nibble,
+        },
     ]
 }
 
 /// All morph candidates for a group ending in `last` under `policy`.
 /// Public for the DSE module ([`crate::dse`]), which explores the same
 /// space the controller searches.
-pub fn candidate_configs(policy: Policy, last: &Layer, fused: bool, has_codecs: bool) -> Vec<MorphConfig> {
+pub fn candidate_configs(
+    policy: Policy,
+    last: &Layer,
+    fused: bool,
+    has_codecs: bool,
+) -> Vec<MorphConfig> {
     let tilings = tiling_menu(last);
     let codecs = codec_menu(policy, has_codecs);
     match policy {
@@ -248,7 +274,10 @@ fn plan_for(
     if len == 1 {
         plan_layer(ctx, &layers[0], morph, est, store_output)
     } else {
-        let group = FusionGroup { start: 0, layers: layers[..len].to_vec() };
+        let group = FusionGroup {
+            start: 0,
+            layers: layers[..len].to_vec(),
+        };
         let shapes: Vec<_> = group.layers.iter().map(|l| l.kernel_shape()).collect();
         plan_group(ctx, &group, &shapes, morph, est, store_output)
     }
@@ -266,8 +295,10 @@ fn search_group(
     store_output: bool,
 ) -> Option<(MorphConfig, LayerPlan, usize)> {
     let cands = candidate_configs(policy, &layers[len - 1], len > 1, ctx.fabric.has_codecs());
-    let searches = matches!(policy, Policy::Mocha { .. } | Policy::MochaNoCompression { .. })
-        || matches!(policy, Policy::TilingOnly | Policy::ParallelismOnly);
+    let searches = matches!(
+        policy,
+        Policy::Mocha { .. } | Policy::MochaNoCompression { .. }
+    ) || matches!(policy, Policy::TilingOnly | Policy::ParallelismOnly);
     if !searches {
         // Fixed-function: first feasible rung of the ladder.
         for (i, morph) in cands.iter().enumerate() {
@@ -278,19 +309,18 @@ fn search_group(
         return None;
     }
     let n = cands.len();
-    let best = cands
-        .into_par_iter()
-        .enumerate()
-        .filter_map(|(i, morph)| {
-            plan_for(ctx, layers, len, &morph, est, store_output)
-                .ok()
-                .map(|plan| (i, morph, plan))
-        })
-        .min_by(|(ia, _, pa), (ib, _, pb)| {
-            score(pa, objective)
-                .total_cmp(&score(pb, objective))
-                .then(ia.cmp(ib)) // deterministic tiebreak
-        })?;
+    let best = mocha_par::par_map_vec(cands, |i, morph| {
+        plan_for(ctx, layers, len, &morph, est, store_output)
+            .ok()
+            .map(|plan| (i, morph, plan))
+    })
+    .into_iter()
+    .flatten()
+    .min_by(|(ia, _, pa), (ib, _, pb)| {
+        score(pa, objective)
+            .total_cmp(&score(pb, objective))
+            .then(ia.cmp(ib)) // deterministic tiebreak
+    })?;
     Some((best.1, best.2, n))
 }
 
@@ -309,9 +339,13 @@ pub fn propagate_estimate(layer: &Layer, est: &SparsityEstimate) -> SparsityEsti
                 (0.1, 1.0)
             }
         }
-        LayerKind::Pool { kind: mocha_model::PoolKind::Max, .. } => {
-            ((est.ifmap_sparsity - 0.3).max(0.0), (est.ifmap_mean_run / 2.0).max(1.0))
-        }
+        LayerKind::Pool {
+            kind: mocha_model::PoolKind::Max,
+            ..
+        } => (
+            (est.ifmap_sparsity - 0.3).max(0.0),
+            (est.ifmap_mean_run / 2.0).max(1.0),
+        ),
         LayerKind::Pool { .. } => (est.ifmap_sparsity, est.ifmap_mean_run),
     };
     SparsityEstimate {
@@ -335,6 +369,35 @@ fn max_depth(layers: &[Layer]) -> usize {
         depth += 1;
     }
     depth
+}
+
+/// [`decide`] restricted to a resource lease: the search runs on the
+/// sub-fabric the lease carves out of `ctx.fabric`, so the chosen plan can
+/// never use more PEs, scratchpad banks or memory-path bandwidth than the
+/// lease grants. This is how the multi-tenant runtime maps each admitted
+/// job onto its slice of the machine.
+///
+/// # Panics
+/// Panics if the lease is invalid for `ctx.fabric`, plus everything
+/// [`decide`] panics on.
+pub fn decide_with_lease(
+    ctx: &PlanContext<'_>,
+    lease: &mocha_fabric::FabricPartition,
+    policy: Policy,
+    layers: &[Layer],
+    est: &SparsityEstimate,
+    store_output: bool,
+) -> Decision {
+    lease
+        .validate(ctx.fabric)
+        .unwrap_or_else(|e| panic!("invalid lease: {e}"));
+    let sub = lease.sub_config(ctx.fabric);
+    let sub_ctx = PlanContext {
+        fabric: &sub,
+        codec_costs: ctx.codec_costs,
+        energy: ctx.energy,
+    };
+    decide(&sub_ctx, policy, layers, est, store_output)
 }
 
 /// Decides the next group (fusion depth + morph config) at the head of
@@ -375,7 +438,12 @@ pub fn decide(
             if let Some((morph, plan, candidates)) =
                 search_group(ctx, policy, layers, d, est, objective, store_output)
             {
-                return Decision { group_len: d, morph, plan, candidates };
+                return Decision {
+                    group_len: d,
+                    morph,
+                    plan,
+                    candidates,
+                };
             }
         }
         panic!("no feasible configuration for layer {}", layers[0].name);
@@ -406,7 +474,7 @@ pub fn decide(
                 combine(singleton_chain_score, score(p, objective), objective)
             };
             if d == 1 {
-                best = Some((1, *m, p.clone(), *c, singleton_chain_score));
+                best = Some((1, *m, *p, *c, singleton_chain_score));
             }
         } else if d == 1 {
             panic!("no feasible configuration for layer {}", layers[0].name);
@@ -427,7 +495,12 @@ pub fn decide(
     }
 
     let (group_len, morph, plan, _, _) = best.expect("no feasible configuration");
-    Decision { group_len, morph, plan, candidates: total_candidates }
+    Decision {
+        group_len,
+        morph,
+        plan,
+        candidates: total_candidates,
+    }
 }
 
 #[cfg(test)]
@@ -439,7 +512,11 @@ mod tests {
     use mocha_model::network;
 
     fn contexts() -> (FabricConfig, CodecCostTable, EnergyTable) {
-        (FabricConfig::mocha(), CodecCostTable::default(), EnergyTable::default())
+        (
+            FabricConfig::mocha(),
+            CodecCostTable::default(),
+            EnergyTable::default(),
+        )
     }
 
     fn nominal_est() -> SparsityEstimate {
@@ -467,14 +544,30 @@ mod tests {
     #[test]
     fn mocha_decides_feasible_configs_for_every_tiny_layer() {
         let (fabric, costs, energy) = contexts();
-        let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = network::tiny();
         let mut i = 0;
         while i < net.len() {
-            let d = decide(&ctx, Policy::Mocha { objective: Objective::Edp }, &net.layers()[i..], &nominal_est(), true);
+            let d = decide(
+                &ctx,
+                Policy::Mocha {
+                    objective: Objective::Edp,
+                },
+                &net.layers()[i..],
+                &nominal_est(),
+                true,
+            );
             assert!(d.group_len >= 1);
             assert!(d.plan.spm_peak <= fabric.spm_bytes());
-            assert!(d.candidates > 10, "mocha should search broadly, got {}", d.candidates);
+            assert!(
+                d.candidates > 10,
+                "mocha should search broadly, got {}",
+                d.candidates
+            );
             i += d.group_len;
         }
     }
@@ -482,9 +575,17 @@ mod tests {
     #[test]
     fn baseline_policies_never_compress() {
         let (fabric, costs, energy) = contexts();
-        let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = network::tiny();
-        for policy in [Policy::TilingOnly, Policy::FusionOnly, Policy::ParallelismOnly] {
+        for policy in [
+            Policy::TilingOnly,
+            Policy::FusionOnly,
+            Policy::ParallelismOnly,
+        ] {
             let d = decide(&ctx, policy, net.layers(), &nominal_est(), true);
             assert!(!d.morph.compression.any(), "{} compressed", policy.name());
         }
@@ -493,11 +594,17 @@ mod tests {
     #[test]
     fn mocha_no_compression_ablation_never_compresses() {
         let (fabric, costs, energy) = contexts();
-        let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = network::tiny();
         let d = decide(
             &ctx,
-            Policy::MochaNoCompression { objective: Objective::Edp },
+            Policy::MochaNoCompression {
+                objective: Objective::Edp,
+            },
             net.layers(),
             &nominal_est(),
             true,
@@ -509,16 +616,32 @@ mod tests {
     fn codecless_fabric_forces_compression_off() {
         let (_, costs, energy) = contexts();
         let fabric = FabricConfig::baseline();
-        let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = network::tiny();
-        let d = decide(&ctx, Policy::Mocha { objective: Objective::Edp }, net.layers(), &nominal_est(), true);
+        let d = decide(
+            &ctx,
+            Policy::Mocha {
+                objective: Objective::Edp,
+            },
+            net.layers(),
+            &nominal_est(),
+            true,
+        );
         assert!(!d.morph.compression.any());
     }
 
     #[test]
     fn tiling_only_never_fuses() {
         let (fabric, costs, energy) = contexts();
-        let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = network::tiny();
         let d = decide(&ctx, Policy::TilingOnly, net.layers(), &nominal_est(), true);
         assert_eq!(d.group_len, 1);
@@ -527,7 +650,11 @@ mod tests {
     #[test]
     fn fusion_only_always_fuses_when_legal() {
         let (fabric, costs, energy) = contexts();
-        let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = network::tiny();
         // tiny starts conv1, pool1, conv2 — deepest legal group is 3.
         let d = decide(&ctx, Policy::FusionOnly, net.layers(), &nominal_est(), true);
@@ -537,21 +664,53 @@ mod tests {
     #[test]
     fn fc_layers_never_fuse() {
         let (fabric, costs, energy) = contexts();
-        let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = network::tiny();
         // Position of fc4 in tiny is index 5.
-        let d = decide(&ctx, Policy::Mocha { objective: Objective::Edp }, &net.layers()[5..], &nominal_est(), true);
+        let d = decide(
+            &ctx,
+            Policy::Mocha {
+                objective: Objective::Edp,
+            },
+            &net.layers()[5..],
+            &nominal_est(),
+            true,
+        );
         assert_eq!(d.group_len, 1);
     }
 
     #[test]
     fn objectives_change_the_winner() {
         let (fabric, costs, energy) = contexts();
-        let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = network::tiny();
         let layers = &net.layers()[..1];
-        let throughput = decide(&ctx, Policy::Mocha { objective: Objective::Throughput }, layers, &nominal_est(), true);
-        let storage = decide(&ctx, Policy::Mocha { objective: Objective::Storage }, layers, &nominal_est(), true);
+        let throughput = decide(
+            &ctx,
+            Policy::Mocha {
+                objective: Objective::Throughput,
+            },
+            layers,
+            &nominal_est(),
+            true,
+        );
+        let storage = decide(
+            &ctx,
+            Policy::Mocha {
+                objective: Objective::Storage,
+            },
+            layers,
+            &nominal_est(),
+            true,
+        );
         // The storage-optimal plan must not take more scratchpad than the
         // throughput-optimal one, and typically takes (much) less.
         assert!(storage.plan.spm_peak <= throughput.plan.spm_peak);
@@ -568,12 +727,22 @@ mod tests {
         // the release-mode experiment suite): the deepest conv block and
         // the three fc layers.
         let (fabric, costs, energy) = contexts();
-        let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = mocha_model::network::vgg16();
         let fc6 = net.layers().iter().position(|l| l.name == "fc6").unwrap();
-        let conv5 = net.layers().iter().position(|l| l.name == "conv5_1").unwrap();
+        let conv5 = net
+            .layers()
+            .iter()
+            .position(|l| l.name == "conv5_1")
+            .unwrap();
         for policy in [
-            Policy::Mocha { objective: Objective::Edp },
+            Policy::Mocha {
+                objective: Objective::Edp,
+            },
             Policy::TilingOnly,
             Policy::FusionOnly,
             Policy::ParallelismOnly,
@@ -588,10 +757,30 @@ mod tests {
     #[test]
     fn decisions_are_deterministic() {
         let (fabric, costs, energy) = contexts();
-        let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = network::tiny();
-        let a = decide(&ctx, Policy::Mocha { objective: Objective::Edp }, net.layers(), &nominal_est(), true);
-        let b = decide(&ctx, Policy::Mocha { objective: Objective::Edp }, net.layers(), &nominal_est(), true);
+        let a = decide(
+            &ctx,
+            Policy::Mocha {
+                objective: Objective::Edp,
+            },
+            net.layers(),
+            &nominal_est(),
+            true,
+        );
+        let b = decide(
+            &ctx,
+            Policy::Mocha {
+                objective: Objective::Edp,
+            },
+            net.layers(),
+            &nominal_est(),
+            true,
+        );
         assert_eq!(a.morph, b.morph);
         assert_eq!(a.group_len, b.group_len);
         assert_eq!(a.plan.cycles, b.plan.cycles);
@@ -600,7 +789,11 @@ mod tests {
     #[test]
     fn sparse_input_turns_compression_on_dense_turns_it_off() {
         let (fabric, costs, energy) = contexts();
-        let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = network::single_conv(32, 32, 32, 32, 3, 1, 1);
         let sparse = SparsityEstimate {
             ifmap_sparsity: 0.85,
@@ -609,8 +802,19 @@ mod tests {
             ofmap_sparsity: 0.6,
             ofmap_mean_run: 3.0,
         };
-        let d_sparse = decide(&ctx, Policy::Mocha { objective: Objective::Energy }, net.layers(), &sparse, true);
-        assert!(d_sparse.morph.compression.any(), "sparse input should enable codecs");
+        let d_sparse = decide(
+            &ctx,
+            Policy::Mocha {
+                objective: Objective::Energy,
+            },
+            net.layers(),
+            &sparse,
+            true,
+        );
+        assert!(
+            d_sparse.morph.compression.any(),
+            "sparse input should enable codecs"
+        );
 
         let dense = SparsityEstimate {
             ifmap_sparsity: 0.02,
@@ -619,7 +823,15 @@ mod tests {
             ofmap_sparsity: 0.05,
             ofmap_mean_run: 1.0,
         };
-        let d_dense = decide(&ctx, Policy::Mocha { objective: Objective::Energy }, net.layers(), &dense, true);
+        let d_dense = decide(
+            &ctx,
+            Policy::Mocha {
+                objective: Objective::Energy,
+            },
+            net.layers(),
+            &dense,
+            true,
+        );
         assert!(
             d_dense.morph.compression.ifmap == Codec::None,
             "dense input should not pay ZRLE inflation, chose {}",

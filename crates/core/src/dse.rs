@@ -11,11 +11,9 @@ use crate::controller::Policy;
 use crate::morph::{MorphConfig, Objective};
 use crate::plan::{plan_layer, LayerPlan, PlanContext, SparsityEstimate};
 use mocha_model::layer::Layer;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// One evaluated design point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DesignPoint {
     /// The configuration.
     pub morph: MorphConfig,
@@ -53,7 +51,10 @@ pub fn pareto_front(mut points: Vec<DesignPoint>) -> Vec<DesignPoint> {
     });
     let mut front: Vec<DesignPoint> = Vec::new();
     for p in points {
-        if front.iter().any(|f| f.dominates(&p) || f.coords() == p.coords()) {
+        if front
+            .iter()
+            .any(|f| f.dominates(&p) || f.coords() == p.coords())
+        {
             continue;
         }
         front.retain(|f| !p.dominates(f));
@@ -72,19 +73,21 @@ pub fn explore_layer(
     store_output: bool,
 ) -> Vec<DesignPoint> {
     let candidates = crate::controller::candidate_configs(
-        Policy::Mocha { objective: Objective::Edp },
+        Policy::Mocha {
+            objective: Objective::Edp,
+        },
         layer,
         false,
         ctx.fabric.has_codecs(),
     );
-    let points: Vec<DesignPoint> = candidates
-        .into_par_iter()
-        .filter_map(|morph| {
-            plan_layer(ctx, layer, &morph, est, store_output)
-                .ok()
-                .map(|plan| DesignPoint { morph, plan })
-        })
-        .collect();
+    let points: Vec<DesignPoint> = mocha_par::par_map_vec(candidates, |_, morph| {
+        plan_layer(ctx, layer, &morph, est, store_output)
+            .ok()
+            .map(|plan| DesignPoint { morph, plan })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     pareto_front(points)
 }
 
@@ -155,7 +158,11 @@ mod tests {
         let fabric = FabricConfig::mocha();
         let costs = CodecCostTable::default();
         let energy = EnergyTable::default();
-        let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = network::tiny();
         let est = SparsityEstimate {
             ifmap_sparsity: 0.6,
@@ -165,7 +172,11 @@ mod tests {
             ofmap_mean_run: 2.0,
         };
         let front = explore_layer(&ctx, &net.layers()[0], &est, true);
-        assert!(front.len() >= 2, "trade-off surface should have >1 point, got {}", front.len());
+        assert!(
+            front.len() >= 2,
+            "trade-off surface should have >1 point, got {}",
+            front.len()
+        );
         for (i, a) in front.iter().enumerate() {
             for (j, b) in front.iter().enumerate() {
                 if i != j {
@@ -178,11 +189,16 @@ mod tests {
         let fastest = front.iter().map(|p| p.plan.cycles).min().unwrap();
         let d = crate::controller::decide(
             &ctx,
-            Policy::Mocha { objective: Objective::Throughput },
+            Policy::Mocha {
+                objective: Objective::Throughput,
+            },
             &net.layers()[..1],
             &est,
             true,
         );
-        assert_eq!(d.plan.cycles, fastest, "controller's throughput pick must match the front's fastest point");
+        assert_eq!(
+            d.plan.cycles, fastest,
+            "controller's throughput pick must match the front's fastest point"
+        );
     }
 }

@@ -57,7 +57,12 @@ const STORE_LANES: usize = 2;
 /// returns the encoded size in bytes.
 fn encode_checked(codec: Codec, data: &[i8]) -> usize {
     let enc = Compressed::encode(codec, data);
-    debug_assert_eq!(enc.decode(), data, "codec {} roundtrip broken", codec.name());
+    debug_assert_eq!(
+        enc.decode(),
+        data,
+        "codec {} roundtrip broken",
+        codec.name()
+    );
     enc.bytes()
 }
 
@@ -71,7 +76,10 @@ fn window_bytes(layer: &Layer, input: &Tensor<i8>, win: &Region) -> Vec<i8> {
     }
     match layer.kind {
         LayerKind::Fc { .. } => input.data()[win.c0..win.c0 + win.cn].to_vec(),
-        _ => input.window(win.c0, win.cn, win.y0, win.yn, win.x0, win.xn).data().to_vec(),
+        _ => input
+            .window(win.c0, win.cn, win.y0, win.yn, win.x0, win.xn)
+            .data()
+            .to_vec(),
     }
 }
 
@@ -110,7 +118,9 @@ pub fn execute_weighted(
     };
     let (shift, relu) = stride_relu;
 
-    let tiling = morph.tiling.clamp(out_shape.c, out_shape.h, out_shape.w, depth);
+    let tiling = morph
+        .tiling
+        .clamp(out_shape.c, out_shape.h, out_shape.w, depth);
     let slabs = reduction_slabs(depth, tiling.tile_ic);
     let tile_list = tiles(layer, tiling, morph.loop_order);
     let buffer_sets = mocha_fabric::buffer_sets(morph.buffering);
@@ -140,7 +150,8 @@ pub fn execute_weighted(
                 }
                 let (class, raw, codec) = match morph.loop_order {
                     LoopOrder::WeightStationary => {
-                        let raw = kernel.filter_block(tile.out.c0, tile.out.cn, 0, depth_channels(layer));
+                        let raw =
+                            kernel.filter_block(tile.out.c0, tile.out.cn, 0, depth_channels(layer));
                         (RegionClass::KernelBlock, raw, morph.compression.kernel)
                     }
                     LoopOrder::InputStationary => {
@@ -240,10 +251,18 @@ pub fn execute_weighted(
             scratchpad::stream_cycles(ctx.fabric, feed_bytes + acc_r + acc_w, ctx.fabric.spm_banks);
 
         // On-the-fly decode while feeding the PEs.
-        let decode_cycles = ctx.codec_costs.decode_cycles(morph.compression.ifmap, ifmap_raw_tile)
-            + ctx.codec_costs.decode_cycles(morph.compression.kernel, kernel_raw_tile);
-        events.priced_pj += ctx.codec_costs.energy_pj(morph.compression.ifmap, ifmap_raw_tile)
-            + ctx.codec_costs.energy_pj(morph.compression.kernel, kernel_raw_tile);
+        let decode_cycles = ctx
+            .codec_costs
+            .decode_cycles(morph.compression.ifmap, ifmap_raw_tile)
+            + ctx
+                .codec_costs
+                .decode_cycles(morph.compression.kernel, kernel_raw_tile);
+        events.priced_pj += ctx
+            .codec_costs
+            .energy_pj(morph.compression.ifmap, ifmap_raw_tile)
+            + ctx
+                .codec_costs
+                .energy_pj(morph.compression.kernel, kernel_raw_tile);
         if morph.compression.ifmap != Codec::None {
             events.codec_bytes += ifmap_raw_tile as u64;
         }
@@ -259,8 +278,13 @@ pub fn execute_weighted(
         let store_cycles = if store_output {
             let encoded = encode_checked(morph.compression.ofmap, &tile_out);
             compression.record(morph.compression.ofmap, false, tile_out.len(), encoded);
-            let transfer =
-                streams::store_encoded(morph.compression.ofmap, tile_out.len(), encoded, ctx.codec_costs, STORE_LANES);
+            let transfer = streams::store_encoded(
+                morph.compression.ofmap,
+                tile_out.len(),
+                encoded,
+                ctx.codec_costs,
+                STORE_LANES,
+            );
             transfer.count_events(ctx.fabric, &mut events);
             transfer.cycles(ctx.fabric)
         } else {
@@ -268,7 +292,11 @@ pub fn execute_weighted(
         };
 
         write_tile(&mut output, &tile.out, &tile_out);
-        phases.push(TilePhase { load_cycles, compute_cycles, store_cycles });
+        phases.push(TilePhase {
+            load_cycles,
+            compute_cycles,
+            store_cycles,
+        });
 
         spm.free(slab_buf);
         spm.free(acc_buf);
@@ -363,7 +391,12 @@ pub fn compute_tile(
                 out[ci] = requantize(acc, shift, relu);
             }
         }
-        LayerKind::DwConv { k, stride, pad, relu } => {
+        LayerKind::DwConv {
+            k,
+            stride,
+            pad,
+            relu,
+        } => {
             let in_shape = layer.input;
             for (ci, c) in (r.c0..r.c0 + r.cn).enumerate() {
                 for (yi, oy) in (r.y0..r.y0 + r.yn).enumerate() {
@@ -393,14 +426,18 @@ pub fn compute_tile(
     out
 }
 
-
 /// Writes a region-local tile buffer back into the full output tensor.
 pub fn write_tile(output: &mut Tensor<i8>, r: &Region, data: &[i8]) {
     debug_assert_eq!(data.len(), r.volume());
     for ci in 0..r.cn {
         for yi in 0..r.yn {
             for xi in 0..r.xn {
-                output.set(r.c0 + ci, r.y0 + yi, r.x0 + xi, data[(ci * r.yn + yi) * r.xn + xi]);
+                output.set(
+                    r.c0 + ci,
+                    r.y0 + yi,
+                    r.x0 + xi,
+                    data[(ci * r.yn + yi) * r.xn + xi],
+                );
             }
         }
     }
@@ -418,7 +455,9 @@ pub fn execute_pool(
         panic!("{}: not a pool layer", layer.name);
     };
     let out_shape = layer.output();
-    let tiling = morph.tiling.clamp(out_shape.c, out_shape.h, out_shape.w, layer.input.c);
+    let tiling = morph
+        .tiling
+        .clamp(out_shape.c, out_shape.h, out_shape.w, layer.input.c);
     let tile_list = tiles(layer, tiling, morph.loop_order);
     let buffer_sets = mocha_fabric::buffer_sets(morph.buffering);
 
@@ -455,8 +494,12 @@ pub fn execute_pool(
         };
         phase.pool_ops += out_vol as u64; // output write pass
         phase.count_events(&mut events);
-        let decode_cycles = ctx.codec_costs.decode_cycles(morph.compression.ifmap, raw.len());
-        events.priced_pj += ctx.codec_costs.energy_pj(morph.compression.ifmap, raw.len());
+        let decode_cycles = ctx
+            .codec_costs
+            .decode_cycles(morph.compression.ifmap, raw.len());
+        events.priced_pj += ctx
+            .codec_costs
+            .energy_pj(morph.compression.ifmap, raw.len());
         if morph.compression.ifmap != Codec::None {
             events.codec_bytes += raw.len() as u64;
         }
@@ -471,7 +514,14 @@ pub fn execute_pool(
             for (yi, oy) in (tile.out.y0..tile.out.y0 + tile.out.yn).enumerate() {
                 for (xi, ox) in (tile.out.x0..tile.out.x0 + tile.out.xn).enumerate() {
                     tile_out[(ci * tile.out.yn + yi) * tile.out.xn + xi] =
-                        mocha_model::golden::pool_window(input, kind, c, oy * stride, ox * stride, k);
+                        mocha_model::golden::pool_window(
+                            input,
+                            kind,
+                            c,
+                            oy * stride,
+                            ox * stride,
+                            k,
+                        );
                 }
             }
         }
@@ -479,7 +529,13 @@ pub fn execute_pool(
         let store_cycles = if store_output {
             let enc_out = encode_checked(morph.compression.ofmap, &tile_out);
             compression.record(morph.compression.ofmap, false, tile_out.len(), enc_out);
-            let t = streams::store_encoded(morph.compression.ofmap, tile_out.len(), enc_out, ctx.codec_costs, STORE_LANES);
+            let t = streams::store_encoded(
+                morph.compression.ofmap,
+                tile_out.len(),
+                enc_out,
+                ctx.codec_costs,
+                STORE_LANES,
+            );
             t.count_events(ctx.fabric, &mut events);
             t.cycles(ctx.fabric)
         } else {
@@ -487,7 +543,11 @@ pub fn execute_pool(
         };
 
         write_tile(&mut output, &tile.out, &tile_out);
-        phases.push(TilePhase { load_cycles, compute_cycles, store_cycles });
+        phases.push(TilePhase {
+            load_cycles,
+            compute_cycles,
+            store_cycles,
+        });
         spm.free(in_buf);
         spm.free(out_buf);
     }
@@ -516,7 +576,14 @@ pub fn execute_layer(
 ) -> Result<LayerRun, CapacityError> {
     match layer.kind {
         LayerKind::Pool { .. } => execute_pool(ctx, layer, input, morph, store_output),
-        _ => execute_weighted(ctx, layer, input, kernel.expect("weighted layer needs kernel"), morph, store_output),
+        _ => execute_weighted(
+            ctx,
+            layer,
+            input,
+            kernel.expect("weighted layer needs kernel"),
+            morph,
+            store_output,
+        ),
     }
 }
 
@@ -563,7 +630,10 @@ mod tests {
     /// against the golden model.
     fn assert_network_exact(morph_for: impl Fn(&Layer) -> MorphConfig) {
         let (fabric, costs) = ctx_objects();
-        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let ctx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
         let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 17);
         let golden_outs = golden::forward(&w);
         let mut current = w.input.clone();
@@ -601,7 +671,12 @@ mod tests {
     #[test]
     fn small_tiles_are_bit_exact() {
         assert_network_exact(|l| MorphConfig {
-            tiling: Tiling { tile_oc: 3, tile_oh: 5, tile_ow: 7, tile_ic: 2 },
+            tiling: Tiling {
+                tile_oc: 3,
+                tile_oh: 5,
+                tile_ow: 7,
+                tile_ic: 2,
+            },
             ..default_morph(l)
         });
     }
@@ -621,30 +696,53 @@ mod tests {
     #[test]
     fn single_buffering_is_bit_exact_and_slower() {
         let (fabric, costs) = ctx_objects();
-        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let ctx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
         let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 3);
         let layer = &w.network.layers()[0];
         let base = default_morph(layer);
-        let single = MorphConfig { buffering: Buffering::Single, ..base };
+        let single = MorphConfig {
+            buffering: Buffering::Single,
+            ..base
+        };
         let r2 = execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &base, true).unwrap();
-        let r1 = execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &single, true).unwrap();
+        let r1 =
+            execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &single, true).unwrap();
         assert_eq!(r1.output, r2.output);
-        assert!(r1.cycles >= r2.cycles, "single {} < double {}", r1.cycles, r2.cycles);
+        assert!(
+            r1.cycles >= r2.cycles,
+            "single {} < double {}",
+            r1.cycles,
+            r2.cycles
+        );
         // Single buffering must use less scratchpad.
-        assert!(r1.spm_peak < r2.spm_peak, "single {} !< double {}", r1.spm_peak, r2.spm_peak);
+        assert!(
+            r1.spm_peak < r2.spm_peak,
+            "single {} !< double {}",
+            r1.spm_peak,
+            r2.spm_peak
+        );
     }
 
     #[test]
     fn compression_reduces_dram_traffic_on_sparse_inputs() {
         let (fabric, costs) = ctx_objects();
-        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let ctx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
         let net = network::single_conv(16, 32, 32, 32, 3, 1, 1);
         let layer = &net.layers()[0];
         let mut rng = gen::rng(5);
         let input = gen::clustered_activations(layer.input, 0.7, 8, &mut rng);
         let kernel = gen::kernel(layer.kernel_shape().unwrap(), 0.5, &mut rng);
         let base = default_morph(layer);
-        let comp = MorphConfig { compression: CompressionChoice::ON, ..base };
+        let comp = MorphConfig {
+            compression: CompressionChoice::ON,
+            ..base
+        };
         let r_raw = execute_weighted(&ctx, layer, &input, &kernel, &base, true).unwrap();
         let r_cmp = execute_weighted(&ctx, layer, &input, &kernel, &comp, true).unwrap();
         assert_eq!(r_raw.output, r_cmp.output);
@@ -664,7 +762,10 @@ mod tests {
         let (mut fabric, costs) = ctx_objects();
         fabric.spm_banks = 1;
         fabric.spm_bank_kb = 1; // 1 KB scratchpad
-        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let ctx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
         let net = network::single_conv(16, 32, 32, 32, 3, 1, 1);
         let layer = &net.layers()[0];
         let mut rng = gen::rng(5);
@@ -680,12 +781,16 @@ mod tests {
     #[test]
     fn skipping_store_zeroes_writeback_traffic() {
         let (fabric, costs) = ctx_objects();
-        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let ctx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
         let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 3);
         let layer = &w.network.layers()[0];
         let m = default_morph(layer);
         let with = execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &m, true).unwrap();
-        let without = execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &m, false).unwrap();
+        let without =
+            execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &m, false).unwrap();
         assert_eq!(without.events.dram_write_bytes, 0);
         assert!(with.events.dram_write_bytes > 0);
         assert_eq!(with.output, without.output);
@@ -694,10 +799,21 @@ mod tests {
     #[test]
     fn spm_peak_respects_capacity() {
         let (fabric, costs) = ctx_objects();
-        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let ctx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
         let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 3);
         for (i, layer) in w.network.layers().iter().enumerate() {
-            let run = execute_layer(&ctx, layer, &golden_input(&w, i), w.kernels[i].as_ref(), &default_morph(layer), true).unwrap();
+            let run = execute_layer(
+                &ctx,
+                layer,
+                &golden_input(&w, i),
+                w.kernels[i].as_ref(),
+                &default_morph(layer),
+                true,
+            )
+            .unwrap();
             assert!(run.spm_peak <= fabric.spm_bytes(), "layer {}", layer.name);
         }
     }
@@ -713,13 +829,17 @@ mod tests {
     #[test]
     fn event_macs_match_layer_work_when_dense() {
         let (fabric, costs) = ctx_objects();
-        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let ctx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
         let net = network::single_conv(8, 16, 16, 8, 3, 1, 1);
         let layer = &net.layers()[0];
         let mut rng = gen::rng(1);
         let input = gen::activations(layer.input, 0.5, &mut rng);
         let kernel = gen::kernel(layer.kernel_shape().unwrap(), 0.0, &mut rng);
-        let run = execute_weighted(&ctx, layer, &input, &kernel, &default_morph(layer), true).unwrap();
+        let run =
+            execute_weighted(&ctx, layer, &input, &kernel, &default_morph(layer), true).unwrap();
         assert_eq!(run.events.macs + run.events.macs_skipped, layer.macs());
         assert_eq!(run.events.macs_skipped, 0);
     }

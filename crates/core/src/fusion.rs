@@ -90,7 +90,11 @@ pub fn back_regions(layers: &[Layer], final_region: Region) -> (Vec<Region>, Reg
             // A conv consumer needs all of its input channels.
             LayerKind::Conv { .. } => {
                 let w = input_window(consumer, &needed, 0, consumer.input.c);
-                Region { c0: 0, cn: consumer.input.c, ..w }
+                Region {
+                    c0: 0,
+                    cn: consumer.input.c,
+                    ..w
+                }
             }
             // Pool and depthwise consumers are per-channel: they need the
             // same channels they produce.
@@ -103,7 +107,11 @@ pub fn back_regions(layers: &[Layer], final_region: Region) -> (Vec<Region>, Reg
     let first = &layers[0];
     let input_win = {
         let w = input_window(first, &regions[0], 0, first.input.c);
-        Region { c0: 0, cn: first.input.c, ..w }
+        Region {
+            c0: 0,
+            cn: first.input.c,
+            ..w
+        }
     };
     (regions, input_win)
 }
@@ -122,7 +130,11 @@ pub struct RegionBuf {
 impl RegionBuf {
     /// Allocates a zeroed region buffer.
     pub fn zeros(region: Region, full: TensorShape) -> Self {
-        Self { region, full, data: vec![0; region.volume()] }
+        Self {
+            region,
+            full,
+            data: vec![0; region.volume()],
+        }
     }
 
     /// Wraps existing region-local data (CHW order within the region).
@@ -179,12 +191,23 @@ impl Input<'_> {
 }
 
 /// Computes one layer's output region from a reader (bit-exact).
-fn compute_region(layer: &Layer, input: &Input<'_>, kernel: Option<&Kernel>, out_region: Region) -> RegionBuf {
+fn compute_region(
+    layer: &Layer,
+    input: &Input<'_>,
+    kernel: Option<&Kernel>,
+    out_region: Region,
+) -> RegionBuf {
     let full_out = layer.output();
     let mut buf = RegionBuf::zeros(out_region, full_out);
     let r = out_region;
     match layer.kind {
-        LayerKind::Conv { k, stride, pad, relu, .. } => {
+        LayerKind::Conv {
+            k,
+            stride,
+            pad,
+            relu,
+            ..
+        } => {
             let kernel = kernel.expect("conv needs weights");
             let in_c = layer.input.c;
             for (ci, c) in (r.c0..r.c0 + r.cn).enumerate() {
@@ -218,7 +241,11 @@ fn compute_region(layer: &Layer, input: &Input<'_>, kernel: Option<&Kernel>, out
                                 let mut m = i8::MIN;
                                 for ky in 0..k {
                                     for kx in 0..k {
-                                        m = m.max(input.get(c, (oy * stride + ky) as isize, (ox * stride + kx) as isize));
+                                        m = m.max(input.get(
+                                            c,
+                                            (oy * stride + ky) as isize,
+                                            (ox * stride + kx) as isize,
+                                        ));
                                     }
                                 }
                                 m
@@ -227,7 +254,11 @@ fn compute_region(layer: &Layer, input: &Input<'_>, kernel: Option<&Kernel>, out
                                 let mut s: i32 = 0;
                                 for ky in 0..k {
                                     for kx in 0..k {
-                                        s += input.get(c, (oy * stride + ky) as isize, (ox * stride + kx) as isize) as i32;
+                                        s += input.get(
+                                            c,
+                                            (oy * stride + ky) as isize,
+                                            (ox * stride + kx) as isize,
+                                        ) as i32;
                                     }
                                 }
                                 (s / (k * k) as i32) as i8
@@ -238,7 +269,12 @@ fn compute_region(layer: &Layer, input: &Input<'_>, kernel: Option<&Kernel>, out
                 }
             }
         }
-        LayerKind::DwConv { k, stride, pad, relu } => {
+        LayerKind::DwConv {
+            k,
+            stride,
+            pad,
+            relu,
+        } => {
             let kernel = kernel.expect("dwconv needs weights");
             for (ci, c) in (r.c0..r.c0 + r.cn).enumerate() {
                 for (yi, oy) in (r.y0..r.y0 + r.yn).enumerate() {
@@ -324,13 +360,22 @@ pub fn execute_group(
         if let Some(kernel) = kernels[i] {
             let enc = Compressed::encode(morph.compression.kernel, kernel.data());
             debug_assert_eq!(enc.decode(), kernel.data());
-            compression.record(morph.compression.kernel, true, kernel.data().len(), enc.bytes());
+            compression.record(
+                morph.compression.kernel,
+                true,
+                kernel.data().len(),
+                enc.bytes(),
+            );
             let region = spm.alloc(RegionClass::KernelBlock, enc.bytes())?;
             kernel_regions.push(region);
             kernel_encoded_total += enc.bytes();
             let t = streams::load_encoded(enc.bytes(), LOAD_LANES);
             t.count_events(fabric, &mut events);
-            phases.push(TilePhase { load_cycles: t.cycles(fabric), compute_cycles: 0, store_cycles: 0 });
+            phases.push(TilePhase {
+                load_cycles: t.cycles(fabric),
+                compute_cycles: 0,
+                store_cycles: 0,
+            });
         } else {
             debug_assert!(matches!(layer.kind, LayerKind::Pool { .. }));
         }
@@ -346,13 +391,25 @@ pub fn execute_group(
             Vec::new()
         } else {
             input
-                .window(input_win.c0, input_win.cn, input_win.y0, input_win.yn, input_win.x0, input_win.xn)
+                .window(
+                    input_win.c0,
+                    input_win.cn,
+                    input_win.y0,
+                    input_win.yn,
+                    input_win.x0,
+                    input_win.xn,
+                )
                 .data()
                 .to_vec()
         };
         let enc_in = Compressed::encode(morph.compression.ifmap, &raw_window);
         debug_assert_eq!(enc_in.decode(), raw_window);
-        compression.record(morph.compression.ifmap, false, raw_window.len(), enc_in.bytes());
+        compression.record(
+            morph.compression.ifmap,
+            false,
+            raw_window.len(),
+            enc_in.bytes(),
+        );
         let in_buf = spm.alloc(RegionClass::IfmapTile, raw_window.len() * buffer_sets)?;
         let load = streams::load_decode_at_port(
             morph.compression.ifmap,
@@ -448,7 +505,10 @@ pub fn execute_group(
                         pool_ops: pool_ops + region.volume() as u64,
                     };
                     phase.count_events(&mut events);
-                    let in_bytes = current.as_ref().map(|b| b.data().len()).unwrap_or(raw_window.len()) as u64;
+                    let in_bytes = current
+                        .as_ref()
+                        .map(|b| b.data().len())
+                        .unwrap_or(raw_window.len()) as u64;
                     events.spm_read_bytes += in_bytes;
                     events.spm_write_bytes += region.volume() as u64;
                     compute_cycles += phase.cycles(fabric);
@@ -464,7 +524,12 @@ pub fn execute_group(
         let store_cycles = if store_output {
             let enc = Compressed::encode(morph.compression.ofmap, final_buf.data());
             debug_assert_eq!(enc.decode(), final_buf.data());
-            compression.record(morph.compression.ofmap, false, final_buf.data().len(), enc.bytes());
+            compression.record(
+                morph.compression.ofmap,
+                false,
+                final_buf.data().len(),
+                enc.bytes(),
+            );
             let t = streams::store_encoded(
                 morph.compression.ofmap,
                 final_buf.data().len(),
@@ -479,7 +544,11 @@ pub fn execute_group(
         };
 
         crate::exec::write_tile(&mut output, &tile.out, final_buf.data());
-        phases.push(TilePhase { load_cycles, compute_cycles, store_cycles });
+        phases.push(TilePhase {
+            load_cycles,
+            compute_cycles,
+            store_cycles,
+        });
 
         spm.free(in_buf);
         for b in inter_bufs {
@@ -538,13 +607,21 @@ pub fn plan_group(
     let mut kernel_enc_bytes: Vec<usize> = Vec::with_capacity(group.layers.len());
     for ks in kernel_shapes {
         if let Some(ks) = ks {
-            let enc = morph.compression.kernel.estimated_size(ks.volume(), est.kernel_sparsity, 1.0);
+            let enc =
+                morph
+                    .compression
+                    .kernel
+                    .estimated_size(ks.volume(), est.kernel_sparsity, 1.0);
             kernel_enc_bytes.push(enc);
             let region = spm.alloc(RegionClass::KernelBlock, enc)?;
             kernel_regions.push(region);
             let t = streams::load_encoded(enc, LOAD_LANES);
             t.count_events(fabric, &mut events);
-            phases.push(TilePhase { load_cycles: t.cycles(fabric), compute_cycles: 0, store_cycles: 0 });
+            phases.push(TilePhase {
+                load_cycles: t.cycles(fabric),
+                compute_cycles: 0,
+                store_cycles: 0,
+            });
         } else {
             kernel_enc_bytes.push(0);
         }
@@ -553,9 +630,19 @@ pub fn plan_group(
     for tile in &tile_list {
         let (regions, input_win) = back_regions(&group.layers, tile.out);
         let raw_in = input_win.volume();
-        let enc_in = morph.compression.ifmap.estimated_size(raw_in, est.ifmap_sparsity, est.ifmap_mean_run);
+        let enc_in =
+            morph
+                .compression
+                .ifmap
+                .estimated_size(raw_in, est.ifmap_sparsity, est.ifmap_mean_run);
         let in_buf = spm.alloc(RegionClass::IfmapTile, raw_in * buffer_sets)?;
-        let load = streams::load_decode_at_port(morph.compression.ifmap, raw_in, enc_in, codec_costs, LOAD_LANES);
+        let load = streams::load_decode_at_port(
+            morph.compression.ifmap,
+            raw_in,
+            enc_in,
+            codec_costs,
+            LOAD_LANES,
+        );
         load.count_events(fabric, &mut events);
         let load_cycles = load.cycles(fabric);
 
@@ -599,7 +686,8 @@ pub fn plan_group(
                     let mut phase = compute_phase(&work, &mapping, skip);
                     phase.pool_ops += region.volume() as u64;
                     phase.count_events(&mut events);
-                    let kraw = kernel_shapes[i].as_ref().map(|k| k.volume()).unwrap_or(0) * region.cn
+                    let kraw = kernel_shapes[i].as_ref().map(|k| k.volume()).unwrap_or(0)
+                        * region.cn
                         / layer.output().c.max(1);
                     let dec = codec_costs.decode_cycles(morph.compression.kernel, kraw);
                     events.priced_pj += codec_costs.energy_pj(morph.compression.kernel, kraw);
@@ -608,7 +696,8 @@ pub fn plan_group(
                     }
                     events.spm_read_bytes += prev_bytes as u64;
                     events.spm_write_bytes += region.volume() as u64;
-                    let feed = scratchpad::stream_cycles(fabric, prev_bytes as u64, fabric.spm_banks);
+                    let feed =
+                        scratchpad::stream_cycles(fabric, prev_bytes as u64, fabric.spm_banks);
                     compute_cycles += phase.cycles(fabric).max(feed).max(dec);
                 }
                 LayerKind::Pool { k, .. } => {
@@ -634,15 +723,29 @@ pub fn plan_group(
 
         let store_cycles = if store_output {
             let out_vol = tile.out.volume();
-            let enc = morph.compression.ofmap.estimated_size(out_vol, est.ofmap_sparsity, est.ofmap_mean_run);
-            let t = streams::store_encoded(morph.compression.ofmap, out_vol, enc, codec_costs, STORE_LANES);
+            let enc = morph.compression.ofmap.estimated_size(
+                out_vol,
+                est.ofmap_sparsity,
+                est.ofmap_mean_run,
+            );
+            let t = streams::store_encoded(
+                morph.compression.ofmap,
+                out_vol,
+                enc,
+                codec_costs,
+                STORE_LANES,
+            );
             t.count_events(fabric, &mut events);
             t.cycles(fabric)
         } else {
             0
         };
 
-        phases.push(TilePhase { load_cycles, compute_cycles, store_cycles });
+        phases.push(TilePhase {
+            load_cycles,
+            compute_cycles,
+            store_cycles,
+        });
         spm.free(in_buf);
         for b in inter_bufs {
             spm.free(b);
@@ -678,8 +781,9 @@ mod tests {
 
     fn tiny_group(w: &Workload, start: usize, len: usize) -> (FusionGroup, Vec<Option<&Kernel>>) {
         let layers: Vec<Layer> = w.network.layers()[start..start + len].to_vec();
-        let kernels: Vec<Option<&Kernel>> =
-            (start..start + len).map(|i| w.kernels[i].as_ref()).collect();
+        let kernels: Vec<Option<&Kernel>> = (start..start + len)
+            .map(|i| w.kernels[i].as_ref())
+            .collect();
         (FusionGroup { start, layers }, kernels)
     }
 
@@ -688,10 +792,27 @@ mod tests {
         let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 1);
         // conv1 (16x32x32 out) + pool1 (16x16x16 out).
         let (group, _) = tiny_group(&w, 0, 2);
-        let final_region = Region { c0: 0, cn: 8, y0: 0, yn: 4, x0: 0, xn: 4 };
+        let final_region = Region {
+            c0: 0,
+            cn: 8,
+            y0: 0,
+            yn: 4,
+            x0: 0,
+            xn: 4,
+        };
         let (regions, input_win) = back_regions(&group.layers, final_region);
         // Pool k2s2: conv must produce rows [0, 8) of channels [0, 8).
-        assert_eq!(regions[0], Region { c0: 0, cn: 8, y0: 0, yn: 8, x0: 0, xn: 8 });
+        assert_eq!(
+            regions[0],
+            Region {
+                c0: 0,
+                cn: 8,
+                y0: 0,
+                yn: 8,
+                x0: 0,
+                xn: 8
+            }
+        );
         assert_eq!(regions[1], final_region);
         // Conv k5s1p2: input rows [0, 10) after clip, all 3 channels.
         assert_eq!(input_win.c0, 0);
@@ -705,7 +826,14 @@ mod tests {
         // conv2 (32 out) + conv3-like? tiny: conv2 at index 2, pool2 at 3,
         // conv3 at 4. Build conv2+pool2+conv3.
         let (group, _) = tiny_group(&w, 2, 3);
-        let final_region = Region { c0: 0, cn: 16, y0: 0, yn: 2, x0: 0, xn: 2 };
+        let final_region = Region {
+            c0: 0,
+            cn: 16,
+            y0: 0,
+            yn: 2,
+            x0: 0,
+            xn: 2,
+        };
         let (regions, _) = back_regions(&group.layers, final_region);
         // conv3 consumer: needs ALL 32 channels of pool2's output.
         assert_eq!(regions[1].cn, 32);
@@ -734,7 +862,16 @@ mod tests {
         // conv2+pool2+conv3 starting from pool1's output.
         let (group, kernels) = tiny_group(&w, 2, 3);
         let morph = default_morph(group.last());
-        let run = execute_group(&fabric, &costs, &group, &golden_outs[1], &kernels, &morph, true).unwrap();
+        let run = execute_group(
+            &fabric,
+            &costs,
+            &group,
+            &golden_outs[1],
+            &kernels,
+            &morph,
+            true,
+        )
+        .unwrap();
         assert_eq!(run.output, golden_outs[4], "fused 3-layer cascade mismatch");
     }
 
@@ -771,17 +908,34 @@ mod tests {
         let golden_outs = golden::forward(&w);
         let (group, kernels) = tiny_group(&w, 0, 2);
         let morph = default_morph(group.last());
-        let fused = execute_group(&fabric, &costs, &group, &w.input, &kernels, &morph, true).unwrap();
+        let fused =
+            execute_group(&fabric, &costs, &group, &w.input, &kernels, &morph, true).unwrap();
 
         // Unfused: conv1 stores its output, pool1 reloads it.
-        let ectx = crate::exec::ExecContext { fabric: &fabric, codec_costs: &costs };
+        let ectx = crate::exec::ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
         let conv_morph = default_morph(&w.network.layers()[0]);
         let pool_morph = default_morph(&w.network.layers()[1]);
-        let r0 =
-            crate::exec::execute_layer(&ectx, &w.network.layers()[0], &w.input, w.kernels[0].as_ref(), &conv_morph, true)
-                .unwrap();
-        let r1 =
-            crate::exec::execute_layer(&ectx, &w.network.layers()[1], &golden_outs[0], None, &pool_morph, true).unwrap();
+        let r0 = crate::exec::execute_layer(
+            &ectx,
+            &w.network.layers()[0],
+            &w.input,
+            w.kernels[0].as_ref(),
+            &conv_morph,
+            true,
+        )
+        .unwrap();
+        let r1 = crate::exec::execute_layer(
+            &ectx,
+            &w.network.layers()[1],
+            &golden_outs[0],
+            None,
+            &pool_morph,
+            true,
+        )
+        .unwrap();
         let unfused_dram = r0.events.dram_bytes() + r1.events.dram_bytes();
         assert!(
             fused.events.dram_bytes() < unfused_dram,
@@ -806,7 +960,14 @@ mod tests {
 
     #[test]
     fn region_buf_absolute_addressing_and_padding() {
-        let region = Region { c0: 1, cn: 1, y0: 2, yn: 2, x0: 3, xn: 2 };
+        let region = Region {
+            c0: 1,
+            cn: 1,
+            y0: 2,
+            yn: 2,
+            x0: 3,
+            xn: 2,
+        };
         let full = TensorShape::new(4, 8, 8);
         let buf = RegionBuf::from_vec(region, full, vec![10, 20, 30, 40]);
         assert_eq!(buf.get(1, 2, 3), 10);
@@ -821,7 +982,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside region")]
     fn region_buf_rejects_uncovered_reads() {
-        let region = Region { c0: 0, cn: 1, y0: 2, yn: 2, x0: 3, xn: 2 };
+        let region = Region {
+            c0: 0,
+            cn: 1,
+            y0: 2,
+            yn: 2,
+            x0: 3,
+            xn: 2,
+        };
         let buf = RegionBuf::zeros(region, TensorShape::new(4, 8, 8));
         buf.get(0, 0, 0);
     }
@@ -831,7 +999,11 @@ mod tests {
         let fabric = FabricConfig::mocha();
         let costs = CodecCostTable::default();
         let energy = mocha_energy::EnergyTable::default();
-        let pctx = crate::plan::PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let pctx = crate::plan::PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 7);
         for (start, len) in [(0usize, 2usize), (2, 3)] {
             let input = if start == 0 {
@@ -842,10 +1014,23 @@ mod tests {
             let (group, kernels) = tiny_group(&w, start, len);
             let shapes: Vec<_> = group.layers.iter().map(|l| l.kernel_shape()).collect();
             let morph = default_morph(group.last());
-            let run = execute_group(&fabric, &costs, &group, &input, &kernels, &morph, true).unwrap();
-            let plan = plan_group(&pctx, &group, &shapes, &morph, &crate::plan::SparsityEstimate::DENSE, true).unwrap();
+            let run =
+                execute_group(&fabric, &costs, &group, &input, &kernels, &morph, true).unwrap();
+            let plan = plan_group(
+                &pctx,
+                &group,
+                &shapes,
+                &morph,
+                &crate::plan::SparsityEstimate::DENSE,
+                true,
+            )
+            .unwrap();
             assert_eq!(plan.cycles, run.cycles, "group@{start} cycles");
-            assert_eq!(plan.dram_bytes, run.events.dram_bytes(), "group@{start} dram");
+            assert_eq!(
+                plan.dram_bytes,
+                run.events.dram_bytes(),
+                "group@{start} dram"
+            );
             assert_eq!(plan.spm_peak, run.spm_peak, "group@{start} spm");
             assert_eq!(plan.events.macs, run.events.macs, "group@{start} macs");
         }

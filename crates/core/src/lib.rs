@@ -37,11 +37,11 @@ pub mod tiling;
 pub mod trace;
 
 pub use baseline::Accelerator;
-pub use controller::{decide, Decision, Policy};
+pub use controller::{decide, decide_with_lease, Decision, Policy};
 pub use dse::{explore_layer, pareto_front, DesignPoint};
 pub use exec::{execute_layer, ExecContext, LayerRun};
 pub use metrics::{GroupMetrics, RunMetrics};
 pub use morph::{CompressionChoice, LoopOrder, MorphConfig, Objective, Parallelism, Tiling};
 pub use plan::{plan_layer, LayerPlan, PlanContext, SparsityEstimate};
-pub use simulator::Simulator;
+pub use simulator::{Session, Simulator};
 pub use trace::Trace;

@@ -3,10 +3,9 @@
 use crate::morph::MorphConfig;
 use mocha_compress::CompressionStats;
 use mocha_energy::{EnergyBreakdown, EnergyTable, EventCounts, PerfReport};
-use serde::{Deserialize, Serialize};
 
 /// Metrics of one executed group (a single layer or a fused cascade).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GroupMetrics {
     /// Names of the member layers (`["conv1"]` or `["conv1","pool1"]`).
     pub layers: Vec<String>,
@@ -30,6 +29,19 @@ pub struct GroupMetrics {
     /// ~24 bytes per tile).
     pub phases: Vec<mocha_fabric::TilePhase>,
 }
+
+mocha_json::impl_json_struct!(GroupMetrics {
+    layers,
+    morph,
+    cycles,
+    events,
+    energy,
+    spm_peak,
+    compression,
+    work_macs,
+    candidates,
+    phases,
+});
 
 impl GroupMetrics {
     /// Display name: member layer names joined with `+`.
@@ -57,7 +69,7 @@ impl GroupMetrics {
 }
 
 /// Metrics of a whole-network run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunMetrics {
     /// Network name.
     pub network: String,
@@ -66,6 +78,12 @@ pub struct RunMetrics {
     /// Per-group metrics in execution order.
     pub groups: Vec<GroupMetrics>,
 }
+
+mocha_json::impl_json_struct!(RunMetrics {
+    network,
+    accelerator,
+    groups
+});
 
 impl RunMetrics {
     /// Total cycles (groups execute back-to-back).
@@ -128,8 +146,15 @@ mod tests {
             layers: vec![layer.name.clone()],
             morph: default_morph(layer),
             cycles,
-            events: EventCounts { macs, active_cycles: cycles, ..Default::default() },
-            energy: EnergyBreakdown { compute_pj: macs as f64 * 0.2, ..Default::default() },
+            events: EventCounts {
+                macs,
+                active_cycles: cycles,
+                ..Default::default()
+            },
+            energy: EnergyBreakdown {
+                compute_pj: macs as f64 * 0.2,
+                ..Default::default()
+            },
             spm_peak: spm,
             compression: CompressionStats::default(),
             work_macs: macs,

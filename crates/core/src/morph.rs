@@ -13,7 +13,6 @@
 
 use mocha_compress::Codec;
 use mocha_fabric::Buffering;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Output-space tile shape for one layer.
@@ -22,7 +21,7 @@ use std::fmt;
 /// a reduction slab over input channels; every output element belongs to
 /// exactly one tile, and input-channel slabs accumulate into an on-chip
 /// i32 buffer (partial sums never touch DRAM).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Tiling {
     /// Output channels per tile.
     pub tile_oc: usize,
@@ -34,11 +33,23 @@ pub struct Tiling {
     pub tile_ic: usize,
 }
 
+mocha_json::impl_json_struct!(Tiling {
+    tile_oc,
+    tile_oh,
+    tile_ow,
+    tile_ic
+});
+
 impl Tiling {
     /// A tiling covering the whole layer in one tile (no tiling) — what a
     /// layer that fits entirely on-chip uses.
     pub fn whole(out_c: usize, out_h: usize, out_w: usize, in_c: usize) -> Self {
-        Self { tile_oc: out_c, tile_oh: out_h, tile_ow: out_w, tile_ic: in_c }
+        Self {
+            tile_oc: out_c,
+            tile_oh: out_h,
+            tile_ow: out_w,
+            tile_ic: in_c,
+        }
     }
 
     /// Clamps the tile to the layer's actual dimensions (menus propose
@@ -54,7 +65,13 @@ impl Tiling {
 
     /// Number of tiles along each axis for the given layer dims, as
     /// `(oc_blocks, oh_blocks, ow_blocks, ic_slabs)`.
-    pub fn counts(&self, out_c: usize, out_h: usize, out_w: usize, in_c: usize) -> (usize, usize, usize, usize) {
+    pub fn counts(
+        &self,
+        out_c: usize,
+        out_h: usize,
+        out_w: usize,
+        in_c: usize,
+    ) -> (usize, usize, usize, usize) {
         (
             out_c.div_ceil(self.tile_oc),
             out_h.div_ceil(self.tile_oh),
@@ -66,12 +83,16 @@ impl Tiling {
 
 impl fmt::Display for Tiling {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "oc{}·{}x{}·ic{}", self.tile_oc, self.tile_oh, self.tile_ow, self.tile_ic)
+        write!(
+            f,
+            "oc{}·{}x{}·ic{}",
+            self.tile_oc, self.tile_oh, self.tile_ow, self.tile_ic
+        )
     }
 }
 
 /// How a tile's work is spread over the PE array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Parallelism {
     /// PEs split the *spatial positions* of the same feature maps
     /// (intra-feature-map parallelism): efficient when tiles are spatially
@@ -100,8 +121,36 @@ impl fmt::Display for Parallelism {
     }
 }
 
+impl mocha_json::ToJson for Parallelism {
+    fn to_json(&self) -> mocha_json::Value {
+        match self {
+            Parallelism::IntraFmap => mocha_json::Value::Str("intra".into()),
+            Parallelism::InterFmap => mocha_json::Value::Str("inter".into()),
+            Parallelism::Hybrid { fmap_groups } => {
+                mocha_json::jobj! { "hybrid" => *fmap_groups }
+            }
+        }
+    }
+}
+
+impl mocha_json::FromJson for Parallelism {
+    fn from_json(v: &mocha_json::Value) -> Result<Self, mocha_json::JsonError> {
+        match v.as_str() {
+            Some("intra") => return Ok(Parallelism::IntraFmap),
+            Some("inter") => return Ok(Parallelism::InterFmap),
+            _ => {}
+        }
+        if let Some(g) = v.get("hybrid").and_then(mocha_json::Value::as_usize) {
+            return Ok(Parallelism::Hybrid { fmap_groups: g });
+        }
+        Err(mocha_json::JsonError::invalid(
+            "expected \"intra\", \"inter\" or {\"hybrid\": N}",
+        ))
+    }
+}
+
 /// Loop order of the tile traversal — which operand stays resident.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LoopOrder {
     /// Output-channel blocks outermost: a kernel block is fetched once and
     /// pinned while all spatial tiles stream past it (weight-stationary).
@@ -122,8 +171,13 @@ impl fmt::Display for LoopOrder {
     }
 }
 
+mocha_json::impl_json_unit_enum!(LoopOrder {
+    WeightStationary => "ws",
+    InputStationary => "is",
+});
+
 /// Per-stream codec selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CompressionChoice {
     /// Codec for input feature-map streams.
     pub ifmap: Codec,
@@ -133,12 +187,26 @@ pub struct CompressionChoice {
     pub ofmap: Codec,
 }
 
+mocha_json::impl_json_struct!(CompressionChoice {
+    ifmap,
+    kernel,
+    ofmap
+});
+
 impl CompressionChoice {
     /// Everything uncompressed — what baselines and low-sparsity layers use.
-    pub const OFF: Self = Self { ifmap: Codec::None, kernel: Codec::None, ofmap: Codec::None };
+    pub const OFF: Self = Self {
+        ifmap: Codec::None,
+        kernel: Codec::None,
+        ofmap: Codec::None,
+    };
 
     /// The natural pairing: run-length for activations, bitmask for weights.
-    pub const ON: Self = Self { ifmap: Codec::Zrle, kernel: Codec::Bitmask, ofmap: Codec::Zrle };
+    pub const ON: Self = Self {
+        ifmap: Codec::Zrle,
+        kernel: Codec::Bitmask,
+        ofmap: Codec::Zrle,
+    };
 
     /// True if any stream is compressed.
     pub fn any(&self) -> bool {
@@ -148,12 +216,18 @@ impl CompressionChoice {
 
 impl fmt::Display for CompressionChoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "i:{}/k:{}/o:{}", self.ifmap.name(), self.kernel.name(), self.ofmap.name())
+        write!(
+            f,
+            "i:{}/k:{}/o:{}",
+            self.ifmap.name(),
+            self.kernel.name(),
+            self.ofmap.name()
+        )
     }
 }
 
 /// The complete morph configuration of one layer's execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MorphConfig {
     /// Output tile shape.
     pub tiling: Tiling,
@@ -166,6 +240,14 @@ pub struct MorphConfig {
     /// Tile pipeline buffering depth.
     pub buffering: Buffering,
 }
+
+mocha_json::impl_json_struct!(MorphConfig {
+    tiling,
+    parallelism,
+    loop_order,
+    compression,
+    buffering,
+});
 
 impl fmt::Display for MorphConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -185,7 +267,7 @@ impl fmt::Display for MorphConfig {
 }
 
 /// Objective the controller optimizes when ranking candidate configs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Objective {
     /// Minimize total cycles (maximize throughput).
     Throughput,
@@ -196,6 +278,13 @@ pub enum Objective {
     /// Minimize peak on-chip storage.
     Storage,
 }
+
+mocha_json::impl_json_unit_enum!(Objective {
+    Throughput => "throughput",
+    Energy => "energy",
+    Edp => "edp",
+    Storage => "storage",
+});
 
 #[cfg(test)]
 mod tests {
@@ -209,29 +298,56 @@ mod tests {
 
     #[test]
     fn counts_round_up() {
-        let t = Tiling { tile_oc: 32, tile_oh: 16, tile_ow: 16, tile_ic: 4 };
+        let t = Tiling {
+            tile_oc: 32,
+            tile_oh: 16,
+            tile_ow: 16,
+            tile_ic: 4,
+        };
         assert_eq!(t.counts(96, 55, 55, 3), (3, 4, 4, 1));
     }
 
     #[test]
     fn clamp_respects_layer_dims() {
-        let t = Tiling { tile_oc: 128, tile_oh: 64, tile_ow: 64, tile_ic: 512 };
+        let t = Tiling {
+            tile_oc: 128,
+            tile_oh: 64,
+            tile_ow: 64,
+            tile_ic: 512,
+        };
         let c = t.clamp(96, 55, 55, 3);
-        assert_eq!(c, Tiling { tile_oc: 96, tile_oh: 55, tile_ow: 55, tile_ic: 3 });
+        assert_eq!(
+            c,
+            Tiling {
+                tile_oc: 96,
+                tile_oh: 55,
+                tile_ow: 55,
+                tile_ic: 3
+            }
+        );
     }
 
     #[test]
     fn compression_choice_any() {
         assert!(!CompressionChoice::OFF.any());
         assert!(CompressionChoice::ON.any());
-        let partial = CompressionChoice { ifmap: Codec::Zrle, kernel: Codec::None, ofmap: Codec::None };
+        let partial = CompressionChoice {
+            ifmap: Codec::Zrle,
+            kernel: Codec::None,
+            ofmap: Codec::None,
+        };
         assert!(partial.any());
     }
 
     #[test]
     fn display_is_compact_and_informative() {
         let m = MorphConfig {
-            tiling: Tiling { tile_oc: 32, tile_oh: 8, tile_ow: 8, tile_ic: 16 },
+            tiling: Tiling {
+                tile_oc: 32,
+                tile_oh: 8,
+                tile_ow: 8,
+                tile_ic: 16,
+            },
             parallelism: Parallelism::Hybrid { fmap_groups: 4 },
             loop_order: LoopOrder::WeightStationary,
             compression: CompressionChoice::ON,

@@ -8,10 +8,9 @@
 
 use crate::morph::Parallelism;
 use mocha_fabric::ComputePhase;
-use serde::{Deserialize, Serialize};
 
 /// Work shape of one tile, independent of mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileWork {
     /// Output channels in the tile.
     pub out_channels: usize,
@@ -30,7 +29,7 @@ impl TileWork {
 }
 
 /// The result of mapping a tile onto the PE grid.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mapping {
     /// PEs that received work.
     pub active_pes: usize,
@@ -53,7 +52,10 @@ impl Mapping {
 pub fn map_tile(work: &TileWork, pes: usize, mode: Parallelism) -> Mapping {
     assert!(pes > 0, "grid must have PEs");
     if work.dense_macs() == 0 {
-        return Mapping { active_pes: 0, max_dense_per_pe: 0 };
+        return Mapping {
+            active_pes: 0,
+            max_dense_per_pe: 0,
+        };
     }
     match mode {
         Parallelism::InterFmap => {
@@ -69,7 +71,9 @@ pub fn map_tile(work: &TileWork, pes: usize, mode: Parallelism) -> Mapping {
             let pos_per_pe = work.spatial.div_ceil(active);
             Mapping {
                 active_pes: active,
-                max_dense_per_pe: pos_per_pe as u64 * work.out_channels as u64 * work.macs_per_output,
+                max_dense_per_pe: pos_per_pe as u64
+                    * work.out_channels as u64
+                    * work.macs_per_output,
             }
         }
         Parallelism::Hybrid { fmap_groups } => {
@@ -113,7 +117,11 @@ mod tests {
 
     #[test]
     fn inter_fmap_saturates_on_channel_rich_tiles() {
-        let w = TileWork { out_channels: 256, spatial: 4, macs_per_output: 9 };
+        let w = TileWork {
+            out_channels: 256,
+            spatial: 4,
+            macs_per_output: 9,
+        };
         let m = map_tile(&w, PES, Parallelism::InterFmap);
         assert_eq!(m.active_pes, 64);
         assert_eq!(m.max_dense_per_pe, 4 * 4 * 9);
@@ -122,7 +130,11 @@ mod tests {
 
     #[test]
     fn inter_fmap_starves_on_channel_poor_tiles() {
-        let w = TileWork { out_channels: 4, spatial: 1024, macs_per_output: 9 };
+        let w = TileWork {
+            out_channels: 4,
+            spatial: 1024,
+            macs_per_output: 9,
+        };
         let m = map_tile(&w, PES, Parallelism::InterFmap);
         assert_eq!(m.active_pes, 4);
         assert!(m.utilization(&w, PES) < 0.1);
@@ -130,7 +142,11 @@ mod tests {
 
     #[test]
     fn intra_fmap_saturates_on_spatially_rich_tiles() {
-        let w = TileWork { out_channels: 4, spatial: 1024, macs_per_output: 9 };
+        let w = TileWork {
+            out_channels: 4,
+            spatial: 1024,
+            macs_per_output: 9,
+        };
         let m = map_tile(&w, PES, Parallelism::IntraFmap);
         assert_eq!(m.active_pes, 64);
         assert!((m.utilization(&w, PES) - 1.0).abs() < 1e-9);
@@ -139,7 +155,11 @@ mod tests {
     #[test]
     fn intra_fmap_starves_on_fc_tiles() {
         // Fc has spatial = 1: intra-fmap collapses to one PE.
-        let w = TileWork { out_channels: 512, spatial: 1, macs_per_output: 4096 };
+        let w = TileWork {
+            out_channels: 512,
+            spatial: 1,
+            macs_per_output: 4096,
+        };
         let m = map_tile(&w, PES, Parallelism::IntraFmap);
         assert_eq!(m.active_pes, 1);
     }
@@ -148,7 +168,11 @@ mod tests {
     fn hybrid_covers_middling_shapes_better_than_either_pure_mode() {
         // 16 channels, 16 positions: inter uses 16 PEs, intra uses 16 PEs,
         // hybrid 4×16 uses all 64.
-        let w = TileWork { out_channels: 16, spatial: 16, macs_per_output: 9 };
+        let w = TileWork {
+            out_channels: 16,
+            spatial: 16,
+            macs_per_output: 9,
+        };
         let inter = map_tile(&w, PES, Parallelism::InterFmap);
         let intra = map_tile(&w, PES, Parallelism::IntraFmap);
         let hybrid = map_tile(&w, PES, Parallelism::Hybrid { fmap_groups: 4 });
@@ -161,7 +185,11 @@ mod tests {
 
     #[test]
     fn hybrid_clamps_groups() {
-        let w = TileWork { out_channels: 2, spatial: 100, macs_per_output: 1 };
+        let w = TileWork {
+            out_channels: 2,
+            spatial: 100,
+            macs_per_output: 1,
+        };
         // 16 groups requested but only 2 channels: clamps to 2 groups.
         let m = map_tile(&w, PES, Parallelism::Hybrid { fmap_groups: 16 });
         assert_eq!(m.active_pes, 2 * 32);
@@ -169,7 +197,11 @@ mod tests {
 
     #[test]
     fn empty_work_maps_to_nothing() {
-        let w = TileWork { out_channels: 0, spatial: 10, macs_per_output: 9 };
+        let w = TileWork {
+            out_channels: 0,
+            spatial: 10,
+            macs_per_output: 9,
+        };
         let m = map_tile(&w, PES, Parallelism::InterFmap);
         assert_eq!(m.active_pes, 0);
         assert_eq!(m.max_dense_per_pe, 0);
@@ -184,7 +216,11 @@ mod tests {
             Parallelism::Hybrid { fmap_groups: 8 },
         ] {
             for (oc, sp) in [(3, 100), (100, 3), (17, 17), (1, 1), (64, 64)] {
-                let w = TileWork { out_channels: oc, spatial: sp, macs_per_output: 5 };
+                let w = TileWork {
+                    out_channels: oc,
+                    spatial: sp,
+                    macs_per_output: 5,
+                };
                 let m = map_tile(&w, PES, mode);
                 assert!(
                     m.max_dense_per_pe as u128 * m.active_pes as u128 >= w.dense_macs() as u128,
@@ -196,7 +232,11 @@ mod tests {
 
     #[test]
     fn compute_phase_splits_skipped_macs() {
-        let w = TileWork { out_channels: 64, spatial: 16, macs_per_output: 100 };
+        let w = TileWork {
+            out_channels: 64,
+            spatial: 16,
+            macs_per_output: 100,
+        };
         let m = map_tile(&w, PES, Parallelism::InterFmap);
         let p = compute_phase(&w, &m, 0.25);
         assert_eq!(p.total_macs + p.skipped_macs, w.dense_macs());
@@ -206,7 +246,11 @@ mod tests {
 
     #[test]
     fn zero_skip_fraction_is_noop() {
-        let w = TileWork { out_channels: 8, spatial: 8, macs_per_output: 10 };
+        let w = TileWork {
+            out_channels: 8,
+            spatial: 8,
+            macs_per_output: 10,
+        };
         let m = map_tile(&w, PES, Parallelism::InterFmap);
         let p = compute_phase(&w, &m, 0.0);
         assert_eq!(p.skipped_macs, 0);

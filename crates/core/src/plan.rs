@@ -22,13 +22,12 @@ use mocha_fabric::{
     pipeline_cycles, scratchpad, CapacityError, FabricConfig, RegionClass, Scratchpad, TilePhase,
 };
 use mocha_model::layer::{Layer, LayerKind};
-use serde::{Deserialize, Serialize};
 
 /// Sparsity statistics the planner prices codecs with. The simulator feeds
 /// it measured statistics of the live tensors (the layer's actual input is
 /// on hand when the controller runs); standalone searches use profile
 /// assumptions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SparsityEstimate {
     /// Zero fraction of the input feature map.
     pub ifmap_sparsity: f64,
@@ -66,7 +65,7 @@ pub struct PlanContext<'a> {
 }
 
 /// Analytical prediction for one layer under one morph configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerPlan {
     /// Predicted cycles.
     pub cycles: u64,
@@ -162,7 +161,9 @@ pub fn plan_weighted(
         _ => layer.input.c,
     };
 
-    let tiling = morph.tiling.clamp(out_shape.c, out_shape.h, out_shape.w, depth);
+    let tiling = morph
+        .tiling
+        .clamp(out_shape.c, out_shape.h, out_shape.w, depth);
     let slabs = reduction_slabs(depth, tiling.tile_ic);
     let tile_list = tiles(layer, tiling, morph.loop_order);
     let buffer_sets = mocha_fabric::buffer_sets(morph.buffering);
@@ -188,12 +189,18 @@ pub fn plan_weighted(
                 let (class, encoded) = match morph.loop_order {
                     LoopOrder::WeightStationary => {
                         let raw = tile.out.cn * depth_c * k * k;
-                        (RegionClass::KernelBlock, est_kern(morph.compression.kernel, raw, est))
+                        (
+                            RegionClass::KernelBlock,
+                            est_kern(morph.compression.kernel, raw, est),
+                        )
                     }
                     LoopOrder::InputStationary => {
                         let win = input_window(layer, &tile.out, 0, depth);
                         let raw = window_elems(layer, &win);
-                        (RegionClass::IfmapTile, est_act(morph.compression.ifmap, raw, est))
+                        (
+                            RegionClass::IfmapTile,
+                            est_act(morph.compression.ifmap, raw, est),
+                        )
                     }
                 };
                 let region = spm.alloc(class, encoded)?;
@@ -272,10 +279,18 @@ pub fn plan_weighted(
         let feed_cycles =
             scratchpad::stream_cycles(ctx.fabric, feed_bytes + acc_r + acc_w, ctx.fabric.spm_banks);
 
-        let decode_cycles = ctx.codec_costs.decode_cycles(morph.compression.ifmap, ifmap_raw_tile)
-            + ctx.codec_costs.decode_cycles(morph.compression.kernel, kernel_raw_tile);
-        events.priced_pj += ctx.codec_costs.energy_pj(morph.compression.ifmap, ifmap_raw_tile)
-            + ctx.codec_costs.energy_pj(morph.compression.kernel, kernel_raw_tile);
+        let decode_cycles = ctx
+            .codec_costs
+            .decode_cycles(morph.compression.ifmap, ifmap_raw_tile)
+            + ctx
+                .codec_costs
+                .decode_cycles(morph.compression.kernel, kernel_raw_tile);
+        events.priced_pj += ctx
+            .codec_costs
+            .energy_pj(morph.compression.ifmap, ifmap_raw_tile)
+            + ctx
+                .codec_costs
+                .energy_pj(morph.compression.kernel, kernel_raw_tile);
         if morph.compression.ifmap != Codec::None {
             events.codec_bytes += ifmap_raw_tile as u64;
         }
@@ -286,15 +301,24 @@ pub fn plan_weighted(
 
         let store_cycles = if store_output {
             let encoded = est_out(morph.compression.ofmap, out_vol, est);
-            let transfer =
-                streams::store_encoded(morph.compression.ofmap, out_vol, encoded, ctx.codec_costs, STORE_LANES);
+            let transfer = streams::store_encoded(
+                morph.compression.ofmap,
+                out_vol,
+                encoded,
+                ctx.codec_costs,
+                STORE_LANES,
+            );
             transfer.count_events(ctx.fabric, &mut events);
             transfer.cycles(ctx.fabric)
         } else {
             0
         };
 
-        phases.push(TilePhase { load_cycles, compute_cycles, store_cycles });
+        phases.push(TilePhase {
+            load_cycles,
+            compute_cycles,
+            store_cycles,
+        });
         spm.free(slab_buf);
         spm.free(acc_buf);
         spm.free(stage_buf);
@@ -325,7 +349,9 @@ pub fn plan_pool(
         panic!("{}: not a pool layer", layer.name);
     };
     let out_shape = layer.output();
-    let tiling = morph.tiling.clamp(out_shape.c, out_shape.h, out_shape.w, layer.input.c);
+    let tiling = morph
+        .tiling
+        .clamp(out_shape.c, out_shape.h, out_shape.w, layer.input.c);
     let tile_list = tiles(layer, tiling, morph.loop_order);
     let buffer_sets = mocha_fabric::buffer_sets(morph.buffering);
 
@@ -372,14 +398,24 @@ pub fn plan_pool(
             // Pooling preserves sparsity statistics roughly; reuse the input
             // estimate for the output stream.
             let enc_out = est_act(morph.compression.ofmap, out_vol, est);
-            let t = streams::store_encoded(morph.compression.ofmap, out_vol, enc_out, ctx.codec_costs, STORE_LANES);
+            let t = streams::store_encoded(
+                morph.compression.ofmap,
+                out_vol,
+                enc_out,
+                ctx.codec_costs,
+                STORE_LANES,
+            );
             t.count_events(ctx.fabric, &mut events);
             t.cycles(ctx.fabric)
         } else {
             0
         };
 
-        phases.push(TilePhase { load_cycles, compute_cycles, store_cycles });
+        phases.push(TilePhase {
+            load_cycles,
+            compute_cycles,
+            store_cycles,
+        });
         spm.free(in_buf);
         spm.free(out_buf);
     }
@@ -421,7 +457,11 @@ mod tests {
     use mocha_model::network;
 
     fn contexts() -> (FabricConfig, CodecCostTable, EnergyTable) {
-        (FabricConfig::mocha(), CodecCostTable::default(), EnergyTable::default())
+        (
+            FabricConfig::mocha(),
+            CodecCostTable::default(),
+            EnergyTable::default(),
+        )
     }
 
     /// For uncompressed configs the plan must equal the execution exactly:
@@ -430,19 +470,41 @@ mod tests {
     #[test]
     fn plan_equals_exec_exactly_when_uncompressed() {
         let (fabric, costs, energy) = contexts();
-        let pctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
-        let ectx = ExecContext { fabric: &fabric, codec_costs: &costs };
-        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 23);
+        let pctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
+        let ectx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 7);
 
-        let variants: Vec<Box<dyn Fn(&mocha_model::Layer) -> MorphConfig>> = vec![
+        type MorphGen = Box<dyn Fn(&mocha_model::Layer) -> MorphConfig>;
+        let variants: Vec<MorphGen> = vec![
             Box::new(default_morph),
-            Box::new(|l| MorphConfig { loop_order: LoopOrder::InputStationary, ..default_morph(l) }),
             Box::new(|l| MorphConfig {
-                tiling: Tiling { tile_oc: 3, tile_oh: 5, tile_ow: 7, tile_ic: 2 },
+                loop_order: LoopOrder::InputStationary,
                 ..default_morph(l)
             }),
-            Box::new(|l| MorphConfig { buffering: Buffering::Single, ..default_morph(l) }),
-            Box::new(|l| MorphConfig { parallelism: Parallelism::IntraFmap, ..default_morph(l) }),
+            Box::new(|l| MorphConfig {
+                tiling: Tiling {
+                    tile_oc: 3,
+                    tile_oh: 5,
+                    tile_ow: 7,
+                    tile_ic: 2,
+                },
+                ..default_morph(l)
+            }),
+            Box::new(|l| MorphConfig {
+                buffering: Buffering::Single,
+                ..default_morph(l)
+            }),
+            Box::new(|l| MorphConfig {
+                parallelism: Parallelism::IntraFmap,
+                ..default_morph(l)
+            }),
         ];
 
         for (vi, variant) in variants.iter().enumerate() {
@@ -450,13 +512,37 @@ mod tests {
             for (i, layer) in w.network.layers().iter().enumerate() {
                 let morph = variant(layer);
                 assert_eq!(morph.compression, CompressionChoice::OFF);
-                let run = execute_layer(&ectx, layer, &current, w.kernels[i].as_ref(), &morph, true).unwrap();
-                let plan = plan_layer(&pctx, layer, &morph, &SparsityEstimate::DENSE, true).unwrap();
-                assert_eq!(plan.cycles, run.cycles, "variant {vi} layer {} cycles", layer.name);
-                assert_eq!(plan.dram_bytes, run.events.dram_bytes(), "variant {vi} layer {} dram", layer.name);
-                assert_eq!(plan.spm_peak, run.spm_peak, "variant {vi} layer {} spm", layer.name);
-                assert_eq!(plan.tiles, run.tiles, "variant {vi} layer {} tiles", layer.name);
-                assert_eq!(plan.events.macs, run.events.macs, "variant {vi} layer {} macs", layer.name);
+                let run =
+                    execute_layer(&ectx, layer, &current, w.kernels[i].as_ref(), &morph, true)
+                        .unwrap();
+                let plan =
+                    plan_layer(&pctx, layer, &morph, &SparsityEstimate::DENSE, true).unwrap();
+                assert_eq!(
+                    plan.cycles, run.cycles,
+                    "variant {vi} layer {} cycles",
+                    layer.name
+                );
+                assert_eq!(
+                    plan.dram_bytes,
+                    run.events.dram_bytes(),
+                    "variant {vi} layer {} dram",
+                    layer.name
+                );
+                assert_eq!(
+                    plan.spm_peak, run.spm_peak,
+                    "variant {vi} layer {} spm",
+                    layer.name
+                );
+                assert_eq!(
+                    plan.tiles, run.tiles,
+                    "variant {vi} layer {} tiles",
+                    layer.name
+                );
+                assert_eq!(
+                    plan.events.macs, run.events.macs,
+                    "variant {vi} layer {} macs",
+                    layer.name
+                );
                 current = run.output;
             }
         }
@@ -467,13 +553,24 @@ mod tests {
     #[test]
     fn compressed_plan_tracks_exec_within_tolerance() {
         let (fabric, costs, energy) = contexts();
-        let pctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
-        let ectx = ExecContext { fabric: &fabric, codec_costs: &costs };
-        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 23);
+        let pctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
+        let ectx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 7);
         let mut current = w.input.clone();
         for (i, layer) in w.network.layers().iter().enumerate() {
-            let morph = MorphConfig { compression: CompressionChoice::ON, ..default_morph(layer) };
-            let run = execute_layer(&ectx, layer, &current, w.kernels[i].as_ref(), &morph, true).unwrap();
+            let morph = MorphConfig {
+                compression: CompressionChoice::ON,
+                ..default_morph(layer)
+            };
+            let run =
+                execute_layer(&ectx, layer, &current, w.kernels[i].as_ref(), &morph, true).unwrap();
             // Feed the planner the measured statistics, as the simulator does.
             let in_stats = mocha_model::stats::analyze(current.data());
             let out_stats = mocha_model::stats::analyze(run.output.data());
@@ -488,9 +585,13 @@ mod tests {
             let plan = plan_layer(&pctx, layer, &morph, &est, true).unwrap();
             let cyc_err = (plan.cycles as f64 - run.cycles as f64).abs() / run.cycles as f64;
             assert!(cyc_err < 0.15, "layer {} cycle error {cyc_err}", layer.name);
-            let dram_err =
-                (plan.dram_bytes as f64 - run.events.dram_bytes() as f64).abs() / run.events.dram_bytes() as f64;
-            assert!(dram_err < 0.15, "layer {} dram error {dram_err}", layer.name);
+            let dram_err = (plan.dram_bytes as f64 - run.events.dram_bytes() as f64).abs()
+                / run.events.dram_bytes() as f64;
+            assert!(
+                dram_err < 0.15,
+                "layer {} dram error {dram_err}",
+                layer.name
+            );
             current = run.output;
         }
     }
@@ -500,10 +601,17 @@ mod tests {
         let (mut fabric, costs, energy) = contexts();
         fabric.spm_banks = 1;
         fabric.spm_bank_kb = 1;
-        let pctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let pctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let net = network::single_conv(16, 32, 32, 32, 3, 1, 1);
         let layer = &net.layers()[0];
-        let morph = MorphConfig { tiling: Tiling::whole(32, 32, 32, 16), ..default_morph(layer) };
+        let morph = MorphConfig {
+            tiling: Tiling::whole(32, 32, 32, 16),
+            ..default_morph(layer)
+        };
         assert!(plan_layer(&pctx, layer, &morph, &SparsityEstimate::DENSE, true).is_err());
     }
 

@@ -48,7 +48,12 @@ impl Simulator {
 
     /// Builds the controller's sparsity estimate from the live input and the
     /// workload's kernels for the group starting at `start`.
-    fn estimate(&self, workload: &Workload, start: usize, input: &mocha_model::Tensor<i8>) -> SparsityEstimate {
+    pub(crate) fn estimate(
+        &self,
+        workload: &Workload,
+        start: usize,
+        input: &mocha_model::Tensor<i8>,
+    ) -> SparsityEstimate {
         let in_stats = mocha_model::stats::analyze(input.data());
         let kernel_sparsity = workload.kernels[start]
             .as_ref()
@@ -76,6 +81,7 @@ impl Simulator {
     #[allow(clippy::type_complexity)]
     fn execute_decision(
         &self,
+        fabric: &mocha_fabric::FabricConfig,
         workload: &Workload,
         start: usize,
         input: &mocha_model::Tensor<i8>,
@@ -91,8 +97,10 @@ impl Simulator {
         ),
         mocha_fabric::CapacityError,
     > {
-        let fabric = &self.accelerator.fabric;
-        let ectx = ExecContext { fabric, codec_costs: &self.codec_costs };
+        let ectx = ExecContext {
+            fabric,
+            codec_costs: &self.codec_costs,
+        };
         let layers = workload.network.layers();
         let len = decision.group_len;
         if len == 1 {
@@ -104,11 +112,22 @@ impl Simulator {
                 &decision.morph,
                 true,
             )?;
-            Ok((run.output, run.cycles, run.events, run.spm_peak, run.compression, run.phases))
+            Ok((
+                run.output,
+                run.cycles,
+                run.events,
+                run.spm_peak,
+                run.compression,
+                run.phases,
+            ))
         } else {
-            let group = FusionGroup { start, layers: layers[start..start + len].to_vec() };
-            let kernels: Vec<Option<&Kernel>> =
-                (start..start + len).map(|j| workload.kernels[j].as_ref()).collect();
+            let group = FusionGroup {
+                start,
+                layers: layers[start..start + len].to_vec(),
+            };
+            let kernels: Vec<Option<&Kernel>> = (start..start + len)
+                .map(|j| workload.kernels[j].as_ref())
+                .collect();
             let run = execute_group(
                 fabric,
                 &self.codec_costs,
@@ -118,7 +137,14 @@ impl Simulator {
                 &decision.morph,
                 true,
             )?;
-            Ok((run.output, run.cycles, run.events, run.spm_peak, run.compression, run.phases))
+            Ok((
+                run.output,
+                run.cycles,
+                run.events,
+                run.spm_peak,
+                run.compression,
+                run.phases,
+            ))
         }
     }
 
@@ -131,72 +157,171 @@ impl Simulator {
     /// configuration (which the fallback ladders make unreachable for the
     /// fabrics and networks shipped here).
     pub fn run(&self, workload: &Workload) -> RunMetrics {
-        let fabric = &self.accelerator.fabric;
-        let pctx = PlanContext { fabric, codec_costs: &self.codec_costs, energy: &self.energy };
-        let golden_outs = if self.verify { golden::forward(workload) } else { Vec::new() };
+        let mut session = Session::new(self.clone(), workload.clone());
+        while !session.done() {
+            session.step();
+        }
+        session.finish()
+    }
+}
 
-        let layers = workload.network.layers();
-        let mut groups = Vec::new();
-        let mut current = workload.input.clone();
-        let mut i = 0;
-        while i < layers.len() {
-            let est = self.estimate(workload, i, &current);
-            let mut decision = decide(&pctx, self.accelerator.policy, &layers[i..], &est, true);
+/// An in-flight simulation that advances one controller decision (fusion
+/// group) at a time — the unit at which a morphable fabric can re-morph.
+///
+/// [`Simulator::run`] is a `Session` driven to completion on the
+/// accelerator's own fabric. The multi-tenant runtime instead calls
+/// [`Session::step_on`] with the sub-fabric of whatever resource lease the
+/// job currently holds, which is how an in-flight job re-morphs at its next
+/// group boundary when leases change.
+#[derive(Debug)]
+pub struct Session {
+    sim: Simulator,
+    workload: Workload,
+    golden_outs: Vec<mocha_model::Tensor<i8>>,
+    current: mocha_model::Tensor<i8>,
+    pos: usize,
+    groups: Vec<GroupMetrics>,
+}
 
-            // Execute the decision. Compressed plans size buffers from
-            // *estimated* encoded sizes (with a 2 % planning margin); on
-            // pathological data the real encoding can still overflow, in
-            // which case the controller re-decides without compression —
-            // whose plan is exact and therefore always executable.
-            let mut attempt = self.execute_decision(workload, i, &current, &decision);
-            if attempt.is_err() && decision.morph.compression.any() {
-                let fallback_policy = match self.accelerator.policy {
-                    crate::controller::Policy::Mocha { objective } => {
-                        crate::controller::Policy::MochaNoCompression { objective }
-                    }
-                    p => p,
-                };
-                decision = decide(&pctx, fallback_policy, &layers[i..], &est, true);
-                attempt = self.execute_decision(workload, i, &current, &decision);
-            }
-            let (output, cycles, events, spm_peak, compression, phases) = attempt
-                .unwrap_or_else(|e| panic!("{}: chosen config infeasible: {e}", layers[i].name));
-            let len = decision.group_len;
+impl Session {
+    /// Starts a session at the first layer. Computes the golden reference
+    /// up-front when the simulator verifies.
+    pub fn new(sim: Simulator, workload: Workload) -> Self {
+        let golden_outs = if sim.verify {
+            golden::forward(&workload)
+        } else {
+            Vec::new()
+        };
+        let current = workload.input.clone();
+        Self {
+            sim,
+            workload,
+            golden_outs,
+            current,
+            pos: 0,
+            groups: Vec::new(),
+        }
+    }
 
-            if self.verify {
-                assert_eq!(
-                    output,
-                    golden_outs[i + len - 1],
-                    "{}: simulated output deviates from golden model",
-                    layers[i + len - 1].name
-                );
-            }
+    /// The workload under execution.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
 
-            let work_macs: u64 = layers[i..i + len]
-                .iter()
-                .map(|l| l.macs() + pool_work(l))
-                .sum();
-            groups.push(GroupMetrics {
-                layers: layers[i..i + len].iter().map(|l| l.name.clone()).collect(),
-                morph: decision.morph,
-                cycles,
-                events,
-                energy: self.energy.price(&events),
-                spm_peak,
-                compression,
-                work_macs,
-                candidates: decision.candidates,
-                phases,
-            });
+    /// Whether every layer has executed.
+    pub fn done(&self) -> bool {
+        self.pos >= self.workload.network.layers().len()
+    }
 
-            current = output;
-            i += len;
+    /// Index of the next layer to execute.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Groups executed so far.
+    pub fn groups(&self) -> &[GroupMetrics] {
+        &self.groups
+    }
+
+    /// The network's remaining dense work in MACs (for admission sizing).
+    pub fn remaining_macs(&self) -> u64 {
+        self.workload.network.layers()[self.pos..]
+            .iter()
+            .map(|l| l.macs() + pool_work(l))
+            .sum()
+    }
+
+    /// Advances one group on the accelerator's own (whole) fabric.
+    pub fn step(&mut self) -> &GroupMetrics {
+        let fabric = self.sim.accelerator.fabric;
+        self.step_on(&fabric)
+    }
+
+    /// Advances one group on an arbitrary fabric — typically the sub-fabric
+    /// of a resource lease. The decision (fusion depth, morph config) is
+    /// made fresh against `fabric`, so a session stepped on different
+    /// fabrics re-morphs at every boundary.
+    ///
+    /// # Panics
+    /// Panics if the session is done, if no configuration fits `fabric`, or
+    /// if verification is on and the output deviates from the golden model.
+    pub fn step_on(&mut self, fabric: &mocha_fabric::FabricConfig) -> &GroupMetrics {
+        assert!(!self.done(), "session already complete");
+        let sim = &self.sim;
+        let i = self.pos;
+        let layers = self.workload.network.layers();
+        let pctx = PlanContext {
+            fabric,
+            codec_costs: &sim.codec_costs,
+            energy: &sim.energy,
+        };
+
+        let est = sim.estimate(&self.workload, i, &self.current);
+        let mut decision = decide(&pctx, sim.accelerator.policy, &layers[i..], &est, true);
+
+        // Execute the decision. Compressed plans size buffers from
+        // *estimated* encoded sizes (with a 2 % planning margin); on
+        // pathological data the real encoding can still overflow, in
+        // which case the controller re-decides without compression —
+        // whose plan is exact and therefore always executable.
+        let mut attempt = sim.execute_decision(fabric, &self.workload, i, &self.current, &decision);
+        if attempt.is_err() && decision.morph.compression.any() {
+            let fallback_policy = match sim.accelerator.policy {
+                crate::controller::Policy::Mocha { objective } => {
+                    crate::controller::Policy::MochaNoCompression { objective }
+                }
+                p => p,
+            };
+            decision = decide(&pctx, fallback_policy, &layers[i..], &est, true);
+            attempt = sim.execute_decision(fabric, &self.workload, i, &self.current, &decision);
+        }
+        let (output, cycles, events, spm_peak, compression, phases) =
+            attempt.unwrap_or_else(|e| panic!("{}: chosen config infeasible: {e}", layers[i].name));
+        let len = decision.group_len;
+
+        if sim.verify {
+            assert_eq!(
+                output,
+                self.golden_outs[i + len - 1],
+                "{}: simulated output deviates from golden model",
+                layers[i + len - 1].name
+            );
         }
 
+        let work_macs: u64 = layers[i..i + len]
+            .iter()
+            .map(|l| l.macs() + pool_work(l))
+            .sum();
+        self.groups.push(GroupMetrics {
+            layers: layers[i..i + len].iter().map(|l| l.name.clone()).collect(),
+            morph: decision.morph,
+            cycles,
+            events,
+            energy: sim.energy.price(&events),
+            spm_peak,
+            compression,
+            work_macs,
+            candidates: decision.candidates,
+            phases,
+        });
+
+        self.current = output;
+        self.pos += len;
+        self.groups.last().unwrap()
+    }
+
+    /// The output tensor of the last executed group (the network output
+    /// once [`Session::done`]).
+    pub fn output(&self) -> &mocha_model::Tensor<i8> {
+        &self.current
+    }
+
+    /// Consumes the session into aggregate metrics.
+    pub fn finish(self) -> RunMetrics {
         RunMetrics {
-            network: workload.network.name.clone(),
-            accelerator: self.accelerator.name.clone(),
-            groups,
+            network: self.workload.network.name.clone(),
+            accelerator: self.sim.accelerator.name.clone(),
+            groups: self.groups,
         }
     }
 }
@@ -243,8 +368,11 @@ mod tests {
     fn groups_cover_all_layers_exactly_once() {
         let m = run(Accelerator::mocha(Objective::Edp), 11);
         let names: Vec<String> = m.groups.iter().flat_map(|g| g.layers.clone()).collect();
-        let expected: Vec<String> =
-            network::tiny().layers().iter().map(|l| l.name.clone()).collect();
+        let expected: Vec<String> = network::tiny()
+            .layers()
+            .iter()
+            .map(|l| l.name.clone())
+            .collect();
         assert_eq!(names, expected);
     }
 

@@ -44,7 +44,11 @@ pub fn load_decode_at_port(
         spm_bytes: raw_bytes as u64,
         codec_cycles: costs.decode_cycles(codec, raw_bytes),
         codec_pj: costs.energy_pj(codec, raw_bytes),
-        codec_raw_bytes: if codec == Codec::None { 0 } else { raw_bytes as u64 },
+        codec_raw_bytes: if codec == Codec::None {
+            0
+        } else {
+            raw_bytes as u64
+        },
         dir: Dir::Read,
         lanes,
     }
@@ -63,7 +67,11 @@ pub fn store_encoded(
         spm_bytes: raw_bytes as u64,
         codec_cycles: costs.encode_cycles(codec, raw_bytes),
         codec_pj: costs.energy_pj(codec, raw_bytes),
-        codec_raw_bytes: if codec == Codec::None { 0 } else { raw_bytes as u64 },
+        codec_raw_bytes: if codec == Codec::None {
+            0
+        } else {
+            raw_bytes as u64
+        },
         dir: Dir::Write,
         lanes,
     }

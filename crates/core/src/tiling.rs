@@ -8,11 +8,10 @@
 
 use crate::morph::{LoopOrder, Tiling};
 use mocha_model::layer::{Layer, LayerKind};
-use serde::{Deserialize, Serialize};
 
 /// A half-open 3-D block of a tensor: channels `[c0, c0+cn)`, rows
 /// `[y0, y0+yn)`, columns `[x0, x0+xn)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Region {
     /// First channel.
     pub c0: usize,
@@ -53,7 +52,7 @@ impl Region {
 }
 
 /// One output tile: an output region plus its position in the tile grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutputTile {
     /// The output elements this tile produces.
     pub out: Region,
@@ -66,7 +65,14 @@ pub struct OutputTile {
 /// The input rows/columns (clipped to the real input, i.e. excluding
 /// padding) that a sliding-window operator needs to produce output rows
 /// `[o0, o0+on)`. Returns `(start, count)`.
-pub fn input_extent(o0: usize, on: usize, k: usize, stride: usize, pad: usize, in_dim: usize) -> (usize, usize) {
+pub fn input_extent(
+    o0: usize,
+    on: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    in_dim: usize,
+) -> (usize, usize) {
     debug_assert!(on > 0);
     let lo = (o0 * stride) as isize - pad as isize;
     let hi = ((o0 + on - 1) * stride + k) as isize - pad as isize; // exclusive
@@ -82,7 +88,14 @@ pub fn input_window(layer: &Layer, out: &Region, ic0: usize, icn: usize) -> Regi
         LayerKind::Conv { k, stride, pad, .. } => {
             let (y0, yn) = input_extent(out.y0, out.yn, k, stride, pad, layer.input.h);
             let (x0, xn) = input_extent(out.x0, out.xn, k, stride, pad, layer.input.w);
-            Region { c0: ic0, cn: icn, y0, yn, x0, xn }
+            Region {
+                c0: ic0,
+                cn: icn,
+                y0,
+                yn,
+                x0,
+                xn,
+            }
         }
         LayerKind::Pool { k, stride, .. } => {
             // Pooling is per-channel: the input channels are the tile's own
@@ -90,18 +103,39 @@ pub fn input_window(layer: &Layer, out: &Region, ic0: usize, icn: usize) -> Regi
             // pass the tile's channel range).
             let (y0, yn) = input_extent(out.y0, out.yn, k, stride, 0, layer.input.h);
             let (x0, xn) = input_extent(out.x0, out.xn, k, stride, 0, layer.input.w);
-            Region { c0: out.c0, cn: out.cn, y0, yn, x0, xn }
+            Region {
+                c0: out.c0,
+                cn: out.cn,
+                y0,
+                yn,
+                x0,
+                xn,
+            }
         }
         LayerKind::Fc { .. } => {
             // Fc flattens: the "input window" is the whole flattened input
             // restricted to the reduction slab, expressed over flat indices.
-            Region { c0: ic0, cn: icn, y0: 0, yn: 1, x0: 0, xn: 1 }
+            Region {
+                c0: ic0,
+                cn: icn,
+                y0: 0,
+                yn: 1,
+                x0: 0,
+                xn: 1,
+            }
         }
         LayerKind::DwConv { k, stride, pad, .. } => {
             // Depthwise: per-channel like pooling, but with conv padding.
             let (y0, yn) = input_extent(out.y0, out.yn, k, stride, pad, layer.input.h);
             let (x0, xn) = input_extent(out.x0, out.xn, k, stride, pad, layer.input.w);
-            Region { c0: out.c0, cn: out.cn, y0, yn, x0, xn }
+            Region {
+                c0: out.c0,
+                cn: out.cn,
+                y0,
+                yn,
+                x0,
+                xn,
+            }
         }
     }
 }
@@ -190,10 +224,24 @@ mod tests {
     use super::*;
     use mocha_model::shape::TensorShape;
 
-    fn conv_layer(in_c: usize, h: usize, w: usize, out_c: usize, k: usize, stride: usize, pad: usize) -> Layer {
+    fn conv_layer(
+        in_c: usize,
+        h: usize,
+        w: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Layer {
         Layer {
             name: "t".into(),
-            kind: LayerKind::Conv { out_c, k, stride, pad, relu: true },
+            kind: LayerKind::Conv {
+                out_c,
+                k,
+                stride,
+                pad,
+                relu: true,
+            },
             input: TensorShape::new(in_c, h, w),
             requant_shift: 8,
         }
@@ -225,7 +273,12 @@ mod tests {
     #[test]
     fn tiles_partition_output_exactly() {
         let layer = conv_layer(3, 227, 227, 96, 11, 4, 0);
-        let t = Tiling { tile_oc: 32, tile_oh: 16, tile_ow: 16, tile_ic: 3 };
+        let t = Tiling {
+            tile_oc: 32,
+            tile_oh: 16,
+            tile_ow: 16,
+            tile_ic: 3,
+        };
         let out = layer.output();
         let tiles = tiles(&layer, t, LoopOrder::WeightStationary);
         let mut covered = vec![false; out.volume()];
@@ -246,7 +299,12 @@ mod tests {
     #[test]
     fn loop_orders_visit_same_tiles_differently() {
         let layer = conv_layer(3, 32, 32, 8, 3, 1, 1);
-        let t = Tiling { tile_oc: 4, tile_oh: 16, tile_ow: 32, tile_ic: 3 };
+        let t = Tiling {
+            tile_oc: 4,
+            tile_oh: 16,
+            tile_ow: 32,
+            tile_ic: 3,
+        };
         let ws = tiles(&layer, t, LoopOrder::WeightStationary);
         let is = tiles(&layer, t, LoopOrder::InputStationary);
         assert_eq!(ws.len(), is.len());
@@ -264,7 +322,12 @@ mod tests {
     #[test]
     fn edge_tiles_are_smaller() {
         let layer = conv_layer(3, 227, 227, 96, 11, 4, 0); // out 96x55x55
-        let t = Tiling { tile_oc: 32, tile_oh: 16, tile_ow: 16, tile_ic: 3 };
+        let t = Tiling {
+            tile_oc: 32,
+            tile_oh: 16,
+            tile_ow: 16,
+            tile_ic: 3,
+        };
         let all = tiles(&layer, t, LoopOrder::WeightStationary);
         // 3 oc blocks × 4×4 spatial blocks.
         assert_eq!(all.len(), 48);
@@ -276,7 +339,14 @@ mod tests {
     #[test]
     fn input_window_for_conv_tile() {
         let layer = conv_layer(16, 32, 32, 8, 3, 1, 1);
-        let out = Region { c0: 0, cn: 8, y0: 8, yn: 8, x0: 0, xn: 8 };
+        let out = Region {
+            c0: 0,
+            cn: 8,
+            y0: 8,
+            yn: 8,
+            x0: 0,
+            xn: 8,
+        };
         let w = input_window(&layer, &out, 4, 8);
         assert_eq!(w.c0, 4);
         assert_eq!(w.cn, 8);
@@ -288,11 +358,22 @@ mod tests {
     fn pool_window_uses_tile_channels() {
         let layer = Layer {
             name: "p".into(),
-            kind: LayerKind::Pool { kind: mocha_model::PoolKind::Max, k: 2, stride: 2 },
+            kind: LayerKind::Pool {
+                kind: mocha_model::PoolKind::Max,
+                k: 2,
+                stride: 2,
+            },
             input: TensorShape::new(16, 8, 8),
             requant_shift: 0,
         };
-        let out = Region { c0: 4, cn: 4, y0: 0, yn: 2, x0: 0, xn: 2 };
+        let out = Region {
+            c0: 4,
+            cn: 4,
+            y0: 0,
+            yn: 2,
+            x0: 0,
+            xn: 2,
+        };
         let w = input_window(&layer, &out, 999, 999);
         assert_eq!((w.c0, w.cn), (4, 4));
         assert_eq!((w.y0, w.yn), (0, 4));
@@ -311,7 +392,10 @@ mod tests {
         assert_eq!(reduction_depth(&conv), 16);
         let fc = Layer {
             name: "fc".into(),
-            kind: LayerKind::Fc { out: 10, relu: false },
+            kind: LayerKind::Fc {
+                out: 10,
+                relu: false,
+            },
             input: TensorShape::new(16, 8, 8),
             requant_shift: 8,
         };
@@ -320,7 +404,14 @@ mod tests {
 
     #[test]
     fn region_contains() {
-        let r = Region { c0: 1, cn: 2, y0: 3, yn: 2, x0: 0, xn: 4 };
+        let r = Region {
+            c0: 1,
+            cn: 2,
+            y0: 3,
+            yn: 2,
+            x0: 0,
+            xn: 4,
+        };
         assert!(r.contains(1, 3, 0));
         assert!(r.contains(2, 4, 3));
         assert!(!r.contains(3, 3, 0));

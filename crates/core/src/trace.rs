@@ -17,7 +17,10 @@ pub struct Trace {
 impl Trace {
     /// Builds the trace for a phase list.
     pub fn new(phases: &[TilePhase], buffering: Buffering) -> Self {
-        Self { schedule: pipeline_schedule(phases, buffering), buffering }
+        Self {
+            schedule: pipeline_schedule(phases, buffering),
+            buffering,
+        }
     }
 
     /// Fraction of the makespan during which the compute stage is busy —
@@ -26,7 +29,12 @@ impl Trace {
         if self.schedule.total == 0 {
             return 0.0;
         }
-        let busy: u64 = self.schedule.stages.iter().map(|s| s.compute.1 - s.compute.0).sum();
+        let busy: u64 = self
+            .schedule
+            .stages
+            .iter()
+            .map(|s| s.compute.1 - s.compute.0)
+            .sum();
         busy as f64 / self.schedule.total as f64
     }
 
@@ -50,7 +58,11 @@ impl Trace {
             let mut paint = |interval: (u64, u64), ch: u8| {
                 let (a, b) = (scale(interval.0), scale(interval.1));
                 // Non-empty stages always get at least one cell.
-                let b = if interval.1 > interval.0 { b.max(a + 1).min(width) } else { a };
+                let b = if interval.1 > interval.0 {
+                    b.max(a + 1).min(width)
+                } else {
+                    a
+                };
                 for cell in row.iter_mut().take(b).skip(a) {
                     *cell = ch;
                 }
@@ -69,21 +81,33 @@ mod tests {
     use super::*;
 
     fn tile(l: u64, c: u64, s: u64) -> TilePhase {
-        TilePhase { load_cycles: l, compute_cycles: c, store_cycles: s }
+        TilePhase {
+            load_cycles: l,
+            compute_cycles: c,
+            store_cycles: s,
+        }
     }
 
     #[test]
     fn occupancy_of_compute_bound_pipeline_is_high() {
         let phases = vec![tile(5, 50, 2); 10];
         let t = Trace::new(&phases, Buffering::Double);
-        assert!(t.compute_occupancy() > 0.9, "occupancy {}", t.compute_occupancy());
+        assert!(
+            t.compute_occupancy() > 0.9,
+            "occupancy {}",
+            t.compute_occupancy()
+        );
     }
 
     #[test]
     fn occupancy_of_memory_bound_pipeline_is_low() {
         let phases = vec![tile(50, 5, 2); 10];
         let t = Trace::new(&phases, Buffering::Double);
-        assert!(t.compute_occupancy() < 0.3, "occupancy {}", t.compute_occupancy());
+        assert!(
+            t.compute_occupancy() < 0.3,
+            "occupancy {}",
+            t.compute_occupancy()
+        );
     }
 
     #[test]
@@ -137,13 +161,20 @@ mod tests {
 
         let fabric = FabricConfig::mocha();
         let costs = CodecCostTable::default();
-        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let ctx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
         let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 9);
         let layer = &w.network.layers()[0];
         let morph = default_morph(layer);
-        let run = execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &morph, true).unwrap();
+        let run =
+            execute_layer(&ctx, layer, &w.input, w.kernels[0].as_ref(), &morph, true).unwrap();
         let trace = Trace::new(&run.phases, morph.buffering);
-        assert_eq!(trace.schedule.total, run.cycles, "trace total must equal the run's cycles");
+        assert_eq!(
+            trace.schedule.total, run.cycles,
+            "trace total must equal the run's cycles"
+        );
         assert!(trace.compute_occupancy() > 0.0);
     }
 }

@@ -1,0 +1,188 @@
+//! Property-based tests for lease-confined decisions: whatever the
+//! controller picks under [`decide_with_lease`] must run inside the lease's
+//! sub-fabric — never touching more PEs, scratchpad or bandwidth than the
+//! lease grants — and must equal a plain [`decide`] on that sub-fabric.
+//!
+//! Cases are drawn from a seeded RNG (the offline build has no proptest);
+//! every assertion carries the seed so failures reproduce exactly.
+
+use mocha_compress::CodecCostTable;
+use mocha_core::exec::{execute_layer, ExecContext};
+use mocha_core::morph::Parallelism;
+use mocha_core::plan::{PlanContext, SparsityEstimate};
+use mocha_core::{decide, decide_with_lease, Objective, Policy};
+use mocha_energy::EnergyTable;
+use mocha_fabric::{FabricConfig, FabricPartition};
+use mocha_model::gen::{SparsityProfile, Workload};
+use mocha_model::network;
+use mocha_model::rng::ModelRng;
+use mocha_model::stats;
+
+/// Runs `f` over `n` deterministic seeded cases.
+fn cases(n: u64, mut f: impl FnMut(u64, &mut ModelRng)) {
+    for seed in 0..n {
+        let mut rng = ModelRng::seed_from_u64(seed);
+        f(seed, &mut rng);
+    }
+}
+
+/// An arbitrary lease of the serving fabric: a random PE rectangle, bank
+/// range and memory-path share.
+fn lease(rng: &mut ModelRng, parent: &FabricConfig) -> FabricPartition {
+    let pe_rows = rng.gen_range(1usize..=parent.pe_rows);
+    let pe_cols = rng.gen_range(1usize..=parent.pe_cols);
+    let banks = rng.gen_range(1usize..=parent.spm_banks);
+    FabricPartition {
+        pe_row0: rng.gen_range(0usize..=(parent.pe_rows - pe_rows)),
+        pe_rows,
+        pe_col0: rng.gen_range(0usize..=(parent.pe_cols - pe_cols)),
+        pe_cols,
+        bank0: rng.gen_range(0usize..=(parent.spm_banks - banks)),
+        banks,
+        noc_dma_lanes: rng.gen_range(1usize..=parent.noc_dma_lanes),
+        dma_engines: rng.gen_range(1usize..=parent.dma_engines),
+        codec_engines: rng.gen_range(0usize..=parent.codec_engines),
+    }
+}
+
+/// An arbitrary small single-conv workload with live data.
+fn workload(rng: &mut ModelRng) -> Workload {
+    let in_c = rng.gen_range(1usize..6);
+    let h = rng.gen_range(8usize..20);
+    let out_c = rng.gen_range(1usize..10);
+    let k = 2 * rng.gen_range(1usize..3) - 1; // 1 or 3
+    let net = network::single_conv(in_c, h, h, out_c, k, 1, k / 2);
+    let profile = match rng.gen_range(0u32..3) {
+        0 => SparsityProfile::DENSE,
+        1 => SparsityProfile::NOMINAL,
+        _ => SparsityProfile::SPARSE,
+    };
+    Workload::generate(net, profile, rng.next_u64())
+}
+
+/// The controller's estimate for the workload's first (only) layer.
+fn estimate(w: &Workload) -> SparsityEstimate {
+    let in_stats = stats::analyze(w.input.data());
+    SparsityEstimate {
+        ifmap_sparsity: in_stats.sparsity(),
+        ifmap_mean_run: in_stats.mean_zero_run(),
+        kernel_sparsity: w.kernels[0].as_ref().map(|k| k.sparsity()).unwrap_or(0.0),
+        ofmap_sparsity: 0.5,
+        ofmap_mean_run: 2.0,
+    }
+}
+
+/// Whatever `decide_with_lease` picks must execute successfully inside the
+/// lease's sub-fabric, with peak scratchpad use within the lease's banks
+/// and PE groups within the lease's grid.
+#[test]
+fn lease_decisions_never_exceed_the_lease() {
+    let parent = FabricConfig::mocha_quad();
+    let codec_costs = CodecCostTable::default();
+    let energy = EnergyTable::default();
+    cases(48, |seed, rng| {
+        let l = lease(rng, &parent);
+        let w = workload(rng);
+        let est = estimate(&w);
+        let ctx = PlanContext {
+            fabric: &parent,
+            codec_costs: &codec_costs,
+            energy: &energy,
+        };
+        // Uncompressed policy: its plans are exact, so a capacity failure
+        // inside the lease would prove the decision exceeded it.
+        let policy = Policy::MochaNoCompression {
+            objective: Objective::Edp,
+        };
+        let d = decide_with_lease(&ctx, &l, policy, w.network.layers(), &est, true);
+
+        let sub = l.sub_config(&parent);
+        let run = execute_layer(
+            &ExecContext {
+                fabric: &sub,
+                codec_costs: &codec_costs,
+            },
+            &w.network.layers()[0],
+            &w.input,
+            w.kernels[0].as_ref(),
+            &d.morph,
+            true,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: decision does not fit its lease: {e}"));
+        assert!(
+            run.spm_peak <= sub.spm_bytes(),
+            "seed {seed}: peak scratchpad {} exceeds the lease's {} bytes",
+            run.spm_peak,
+            sub.spm_bytes()
+        );
+        if let Parallelism::Hybrid { fmap_groups } = d.morph.parallelism {
+            assert!(
+                fmap_groups <= sub.pes(),
+                "seed {seed}: {fmap_groups} PE groups exceed the lease's {} PEs",
+                sub.pes()
+            );
+        }
+    });
+}
+
+/// A lease-confined decision is exactly the decision the controller makes
+/// on the lease's sub-fabric — the lease is a transparent restriction, not
+/// a different policy.
+#[test]
+fn lease_decision_equals_decision_on_sub_fabric() {
+    let parent = FabricConfig::mocha_quad();
+    let codec_costs = CodecCostTable::default();
+    let energy = EnergyTable::default();
+    cases(48, |seed, rng| {
+        let l = lease(rng, &parent);
+        let w = workload(rng);
+        let est = estimate(&w);
+        let ctx = PlanContext {
+            fabric: &parent,
+            codec_costs: &codec_costs,
+            energy: &energy,
+        };
+        let policy = Policy::Mocha {
+            objective: Objective::Edp,
+        };
+        let via_lease = decide_with_lease(&ctx, &l, policy, w.network.layers(), &est, true);
+
+        let sub = l.sub_config(&parent);
+        let sub_ctx = PlanContext {
+            fabric: &sub,
+            codec_costs: &codec_costs,
+            energy: &energy,
+        };
+        let direct = decide(&sub_ctx, policy, w.network.layers(), &est, true);
+        assert_eq!(via_lease.morph, direct.morph, "seed {seed}");
+        assert_eq!(via_lease.group_len, direct.group_len, "seed {seed}");
+    });
+}
+
+/// Leases that don't fit the parent are rejected loudly.
+#[test]
+#[should_panic(expected = "invalid lease")]
+fn invalid_leases_panic() {
+    let parent = FabricConfig::mocha();
+    let codec_costs = CodecCostTable::default();
+    let energy = EnergyTable::default();
+    let ctx = PlanContext {
+        fabric: &parent,
+        codec_costs: &codec_costs,
+        energy: &energy,
+    };
+    let mut bad = FabricPartition::whole(&parent);
+    bad.pe_cols += 1; // wider than the parent grid
+    let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 1);
+    let est = estimate(&w);
+    decide_with_lease(
+        &ctx,
+        &bad,
+        Policy::Mocha {
+            objective: Objective::Edp,
+        },
+        w.network.layers(),
+        &est,
+        true,
+    );
+}

@@ -2,93 +2,128 @@
 //! legal configurations, tiling must partition the output exactly, execution
 //! must be bit-exact against the golden model, and the analytical plan must
 //! equal the execution for uncompressed configs.
+//!
+//! Cases are drawn from a seeded RNG (the offline build has no proptest);
+//! every assertion carries the seed so failures reproduce exactly.
 
 use mocha_compress::{Codec, CodecCostTable};
 use mocha_core::exec::{execute_layer, ExecContext};
 use mocha_core::morph::{CompressionChoice, LoopOrder, MorphConfig, Parallelism, Tiling};
 use mocha_core::plan::{plan_layer, PlanContext, SparsityEstimate};
-use mocha_core::tiling::{reduction_depth, tiles};
+use mocha_core::tiling::tiles;
 use mocha_energy::EnergyTable;
 use mocha_fabric::{Buffering, FabricConfig};
 use mocha_model::gen;
 use mocha_model::layer::{Layer, LayerKind};
+use mocha_model::rng::ModelRng;
 use mocha_model::{golden, TensorShape};
-use proptest::prelude::*;
 
-/// Arbitrary small conv layers (kept small so the executor stays fast).
-fn conv_layer() -> impl Strategy<Value = Layer> {
-    (1usize..8, 6usize..24, 6usize..24, 1usize..12, 1usize..4, 1usize..3, 0usize..2, any::<bool>())
-        .prop_map(|(in_c, h, w, out_c, k_half, stride, pad, relu)| {
-            let k = 2 * k_half - 1; // odd kernels 1/3/5
-            Layer {
+/// Arbitrary small conv layers (kept small so the executor stays fast);
+/// resampled until the kernel fits the padded input.
+fn conv_layer(rng: &mut ModelRng) -> Layer {
+    loop {
+        let in_c = rng.gen_range(1usize..8);
+        let h = rng.gen_range(6usize..24);
+        let w = rng.gen_range(6usize..24);
+        let out_c = rng.gen_range(1usize..12);
+        let k = 2 * rng.gen_range(1usize..4) - 1; // odd kernels 1/3/5
+        let stride = rng.gen_range(1usize..3);
+        let pad = rng.gen_range(0usize..2);
+        let relu = rng.gen_bool(0.5);
+        if h + 2 * pad >= k && w + 2 * pad >= k {
+            return Layer {
                 name: "prop".into(),
-                kind: LayerKind::Conv { out_c, k, stride, pad, relu },
+                kind: LayerKind::Conv {
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                    relu,
+                },
                 input: TensorShape::new(in_c, h, w),
                 requant_shift: 6,
-            }
-        })
-        .prop_filter("kernel must fit", |l| {
-            let LayerKind::Conv { k, pad, .. } = l.kind else { unreachable!() };
-            l.input.h + 2 * pad >= k && l.input.w + 2 * pad >= k
-        })
+            };
+        }
+    }
 }
 
 /// Arbitrary tilings (clamped by the implementation).
-fn tiling() -> impl Strategy<Value = Tiling> {
-    (1usize..32, 1usize..32, 1usize..32, 1usize..32).prop_map(|(oc, oh, ow, ic)| Tiling {
-        tile_oc: oc,
-        tile_oh: oh,
-        tile_ow: ow,
-        tile_ic: ic,
-    })
+fn tiling(rng: &mut ModelRng) -> Tiling {
+    Tiling {
+        tile_oc: rng.gen_range(1usize..32),
+        tile_oh: rng.gen_range(1usize..32),
+        tile_ow: rng.gen_range(1usize..32),
+        tile_ic: rng.gen_range(1usize..32),
+    }
 }
 
-fn parallelism() -> impl Strategy<Value = Parallelism> {
-    prop_oneof![
-        Just(Parallelism::InterFmap),
-        Just(Parallelism::IntraFmap),
-        (1usize..10).prop_map(|g| Parallelism::Hybrid { fmap_groups: g }),
-    ]
-}
-
-fn loop_order() -> impl Strategy<Value = LoopOrder> {
-    prop_oneof![Just(LoopOrder::WeightStationary), Just(LoopOrder::InputStationary)]
-}
-
-fn compression() -> impl Strategy<Value = CompressionChoice> {
-    let codec = || {
-        prop_oneof![Just(Codec::None), Just(Codec::Zrle), Just(Codec::Bitmask)]
-    };
-    (codec(), codec(), codec()).prop_map(|(ifmap, kernel, ofmap)| CompressionChoice {
-        ifmap,
-        kernel,
-        ofmap,
-    })
-}
-
-fn buffering() -> impl Strategy<Value = Buffering> {
-    prop_oneof![Just(Buffering::Single), Just(Buffering::Double)]
-}
-
-fn morph() -> impl Strategy<Value = MorphConfig> {
-    (tiling(), parallelism(), loop_order(), compression(), buffering()).prop_map(
-        |(tiling, parallelism, loop_order, compression, buffering)| MorphConfig {
-            tiling,
-            parallelism,
-            loop_order,
-            compression,
-            buffering,
+fn parallelism(rng: &mut ModelRng) -> Parallelism {
+    match rng.gen_range(0u32..3) {
+        0 => Parallelism::InterFmap,
+        1 => Parallelism::IntraFmap,
+        _ => Parallelism::Hybrid {
+            fmap_groups: rng.gen_range(1usize..10),
         },
-    )
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn loop_order(rng: &mut ModelRng) -> LoopOrder {
+    if rng.gen_bool(0.5) {
+        LoopOrder::WeightStationary
+    } else {
+        LoopOrder::InputStationary
+    }
+}
 
-    /// Tiles partition the output space exactly for any layer × tiling ×
-    /// order.
-    #[test]
-    fn tiles_partition_output((layer, t, order) in (conv_layer(), tiling(), loop_order())) {
+fn codec(rng: &mut ModelRng) -> Codec {
+    match rng.gen_range(0u32..3) {
+        0 => Codec::None,
+        1 => Codec::Zrle,
+        _ => Codec::Bitmask,
+    }
+}
+
+fn compression(rng: &mut ModelRng) -> CompressionChoice {
+    CompressionChoice {
+        ifmap: codec(rng),
+        kernel: codec(rng),
+        ofmap: codec(rng),
+    }
+}
+
+fn buffering(rng: &mut ModelRng) -> Buffering {
+    if rng.gen_bool(0.5) {
+        Buffering::Single
+    } else {
+        Buffering::Double
+    }
+}
+
+fn morph(rng: &mut ModelRng) -> MorphConfig {
+    MorphConfig {
+        tiling: tiling(rng),
+        parallelism: parallelism(rng),
+        loop_order: loop_order(rng),
+        compression: compression(rng),
+        buffering: buffering(rng),
+    }
+}
+
+/// Runs `f` over `n` deterministic seeded cases.
+fn cases(n: u64, mut f: impl FnMut(u64, &mut ModelRng)) {
+    for seed in 0..n {
+        let mut rng = ModelRng::seed_from_u64(seed);
+        f(seed, &mut rng);
+    }
+}
+
+/// Tiles partition the output space exactly for any layer × tiling × order.
+#[test]
+fn tiles_partition_output() {
+    cases(64, |seed, rng| {
+        let layer = conv_layer(rng);
+        let t = tiling(rng);
+        let order = loop_order(rng);
         let out = layer.output();
         let all = tiles(&layer, t, order);
         let mut covered = vec![0u8; out.volume()];
@@ -101,94 +136,135 @@ proptest! {
                 }
             }
         }
-        prop_assert!(covered.iter().all(|&n| n == 1), "layer {layer} tiling {t}");
-    }
+        assert!(
+            covered.iter().all(|&n| n == 1),
+            "seed {seed}: layer {layer} tiling {t}"
+        );
+    });
+}
 
-    /// Any morph configuration that fits the scratchpad executes
-    /// bit-exactly.
-    #[test]
-    fn exec_is_bit_exact_for_arbitrary_configs(
-        (layer, m, seed) in (conv_layer(), morph(), 0u64..1000)
-    ) {
-        let mut rng = gen::rng(seed);
-        let input = gen::activations(layer.input, 0.5, &mut rng);
-        let kernel = gen::kernel(layer.kernel_shape().unwrap(), 0.3, &mut rng);
+/// Any morph configuration that fits the scratchpad executes bit-exactly.
+#[test]
+fn exec_is_bit_exact_for_arbitrary_configs() {
+    cases(64, |seed, rng| {
+        let layer = conv_layer(rng);
+        let m = morph(rng);
+        let mut drng = gen::rng(seed);
+        let input = gen::activations(layer.input, 0.5, &mut drng);
+        let kernel = gen::kernel(layer.kernel_shape().unwrap(), 0.3, &mut drng);
         let fabric = FabricConfig::mocha();
         let costs = CodecCostTable::default();
-        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
+        let ctx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
         if let Ok(run) = execute_layer(&ctx, &layer, &input, Some(&kernel), &m, true) {
             let expected = golden::conv(&layer, &input, &kernel);
-            prop_assert_eq!(run.output, expected, "layer {} morph {}", layer, m);
-            prop_assert!(run.cycles > 0);
-            prop_assert!(run.spm_peak <= fabric.spm_bytes());
+            assert_eq!(run.output, expected, "seed {seed}: layer {layer} morph {m}");
+            assert!(run.cycles > 0, "seed {seed}");
+            assert!(run.spm_peak <= fabric.spm_bytes(), "seed {seed}");
         }
         // Infeasible configs are fine: the controller filters them.
-    }
+    });
+}
 
-    /// plan == exec exactly whenever compression is off.
-    #[test]
-    fn plan_equals_exec_uncompressed(
-        (layer, m0, seed) in (conv_layer(), morph(), 0u64..1000)
-    ) {
-        let m = MorphConfig { compression: CompressionChoice::OFF, ..m0 };
-        let mut rng = gen::rng(seed);
-        let input = gen::activations(layer.input, 0.5, &mut rng);
-        let kernel = gen::kernel(layer.kernel_shape().unwrap(), 0.3, &mut rng);
+/// plan == exec exactly whenever compression is off.
+#[test]
+fn plan_equals_exec_uncompressed() {
+    cases(64, |seed, rng| {
+        let layer = conv_layer(rng);
+        let m0 = morph(rng);
+        let m = MorphConfig {
+            compression: CompressionChoice::OFF,
+            ..m0
+        };
+        let mut drng = gen::rng(seed);
+        let input = gen::activations(layer.input, 0.5, &mut drng);
+        let kernel = gen::kernel(layer.kernel_shape().unwrap(), 0.3, &mut drng);
         let fabric = FabricConfig::mocha();
         let costs = CodecCostTable::default();
         let energy = EnergyTable::default();
-        let ectx = ExecContext { fabric: &fabric, codec_costs: &costs };
-        let pctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+        let ectx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
+        let pctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy,
+        };
         let run = execute_layer(&ectx, &layer, &input, Some(&kernel), &m, true);
         let plan = plan_layer(&pctx, &layer, &m, &SparsityEstimate::DENSE, true);
         match (run, plan) {
             (Ok(r), Ok(p)) => {
-                prop_assert_eq!(p.cycles, r.cycles, "cycles: layer {} morph {}", layer, m);
-                prop_assert_eq!(p.dram_bytes, r.events.dram_bytes());
-                prop_assert_eq!(p.spm_peak, r.spm_peak);
-                prop_assert_eq!(p.events.macs, r.events.macs);
+                assert_eq!(
+                    p.cycles, r.cycles,
+                    "seed {seed} cycles: layer {layer} morph {m}"
+                );
+                assert_eq!(p.dram_bytes, r.events.dram_bytes(), "seed {seed}");
+                assert_eq!(p.spm_peak, r.spm_peak, "seed {seed}");
+                assert_eq!(p.events.macs, r.events.macs, "seed {seed}");
             }
             (Err(_), Err(_)) => {} // both reject: consistent
-            (Ok(_), Err(e)) => prop_assert!(false, "plan rejected what exec ran: {e}"),
-            (Err(e), Ok(_)) => prop_assert!(false, "exec rejected what plan accepted: {e}"),
+            (Ok(_), Err(e)) => panic!("seed {seed}: plan rejected what exec ran: {e}"),
+            (Err(e), Ok(_)) => panic!("seed {seed}: exec rejected what plan accepted: {e}"),
         }
-    }
-
-    /// Zero-skipping and compression never change how much *work* is
-    /// accomplished: issued + skipped MACs equals the layer's dense count.
-    #[test]
-    fn work_is_conserved((layer, m, seed) in (conv_layer(), morph(), 0u64..1000)) {
-        let mut rng = gen::rng(seed);
-        let input = gen::activations(layer.input, 0.5, &mut rng);
-        let kernel = gen::kernel(layer.kernel_shape().unwrap(), 0.5, &mut rng);
-        let fabric = FabricConfig::mocha();
-        let costs = CodecCostTable::default();
-        let ctx = ExecContext { fabric: &fabric, codec_costs: &costs };
-        if let Ok(run) = execute_layer(&ctx, &layer, &input, Some(&kernel), &m, true) {
-            prop_assert_eq!(run.events.macs + run.events.macs_skipped, layer.macs());
-        }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Zero-skipping and compression never change how much *work* is
+/// accomplished: issued + skipped MACs equals the layer's dense count.
+#[test]
+fn work_is_conserved() {
+    cases(64, |seed, rng| {
+        let layer = conv_layer(rng);
+        let m = morph(rng);
+        let mut drng = gen::rng(seed);
+        let input = gen::activations(layer.input, 0.5, &mut drng);
+        let kernel = gen::kernel(layer.kernel_shape().unwrap(), 0.5, &mut drng);
+        let fabric = FabricConfig::mocha();
+        let costs = CodecCostTable::default();
+        let ctx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
+        if let Ok(run) = execute_layer(&ctx, &layer, &input, Some(&kernel), &m, true) {
+            assert_eq!(
+                run.events.macs + run.events.macs_skipped,
+                layer.macs(),
+                "seed {seed}: layer {layer} morph {m}"
+            );
+        }
+    });
+}
 
-    /// Fused conv→pool groups are bit-exact for arbitrary tile shapes.
-    #[test]
-    fn fusion_is_bit_exact(
-        (t, seed, in_c, out_c) in (tiling(), 0u64..500, 1usize..6, 1usize..8)
-    ) {
-        use mocha_core::fusion::{execute_group, FusionGroup};
-        use mocha_model::network::NetworkBuilder;
+/// Fused conv→pool groups are bit-exact for arbitrary tile shapes.
+#[test]
+fn fusion_is_bit_exact() {
+    use mocha_core::fusion::{execute_group, FusionGroup};
+    use mocha_model::network::NetworkBuilder;
+
+    cases(32, |seed, rng| {
+        let t = tiling(rng);
+        let in_c = rng.gen_range(1usize..6);
+        let out_c = rng.gen_range(1usize..8);
 
         let mut b = NetworkBuilder::new("fused", TensorShape::new(in_c, 12, 12));
         b.conv("c", out_c, 3, 1, 1, true, 6).max_pool("p", 2, 2);
         let net = b.build();
-        let w = mocha_model::gen::Workload::generate(net, mocha_model::gen::SparsityProfile::NOMINAL, seed);
+        let w = mocha_model::gen::Workload::generate(
+            net,
+            mocha_model::gen::SparsityProfile::NOMINAL,
+            seed,
+        );
         let golden_outs = golden::forward(&w);
 
-        let group = FusionGroup { start: 0, layers: w.network.layers().to_vec() };
-        let kernels: Vec<Option<&mocha_model::Kernel>> = w.kernels.iter().map(Option::as_ref).collect();
+        let group = FusionGroup {
+            start: 0,
+            layers: w.network.layers().to_vec(),
+        };
+        let kernels: Vec<Option<&mocha_model::Kernel>> =
+            w.kernels.iter().map(Option::as_ref).collect();
         let morph = MorphConfig {
             tiling: t,
             parallelism: Parallelism::InterFmap,
@@ -199,7 +275,7 @@ proptest! {
         let fabric = FabricConfig::mocha();
         let costs = CodecCostTable::default();
         if let Ok(run) = execute_group(&fabric, &costs, &group, &w.input, &kernels, &morph, true) {
-            prop_assert_eq!(run.output, golden_outs[1].clone(), "tiling {}", t);
+            assert_eq!(run.output, golden_outs[1], "seed {seed}: tiling {t}");
         }
-    }
+    });
 }

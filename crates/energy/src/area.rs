@@ -7,10 +7,8 @@
 //! energy, only *relative* area between configurations matters and both
 //! sides are priced with the same table.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-component silicon area parameters (mm²).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaTable {
     /// One PE: 8-bit MAC datapath + local register file + sequencer.
     pub pe_mm2: f64,
@@ -48,7 +46,7 @@ impl Default for AreaTable {
 }
 
 /// Structural inventory of a fabric instance, from which area is computed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FabricInventory {
     /// Number of processing elements.
     pub pes: usize,
@@ -65,7 +63,7 @@ pub struct FabricInventory {
 }
 
 /// Area of one fabric split by component (mm²).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AreaBreakdown {
     /// PE array area.
     pub pes_mm2: f64,
@@ -84,7 +82,12 @@ pub struct AreaBreakdown {
 impl AreaBreakdown {
     /// Total die area in mm².
     pub fn total_mm2(&self) -> f64 {
-        self.pes_mm2 + self.sram_mm2 + self.noc_mm2 + self.dma_mm2 + self.codec_mm2 + self.control_mm2
+        self.pes_mm2
+            + self.sram_mm2
+            + self.noc_mm2
+            + self.dma_mm2
+            + self.codec_mm2
+            + self.control_mm2
     }
 }
 
@@ -132,7 +135,11 @@ mod tests {
 
     fn mocha_8x8() -> FabricInventory {
         // One codec pair per scratchpad column port (8) + two per DMA engine.
-        FabricInventory { codec_engines: 12, morphable: true, ..baseline_8x8() }
+        FabricInventory {
+            codec_engines: 12,
+            morphable: true,
+            ..baseline_8x8()
+        }
     }
 
     #[test]
@@ -155,14 +162,23 @@ mod tests {
         // table and the default 8x8 fabric, MOCHA must land inside it.
         let t = AreaTable::default();
         let oh = t.overhead(&mocha_8x8(), &baseline_8x8());
-        assert!((0.26..=0.35).contains(&oh), "overhead {oh:.3} outside 26–35 %");
+        assert!(
+            (0.26..=0.35).contains(&oh),
+            "overhead {oh:.3} outside 26–35 %"
+        );
     }
 
     #[test]
     fn morphable_control_scales_with_pes() {
         let t = AreaTable::default();
-        let small = FabricInventory { pes: 16, ..mocha_8x8() };
-        let large = FabricInventory { pes: 256, ..mocha_8x8() };
+        let small = FabricInventory {
+            pes: 16,
+            ..mocha_8x8()
+        };
+        let large = FabricInventory {
+            pes: 256,
+            ..mocha_8x8()
+        };
         let d = t.price(&large).control_mm2 - t.price(&small).control_mm2;
         assert!((d - 240.0 * t.morph_config_mm2_per_pe).abs() < 1e-12);
     }

@@ -6,10 +6,8 @@
 //! Keeping counts and prices separate means one simulation run can be
 //! re-priced under different technology assumptions without re-simulating.
 
-use serde::{Deserialize, Serialize};
-
 /// Raw event counts accumulated over a simulated execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EventCounts {
     /// MAC operations actually issued to datapaths.
     pub macs: u64,
@@ -42,6 +40,23 @@ pub struct EventCounts {
     /// Total cycles the fabric was active (for leakage integration).
     pub active_cycles: u64,
 }
+
+mocha_json::impl_json_struct!(EventCounts {
+    macs,
+    macs_skipped,
+    pool_ops,
+    rf_reads,
+    rf_writes,
+    spm_read_bytes,
+    spm_write_bytes,
+    noc_flit_hops,
+    dram_read_bytes,
+    dram_write_bytes,
+    dram_bursts,
+    codec_bytes,
+    priced_pj,
+    active_cycles,
+});
 
 impl EventCounts {
     /// Accumulates another run's counts into this one.
@@ -85,7 +100,13 @@ mod tests {
 
     #[test]
     fn merge_sums_every_field() {
-        let mut a = EventCounts { macs: 1, rf_reads: 2, dram_read_bytes: 3, priced_pj: 1.5, ..Default::default() };
+        let mut a = EventCounts {
+            macs: 1,
+            rf_reads: 2,
+            dram_read_bytes: 3,
+            priced_pj: 1.5,
+            ..Default::default()
+        };
         let b = EventCounts {
             macs: 10,
             macs_skipped: 5,

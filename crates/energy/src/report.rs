@@ -1,10 +1,9 @@
 //! Derived performance metrics: the numbers the paper's tables report.
 
 use crate::table::{EnergyBreakdown, EnergyTable};
-use serde::{Deserialize, Serialize};
 
 /// Performance summary of one simulated execution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfReport {
     /// Total cycles the execution took.
     pub cycles: u64,
@@ -31,7 +30,14 @@ impl PerfReport {
         dram_bytes: u64,
         table: &EnergyTable,
     ) -> Self {
-        Self { cycles, work_macs, energy, peak_storage_bytes, dram_bytes, clock_ghz: table.clock_ghz }
+        Self {
+            cycles,
+            work_macs,
+            energy,
+            peak_storage_bytes,
+            dram_bytes,
+            clock_ghz: table.clock_ghz,
+        }
     }
 
     /// Wall-clock runtime in seconds.
@@ -94,7 +100,10 @@ mod tests {
         PerfReport {
             cycles,
             work_macs: macs,
-            energy: EnergyBreakdown { compute_pj: pj, ..Default::default() },
+            energy: EnergyBreakdown {
+                compute_pj: pj,
+                ..Default::default()
+            },
             peak_storage_bytes: 0,
             dram_bytes: 0,
             clock_ghz: 0.5,

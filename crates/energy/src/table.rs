@@ -10,10 +10,9 @@
 //! which is what the abstract's percentages are — are preserved.
 
 use crate::events::EventCounts;
-use serde::{Deserialize, Serialize};
 
 /// Per-event energies in picojoules, plus clock and leakage parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyTable {
     /// One 8-bit multiply-accumulate in a PE datapath.
     pub mac_pj: f64,
@@ -41,6 +40,21 @@ pub struct EnergyTable {
     pub leakage_mw: f64,
 }
 
+mocha_json::impl_json_struct!(EnergyTable {
+    mac_pj,
+    mac_skip_pj,
+    pool_op_pj,
+    rf_read_pj,
+    rf_write_pj,
+    spm_read_pj_per_byte,
+    spm_write_pj_per_byte,
+    noc_hop_pj_per_flit,
+    dram_pj_per_byte,
+    dram_burst_pj,
+    clock_ghz,
+    leakage_mw,
+});
+
 impl Default for EnergyTable {
     fn default() -> Self {
         Self {
@@ -61,7 +75,7 @@ impl Default for EnergyTable {
 }
 
 /// Energy of a run split by component — the breakdown figure F2 plots.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// PE datapath energy (MACs, skips, pool ops), pJ.
     pub compute_pj: f64,
@@ -78,6 +92,16 @@ pub struct EnergyBreakdown {
     /// Integrated leakage over the active period, pJ.
     pub leakage_pj: f64,
 }
+
+mocha_json::impl_json_struct!(EnergyBreakdown {
+    compute_pj,
+    rf_pj,
+    spm_pj,
+    noc_pj,
+    dram_pj,
+    codec_pj,
+    leakage_pj,
+});
 
 impl EnergyBreakdown {
     /// Total energy in pJ.
@@ -145,8 +169,14 @@ mod tests {
         // RF ≈ MAC < SRAM/byte < DRAM/byte, the canonical ordering.
         assert!(t.rf_read_pj < t.spm_read_pj_per_byte);
         assert!(t.spm_read_pj_per_byte < t.dram_pj_per_byte);
-        assert!(t.dram_pj_per_byte / t.mac_pj > 50.0, "DRAM must dominate MACs");
-        assert!(t.mac_skip_pj < t.mac_pj / 10.0, "skipping must be nearly free");
+        assert!(
+            t.dram_pj_per_byte / t.mac_pj > 50.0,
+            "DRAM must dominate MACs"
+        );
+        assert!(
+            t.mac_skip_pj < t.mac_pj / 10.0,
+            "skipping must be nearly free"
+        );
     }
 
     #[test]
@@ -158,23 +188,41 @@ mod tests {
     #[test]
     fn price_is_linear_in_counts() {
         let t = EnergyTable::default();
-        let e1 = EventCounts { macs: 100, spm_read_bytes: 50, ..Default::default() };
-        let e2 = EventCounts { macs: 200, spm_read_bytes: 100, ..Default::default() };
+        let e1 = EventCounts {
+            macs: 100,
+            spm_read_bytes: 50,
+            ..Default::default()
+        };
+        let e2 = EventCounts {
+            macs: 200,
+            spm_read_bytes: 100,
+            ..Default::default()
+        };
         assert!((2.0 * t.price(&e1).total_pj() - t.price(&e2).total_pj()).abs() < 1e-9);
     }
 
     #[test]
     fn dram_burst_overhead_is_charged() {
         let t = EnergyTable::default();
-        let without = EventCounts { dram_read_bytes: 64, ..Default::default() };
-        let with = EventCounts { dram_read_bytes: 64, dram_bursts: 1, ..Default::default() };
+        let without = EventCounts {
+            dram_read_bytes: 64,
+            ..Default::default()
+        };
+        let with = EventCounts {
+            dram_read_bytes: 64,
+            dram_bursts: 1,
+            ..Default::default()
+        };
         assert!((t.price(&with).dram_pj - t.price(&without).dram_pj - 200.0).abs() < 1e-9);
     }
 
     #[test]
     fn leakage_integrates_over_cycles() {
         let t = EnergyTable::default();
-        let e = EventCounts { active_cycles: 500_000_000, ..Default::default() }; // 1 s at 0.5 GHz
+        let e = EventCounts {
+            active_cycles: 500_000_000,
+            ..Default::default()
+        }; // 1 s at 0.5 GHz
         let b = t.price(&e);
         // 15 mW for 1 s = 15 mJ = 1.5e10 pJ.
         assert!((b.leakage_pj - 1.5e10).abs() / 1.5e10 < 1e-9);
@@ -206,7 +254,10 @@ mod tests {
     #[test]
     fn codec_energy_passes_through_priced_pj() {
         let t = EnergyTable::default();
-        let e = EventCounts { priced_pj: 42.0, ..Default::default() };
+        let e = EventCounts {
+            priced_pj: 42.0,
+            ..Default::default()
+        };
         assert_eq!(t.price(&e).codec_pj, 42.0);
     }
 }

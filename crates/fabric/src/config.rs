@@ -8,10 +8,9 @@
 //! codec engines and a fixed controller (see `mocha_energy::AreaTable`).
 
 use mocha_energy::FabricInventory;
-use serde::{Deserialize, Serialize};
 
 /// Structural and rate parameters of a fabric instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FabricConfig {
     /// PE grid rows.
     pub pe_rows: usize,
@@ -47,6 +46,25 @@ pub struct FabricConfig {
     pub morphable: bool,
 }
 
+mocha_json::impl_json_struct!(FabricConfig {
+    pe_rows,
+    pe_cols,
+    rf_bytes_per_pe,
+    macs_per_pe_per_cycle,
+    spm_banks,
+    spm_bank_kb,
+    spm_bank_bytes_per_cycle,
+    noc_link_bytes_per_cycle,
+    noc_hop_latency,
+    noc_dma_lanes,
+    dram_bytes_per_cycle,
+    dram_burst_bytes,
+    dram_latency_cycles,
+    dma_engines,
+    codec_engines,
+    morphable,
+});
+
 impl Default for FabricConfig {
     fn default() -> Self {
         Self {
@@ -79,7 +97,28 @@ impl FabricConfig {
     /// The same fabric stripped to prior-art shape: no compression engines,
     /// fixed controller. Used by every baseline accelerator.
     pub fn baseline() -> Self {
-        Self { codec_engines: 0, morphable: false, ..Self::default() }
+        Self {
+            codec_engines: 0,
+            morphable: false,
+            ..Self::default()
+        }
+    }
+
+    /// The serving-scale instance: a 16x16 grid with four of everything on
+    /// the memory path, sized so the multi-tenant runtime can carve four
+    /// disjoint leases that are each as capable as the single-tenant
+    /// [`FabricConfig::mocha`] fabric.
+    pub fn mocha_quad() -> Self {
+        Self {
+            pe_rows: 16,
+            pe_cols: 16,
+            spm_banks: 32,
+            noc_dma_lanes: 8,
+            dma_engines: 4,
+            codec_engines: 24,
+            dram_bytes_per_cycle: 6.4,
+            ..Self::default()
+        }
     }
 
     /// Total number of PEs.
@@ -197,14 +236,20 @@ mod tests {
 
     #[test]
     fn validation_catches_degenerate_configs() {
-        let mut c = FabricConfig::default();
-        c.pe_rows = 0;
+        let c = FabricConfig {
+            pe_rows: 0,
+            ..FabricConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = FabricConfig::default();
-        c.dram_bytes_per_cycle = 0.0;
+        let c = FabricConfig {
+            dram_bytes_per_cycle: 0.0,
+            ..FabricConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = FabricConfig::default();
-        c.dma_engines = 0;
+        let c = FabricConfig {
+            dma_engines: 0,
+            ..FabricConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

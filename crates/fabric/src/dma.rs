@@ -37,7 +37,15 @@ pub struct StreamTransfer {
 impl StreamTransfer {
     /// An uncompressed transfer of `bytes`.
     pub fn raw(bytes: u64, dir: Dir, lanes: usize) -> Self {
-        Self { wire_bytes: bytes, spm_bytes: bytes, codec_cycles: 0, codec_pj: 0.0, codec_raw_bytes: 0, dir, lanes }
+        Self {
+            wire_bytes: bytes,
+            spm_bytes: bytes,
+            codec_cycles: 0,
+            codec_pj: 0.0,
+            codec_raw_bytes: 0,
+            dir,
+            lanes,
+        }
     }
 
     /// Cycles until the transfer completes.
@@ -45,13 +53,20 @@ impl StreamTransfer {
         if self.wire_bytes == 0 && self.codec_cycles == 0 {
             return 0;
         }
-        let dram = DramTransfer { bytes: self.wire_bytes, dir: self.dir };
+        let dram = DramTransfer {
+            bytes: self.wire_bytes,
+            dir: self.dir,
+        };
         let noc = NocTransfer::mean_path(config, self.wire_bytes, self.lanes);
         // Pipelined stages: total = fixed setup + slowest stage's streaming
         // time. DRAM latency and NoC path setup are the fixed parts; their
         // streaming components race with the codec.
-        let dram_stream = dram.cycles(config).saturating_sub(config.dram_latency_cycles);
-        let noc_stream = noc.cycles(config).saturating_sub(noc.hops * config.noc_hop_latency);
+        let dram_stream = dram
+            .cycles(config)
+            .saturating_sub(config.dram_latency_cycles);
+        let noc_stream = noc
+            .cycles(config)
+            .saturating_sub(noc.hops * config.noc_hop_latency);
         let setup = config.dram_latency_cycles + noc.hops * config.noc_hop_latency;
         setup + dram_stream.max(noc_stream).max(self.codec_cycles)
     }
@@ -59,7 +74,11 @@ impl StreamTransfer {
     /// Records all events of the transfer: DRAM bytes/bursts, NoC flit-hops,
     /// scratchpad bytes, codec energy.
     pub fn count_events(&self, config: &FabricConfig, counts: &mut EventCounts) {
-        DramTransfer { bytes: self.wire_bytes, dir: self.dir }.count_events(config, counts);
+        DramTransfer {
+            bytes: self.wire_bytes,
+            dir: self.dir,
+        }
+        .count_events(config, counts);
         NocTransfer::mean_path(config, self.wire_bytes, self.lanes).count_events(counts);
         match self.dir {
             Dir::Read => counts.spm_write_bytes += self.spm_bytes,

@@ -71,14 +71,20 @@ mod tests {
 
     #[test]
     fn zero_transfer_is_free() {
-        let t = DramTransfer { bytes: 0, dir: Dir::Read };
+        let t = DramTransfer {
+            bytes: 0,
+            dir: Dir::Read,
+        };
         assert_eq!(t.cycles(&cfg()), 0);
         assert_eq!(t.bursts(&cfg()), 0);
     }
 
     #[test]
     fn small_transfer_pays_a_whole_burst() {
-        let t = DramTransfer { bytes: 1, dir: Dir::Read };
+        let t = DramTransfer {
+            bytes: 1,
+            dir: Dir::Read,
+        };
         assert_eq!(t.bursts(&cfg()), 1);
         assert_eq!(t.wire_bytes(&cfg()), 64);
         assert_eq!(t.cycles(&cfg()), 40 + 20); // 64 / 3.2 = 20
@@ -86,7 +92,10 @@ mod tests {
 
     #[test]
     fn aligned_transfer_wastes_nothing() {
-        let t = DramTransfer { bytes: 6400, dir: Dir::Write };
+        let t = DramTransfer {
+            bytes: 6400,
+            dir: Dir::Write,
+        };
         assert_eq!(t.bursts(&cfg()), 100);
         assert_eq!(t.wire_bytes(&cfg()), 6400);
         assert_eq!(t.cycles(&cfg()), 40 + 2000);
@@ -95,8 +104,16 @@ mod tests {
     #[test]
     fn events_split_by_direction() {
         let mut c = EventCounts::default();
-        DramTransfer { bytes: 100, dir: Dir::Read }.count_events(&cfg(), &mut c);
-        DramTransfer { bytes: 200, dir: Dir::Write }.count_events(&cfg(), &mut c);
+        DramTransfer {
+            bytes: 100,
+            dir: Dir::Read,
+        }
+        .count_events(&cfg(), &mut c);
+        DramTransfer {
+            bytes: 200,
+            dir: Dir::Write,
+        }
+        .count_events(&cfg(), &mut c);
         assert_eq!(c.dram_read_bytes, 128); // 2 bursts
         assert_eq!(c.dram_write_bytes, 256); // 4 bursts
         assert_eq!(c.dram_bursts, 6);
@@ -105,7 +122,10 @@ mod tests {
     #[test]
     fn burst_rounding_penalizes_misaligned_tiles() {
         // 65 bytes needs 2 bursts: 128 wire bytes, nearly 2x waste.
-        let t = DramTransfer { bytes: 65, dir: Dir::Read };
+        let t = DramTransfer {
+            bytes: 65,
+            dir: Dir::Read,
+        };
         assert_eq!(t.wire_bytes(&cfg()), 128);
     }
 }

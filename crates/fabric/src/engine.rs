@@ -9,10 +9,8 @@
 //! second set of tile buffers in the scratchpad, a real storage/throughput
 //! trade the MOCHA controller exploits.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-tile stage times in cycles.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TilePhase {
     /// DRAM→SPM transfer time for this tile's inputs.
     pub load_cycles: u64,
@@ -23,8 +21,14 @@ pub struct TilePhase {
     pub store_cycles: u64,
 }
 
+mocha_json::impl_json_struct!(TilePhase {
+    load_cycles,
+    compute_cycles,
+    store_cycles
+});
+
 /// Buffering discipline of the tile pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Buffering {
     /// One buffer set: load, compute and store of a tile serialize, and the
     /// next tile's load waits for the store.
@@ -35,8 +39,10 @@ pub enum Buffering {
     Double,
 }
 
+mocha_json::impl_json_unit_enum!(Buffering { Single => "single", Double => "double" });
+
 /// Start/end times of one tile's three stages in the computed schedule.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimes {
     /// Load interval `[start, end)` in cycles.
     pub load: (u64, u64),
@@ -49,7 +55,7 @@ pub struct StageTimes {
 /// The fully-resolved pipeline schedule: per-tile stage intervals plus the
 /// makespan. Used by the trace/Gantt renderer; [`pipeline_cycles`] is the
 /// makespan-only shortcut every hot path uses.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     /// Stage intervals per tile, in phase order.
     pub stages: Vec<StageTimes>,
@@ -72,7 +78,11 @@ pub fn pipeline_schedule(phases: &[TilePhase], buffering: Buffering) -> Schedule
                 let compute = (load.1, load.1 + p.compute_cycles);
                 let store = (compute.1, compute.1 + p.store_cycles);
                 t = store.1;
-                stages.push(StageTimes { load, compute, store });
+                stages.push(StageTimes {
+                    load,
+                    compute,
+                    store,
+                });
             }
             Schedule { total: t, stages }
         }
@@ -108,7 +118,10 @@ pub fn pipeline_schedule(phases: &[TilePhase], buffering: Buffering) -> Schedule
                     store: (store_start, store_done),
                 });
             }
-            Schedule { total: last_store_done, stages }
+            Schedule {
+                total: last_store_done,
+                stages,
+            }
         }
     }
 }
@@ -139,7 +152,11 @@ mod tests {
     use super::*;
 
     fn tile(l: u64, c: u64, s: u64) -> TilePhase {
-        TilePhase { load_cycles: l, compute_cycles: c, store_cycles: s }
+        TilePhase {
+            load_cycles: l,
+            compute_cycles: c,
+            store_cycles: s,
+        }
     }
 
     #[test]
@@ -202,7 +219,12 @@ mod tests {
         // must respect the constraint. We verify via a load that becomes
         // expensive late: tile 3's load is huge; with 2 buffers it can start
         // only after tile 1's compute (not at t=2).
-        let phases = [tile(1, 100, 0), tile(1, 100, 0), tile(1, 100, 0), tile(300, 1, 0)];
+        let phases = [
+            tile(1, 100, 0),
+            tile(1, 100, 0),
+            tile(1, 100, 0),
+            tile(300, 1, 0),
+        ];
         // load3 start = max(loader_free=3, compute_done[1]=201) = 201,
         // done 501; compute3 at max(501, 301) = 501 + 1 = 502.
         assert_eq!(pipeline_cycles(&phases, Buffering::Double), 502);
@@ -237,8 +259,14 @@ mod tests {
         let s = pipeline_schedule(&phases, Buffering::Double);
         for (i, st) in s.stages.iter().enumerate() {
             assert!(st.load.0 <= st.load.1, "tile {i}");
-            assert!(st.load.1 <= st.compute.0, "tile {i}: compute before load done");
-            assert!(st.compute.1 <= st.store.0, "tile {i}: store before compute done");
+            assert!(
+                st.load.1 <= st.compute.0,
+                "tile {i}: compute before load done"
+            );
+            assert!(
+                st.compute.1 <= st.store.0,
+                "tile {i}: store before compute done"
+            );
             assert_eq!(st.load.1 - st.load.0, 10);
             assert_eq!(st.compute.1 - st.compute.0, 20);
             assert_eq!(st.store.1 - st.store.0, 5);

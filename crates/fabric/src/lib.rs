@@ -27,13 +27,17 @@ pub mod dma;
 pub mod dram;
 pub mod engine;
 pub mod noc;
+pub mod partition;
 pub mod pe;
 pub mod scratchpad;
 
 pub use config::FabricConfig;
 pub use dma::StreamTransfer;
 pub use dram::{Dir, DramTransfer};
-pub use engine::{buffer_sets, pipeline_cycles, pipeline_schedule, Buffering, Schedule, StageTimes, TilePhase};
+pub use engine::{
+    buffer_sets, pipeline_cycles, pipeline_schedule, Buffering, Schedule, StageTimes, TilePhase,
+};
 pub use noc::NocTransfer;
+pub use partition::FabricPartition;
 pub use pe::ComputePhase;
 pub use scratchpad::{CapacityError, RegionClass, RegionId, Scratchpad};

@@ -23,7 +23,11 @@ pub struct NocTransfer {
 impl NocTransfer {
     /// Builds a transfer using the config's mean DMA↔bank distance.
     pub fn mean_path(config: &FabricConfig, bytes: u64, lanes: usize) -> Self {
-        Self { bytes, lanes: lanes.clamp(1, config.noc_dma_lanes), hops: config.mean_noc_hops().round() as u64 }
+        Self {
+            bytes,
+            lanes: lanes.clamp(1, config.noc_dma_lanes),
+            hops: config.mean_noc_hops().round() as u64,
+        }
     }
 
     /// Cycles until the last byte arrives: path setup plus serialization.
@@ -51,21 +55,37 @@ mod tests {
 
     #[test]
     fn zero_bytes_is_free() {
-        let t = NocTransfer { bytes: 0, lanes: 1, hops: 8 };
+        let t = NocTransfer {
+            bytes: 0,
+            lanes: 1,
+            hops: 8,
+        };
         assert_eq!(t.cycles(&cfg()), 0);
     }
 
     #[test]
     fn serialization_dominates_large_transfers() {
-        let t = NocTransfer { bytes: 4096, lanes: 1, hops: 8 };
+        let t = NocTransfer {
+            bytes: 4096,
+            lanes: 1,
+            hops: 8,
+        };
         // 8 hops setup + 4096/4 = 1024 stream cycles.
         assert_eq!(t.cycles(&cfg()), 8 + 1024);
     }
 
     #[test]
     fn lanes_divide_serialization() {
-        let one = NocTransfer { bytes: 4096, lanes: 1, hops: 0 };
-        let four = NocTransfer { bytes: 4096, lanes: 4, hops: 0 };
+        let one = NocTransfer {
+            bytes: 4096,
+            lanes: 1,
+            hops: 0,
+        };
+        let four = NocTransfer {
+            bytes: 4096,
+            lanes: 4,
+            hops: 0,
+        };
         assert_eq!(one.cycles(&cfg()), 4 * four.cycles(&cfg()));
     }
 
@@ -79,7 +99,11 @@ mod tests {
 
     #[test]
     fn flit_hops_are_bytes_times_hops() {
-        let t = NocTransfer { bytes: 100, lanes: 2, hops: 5 };
+        let t = NocTransfer {
+            bytes: 100,
+            lanes: 2,
+            hops: 5,
+        };
         let mut c = EventCounts::default();
         t.count_events(&mut c);
         assert_eq!(c.noc_flit_hops, 500);

@@ -1,0 +1,268 @@
+//! Spatial partitioning of the fabric into disjoint tenant leases.
+//!
+//! A morphable fabric can host several inference jobs at once by carving
+//! the PE grid into rectangular sub-grids, the scratchpad into contiguous
+//! bank ranges, and the memory path (NoC DMA lanes, DMA engines, codec
+//! stations) into integer shares. A [`FabricPartition`] describes one such
+//! lease; [`FabricPartition::sub_config`] derives the [`FabricConfig`] the
+//! mapper and executor see inside the lease, so every existing planning and
+//! execution path works unchanged on a slice of the machine.
+//!
+//! Validation is strict: a single lease must sit inside the parent, and a
+//! *set* of leases (one per tenant) must be pairwise disjoint with resource
+//! shares that never sum past the parent. The runtime's lease manager
+//! builds only validated sets; the property tests in
+//! `tests/partition_properties.rs` hammer the invariants with arbitrary
+//! carves.
+
+use crate::config::FabricConfig;
+
+/// One tenant's resource lease: a rectangular PE sub-grid, a contiguous
+/// scratchpad bank range, and integer shares of the memory path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricPartition {
+    /// First PE row of the sub-grid.
+    pub pe_row0: usize,
+    /// Rows in the sub-grid.
+    pub pe_rows: usize,
+    /// First PE column of the sub-grid.
+    pub pe_col0: usize,
+    /// Columns in the sub-grid.
+    pub pe_cols: usize,
+    /// First scratchpad bank of the lease.
+    pub bank0: usize,
+    /// Number of scratchpad banks.
+    pub banks: usize,
+    /// Share of the DMA↔scratchpad NoC lanes.
+    pub noc_dma_lanes: usize,
+    /// Share of the DMA engines.
+    pub dma_engines: usize,
+    /// Share of the compression engines.
+    pub codec_engines: usize,
+}
+
+mocha_json::impl_json_struct!(FabricPartition {
+    pe_row0,
+    pe_rows,
+    pe_col0,
+    pe_cols,
+    bank0,
+    banks,
+    noc_dma_lanes,
+    dma_engines,
+    codec_engines,
+});
+
+impl FabricPartition {
+    /// The lease covering the whole parent fabric (single-tenant case).
+    pub fn whole(parent: &FabricConfig) -> Self {
+        Self {
+            pe_row0: 0,
+            pe_rows: parent.pe_rows,
+            pe_col0: 0,
+            pe_cols: parent.pe_cols,
+            bank0: 0,
+            banks: parent.spm_banks,
+            noc_dma_lanes: parent.noc_dma_lanes,
+            dma_engines: parent.dma_engines,
+            codec_engines: parent.codec_engines,
+        }
+    }
+
+    /// PEs inside the lease.
+    pub fn pes(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Checks that this lease is non-empty and sits inside `parent`.
+    pub fn validate(&self, parent: &FabricConfig) -> Result<(), String> {
+        if self.pe_rows == 0 || self.pe_cols == 0 {
+            return Err("lease has no PEs".into());
+        }
+        if self.banks == 0 {
+            return Err("lease has no scratchpad banks".into());
+        }
+        if self.noc_dma_lanes == 0 || self.dma_engines == 0 {
+            return Err("lease has no memory path".into());
+        }
+        if self.pe_row0 + self.pe_rows > parent.pe_rows
+            || self.pe_col0 + self.pe_cols > parent.pe_cols
+        {
+            return Err(format!(
+                "PE sub-grid [{}+{}, {}+{}] exceeds the {}x{} parent grid",
+                self.pe_row0,
+                self.pe_rows,
+                self.pe_col0,
+                self.pe_cols,
+                parent.pe_rows,
+                parent.pe_cols
+            ));
+        }
+        if self.bank0 + self.banks > parent.spm_banks {
+            return Err(format!(
+                "bank range [{}, {}) exceeds the parent's {} banks",
+                self.bank0,
+                self.bank0 + self.banks,
+                parent.spm_banks
+            ));
+        }
+        if self.noc_dma_lanes > parent.noc_dma_lanes {
+            return Err("NoC lane share exceeds the parent".into());
+        }
+        if self.dma_engines > parent.dma_engines {
+            return Err("DMA share exceeds the parent".into());
+        }
+        if self.codec_engines > parent.codec_engines {
+            return Err("codec share exceeds the parent".into());
+        }
+        Ok(())
+    }
+
+    /// Whether two leases overlap in PEs or scratchpad banks.
+    pub fn overlaps(&self, other: &FabricPartition) -> bool {
+        let rows = self.pe_row0 < other.pe_row0 + other.pe_rows
+            && other.pe_row0 < self.pe_row0 + self.pe_rows;
+        let cols = self.pe_col0 < other.pe_col0 + other.pe_cols
+            && other.pe_col0 < self.pe_col0 + self.pe_cols;
+        let banks = self.bank0 < other.bank0 + other.banks && other.bank0 < self.bank0 + self.banks;
+        (rows && cols) || banks
+    }
+
+    /// The sub-fabric a tenant sees inside this lease. Structural
+    /// parameters shrink to the lease; per-bank and per-link rates are
+    /// inherited; DRAM bandwidth scales with the DMA-engine share (the
+    /// memory controller time-multiplexes the channel between leases).
+    pub fn sub_config(&self, parent: &FabricConfig) -> FabricConfig {
+        FabricConfig {
+            pe_rows: self.pe_rows,
+            pe_cols: self.pe_cols,
+            spm_banks: self.banks,
+            noc_dma_lanes: self.noc_dma_lanes,
+            dma_engines: self.dma_engines,
+            codec_engines: self.codec_engines,
+            dram_bytes_per_cycle: parent.dram_bytes_per_cycle
+                * (self.dma_engines as f64 / parent.dma_engines as f64),
+            ..*parent
+        }
+    }
+
+    /// Validates a *set* of leases for concurrent tenants: every lease must
+    /// be individually valid, pairwise disjoint, and the memory-path shares
+    /// must never sum past the parent's resources.
+    pub fn validate_set(parts: &[FabricPartition], parent: &FabricConfig) -> Result<(), String> {
+        for (i, p) in parts.iter().enumerate() {
+            p.validate(parent).map_err(|e| format!("lease {i}: {e}"))?;
+        }
+        for i in 0..parts.len() {
+            for j in i + 1..parts.len() {
+                if parts[i].overlaps(&parts[j]) {
+                    return Err(format!("leases {i} and {j} overlap"));
+                }
+            }
+        }
+        let lanes: usize = parts.iter().map(|p| p.noc_dma_lanes).sum();
+        if lanes > parent.noc_dma_lanes {
+            return Err(format!(
+                "NoC lane shares sum to {lanes} > {} available",
+                parent.noc_dma_lanes
+            ));
+        }
+        let dma: usize = parts.iter().map(|p| p.dma_engines).sum();
+        if dma > parent.dma_engines {
+            return Err(format!(
+                "DMA shares sum to {dma} > {} available",
+                parent.dma_engines
+            ));
+        }
+        let codecs: usize = parts.iter().map(|p| p.codec_engines).sum();
+        if codecs > parent.codec_engines {
+            return Err(format!(
+                "codec shares sum to {codecs} > {} available",
+                parent.codec_engines
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_fabric_is_a_valid_lease() {
+        let f = FabricConfig::mocha();
+        let w = FabricPartition::whole(&f);
+        w.validate(&f).unwrap();
+        let sub = w.sub_config(&f);
+        assert_eq!(sub, f);
+    }
+
+    #[test]
+    fn out_of_bounds_leases_are_rejected() {
+        let f = FabricConfig::mocha();
+        let mut p = FabricPartition::whole(&f);
+        p.pe_col0 = 1; // 8 cols starting at 1 exceeds an 8-wide grid
+        assert!(p.validate(&f).is_err());
+        let mut p = FabricPartition::whole(&f);
+        p.banks = f.spm_banks + 1;
+        assert!(p.validate(&f).is_err());
+        let mut p = FabricPartition::whole(&f);
+        p.pe_rows = 0;
+        assert!(p.validate(&f).is_err());
+    }
+
+    #[test]
+    fn overlap_detection_covers_pes_and_banks() {
+        let f = FabricConfig::mocha();
+        let mut a = FabricPartition::whole(&f);
+        a.pe_cols = 4;
+        a.banks = 8;
+        let mut b = FabricPartition::whole(&f);
+        b.pe_col0 = 4;
+        b.pe_cols = 4;
+        b.bank0 = 8;
+        b.banks = 8;
+        b.noc_dma_lanes = 1;
+        a.noc_dma_lanes = 1;
+        a.dma_engines = 1;
+        b.dma_engines = 1;
+        a.codec_engines = 6;
+        b.codec_engines = 6;
+        assert!(!a.overlaps(&b));
+        FabricPartition::validate_set(&[a, b], &f).unwrap();
+
+        let mut c = b;
+        c.bank0 = 4; // bank ranges now collide
+        assert!(a.overlaps(&c));
+        assert!(FabricPartition::validate_set(&[a, c], &f).is_err());
+    }
+
+    #[test]
+    fn share_sums_are_capped() {
+        let f = FabricConfig::mocha();
+        let mut a = FabricPartition::whole(&f);
+        a.pe_cols = 4;
+        a.banks = 8;
+        let mut b = FabricPartition::whole(&f);
+        b.pe_col0 = 4;
+        b.pe_cols = 4;
+        b.bank0 = 8;
+        b.banks = 8;
+        // Both keep the parent's full DMA share: the sum exceeds the parent.
+        assert!(FabricPartition::validate_set(&[a, b], &f).is_err());
+    }
+
+    #[test]
+    fn sub_config_scales_dram_with_dma_share() {
+        let f = FabricConfig::mocha();
+        let mut p = FabricPartition::whole(&f);
+        p.dma_engines = 1;
+        let sub = p.sub_config(&f);
+        assert!(
+            (sub.dram_bytes_per_cycle - f.dram_bytes_per_cycle / f.dma_engines as f64).abs()
+                < 1e-12
+        );
+        sub.validate().unwrap();
+    }
+}

@@ -13,10 +13,9 @@
 
 use crate::config::FabricConfig;
 use mocha_energy::EventCounts;
-use serde::{Deserialize, Serialize};
 
 /// Work description of one compute phase on the PE array.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputePhase {
     /// PEs participating (≤ `config.pes()`).
     pub active_pes: usize,
@@ -46,11 +45,16 @@ pub const ACC_WRITE_INTERVAL: u64 = 16;
 impl ComputePhase {
     /// Cycles the phase occupies the PE array.
     pub fn cycles(&self, config: &FabricConfig) -> u64 {
-        assert!(self.active_pes <= config.pes(), "more active PEs than exist");
+        assert!(
+            self.active_pes <= config.pes(),
+            "more active PEs than exist"
+        );
         if self.active_pes == 0 {
             return 0;
         }
-        let mac_cycles = self.max_macs_per_pe.div_ceil(config.macs_per_pe_per_cycle as u64);
+        let mac_cycles = self
+            .max_macs_per_pe
+            .div_ceil(config.macs_per_pe_per_cycle as u64);
         let skip_cycles = (self.max_skipped_per_pe as f64 * SKIP_SLOT_FRACTION).ceil() as u64;
         let pool_cycles = self.pool_ops.div_ceil(self.active_pes as u64);
         mac_cycles + skip_cycles + pool_cycles
@@ -62,7 +66,8 @@ impl ComputePhase {
         counts.macs_skipped += self.skipped_macs;
         counts.pool_ops += self.pool_ops;
         counts.rf_reads += self.total_macs * RF_READS_PER_MAC;
-        counts.rf_writes += self.total_macs / ACC_WRITE_INTERVAL + self.pool_ops / ACC_WRITE_INTERVAL;
+        counts.rf_writes +=
+            self.total_macs / ACC_WRITE_INTERVAL + self.pool_ops / ACC_WRITE_INTERVAL;
     }
 
     /// Builds a phase from an even split of `total_macs` over `active_pes`,

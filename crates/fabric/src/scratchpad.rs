@@ -6,11 +6,10 @@
 //! banks during compute phases.
 
 use crate::config::FabricConfig;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// What a scratchpad region holds — for diagnostics and per-class stats.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegionClass {
     /// Input feature-map tile (possibly compressed).
     IfmapTile,
@@ -23,7 +22,7 @@ pub enum RegionClass {
 }
 
 /// Handle to an allocated region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegionId(u64);
 
 /// Capacity-tracking allocator over the fabric's scratchpad.
@@ -52,7 +51,11 @@ pub struct CapacityError {
 
 impl std::fmt::Display for CapacityError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "scratchpad overflow: requested {} B, free {} B", self.requested, self.free)
+        write!(
+            f,
+            "scratchpad overflow: requested {} B, free {} B",
+            self.requested, self.free
+        )
     }
 }
 
@@ -66,14 +69,23 @@ impl Scratchpad {
 
     /// Creates an empty scratchpad with an explicit capacity in bytes.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { capacity, used: 0, peak: 0, next_id: 0, regions: BTreeMap::new() }
+        Self {
+            capacity,
+            used: 0,
+            peak: 0,
+            next_id: 0,
+            regions: BTreeMap::new(),
+        }
     }
 
     /// Allocates `bytes` for `class`, failing (not panicking) on overflow so
     /// the morphing controller can reject infeasible configurations.
     pub fn alloc(&mut self, class: RegionClass, bytes: usize) -> Result<RegionId, CapacityError> {
         if self.used + bytes > self.capacity {
-            return Err(CapacityError { requested: bytes, free: self.capacity - self.used });
+            return Err(CapacityError {
+                requested: bytes,
+                free: self.capacity - self.used,
+            });
         }
         self.used += bytes;
         self.peak = self.peak.max(self.used);
@@ -114,7 +126,11 @@ impl Scratchpad {
 
     /// Live bytes per region class (diagnostics).
     pub fn used_by_class(&self, class: RegionClass) -> usize {
-        self.regions.values().filter(|(c, _)| *c == class).map(|(_, b)| *b).sum()
+        self.regions
+            .values()
+            .filter(|(c, _)| *c == class)
+            .map(|(_, b)| *b)
+            .sum()
     }
 }
 
@@ -191,7 +207,10 @@ mod tests {
         assert_eq!(stream_cycles(&c, 1024, 1), 256);
         assert_eq!(stream_cycles(&c, 1024, 4), 64);
         // Clamped at the real bank count.
-        assert_eq!(stream_cycles(&c, 1024, 1000), stream_cycles(&c, 1024, c.spm_banks));
+        assert_eq!(
+            stream_cycles(&c, 1024, 1000),
+            stream_cycles(&c, 1024, c.spm_banks)
+        );
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Property-based tests for fabric partitioning: arbitrary carves of
+//! arbitrary parents must stay disjoint, in-bounds, and resource-conserving.
+//!
+//! Cases are drawn from a seeded RNG (the offline build has no proptest);
+//! every assertion carries the seed so failures reproduce exactly.
+
+use mocha_fabric::{FabricConfig, FabricPartition};
+use mocha_model::rng::ModelRng;
+
+/// Runs `f` over `n` deterministic seeded cases.
+fn cases(n: u64, mut f: impl FnMut(u64, &mut ModelRng)) {
+    for seed in 0..n {
+        let mut rng = ModelRng::seed_from_u64(seed);
+        f(seed, &mut rng);
+    }
+}
+
+/// An arbitrary (valid) parent fabric.
+fn parent(rng: &mut ModelRng) -> FabricConfig {
+    FabricConfig {
+        pe_rows: rng.gen_range(1usize..24),
+        pe_cols: rng.gen_range(2usize..24),
+        spm_banks: rng.gen_range(2usize..48),
+        noc_dma_lanes: rng.gen_range(2usize..12),
+        dma_engines: rng.gen_range(2usize..6),
+        codec_engines: rng.gen_range(0usize..32),
+        ..FabricConfig::default()
+    }
+}
+
+/// Splits `total` into `n` positive spans plus leading slack, mimicking how
+/// a lease manager carves a 1-D resource left to right (possibly leaving
+/// gaps).
+fn spans(rng: &mut ModelRng, total: usize, n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(n);
+    let mut at = 0;
+    for i in 0..n {
+        let left = n - i - 1; // reserve 1 unit for each later tenant
+        let avail = total - at - left;
+        let gap = rng.gen_range(0usize..(avail.min(3)));
+        let len = rng.gen_range(1usize..=(avail - gap));
+        out.push((at + gap, len));
+        at += gap + len;
+    }
+    out
+}
+
+/// An arbitrary disjoint carve of `parent` into `n` leases.
+fn carve(rng: &mut ModelRng, parent: &FabricConfig, n: usize) -> Vec<FabricPartition> {
+    let cols = spans(rng, parent.pe_cols, n);
+    let banks = spans(rng, parent.spm_banks, n);
+    let lanes = spans(rng, parent.noc_dma_lanes, n);
+    let dma = spans(rng, parent.dma_engines, n);
+    (0..n)
+        .map(|i| FabricPartition {
+            pe_row0: 0,
+            pe_rows: parent.pe_rows,
+            pe_col0: cols[i].0,
+            pe_cols: cols[i].1,
+            bank0: banks[i].0,
+            banks: banks[i].1,
+            noc_dma_lanes: lanes[i].1,
+            dma_engines: dma[i].1,
+            codec_engines: parent.codec_engines / n,
+        })
+        .collect()
+}
+
+/// Arbitrary disjoint carves validate as a set, and every lease's
+/// sub-config is itself a valid fabric no larger than the parent.
+#[test]
+fn disjoint_carves_validate_and_sub_configs_are_bounded() {
+    cases(256, |seed, rng| {
+        let f = parent(rng);
+        let n = rng.gen_range(
+            1usize
+                ..=f.pe_cols
+                    .min(f.spm_banks)
+                    .min(f.noc_dma_lanes)
+                    .min(f.dma_engines)
+                    .min(4),
+        );
+        let leases = carve(rng, &f, n);
+        FabricPartition::validate_set(&leases, &f).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut pes = 0;
+        let mut banks = 0;
+        for l in &leases {
+            let sub = l.sub_config(&f);
+            sub.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(sub.pes() <= f.pes(), "seed {seed}");
+            assert!(sub.spm_bytes() <= f.spm_bytes(), "seed {seed}");
+            assert!(
+                sub.dram_bytes_per_cycle <= f.dram_bytes_per_cycle + 1e-12,
+                "seed {seed}"
+            );
+            pes += sub.pes();
+            banks += sub.spm_banks;
+        }
+        // Disjointness makes the structural sums conservative.
+        assert!(pes <= f.pes(), "seed {seed}: leased PEs exceed the parent");
+        assert!(
+            banks <= f.spm_banks,
+            "seed {seed}: leased banks exceed the parent"
+        );
+    });
+}
+
+/// Growing any single lease's memory-path share past the parent, or
+/// shifting it onto a neighbour, must break validation.
+#[test]
+fn oversubscription_and_overlap_are_always_caught() {
+    cases(256, |seed, rng| {
+        let f = parent(rng);
+        let cap = f
+            .pe_cols
+            .min(f.spm_banks)
+            .min(f.noc_dma_lanes)
+            .min(f.dma_engines)
+            .clamp(2, 4);
+        let n = rng.gen_range(2usize..=cap);
+        if n > f
+            .pe_cols
+            .min(f.spm_banks)
+            .min(f.noc_dma_lanes)
+            .min(f.dma_engines)
+        {
+            return; // parent too small for two tenants; skip this seed
+        }
+        let leases = carve(rng, &f, n);
+        let victim = rng.gen_range(0usize..n);
+
+        // Oversubscribe: one lease claims every DMA engine on top of the
+        // shares the others already hold.
+        let mut over = leases.clone();
+        over[victim].dma_engines = f.dma_engines;
+        assert!(
+            FabricPartition::validate_set(&over, &f).is_err(),
+            "seed {seed}: DMA oversubscription passed validation"
+        );
+
+        // Overlap: slide one lease's bank window onto its neighbour's.
+        let other = (victim + 1) % n;
+        let mut clash = leases.clone();
+        clash[victim].bank0 = clash[other].bank0;
+        clash[victim].banks = clash[other].banks;
+        assert!(
+            FabricPartition::validate_set(&clash, &f).is_err(),
+            "seed {seed}: overlapping bank ranges passed validation"
+        );
+    });
+}
+
+/// `whole` is the identity carve: one lease, sub-config equal to the
+/// parent, for arbitrary parents.
+#[test]
+fn whole_lease_is_identity_for_arbitrary_parents() {
+    cases(128, |seed, rng| {
+        let f = parent(rng);
+        let w = FabricPartition::whole(&f);
+        w.validate(&f)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(w.sub_config(&f), f, "seed {seed}");
+    });
+}

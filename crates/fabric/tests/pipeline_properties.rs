@@ -1,99 +1,142 @@
 //! Property-based tests for the tile pipeline engine: schedule invariants
 //! that must hold for arbitrary phase lists.
+//!
+//! Cases are drawn from a seeded RNG (the offline build has no proptest);
+//! every assertion carries the seed so failures reproduce exactly.
 
 use mocha_fabric::{pipeline_cycles, pipeline_schedule, Buffering, TilePhase};
-use proptest::prelude::*;
+use mocha_model::rng::ModelRng;
 
-fn phases() -> impl Strategy<Value = Vec<TilePhase>> {
-    prop::collection::vec(
-        (0u64..500, 0u64..500, 0u64..500).prop_map(|(l, c, s)| TilePhase {
-            load_cycles: l,
-            compute_cycles: c,
-            store_cycles: s,
-        }),
-        0..40,
-    )
+fn phases(rng: &mut ModelRng) -> Vec<TilePhase> {
+    let n = rng.gen_range(0usize..40);
+    (0..n)
+        .map(|_| TilePhase {
+            load_cycles: rng.gen_range(0u64..500),
+            compute_cycles: rng.gen_range(0u64..500),
+            store_cycles: rng.gen_range(0u64..500),
+        })
+        .collect()
 }
 
-proptest! {
-    /// Double buffering never loses to single buffering.
-    #[test]
-    fn double_never_slower_than_single(p in phases()) {
-        prop_assert!(
-            pipeline_cycles(&p, Buffering::Double) <= pipeline_cycles(&p, Buffering::Single)
-        );
+/// Runs `f` over `n` deterministic seeded cases.
+fn cases(n: u64, mut f: impl FnMut(u64, &mut ModelRng)) {
+    for seed in 0..n {
+        let mut rng = ModelRng::seed_from_u64(seed);
+        f(seed, &mut rng);
     }
+}
 
-    /// The makespan can never beat the slowest single stage's total work —
-    /// the pipeline bound.
-    #[test]
-    fn makespan_respects_stage_totals(p in phases()) {
+/// Double buffering never loses to single buffering.
+#[test]
+fn double_never_slower_than_single() {
+    cases(256, |seed, rng| {
+        let p = phases(rng);
+        assert!(
+            pipeline_cycles(&p, Buffering::Double) <= pipeline_cycles(&p, Buffering::Single),
+            "seed {seed}"
+        );
+    });
+}
+
+/// The makespan can never beat the slowest single stage's total work — the
+/// pipeline bound.
+#[test]
+fn makespan_respects_stage_totals() {
+    cases(256, |seed, rng| {
+        let p = phases(rng);
         let loads: u64 = p.iter().map(|t| t.load_cycles).sum();
         let computes: u64 = p.iter().map(|t| t.compute_cycles).sum();
         let stores: u64 = p.iter().map(|t| t.store_cycles).sum();
         let bound = loads.max(computes).max(stores);
         for b in [Buffering::Single, Buffering::Double] {
-            prop_assert!(pipeline_cycles(&p, b) >= bound, "{b:?}");
+            assert!(pipeline_cycles(&p, b) >= bound, "seed {seed} {b:?}");
         }
-    }
+    });
+}
 
-    /// The makespan can never beat any single tile's critical path.
-    #[test]
-    fn makespan_respects_tile_critical_path(p in phases()) {
+/// The makespan can never beat any single tile's critical path.
+#[test]
+fn makespan_respects_tile_critical_path() {
+    cases(256, |seed, rng| {
+        let p = phases(rng);
         let critical = p
             .iter()
             .map(|t| t.load_cycles + t.compute_cycles + t.store_cycles)
             .max()
             .unwrap_or(0);
         for b in [Buffering::Single, Buffering::Double] {
-            prop_assert!(pipeline_cycles(&p, b) >= critical, "{b:?}");
+            assert!(pipeline_cycles(&p, b) >= critical, "seed {seed} {b:?}");
         }
-    }
+    });
+}
 
-    /// Schedule totals agree with the cycle shortcut, intervals are ordered
-    /// within a tile, and every stage resource is used serially.
-    #[test]
-    fn schedules_are_consistent_and_resource_serial(p in phases()) {
+/// Schedule totals agree with the cycle shortcut, intervals are ordered
+/// within a tile, and every stage resource is used serially.
+#[test]
+fn schedules_are_consistent_and_resource_serial() {
+    cases(256, |seed, rng| {
+        let p = phases(rng);
         for b in [Buffering::Single, Buffering::Double] {
             let s = pipeline_schedule(&p, b);
-            prop_assert_eq!(s.total, pipeline_cycles(&p, b), "{:?}", b);
-            prop_assert_eq!(s.stages.len(), p.len());
+            assert_eq!(s.total, pipeline_cycles(&p, b), "seed {seed} {b:?}");
+            assert_eq!(s.stages.len(), p.len(), "seed {seed}");
             for (st, ph) in s.stages.iter().zip(&p) {
-                prop_assert_eq!(st.load.1 - st.load.0, ph.load_cycles);
-                prop_assert_eq!(st.compute.1 - st.compute.0, ph.compute_cycles);
-                prop_assert_eq!(st.store.1 - st.store.0, ph.store_cycles);
-                prop_assert!(st.load.1 <= st.compute.0);
-                prop_assert!(st.compute.1 <= st.store.0);
-                prop_assert!(st.store.1 <= s.total);
+                assert_eq!(st.load.1 - st.load.0, ph.load_cycles, "seed {seed}");
+                assert_eq!(
+                    st.compute.1 - st.compute.0,
+                    ph.compute_cycles,
+                    "seed {seed}"
+                );
+                assert_eq!(st.store.1 - st.store.0, ph.store_cycles, "seed {seed}");
+                assert!(st.load.1 <= st.compute.0, "seed {seed}");
+                assert!(st.compute.1 <= st.store.0, "seed {seed}");
+                assert!(st.store.1 <= s.total, "seed {seed}");
             }
             for w in s.stages.windows(2) {
-                prop_assert!(w[0].load.1 <= w[1].load.0, "loader overlap");
-                prop_assert!(w[0].compute.1 <= w[1].compute.0, "compute overlap");
-                prop_assert!(w[0].store.1 <= w[1].store.0, "storer overlap");
+                assert!(w[0].load.1 <= w[1].load.0, "seed {seed} loader overlap");
+                assert!(
+                    w[0].compute.1 <= w[1].compute.0,
+                    "seed {seed} compute overlap"
+                );
+                assert!(w[0].store.1 <= w[1].store.0, "seed {seed} storer overlap");
             }
         }
-    }
+    });
+}
 
-    /// The double-buffer constraint: load i never starts before compute of
-    /// tile i-2 has finished (its buffer must be free).
-    #[test]
-    fn double_buffer_depth_is_respected(p in phases()) {
+/// The double-buffer constraint: load i never starts before compute of tile
+/// i-2 has finished (its buffer must be free).
+#[test]
+fn double_buffer_depth_is_respected() {
+    cases(256, |seed, rng| {
+        let p = phases(rng);
         let s = pipeline_schedule(&p, Buffering::Double);
         for i in 2..s.stages.len() {
-            prop_assert!(
+            assert!(
                 s.stages[i].load.0 >= s.stages[i - 2].compute.1,
-                "tile {i} prefetched more than 2 buffers ahead"
+                "seed {seed}: tile {i} prefetched more than 2 buffers ahead"
             );
         }
-    }
+    });
+}
 
-    /// Appending a tile never shortens the schedule (monotonicity).
-    #[test]
-    fn makespan_is_monotone_in_tiles(p in phases(), extra in (0u64..100, 0u64..100, 0u64..100)) {
+/// Appending a tile never shortens the schedule (monotonicity).
+#[test]
+fn makespan_is_monotone_in_tiles() {
+    cases(256, |seed, rng| {
+        let p = phases(rng);
+        let extra = TilePhase {
+            load_cycles: rng.gen_range(0u64..100),
+            compute_cycles: rng.gen_range(0u64..100),
+            store_cycles: rng.gen_range(0u64..100),
+        };
         let mut q = p.clone();
-        q.push(TilePhase { load_cycles: extra.0, compute_cycles: extra.1, store_cycles: extra.2 });
+        q.push(extra);
         for b in [Buffering::Single, Buffering::Double] {
-            prop_assert!(pipeline_cycles(&q, b) >= pipeline_cycles(&p, b), "{b:?}");
+            assert!(
+                pipeline_cycles(&q, b) >= pipeline_cycles(&p, b),
+                "seed {seed} {b:?}"
+            );
         }
-    }
+    });
 }

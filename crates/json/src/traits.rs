@@ -1,0 +1,150 @@
+//! [`ToJson`]/[`FromJson`] conversion traits and implementations for the
+//! standard types the workspace serializes.
+
+use crate::{JsonError, Value};
+
+/// Converts a value into a JSON [`Value`].
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Builds a value back from a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Parses `self` out of `v`, with a descriptive error on mismatch.
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_bool()
+            .ok_or_else(|| JsonError::invalid("expected bool"))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::invalid("expected string"))
+    }
+}
+
+macro_rules! impl_json_int {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let n = v.as_f64().ok_or_else(|| JsonError::invalid("expected number"))?;
+                if n.fract() != 0.0 {
+                    return Err(JsonError::invalid("expected integer"));
+                }
+                if n < <$ty>::MIN as f64 || n > <$ty>::MAX as f64 {
+                    return Err(JsonError::invalid("integer out of range"));
+                }
+                Ok(n as $ty)
+            }
+        }
+    )+};
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_f64()
+            .ok_or_else(|| JsonError::invalid("expected number"))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(f64::from_json(v)? as f32)
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_arr()
+            .ok_or_else(|| JsonError::invalid("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (*self).to_json()
+    }
+}

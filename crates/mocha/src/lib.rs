@@ -23,7 +23,9 @@
 //! * [`fabric`] — PE array, scratchpad, NoC, DRAM, DMA, tile pipeline;
 //! * [`energy`] — event pricing, area model, derived metrics;
 //! * [`core`] — tiling/fusion/parallelism engines, planner, controller,
-//!   simulator, baselines (re-exported at the top level).
+//!   simulator, baselines (re-exported at the top level);
+//! * [`runtime`] — multi-tenant serving: disjoint fabric leases, admission
+//!   control, and online re-morphing of in-flight jobs.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@ pub use mocha_core as core;
 pub use mocha_energy as energy;
 pub use mocha_fabric as fabric;
 pub use mocha_model as model;
+pub use mocha_runtime as runtime;
 
 /// The commonly-used API surface in one import.
 pub mod prelude {

@@ -64,7 +64,11 @@ pub fn conv_via_gemm(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tens
         let w = kernel.filter(oc); // exactly the im2col column order
         for row in 0..rows {
             let patch = &patches[row * cols..(row + 1) * cols];
-            let acc: i32 = patch.iter().zip(w).map(|(&a, &b)| a as i32 * b as i32).sum();
+            let acc: i32 = patch
+                .iter()
+                .zip(w)
+                .map(|(&a, &b)| a as i32 * b as i32)
+                .sum();
             out.data_mut()[oc * rows + row] = requantize(acc, layer.requant_shift, relu);
         }
     }
@@ -78,10 +82,24 @@ mod tests {
     use crate::shape::TensorShape;
     use crate::{golden, network};
 
-    fn conv_layer(in_c: usize, h: usize, w: usize, out_c: usize, k: usize, stride: usize, pad: usize) -> Layer {
+    fn conv_layer(
+        in_c: usize,
+        h: usize,
+        w: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Layer {
         Layer {
             name: "g".into(),
-            kind: LayerKind::Conv { out_c, k, stride, pad, relu: true },
+            kind: LayerKind::Conv {
+                out_c,
+                k,
+                stride,
+                pad,
+                relu: true,
+            },
             input: TensorShape::new(in_c, h, w),
             requant_shift: 7,
         }

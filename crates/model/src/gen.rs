@@ -9,16 +9,15 @@
 use crate::network::Network;
 use crate::shape::{KernelShape, TensorShape};
 use crate::tensor::{Kernel, Tensor};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
-/// Deterministic RNG used across the workspace. ChaCha8 is seedable, portable
-/// across platforms and fast enough that generation never dominates runs.
-pub type ModelRng = ChaCha8Rng;
+/// Deterministic RNG used across the workspace (see [`crate::rng`]); seedable,
+/// portable across platforms and fast enough that generation never dominates
+/// runs.
+pub type ModelRng = crate::rng::ModelRng;
 
 /// Creates the workspace-standard RNG from a seed.
 pub fn rng(seed: u64) -> ModelRng {
-    ChaCha8Rng::seed_from_u64(seed)
+    ModelRng::seed_from_u64(seed)
 }
 
 /// Draws a non-zero i8 value in `[-96, 96] \ {0}`. The range leaves
@@ -35,7 +34,10 @@ fn nonzero_i8(rng: &mut ModelRng) -> i8 {
 /// Generates an activation tensor whose zero fraction is approximately
 /// `sparsity` (each element is independently zero with that probability).
 pub fn activations(shape: TensorShape, sparsity: f64, rng: &mut ModelRng) -> Tensor<i8> {
-    assert!((0.0..=1.0).contains(&sparsity), "sparsity out of range: {sparsity}");
+    assert!(
+        (0.0..=1.0).contains(&sparsity),
+        "sparsity out of range: {sparsity}"
+    );
     let mut t = Tensor::zeros(shape);
     for v in t.data_mut() {
         if rng.gen_bool(1.0 - sparsity) {
@@ -77,7 +79,10 @@ pub fn clustered_activations(
 /// Generates a kernel tensor with the given zero fraction (modelling pruned
 /// weights).
 pub fn kernel(shape: KernelShape, sparsity: f64, rng: &mut ModelRng) -> Kernel {
-    assert!((0.0..=1.0).contains(&sparsity), "sparsity out of range: {sparsity}");
+    assert!(
+        (0.0..=1.0).contains(&sparsity),
+        "sparsity out of range: {sparsity}"
+    );
     let mut k = Kernel::zeros(shape);
     for v in k.data_mut() {
         if rng.gen_bool(1.0 - sparsity) {
@@ -90,7 +95,7 @@ pub fn kernel(shape: KernelShape, sparsity: f64, rng: &mut ModelRng) -> Kernel {
 /// Workload sparsity profile: how zero-heavy the synthetic inputs and weights
 /// are. These stand in for the activation sparsity ReLU induces (typically
 /// 40–90 % in AlexNet-class nets) and for weight pruning levels.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SparsityProfile {
     /// Zero fraction of the network input feature map.
     pub input: f64,
@@ -100,13 +105,22 @@ pub struct SparsityProfile {
 
 impl SparsityProfile {
     /// Dense inputs and weights — the pessimistic case for compression.
-    pub const DENSE: Self = Self { input: 0.0, weights: 0.0 };
+    pub const DENSE: Self = Self {
+        input: 0.0,
+        weights: 0.0,
+    };
     /// The nominal evaluation point: moderately sparse activations (as after
     /// ReLU) and lightly pruned weights.
-    pub const NOMINAL: Self = Self { input: 0.6, weights: 0.3 };
+    pub const NOMINAL: Self = Self {
+        input: 0.6,
+        weights: 0.3,
+    };
     /// Heavily sparse regime — the favourable end where the abstract's
     /// "up to" numbers live.
-    pub const SPARSE: Self = Self { input: 0.85, weights: 0.6 };
+    pub const SPARSE: Self = Self {
+        input: 0.85,
+        weights: 0.6,
+    };
 }
 
 /// A network together with concrete weights for every conv/fc layer — the
@@ -131,9 +145,16 @@ impl Workload {
         let kernels = network
             .layers()
             .iter()
-            .map(|l| l.kernel_shape().map(|ks| kernel(ks, profile.weights, &mut r)))
+            .map(|l| {
+                l.kernel_shape()
+                    .map(|ks| kernel(ks, profile.weights, &mut r))
+            })
             .collect();
-        Self { network, kernels, input }
+        Self {
+            network,
+            kernels,
+            input,
+        }
     }
 
     /// The kernel of layer `i`, panicking if the layer has no weights.
@@ -165,10 +186,7 @@ mod tests {
         for target in [0.0, 0.25, 0.5, 0.9, 1.0] {
             let t = activations(s, target, &mut rng(42));
             let got = t.sparsity();
-            assert!(
-                (got - target).abs() < 0.02,
-                "target {target} got {got}"
-            );
+            assert!((got - target).abs() < 0.02, "target {target} got {got}");
         }
     }
 
@@ -181,11 +199,7 @@ mod tests {
         // For p=0.6, run=8 that's ~0.923; just check it's high and runs exist.
         assert!(got > 0.5, "got {got}");
         let data = t.data();
-        let longest_zero_run = data
-            .split(|&v| v != 0)
-            .map(<[i8]>::len)
-            .max()
-            .unwrap_or(0);
+        let longest_zero_run = data.split(|&v| v != 0).map(<[i8]>::len).max().unwrap_or(0);
         assert!(longest_zero_run >= 8, "longest run {longest_zero_run}");
     }
 

@@ -9,7 +9,6 @@
 use crate::gen::Workload;
 use crate::layer::{Layer, LayerKind, PoolKind};
 use crate::tensor::{requantize, Kernel, Tensor};
-use rayon::prelude::*;
 
 /// Direct convolution of `input` with `kernel`, with stride/pad/ReLU and
 /// requantization taken from `layer`.
@@ -17,11 +16,28 @@ use rayon::prelude::*;
 /// # Panics
 /// Panics if `layer` is not a conv layer or shapes are inconsistent.
 pub fn conv(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> {
-    let LayerKind::Conv { out_c, k, stride, pad, relu } = layer.kind else {
+    let LayerKind::Conv {
+        out_c,
+        k,
+        stride,
+        pad,
+        relu,
+    } = layer.kind
+    else {
         panic!("{}: not a conv layer", layer.name);
     };
-    assert_eq!(input.shape(), layer.input, "{}: input shape mismatch", layer.name);
-    assert_eq!(Some(kernel.shape()), layer.kernel_shape(), "{}: kernel shape mismatch", layer.name);
+    assert_eq!(
+        input.shape(),
+        layer.input,
+        "{}: input shape mismatch",
+        layer.name
+    );
+    assert_eq!(
+        Some(kernel.shape()),
+        layer.kernel_shape(),
+        "{}: kernel shape mismatch",
+        layer.name
+    );
 
     let out_shape = layer.output();
     let in_shape = input.shape();
@@ -30,36 +46,33 @@ pub fn conv(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> {
 
     let mut out = Tensor::zeros(out_shape);
     // Each output channel writes a disjoint plane: embarrassingly parallel.
-    out.data_mut()
-        .par_chunks_mut(plane)
-        .enumerate()
-        .for_each(|(oc, out_plane)| {
-            debug_assert!(oc < out_c);
-            for oy in 0..out_shape.h {
-                for ox in 0..out_shape.w {
-                    let mut acc: i32 = 0;
-                    for ic in 0..in_shape.c {
-                        for ky in 0..k {
-                            // Signed arithmetic for the padded coordinate.
-                            let iy = (oy * stride + ky) as isize - pad as isize;
-                            if iy < 0 || iy as usize >= in_shape.h {
+    mocha_par::par_chunks_mut(out.data_mut(), plane, |oc, out_plane| {
+        debug_assert!(oc < out_c);
+        for oy in 0..out_shape.h {
+            for ox in 0..out_shape.w {
+                let mut acc: i32 = 0;
+                for ic in 0..in_shape.c {
+                    for ky in 0..k {
+                        // Signed arithmetic for the padded coordinate.
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy as usize >= in_shape.h {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix as usize >= in_shape.w {
                                 continue;
                             }
-                            for kx in 0..k {
-                                let ix = (ox * stride + kx) as isize - pad as isize;
-                                if ix < 0 || ix as usize >= in_shape.w {
-                                    continue;
-                                }
-                                let a = input.get(ic, iy as usize, ix as usize) as i32;
-                                let w = kernel.get(oc, ic, ky, kx) as i32;
-                                acc += a * w;
-                            }
+                            let a = input.get(ic, iy as usize, ix as usize) as i32;
+                            let w = kernel.get(oc, ic, ky, kx) as i32;
+                            acc += a * w;
                         }
                     }
-                    out_plane[oy * out_shape.w + ox] = requantize(acc, shift, relu);
                 }
+                out_plane[oy * out_shape.w + ox] = requantize(acc, shift, relu);
             }
-        });
+        }
+    });
     out
 }
 
@@ -68,7 +81,12 @@ pub fn pool(layer: &Layer, input: &Tensor<i8>) -> Tensor<i8> {
     let LayerKind::Pool { kind, k, stride } = layer.kind else {
         panic!("{}: not a pool layer", layer.name);
     };
-    assert_eq!(input.shape(), layer.input, "{}: input shape mismatch", layer.name);
+    assert_eq!(
+        input.shape(),
+        layer.input,
+        "{}: input shape mismatch",
+        layer.name
+    );
     let out_shape = layer.output();
     let mut out = Tensor::zeros(out_shape);
     for c in 0..out_shape.c {
@@ -85,7 +103,14 @@ pub fn pool(layer: &Layer, input: &Tensor<i8>) -> Tensor<i8> {
 /// Reduction of one pooling window. Shared with the simulated dataflows so
 /// both sides agree on the (truncating) average semantics.
 #[inline]
-pub fn pool_window(input: &Tensor<i8>, kind: PoolKind, c: usize, y0: usize, x0: usize, k: usize) -> i8 {
+pub fn pool_window(
+    input: &Tensor<i8>,
+    kind: PoolKind,
+    c: usize,
+    y0: usize,
+    x0: usize,
+    k: usize,
+) -> i8 {
     match kind {
         PoolKind::Max => {
             let mut m = i8::MIN;
@@ -114,33 +139,52 @@ pub fn fc(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> {
     let LayerKind::Fc { out, relu } = layer.kind else {
         panic!("{}: not an fc layer", layer.name);
     };
-    assert_eq!(input.shape(), layer.input, "{}: input shape mismatch", layer.name);
-    assert_eq!(Some(kernel.shape()), layer.kernel_shape(), "{}: kernel shape mismatch", layer.name);
+    assert_eq!(
+        input.shape(),
+        layer.input,
+        "{}: input shape mismatch",
+        layer.name
+    );
+    assert_eq!(
+        Some(kernel.shape()),
+        layer.kernel_shape(),
+        "{}: kernel shape mismatch",
+        layer.name
+    );
     let flat = input.data();
     let shift = layer.requant_shift;
-    let data: Vec<i8> = (0..out)
-        .into_par_iter()
-        .map(|o| {
-            let w = kernel.filter(o);
-            let acc: i32 = flat
-                .iter()
-                .zip(w)
-                .map(|(&a, &b)| a as i32 * b as i32)
-                .sum();
-            requantize(acc, shift, relu)
-        })
-        .collect();
+    let data: Vec<i8> = mocha_par::par_map_range(out, |o| {
+        let w = kernel.filter(o);
+        let acc: i32 = flat.iter().zip(w).map(|(&a, &b)| a as i32 * b as i32).sum();
+        requantize(acc, shift, relu)
+    });
     Tensor::from_vec(layer.output(), data)
 }
 
 /// Depthwise convolution: each channel is convolved with its own `k × k`
 /// filter, with stride/pad/ReLU and requantization from `layer`.
 pub fn dwconv(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> {
-    let LayerKind::DwConv { k, stride, pad, relu } = layer.kind else {
+    let LayerKind::DwConv {
+        k,
+        stride,
+        pad,
+        relu,
+    } = layer.kind
+    else {
         panic!("{}: not a dwconv layer", layer.name);
     };
-    assert_eq!(input.shape(), layer.input, "{}: input shape mismatch", layer.name);
-    assert_eq!(Some(kernel.shape()), layer.kernel_shape(), "{}: kernel shape mismatch", layer.name);
+    assert_eq!(
+        input.shape(),
+        layer.input,
+        "{}: input shape mismatch",
+        layer.name
+    );
+    assert_eq!(
+        Some(kernel.shape()),
+        layer.kernel_shape(),
+        "{}: kernel shape mismatch",
+        layer.name
+    );
 
     let out_shape = layer.output();
     let in_shape = input.shape();
@@ -148,31 +192,28 @@ pub fn dwconv(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> 
     let plane = out_shape.plane();
 
     let mut out = Tensor::zeros(out_shape);
-    out.data_mut()
-        .par_chunks_mut(plane)
-        .enumerate()
-        .for_each(|(c, out_plane)| {
-            for oy in 0..out_shape.h {
-                for ox in 0..out_shape.w {
-                    let mut acc: i32 = 0;
-                    for ky in 0..k {
-                        let iy = (oy * stride + ky) as isize - pad as isize;
-                        if iy < 0 || iy as usize >= in_shape.h {
+    mocha_par::par_chunks_mut(out.data_mut(), plane, |c, out_plane| {
+        for oy in 0..out_shape.h {
+            for ox in 0..out_shape.w {
+                let mut acc: i32 = 0;
+                for ky in 0..k {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy as usize >= in_shape.h {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix as usize >= in_shape.w {
                             continue;
                         }
-                        for kx in 0..k {
-                            let ix = (ox * stride + kx) as isize - pad as isize;
-                            if ix < 0 || ix as usize >= in_shape.w {
-                                continue;
-                            }
-                            acc += input.get(c, iy as usize, ix as usize) as i32
-                                * kernel.get(c, 0, ky, kx) as i32;
-                        }
+                        acc += input.get(c, iy as usize, ix as usize) as i32
+                            * kernel.get(c, 0, ky, kx) as i32;
                     }
-                    out_plane[oy * out_shape.w + ox] = requantize(acc, shift, relu);
                 }
+                out_plane[oy * out_shape.w + ox] = requantize(acc, shift, relu);
             }
-        });
+        }
+    });
     out
 }
 
@@ -207,10 +248,23 @@ mod tests {
     use crate::network;
     use crate::shape::{KernelShape, TensorShape};
 
-    fn conv_layer(input: TensorShape, out_c: usize, k: usize, stride: usize, pad: usize, relu: bool) -> Layer {
+    fn conv_layer(
+        input: TensorShape,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        relu: bool,
+    ) -> Layer {
         Layer {
             name: "t".into(),
-            kind: LayerKind::Conv { out_c, k, stride, pad, relu },
+            kind: LayerKind::Conv {
+                out_c,
+                k,
+                stride,
+                pad,
+                relu,
+            },
             input,
             requant_shift: 0,
         }
@@ -283,7 +337,11 @@ mod tests {
         let input = Tensor::from_vec(TensorShape::new(1, 2, 4), vec![1, 9, 2, 3, 4, 5, 6, -7]);
         let l = Layer {
             name: "p".into(),
-            kind: LayerKind::Pool { kind: PoolKind::Max, k: 2, stride: 2 },
+            kind: LayerKind::Pool {
+                kind: PoolKind::Max,
+                k: 2,
+                stride: 2,
+            },
             input: TensorShape::new(1, 2, 4),
             requant_shift: 0,
         };
@@ -296,7 +354,11 @@ mod tests {
         let input = Tensor::from_vec(TensorShape::new(1, 2, 2), vec![1, 2, 3, 5]);
         let l = Layer {
             name: "p".into(),
-            kind: LayerKind::Pool { kind: PoolKind::Avg, k: 2, stride: 2 },
+            kind: LayerKind::Pool {
+                kind: PoolKind::Avg,
+                k: 2,
+                stride: 2,
+            },
             input: TensorShape::new(1, 2, 2),
             requant_shift: 0,
         };
@@ -309,7 +371,10 @@ mod tests {
         let input = Tensor::from_vec(TensorShape::new(1, 1, 3), vec![1, 2, 3]);
         let l = Layer {
             name: "fc".into(),
-            kind: LayerKind::Fc { out: 2, relu: false },
+            kind: LayerKind::Fc {
+                out: 2,
+                relu: false,
+            },
             input: TensorShape::new(1, 1, 3),
             requant_shift: 0,
         };
@@ -343,13 +408,15 @@ mod tests {
     fn dwconv_hand_case() {
         // 2 channels, 2x2 kernel of ones per channel, stride 1, no pad:
         // each channel pools its own window sum; channels never mix.
-        let input = Tensor::from_vec(
-            TensorShape::new(2, 2, 2),
-            vec![1, 2, 3, 4, 10, 20, 30, 40],
-        );
+        let input = Tensor::from_vec(TensorShape::new(2, 2, 2), vec![1, 2, 3, 4, 10, 20, 30, 40]);
         let l = Layer {
             name: "dw".into(),
-            kind: LayerKind::DwConv { k: 2, stride: 1, pad: 0, relu: false },
+            kind: LayerKind::DwConv {
+                k: 2,
+                stride: 1,
+                pad: 0,
+                relu: false,
+            },
             input: TensorShape::new(2, 2, 2),
             requant_shift: 0,
         };
@@ -366,7 +433,12 @@ mod tests {
         let input = gen::activations(shape, 0.2, &mut gen::rng(4));
         let l = Layer {
             name: "dw".into(),
-            kind: LayerKind::DwConv { k: 3, stride: 1, pad: 1, relu: false },
+            kind: LayerKind::DwConv {
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: false,
+            },
             input: shape,
             requant_shift: 4,
         };

@@ -7,11 +7,10 @@
 //! max/average pooling, and fully-connected layers.
 
 use crate::shape::{conv_out_dim, KernelShape, TensorShape};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Pooling flavour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PoolKind {
     /// Maximum over the window.
     Max,
@@ -21,7 +20,7 @@ pub enum PoolKind {
 }
 
 /// Operator payload of a layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// 2-D convolution over all input channels.
     Conv {
@@ -69,7 +68,7 @@ pub enum LayerKind {
 }
 
 /// One layer of a network: an operator applied to a known input shape.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Layer {
     /// Human-readable name (`conv1`, `pool2`, `fc6`, …).
     pub name: String,
@@ -90,7 +89,13 @@ impl Layer {
     /// the padded input) — network construction is expected to be validated.
     pub fn output(&self) -> TensorShape {
         match self.kind {
-            LayerKind::Conv { out_c, k, stride, pad, .. } => {
+            LayerKind::Conv {
+                out_c,
+                k,
+                stride,
+                pad,
+                ..
+            } => {
                 let h = conv_out_dim(self.input.h, k, stride, pad)
                     .unwrap_or_else(|| panic!("{}: kernel does not fit input", self.name));
                 let w = conv_out_dim(self.input.w, k, stride, pad)
@@ -173,7 +178,13 @@ impl Layer {
 impl fmt::Display for Layer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
-            LayerKind::Conv { out_c, k, stride, pad, relu } => write!(
+            LayerKind::Conv {
+                out_c,
+                k,
+                stride,
+                pad,
+                relu,
+            } => write!(
                 f,
                 "{}: conv {}→{} k{}s{}p{}{} [{}→{}]",
                 self.name,
@@ -209,7 +220,12 @@ impl fmt::Display for Layer {
                 self.input,
                 self.output()
             ),
-            LayerKind::DwConv { k, stride, pad, relu } => write!(
+            LayerKind::DwConv {
+                k,
+                stride,
+                pad,
+                relu,
+            } => write!(
                 f,
                 "{}: dwconv k{}s{}p{}{} [{}→{}]",
                 self.name,
@@ -228,10 +244,23 @@ impl fmt::Display for Layer {
 mod tests {
     use super::*;
 
-    fn conv(name: &str, input: TensorShape, out_c: usize, k: usize, stride: usize, pad: usize) -> Layer {
+    fn conv(
+        name: &str,
+        input: TensorShape,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Layer {
         Layer {
             name: name.into(),
-            kind: LayerKind::Conv { out_c, k, stride, pad, relu: true },
+            kind: LayerKind::Conv {
+                out_c,
+                k,
+                stride,
+                pad,
+                relu: true,
+            },
             input,
             requant_shift: 8,
         }
@@ -254,7 +283,11 @@ mod tests {
     fn pool_output_shape_and_ops() {
         let l = Layer {
             name: "pool1".into(),
-            kind: LayerKind::Pool { kind: PoolKind::Max, k: 3, stride: 2 },
+            kind: LayerKind::Pool {
+                kind: PoolKind::Max,
+                k: 3,
+                stride: 2,
+            },
             input: TensorShape::new(96, 55, 55),
             requant_shift: 0,
         };
@@ -268,7 +301,10 @@ mod tests {
     fn fc_is_one_by_one_conv_over_flattened_input() {
         let l = Layer {
             name: "fc6".into(),
-            kind: LayerKind::Fc { out: 4096, relu: true },
+            kind: LayerKind::Fc {
+                out: 4096,
+                relu: true,
+            },
             input: TensorShape::new(256, 6, 6),
             requant_shift: 10,
         };
@@ -284,7 +320,11 @@ mod tests {
         assert!(l.has_relu());
         let p = Layer {
             name: "p".into(),
-            kind: LayerKind::Pool { kind: PoolKind::Avg, k: 2, stride: 2 },
+            kind: LayerKind::Pool {
+                kind: PoolKind::Avg,
+                k: 2,
+                stride: 2,
+            },
             input: TensorShape::new(4, 8, 8),
             requant_shift: 0,
         };

@@ -22,6 +22,7 @@ pub mod gen;
 pub mod golden;
 pub mod layer;
 pub mod network;
+pub mod rng;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
@@ -29,5 +30,6 @@ pub mod tensor;
 pub use gen::{SparsityProfile, Workload};
 pub use layer::{Layer, LayerKind, PoolKind};
 pub use network::Network;
+pub use rng::ModelRng;
 pub use shape::{KernelShape, TensorShape};
 pub use tensor::{Kernel, Tensor};

@@ -7,10 +7,9 @@
 
 use crate::layer::{Layer, LayerKind, PoolKind};
 use crate::shape::TensorShape;
-use serde::{Deserialize, Serialize};
 
 /// A validated feed-forward CNN.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Network {
     /// Model name (`alexnet`, `lenet5`, …).
     pub name: String,
@@ -80,11 +79,20 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts a network with the given input feature-map shape.
     pub fn new(name: impl Into<String>, input: TensorShape) -> Self {
-        Self { name: name.into(), next_input: input, layers: Vec::new() }
+        Self {
+            name: name.into(),
+            next_input: input,
+            layers: Vec::new(),
+        }
     }
 
     fn push(&mut self, name: String, kind: LayerKind, requant_shift: u32) -> &mut Self {
-        let layer = Layer { name, kind, input: self.next_input, requant_shift };
+        let layer = Layer {
+            name,
+            kind,
+            input: self.next_input,
+            requant_shift,
+        };
         // `output()` panics on illegal configurations, validating eagerly.
         self.next_input = layer.output();
         self.layers.push(layer);
@@ -103,17 +111,43 @@ impl NetworkBuilder {
         relu: bool,
         requant_shift: u32,
     ) -> &mut Self {
-        self.push(name.into(), LayerKind::Conv { out_c, k, stride, pad, relu }, requant_shift)
+        self.push(
+            name.into(),
+            LayerKind::Conv {
+                out_c,
+                k,
+                stride,
+                pad,
+                relu,
+            },
+            requant_shift,
+        )
     }
 
     /// Appends a max-pooling layer.
     pub fn max_pool(&mut self, name: &str, k: usize, stride: usize) -> &mut Self {
-        self.push(name.into(), LayerKind::Pool { kind: PoolKind::Max, k, stride }, 0)
+        self.push(
+            name.into(),
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                k,
+                stride,
+            },
+            0,
+        )
     }
 
     /// Appends an average-pooling layer.
     pub fn avg_pool(&mut self, name: &str, k: usize, stride: usize) -> &mut Self {
-        self.push(name.into(), LayerKind::Pool { kind: PoolKind::Avg, k, stride }, 0)
+        self.push(
+            name.into(),
+            LayerKind::Pool {
+                kind: PoolKind::Avg,
+                k,
+                stride,
+            },
+            0,
+        )
     }
 
     /// Appends a fully-connected layer (+ optional fused ReLU).
@@ -122,8 +156,25 @@ impl NetworkBuilder {
     }
 
     /// Appends a depthwise convolution (+ optional fused ReLU).
-    pub fn dwconv(&mut self, name: &str, k: usize, stride: usize, pad: usize, relu: bool, requant_shift: u32) -> &mut Self {
-        self.push(name.into(), LayerKind::DwConv { k, stride, pad, relu }, requant_shift)
+    pub fn dwconv(
+        &mut self,
+        name: &str,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        relu: bool,
+        requant_shift: u32,
+    ) -> &mut Self {
+        self.push(
+            name.into(),
+            LayerKind::DwConv {
+                k,
+                stride,
+                pad,
+                relu,
+            },
+            requant_shift,
+        )
     }
 
     /// Finishes the network.
@@ -131,8 +182,14 @@ impl NetworkBuilder {
     /// # Panics
     /// Panics if no layers were added.
     pub fn build(&mut self) -> Network {
-        assert!(!self.layers.is_empty(), "network must have at least one layer");
-        Network { name: std::mem::take(&mut self.name), layers: std::mem::take(&mut self.layers) }
+        assert!(
+            !self.layers.is_empty(),
+            "network must have at least one layer"
+        );
+        Network {
+            name: std::mem::take(&mut self.name),
+            layers: std::mem::take(&mut self.layers),
+        }
     }
 }
 
@@ -256,7 +313,15 @@ pub fn mobilenet() -> Network {
     ];
     for (i, &(out_c, stride)) in blocks.iter().enumerate() {
         b.dwconv(&format!("dw{}", i + 2), 3, stride, 1, true, shifts::SMALL)
-            .conv(&format!("pw{}", i + 2), out_c, 1, 1, 0, true, shifts::MEDIUM);
+            .conv(
+                &format!("pw{}", i + 2),
+                out_c,
+                1,
+                1,
+                0,
+                true,
+                shifts::MEDIUM,
+            );
     }
     b.avg_pool("pool", 3, 3).fc("fc", 100, false, shifts::LARGE);
     b.build()
@@ -308,7 +373,10 @@ mod tests {
         // Dense AlexNet (no groups) is ~1.14 G MACs in conv + ~58.6 M in fc.
         let n = alexnet();
         let total = n.total_macs();
-        assert!(total > 1_100_000_000 && total < 1_300_000_000, "got {total}");
+        assert!(
+            total > 1_100_000_000 && total < 1_300_000_000,
+            "got {total}"
+        );
     }
 
     #[test]
@@ -316,7 +384,10 @@ mod tests {
         // VGG-16 is ~15.3 G MACs conv + ~0.12 G fc.
         let n = vgg16();
         let total = n.total_macs();
-        assert!(total > 15_000_000_000 && total < 16_000_000_000, "got {total}");
+        assert!(
+            total > 15_000_000_000 && total < 16_000_000_000,
+            "got {total}"
+        );
     }
 
     #[test]

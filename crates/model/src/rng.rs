@@ -1,0 +1,182 @@
+//! Deterministic, dependency-free RNG for workload generation.
+//!
+//! The workspace builds offline, so this replaces `rand`/`rand_chacha` with
+//! a self-contained xoshiro256** generator seeded through SplitMix64 — the
+//! standard construction from Blackman & Vigna. Everything downstream only
+//! needs *seeded determinism and reasonable uniformity*, not compatibility
+//! with any external crate's stream: identical `(seed)` ⇒ identical bytes,
+//! on every platform, forever (golden outputs and experiment tables depend
+//! on this stream staying fixed).
+
+use std::ops::{Range, RangeInclusive};
+
+/// The workspace-standard deterministic RNG (xoshiro256**).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelRng {
+    s: [u64; 4],
+}
+
+impl ModelRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform f64 in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            // Consume a draw anyway so the stream position is
+            // probability-independent.
+            self.next_u64();
+            return true;
+        }
+        if p <= 0.0 {
+            self.next_u64();
+            return false;
+        }
+        self.gen_f64() < p
+    }
+
+    /// A uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics on empty ranges.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform u64 in `[0, span)` via the 128-bit multiply reduction.
+    fn bounded(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "empty range");
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Ranges [`ModelRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut ModelRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),+) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+            fn sample(self, rng: &mut ModelRng) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $ty
+            }
+        }
+        impl SampleRange for RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample(self, rng: &mut ModelRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.bounded(span) as i128) as $ty
+            }
+        }
+    )+};
+}
+
+impl_sample_range!(i32, i64, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ModelRng::seed_from_u64(42);
+        let mut b = ModelRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ModelRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // The golden outputs and recorded experiment tables depend on this
+        // exact stream; a change here invalidates them all.
+        let mut r = ModelRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..3).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = ModelRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-96i32..=96);
+            assert!((-96..=96).contains(&v));
+            let u = r.gen_range(1usize..=15);
+            assert!((1..=15).contains(&u));
+            let w = r.gen_range(0u64..10);
+            assert!(w < 10);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = ModelRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2800..3200).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut r = ModelRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        ModelRng::seed_from_u64(0).gen_range(5i32..5);
+    }
+}

@@ -5,14 +5,13 @@
 //! fabric model sizes transfers from them. Keeping the arithmetic here — with
 //! exhaustive unit tests — means every other crate can trust it.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Shape of a 3-D feature-map tensor in `CHW` order (channels, height, width).
 ///
 /// All CNN tensors in the simulator are batch-1 (the embedded-inference
 /// setting the paper targets), so a 3-D shape suffices for feature maps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TensorShape {
     /// Number of channels (feature maps).
     pub c: usize,
@@ -29,7 +28,10 @@ impl TensorShape {
     /// Panics if any dimension is zero — a zero-sized tensor is always a bug
     /// in shape derivation, never a legitimate workload.
     pub fn new(c: usize, h: usize, w: usize) -> Self {
-        assert!(c > 0 && h > 0 && w > 0, "zero tensor dimension: {c}x{h}x{w}");
+        assert!(
+            c > 0 && h > 0 && w > 0,
+            "zero tensor dimension: {c}x{h}x{w}"
+        );
         Self { c, h, w }
     }
 
@@ -63,7 +65,7 @@ impl fmt::Display for TensorShape {
 }
 
 /// Shape of a convolution weight tensor: `out_c` filters of `in_c × k × k`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KernelShape {
     /// Number of output channels (filters).
     pub out_c: usize,

@@ -56,7 +56,12 @@ pub fn analyze(data: &[i8]) -> TensorStats {
             run = 0;
         }
     }
-    TensorStats { elements: data.len(), zeros, zero_runs, longest_zero_run: longest }
+    TensorStats {
+        elements: data.len(),
+        zeros,
+        zero_runs,
+        longest_zero_run: longest,
+    }
 }
 
 /// Convenience wrapper over a tensor.

@@ -6,10 +6,9 @@
 //! container serves `i8` feature maps, `i8` kernels and `i32` accumulators.
 
 use crate::shape::{KernelShape, TensorShape};
-use serde::{Deserialize, Serialize};
 
 /// A dense 3-D feature-map tensor in CHW layout.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tensor<T> {
     shape: TensorShape,
     data: Vec<T>,
@@ -18,7 +17,10 @@ pub struct Tensor<T> {
 impl<T: Copy + Default> Tensor<T> {
     /// Allocates a zero/default-filled tensor of the given shape.
     pub fn zeros(shape: TensorShape) -> Self {
-        Self { shape, data: vec![T::default(); shape.volume()] }
+        Self {
+            shape,
+            data: vec![T::default(); shape.volume()],
+        }
     }
 
     /// Wraps an existing buffer; its length must equal `shape.volume()`.
@@ -65,7 +67,15 @@ impl<T: Copy + Default> Tensor<T> {
     /// `[c0, c0+cn)` into a new tensor. Out-of-bounds reads are not allowed;
     /// callers clip first. This is how the dataflow engine materialises the
     /// byte stream of a tile DMA transfer.
-    pub fn window(&self, c0: usize, cn: usize, y0: usize, h: usize, x0: usize, w: usize) -> Tensor<T> {
+    pub fn window(
+        &self,
+        c0: usize,
+        cn: usize,
+        y0: usize,
+        h: usize,
+        x0: usize,
+        w: usize,
+    ) -> Tensor<T> {
         assert!(c0 + cn <= self.shape.c, "channel window out of bounds");
         assert!(y0 + h <= self.shape.h, "row window out of bounds");
         assert!(x0 + w <= self.shape.w, "col window out of bounds");
@@ -95,7 +105,7 @@ impl Tensor<i8> {
 }
 
 /// A dense convolution weight tensor (`out_c × in_c × k × k`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Kernel {
     shape: KernelShape,
     data: Vec<i8>,
@@ -104,7 +114,10 @@ pub struct Kernel {
 impl Kernel {
     /// Allocates a zero-filled kernel tensor.
     pub fn zeros(shape: KernelShape) -> Self {
-        Self { shape, data: vec![0; shape.volume()] }
+        Self {
+            shape,
+            data: vec![0; shape.volume()],
+        }
     }
 
     /// Wraps an existing buffer; its length must equal `shape.volume()`.

@@ -1,0 +1,195 @@
+//! # mocha-par
+//!
+//! Minimal deterministic data-parallelism built on `std::thread::scope`,
+//! replacing rayon in an offline build. Every helper preserves input order
+//! in its output, so parallel and sequential runs produce identical results
+//! — the property the controller's candidate scoring, the golden executor
+//! and the runtime's worker pool all rely on.
+//!
+//! Work is split into contiguous chunks, one per worker, sized from
+//! [`std::thread::available_parallelism`]. Inputs shorter than the worker
+//! count (or any input on a single-core host) run inline with no thread
+//! spawns.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads helpers will use for `n` items.
+pub fn workers_for(n: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(n).max(1)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+pub fn par_map_slice<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    let workers = workers_for(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Option<U>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        // Pair each output chunk with its input chunk; disjoint &mut slices.
+        for (ci, (out_chunk, in_chunk)) in results
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk))
+            .enumerate()
+        {
+            scope.spawn(move || {
+                for (j, (out, item)) in out_chunk.iter_mut().zip(in_chunk).enumerate() {
+                    *out = Some(f(ci * chunk + j, item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Maps `f` over owned `items` in parallel, returning results in input
+/// order.
+pub fn par_map_vec<T: Send, U: Send>(items: Vec<T>, f: impl Fn(usize, T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    let workers = workers_for(n);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Option<U>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    // Take ownership chunk-wise without cloning: drain into per-worker Vecs.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(chunk.min(items.len()));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut out_rest: &mut [Option<U>] = &mut results;
+        for (ci, in_chunk) in chunks.into_iter().enumerate() {
+            let (out_chunk, rest) = out_rest.split_at_mut(in_chunk.len());
+            out_rest = rest;
+            scope.spawn(move || {
+                for (j, (out, item)) in out_chunk.iter_mut().zip(in_chunk).enumerate() {
+                    *out = Some(f(ci * chunk + j, item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Maps `f(i)` over `0..n` in parallel, returning results in index order.
+pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    let indices: Vec<usize> = (0..n).collect();
+    par_map_vec(indices, |_, i| f(i))
+}
+
+/// Applies `f` to equal `chunk`-sized mutable chunks of `data` in parallel
+/// (the last chunk may be shorter). The chunk index is passed to `f`.
+pub fn par_chunks_mut<T: Send>(data: &mut [T], chunk: usize, f: impl Fn(usize, &mut [T]) + Sync) {
+    assert!(chunk > 0, "chunk size must be positive");
+    let n_chunks = data.len().div_ceil(chunk.max(1));
+    let workers = workers_for(n_chunks);
+    if workers <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    // Group chunks into one contiguous run per worker so thread count stays
+    // bounded by the core count, not the chunk count.
+    let chunks: Vec<&mut [T]> = data.chunks_mut(chunk).collect();
+    let per_worker = chunks.len().div_ceil(workers);
+    let mut runs: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(workers);
+    for (i, c) in chunks.into_iter().enumerate() {
+        if i % per_worker == 0 {
+            runs.push(Vec::with_capacity(per_worker));
+        }
+        runs.last_mut().unwrap().push((i, c));
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        for run in runs {
+            scope.spawn(move || {
+                for (i, c) in run {
+                    f(i, c);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_slice_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map_slice(&items, |i, &v| v * 2 + i as u64);
+        let seq: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * 2 + i as u64)
+            .collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn map_vec_preserves_order_and_moves() {
+        let items: Vec<String> = (0..97).map(|i| format!("s{i}")).collect();
+        let out = par_map_vec(items.clone(), |i, s| format!("{s}-{i}"));
+        let seq: Vec<String> = items
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{s}-{i}"))
+            .collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn map_range_matches_sequential() {
+        assert_eq!(
+            par_map_range(17, |i| i * i),
+            (0..17).map(|i| i * i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chunks_mut_covers_every_element() {
+        let mut data = vec![0u32; 103];
+        par_chunks_mut(&mut data, 10, |ci, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 10 + j) as u32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert!(par_map_slice::<u8, u8>(&[], |_, _| 0).is_empty());
+        assert!(par_map_vec::<u8, u8>(vec![], |_, v| v).is_empty());
+        assert!(par_map_range(0, |i| i).is_empty());
+        par_chunks_mut::<u8>(&mut [], 4, |_, _| {});
+    }
+}

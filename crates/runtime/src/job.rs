@@ -1,0 +1,192 @@
+//! Inference jobs: what a tenant submits to the runtime.
+
+use mocha_core::Objective;
+use mocha_json::{JsonError, Value};
+use mocha_model::gen::SparsityProfile;
+
+/// Runtime-wide job identifier (assigned in submission order).
+pub type JobId = u64;
+
+/// Scheduling priority. Higher priorities receive proportionally larger
+/// fabric leases (weights 1/2/4), and jump the admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background / batch traffic.
+    Low,
+    /// The default interactive class.
+    Normal,
+    /// Latency-critical traffic.
+    High,
+}
+
+mocha_json::impl_json_unit_enum!(Priority {
+    Low => "low",
+    Normal => "normal",
+    High => "high",
+});
+
+impl Priority {
+    /// Lease-share weight of this class.
+    pub fn weight(self) -> usize {
+        match self {
+            Priority::Low => 1,
+            Priority::Normal => 2,
+            Priority::High => 4,
+        }
+    }
+}
+
+/// One inference request: a network, the sparsity regime of its data, the
+/// tenant's optimization objective, a priority class and the workload seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Network-zoo name (`tiny`, `lenet5`, `mobilenet`, `alexnet`, `vgg16`).
+    pub network: String,
+    /// Sparsity profile name (`dense`, `nominal`, `sparse`).
+    pub profile: String,
+    /// The tenant's objective for the controller.
+    pub objective: Objective,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Seed for the deterministic workload generator.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// Resolves the profile name; `None` if unknown.
+    pub fn sparsity_profile(&self) -> Option<SparsityProfile> {
+        match self.profile.as_str() {
+            "dense" => Some(SparsityProfile::DENSE),
+            "nominal" => Some(SparsityProfile::NOMINAL),
+            "sparse" => Some(SparsityProfile::SPARSE),
+            _ => None,
+        }
+    }
+
+    /// Validates the names against the zoo and profile set.
+    pub fn validate(&self) -> Result<(), String> {
+        if mocha_model::network::by_name(&self.network).is_none() {
+            return Err(format!("unknown network {:?}", self.network));
+        }
+        if self.sparsity_profile().is_none() {
+            return Err(format!(
+                "unknown profile {:?} (dense|nominal|sparse)",
+                self.profile
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl mocha_json::ToJson for JobSpec {
+    fn to_json(&self) -> Value {
+        mocha_json::jobj! {
+            "network" => self.network.as_str(),
+            "profile" => self.profile.as_str(),
+            "objective" => self.objective,
+            "priority" => self.priority,
+            "seed" => self.seed,
+        }
+    }
+}
+
+impl mocha_json::FromJson for JobSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let network = v
+            .get("network")
+            .and_then(Value::as_str)
+            .ok_or_else(|| JsonError::missing("JobSpec.network"))?
+            .to_string();
+        // Everything but the network is optional with serving defaults.
+        let profile = v
+            .get("profile")
+            .map(|p| {
+                p.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| JsonError::invalid("profile"))
+            })
+            .transpose()?
+            .unwrap_or_else(|| "nominal".to_string());
+        let objective = v
+            .get("objective")
+            .map(Objective::from_json)
+            .transpose()?
+            .unwrap_or(Objective::Edp);
+        let priority = v
+            .get("priority")
+            .map(Priority::from_json)
+            .transpose()?
+            .unwrap_or(Priority::Normal);
+        let seed = v
+            .get("seed")
+            .map(|s| s.as_u64().ok_or_else(|| JsonError::invalid("seed")))
+            .transpose()?
+            .unwrap_or(42);
+        Ok(Self {
+            network,
+            profile,
+            objective,
+            priority,
+            seed,
+        })
+    }
+}
+
+/// A job submission: the spec plus its arrival time in fabric cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission {
+    /// Arrival time in fabric cycles.
+    pub arrival_cycle: u64,
+    /// What arrives.
+    pub spec: JobSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocha_json::{FromJson, ToJson};
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = JobSpec {
+            network: "lenet5".into(),
+            profile: "sparse".into(),
+            objective: Objective::Throughput,
+            priority: Priority::High,
+            seed: 9,
+        };
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn defaults_apply_to_sparse_requests() {
+        let v = mocha_json::parse(r#"{"network": "tiny"}"#).unwrap();
+        let spec = JobSpec::from_json(&v).unwrap();
+        assert_eq!(spec.profile, "nominal");
+        assert_eq!(spec.objective, Objective::Edp);
+        assert_eq!(spec.priority, Priority::Normal);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_names_fail_validation() {
+        let mut spec = JobSpec {
+            network: "resnet999".into(),
+            profile: "nominal".into(),
+            objective: Objective::Edp,
+            priority: Priority::Normal,
+            seed: 1,
+        };
+        assert!(spec.validate().is_err());
+        spec.network = "tiny".into();
+        spec.profile = "foggy".into();
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn priority_weights_are_ordered() {
+        assert!(Priority::High.weight() > Priority::Normal.weight());
+        assert!(Priority::Normal.weight() > Priority::Low.weight());
+    }
+}

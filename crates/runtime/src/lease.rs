@@ -1,0 +1,190 @@
+//! Lease management: carving the parent fabric into per-tenant partitions.
+//!
+//! Both policies slice the PE grid by full-height column strips and the
+//! scratchpad by contiguous bank ranges, assigned left-to-right in job
+//! order, so any two carves of the same fabric are *ordered interval
+//! partitions* — the property the scheduler's handoff protocol relies on to
+//! make lease transitions converge.
+
+use mocha_fabric::{FabricConfig, FabricPartition};
+
+/// How the runtime assigns fabric leases to admitted jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeasePolicy {
+    /// Re-carve the whole fabric proportionally to the priority weights of
+    /// the jobs currently resident; in-flight jobs adopt their new lease at
+    /// the next group boundary (re-morphing). A lone tenant gets the whole
+    /// machine.
+    Adaptive,
+    /// The fabric is split once into `max_tenants` equal fixed slots; a job
+    /// keeps its admission slot for life. The no-re-morphing baseline.
+    StaticEqual,
+}
+
+impl LeasePolicy {
+    /// Stable name used by the CLI and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LeasePolicy::Adaptive => "adaptive",
+            LeasePolicy::StaticEqual => "static",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "adaptive" => Some(LeasePolicy::Adaptive),
+            "static" => Some(LeasePolicy::StaticEqual),
+            _ => None,
+        }
+    }
+}
+
+/// Upper bound on concurrent tenants the fabric can host with non-empty
+/// leases: every tenant needs at least one PE column, one scratchpad bank,
+/// one NoC lane and one DMA engine.
+pub fn max_tenants(parent: &FabricConfig) -> usize {
+    parent
+        .pe_cols
+        .min(parent.spm_banks)
+        .min(parent.noc_dma_lanes)
+        .min(parent.dma_engines)
+}
+
+/// Splits `total` integer units over `weights` proportionally (largest
+/// remainder), guaranteeing every share is at least `min`. Deterministic:
+/// remainder ties break toward lower indices.
+///
+/// # Panics
+/// Panics if `total < min * weights.len()`.
+pub fn split_proportional(total: usize, weights: &[usize], min: usize) -> Vec<usize> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(
+        total >= min * n,
+        "cannot give {n} tenants at least {min} each out of {total}"
+    );
+    let wsum: usize = weights.iter().sum::<usize>().max(1);
+    let mut shares: Vec<usize> = weights.iter().map(|w| total * w / wsum).collect();
+    // Hand out the flooring leftover by descending remainder, index ascending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(total * weights[i] % wsum), i));
+    let mut leftover = total - shares.iter().sum::<usize>();
+    let mut k = 0;
+    while leftover > 0 {
+        shares[order[k % n]] += 1;
+        leftover -= 1;
+        k += 1;
+    }
+    // Raise any share below the minimum by taking from the current maximum.
+    while let Some(short) = (0..n).find(|&i| shares[i] < min) {
+        let rich = (0..n)
+            .max_by_key(|&i| (shares[i], std::cmp::Reverse(i)))
+            .expect("non-empty");
+        shares[rich] -= 1;
+        shares[short] += 1;
+    }
+    shares
+}
+
+/// Carves the parent fabric into one lease per weight, proportional to the
+/// weights: full-height PE column strips, contiguous bank ranges, and
+/// memory-path shares, all assigned left-to-right in input order. The
+/// result always satisfies [`FabricPartition::validate_set`].
+///
+/// # Panics
+/// Panics if more weights are supplied than [`max_tenants`] allows.
+pub fn carve(parent: &FabricConfig, weights: &[usize]) -> Vec<FabricPartition> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(
+        n <= max_tenants(parent),
+        "{n} tenants exceed the fabric's capacity of {}",
+        max_tenants(parent)
+    );
+    let cols = split_proportional(parent.pe_cols, weights, 1);
+    let banks = split_proportional(parent.spm_banks, weights, 1);
+    let lanes = split_proportional(parent.noc_dma_lanes, weights, 1);
+    let dma = split_proportional(parent.dma_engines, weights, 1);
+    // Codec engines may legitimately be absent (baseline fabrics).
+    let codecs = if parent.codec_engines >= n {
+        split_proportional(parent.codec_engines, weights, 1)
+    } else {
+        split_proportional(parent.codec_engines, weights, 0)
+    };
+    let mut out = Vec::with_capacity(n);
+    let (mut col0, mut bank0) = (0, 0);
+    for i in 0..n {
+        out.push(FabricPartition {
+            pe_row0: 0,
+            pe_rows: parent.pe_rows,
+            pe_col0: col0,
+            pe_cols: cols[i],
+            bank0,
+            banks: banks[i],
+            noc_dma_lanes: lanes[i],
+            dma_engines: dma[i],
+            codec_engines: codecs[i],
+        });
+        col0 += cols[i];
+        bank0 += banks[i];
+    }
+    debug_assert!(FabricPartition::validate_set(&out, parent).is_ok());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_weight_gets_the_whole_fabric() {
+        let f = FabricConfig::mocha_quad();
+        let leases = carve(&f, &[2]);
+        assert_eq!(leases, vec![FabricPartition::whole(&f)]);
+    }
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let f = FabricConfig::mocha_quad();
+        let leases = carve(&f, &[1, 1, 1, 1]);
+        FabricPartition::validate_set(&leases, &f).unwrap();
+        for l in &leases {
+            assert_eq!(l.pe_cols, 4);
+            assert_eq!(l.banks, 8);
+            assert_eq!(l.dma_engines, 1);
+        }
+    }
+
+    #[test]
+    fn priority_weights_skew_the_carve() {
+        let f = FabricConfig::mocha_quad();
+        // High (4) vs Low (1): the high-priority job gets the lion's share.
+        let leases = carve(&f, &[4, 1]);
+        FabricPartition::validate_set(&leases, &f).unwrap();
+        assert!(leases[0].pes() > leases[1].pes() * 2);
+        assert!(leases[1].pes() > 0);
+    }
+
+    #[test]
+    fn split_is_exact_and_respects_minimums() {
+        let s = split_proportional(16, &[4, 1, 1], 1);
+        assert_eq!(s.iter().sum::<usize>(), 16);
+        assert!(s.iter().all(|&x| x >= 1));
+        assert!(s[0] > s[1]);
+        // Degenerate: as many tenants as units.
+        let s = split_proportional(4, &[9, 1, 1, 1], 1);
+        assert_eq!(s, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn carve_caps_tenancy_at_fabric_limits() {
+        let f = FabricConfig::mocha_quad();
+        assert_eq!(max_tenants(&f), 4); // limited by DMA engines
+        assert_eq!(max_tenants(&FabricConfig::mocha()), 2);
+    }
+}

@@ -1,0 +1,502 @@
+//! The multi-tenant scheduler: a deterministic virtual-time event loop over
+//! job arrivals and group boundaries.
+//!
+//! ## Model
+//!
+//! Time is fabric cycles. Three things happen, always in this order at any
+//! event instant:
+//!
+//! 1. **Arrivals** at or before the instant join the admission queue.
+//! 2. **Boundaries**: jobs whose current fusion group completes at this
+//!    instant either finish (releasing their lease) or become *ready* for
+//!    their next group.
+//! 3. **Admission & re-leasing**: target leases are carved for the
+//!    *desired* membership — the residents plus the best queued jobs up to
+//!    the capacity cap (priority, then arrival, then id). Under the
+//!    adaptive policy the carve is proportional to each member's remaining
+//!    work scaled by its priority; under the static policy each job keeps
+//!    a fixed equal slot. Ready residents re-lease toward their targets,
+//!    then candidates are admitted — onto their target when it is free, or
+//!    (adaptive only) onto an *interim* lease carved from the currently
+//!    free gaps, so freed fabric never idles waiting for a mid-group
+//!    neighbour.
+//! 4. **Stepping**: every ready job executes its next fusion group on the
+//!    sub-fabric of whatever lease it now holds — the controller re-decides
+//!    the morph for that sub-fabric, which is the online re-morph. Ready
+//!    jobs step in parallel through `mocha_par`, which preserves input
+//!    order, so the loop is bit-for-bit deterministic regardless of worker
+//!    count.
+//!
+//! ## Safe lease handoff
+//!
+//! A job may only adopt a lease when the resulting *held* set — every
+//! other resident job's currently held lease plus the new one — still
+//! passes [`FabricPartition::validate_set`] (pairwise disjoint, share sums
+//! within the parent), so the held set is disjoint at *every* instant:
+//! there is no transient oversubscription window. A ready job whose target
+//! is still occupied by a mid-group neighbour shrinks or grows onto the
+//! best free-space lease clamped to its target's shares (its own old strip
+//! counts as free, so an in-place resize is always available) and retries
+//! the exact target at its next boundary; transitions converge as
+//! mid-group holders drain.
+
+use crate::job::{JobId, Priority, Submission};
+use crate::lease::{carve, max_tenants, LeasePolicy};
+use crate::report::{JobReport, RuntimeReport};
+use mocha_core::{Accelerator, Session, Simulator};
+use mocha_fabric::{FabricConfig, FabricPartition};
+use mocha_model::gen::Workload;
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// The parent fabric all leases are carved from.
+    pub fabric: FabricConfig,
+    /// Lease assignment policy.
+    pub policy: LeasePolicy,
+    /// Admission cap (further clamped to what the fabric can host).
+    pub max_tenants: usize,
+    /// Verify every group against the golden model (slower; on by default).
+    pub verify: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            fabric: FabricConfig::mocha_quad(),
+            policy: LeasePolicy::Adaptive,
+            max_tenants: 4,
+            verify: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The effective tenant cap: the requested cap clamped to the fabric's
+    /// structural limit.
+    pub fn cap(&self) -> usize {
+        self.max_tenants.clamp(1, max_tenants(&self.fabric))
+    }
+}
+
+/// A job waiting for admission.
+#[derive(Debug)]
+struct Queued {
+    id: JobId,
+    sub: Submission,
+}
+
+/// A resident job.
+struct Resident {
+    id: JobId,
+    sub: Submission,
+    admitted: u64,
+    session: Session,
+    lease: FabricPartition,
+    /// Fixed slot index under [`LeasePolicy::StaticEqual`].
+    slot: usize,
+    /// Absolute cycle the current group completes (== now when ready).
+    boundary: u64,
+    remorphs: usize,
+    busy_cycles: u64,
+    leased_pe_cycles: f64,
+    energy_pj: f64,
+    work_macs: u64,
+    groups: usize,
+}
+
+/// Runs the configured runtime over a submission trace and reports.
+///
+/// Submissions are taken in order; `arrival_cycle` must be non-decreasing.
+///
+/// # Panics
+/// Panics on invalid job specs, unsorted arrivals, or (with `verify`) any
+/// divergence from the golden model.
+pub fn run(cfg: &RuntimeConfig, submissions: &[Submission]) -> RuntimeReport {
+    for (i, s) in submissions.iter().enumerate() {
+        s.spec.validate().unwrap_or_else(|e| panic!("job {i}: {e}"));
+        if i > 0 {
+            assert!(
+                submissions[i - 1].arrival_cycle <= s.arrival_cycle,
+                "submissions must arrive in non-decreasing cycle order"
+            );
+        }
+    }
+    let cap = cfg.cap();
+    let static_slots = carve(&cfg.fabric, &vec![1; cap]);
+    let energy = mocha_energy::EnergyTable::default();
+
+    let mut queue: Vec<Queued> = Vec::new();
+    let mut resident: Vec<Resident> = Vec::new();
+    let mut done: Vec<JobReport> = Vec::new();
+    let mut next_sub = 0usize;
+    let mut now = submissions.first().map_or(0, |s| s.arrival_cycle);
+
+    loop {
+        // 1. Arrivals at or before `now` join the queue.
+        while next_sub < submissions.len() && submissions[next_sub].arrival_cycle <= now {
+            queue.push(Queued {
+                id: next_sub as JobId,
+                sub: submissions[next_sub].clone(),
+            });
+            next_sub += 1;
+        }
+
+        // 2. Boundaries: retire completed jobs.
+        let mut i = 0;
+        while i < resident.len() {
+            if resident[i].boundary == now && resident[i].session.done() {
+                let r = resident.remove(i);
+                done.push(finalize(r, now));
+            } else {
+                i += 1;
+            }
+        }
+
+        // 3. Desired membership: the residents plus the best queued jobs up
+        //    to the cap (priority desc, arrival asc, id asc). Targets are
+        //    carved for this membership so residents at a boundary shrink
+        //    *now*, making room for the admissions below.
+        queue.sort_by_key(|q| {
+            (
+                std::cmp::Reverse(q.sub.spec.priority),
+                q.sub.arrival_cycle,
+                q.id,
+            )
+        });
+        let n_new = (cap - resident.len()).min(queue.len());
+        let (targets, cand_targets) = plan_leases(cfg, &static_slots, &resident, &queue[..n_new]);
+
+        // 4. Re-lease ready residents toward their targets, in id order. A
+        //    ready job adopts its exact target when the handoff is safe
+        //    against everyone else's held lease; when the target is still
+        //    occupied it takes the best free-space lease clamped to the
+        //    target's shares instead — shrinking immediately when the carve
+        //    asks it to (making room for admissions below), growing only
+        //    when that actually gains PEs. Its own old strip counts as free
+        //    here, so a shrink or an in-place resize is always possible and
+        //    every job holds a valid lease at every instant.
+        for i in 0..resident.len() {
+            if resident[i].boundary != now || targets[i] == resident[i].lease {
+                continue;
+            }
+            let others: Vec<FabricPartition> = resident
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, r)| r.lease)
+                .collect();
+            let mut with_target = others.clone();
+            with_target.push(targets[i]);
+            let old = resident[i].lease;
+            let new_lease = if FabricPartition::validate_set(&with_target, &cfg.fabric).is_ok() {
+                targets[i]
+            } else {
+                match interim_lease(&cfg.fabric, &others, &targets[i]) {
+                    Some(l) if targets[i].pes() < old.pes() || l.pes() > old.pes() => l,
+                    _ => old,
+                }
+            };
+            if new_lease != old {
+                resident[i].lease = new_lease;
+                if resident[i].groups > 0 {
+                    resident[i].remorphs += 1;
+                }
+            }
+        }
+
+        // 5. Admission: a candidate enters on its target lease when that no
+        //    longer conflicts with any held lease. Under the adaptive policy
+        //    a blocked candidate is instead started immediately on an
+        //    *interim* lease carved from whatever is free right now (freed
+        //    fabric never idles waiting for mid-group neighbours); the
+        //    boundary re-leasing above then converges it to its carve
+        //    target. Under the static policy the target is a free slot and
+        //    never conflicts.
+        for (qi, (target, slot)) in cand_targets.into_iter().enumerate().rev() {
+            let held: Vec<FabricPartition> = resident.iter().map(|r| r.lease).collect();
+            let mut with_target = held.clone();
+            with_target.push(target);
+            let lease = if FabricPartition::validate_set(&with_target, &cfg.fabric).is_ok() {
+                target
+            } else if cfg.policy == LeasePolicy::Adaptive {
+                // Only start a job on an interim lease that carries at
+                // least half its target PEs or a full fair share of the
+                // fabric: a sliver admission pins the job to the sliver
+                // for its whole first group, which is worse than waiting
+                // one boundary for real space.
+                match interim_lease(&cfg.fabric, &held, &target) {
+                    Some(l) if 2 * l.pes() >= target.pes() || l.pes() * cap >= cfg.fabric.pes() => {
+                        l
+                    }
+                    _ => continue,
+                }
+            } else {
+                continue;
+            };
+            let cand = queue.remove(qi);
+            let session = make_session(cfg, &cand.sub);
+            let at = insertion_point(&resident, cand.id);
+            resident.insert(
+                at,
+                Resident {
+                    id: cand.id,
+                    sub: cand.sub,
+                    admitted: now,
+                    session,
+                    lease,
+                    slot,
+                    boundary: now,
+                    remorphs: 0,
+                    busy_cycles: 0,
+                    leased_pe_cycles: 0.0,
+                    energy_pj: 0.0,
+                    work_macs: 0,
+                    groups: 0,
+                },
+            );
+        }
+        debug_assert!(FabricPartition::validate_set(
+            &resident.iter().map(|r| r.lease).collect::<Vec<_>>(),
+            &cfg.fabric
+        )
+        .is_ok());
+
+        // Pull the ready jobs out, step them concurrently (order-preserving,
+        // so deterministic), and merge them back.
+        let mut ready: Vec<Resident> = Vec::new();
+        let mut i = 0;
+        while i < resident.len() {
+            if resident[i].boundary == now {
+                ready.push(resident.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        let parent = cfg.fabric;
+        let stepped = mocha_par::par_map_vec(ready, |_, mut r| {
+            let sub = r.lease.sub_config(&parent);
+            let g = r.session.step_on(&sub);
+            let cycles = g.cycles.max(1);
+            r.busy_cycles += cycles;
+            r.leased_pe_cycles += cycles as f64 * r.lease.pes() as f64;
+            r.energy_pj += g.energy.total_pj();
+            r.work_macs += g.work_macs;
+            r.groups += 1;
+            r.boundary = now + cycles;
+            r
+        });
+        for r in stepped {
+            let at = insertion_point(&resident, r.id);
+            resident.insert(at, r);
+        }
+
+        // Advance to the next event: the earliest group boundary or the
+        // next arrival, whichever comes first.
+        let next_boundary = resident.iter().map(|r| r.boundary).min();
+        let next_arrival =
+            (next_sub < submissions.len()).then(|| submissions[next_sub].arrival_cycle);
+        now = match (next_boundary, next_arrival) {
+            (Some(b), Some(a)) => b.min(a),
+            (Some(b), None) => b,
+            (None, Some(a)) => a,
+            (None, None) => {
+                if queue.is_empty() {
+                    break;
+                }
+                // Queue non-empty with nothing resident: admission must
+                // succeed immediately (no leases are held), so re-run the
+                // loop at the same instant.
+                now
+            }
+        };
+    }
+
+    done.sort_by_key(|j| (j.finished, j.id));
+    let leased_pe_cycles: f64 = done.iter().map(|j| j.leased_pe_cycles).sum();
+    RuntimeReport {
+        policy: cfg.policy.name().to_string(),
+        horizon: done.iter().map(|j| j.finished).max().unwrap_or(0),
+        parent_pes: cfg.fabric.pes(),
+        leased_pe_cycles,
+        clock_ghz: energy.clock_ghz,
+        jobs: done,
+    }
+}
+
+/// Builds the simulation session for one admitted job.
+fn make_session(cfg: &RuntimeConfig, sub: &Submission) -> Session {
+    let network = mocha_model::network::by_name(&sub.spec.network).expect("validated");
+    let profile = sub.spec.sparsity_profile().expect("validated");
+    let workload = Workload::generate(network, profile, sub.spec.seed);
+    let mut sim = Simulator::new(Accelerator::mocha(sub.spec.objective));
+    sim.verify = cfg.verify;
+    Session::new(sim, workload)
+}
+
+/// Plans leases for the *desired* membership: the current residents plus
+/// the given admission candidates. Returns the residents' targets
+/// (index-aligned with `resident`) and each candidate's `(target, slot)`
+/// (index-aligned with `candidates`).
+fn plan_leases(
+    cfg: &RuntimeConfig,
+    static_slots: &[FabricPartition],
+    resident: &[Resident],
+    candidates: &[Queued],
+) -> (Vec<FabricPartition>, Vec<(FabricPartition, usize)>) {
+    let free_slots: Vec<usize> = (0..static_slots.len())
+        .filter(|s| resident.iter().all(|r| r.slot != *s))
+        .collect();
+    match cfg.policy {
+        LeasePolicy::StaticEqual => (
+            resident.iter().map(|r| static_slots[r.slot]).collect(),
+            candidates
+                .iter()
+                .zip(&free_slots)
+                .map(|(_, &s)| (static_slots[s], s))
+                .collect(),
+        ),
+        LeasePolicy::Adaptive => {
+            // Shares are proportional to remaining work scaled by priority:
+            // heavy co-residents get more fabric, so tenants tend to finish
+            // together instead of a light job retiring early while a heavy
+            // one drags a sliver of fabric far past everyone else, and a
+            // nearly-done job automatically cedes space to fresh arrivals.
+            let mut members: Vec<(JobId, usize)> = resident
+                .iter()
+                .map(|r| {
+                    (
+                        r.id,
+                        share_weight(r.sub.spec.priority, r.session.remaining_macs()),
+                    )
+                })
+                .chain(candidates.iter().map(|q| {
+                    (
+                        q.id,
+                        share_weight(q.sub.spec.priority, spec_macs(&q.sub.spec)),
+                    )
+                }))
+                .collect();
+            members.sort_by_key(|&(id, _)| id);
+            let weights: Vec<usize> = members.iter().map(|&(_, w)| w).collect();
+            let leases = carve(&cfg.fabric, &weights);
+            let by_id =
+                |id: JobId| leases[members.iter().position(|&(m, _)| m == id).expect("member")];
+            (
+                resident.iter().map(|r| by_id(r.id)).collect(),
+                candidates
+                    .iter()
+                    .zip(&free_slots)
+                    .map(|(q, &s)| (by_id(q.id), s))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// A carve weight: priority-scaled remaining work, in MAC-millions (plus
+/// one so nearly-done jobs still hold a share) to keep the
+/// largest-remainder arithmetic far from overflow.
+fn share_weight(p: Priority, remaining_macs: u64) -> usize {
+    p.weight() * ((remaining_macs / 1_000_000) as usize + 1)
+}
+
+/// The total dense work of a not-yet-admitted job, from its network alone.
+fn spec_macs(spec: &crate::job::JobSpec) -> u64 {
+    mocha_model::network::by_name(&spec.network)
+        .expect("validated")
+        .layers()
+        .iter()
+        .map(|l| l.macs())
+        .sum()
+}
+
+/// A best-effort interim lease for a candidate whose carve target is still
+/// occupied by mid-group neighbours: a full-height column strip and bank
+/// range in the largest currently-free gaps, with the unleased remainder of
+/// the memory path, all clamped to the target's shares so later admissions
+/// at the same instant still find room. `None` when any required resource
+/// class has no free capacity.
+fn interim_lease(
+    parent: &FabricConfig,
+    held: &[FabricPartition],
+    want: &FabricPartition,
+) -> Option<FabricPartition> {
+    let (pe_col0, cols) = largest_gap(parent.pe_cols, held.iter().map(|l| (l.pe_col0, l.pe_cols)))?;
+    let (bank0, banks) = largest_gap(parent.spm_banks, held.iter().map(|l| (l.bank0, l.banks)))?;
+    let lanes = parent.noc_dma_lanes - held.iter().map(|l| l.noc_dma_lanes).sum::<usize>();
+    let dma = parent.dma_engines - held.iter().map(|l| l.dma_engines).sum::<usize>();
+    let codecs = parent.codec_engines - held.iter().map(|l| l.codec_engines).sum::<usize>();
+    if lanes == 0 || dma == 0 {
+        return None;
+    }
+    let lease = FabricPartition {
+        pe_row0: 0,
+        pe_rows: parent.pe_rows,
+        pe_col0,
+        pe_cols: cols.min(want.pe_cols),
+        bank0,
+        banks: banks.min(want.banks),
+        noc_dma_lanes: lanes.min(want.noc_dma_lanes),
+        dma_engines: dma.min(want.dma_engines),
+        codec_engines: codecs.min(want.codec_engines),
+    };
+    let mut with_lease = held.to_vec();
+    with_lease.push(lease);
+    FabricPartition::validate_set(&with_lease, parent)
+        .ok()
+        .map(|()| lease)
+}
+
+/// The largest free interval of `[0, total)` not covered by the `(start,
+/// len)` spans in `taken`; `None` when nothing is free. Spans are disjoint
+/// (they come from a validated lease set).
+fn largest_gap(
+    total: usize,
+    taken: impl Iterator<Item = (usize, usize)>,
+) -> Option<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = taken.collect();
+    spans.sort_unstable();
+    let mut best: Option<(usize, usize)> = None;
+    let mut cursor = 0;
+    for (start, len) in spans.into_iter().chain(std::iter::once((total, 0))) {
+        if start > cursor && best.is_none_or(|(_, b)| start - cursor > b) {
+            best = Some((cursor, start - cursor));
+        }
+        cursor = cursor.max(start + len);
+    }
+    best
+}
+
+/// Index at which a job id belongs in the id-sorted resident list.
+fn insertion_point(resident: &[Resident], id: JobId) -> usize {
+    resident.partition_point(|r| r.id < id)
+}
+
+/// Converts a retiring resident into its report.
+fn finalize(r: Resident, now: u64) -> JobReport {
+    JobReport {
+        id: r.id,
+        spec: r.sub.spec,
+        arrival: r.sub.arrival_cycle,
+        admitted: r.admitted,
+        finished: now,
+        groups: r.groups,
+        remorphs: r.remorphs,
+        work_macs: r.work_macs,
+        busy_cycles: r.busy_cycles,
+        energy_pj: r.energy_pj,
+        leased_pe_cycles: r.leased_pe_cycles,
+        output_hash: fnv1a(r.session.output().data()),
+    }
+}
+
+/// FNV-1a over the raw output bytes.
+fn fnv1a(data: &[i8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u8 as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

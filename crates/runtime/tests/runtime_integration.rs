@@ -1,0 +1,122 @@
+//! End-to-end runtime tests: determinism, golden correctness, and the
+//! behavioural contrast between the adaptive and static lease policies.
+
+use mocha_model::gen::Workload;
+use mocha_model::golden;
+use mocha_runtime::{generate, run, LeasePolicy, Mix, RuntimeConfig, TrafficConfig};
+
+fn traffic(jobs: usize, load: f64, seed: u64) -> Vec<mocha_runtime::Submission> {
+    generate(&TrafficConfig {
+        jobs,
+        load,
+        seed,
+        mix: Mix::Quick,
+    })
+}
+
+/// FNV-1a over raw output bytes — must match the runtime's hashing.
+fn fnv1a(data: &[i8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u8 as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[test]
+fn runtime_is_deterministic_across_runs() {
+    let subs = traffic(8, 4.0, 11);
+    let cfg = RuntimeConfig::default();
+    let a = run(&cfg, &subs);
+    let b = run(&cfg, &subs);
+    // Identical lease assignments, morph decisions and timings collapse to
+    // identical reports — field for field, job for job.
+    assert_eq!(a, b);
+    assert_eq!(a.completed(), 8);
+}
+
+#[test]
+fn every_job_output_matches_the_golden_model() {
+    let subs = traffic(6, 3.0, 5);
+    let report = run(&RuntimeConfig::default(), &subs);
+    assert_eq!(report.completed(), subs.len());
+    for job in &report.jobs {
+        let network = mocha_model::network::by_name(&job.spec.network).unwrap();
+        let profile = job.spec.sparsity_profile().unwrap();
+        let workload = Workload::generate(network, profile, job.spec.seed);
+        let golden_out = golden::forward(&workload);
+        let expected = fnv1a(golden_out.last().unwrap().data());
+        assert_eq!(
+            job.output_hash, expected,
+            "job {} ({}) deviates from the golden model",
+            job.id, job.spec.network
+        );
+    }
+}
+
+#[test]
+fn static_policy_never_remorphs_and_adaptive_does() {
+    let subs = traffic(8, 6.0, 7);
+    let adaptive = run(&RuntimeConfig::default(), &subs);
+    let fixed = run(
+        &RuntimeConfig {
+            policy: LeasePolicy::StaticEqual,
+            ..RuntimeConfig::default()
+        },
+        &subs,
+    );
+    assert!(fixed.jobs.iter().all(|j| j.remorphs == 0));
+    // At an offered load of several concurrent tenants, adaptive leases
+    // must shrink and grow as membership changes.
+    assert!(
+        adaptive.jobs.iter().map(|j| j.remorphs).sum::<usize>() > 0,
+        "adaptive policy never re-morphed any in-flight job"
+    );
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let subs = traffic(8, 4.0, 13);
+    let report = run(&RuntimeConfig::default(), &subs);
+    for job in &report.jobs {
+        assert!(job.admitted >= job.arrival);
+        assert!(job.finished > job.admitted);
+        assert!(job.busy_cycles <= job.latency());
+        assert!(job.groups > 0);
+        assert!(job.work_macs > 0);
+        assert!(job.energy_pj > 0.0);
+        assert!(job.leased_pe_cycles > 0.0);
+        assert!(job.finished <= report.horizon);
+    }
+    assert!(report.utilization() > 0.0 && report.utilization() <= 1.0);
+    assert!(report.gops_per_watt() > 0.0);
+    assert!(report.latency_percentile(50.0) <= report.latency_percentile(95.0));
+    assert!(report.latency_percentile(95.0) <= report.latency_percentile(99.0));
+}
+
+#[test]
+fn lone_tenant_gets_the_whole_fabric_under_adaptive() {
+    // One job, adaptive: its lease must cover all PEs, so leased PE-cycles
+    // equal busy cycles × parent PEs.
+    let subs = traffic(1, 1.0, 3);
+    let cfg = RuntimeConfig::default();
+    let report = run(&cfg, &subs);
+    let job = &report.jobs[0];
+    assert_eq!(job.queue_wait(), 0);
+    let expected = job.busy_cycles as f64 * cfg.fabric.pes() as f64;
+    assert!((job.leased_pe_cycles - expected).abs() < 1e-6);
+}
+
+#[test]
+fn saturated_arrivals_queue_and_still_all_complete() {
+    // Burst far past the tenant cap: every job must still run to
+    // completion, and late arrivals must have waited in the queue.
+    let subs = traffic(12, 16.0, 19);
+    let report = run(&RuntimeConfig::default(), &subs);
+    assert_eq!(report.completed(), 12);
+    assert!(
+        report.jobs.iter().any(|j| j.queue_wait() > 0),
+        "a 12-job burst on a 4-tenant fabric should overflow the admission cap"
+    );
+}

@@ -22,7 +22,10 @@ fn main() {
     sim.verify = true;
     let run = sim.run(&workload);
 
-    println!("{:22} {:>34}  {:>10}  {:>8}  {:>8}  {:>9}", "group", "chosen morph config", "cycles", "GOPS", "GOPS/W", "SPM KB");
+    println!(
+        "{:22} {:>34}  {:>10}  {:>8}  {:>8}  {:>9}",
+        "group", "chosen morph config", "cycles", "GOPS", "GOPS/W", "SPM KB"
+    );
     for g in &run.groups {
         println!(
             "{:22} {:>34}  {:>10}  {:>8.1}  {:>8.1}  {:>9.1}",

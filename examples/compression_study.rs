@@ -16,8 +16,8 @@ fn main() {
     let fabric = FabricConfig::mocha();
 
     println!(
-        "{:>9} | {:>9} {:>9} | {:>12} {:>12} | {:>9} | {}",
-        "sparsity", "zrle", "bitmask", "dram raw", "dram mocha", "energy", "controller's codec choice"
+        "{:>9} | {:>9} {:>9} | {:>12} {:>12} | {:>9} | controller's codec choice",
+        "sparsity", "zrle", "bitmask", "dram raw", "dram mocha", "energy"
     );
 
     for pct in [0, 10, 20, 30, 40, 50, 60, 70, 80, 90] {
@@ -39,24 +39,55 @@ fn main() {
             ofmap_sparsity: 0.5,
             ofmap_mean_run: 2.0,
         };
-        let pctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy_table };
-        let decision = decide(&pctx, Policy::Mocha { objective: Objective::Energy }, net.layers(), &est, true);
-
-        // Execute both the controller's choice and the best compression-off
-        // config (searched separately — a tiling sized for compressed
-        // buffers may not fit once streams ship raw).
-        let ectx = ExecContext { fabric: &fabric, codec_costs: &costs };
-        let chosen = mocha::core::exec::execute_layer(&ectx, layer, &input, Some(&kernel), &decision.morph, true)
-            .expect("chosen config must be feasible");
-        let off_decision = decide(
+        let pctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy_table,
+        };
+        let decision = decide(
             &pctx,
-            Policy::MochaNoCompression { objective: Objective::Energy },
+            Policy::Mocha {
+                objective: Objective::Energy,
+            },
             net.layers(),
             &est,
             true,
         );
-        let raw = mocha::core::exec::execute_layer(&ectx, layer, &input, Some(&kernel), &off_decision.morph, true)
-            .expect("uncompressed config must be feasible");
+
+        // Execute both the controller's choice and the best compression-off
+        // config (searched separately — a tiling sized for compressed
+        // buffers may not fit once streams ship raw).
+        let ectx = ExecContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+        };
+        let chosen = mocha::core::exec::execute_layer(
+            &ectx,
+            layer,
+            &input,
+            Some(&kernel),
+            &decision.morph,
+            true,
+        )
+        .expect("chosen config must be feasible");
+        let off_decision = decide(
+            &pctx,
+            Policy::MochaNoCompression {
+                objective: Objective::Energy,
+            },
+            net.layers(),
+            &est,
+            true,
+        );
+        let raw = mocha::core::exec::execute_layer(
+            &ectx,
+            layer,
+            &input,
+            Some(&kernel),
+            &off_decision.morph,
+            true,
+        )
+        .expect("uncompressed config must be feasible");
         assert_eq!(chosen.output, raw.output, "compression changed results");
 
         let e_chosen = energy_table.price(&chosen.events).total_pj();

@@ -23,7 +23,11 @@ fn main() {
         ofmap_mean_run: 2.0,
     };
 
-    let fixed = [Policy::TilingOnly, Policy::FusionOnly, Policy::ParallelismOnly];
+    let fixed = [
+        Policy::TilingOnly,
+        Policy::FusionOnly,
+        Policy::ParallelismOnly,
+    ];
     println!(
         "{:10} | {:>12} {:>12} {:>12} | {:>12} | winner (EDP, lower better; 1e12 pJ·cyc)",
         "layer", "tiling", "fusion", "parallel", "mocha"
@@ -35,14 +39,30 @@ fn main() {
         let layers = &net.layers()[i..];
         let mut scores = Vec::new();
         for policy in fixed {
-            let pctx = PlanContext { fabric: &fabric_b, codec_costs: &costs, energy: &energy_table };
+            let pctx = PlanContext {
+                fabric: &fabric_b,
+                codec_costs: &costs,
+                energy: &energy_table,
+            };
             let d = controller::decide(&pctx, policy, layers, &est_now, true);
             // Normalize multi-layer groups to per-layer EDP share so rows
             // stay comparable (fixed fusion spans several layers).
             scores.push(d.plan.edp() / d.group_len as f64);
         }
-        let pctx = PlanContext { fabric: &fabric_m, codec_costs: &costs, energy: &energy_table };
-        let mocha_d = controller::decide(&pctx, Policy::Mocha { objective: Objective::Edp }, layers, &est_now, true);
+        let pctx = PlanContext {
+            fabric: &fabric_m,
+            codec_costs: &costs,
+            energy: &energy_table,
+        };
+        let mocha_d = controller::decide(
+            &pctx,
+            Policy::Mocha {
+                objective: Objective::Edp,
+            },
+            layers,
+            &est_now,
+            true,
+        );
         let mocha_score = mocha_d.plan.edp() / mocha_d.group_len as f64;
 
         let names = ["tiling", "fusion", "parallel"];

@@ -41,7 +41,10 @@ fn main() {
         .iter()
         .map(|(_, r)| r.gops_per_watt())
         .fold(f64::MIN, f64::max);
-    let next_best_gops = reports[1..].iter().map(|(_, r)| r.gops()).fold(f64::MIN, f64::max);
+    let next_best_gops = reports[1..]
+        .iter()
+        .map(|(_, r)| r.gops())
+        .fold(f64::MIN, f64::max);
     let next_best_storage = reports[1..]
         .iter()
         .map(|(_, r)| r.peak_storage_bytes)
@@ -57,7 +60,9 @@ fn main() {
 
     // And the cost side: area overhead.
     let area_table = AreaTable::default();
-    let mocha_area = Accelerator::mocha(Objective::Edp).area(&area_table).total_mm2();
+    let mocha_area = Accelerator::mocha(Objective::Edp)
+        .area(&area_table)
+        .total_mm2();
     let base_area = Accelerator::tiling_only().area(&area_table).total_mm2();
     println!(
         "area: MOCHA {mocha_area:.2} mm² vs baseline {base_area:.2} mm² ({:+.0} %)",

@@ -31,12 +31,18 @@ fn main() {
         let mut fabric = FabricConfig::mocha();
         fabric.pe_rows = grid;
         fabric.pe_cols = grid;
-        let pctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy_table };
+        let pctx = PlanContext {
+            fabric: &fabric,
+            codec_costs: &costs,
+            energy: &energy_table,
+        };
 
         // MOCHA: full search at this grid size.
         let mocha = controller::decide(
             &pctx,
-            Policy::Mocha { objective: Objective::Throughput },
+            Policy::Mocha {
+                objective: Objective::Throughput,
+            },
             net.layers(),
             &est,
             true,
@@ -46,7 +52,11 @@ fn main() {
         let mut fb = FabricConfig::baseline();
         fb.pe_rows = grid;
         fb.pe_cols = grid;
-        let pctx_b = PlanContext { fabric: &fb, codec_costs: &costs, energy: &energy_table };
+        let pctx_b = PlanContext {
+            fabric: &fb,
+            codec_costs: &costs,
+            energy: &energy_table,
+        };
         let fixed = controller::decide(&pctx_b, Policy::TilingOnly, net.layers(), &est, true);
 
         let gops = |cycles: u64| {

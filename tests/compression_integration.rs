@@ -47,7 +47,11 @@ fn compression_accounting_is_consistent() {
     let w = Workload::generate(network::tiny(), SparsityProfile::SPARSE, 43);
     let run = Simulator::new(Accelerator::mocha(Objective::Energy)).run(&w);
     let c = run.compression();
-    assert!(c.overall_ratio() >= 1.0, "net inflation {}", c.overall_ratio());
+    assert!(
+        c.overall_ratio() >= 1.0,
+        "net inflation {}",
+        c.overall_ratio()
+    );
     // Encoded never exceeds the 2x ZRLE worst case.
     assert!(c.activation_encoded <= 2 * c.activation_raw.max(1));
 }

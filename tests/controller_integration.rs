@@ -21,12 +21,32 @@ fn controller_adapts_parallelism_to_layer_shape() {
     let fabric = FabricConfig::mocha();
     let costs = CodecCostTable::default();
     let energy = EnergyTable::default();
-    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let ctx = PlanContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+        energy: &energy,
+    };
 
     let wide = network::single_conv(3, 128, 128, 4, 3, 1, 1);
     let deep = network::single_conv(256, 4, 4, 512, 3, 1, 1);
-    let d_wide = controller::decide(&ctx, Policy::Mocha { objective: Objective::Throughput }, wide.layers(), &est(0.5), true);
-    let d_deep = controller::decide(&ctx, Policy::Mocha { objective: Objective::Throughput }, deep.layers(), &est(0.5), true);
+    let d_wide = controller::decide(
+        &ctx,
+        Policy::Mocha {
+            objective: Objective::Throughput,
+        },
+        wide.layers(),
+        &est(0.5),
+        true,
+    );
+    let d_deep = controller::decide(
+        &ctx,
+        Policy::Mocha {
+            objective: Objective::Throughput,
+        },
+        deep.layers(),
+        &est(0.5),
+        true,
+    );
     assert_ne!(
         d_wide.morph.parallelism, d_deep.morph.parallelism,
         "wide {} vs deep {} should differ",
@@ -67,9 +87,13 @@ fn throughput_objective_is_competitive_on_cycles() {
     // error; allow that slack, but a throughput-objective run must never be
     // materially slower than runs optimizing something else entirely.
     let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 23);
-    let t = Simulator::new(Accelerator::mocha(Objective::Throughput)).run(&w).cycles();
+    let t = Simulator::new(Accelerator::mocha(Objective::Throughput))
+        .run(&w)
+        .cycles();
     for objective in [Objective::Energy, Objective::Storage] {
-        let other = Simulator::new(Accelerator::mocha(objective)).run(&w).cycles();
+        let other = Simulator::new(Accelerator::mocha(objective))
+            .run(&w)
+            .cycles();
         assert!(
             t as f64 <= other as f64 * 1.10,
             "{objective:?}: throughput run {t} way slower than {other}"

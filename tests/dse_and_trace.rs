@@ -21,7 +21,11 @@ fn pareto_front_spans_a_real_tradeoff_on_alexnet_conv3() {
     let fabric = FabricConfig::mocha();
     let costs = CodecCostTable::default();
     let energy = EnergyTable::default();
-    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let ctx = PlanContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+        energy: &energy,
+    };
     let front = explore_layer(&ctx, &net.layers()[0], &ctxless_est(), true);
     assert!(front.len() >= 3, "front too small: {}", front.len());
     // Sorted by cycles, and storage must generally fall as cycles rise
@@ -41,17 +45,25 @@ fn pareto_points_execute_bit_exactly() {
     let fabric = FabricConfig::mocha();
     let costs = CodecCostTable::default();
     let energy = EnergyTable::default();
-    let ctx = PlanContext { fabric: &fabric, codec_costs: &costs, energy: &energy };
+    let ctx = PlanContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+        energy: &energy,
+    };
     let front: Vec<DesignPoint> = explore_layer(&ctx, layer, &ctxless_est(), true);
 
     let mut rng = mocha::model::gen::rng(4);
     let input = mocha::model::gen::activations(layer.input, 0.6, &mut rng);
     let kernel = mocha::model::gen::kernel(layer.kernel_shape().unwrap(), 0.3, &mut rng);
     let expected = golden::conv(layer, &input, &kernel);
-    let ectx = ExecContext { fabric: &fabric, codec_costs: &costs };
+    let ectx = ExecContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+    };
     for p in front.iter().take(8) {
-        let run = mocha::core::exec::execute_layer(&ectx, layer, &input, Some(&kernel), &p.morph, true)
-            .unwrap_or_else(|e| panic!("front point {} infeasible: {e}", p.morph));
+        let run =
+            mocha::core::exec::execute_layer(&ectx, layer, &input, Some(&kernel), &p.morph, true)
+                .unwrap_or_else(|e| panic!("front point {} infeasible: {e}", p.morph));
         assert_eq!(run.output, expected, "front point {}", p.morph);
     }
 }
@@ -69,7 +81,11 @@ fn traces_cover_every_group_of_a_run() {
         let trace = Trace::new(&g.phases, g.morph.buffering);
         assert_eq!(trace.schedule.total, g.cycles, "group {}", g.name());
         let occupancy = trace.compute_occupancy();
-        assert!((0.0..=1.0).contains(&occupancy), "group {}: {occupancy}", g.name());
+        assert!(
+            (0.0..=1.0).contains(&occupancy),
+            "group {}: {occupancy}",
+            g.name()
+        );
         let gantt = trace.gantt(80);
         assert!(gantt.lines().count() >= g.phases.len());
     }
@@ -77,16 +93,18 @@ fn traces_cover_every_group_of_a_run() {
 
 #[test]
 fn fabric_and_energy_tables_roundtrip_through_json() {
-    // The CLI's --fabric/--energy overrides depend on this serde contract.
+    use mocha_json::{FromJson, ToJson};
+
+    // The CLI's --fabric/--energy overrides depend on this JSON contract.
     let fabric = FabricConfig::mocha();
-    let json = serde_json::to_string_pretty(&fabric).unwrap();
-    let back: FabricConfig = serde_json::from_str(&json).unwrap();
+    let json = fabric.to_json().to_string_pretty();
+    let back = FabricConfig::from_json(&mocha_json::parse(&json).unwrap()).unwrap();
     assert_eq!(back, fabric);
     back.validate().unwrap();
 
     let energy = EnergyTable::default();
-    let json = serde_json::to_string(&energy).unwrap();
-    let back: EnergyTable = serde_json::from_str(&json).unwrap();
+    let json = energy.to_json().to_string_compact();
+    let back = EnergyTable::from_json(&mocha_json::parse(&json).unwrap()).unwrap();
     assert_eq!(back, energy);
 
     // Metrics serialize too (for downstream analysis pipelines).
@@ -94,7 +112,7 @@ fn fabric_and_energy_tables_roundtrip_through_json() {
     let mut sim = Simulator::new(Accelerator::mocha(Objective::Edp));
     sim.verify = false;
     let run = sim.run(&w);
-    let json = serde_json::to_string(&run).unwrap();
-    let back: RunMetrics = serde_json::from_str(&json).unwrap();
+    let json = run.to_json().to_string_compact();
+    let back = RunMetrics::from_json(&mocha_json::parse(&json).unwrap()).unwrap();
     assert_eq!(back.cycles(), run.cycles());
 }

@@ -21,7 +21,10 @@ fn reports(profile: SparsityProfile, seed: u64) -> Vec<(String, PerfReport)> {
 fn t1_shape_mocha_wins_energy_efficiency_at_nominal_sparsity() {
     let rs = reports(SparsityProfile::NOMINAL, 60);
     let mocha = rs[0].1.gops_per_watt();
-    let next_best = rs[1..].iter().map(|(_, r)| r.gops_per_watt()).fold(f64::MIN, f64::max);
+    let next_best = rs[1..]
+        .iter()
+        .map(|(_, r)| r.gops_per_watt())
+        .fold(f64::MIN, f64::max);
     assert!(
         mocha > next_best,
         "mocha {mocha:.2} GOPS/W !> next best {next_best:.2}"
@@ -32,8 +35,14 @@ fn t1_shape_mocha_wins_energy_efficiency_at_nominal_sparsity() {
 fn t1_shape_mocha_wins_throughput_at_nominal_sparsity() {
     let rs = reports(SparsityProfile::NOMINAL, 61);
     let mocha = rs[0].1.gops();
-    let next_best = rs[1..].iter().map(|(_, r)| r.gops()).fold(f64::MIN, f64::max);
-    assert!(mocha > next_best, "mocha {mocha:.2} GOPS !> next best {next_best:.2}");
+    let next_best = rs[1..]
+        .iter()
+        .map(|(_, r)| r.gops())
+        .fold(f64::MIN, f64::max);
+    assert!(
+        mocha > next_best,
+        "mocha {mocha:.2} GOPS !> next best {next_best:.2}"
+    );
 }
 
 #[test]
@@ -43,7 +52,10 @@ fn t1_gains_grow_with_sparsity() {
     let sparse = reports(SparsityProfile::SPARSE, 62);
     let gain = |rs: &[(String, PerfReport)]| {
         let m = rs[0].1.gops_per_watt();
-        let b = rs[1..].iter().map(|(_, r)| r.gops_per_watt()).fold(f64::MIN, f64::max);
+        let b = rs[1..]
+            .iter()
+            .map(|(_, r)| r.gops_per_watt())
+            .fold(f64::MIN, f64::max);
         (m - b) / b
     };
     assert!(
@@ -73,10 +85,25 @@ fn t2_shape_area_overhead_in_band() {
 #[test]
 fn f7_shape_each_cascaded_optimization_reduces_dram_traffic() {
     let w = Workload::generate(network::tiny(), SparsityProfile::SPARSE, 63);
-    let tiling = Simulator::new(Accelerator::tiling_only()).run(&w).events().dram_bytes();
-    let nc = Simulator::new(Accelerator::mocha_no_compression(Objective::Energy)).run(&w).events().dram_bytes();
-    let full = Simulator::new(Accelerator::mocha(Objective::Energy)).run(&w).events().dram_bytes();
+    let tiling = Simulator::new(Accelerator::tiling_only())
+        .run(&w)
+        .events()
+        .dram_bytes();
+    let nc = Simulator::new(Accelerator::mocha_no_compression(Objective::Energy))
+        .run(&w)
+        .events()
+        .dram_bytes();
+    let full = Simulator::new(Accelerator::mocha(Objective::Energy))
+        .run(&w)
+        .events()
+        .dram_bytes();
     // tiling-only ≥ mocha without compression ≥ full mocha.
-    assert!(nc <= tiling, "morphing didn't reduce traffic: {nc} > {tiling}");
-    assert!(full < nc, "compression didn't reduce traffic: {full} >= {nc}");
+    assert!(
+        nc <= tiling,
+        "morphing didn't reduce traffic: {nc} > {tiling}"
+    );
+    assert!(
+        full < nc,
+        "compression didn't reduce traffic: {full} >= {nc}"
+    );
 }

@@ -16,7 +16,11 @@ fn cycles_respect_the_compute_lower_bound() {
     // total_macs / peak_macs_per_cycle.
     let fabric = FabricConfig::mocha();
     let lower = w.network.total_macs() / fabric.peak_macs_per_cycle() as u64;
-    assert!(run.cycles() >= lower, "cycles {} < compute bound {lower}", run.cycles());
+    assert!(
+        run.cycles() >= lower,
+        "cycles {} < compute bound {lower}",
+        run.cycles()
+    );
 }
 
 #[test]

@@ -48,7 +48,10 @@ fn depthwise_layers_prefer_spatial_parallelism() {
     assert!(
         spatially_spread > 0,
         "no dw group used spatial parallelism: {:?}",
-        dw_groups.iter().map(|g| (g.name(), g.morph.parallelism)).collect::<Vec<_>>()
+        dw_groups
+            .iter()
+            .map(|g| (g.name(), g.morph.parallelism))
+            .collect::<Vec<_>>()
     );
 }
 

@@ -7,7 +7,10 @@ use mocha::prelude::*;
 fn final_output(run: &RunMetrics) -> &str {
     // RunMetrics carries names only; equality is asserted inside the
     // simulator (verify = true). This helper just documents the contract.
-    run.groups.last().map(|g| g.layers.last().unwrap().as_str()).unwrap()
+    run.groups
+        .last()
+        .map(|g| g.layers.last().unwrap().as_str())
+        .unwrap()
 }
 
 #[test]
@@ -23,17 +26,29 @@ fn all_accelerators_match_golden_on_tiny() {
 
 #[test]
 fn mocha_matches_golden_on_lenet_across_sparsity_profiles() {
-    for profile in [SparsityProfile::DENSE, SparsityProfile::NOMINAL, SparsityProfile::SPARSE] {
+    for profile in [
+        SparsityProfile::DENSE,
+        SparsityProfile::NOMINAL,
+        SparsityProfile::SPARSE,
+    ] {
         let workload = Workload::generate(network::lenet5(), profile, 31);
         let run = Simulator::new(Accelerator::mocha(Objective::Edp)).run(&workload);
-        assert_eq!(run.groups.iter().map(|g| g.layers.len()).sum::<usize>(), workload.network.len());
+        assert_eq!(
+            run.groups.iter().map(|g| g.layers.len()).sum::<usize>(),
+            workload.network.len()
+        );
     }
 }
 
 #[test]
 fn mocha_matches_golden_under_every_objective() {
     let workload = Workload::generate(network::tiny(), SparsityProfile::SPARSE, 5);
-    for objective in [Objective::Throughput, Objective::Energy, Objective::Edp, Objective::Storage] {
+    for objective in [
+        Objective::Throughput,
+        Objective::Energy,
+        Objective::Edp,
+        Objective::Storage,
+    ] {
         let run = Simulator::new(Accelerator::mocha(objective)).run(&workload);
         assert!(run.cycles() > 0, "{objective:?}");
     }
@@ -41,10 +56,16 @@ fn mocha_matches_golden_under_every_objective() {
 
 #[test]
 fn different_seeds_produce_different_but_valid_runs() {
-    let a = Simulator::new(Accelerator::mocha(Objective::Edp))
-        .run(&Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 1));
-    let b = Simulator::new(Accelerator::mocha(Objective::Edp))
-        .run(&Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 2));
+    let a = Simulator::new(Accelerator::mocha(Objective::Edp)).run(&Workload::generate(
+        network::tiny(),
+        SparsityProfile::NOMINAL,
+        1,
+    ));
+    let b = Simulator::new(Accelerator::mocha(Objective::Edp)).run(&Workload::generate(
+        network::tiny(),
+        SparsityProfile::NOMINAL,
+        2,
+    ));
     // Different data ⇒ (almost surely) different compressed traffic.
     assert_ne!(a.events().dram_bytes(), b.events().dram_bytes());
 }
