@@ -19,4 +19,19 @@ cargo test --workspace -q
 echo "== repro r1 smoke (quick mode)"
 cargo run --release -p mocha-bench --bin repro -- --quick r1
 
+echo "== obs smoke (stream parses, non-empty, deterministic)"
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+    runtime --jobs 3 --load 2.0 --seed 7 --obs "$obs_tmp/a.jsonl" > /dev/null
+cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+    runtime --jobs 3 --load 2.0 --seed 7 --obs "$obs_tmp/b.jsonl" > /dev/null
+test -s "$obs_tmp/a.jsonl" || { echo "obs stream is empty"; exit 1; }
+if grep -qv '^{.*}$' "$obs_tmp/a.jsonl"; then
+    echo "obs stream has a non-JSON-object line"; exit 1
+fi
+cmp "$obs_tmp/a.jsonl" "$obs_tmp/b.jsonl" || {
+    echo "obs streams differ between identical seeded runs"; exit 1
+}
+
 echo "CI OK"

@@ -1,0 +1,57 @@
+//! Benchmarks for the observability layer: raw recorder operation costs,
+//! and the zero-overhead claim — a simulator run with the no-op recorder
+//! timed against the plain entry point.
+
+use mocha::obs::{Histogram, MemRecorder, NoopRecorder, Recorder};
+use mocha::prelude::*;
+use mocha_bench::micro::Group;
+use std::time::Duration;
+
+fn main() {
+    let group = Group::new("obs").budget(Duration::from_millis(300));
+
+    // Raw primitive costs on the in-memory recorder.
+    group.bench("hist/record_1k_mixed", None, || {
+        let mut h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(i.wrapping_mul(0x9e3779b97f4a7c15) % 256);
+        }
+        h.p99()
+    });
+    group.bench("recorder/add_1k_counters", None, || {
+        let mut r = MemRecorder::new();
+        for _ in 0..1000 {
+            r.add("fabric.macs", 7);
+        }
+        r.counter("fabric.macs")
+    });
+    group.bench("recorder/span_256", None, || {
+        let mut r = MemRecorder::new();
+        for i in 0..256u64 {
+            r.span(|| format!("job/0/group/{i}"), i, i + 1);
+        }
+        r.spans().len()
+    });
+    group.bench("recorder/span_256_noop", None, || {
+        let mut r = NoopRecorder;
+        for i in 0..256u64 {
+            r.span(|| format!("job/0/group/{i}"), i, i + 1);
+        }
+    });
+
+    // The zero-overhead claim: `run` (which is `run_with(NoopRecorder)`)
+    // vs an explicit no-op recorder vs active recording, on the same
+    // workload. The first two must be indistinguishable.
+    let workload = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 3);
+    let mut sim = Simulator::new(Accelerator::mocha(Objective::Edp));
+    sim.verify = false;
+    let group = Group::new("obs-sim").budget(Duration::from_millis(500));
+    group.bench("tiny/plain_run", None, || sim.run(&workload));
+    group.bench("tiny/noop_recorder", None, || {
+        sim.run_with(&workload, &mut NoopRecorder)
+    });
+    group.bench("tiny/mem_recorder", None, || {
+        let mut rec = MemRecorder::new();
+        sim.run_with(&workload, &mut rec)
+    });
+}

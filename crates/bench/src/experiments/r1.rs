@@ -9,7 +9,8 @@
 //! with load, where arrivals force frequent re-carves.
 
 use crate::table::{f, Table};
-use mocha_runtime::{generate, run as run_runtime, LeasePolicy, Mix, RuntimeConfig, TrafficConfig};
+use mocha::obs::{names, MemRecorder};
+use mocha_runtime::{generate, run_with, LeasePolicy, Mix, RuntimeConfig, TrafficConfig};
 
 use super::ExpConfig;
 
@@ -44,6 +45,9 @@ pub fn run(cfg: &ExpConfig) -> String {
     );
 
     let mut adaptive_wins_at_peak = false;
+    // One recorder across the whole sweep: its scheduler counters feed the
+    // closing note (groups stepped, interim admissions, deferrals).
+    let mut rec = MemRecorder::new();
     for &load in loads {
         let traffic = TrafficConfig {
             jobs,
@@ -61,7 +65,7 @@ pub fn run(cfg: &ExpConfig) -> String {
                 policy: *policy,
                 ..RuntimeConfig::default()
             };
-            let report = run_runtime(&rt, &subs);
+            let report = run_with(&rt, &subs, &mut rec);
             throughput[i] = report.jobs_per_mcycle();
             let remorphs: usize = report.jobs.iter().map(|j| j.remorphs).sum();
             t.row(vec![
@@ -90,5 +94,12 @@ pub fn run(cfg: &ExpConfig) -> String {
         }
     ));
     t.note("same seeded arrival trace for both policies at each load point");
+    t.note(format!(
+        "obs totals over the sweep: {} groups stepped, {} interim admissions, \
+         {} admission deferrals",
+        rec.counter(names::RUNTIME_GROUPS_STEPPED),
+        rec.counter(names::RUNTIME_INTERIM_ADMISSIONS),
+        rec.counter(names::RUNTIME_ADMISSION_DEFERRALS),
+    ));
     t.render()
 }

@@ -36,13 +36,17 @@ USAGE:
       --max-tenants N    admission cap                        (default 4)
       --json             emit the RuntimeReport as JSON
       --no-verify        skip golden-model verification
+      --obs FILE         export the run's observability event stream
+                         (spans, counters, histograms) as JSON lines
   mocha-sim serve [--tcp ADDR] [--once] [--policy P] [--max-tenants N] [--no-verify]
       JSON-lines batch server: one job request per line on stdin (or one
       TCP connection with --tcp), e.g.
         {\"network\": \"lenet5\", \"profile\": \"sparse\", \"priority\": \"high\",
          \"objective\": \"edp\", \"seed\": 7, \"arrival_cycle\": 0}
       A blank line (or EOF) closes the batch; per-job reports and a summary
-      come back as JSON lines.
+      come back as JSON lines. A batch whose first line is the bare word
+      `stats` instead returns one JSON snapshot of the server's counters
+      and histograms (admitted == finished + in_flight by construction).
 
 Fabric and energy tables can be overridden from JSON for any command:
   --fabric FILE.json     a serialized FabricConfig

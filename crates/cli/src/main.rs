@@ -8,7 +8,10 @@
 //! mocha-sim codec    [--sparsity S] [--clustered] [--elements N] [--seed N]
 //! mocha-sim networks
 //! mocha-sim runtime  [--jobs N] [--load F] [--seed N] [--mix M] [--policy P]
+//!                    [--obs FILE]
 //! mocha-sim serve    [--tcp ADDR] [--once] [--policy P] [--max-tenants N]
+//!                    (a batch starting with the bare line `stats` returns a
+//!                    counters/histograms snapshot)
 //! ```
 //!
 //! Errors are scriptable: unknown subcommands, options or stray arguments

@@ -12,11 +12,18 @@
 
 use crate::args::Args;
 use crate::commands;
+use mocha::obs::{names, MemRecorder, Recorder};
 use mocha::runtime::{
     self, JobSpec, LeasePolicy, Mix, RuntimeConfig, RuntimeReport, Submission, TrafficConfig,
 };
 use mocha_json::{FromJson, ToJson};
 use std::io::{BufRead, BufReader, Write};
+
+/// Span retention cap for the server's always-on recorder: counters and
+/// histograms are O(names) and never capped, but spans grow with traffic,
+/// so a long-running server keeps the first ~100k and counts the rest in
+/// `spans_dropped`.
+const SERVE_SPAN_CAP: usize = 100_000;
 
 /// Builds the runtime configuration shared by `serve` and `runtime` from
 /// `--fabric`, `--policy`, `--max-tenants` and `--no-verify`.
@@ -62,22 +69,38 @@ fn parse_request(line: &str) -> Result<Submission, String> {
 /// the caller in stdin mode, written to the peer in TCP mode).
 fn serve_stream(
     cfg: &RuntimeConfig,
+    rec: &mut MemRecorder,
     reader: impl BufRead,
     writer: &mut impl Write,
 ) -> Result<(), String> {
     let mut subs = Vec::new();
+    let mut first = true;
     for (n, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| format!("read error: {e}"))?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             break; // blank line closes the batch
         }
-        let sub = parse_request(trimmed).map_err(|e| format!("line {}: {e}", n + 1))?;
+        // A batch whose first line is the bare word `stats` is a snapshot
+        // request: answer with the recorder's state and close.
+        if first && trimmed == "stats" {
+            rec.add(names::SERVE_STATS_REQUESTS, 1);
+            writeln!(writer, "{}", stats_json(rec).to_string_compact())
+                .map_err(|e| format!("write error: {e}"))?;
+            return Ok(());
+        }
+        first = false;
+        rec.add(names::SERVE_REQUESTS, 1);
+        let sub = parse_request(trimmed).map_err(|e| {
+            rec.add(names::SERVE_REQUESTS_REJECTED, 1);
+            format!("line {}: {e}", n + 1)
+        })?;
         subs.push(sub);
     }
     // The scheduler wants non-decreasing arrivals; clients may interleave.
     subs.sort_by_key(|s| s.arrival_cycle);
-    let report = runtime::run(cfg, &subs);
+    let report = runtime::run_with(cfg, &subs, rec);
+    rec.add(names::SERVE_BATCHES, 1);
     for job in &report.jobs {
         writeln!(writer, "{}", job.to_json().to_string_compact())
             .map_err(|e| format!("write error: {e}"))?;
@@ -85,6 +108,28 @@ fn serve_stream(
     writeln!(writer, "{}", summary_json(&report).to_string_compact())
         .map_err(|e| format!("write error: {e}"))?;
     Ok(())
+}
+
+/// The `stats` response: the recorder snapshot (counters, histogram
+/// summaries, span tally) plus a derived `jobs` block whose counts
+/// reconcile by construction: `admitted == finished + in_flight`.
+fn stats_json(rec: &MemRecorder) -> mocha_json::Value {
+    let admitted = rec.counter(names::RUNTIME_JOBS_ADMITTED);
+    let finished = rec.counter(names::RUNTIME_JOBS_FINISHED);
+    let mut snap = rec.snapshot();
+    if let mocha_json::Value::Obj(map) = &mut snap {
+        map.insert(
+            "jobs".to_string(),
+            mocha_json::jobj! {
+                "submitted" => rec.counter(names::RUNTIME_JOBS_SUBMITTED),
+                "admitted" => admitted,
+                "finished" => finished,
+                "rejected" => rec.counter(names::SERVE_REQUESTS_REJECTED),
+                "in_flight" => admitted - finished,
+            },
+        );
+    }
+    snap
 }
 
 /// The fleet-level summary line (job list omitted — jobs were streamed
@@ -129,11 +174,12 @@ pub fn serve(args: &Args) -> i32 {
             return 2;
         }
     };
+    let mut rec = MemRecorder::with_span_cap(SERVE_SPAN_CAP);
     match args.options.get("tcp") {
         None => {
             let stdin = std::io::stdin();
             let mut stdout = std::io::stdout().lock();
-            match serve_stream(&cfg, stdin.lock(), &mut stdout) {
+            match serve_stream(&cfg, &mut rec, stdin.lock(), &mut stdout) {
                 Ok(()) => 0,
                 Err(e) => {
                     eprintln!("{e}");
@@ -170,7 +216,7 @@ pub fn serve(args: &Args) -> i32 {
                     }
                 };
                 let mut writer = stream;
-                if let Err(e) = serve_stream(&cfg, reader, &mut writer) {
+                if let Err(e) = serve_stream(&cfg, &mut rec, reader, &mut writer) {
                     // Report protocol errors to the peer, stay up.
                     let _ = writeln!(
                         writer,
@@ -201,6 +247,7 @@ pub fn runtime_cmd(args: &Args) -> i32 {
             "no-verify",
             "json",
             "fabric",
+            "obs",
         ],
     ) {
         return code;
@@ -228,7 +275,21 @@ pub fn runtime_cmd(args: &Args) -> i32 {
         return 2;
     }
     let subs = runtime::generate(&traffic);
-    let report = runtime::run(&cfg, &subs);
+    let report = match args.options.get("obs") {
+        None => runtime::run(&cfg, &subs),
+        Some(path) => {
+            // Record the run and export the full event stream as JSON lines.
+            // The stream is a pure function of the seeded run, so identical
+            // invocations produce byte-identical files.
+            let mut rec = MemRecorder::new();
+            let report = runtime::run_with(&cfg, &subs, &mut rec);
+            if let Err(e) = std::fs::write(path, rec.to_jsonl()) {
+                eprintln!("cannot write {path:?}: {e}");
+                return 2;
+            }
+            report
+        }
+    };
 
     if args.flag("json") {
         println!("{}", report.to_json().to_string_pretty());

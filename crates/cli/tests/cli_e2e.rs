@@ -5,7 +5,7 @@
 //! stderr + exit code 2).
 
 use mocha_json::ToJson;
-use std::io::Write;
+use std::io::{BufRead, BufReader, Write};
 use std::process::{Command, Output, Stdio};
 
 fn mocha_sim(args: &[&str]) -> Output {
@@ -117,6 +117,114 @@ fn serve_rejects_bad_requests_with_line_numbers() {
     let err = stderr(&out);
     assert!(err.starts_with("line 1:"), "stderr: {err}");
     assert_eq!(err.lines().count(), 1, "stderr: {err}");
+}
+
+/// `runtime --obs` exports the observability event stream: every line is a
+/// tagged JSON object, all three event kinds are present, and two identical
+/// seeded invocations produce byte-identical files.
+#[test]
+fn runtime_obs_export_is_deterministic_and_well_formed() {
+    let dir = std::env::temp_dir();
+    let f1 = dir.join("mocha_obs_e2e_1.jsonl");
+    let f2 = dir.join("mocha_obs_e2e_2.jsonl");
+    for f in [&f1, &f2] {
+        let out = mocha_sim(&[
+            "runtime",
+            "--jobs",
+            "3",
+            "--load",
+            "2.0",
+            "--seed",
+            "7",
+            "--obs",
+            f.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+    }
+    let a = std::fs::read_to_string(&f1).expect("obs file written");
+    let b = std::fs::read_to_string(&f2).expect("obs file written");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "two seeded runs must export byte-identical streams");
+
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in a.lines() {
+        let v = mocha_json::parse(line).expect("every obs line is JSON");
+        let kind = v
+            .get("event")
+            .and_then(|e| e.as_str())
+            .unwrap_or_else(|| panic!("untagged obs line: {line}"));
+        kinds.insert(kind.to_string());
+    }
+    assert!(kinds.contains("span"), "kinds: {kinds:?}");
+    assert!(kinds.contains("counter"), "kinds: {kinds:?}");
+    assert!(kinds.contains("hist"), "kinds: {kinds:?}");
+    let _ = std::fs::remove_file(f1);
+    let _ = std::fs::remove_file(f2);
+}
+
+/// `serve --tcp`: a batch connection followed by a `stats` connection. The
+/// snapshot must be well-formed JSON whose job counters reconcile with the
+/// batch summary: every request was submitted, admitted and finished
+/// (`admitted == finished + in_flight`, nothing rejected).
+#[test]
+fn serve_tcp_stats_snapshot_reconciles_with_the_batch() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+        .args(["serve", "--tcp", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mocha-sim serve --tcp");
+    let mut child_err = BufReader::new(child.stderr.take().expect("stderr"));
+    let mut line = String::new();
+    child_err.read_line(&mut line).expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+
+    // Connection 1: a two-job batch.
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(
+            b"{\"network\": \"tiny\", \"profile\": \"sparse\", \"seed\": 3}\n\
+              {\"network\": \"tiny\", \"arrival_cycle\": 4000}\n\n",
+        )
+        .expect("send batch");
+    let mut lines = Vec::new();
+    for l in BufReader::new(stream).lines() {
+        lines.push(l.expect("read response"));
+    }
+    assert_eq!(lines.len(), 3, "2 job reports + summary: {lines:?}");
+    let summary = mocha_json::parse(&lines[2]).expect("summary JSON");
+    assert_eq!(summary.get("completed").and_then(|v| v.as_u64()), Some(2));
+
+    // Connection 2: the stats snapshot.
+    let stream = std::net::TcpStream::connect(&addr).expect("connect stats");
+    let mut writer = stream.try_clone().expect("clone");
+    writer.write_all(b"stats\n").expect("send stats");
+    let mut reader = BufReader::new(stream);
+    let mut snap_line = String::new();
+    reader.read_line(&mut snap_line).expect("read snapshot");
+    child.kill().expect("kill server");
+    let _ = child.wait();
+
+    let snap = mocha_json::parse(snap_line.trim()).expect("snapshot is JSON");
+    let jobs = snap.get("jobs").expect("jobs block");
+    let get = |k: &str| jobs.get(k).and_then(|v| v.as_u64()).expect(k);
+    assert_eq!(get("submitted"), 2);
+    assert_eq!(get("admitted"), 2);
+    assert_eq!(get("rejected"), 0);
+    assert_eq!(get("admitted"), get("finished") + get("in_flight"));
+    let counters = snap.get("counters").expect("counters block");
+    let counter = |k: &str| counters.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    assert_eq!(counter("serve.requests"), 2);
+    assert_eq!(counter("serve.batches"), 1);
+    assert_eq!(counter("runtime.jobs_finished"), 2);
+    assert!(snap.get("hists").is_some());
+    assert!(snap.get("spans").and_then(|v| v.as_u64()).unwrap_or(0) > 0);
 }
 
 /// Unknown subcommands fail with a single-line stderr message and exit

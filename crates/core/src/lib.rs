@@ -43,5 +43,5 @@ pub use exec::{execute_layer, ExecContext, LayerRun};
 pub use metrics::{GroupMetrics, RunMetrics};
 pub use morph::{CompressionChoice, LoopOrder, MorphConfig, Objective, Parallelism, Tiling};
 pub use plan::{plan_layer, LayerPlan, PlanContext, SparsityEstimate};
-pub use simulator::{Session, Simulator};
+pub use simulator::{record_group, Session, Simulator};
 pub use trace::Trace;

@@ -18,6 +18,7 @@ use mocha_model::gen::Workload;
 use mocha_model::golden;
 use mocha_model::layer::LayerKind;
 use mocha_model::tensor::Kernel;
+use mocha_obs::{NoopRecorder, Recorder};
 
 use crate::baseline::Accelerator;
 
@@ -157,9 +158,17 @@ impl Simulator {
     /// configuration (which the fallback ladders make unreachable for the
     /// fabrics and networks shipped here).
     pub fn run(&self, workload: &Workload) -> RunMetrics {
+        self.run_with(workload, &mut NoopRecorder)
+    }
+
+    /// [`Simulator::run`] with an observability recorder: every group emits
+    /// `group/<layers>` and tile-phase spans on the simulated clock, fabric
+    /// event counters and a `core.group_cycles` histogram sample. With
+    /// [`NoopRecorder`] this monomorphizes to exactly [`Simulator::run`].
+    pub fn run_with<R: Recorder>(&self, workload: &Workload, rec: &mut R) -> RunMetrics {
         let mut session = Session::new(self.clone(), workload.clone());
         while !session.done() {
-            session.step();
+            session.step_with(rec);
         }
         session.finish()
     }
@@ -181,6 +190,9 @@ pub struct Session {
     current: mocha_model::Tensor<i8>,
     pos: usize,
     groups: Vec<GroupMetrics>,
+    /// Cycles consumed by the groups executed so far — the session's own
+    /// clock, used as the base of recorded spans.
+    clock: u64,
 }
 
 impl Session {
@@ -200,6 +212,7 @@ impl Session {
             current,
             pos: 0,
             groups: Vec::new(),
+            clock: 0,
         }
     }
 
@@ -223,6 +236,11 @@ impl Session {
         &self.groups
     }
 
+    /// Cycles consumed by the groups executed so far.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
     /// The network's remaining dense work in MACs (for admission sizing).
     pub fn remaining_macs(&self) -> u64 {
         self.workload.network.layers()[self.pos..]
@@ -233,8 +251,13 @@ impl Session {
 
     /// Advances one group on the accelerator's own (whole) fabric.
     pub fn step(&mut self) -> &GroupMetrics {
+        self.step_with(&mut NoopRecorder)
+    }
+
+    /// [`Session::step`] with an observability recorder.
+    pub fn step_with<R: Recorder>(&mut self, rec: &mut R) -> &GroupMetrics {
         let fabric = self.sim.accelerator.fabric;
-        self.step_on(&fabric)
+        self.step_on_with(&fabric, rec)
     }
 
     /// Advances one group on an arbitrary fabric — typically the sub-fabric
@@ -246,6 +269,20 @@ impl Session {
     /// Panics if the session is done, if no configuration fits `fabric`, or
     /// if verification is on and the output deviates from the golden model.
     pub fn step_on(&mut self, fabric: &mocha_fabric::FabricConfig) -> &GroupMetrics {
+        self.step_on_with(fabric, &mut NoopRecorder)
+    }
+
+    /// [`Session::step_on`] with an observability recorder: the executed
+    /// group emits a `group/<layers>` span (with nested tile-phase spans)
+    /// based at the session clock, its fabric event counters, controller
+    /// counters and a `core.group_cycles` sample. The recorder is generic —
+    /// with [`NoopRecorder`] (`ACTIVE = false`) every hook compiles away and
+    /// the path is exactly [`Session::step_on`].
+    pub fn step_on_with<R: Recorder>(
+        &mut self,
+        fabric: &mocha_fabric::FabricConfig,
+        rec: &mut R,
+    ) -> &GroupMetrics {
         assert!(!self.done(), "session already complete");
         let sim = &self.sim;
         let i = self.pos;
@@ -274,6 +311,7 @@ impl Session {
             };
             decision = decide(&pctx, fallback_policy, &layers[i..], &est, true);
             attempt = sim.execute_decision(fabric, &self.workload, i, &self.current, &decision);
+            rec.add(mocha_obs::names::CORE_COMPRESSION_FALLBACKS, 1);
         }
         let (output, cycles, events, spm_peak, compression, phases) =
             attempt.unwrap_or_else(|e| panic!("{}: chosen config infeasible: {e}", layers[i].name));
@@ -307,7 +345,10 @@ impl Session {
 
         self.current = output;
         self.pos += len;
-        self.groups.last().unwrap()
+        let g = self.groups.last().unwrap();
+        record_group(rec, "", self.clock, g);
+        self.clock += g.cycles;
+        g
     }
 
     /// The output tensor of the last executed group (the network output
@@ -324,6 +365,34 @@ impl Session {
             groups: self.groups,
         }
     }
+}
+
+/// Records one executed group's observability events: a
+/// `[{prefix}/]group/<layers>` span covering `[base, base + cycles)`, the
+/// tile-phase spans of its resolved pipeline schedule nested under it, its
+/// fabric event counters, the `core.*` controller counters and a
+/// `core.group_cycles` histogram sample.
+///
+/// Shared by [`Session::step_on_with`] (empty prefix) and the multi-tenant
+/// scheduler (prefix `job/<id>`). Returns immediately — without resolving
+/// the schedule or formatting paths — when the recorder is inactive.
+pub fn record_group<R: Recorder>(rec: &mut R, prefix: &str, base: u64, g: &GroupMetrics) {
+    use mocha_obs::names;
+    if !R::ACTIVE {
+        return;
+    }
+    let name = g.layers.join("+");
+    let path = if prefix.is_empty() {
+        format!("group/{name}")
+    } else {
+        format!("{prefix}/group/{name}")
+    };
+    rec.span(|| path.clone(), base, base + g.cycles);
+    mocha_fabric::pipeline_schedule(&g.phases, g.morph.buffering).record_spans(&path, base, rec);
+    g.events.record(rec);
+    rec.add(names::CORE_GROUPS, 1);
+    rec.add(names::CORE_CANDIDATES, g.candidates as u64);
+    rec.sample(names::HIST_GROUP_CYCLES, g.cycles);
 }
 
 /// Pooling contributes window-reduction work; count it as half a MAC per
@@ -410,5 +479,75 @@ mod tests {
             m.groups.iter().map(|g| g.layers.len()).sum::<usize>(),
             network::lenet5().len()
         );
+    }
+
+    #[test]
+    fn run_with_noop_recorder_is_exactly_run() {
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 11);
+        let sim = Simulator::new(Accelerator::mocha(Objective::Edp));
+        let plain = sim.run(&w);
+        let noop = sim.run_with(&w, &mut mocha_obs::NoopRecorder);
+        assert_eq!(plain.cycles(), noop.cycles());
+        assert_eq!(plain.events(), noop.events());
+        assert_eq!(
+            plain.report(&EnergyTable::default()).energy.total_pj(),
+            noop.report(&EnergyTable::default()).energy.total_pj()
+        );
+    }
+
+    #[test]
+    fn instrumented_run_pins_pre_instrumentation_goldens() {
+        // These values were produced by the uninstrumented simulator before
+        // the recorder hooks existed; recording must never perturb them.
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 11);
+        let sim = Simulator::new(Accelerator::mocha(Objective::Edp));
+        let mut rec = mocha_obs::MemRecorder::new();
+        let m = sim.run_with(&w, &mut rec);
+        assert_eq!(m.cycles(), 121_852);
+        assert_eq!(m.events().dram_bytes(), 261_888);
+        // And the recorder's view reconciles with the metrics' view.
+        use mocha_obs::names;
+        assert_eq!(rec.counter(names::CORE_GROUPS), m.groups.len() as u64);
+        assert_eq!(
+            rec.counter(names::FABRIC_DRAM_READ_BYTES)
+                + rec.counter(names::FABRIC_DRAM_WRITE_BYTES),
+            m.events().dram_bytes()
+        );
+        let hist = rec.hist(names::HIST_GROUP_CYCLES).unwrap();
+        assert_eq!(hist.count(), m.groups.len() as u64);
+        assert_eq!(
+            hist.quantile(100.0).unwrap(),
+            m.groups.iter().map(|g| g.cycles).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn recorded_spans_nest_groups_over_tiles_on_one_clock() {
+        let w = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 11);
+        let sim = Simulator::new(Accelerator::mocha(Objective::Edp));
+        let mut rec = mocha_obs::MemRecorder::new();
+        let m = sim.run_with(&w, &mut rec);
+
+        let groups: Vec<&mocha_obs::SpanEvent> = rec
+            .spans()
+            .iter()
+            .filter(|s| s.path.starts_with("group/") && !s.path.contains("/tile/"))
+            .collect();
+        assert_eq!(groups.len(), m.groups.len());
+        // Group spans tile the clock: contiguous, summing to total cycles.
+        let mut t = 0;
+        for g in &groups {
+            assert_eq!(g.start, t);
+            t = g.end;
+        }
+        assert_eq!(t, m.cycles());
+        // Every tile span nests inside its group span.
+        for s in rec.spans().iter().filter(|s| s.path.contains("/tile/")) {
+            let parent = groups
+                .iter()
+                .find(|g| s.path.starts_with(&format!("{}/tile/", g.path)))
+                .unwrap_or_else(|| panic!("orphan tile span {}", s.path));
+            assert!(parent.start <= s.start && s.end <= parent.end, "{}", s.path);
+        }
     }
 }

@@ -84,6 +84,24 @@ impl EventCounts {
     pub fn dram_bytes(&self) -> u64 {
         self.dram_read_bytes + self.dram_write_bytes
     }
+
+    /// Streams the counts into the canonical `fabric.*` observability
+    /// counters. The energy-relevant integer events map one-to-one;
+    /// `priced_pj` (already-priced energy, an f64) stays in the energy
+    /// domain and is not a counter.
+    pub fn record<R: mocha_obs::Recorder>(&self, rec: &mut R) {
+        use mocha_obs::names;
+        rec.add(names::FABRIC_MACS, self.macs);
+        rec.add(names::FABRIC_MACS_SKIPPED, self.macs_skipped);
+        rec.add(names::FABRIC_DRAM_READ_BYTES, self.dram_read_bytes);
+        rec.add(names::FABRIC_DRAM_WRITE_BYTES, self.dram_write_bytes);
+        rec.add(names::FABRIC_DRAM_BURSTS, self.dram_bursts);
+        rec.add(names::FABRIC_NOC_FLIT_HOPS, self.noc_flit_hops);
+        rec.add(names::FABRIC_SPM_READ_BYTES, self.spm_read_bytes);
+        rec.add(names::FABRIC_SPM_WRITE_BYTES, self.spm_write_bytes);
+        rec.add(names::FABRIC_CODEC_BYTES, self.codec_bytes);
+        rec.add(names::FABRIC_ACTIVE_CYCLES, self.active_cycles);
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +142,39 @@ mod tests {
         assert_eq!(a.dram_bytes(), 40);
         assert_eq!(a.priced_pj, 2.0);
         assert_eq!(a.active_cycles, 100);
+    }
+
+    #[test]
+    fn record_maps_fields_onto_canonical_counters() {
+        let e = EventCounts {
+            macs: 1,
+            macs_skipped: 2,
+            dram_read_bytes: 3,
+            dram_write_bytes: 4,
+            dram_bursts: 5,
+            noc_flit_hops: 6,
+            spm_read_bytes: 7,
+            spm_write_bytes: 8,
+            codec_bytes: 9,
+            active_cycles: 10,
+            ..Default::default()
+        };
+        let mut rec = mocha_obs::MemRecorder::new();
+        e.record(&mut rec);
+        e.record(&mut rec); // accumulates
+        for (name, want) in [
+            ("fabric.macs", 2),
+            ("fabric.macs_skipped", 4),
+            ("fabric.dram_read_bytes", 6),
+            ("fabric.dram_write_bytes", 8),
+            ("fabric.dram_bursts", 10),
+            ("fabric.noc_flit_hops", 12),
+            ("fabric.spm_read_bytes", 14),
+            ("fabric.spm_write_bytes", 16),
+            ("fabric.codec_bytes", 18),
+            ("fabric.active_cycles", 20),
+        ] {
+            assert_eq!(rec.counter(name), want, "{name}");
+        }
     }
 }

@@ -87,6 +87,24 @@ impl StreamTransfer {
         counts.codec_bytes += self.codec_raw_bytes;
         counts.priced_pj += self.codec_pj;
     }
+
+    /// Streams the transfer's integer events into observability counters
+    /// (codec energy stays in the energy domain, like
+    /// [`EventCounts::record`](mocha_energy::EventCounts::record)).
+    pub fn record<R: mocha_obs::Recorder>(&self, config: &FabricConfig, rec: &mut R) {
+        use mocha_obs::names;
+        DramTransfer {
+            bytes: self.wire_bytes,
+            dir: self.dir,
+        }
+        .record(config, rec);
+        NocTransfer::mean_path(config, self.wire_bytes, self.lanes).record(rec);
+        match self.dir {
+            Dir::Read => rec.add(names::FABRIC_SPM_WRITE_BYTES, self.spm_bytes),
+            Dir::Write => rec.add(names::FABRIC_SPM_READ_BYTES, self.spm_bytes),
+        }
+        rec.add(names::FABRIC_CODEC_BYTES, self.codec_raw_bytes);
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +186,14 @@ mod tests {
         assert_eq!(e.codec_bytes, 128);
         assert!((e.priced_pj - 3.5).abs() < 1e-12);
         assert_eq!(e.noc_flit_hops, 64 * 8);
+
+        // The recorder sees the same integer events.
+        let mut rec = mocha_obs::MemRecorder::new();
+        t.record(&cfg(), &mut rec);
+        assert_eq!(rec.counter("fabric.dram_write_bytes"), e.dram_write_bytes);
+        assert_eq!(rec.counter("fabric.spm_read_bytes"), e.spm_read_bytes);
+        assert_eq!(rec.counter("fabric.codec_bytes"), e.codec_bytes);
+        assert_eq!(rec.counter("fabric.noc_flit_hops"), e.noc_flit_hops);
+        assert_eq!(rec.counter("fabric.dram_bursts"), e.dram_bursts);
     }
 }

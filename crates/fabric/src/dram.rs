@@ -59,6 +59,17 @@ impl DramTransfer {
         }
         counts.dram_bursts += self.bursts(config);
     }
+
+    /// Streams the same events into observability counters.
+    pub fn record<R: mocha_obs::Recorder>(&self, config: &FabricConfig, rec: &mut R) {
+        use mocha_obs::names;
+        let wire = self.wire_bytes(config);
+        match self.dir {
+            Dir::Read => rec.add(names::FABRIC_DRAM_READ_BYTES, wire),
+            Dir::Write => rec.add(names::FABRIC_DRAM_WRITE_BYTES, wire),
+        }
+        rec.add(names::FABRIC_DRAM_BURSTS, self.bursts(config));
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +128,28 @@ mod tests {
         assert_eq!(c.dram_read_bytes, 128); // 2 bursts
         assert_eq!(c.dram_write_bytes, 256); // 4 bursts
         assert_eq!(c.dram_bursts, 6);
+    }
+
+    #[test]
+    fn record_matches_count_events() {
+        let mut rec = mocha_obs::MemRecorder::new();
+        let mut c = EventCounts::default();
+        for t in [
+            DramTransfer {
+                bytes: 100,
+                dir: Dir::Read,
+            },
+            DramTransfer {
+                bytes: 200,
+                dir: Dir::Write,
+            },
+        ] {
+            t.count_events(&cfg(), &mut c);
+            t.record(&cfg(), &mut rec);
+        }
+        assert_eq!(rec.counter("fabric.dram_read_bytes"), c.dram_read_bytes);
+        assert_eq!(rec.counter("fabric.dram_write_bytes"), c.dram_write_bytes);
+        assert_eq!(rec.counter("fabric.dram_bursts"), c.dram_bursts);
     }
 
     #[test]

@@ -126,6 +126,34 @@ pub fn pipeline_schedule(phases: &[TilePhase], buffering: Buffering) -> Schedule
     }
 }
 
+impl Schedule {
+    /// Emits the schedule's stage intervals as observability spans
+    /// `{prefix}/tile/{i}/{load,compute,store}`, shifted by `base` cycles
+    /// (the group's start on the caller's clock). Zero-length stages are
+    /// skipped; on an inactive recorder this returns before formatting
+    /// anything.
+    pub fn record_spans<R: mocha_obs::Recorder>(&self, prefix: &str, base: u64, rec: &mut R) {
+        if !R::ACTIVE {
+            return;
+        }
+        for (i, st) in self.stages.iter().enumerate() {
+            for (stage, (start, end)) in [
+                ("load", st.load),
+                ("compute", st.compute),
+                ("store", st.store),
+            ] {
+                if start < end {
+                    rec.span(
+                        || format!("{prefix}/tile/{i}/{stage}"),
+                        base + start,
+                        base + end,
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Total cycles to run `phases` through the pipeline (makespan of
 /// [`pipeline_schedule`]).
 pub fn pipeline_cycles(phases: &[TilePhase], buffering: Buffering) -> u64 {
@@ -277,6 +305,28 @@ mod tests {
             assert!(w[0].compute.1 <= w[1].compute.0);
             assert!(w[0].store.1 <= w[1].store.0);
         }
+    }
+
+    #[test]
+    fn record_spans_emits_nonempty_stages_with_base_offset() {
+        let phases = [tile(10, 20, 0), tile(10, 20, 5)];
+        let s = pipeline_schedule(&phases, Buffering::Double);
+        let mut rec = mocha_obs::MemRecorder::new();
+        s.record_spans("group/conv1", 1000, &mut rec);
+        // tile 0 has no store: 3 + 2 spans.
+        assert_eq!(rec.spans().len(), 5);
+        assert_eq!(rec.spans()[0].path, "group/conv1/tile/0/load");
+        assert_eq!(rec.spans()[0].start, 1000);
+        assert_eq!(rec.spans()[0].end, 1010);
+        let last = rec.spans().last().unwrap();
+        assert_eq!(last.path, "group/conv1/tile/1/store");
+        assert_eq!(last.end, 1000 + s.total);
+    }
+
+    #[test]
+    fn record_spans_on_noop_recorder_is_inert() {
+        let s = pipeline_schedule(&[tile(1, 2, 3)], Buffering::Single);
+        s.record_spans("g", 0, &mut mocha_obs::NoopRecorder);
     }
 
     #[test]

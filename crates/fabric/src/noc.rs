@@ -43,6 +43,14 @@ impl NocTransfer {
     pub fn count_events(&self, counts: &mut EventCounts) {
         counts.noc_flit_hops += self.bytes * self.hops;
     }
+
+    /// Streams the same events into observability counters.
+    pub fn record<R: mocha_obs::Recorder>(&self, rec: &mut R) {
+        rec.add(
+            mocha_obs::names::FABRIC_NOC_FLIT_HOPS,
+            self.bytes * self.hops,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +115,8 @@ mod tests {
         let mut c = EventCounts::default();
         t.count_events(&mut c);
         assert_eq!(c.noc_flit_hops, 500);
+        let mut rec = mocha_obs::MemRecorder::new();
+        t.record(&mut rec);
+        assert_eq!(rec.counter("fabric.noc_flit_hops"), 500);
     }
 }

@@ -25,7 +25,9 @@
 //! * [`core`] — tiling/fusion/parallelism engines, planner, controller,
 //!   simulator, baselines (re-exported at the top level);
 //! * [`runtime`] — multi-tenant serving: disjoint fabric leases, admission
-//!   control, and online re-morphing of in-flight jobs.
+//!   control, and online re-morphing of in-flight jobs;
+//! * [`obs`] — deterministic instrumentation: spans, counters and exact
+//!   histograms, compiled away entirely on the no-op recorder.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +55,7 @@ pub use mocha_core as core;
 pub use mocha_energy as energy;
 pub use mocha_fabric as fabric;
 pub use mocha_model as model;
+pub use mocha_obs as obs;
 pub use mocha_runtime as runtime;
 
 /// The commonly-used API surface in one import.

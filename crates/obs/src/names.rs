@@ -1,0 +1,83 @@
+//! The canonical counter and histogram names every layer records under.
+//!
+//! Names are namespaced `layer.metric` (`fabric.dram_bursts`,
+//! `runtime.jobs_admitted`) so merged snapshots from different layers never
+//! collide, and are `&'static str` so recording never allocates. The span
+//! *taxonomy* is a path convention, not a constant list:
+//!
+//! ```text
+//! job/<id>                                  one admitted job, admission→finish
+//! job/<id>/group/<layers>                   one controller decision (fusion group)
+//! group/<layers>                            the same, in single-tenant simulation
+//! <group path>/tile/<i>/{load,compute,store} tile pipeline stages
+//! ```
+
+// ---- fabric: memory-path and datapath event counters ----
+
+/// MAC operations issued to datapaths.
+pub const FABRIC_MACS: &str = "fabric.macs";
+/// MAC operations elided by zero-skipping.
+pub const FABRIC_MACS_SKIPPED: &str = "fabric.macs_skipped";
+/// Bytes read from DRAM (whole bursts).
+pub const FABRIC_DRAM_READ_BYTES: &str = "fabric.dram_read_bytes";
+/// Bytes written to DRAM (whole bursts).
+pub const FABRIC_DRAM_WRITE_BYTES: &str = "fabric.dram_write_bytes";
+/// DRAM bursts issued.
+pub const FABRIC_DRAM_BURSTS: &str = "fabric.dram_bursts";
+/// Flit-hops through the NoC.
+pub const FABRIC_NOC_FLIT_HOPS: &str = "fabric.noc_flit_hops";
+/// Bytes read from scratchpad banks.
+pub const FABRIC_SPM_READ_BYTES: &str = "fabric.spm_read_bytes";
+/// Bytes written to scratchpad banks.
+pub const FABRIC_SPM_WRITE_BYTES: &str = "fabric.spm_write_bytes";
+/// Raw-side bytes pushed through compression engines (bytes compressed).
+pub const FABRIC_CODEC_BYTES: &str = "fabric.codec_bytes";
+/// Cycles the fabric was active.
+pub const FABRIC_ACTIVE_CYCLES: &str = "fabric.active_cycles";
+
+// ---- core: controller / simulator counters ----
+
+/// Fusion groups executed (controller decisions taken).
+pub const CORE_GROUPS: &str = "core.groups";
+/// Candidate configurations the controller scored.
+pub const CORE_CANDIDATES: &str = "core.candidates";
+/// Times a compressed plan overflowed and the controller re-decided
+/// without compression.
+pub const CORE_COMPRESSION_FALLBACKS: &str = "core.compression_fallbacks";
+
+// ---- runtime: scheduler lifecycle counters ----
+
+/// Submissions that entered the admission queue.
+pub const RUNTIME_JOBS_SUBMITTED: &str = "runtime.jobs_submitted";
+/// Jobs admitted onto a lease.
+pub const RUNTIME_JOBS_ADMITTED: &str = "runtime.jobs_admitted";
+/// Jobs that finished and were retired.
+pub const RUNTIME_JOBS_FINISHED: &str = "runtime.jobs_finished";
+/// Admission attempts declined this instant (no safe lease yet).
+pub const RUNTIME_ADMISSION_DEFERRALS: &str = "runtime.admission_deferrals";
+/// Admissions that started on an interim lease instead of their target.
+pub const RUNTIME_INTERIM_ADMISSIONS: &str = "runtime.interim_admissions";
+/// Boundaries at which a resident adopted a different lease and re-morphed.
+pub const RUNTIME_REMORPHS: &str = "runtime.remorphs";
+/// Fusion groups stepped by the scheduler (over all jobs).
+pub const RUNTIME_GROUPS_STEPPED: &str = "runtime.groups_stepped";
+
+// ---- serve: front-end protocol counters ----
+
+/// Batches served to completion.
+pub const SERVE_BATCHES: &str = "serve.batches";
+/// Job request lines received (valid or not).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Request lines rejected before submission (parse/validation failures).
+pub const SERVE_REQUESTS_REJECTED: &str = "serve.requests_rejected";
+/// `stats` snapshot requests answered.
+pub const SERVE_STATS_REQUESTS: &str = "serve.stats_requests";
+
+// ---- histograms ----
+
+/// Cycles per executed fusion group.
+pub const HIST_GROUP_CYCLES: &str = "core.group_cycles";
+/// Arrival-to-completion latency per finished job, cycles.
+pub const HIST_JOB_LATENCY: &str = "runtime.latency_cycles";
+/// Admission queue wait per finished job, cycles.
+pub const HIST_QUEUE_WAIT: &str = "runtime.queue_wait_cycles";

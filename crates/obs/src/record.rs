@@ -1,0 +1,233 @@
+//! The in-memory recorder: collects spans, counters and histograms and
+//! exports them as a deterministic JSON-lines event stream or a snapshot.
+
+use crate::{Histogram, Recorder};
+use mocha_json::Value;
+use std::collections::BTreeMap;
+
+/// A completed span: a named `[start, end)` interval on the simulated clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Slash-separated span path (`job/0/group/conv1`).
+    pub path: String,
+    /// First cycle of the interval.
+    pub start: u64,
+    /// One past the last cycle of the interval.
+    pub end: u64,
+}
+
+/// A [`Recorder`] that keeps everything in memory.
+///
+/// Spans are stored in call order; counters and histograms in name order
+/// (`BTreeMap`). Both orders are pure functions of the recorded calls, so a
+/// deterministic simulation yields a byte-identical [`Self::to_jsonl`]
+/// stream on every run.
+#[derive(Debug, Clone, Default)]
+pub struct MemRecorder {
+    spans: Vec<SpanEvent>,
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+    /// `None` = unbounded. Long-running servers cap span retention; counters
+    /// and histograms are O(names) and never capped.
+    span_cap: Option<usize>,
+    spans_dropped: u64,
+}
+
+impl MemRecorder {
+    /// An unbounded recorder (batch runs, tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A recorder that retains at most `cap` spans (further spans are
+    /// counted in [`Self::spans_dropped`], counters/histograms unaffected).
+    /// For always-on recording in long-running servers.
+    pub fn with_span_cap(cap: usize) -> Self {
+        Self {
+            span_cap: Some(cap),
+            ..Self::default()
+        }
+    }
+
+    /// Spans recorded, in call order.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// Spans that were dropped by the span cap.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// A histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// The event stream as JSON lines: spans in call order, then counters
+    /// and histogram summaries in name order. Every line is a compact JSON
+    /// object tagged with `"event"`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let line = mocha_json::jobj! {
+                "event" => "span",
+                "path" => s.path.as_str(),
+                "start" => s.start,
+                "end" => s.end,
+            };
+            out.push_str(&line.to_string_compact());
+            out.push('\n');
+        }
+        for (&name, &value) in &self.counters {
+            let line = mocha_json::jobj! {
+                "event" => "counter",
+                "name" => name,
+                "value" => value,
+            };
+            out.push_str(&line.to_string_compact());
+            out.push('\n');
+        }
+        for (&name, hist) in &self.hists {
+            let mut line = mocha_json::jobj! {
+                "event" => "hist",
+                "name" => name,
+            };
+            if let Value::Obj(map) = &mut line {
+                if let Value::Obj(summary) = hist.summary_json() {
+                    map.extend(summary);
+                }
+            }
+            out.push_str(&line.to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A point-in-time snapshot as one JSON object: every counter, every
+    /// histogram summary, and the span tally. The `serve` front-end answers
+    /// `stats` requests with this.
+    pub fn snapshot(&self) -> Value {
+        let counters: BTreeMap<String, Value> = self
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), Value::Num(v as f64)))
+            .collect();
+        let hists: BTreeMap<String, Value> = self
+            .hists
+            .iter()
+            .map(|(&k, h)| (k.to_string(), h.summary_json()))
+            .collect();
+        mocha_json::jobj! {
+            "counters" => Value::Obj(counters),
+            "hists" => Value::Obj(hists),
+            "spans" => self.spans.len() as u64,
+            "spans_dropped" => self.spans_dropped,
+        }
+    }
+}
+
+impl Recorder for MemRecorder {
+    fn span(&mut self, path: impl FnOnce() -> String, start: u64, end: u64) {
+        if self.span_cap.is_some_and(|cap| self.spans.len() >= cap) {
+            self.spans_dropped += 1;
+            return;
+        }
+        self.spans.push(SpanEvent {
+            path: path(),
+            start,
+            end,
+        });
+    }
+
+    fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn sample(&mut self, name: &'static str, value: u64) {
+        self.hists.entry(name).or_default().record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_recorder() -> MemRecorder {
+        let mut r = MemRecorder::new();
+        r.span(|| "job/0".into(), 0, 100);
+        r.span(|| "job/0/group/conv1".into(), 0, 60);
+        r.add("runtime.jobs_admitted", 1);
+        r.add("runtime.jobs_admitted", 1);
+        r.add("fabric.dram_bursts", 7);
+        r.sample("core.group_cycles", 60);
+        r.sample("core.group_cycles", 40);
+        r
+    }
+
+    #[test]
+    fn counters_accumulate_and_missing_reads_zero() {
+        let r = sample_recorder();
+        assert_eq!(r.counter("runtime.jobs_admitted"), 2);
+        assert_eq!(r.counter("fabric.dram_bursts"), 7);
+        assert_eq!(r.counter("nope"), 0);
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse_and_tag_their_event_kind() {
+        let text = sample_recorder().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2 + 2 + 1); // 2 spans + 2 counters + 1 hist
+        for line in &lines {
+            let v = mocha_json::parse(line).expect("line parses");
+            assert!(v.get("event").is_some(), "untagged line {line}");
+        }
+        assert!(lines[0].contains("\"span\""));
+        assert!(text.contains("\"p95\""));
+    }
+
+    #[test]
+    fn identical_recordings_are_byte_identical() {
+        assert_eq!(sample_recorder().to_jsonl(), sample_recorder().to_jsonl());
+    }
+
+    #[test]
+    fn snapshot_carries_counters_hists_and_span_tally() {
+        let snap = sample_recorder().snapshot();
+        assert_eq!(
+            snap.get("counters")
+                .and_then(|c| c.get("fabric.dram_bursts"))
+                .and_then(Value::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            snap.get("hists")
+                .and_then(|h| h.get("core.group_cycles"))
+                .and_then(|g| g.get("count"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(snap.get("spans").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn span_cap_drops_overflow_but_keeps_counting() {
+        let mut r = MemRecorder::with_span_cap(1);
+        r.span(|| "a".into(), 0, 1);
+        r.span(|| "b".into(), 1, 2);
+        r.add("c", 1);
+        assert_eq!(r.spans().len(), 1);
+        assert_eq!(r.spans_dropped(), 1);
+        assert_eq!(r.counter("c"), 1);
+    }
+}

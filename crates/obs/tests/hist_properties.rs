@@ -1,0 +1,128 @@
+//! Property tests for the exact streaming histogram: on random sample sets
+//! the quantiles must match a sort-based oracle exactly — same nearest-rank
+//! definition as `RuntimeReport::latency_percentile`, checked across many
+//! seeds, sizes and value distributions.
+
+use mocha_obs::Histogram;
+
+/// Deterministic splitmix64 — the workspace builds offline, so the test
+/// carries its own tiny generator instead of a rand dependency.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Nearest-rank quantile over a sorted copy: the oracle the histogram must
+/// match bit for bit.
+fn oracle(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+fn check_against_oracle(samples: &[u64], label: &str) {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    assert_eq!(h.count(), samples.len() as u64, "{label}: count");
+    assert_eq!(h.min(), samples.iter().min().copied(), "{label}: min");
+    assert_eq!(h.max(), samples.iter().max().copied(), "{label}: max");
+    for p in [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+        assert_eq!(
+            h.quantile(p),
+            oracle(samples, p),
+            "{label}: p{p} diverges from the sort oracle on {samples:?}"
+        );
+    }
+}
+
+#[test]
+fn random_u64_samples_match_the_sort_oracle() {
+    for seed in 0..50u64 {
+        let mut rng = SplitMix(seed);
+        let len = (rng.next() % 200) as usize + 1;
+        let samples: Vec<u64> = (0..len).map(|_| rng.next()).collect();
+        check_against_oracle(&samples, &format!("seed {seed} full-range"));
+    }
+}
+
+#[test]
+fn clustered_small_domains_match_the_sort_oracle() {
+    // Heavy repetition exercises the cumulative-count walk: many samples,
+    // few distinct values — the cycle-count shape the simulator feeds.
+    for seed in 0..50u64 {
+        let mut rng = SplitMix(seed ^ 0xdead_beef);
+        let len = (rng.next() % 500) as usize + 1;
+        let domain = (rng.next() % 8) + 1;
+        let samples: Vec<u64> = (0..len).map(|_| rng.next() % domain).collect();
+        check_against_oracle(&samples, &format!("seed {seed} clustered"));
+    }
+}
+
+#[test]
+fn adversarial_edge_sets_match_the_sort_oracle() {
+    let cases: Vec<Vec<u64>> = vec![
+        vec![0],
+        vec![u64::MAX],
+        vec![0, u64::MAX],
+        vec![5; 1000],
+        (0..100).collect(),
+        (0..100).rev().collect(),
+        vec![1, 1, 1, 2],
+        vec![1, 2, 2, 2],
+    ];
+    for (i, samples) in cases.iter().enumerate() {
+        check_against_oracle(samples, &format!("edge case {i}"));
+    }
+}
+
+#[test]
+fn empty_single_and_all_equal_have_defined_values() {
+    let empty = Histogram::new();
+    assert_eq!(empty.quantile(50.0), None);
+    assert_eq!((empty.p50(), empty.p95(), empty.p99()), (0, 0, 0));
+    assert_eq!(empty.mean(), 0.0);
+
+    let mut single = Histogram::new();
+    single.record(123);
+    for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+        assert_eq!(single.quantile(p), Some(123));
+    }
+
+    let mut equal = Histogram::new();
+    for _ in 0..7 {
+        equal.record(9);
+    }
+    for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+        assert_eq!(equal.quantile(p), Some(9));
+    }
+    assert_eq!(equal.mean(), 9.0);
+}
+
+#[test]
+fn streaming_order_is_irrelevant() {
+    let mut rng = SplitMix(77);
+    let mut samples: Vec<u64> = (0..128).map(|_| rng.next() % 1000).collect();
+    let mut forward = Histogram::new();
+    for &v in &samples {
+        forward.record(v);
+    }
+    samples.reverse();
+    let mut backward = Histogram::new();
+    for &v in &samples {
+        backward.record(v);
+    }
+    assert_eq!(forward, backward);
+}

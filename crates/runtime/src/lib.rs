@@ -28,5 +28,5 @@ pub mod workload;
 pub use job::{JobId, JobSpec, Priority, Submission};
 pub use lease::LeasePolicy;
 pub use report::{JobReport, RuntimeReport};
-pub use scheduler::{run, RuntimeConfig};
+pub use scheduler::{run, run_with, RuntimeConfig};
 pub use workload::{generate, Mix, TrafficConfig};

@@ -228,6 +228,36 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases_match_the_obs_histogram() {
+        // Both definitions are nearest-rank: on an empty set both read 0
+        // (checked in `empty_report_is_all_zero` / the obs property tests);
+        // a single sample and an all-equal set must agree at every p too.
+        let single = RuntimeReport {
+            policy: "adaptive".into(),
+            horizon: 500,
+            parent_pes: 256,
+            leased_pe_cycles: 0.0,
+            clock_ghz: 1.0,
+            jobs: vec![job(0, 10, 20, 510)],
+        };
+        let equal = RuntimeReport {
+            jobs: (0..5).map(|i| job(i, 0, 0, 300)).collect(),
+            ..single.clone()
+        };
+        for r in [&single, &equal] {
+            let mut h = mocha_obs::Histogram::new();
+            for j in &r.jobs {
+                h.record(j.latency());
+            }
+            for p in [0.0, 1.0, 50.0, 95.0, 99.0, 100.0] {
+                assert_eq!(r.latency_percentile(p), h.quantile(p).unwrap(), "p{p}");
+            }
+        }
+        assert_eq!(single.latency_percentile(50.0), 500);
+        assert_eq!(equal.latency_percentile(99.0), 300);
+    }
+
+    #[test]
     fn utilization_is_leased_share_of_pe_cycles() {
         let r = RuntimeReport {
             policy: "adaptive".into(),

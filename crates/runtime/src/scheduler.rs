@@ -46,6 +46,7 @@ use crate::report::{JobReport, RuntimeReport};
 use mocha_core::{Accelerator, Session, Simulator};
 use mocha_fabric::{FabricConfig, FabricPartition};
 use mocha_model::gen::Workload;
+use mocha_obs::{names, NoopRecorder, Recorder};
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -113,6 +114,21 @@ struct Resident {
 /// Panics on invalid job specs, unsorted arrivals, or (with `verify`) any
 /// divergence from the golden model.
 pub fn run(cfg: &RuntimeConfig, submissions: &[Submission]) -> RuntimeReport {
+    run_with(cfg, submissions, &mut NoopRecorder)
+}
+
+/// [`run`] with an observability recorder: the scheduler emits lifecycle
+/// counters (submissions, admissions, deferrals, remorphs), a `job/<id>`
+/// span per finished job with its groups and tile phases nested under it,
+/// and latency/queue-wait histograms — all on the virtual clock, so two
+/// identically-seeded runs record byte-identical streams. With
+/// [`NoopRecorder`] (`ACTIVE = false`) every hook compiles away and the
+/// function is exactly [`run`].
+pub fn run_with<R: Recorder>(
+    cfg: &RuntimeConfig,
+    submissions: &[Submission],
+    rec: &mut R,
+) -> RuntimeReport {
     for (i, s) in submissions.iter().enumerate() {
         s.spec.validate().unwrap_or_else(|e| panic!("job {i}: {e}"));
         if i > 0 {
@@ -140,6 +156,7 @@ pub fn run(cfg: &RuntimeConfig, submissions: &[Submission]) -> RuntimeReport {
                 sub: submissions[next_sub].clone(),
             });
             next_sub += 1;
+            rec.add(names::RUNTIME_JOBS_SUBMITTED, 1);
         }
 
         // 2. Boundaries: retire completed jobs.
@@ -147,6 +164,10 @@ pub fn run(cfg: &RuntimeConfig, submissions: &[Submission]) -> RuntimeReport {
         while i < resident.len() {
             if resident[i].boundary == now && resident[i].session.done() {
                 let r = resident.remove(i);
+                rec.add(names::RUNTIME_JOBS_FINISHED, 1);
+                rec.span(|| format!("job/{}", r.id), r.admitted, now);
+                rec.sample(names::HIST_JOB_LATENCY, now - r.sub.arrival_cycle);
+                rec.sample(names::HIST_QUEUE_WAIT, r.admitted - r.sub.arrival_cycle);
                 done.push(finalize(r, now));
             } else {
                 i += 1;
@@ -201,6 +222,7 @@ pub fn run(cfg: &RuntimeConfig, submissions: &[Submission]) -> RuntimeReport {
                 resident[i].lease = new_lease;
                 if resident[i].groups > 0 {
                     resident[i].remorphs += 1;
+                    rec.add(names::RUNTIME_REMORPHS, 1);
                 }
             }
         }
@@ -227,13 +249,19 @@ pub fn run(cfg: &RuntimeConfig, submissions: &[Submission]) -> RuntimeReport {
                 // one boundary for real space.
                 match interim_lease(&cfg.fabric, &held, &target) {
                     Some(l) if 2 * l.pes() >= target.pes() || l.pes() * cap >= cfg.fabric.pes() => {
+                        rec.add(names::RUNTIME_INTERIM_ADMISSIONS, 1);
                         l
                     }
-                    _ => continue,
+                    _ => {
+                        rec.add(names::RUNTIME_ADMISSION_DEFERRALS, 1);
+                        continue;
+                    }
                 }
             } else {
+                rec.add(names::RUNTIME_ADMISSION_DEFERRALS, 1);
                 continue;
             };
+            rec.add(names::RUNTIME_JOBS_ADMITTED, 1);
             let cand = queue.remove(qi);
             let session = make_session(cfg, &cand.sub);
             let at = insertion_point(&resident, cand.id);
@@ -287,6 +315,14 @@ pub fn run(cfg: &RuntimeConfig, submissions: &[Submission]) -> RuntimeReport {
             r
         });
         for r in stepped {
+            rec.add(names::RUNTIME_GROUPS_STEPPED, 1);
+            if R::ACTIVE {
+                // Stepping happens inside the parallel map, so the recorder
+                // sees each group here, sequentially in ready (id) order —
+                // the same order every run.
+                let g = r.session.groups().last().expect("job just stepped");
+                mocha_core::record_group(rec, &format!("job/{}", r.id), now, g);
+            }
             let at = insertion_point(&resident, r.id);
             resident.insert(at, r);
         }

@@ -1,0 +1,121 @@
+//! Observability must never perturb the scheduler, and recording must be
+//! fully deterministic: two identically-seeded runs emit byte-identical
+//! event streams, and the recorder's view reconciles exactly with the
+//! `RuntimeReport`.
+
+use mocha_obs::{names, MemRecorder, NoopRecorder};
+use mocha_runtime::{generate, run, run_with, Mix, RuntimeConfig, TrafficConfig};
+
+fn traffic() -> TrafficConfig {
+    TrafficConfig {
+        jobs: 5,
+        load: 3.0,
+        seed: 13,
+        mix: Mix::Quick,
+    }
+}
+
+fn cfg() -> RuntimeConfig {
+    RuntimeConfig::default()
+}
+
+#[test]
+fn two_seeded_runs_emit_byte_identical_streams() {
+    let subs = generate(&traffic());
+    let mut a = MemRecorder::new();
+    let mut b = MemRecorder::new();
+    let ra = run_with(&cfg(), &subs, &mut a);
+    let rb = run_with(&cfg(), &subs, &mut b);
+    assert_eq!(ra, rb);
+    let ja = a.to_jsonl();
+    assert!(!ja.is_empty());
+    assert_eq!(ja, b.to_jsonl());
+}
+
+#[test]
+fn noop_recorder_run_equals_plain_run() {
+    let subs = generate(&traffic());
+    let plain = run(&cfg(), &subs);
+    let noop = run_with(&cfg(), &subs, &mut NoopRecorder);
+    assert_eq!(plain, noop);
+}
+
+#[test]
+fn instrumented_run_pins_pre_instrumentation_goldens() {
+    // Captured from the uninstrumented scheduler before the recorder hooks
+    // existed; an active recorder must not shift the virtual clock.
+    let subs = generate(&traffic());
+    let mut rec = MemRecorder::new();
+    let report = run_with(&cfg(), &subs, &mut rec);
+    assert_eq!(report.completed(), 5);
+    assert_eq!(report.horizon, 263_063);
+    let finished: Vec<u64> = report.jobs.iter().map(|j| j.finished).collect();
+    assert_eq!(finished, [79_094, 113_854, 170_438, 197_256, 263_063]);
+}
+
+#[test]
+fn counters_reconcile_with_the_report() {
+    let subs = generate(&traffic());
+    let mut rec = MemRecorder::new();
+    let report = run_with(&cfg(), &subs, &mut rec);
+    let n = report.completed() as u64;
+
+    // Every submission was admitted and finished (the trace drains).
+    assert_eq!(rec.counter(names::RUNTIME_JOBS_SUBMITTED), n);
+    assert_eq!(rec.counter(names::RUNTIME_JOBS_ADMITTED), n);
+    assert_eq!(rec.counter(names::RUNTIME_JOBS_FINISHED), n);
+    assert_eq!(
+        rec.counter(names::RUNTIME_GROUPS_STEPPED),
+        report.jobs.iter().map(|j| j.groups as u64).sum::<u64>()
+    );
+    assert_eq!(
+        rec.counter(names::RUNTIME_REMORPHS),
+        report.jobs.iter().map(|j| j.remorphs as u64).sum::<u64>()
+    );
+    // record_group counts each stepped group in core.groups too.
+    assert_eq!(
+        rec.counter(names::CORE_GROUPS),
+        rec.counter(names::RUNTIME_GROUPS_STEPPED)
+    );
+}
+
+#[test]
+fn latency_histogram_matches_report_percentiles() {
+    let subs = generate(&traffic());
+    let mut rec = MemRecorder::new();
+    let report = run_with(&cfg(), &subs, &mut rec);
+    let lat = rec.hist(names::HIST_JOB_LATENCY).expect("latency hist");
+    assert_eq!(lat.count(), report.completed() as u64);
+    for p in [50.0, 95.0, 99.0] {
+        assert_eq!(lat.quantile(p).unwrap(), report.latency_percentile(p));
+    }
+    let wait = rec.hist(names::HIST_QUEUE_WAIT).expect("queue wait hist");
+    assert_eq!(wait.count(), report.completed() as u64);
+}
+
+#[test]
+fn job_spans_cover_admission_to_finish() {
+    let subs = generate(&traffic());
+    let mut rec = MemRecorder::new();
+    let report = run_with(&cfg(), &subs, &mut rec);
+    for j in &report.jobs {
+        let path = format!("job/{}", j.id);
+        let span = rec
+            .spans()
+            .iter()
+            .find(|s| s.path == path)
+            .unwrap_or_else(|| panic!("no span {path}"));
+        assert_eq!(span.start, j.admitted);
+        assert_eq!(span.end, j.finished);
+        // Its group spans nest inside and there are exactly `groups` many.
+        let groups: Vec<_> = rec
+            .spans()
+            .iter()
+            .filter(|s| s.path.starts_with(&format!("{path}/group/")) && !s.path.contains("/tile/"))
+            .collect();
+        assert_eq!(groups.len(), j.groups);
+        for g in groups {
+            assert!(span.start <= g.start && g.end <= span.end, "{}", g.path);
+        }
+    }
+}
