@@ -34,4 +34,14 @@ cmp "$obs_tmp/a.jsonl" "$obs_tmp/b.jsonl" || {
     echo "obs streams differ between identical seeded runs"; exit 1
 }
 
+echo "== trace perf-regression gate (r1 smoke vs committed baseline)"
+# The committed baseline profile was produced from this exact seeded run;
+# regenerate it with:
+#   cargo run --release -p mocha-cli --bin mocha-sim -- \
+#       runtime --jobs 3 --load 2.0 --seed 7 --obs - 2>/dev/null \
+#   | cargo run --release -p mocha-cli --bin mocha-sim -- \
+#       trace summary - --json > baselines/r1-smoke.json
+cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+    trace diff baselines/r1-smoke.json "$obs_tmp/a.jsonl" --fail-on-regression 5
+
 echo "CI OK"

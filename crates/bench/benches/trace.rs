@@ -1,0 +1,83 @@
+//! Benchmarks for the trace analysis layer on a large synthetic stream
+//! (~100k spans): JSONL parsing, span-tree reconstruction, and the full
+//! profile pipeline including exact energy attribution.
+
+use mocha::obs::{names, MemRecorder, Recorder};
+use mocha::trace;
+use mocha_bench::micro::Group;
+use std::time::Duration;
+
+/// Builds a synthetic multi-job stream shaped like real runtime output:
+/// `jobs × groups × tiles` tile pipelines with load/compute/store stages,
+/// plus the counters the energy attribution joins against.
+fn synthetic_stream(jobs: u64, groups_per_job: u64, tiles_per_group: u64) -> String {
+    let mut rec = MemRecorder::new();
+    let mut clock = 0u64;
+    for j in 0..jobs {
+        let job_start = clock;
+        for g in 0..groups_per_job {
+            let gpath = format!("job/{j}/group/layer{g}");
+            let gstart = clock;
+            let mut gend = gstart;
+            // Group span first — tile spans attach to the open group.
+            // Stage lengths vary per tile so the critical-path walk has
+            // real work to do; end recorded after the tiles are known.
+            let mut tiles = Vec::new();
+            for t in 0..tiles_per_group {
+                let base = gstart + t * 40;
+                let load = 25 + (t % 7);
+                let comp = 30 + (t % 11);
+                let store = 8 + (t % 3);
+                tiles.push((t, base, load, comp, store));
+                gend = gend.max(base + load + comp + store);
+            }
+            rec.span(|| gpath.clone(), gstart, gend);
+            for (t, base, load, comp, store) in tiles {
+                rec.span(|| format!("{gpath}/tile/{t}/load"), base, base + load);
+                rec.span(
+                    || format!("{gpath}/tile/{t}/compute"),
+                    base + load,
+                    base + load + comp,
+                );
+                rec.span(
+                    || format!("{gpath}/tile/{t}/store"),
+                    base + load + comp,
+                    base + load + comp + store,
+                );
+            }
+            rec.add(names::FABRIC_MACS, 1000 * tiles_per_group);
+            rec.add(names::FABRIC_DRAM_READ_BYTES, 64 * tiles_per_group);
+            rec.add_f64(
+                names::FABRIC_CODEC_PRICED_PJ,
+                0.125 * tiles_per_group as f64,
+            );
+            clock = gend + 10;
+        }
+        rec.span(|| format!("job/{j}"), job_start, clock);
+    }
+    rec.to_jsonl()
+}
+
+fn main() {
+    // 16 jobs × 32 groups × 64 tiles × 3 stages + group/job spans
+    // ≈ 100k spans, a few MB of JSONL.
+    let text = synthetic_stream(16, 32, 64);
+    let stream = trace::parse_input(&text).expect("synthetic stream parses");
+    let spans = stream.spans.len();
+    let bytes = text.len() as u64;
+    println!("synthetic stream: {spans} spans, {} KiB", bytes / 1024);
+
+    let group = Group::new("trace").budget(Duration::from_millis(500));
+    group.bench("parse_100k_spans", Some(bytes), || {
+        trace::parse_input(&text).expect("parses")
+    });
+    group.bench("tree_build_100k_spans", None, || {
+        trace::SpanTree::build(&stream.spans).expect("builds")
+    });
+    let table = mocha::energy::EnergyTable::default();
+    group.bench("profile_full_pipeline", Some(bytes), || {
+        trace::profile_input(&text, &table).expect("profiles")
+    });
+    let tree = trace::SpanTree::build(&stream.spans).expect("builds");
+    group.bench("chrome_export", None, || trace::chrome::export(&tree));
+}

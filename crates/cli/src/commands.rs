@@ -19,6 +19,8 @@ USAGE:
       --trace        print a per-group pipeline Gantt chart
       --json         emit metrics as JSON
       --no-verify    skip golden-model verification
+      --obs FILE|-   export the observability event stream as JSON lines
+                     (`-` streams to stdout and moves the report to stderr)
   mocha-sim decide <network> [--layer NAME] [--profile P]
                                            show the controller's decision
   mocha-sim area [--grid N] [--spm-kb KB]  silicon area breakdown
@@ -36,8 +38,24 @@ USAGE:
       --max-tenants N    admission cap                        (default 4)
       --json             emit the RuntimeReport as JSON
       --no-verify        skip golden-model verification
-      --obs FILE         export the run's observability event stream
-                         (spans, counters, histograms) as JSON lines
+      --obs FILE|-       export the run's observability event stream
+                         (spans, counters, histograms) as JSON lines;
+                         `-` streams to stdout, report moves to stderr
+  mocha-sim trace summary <FILE|-> [--json] [--energy FILE]
+                                           profile an obs stream: span tree,
+                                           critical paths, overlap, exact
+                                           phase/energy attribution
+                                           (--json emits the profile, usable
+                                           as a `trace diff` baseline)
+  mocha-sim trace export <FILE|-> --chrome OUT
+                                           write Chrome trace-event JSON
+                                           (load in chrome://tracing or
+                                           https://ui.perfetto.dev)
+  mocha-sim trace diff <A> <B> [--fail-on-regression PCT] [--energy FILE]
+                                           compare two runs' profiles
+                                           (A/B: stream or saved profile);
+                                           exits 1 when a higher-is-worse
+                                           metric regressed beyond PCT
   mocha-sim serve [--tcp ADDR] [--once] [--policy P] [--max-tenants N] [--no-verify]
       JSON-lines batch server: one job request per line on stdin (or one
       TCP connection with --tcp), e.g.
@@ -137,7 +155,7 @@ pub(crate) fn load_fabric(args: &Args) -> FabricConfig {
 }
 
 /// Loads the energy table, honouring `--energy FILE.json`.
-fn load_energy(args: &Args) -> EnergyTable {
+pub(crate) fn load_energy(args: &Args) -> EnergyTable {
     match args.options.get("energy") {
         None => EnergyTable::default(),
         Some(path) => {
@@ -181,6 +199,7 @@ pub fn simulate(args: &Args) -> i32 {
             "no-verify",
             "fabric",
             "energy",
+            "obs",
         ],
     ) {
         return code;
@@ -200,10 +219,20 @@ pub fn simulate(args: &Args) -> i32 {
     let mut sim = Simulator::new(acc);
     sim.energy = load_energy(args);
     sim.verify = !args.flag("no-verify");
-    let run = sim.run(&workload);
+    // With `--obs` the run is recorded and the event stream exported as
+    // JSON lines (a file, or stdout with `-` — the report then moves to
+    // stderr so the stream stays clean for piping into `mocha-sim trace`).
+    let obs_path = args.options.get("obs").cloned();
+    let mut rec = mocha::obs::MemRecorder::new();
+    let run = match &obs_path {
+        None => sim.run(&workload),
+        Some(_) => sim.run_with(&workload, &mut rec),
+    };
     let table = sim.energy;
     let report = run.report(&table);
 
+    use std::fmt::Write as _;
+    let mut out = String::new();
     if args.flag("json") {
         let json = mocha_json::jobj! {
             "network" => run.network.as_str(),
@@ -225,47 +254,64 @@ pub fn simulate(args: &Args) -> i32 {
                 "work_macs" => g.work_macs,
             }).collect::<Vec<_>>(),
         };
-        println!("{}", json.to_string_pretty());
-        return 0;
-    }
-
-    println!(
-        "{} on {} ({} groups)",
-        run.network,
-        run.accelerator,
-        run.groups.len()
-    );
-    for g in &run.groups {
-        println!(
-            "  {:20} {:>36}  {:>10} cyc  {:>7.1} GOPS  {:>6.1} KB",
-            g.name(),
-            g.morph.to_string(),
-            g.cycles,
-            g.gops(table.clock_ghz),
-            g.spm_peak as f64 / 1024.0,
+        let _ = writeln!(out, "{}", json.to_string_pretty());
+    } else {
+        let _ = writeln!(
+            out,
+            "{} on {} ({} groups)",
+            run.network,
+            run.accelerator,
+            run.groups.len()
         );
-        if args.flag("trace") {
-            let trace = Trace::new(&g.phases, g.morph.buffering);
-            // Cap at 24 rows per group so big layers stay readable.
-            let gantt = trace.gantt(100);
-            for line in gantt.lines().take(25) {
-                println!("      {line}");
-            }
-            if g.phases.len() > 24 {
-                println!("      ... ({} more tiles)", g.phases.len() - 24);
+        for g in &run.groups {
+            let _ = writeln!(
+                out,
+                "  {:20} {:>36}  {:>10} cyc  {:>7.1} GOPS  {:>6.1} KB",
+                g.name(),
+                g.morph.to_string(),
+                g.cycles,
+                g.gops(table.clock_ghz),
+                g.spm_peak as f64 / 1024.0,
+            );
+            if args.flag("trace") {
+                let trace = Trace::new(&g.phases, g.morph.buffering);
+                // Cap at 24 rows per group so big layers stay readable.
+                let gantt = trace.gantt(100);
+                for line in gantt.lines().take(25) {
+                    let _ = writeln!(out, "      {line}");
+                }
+                if g.phases.len() > 24 {
+                    let _ = writeln!(out, "      ... ({} more tiles)", g.phases.len() - 24);
+                }
             }
         }
+        let _ = writeln!(
+            out,
+            "total: {} cycles ({:.3} ms) | {:.1} GOPS | {:.1} GOPS/W | {:.1} KB storage | {:.2} MB DRAM | ratio {:.2}x",
+            report.cycles,
+            report.seconds() * 1e3,
+            report.gops(),
+            report.gops_per_watt(),
+            report.peak_storage_bytes as f64 / 1024.0,
+            report.dram_bytes as f64 / 1e6,
+            run.compression().overall_ratio(),
+        );
     }
-    println!(
-        "total: {} cycles ({:.3} ms) | {:.1} GOPS | {:.1} GOPS/W | {:.1} KB storage | {:.2} MB DRAM | ratio {:.2}x",
-        report.cycles,
-        report.seconds() * 1e3,
-        report.gops(),
-        report.gops_per_watt(),
-        report.peak_storage_bytes as f64 / 1024.0,
-        report.dram_bytes as f64 / 1e6,
-        run.compression().overall_ratio(),
-    );
+
+    match obs_path.as_deref() {
+        None => print!("{out}"),
+        Some("-") => {
+            print!("{}", rec.to_jsonl());
+            eprint!("{out}");
+        }
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rec.to_jsonl()) {
+                eprintln!("cannot write {path:?}: {e}");
+                return 2;
+            }
+            print!("{out}");
+        }
+    }
     0
 }
 

@@ -8,7 +8,9 @@
 //! mocha-sim codec    [--sparsity S] [--clustered] [--elements N] [--seed N]
 //! mocha-sim networks
 //! mocha-sim runtime  [--jobs N] [--load F] [--seed N] [--mix M] [--policy P]
-//!                    [--obs FILE]
+//!                    [--obs FILE|-]
+//! mocha-sim trace    summary <FILE|-> | export <FILE|-> --chrome OUT
+//!                    | diff <A> <B> [--fail-on-regression PCT]
 //! mocha-sim serve    [--tcp ADDR] [--once] [--policy P] [--max-tenants N]
 //!                    (a batch starting with the bare line `stats` returns a
 //!                    counters/histograms snapshot)
@@ -20,6 +22,7 @@
 mod args;
 mod commands;
 mod serve;
+mod trace_cmd;
 
 use args::Args;
 
@@ -33,6 +36,7 @@ fn main() {
         Some("pareto") => commands::pareto(&parsed),
         Some("networks") => commands::networks(&parsed),
         Some("runtime") => serve::runtime_cmd(&parsed),
+        Some("trace") => trace_cmd::trace(&parsed),
         Some("serve") => serve::serve(&parsed),
         Some("help") => {
             print!("{}", commands::USAGE);

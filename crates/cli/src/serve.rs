@@ -275,69 +275,93 @@ pub fn runtime_cmd(args: &Args) -> i32 {
         return 2;
     }
     let subs = runtime::generate(&traffic);
-    let report = match args.options.get("obs") {
+    // With `--obs` the run is recorded and the full event stream exported
+    // as JSON lines. The stream is a pure function of the seeded run, so
+    // identical invocations produce byte-identical output.
+    let obs_path = args.options.get("obs").cloned();
+    let mut rec = MemRecorder::new();
+    let report = match &obs_path {
         None => runtime::run(&cfg, &subs),
+        Some(_) => runtime::run_with(&cfg, &subs, &mut rec),
+    };
+
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if args.flag("json") {
+        let _ = writeln!(out, "{}", report.to_json().to_string_pretty());
+    } else {
+        let _ = writeln!(
+            out,
+            "{} jobs ({} mix, load {:.2}, seed {}) on {}x{} fabric, policy {}",
+            traffic.jobs,
+            mix.name(),
+            traffic.load,
+            traffic.seed,
+            cfg.fabric.pe_rows,
+            cfg.fabric.pe_cols,
+            cfg.policy.name(),
+        );
+        let _ = writeln!(
+            out,
+            "  {:>3} {:<10} {:<8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>8}",
+            "job",
+            "network",
+            "priority",
+            "arrival",
+            "wait",
+            "latency",
+            "busy",
+            "groups",
+            "remorphs"
+        );
+        for j in &report.jobs {
+            let _ = writeln!(
+                out,
+                "  {:>3} {:<10} {:<8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>8}",
+                j.id,
+                j.spec.network,
+                j.spec
+                    .priority
+                    .to_json()
+                    .as_str()
+                    .unwrap_or("?")
+                    .to_string(),
+                j.arrival,
+                j.queue_wait(),
+                j.latency(),
+                j.busy_cycles,
+                j.groups,
+                j.remorphs,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "throughput {:.3} jobs/Mcycle | p50 {} p95 {} p99 {} cycles | util {:.1} % | {:.1} GOPS | {:.1} GOPS/W",
+            report.jobs_per_mcycle(),
+            report.latency_percentile(50.0),
+            report.latency_percentile(95.0),
+            report.latency_percentile(99.0),
+            100.0 * report.utilization(),
+            report.gops(),
+            report.gops_per_watt(),
+        );
+    }
+
+    match obs_path.as_deref() {
+        None => print!("{out}"),
+        // `--obs -`: the event stream owns stdout (clean for piping into
+        // `mocha-sim trace`); the human report moves to stderr.
+        Some("-") => {
+            print!("{}", rec.to_jsonl());
+            eprint!("{out}");
+        }
         Some(path) => {
-            // Record the run and export the full event stream as JSON lines.
-            // The stream is a pure function of the seeded run, so identical
-            // invocations produce byte-identical files.
-            let mut rec = MemRecorder::new();
-            let report = runtime::run_with(&cfg, &subs, &mut rec);
             if let Err(e) = std::fs::write(path, rec.to_jsonl()) {
                 eprintln!("cannot write {path:?}: {e}");
                 return 2;
             }
-            report
+            print!("{out}");
         }
-    };
-
-    if args.flag("json") {
-        println!("{}", report.to_json().to_string_pretty());
-        return 0;
     }
-
-    println!(
-        "{} jobs ({} mix, load {:.2}, seed {}) on {}x{} fabric, policy {}",
-        traffic.jobs,
-        mix.name(),
-        traffic.load,
-        traffic.seed,
-        cfg.fabric.pe_rows,
-        cfg.fabric.pe_cols,
-        cfg.policy.name(),
-    );
-    println!(
-        "  {:>3} {:<10} {:<8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>8}",
-        "job", "network", "priority", "arrival", "wait", "latency", "busy", "groups", "remorphs"
-    );
-    for j in &report.jobs {
-        println!(
-            "  {:>3} {:<10} {:<8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>8}",
-            j.id,
-            j.spec.network,
-            j.spec
-                .priority
-                .to_json()
-                .as_str()
-                .unwrap_or("?")
-                .to_string(),
-            j.arrival,
-            j.queue_wait(),
-            j.latency(),
-            j.busy_cycles,
-            j.groups,
-            j.remorphs,
-        );
-    }
-    println!(
-        "throughput {:.3} jobs/Mcycle | p50 {} p95 {} p99 {} cycles | util {:.1} % | {:.1} GOPS | {:.1} GOPS/W",
-        report.jobs_per_mcycle(),
-        report.latency_percentile(50.0),
-        report.latency_percentile(95.0),
-        report.latency_percentile(99.0),
-        100.0 * report.utilization(),
-        report.gops(),
-        report.gops_per_watt(),
-    );
     0
 }

@@ -1,0 +1,173 @@
+//! The `mocha-sim trace` subcommand family: `summary`, `export --chrome`
+//! and `diff --fail-on-regression`.
+//!
+//! Exit codes keep the CLI's scriptable contract: 0 success, 2 for any
+//! usage or input problem (one line on stderr, naming the offending input
+//! line for malformed streams), and 1 is reserved for a *detected
+//! regression* in `diff --fail-on-regression` — so CI can tell "the gate
+//! tripped" from "the gate could not run".
+
+use crate::args::Args;
+use crate::commands;
+use mocha_trace::{diff, Profile};
+
+/// Reads a positional input: a file path, or `-` for stdin.
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        use std::io::Read;
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        return Ok(text);
+    }
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+}
+
+/// Loads a profile from either input shape: a saved profile JSON (sniffed
+/// by the `mocha_trace_profile` marker) is loaded directly; anything else
+/// is parsed as an obs stream/snapshot and profiled under `table`.
+fn load_profile(path: &str, table: &mocha::energy::EnergyTable) -> Result<Profile, String> {
+    let text = read_input(path)?;
+    if let Ok(v) = mocha_json::parse(&text) {
+        if v.get(mocha_trace::PROFILE_MARKER).is_some() {
+            return Profile::from_json(&v).map_err(|e| format!("{path}: {e}"));
+        }
+    }
+    let (profile, _) =
+        mocha_trace::profile_input(&text, table).map_err(|e| format!("{path}: {e}"))?;
+    Ok(profile)
+}
+
+/// `trace` subcommand dispatcher.
+pub fn trace(args: &Args) -> i32 {
+    match args.positional.first().map(String::as_str) {
+        Some("summary") => summary(args),
+        Some("export") => export(args),
+        Some("diff") => diff_cmd(args),
+        Some(other) => {
+            eprintln!("unknown trace action {other:?} (summary|export|diff, see `mocha-sim help`)");
+            2
+        }
+        None => {
+            eprintln!("missing trace action (summary|export|diff, see `mocha-sim help`)");
+            2
+        }
+    }
+}
+
+fn input_arg<'a>(args: &'a Args, what: &str) -> Result<&'a str, i32> {
+    match args.positional.get(1) {
+        Some(p) => Ok(p.as_str()),
+        None => {
+            eprintln!("missing {what} argument for `mocha-sim trace` (see `mocha-sim help`)");
+            Err(2)
+        }
+    }
+}
+
+fn summary(args: &Args) -> i32 {
+    if let Err(code) = commands::strict(args, 2, &["json", "energy"]) {
+        return code;
+    }
+    let path = match input_arg(args, "<FILE|->") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let table = commands::load_energy(args);
+    let profile = match load_profile(path, &table) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if args.flag("json") {
+        println!("{}", profile.to_json().to_string_pretty());
+    } else {
+        print!("{}", profile.summary_text());
+    }
+    0
+}
+
+fn export(args: &Args) -> i32 {
+    if let Err(code) = commands::strict(args, 2, &["chrome", "energy"]) {
+        return code;
+    }
+    let path = match input_arg(args, "<FILE|->") {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let Some(out_path) = args.options.get("chrome").filter(|p| !p.is_empty()) else {
+        eprintln!("missing --chrome OUT for `mocha-sim trace export` (see `mocha-sim help`)");
+        return 2;
+    };
+    let text = match read_input(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let tree = match mocha_trace::parse_input(&text)
+        .and_then(|s| mocha_trace::SpanTree::build(&s.spans))
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 2;
+        }
+    };
+    if tree.groups.is_empty() && tree.jobs.is_empty() {
+        eprintln!("{path}: no spans to export (snapshot or counter-only input?)");
+        return 2;
+    }
+    let json = mocha_trace::chrome::export(&tree).to_string_compact();
+    if let Err(e) = std::fs::write(out_path, json) {
+        eprintln!("cannot write {out_path:?}: {e}");
+        return 2;
+    }
+    0
+}
+
+fn diff_cmd(args: &Args) -> i32 {
+    if let Err(code) = commands::strict(args, 3, &["fail-on-regression", "energy"]) {
+        return code;
+    }
+    let (Some(a_path), Some(b_path)) = (args.positional.get(1), args.positional.get(2)) else {
+        eprintln!("`mocha-sim trace diff` needs two inputs <A> <B> (see `mocha-sim help`)");
+        return 2;
+    };
+    let threshold = match args.options.get("fail-on-regression") {
+        None => None,
+        Some(v) => match v.parse::<f64>() {
+            Ok(t) if t >= 0.0 => Some(t),
+            _ => {
+                eprintln!("--fail-on-regression expects a non-negative percentage, got {v:?}");
+                return 2;
+            }
+        },
+    };
+    let table = commands::load_energy(args);
+    let (a, b) = match (load_profile(a_path, &table), load_profile(b_path, &table)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let deltas = diff::diff(&a, &b);
+    print!("{}", diff::render(&deltas, threshold));
+    if let Some(t) = threshold {
+        let failed = diff::regressions(&deltas, t);
+        if !failed.is_empty() {
+            let names: Vec<&str> = failed.iter().map(|d| d.name).collect();
+            eprintln!(
+                "regression: {} beyond {t} % vs baseline {a_path}",
+                names.join(", ")
+            );
+            return 1;
+        }
+    }
+    0
+}

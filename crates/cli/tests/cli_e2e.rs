@@ -227,6 +227,233 @@ fn serve_tcp_stats_snapshot_reconciles_with_the_batch() {
     assert!(snap.get("spans").and_then(|v| v.as_u64()).unwrap_or(0) > 0);
 }
 
+/// `--obs -` keeps stdout pure for pipelines: every stdout line is a
+/// tagged obs event, and the human report moves to stderr intact.
+#[test]
+fn obs_dash_streams_events_on_stdout_and_the_report_on_stderr() {
+    let out = mocha_sim(&[
+        "runtime", "--jobs", "2", "--load", "2.0", "--seed", "7", "--obs", "-",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let events = stdout(&out);
+    assert!(!events.is_empty());
+    for line in events.lines() {
+        let v = mocha_json::parse(line).unwrap_or_else(|e| panic!("bad obs line {line:?}: {e}"));
+        assert!(v.get("event").is_some(), "untagged line: {line}");
+    }
+    let report = stderr(&out);
+    for needle in ["job", "latency", "throughput", "GOPS/W"] {
+        assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+    }
+
+    // `simulate --obs -` keeps the same contract.
+    let out = mocha_sim(&["simulate", "tiny", "--obs", "-", "--no-verify"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    for line in stdout(&out).lines() {
+        mocha_json::parse(line).unwrap_or_else(|e| panic!("bad obs line {line:?}: {e}"));
+    }
+    assert!(stderr(&out).contains("tiny"), "stderr: {}", stderr(&out));
+}
+
+/// The analysis loop: `runtime --obs` → `trace summary` / `trace export`.
+/// Summaries, profile JSON and Chrome exports are byte-identical across two
+/// identical seeded runs, and the Chrome export is one well-formed JSON
+/// document with complete ("X") events.
+#[test]
+fn trace_summary_and_export_are_deterministic() {
+    let dir = std::env::temp_dir();
+    let mut summaries = Vec::new();
+    let mut profiles = Vec::new();
+    let mut chromes = Vec::new();
+    for i in 0..2 {
+        let obs = dir.join(format!("mocha_trace_e2e_{i}.jsonl"));
+        let chrome = dir.join(format!("mocha_trace_e2e_{i}.chrome.json"));
+        let out = mocha_sim(&[
+            "runtime",
+            "--jobs",
+            "3",
+            "--load",
+            "2.0",
+            "--seed",
+            "7",
+            "--obs",
+            obs.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+        let summary = mocha_sim(&["trace", "summary", obs.to_str().unwrap()]);
+        assert!(summary.status.success(), "stderr: {}", stderr(&summary));
+        summaries.push(stdout(&summary));
+
+        let profile = mocha_sim(&["trace", "summary", obs.to_str().unwrap(), "--json"]);
+        assert!(profile.status.success(), "stderr: {}", stderr(&profile));
+        profiles.push(stdout(&profile));
+
+        let export = mocha_sim(&[
+            "trace",
+            "export",
+            obs.to_str().unwrap(),
+            "--chrome",
+            chrome.to_str().unwrap(),
+        ]);
+        assert!(export.status.success(), "stderr: {}", stderr(&export));
+        chromes.push(std::fs::read_to_string(&chrome).expect("chrome export written"));
+        let _ = std::fs::remove_file(obs);
+        let _ = std::fs::remove_file(chrome);
+    }
+    assert_eq!(summaries[0], summaries[1], "summary must be byte-stable");
+    assert_eq!(profiles[0], profiles[1], "profile JSON must be byte-stable");
+    assert_eq!(chromes[0], chromes[1], "chrome export must be byte-stable");
+
+    let text = &summaries[0];
+    for needle in ["makespan", "critical path", "overlap", "energy", "p95"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    let chrome = mocha_json::parse(&chromes[0]).expect("chrome export is JSON");
+    let events = chrome
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")));
+}
+
+/// `trace summary -` reads the stream from stdin, so
+/// `runtime --obs - | trace summary -` works as a single pipeline.
+#[test]
+fn trace_summary_reads_stdin() {
+    let run = mocha_sim(&[
+        "runtime", "--jobs", "2", "--load", "2.0", "--seed", "7", "--obs", "-",
+    ]);
+    assert!(run.status.success());
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+        .args(["trace", "summary", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn trace summary -");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(&run.stdout)
+        .expect("pipe stream");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("2 job(s)"), "got:\n{}", stdout(&out));
+}
+
+/// Malformed or truncated trace input exits 2 with a one-line stderr
+/// message naming the offending line — never a panic, never partial output.
+#[test]
+fn trace_rejects_malformed_input_with_a_line_number() {
+    let dir = std::env::temp_dir();
+    let bad = dir.join("mocha_trace_e2e_bad.jsonl");
+    std::fs::write(
+        &bad,
+        "{\"event\":\"span\",\"path\":\"a\",\"start\":0,\"end\":5}\nnot json\n",
+    )
+    .expect("write bad stream");
+    let truncated = dir.join("mocha_trace_e2e_trunc.jsonl");
+    std::fs::write(
+        &truncated,
+        "{\"event\":\"counter\",\"name\":\"x\",\"value\":1}\n{\"event\":\"span\",\"pa",
+    )
+    .expect("write truncated stream");
+
+    for (file, line) in [(&bad, "line 2:"), (&truncated, "line 2:")] {
+        for action in [&["trace", "summary"][..], &["trace", "diff"][..]] {
+            let mut args: Vec<&str> = action.to_vec();
+            args.push(file.to_str().unwrap());
+            if action[1] == "diff" {
+                args.push(file.to_str().unwrap());
+            }
+            let out = mocha_sim(&args);
+            assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+            let err = stderr(&out);
+            assert_eq!(err.lines().count(), 1, "stderr: {err}");
+            assert!(err.contains(line), "stderr: {err}");
+            assert!(stdout(&out).is_empty(), "partial stdout: {}", stdout(&out));
+        }
+    }
+    let _ = std::fs::remove_file(bad);
+    let _ = std::fs::remove_file(truncated);
+}
+
+/// The regression gate: a profile diffed against its own stream passes with
+/// exit 0; a clearly different run trips `--fail-on-regression` with exit 1
+/// (distinct from the exit-2 usage/input contract).
+#[test]
+fn trace_diff_gates_regressions() {
+    let dir = std::env::temp_dir();
+    let obs = dir.join("mocha_trace_e2e_gate.jsonl");
+    let baseline = dir.join("mocha_trace_e2e_gate.profile.json");
+    let run = mocha_sim(&[
+        "runtime",
+        "--jobs",
+        "3",
+        "--load",
+        "2.0",
+        "--seed",
+        "7",
+        "--obs",
+        obs.to_str().unwrap(),
+    ]);
+    assert!(run.status.success());
+    let profile = mocha_sim(&["trace", "summary", obs.to_str().unwrap(), "--json"]);
+    assert!(profile.status.success());
+    std::fs::write(&baseline, profile.stdout).expect("write baseline");
+
+    // Saved profile vs the stream it came from: no deltas, exit 0.
+    let clean = mocha_sim(&[
+        "trace",
+        "diff",
+        baseline.to_str().unwrap(),
+        obs.to_str().unwrap(),
+        "--fail-on-regression",
+        "0",
+    ]);
+    assert!(clean.status.success(), "stderr: {}", stderr(&clean));
+    assert!(stdout(&clean).contains("makespan_cycles"));
+    assert!(!stdout(&clean).contains("FAIL"));
+
+    // A heavier run against the same baseline must trip the gate.
+    let obs2 = dir.join("mocha_trace_e2e_gate2.jsonl");
+    let run2 = mocha_sim(&[
+        "runtime",
+        "--jobs",
+        "6",
+        "--load",
+        "2.0",
+        "--seed",
+        "7",
+        "--obs",
+        obs2.to_str().unwrap(),
+    ]);
+    assert!(run2.status.success());
+    let gated = mocha_sim(&[
+        "trace",
+        "diff",
+        baseline.to_str().unwrap(),
+        obs2.to_str().unwrap(),
+        "--fail-on-regression",
+        "5",
+    ]);
+    assert_eq!(gated.status.code(), Some(1), "stderr: {}", stderr(&gated));
+    assert!(stdout(&gated).contains("FAIL"));
+    assert!(
+        stderr(&gated).starts_with("regression:"),
+        "stderr: {}",
+        stderr(&gated)
+    );
+    assert_eq!(stderr(&gated).lines().count(), 1);
+    let _ = std::fs::remove_file(obs);
+    let _ = std::fs::remove_file(obs2);
+    let _ = std::fs::remove_file(baseline);
+}
+
 /// Unknown subcommands fail with a single-line stderr message and exit
 /// code 2 — no usage dump to scrape around.
 #[test]

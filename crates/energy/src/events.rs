@@ -86,13 +86,19 @@ impl EventCounts {
     }
 
     /// Streams the counts into the canonical `fabric.*` observability
-    /// counters. The energy-relevant integer events map one-to-one;
-    /// `priced_pj` (already-priced energy, an f64) stays in the energy
-    /// domain and is not a counter.
+    /// counters — every energy-relevant field, one-to-one, so an external
+    /// consumer can rebuild an [`EventCounts`] from the counter stream and
+    /// re-price it. Integer events go through the `u64` channel; `priced_pj`
+    /// (already-priced energy) goes through the `f64` fractional-counter
+    /// channel, accumulated in call order so the recorded sum bit-matches
+    /// the simulator's own left-to-right merge.
     pub fn record<R: mocha_obs::Recorder>(&self, rec: &mut R) {
         use mocha_obs::names;
         rec.add(names::FABRIC_MACS, self.macs);
         rec.add(names::FABRIC_MACS_SKIPPED, self.macs_skipped);
+        rec.add(names::FABRIC_POOL_OPS, self.pool_ops);
+        rec.add(names::FABRIC_RF_READS, self.rf_reads);
+        rec.add(names::FABRIC_RF_WRITES, self.rf_writes);
         rec.add(names::FABRIC_DRAM_READ_BYTES, self.dram_read_bytes);
         rec.add(names::FABRIC_DRAM_WRITE_BYTES, self.dram_write_bytes);
         rec.add(names::FABRIC_DRAM_BURSTS, self.dram_bursts);
@@ -101,6 +107,7 @@ impl EventCounts {
         rec.add(names::FABRIC_SPM_WRITE_BYTES, self.spm_write_bytes);
         rec.add(names::FABRIC_CODEC_BYTES, self.codec_bytes);
         rec.add(names::FABRIC_ACTIVE_CYCLES, self.active_cycles);
+        rec.add_f64(names::FABRIC_CODEC_PRICED_PJ, self.priced_pj);
     }
 }
 
@@ -149,6 +156,9 @@ mod tests {
         let e = EventCounts {
             macs: 1,
             macs_skipped: 2,
+            pool_ops: 11,
+            rf_reads: 12,
+            rf_writes: 13,
             dram_read_bytes: 3,
             dram_write_bytes: 4,
             dram_bursts: 5,
@@ -156,8 +166,8 @@ mod tests {
             spm_read_bytes: 7,
             spm_write_bytes: 8,
             codec_bytes: 9,
+            priced_pj: 1.25,
             active_cycles: 10,
-            ..Default::default()
         };
         let mut rec = mocha_obs::MemRecorder::new();
         e.record(&mut rec);
@@ -165,6 +175,9 @@ mod tests {
         for (name, want) in [
             ("fabric.macs", 2),
             ("fabric.macs_skipped", 4),
+            ("fabric.pool_ops", 22),
+            ("fabric.rf_reads", 24),
+            ("fabric.rf_writes", 26),
             ("fabric.dram_read_bytes", 6),
             ("fabric.dram_write_bytes", 8),
             ("fabric.dram_bursts", 10),
@@ -176,5 +189,6 @@ mod tests {
         ] {
             assert_eq!(rec.counter(name), want, "{name}");
         }
+        assert_eq!(rec.fcounter("fabric.codec_priced_pj"), 2.5);
     }
 }

@@ -27,7 +27,10 @@
 //! * [`runtime`] — multi-tenant serving: disjoint fabric leases, admission
 //!   control, and online re-morphing of in-flight jobs;
 //! * [`obs`] — deterministic instrumentation: spans, counters and exact
-//!   histograms, compiled away entirely on the no-op recorder.
+//!   histograms, compiled away entirely on the no-op recorder;
+//! * [`trace`] — the analysis layer over `obs` streams: span-tree
+//!   profiling, critical paths, exact phase/energy attribution, Chrome
+//!   trace export and profile diffing.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +60,7 @@ pub use mocha_fabric as fabric;
 pub use mocha_model as model;
 pub use mocha_obs as obs;
 pub use mocha_runtime as runtime;
+pub use mocha_trace as trace;
 
 /// The commonly-used API surface in one import.
 pub mod prelude {

@@ -30,6 +30,19 @@ impl Histogram {
         self.sum += value as u128;
     }
 
+    /// Merges another histogram into this one, as if every sample recorded
+    /// into `other` had been recorded here instead. Because the
+    /// representation is an exact value→count map, merge-then-quantile
+    /// equals quantile over the concatenated sample sets bit for bit — the
+    /// property that makes shard/batch snapshot aggregation lossless.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&value, &n) in &other.counts {
+            *self.counts.entry(value).or_insert(0) += n;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
     /// Samples recorded.
     pub fn count(&self) -> u64 {
         self.total
@@ -168,6 +181,38 @@ mod tests {
         assert_eq!(h.quantile(50.0), Some(1));
         assert_eq!(h.quantile(90.0), Some(1));
         assert_eq!(h.quantile(91.0), Some(100));
+    }
+
+    #[test]
+    fn merge_is_concatenation() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [1, 5, 5, 9] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2, 5, 100] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.mean(), all.mean());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(7);
+        let orig = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, orig);
+        let mut empty = Histogram::new();
+        empty.merge(&orig);
+        assert_eq!(empty, orig);
     }
 
     #[test]

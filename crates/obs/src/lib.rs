@@ -51,6 +51,15 @@ pub trait Recorder {
     /// Adds `delta` to the monotonic counter `name`.
     fn add(&mut self, name: &'static str, delta: u64);
 
+    /// Adds `delta` to the monotonic *fractional* counter `name`.
+    ///
+    /// The float channel exists for already-priced energies (`fabric.
+    /// codec_priced_pj`) that have no integer event count. Accumulation is
+    /// plain `f64` addition in call order, so a deterministic simulation
+    /// yields the bit-identical sum the simulator itself computes — the
+    /// property `mocha-trace` relies on for exact energy reconciliation.
+    fn add_f64(&mut self, name: &'static str, delta: f64);
+
     /// Records one sample into the streaming histogram `name`.
     fn sample(&mut self, name: &'static str, value: u64);
 }
@@ -71,6 +80,9 @@ impl Recorder for NoopRecorder {
     fn add(&mut self, _name: &'static str, _delta: u64) {}
 
     #[inline(always)]
+    fn add_f64(&mut self, _name: &'static str, _delta: f64) {}
+
+    #[inline(always)]
     fn sample(&mut self, _name: &'static str, _value: u64) {}
 }
 
@@ -85,6 +97,11 @@ impl<R: Recorder> Recorder for &mut R {
     #[inline(always)]
     fn add(&mut self, name: &'static str, delta: u64) {
         (**self).add(name, delta);
+    }
+
+    #[inline(always)]
+    fn add_f64(&mut self, name: &'static str, delta: f64) {
+        (**self).add_f64(name, delta);
     }
 
     #[inline(always)]
@@ -111,6 +128,7 @@ mod tests {
     fn drive<R: Recorder>(mut rec: R) {
         rec.span(|| "a/b".into(), 1, 2);
         rec.add("c", 3);
+        rec.add_f64("f", 0.25);
         rec.sample("h", 4);
     }
 
@@ -120,6 +138,7 @@ mod tests {
         drive(&mut rec);
         assert_eq!(rec.spans().len(), 1);
         assert_eq!(rec.counter("c"), 3);
+        assert_eq!(rec.fcounter("f"), 0.25);
         assert_eq!(rec.hist("h").unwrap().count(), 1);
         const { assert!(<&mut MemRecorder as Recorder>::ACTIVE) }
     }

@@ -32,8 +32,22 @@ pub const FABRIC_SPM_READ_BYTES: &str = "fabric.spm_read_bytes";
 pub const FABRIC_SPM_WRITE_BYTES: &str = "fabric.spm_write_bytes";
 /// Raw-side bytes pushed through compression engines (bytes compressed).
 pub const FABRIC_CODEC_BYTES: &str = "fabric.codec_bytes";
+/// Pooling window-reduction operations (compare/add).
+pub const FABRIC_POOL_OPS: &str = "fabric.pool_ops";
+/// Register-file read accesses (operand fetches).
+pub const FABRIC_RF_READS: &str = "fabric.rf_reads";
+/// Register-file write accesses (operand loads + accumulator spills).
+pub const FABRIC_RF_WRITES: &str = "fabric.rf_writes";
 /// Cycles the fabric was active.
 pub const FABRIC_ACTIVE_CYCLES: &str = "fabric.active_cycles";
+
+// ---- fabric: fractional counters (f64 channel) ----
+
+/// Already-priced codec energy in pJ (fractional counter). Accumulated via
+/// [`crate::Recorder::add_f64`] in group order, so the recorded sum is
+/// bit-identical to the simulator's own `EventCounts::priced_pj` total —
+/// the invariant `mocha-trace` exploits for exact energy reconciliation.
+pub const FABRIC_CODEC_PRICED_PJ: &str = "fabric.codec_priced_pj";
 
 // ---- core: controller / simulator counters ----
 

@@ -26,6 +26,7 @@ pub struct SpanEvent {
 pub struct MemRecorder {
     spans: Vec<SpanEvent>,
     counters: BTreeMap<&'static str, u64>,
+    fcounters: BTreeMap<&'static str, f64>,
     hists: BTreeMap<&'static str, Histogram>,
     /// `None` = unbounded. Long-running servers cap span retention; counters
     /// and histograms are O(names) and never capped.
@@ -69,14 +70,26 @@ impl MemRecorder {
         self.counters.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// Current value of a fractional counter (0.0 when never touched).
+    pub fn fcounter(&self, name: &str) -> f64 {
+        self.fcounters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// All fractional counters in name order.
+    pub fn fcounters(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.fcounters.iter().map(|(&k, &v)| (k, v))
+    }
+
     /// A histogram by name.
     pub fn hist(&self, name: &str) -> Option<&Histogram> {
         self.hists.get(name)
     }
 
-    /// The event stream as JSON lines: spans in call order, then counters
-    /// and histogram summaries in name order. Every line is a compact JSON
-    /// object tagged with `"event"`.
+    /// The event stream as JSON lines: spans in call order, then counters,
+    /// fractional counters and histogram summaries in name order. Every
+    /// line is a compact JSON object tagged with `"event"`. Fractional
+    /// counters print through Rust's shortest round-trip `f64` formatting,
+    /// so a parser recovers the accumulated sum bit for bit.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for s in &self.spans {
@@ -92,6 +105,15 @@ impl MemRecorder {
         for (&name, &value) in &self.counters {
             let line = mocha_json::jobj! {
                 "event" => "counter",
+                "name" => name,
+                "value" => value,
+            };
+            out.push_str(&line.to_string_compact());
+            out.push('\n');
+        }
+        for (&name, &value) in &self.fcounters {
+            let line = mocha_json::jobj! {
+                "event" => "fcounter",
                 "name" => name,
                 "value" => value,
             };
@@ -123,6 +145,11 @@ impl MemRecorder {
             .iter()
             .map(|(&k, &v)| (k.to_string(), Value::Num(v as f64)))
             .collect();
+        let fcounters: BTreeMap<String, Value> = self
+            .fcounters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), Value::Num(v)))
+            .collect();
         let hists: BTreeMap<String, Value> = self
             .hists
             .iter()
@@ -130,6 +157,7 @@ impl MemRecorder {
             .collect();
         mocha_json::jobj! {
             "counters" => Value::Obj(counters),
+            "fcounters" => Value::Obj(fcounters),
             "hists" => Value::Obj(hists),
             "spans" => self.spans.len() as u64,
             "spans_dropped" => self.spans_dropped,
@@ -154,6 +182,10 @@ impl Recorder for MemRecorder {
         *self.counters.entry(name).or_insert(0) += delta;
     }
 
+    fn add_f64(&mut self, name: &'static str, delta: f64) {
+        *self.fcounters.entry(name).or_insert(0.0) += delta;
+    }
+
     fn sample(&mut self, name: &'static str, value: u64) {
         self.hists.entry(name).or_default().record(value);
     }
@@ -170,6 +202,8 @@ mod tests {
         r.add("runtime.jobs_admitted", 1);
         r.add("runtime.jobs_admitted", 1);
         r.add("fabric.dram_bursts", 7);
+        r.add_f64("fabric.codec_priced_pj", 1.5);
+        r.add_f64("fabric.codec_priced_pj", 0.25);
         r.sample("core.group_cycles", 60);
         r.sample("core.group_cycles", 40);
         r
@@ -184,16 +218,48 @@ mod tests {
     }
 
     #[test]
+    fn fcounters_accumulate_and_missing_reads_zero() {
+        let r = sample_recorder();
+        assert_eq!(r.fcounter("fabric.codec_priced_pj"), 1.75);
+        assert_eq!(r.fcounter("nope"), 0.0);
+        assert_eq!(r.fcounters().count(), 1);
+    }
+
+    #[test]
     fn jsonl_lines_all_parse_and_tag_their_event_kind() {
         let text = sample_recorder().to_jsonl();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2 + 2 + 1); // 2 spans + 2 counters + 1 hist
+        // 2 spans + 2 counters + 1 fcounter + 1 hist
+        assert_eq!(lines.len(), 2 + 2 + 1 + 1);
         for line in &lines {
             let v = mocha_json::parse(line).expect("line parses");
             assert!(v.get("event").is_some(), "untagged line {line}");
         }
         assert!(lines[0].contains("\"span\""));
+        assert!(text.contains("\"fcounter\""));
         assert!(text.contains("\"p95\""));
+    }
+
+    #[test]
+    fn fcounter_jsonl_round_trips_the_exact_f64_sum() {
+        let r = sample_recorder();
+        let line = r
+            .to_jsonl()
+            .lines()
+            .find(|l| l.contains("\"fcounter\""))
+            .expect("fcounter line present")
+            .to_string();
+        let v = mocha_json::parse(&line).expect("parses");
+        assert_eq!(
+            v.get("name").and_then(Value::as_str),
+            Some("fabric.codec_priced_pj")
+        );
+        let parsed = v.get("value").and_then(Value::as_f64).expect("numeric");
+        // Exact bit round-trip: shortest Display + str::parse is lossless.
+        assert_eq!(
+            parsed.to_bits(),
+            r.fcounter("fabric.codec_priced_pj").to_bits()
+        );
     }
 
     #[test]
@@ -209,6 +275,12 @@ mod tests {
                 .and_then(|c| c.get("fabric.dram_bursts"))
                 .and_then(Value::as_u64),
             Some(7)
+        );
+        assert_eq!(
+            snap.get("fcounters")
+                .and_then(|c| c.get("fabric.codec_priced_pj"))
+                .and_then(Value::as_f64),
+            Some(1.75)
         );
         assert_eq!(
             snap.get("hists")

@@ -112,6 +112,39 @@ fn empty_single_and_all_equal_have_defined_values() {
 }
 
 #[test]
+fn merge_then_quantile_equals_quantile_over_concatenated_samples() {
+    // Satellite property: shard samples across a random number of
+    // histograms, merge the shards, and the merged quantiles must match
+    // the sort oracle over the full concatenated sample set bit for bit.
+    for seed in 0..50u64 {
+        let mut rng = SplitMix(seed ^ 0x5eed_4a11);
+        let shards = (rng.next() % 6) as usize + 1;
+        let mut merged = Histogram::new();
+        let mut all: Vec<u64> = Vec::new();
+        for _ in 0..shards {
+            // Empty shards allowed: len in [0, 100).
+            let len = (rng.next() % 100) as usize;
+            let domain = (rng.next() % 1000) + 1;
+            let mut shard = Histogram::new();
+            for _ in 0..len {
+                let v = rng.next() % domain;
+                shard.record(v);
+                all.push(v);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged.count(), all.len() as u64, "seed {seed}: count");
+        for p in [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+            assert_eq!(
+                merged.quantile(p),
+                oracle(&all, p),
+                "seed {seed}: merged p{p} diverges from concatenated oracle"
+            );
+        }
+    }
+}
+
+#[test]
 fn streaming_order_is_irrelevant() {
     let mut rng = SplitMix(77);
     let mut samples: Vec<u64> = (0..128).map(|_| rng.next() % 1000).collect();

@@ -1,0 +1,175 @@
+//! Chrome trace-event export.
+//!
+//! Emits the span tree in the Trace Event Format (the JSON object form:
+//! `{"traceEvents": [...]}`) loadable in `chrome://tracing` and Perfetto.
+//! Mapping: **jobs are processes** (pid = job id; a single-tenant run is
+//! pid 0, "run"), **pipeline lanes are threads** (tid 0 groups, 1 load,
+//! 2 compute, 3 store), and every span is a complete `"ph":"X"` event with
+//! `ts`/`dur` in fabric cycles (the viewer's microsecond label reads as
+//! cycles). Output order and formatting are deterministic.
+
+use crate::tree::SpanTree;
+use mocha_json::Value;
+
+const TID_GROUPS: u64 = 0;
+const TID_LOAD: u64 = 1;
+const TID_COMPUTE: u64 = 2;
+const TID_STORE: u64 = 3;
+
+fn meta(pid: u64, tid: Option<u64>, name: &str) -> Value {
+    let mut v = mocha_json::jobj! {
+        "ph" => "M",
+        "pid" => pid,
+        "name" => if tid.is_some() { "thread_name" } else { "process_name" },
+        "args" => mocha_json::jobj! { "name" => name },
+    };
+    if let Some(tid) = tid {
+        v = v.with("tid", tid);
+    }
+    v
+}
+
+fn slice(name: &str, cat: &str, pid: u64, tid: u64, start: u64, end: u64) -> Value {
+    mocha_json::jobj! {
+        "name" => name,
+        "cat" => cat,
+        "ph" => "X",
+        "pid" => pid,
+        "tid" => tid,
+        "ts" => start,
+        "dur" => end - start,
+    }
+}
+
+/// Renders the tree as a Chrome trace-event JSON object.
+pub fn export(tree: &SpanTree) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+
+    // Processes present: each job id, plus pid 0 for single-tenant groups.
+    let mut pids: Vec<(u64, String)> = tree
+        .jobs
+        .iter()
+        .map(|j| (j.id, format!("job {}", j.id)))
+        .collect();
+    if tree.groups.iter().any(|g| g.job.is_none()) && !pids.iter().any(|&(p, _)| p == 0) {
+        pids.push((0, "run".to_string()));
+    }
+    pids.sort();
+    for (pid, name) in &pids {
+        events.push(meta(*pid, None, name));
+        events.push(meta(*pid, Some(TID_GROUPS), "groups"));
+        events.push(meta(*pid, Some(TID_LOAD), "load"));
+        events.push(meta(*pid, Some(TID_COMPUTE), "compute"));
+        events.push(meta(*pid, Some(TID_STORE), "store"));
+    }
+
+    for j in &tree.jobs {
+        events.push(slice(
+            &format!("job {}", j.id),
+            "job",
+            j.id,
+            TID_GROUPS,
+            j.start,
+            j.end,
+        ));
+    }
+
+    for g in &tree.groups {
+        let pid = g.job.unwrap_or(0);
+        events.push(slice(&g.name, "group", pid, TID_GROUPS, g.start, g.end));
+        for (i, t) in g.tiles.iter().enumerate() {
+            for (tid, cat, interval) in [
+                (TID_LOAD, "load", t.load),
+                (TID_COMPUTE, "compute", t.compute),
+                (TID_STORE, "store", t.store),
+            ] {
+                if let Some((s, e)) = interval {
+                    events.push(slice(&format!("{} tile {i}", g.name), cat, pid, tid, s, e));
+                }
+            }
+        }
+    }
+
+    mocha_json::jobj! {
+        "displayTimeUnit" => "ms",
+        "traceEvents" => events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Span;
+
+    fn span(path: &str, start: u64, end: u64) -> Span {
+        Span {
+            path: path.into(),
+            start,
+            end,
+            line: 1,
+        }
+    }
+
+    #[test]
+    fn export_shapes_jobs_as_pids_and_lanes_as_tids() {
+        let tree = SpanTree::build(&[
+            span("job/3/group/conv1", 0, 50),
+            span("job/3/group/conv1/tile/0/load", 0, 20),
+            span("job/3/group/conv1/tile/0/compute", 20, 45),
+            span("job/3/group/conv1/tile/0/store", 45, 50),
+            span("job/3", 0, 50),
+        ])
+        .unwrap();
+        let v = export(&tree);
+        let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+        // 5 metadata + 1 job + 1 group + 3 stages.
+        assert_eq!(events.len(), 10);
+        let x: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(x.len(), 5);
+        for e in &x {
+            assert_eq!(e.get("pid").and_then(Value::as_u64), Some(3));
+            let ts = e.get("ts").and_then(Value::as_u64).unwrap();
+            let dur = e.get("dur").and_then(Value::as_u64).unwrap();
+            assert!(ts + dur <= 50);
+        }
+        let loads: Vec<&&Value> = x
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("load"))
+            .collect();
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads[0].get("tid").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn single_tenant_run_is_pid_zero() {
+        let tree = SpanTree::build(&[span("group/a", 0, 10)]).unwrap();
+        let v = export(&tree);
+        let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+        let process = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+            .unwrap();
+        assert_eq!(process.get("pid").and_then(Value::as_u64), Some(0));
+        assert_eq!(
+            process
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str),
+            Some("run")
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let spans = [
+            span("group/a", 0, 10),
+            span("group/a/tile/0/compute", 0, 10),
+        ];
+        let a = export(&SpanTree::build(&spans).unwrap()).to_string_compact();
+        let b = export(&SpanTree::build(&spans).unwrap()).to_string_compact();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,389 @@
+//! Exact phase/layer energy attribution.
+//!
+//! The obs stream carries every energy-relevant event count (`fabric.*`
+//! counters plus the `fabric.codec_priced_pj` fractional counter), so the
+//! run's [`EventCounts`] can be rebuilt **bit-identically** and priced with
+//! the same [`EnergyTable`] the simulator used — the reconstructed
+//! [`EnergyBreakdown`] equals the simulator's golden exactly.
+//!
+//! Attribution then *joins counters with span intervals*: each breakdown
+//! component is converted to integer **attojoules** and apportioned over
+//! (layer × phase) cells weighted by the span tree's lane-busy cycles,
+//! using largest-remainder rounding. Integer arithmetic makes the books
+//! balance by construction: phase sums, layer sums and the component total
+//! are all *equal*, not approximately equal.
+
+use crate::tree::SpanTree;
+use crate::Stream;
+use mocha_energy::{EnergyBreakdown, EnergyTable, EventCounts};
+use mocha_obs::names;
+
+/// Attojoules per picojoule: the integer resolution attribution runs at.
+/// Well below any per-event energy, so no real signal is lost to rounding.
+pub const AJ_PER_PJ: f64 = 1e6;
+
+/// Converts a (non-negative) pJ quantity to integer attojoules.
+pub fn aj(pj: f64) -> u128 {
+    (pj * AJ_PER_PJ).round() as u128
+}
+
+/// Energy per pipeline phase, in attojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseEnergy {
+    /// Energy attributed to load stages (DRAM→SPM movement).
+    pub load_aj: u128,
+    /// Energy attributed to compute stages.
+    pub compute_aj: u128,
+    /// Energy attributed to store stages (SPM→DRAM movement).
+    pub store_aj: u128,
+    /// Leakage burned while lanes (or the fabric) sat idle.
+    pub idle_aj: u128,
+    /// Energy with no span weight to attach to (streams without spans, or
+    /// components whose weights are all zero). Zero on simulator streams.
+    pub unattributed_aj: u128,
+}
+
+impl PhaseEnergy {
+    /// Sum over all buckets — equals the component total exactly.
+    pub fn total_aj(&self) -> u128 {
+        self.load_aj + self.compute_aj + self.store_aj + self.idle_aj + self.unattributed_aj
+    }
+}
+
+/// Energy attributed to one layer group (layers fused together profile as
+/// one unit — they share tiles and intervals).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerEnergy {
+    /// Group name (layer names joined with `+`), aggregated over every
+    /// execution of that group (all jobs).
+    pub name: String,
+    /// Makespan cycles summed over the group's executions.
+    pub cycles: u64,
+    /// Per-phase energy of this layer group.
+    pub phases: PhaseEnergy,
+}
+
+impl LayerEnergy {
+    /// The layer group's total energy in attojoules.
+    pub fn total_aj(&self) -> u128 {
+        self.phases.total_aj()
+    }
+}
+
+/// The full reconciled attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    /// Event counts rebuilt from the counter stream — bit-identical to the
+    /// simulator's own totals on simulator-produced streams.
+    pub counts: EventCounts,
+    /// The rebuilt counts priced by the table.
+    pub breakdown: EnergyBreakdown,
+    /// Sum of the breakdown components in attojoules. Equals the phase and
+    /// layer sums exactly.
+    pub total_aj: u128,
+    /// Energy per phase over the whole run.
+    pub phases: PhaseEnergy,
+    /// Energy per layer group, in order of first execution.
+    pub layers: Vec<LayerEnergy>,
+}
+
+/// Rebuilds [`EventCounts`] from a stream's counters. The integer fields
+/// come from `fabric.*` counters; `priced_pj` from the
+/// `fabric.codec_priced_pj` fractional counter, whose accumulation order
+/// matches the simulator's own merge, so the f64 is bit-identical.
+pub fn counts_from_stream(s: &Stream) -> EventCounts {
+    EventCounts {
+        macs: s.counter(names::FABRIC_MACS),
+        macs_skipped: s.counter(names::FABRIC_MACS_SKIPPED),
+        pool_ops: s.counter(names::FABRIC_POOL_OPS),
+        rf_reads: s.counter(names::FABRIC_RF_READS),
+        rf_writes: s.counter(names::FABRIC_RF_WRITES),
+        spm_read_bytes: s.counter(names::FABRIC_SPM_READ_BYTES),
+        spm_write_bytes: s.counter(names::FABRIC_SPM_WRITE_BYTES),
+        noc_flit_hops: s.counter(names::FABRIC_NOC_FLIT_HOPS),
+        dram_read_bytes: s.counter(names::FABRIC_DRAM_READ_BYTES),
+        dram_write_bytes: s.counter(names::FABRIC_DRAM_WRITE_BYTES),
+        dram_bursts: s.counter(names::FABRIC_DRAM_BURSTS),
+        codec_bytes: s.counter(names::FABRIC_CODEC_BYTES),
+        priced_pj: s.fcounter(names::FABRIC_CODEC_PRICED_PJ),
+        active_cycles: s.counter(names::FABRIC_ACTIVE_CYCLES),
+    }
+}
+
+/// Splits `total` over `weights` exactly: floor shares, then the remainder
+/// distributed by largest fractional part (ties broken by index, so the
+/// split is deterministic). The shares always sum to `total`.
+fn apportion(total: u128, weights: &[u128]) -> Vec<u128> {
+    let w: u128 = weights.iter().sum();
+    if w == 0 {
+        return vec![0; weights.len()];
+    }
+    let mut shares: Vec<u128> = weights.iter().map(|&wi| total * wi / w).collect();
+    let assigned: u128 = shares.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        (total * weights[b] % w)
+            .cmp(&(total * weights[a] % w))
+            .then(a.cmp(&b))
+    });
+    let mut left = total - assigned;
+    for i in order {
+        if left == 0 {
+            break;
+        }
+        shares[i] += 1;
+        left -= 1;
+    }
+    shares
+}
+
+/// The per-layer weight rows attribution distributes over.
+struct LayerWeights {
+    name: String,
+    cycles: u64,
+    load: u128,
+    compute: u128,
+    store: u128,
+    /// Idle lane-cycles: three lanes for the group's makespan, minus the
+    /// busy cycles — the leakage weight for time spent waiting.
+    idle: u128,
+}
+
+/// Attributes a stream's energy to phases and layers using the span tree's
+/// lane intervals as weights. `table` must be the table the run was priced
+/// with (the default unless the run overrode `--energy`).
+pub fn attribute(tree: &SpanTree, stream: &Stream, table: &EnergyTable) -> Attribution {
+    let counts = counts_from_stream(stream);
+    let breakdown = table.price(&counts);
+
+    // Aggregate groups by name, in order of first execution.
+    let mut layers: Vec<LayerWeights> = Vec::new();
+    let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for g in &tree.groups {
+        let li = *index.entry(g.name.clone()).or_insert_with(|| {
+            layers.push(LayerWeights {
+                name: g.name.clone(),
+                cycles: 0,
+                load: 0,
+                compute: 0,
+                store: 0,
+                idle: 0,
+            });
+            layers.len() - 1
+        });
+        let row = &mut layers[li];
+        row.cycles += g.cycles();
+        row.load += g.busy.load as u128;
+        row.compute += g.busy.compute as u128;
+        row.store += g.busy.store as u128;
+        row.idle += (3 * g.cycles() as u128).saturating_sub(g.busy.total() as u128);
+    }
+
+    let mut out: Vec<PhaseEnergy> = layers.iter().map(|_| PhaseEnergy::default()).collect();
+    let mut totals = PhaseEnergy::default();
+    let mut total_aj: u128 = 0;
+
+    // Each component is apportioned separately over the cells its physics
+    // touches, so the component total is preserved exactly.
+    //   compute + RF  -> compute lanes (datapath and operand traffic);
+    //   DRAM/NoC/codec -> load + store lanes (memory-path movement);
+    //   SPM           -> all three lanes (tiles touch SPM in every stage);
+    //   leakage       -> busy lanes + idle lane-cycles (time, not events).
+    enum Cells {
+        Compute,
+        LoadStore,
+        AllLanes,
+        LanesAndIdle,
+    }
+    let components: [(u128, Cells); 7] = [
+        (aj(breakdown.compute_pj), Cells::Compute),
+        (aj(breakdown.rf_pj), Cells::Compute),
+        (aj(breakdown.dram_pj), Cells::LoadStore),
+        (aj(breakdown.noc_pj), Cells::LoadStore),
+        (aj(breakdown.codec_pj), Cells::LoadStore),
+        (aj(breakdown.spm_pj), Cells::AllLanes),
+        (aj(breakdown.leakage_pj), Cells::LanesAndIdle),
+    ];
+
+    for (total, cells) in components {
+        total_aj += total;
+        // One weight per (layer, phase) cell, flattened deterministically.
+        let mut weights: Vec<u128> = Vec::new();
+        let mut slots: Vec<(usize, Phase)> = Vec::new();
+        for (li, l) in layers.iter().enumerate() {
+            let phase_weights: &[(Phase, u128)] = match cells {
+                Cells::Compute => &[(Phase::Compute, l.compute)],
+                Cells::LoadStore => &[(Phase::Load, l.load), (Phase::Store, l.store)],
+                Cells::AllLanes => &[
+                    (Phase::Load, l.load),
+                    (Phase::Compute, l.compute),
+                    (Phase::Store, l.store),
+                ],
+                Cells::LanesAndIdle => &[
+                    (Phase::Load, l.load),
+                    (Phase::Compute, l.compute),
+                    (Phase::Store, l.store),
+                    (Phase::Idle, l.idle),
+                ],
+            };
+            for &(p, w) in phase_weights {
+                weights.push(w);
+                slots.push((li, p));
+            }
+        }
+        if weights.iter().sum::<u128>() == 0 {
+            // No spans (snapshot input) or an all-zero weight class: keep
+            // the energy on the books, just unattached to a phase.
+            totals.unattributed_aj += total;
+            continue;
+        }
+        for (share, &(li, p)) in apportion(total, &weights).iter().zip(&slots) {
+            let row = &mut out[li];
+            let (cell, sum) = match p {
+                Phase::Load => (&mut row.load_aj, &mut totals.load_aj),
+                Phase::Compute => (&mut row.compute_aj, &mut totals.compute_aj),
+                Phase::Store => (&mut row.store_aj, &mut totals.store_aj),
+                Phase::Idle => (&mut row.idle_aj, &mut totals.idle_aj),
+            };
+            *cell += share;
+            *sum += share;
+        }
+    }
+
+    Attribution {
+        counts,
+        breakdown,
+        total_aj,
+        phases: totals,
+        layers: layers
+            .into_iter()
+            .zip(out)
+            .map(|(l, phases)| LayerEnergy {
+                name: l.name,
+                cycles: l.cycles,
+                phases,
+            })
+            .collect(),
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Phase {
+    Load,
+    Compute,
+    Store,
+    Idle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_stream;
+    use mocha_obs::Recorder;
+
+    #[test]
+    fn apportion_is_exact_and_deterministic() {
+        // 10 over weights 1,1,1 -> 4,3,3 (remainders equal, index order).
+        assert_eq!(apportion(10, &[1, 1, 1]), vec![4, 3, 3]);
+        assert_eq!(apportion(0, &[1, 2]), vec![0, 0]);
+        assert_eq!(apportion(7, &[0, 0]), vec![0, 0]);
+        assert_eq!(apportion(7, &[0, 1]), vec![0, 7]);
+        for (total, weights) in [
+            (1_000_003u128, vec![3u128, 7, 11, 0, 13]),
+            (999, vec![1, 1]),
+            (1, vec![5, 5, 5]),
+        ] {
+            let shares = apportion(total, &weights);
+            assert_eq!(shares.iter().sum::<u128>(), total, "{total} {weights:?}");
+        }
+    }
+
+    #[test]
+    fn counts_round_trip_through_a_recorded_stream() {
+        let golden = EventCounts {
+            macs: 123,
+            macs_skipped: 4,
+            pool_ops: 5,
+            rf_reads: 6,
+            rf_writes: 7,
+            spm_read_bytes: 8,
+            spm_write_bytes: 9,
+            noc_flit_hops: 10,
+            dram_read_bytes: 11,
+            dram_write_bytes: 12,
+            dram_bursts: 13,
+            codec_bytes: 14,
+            priced_pj: 0.1 + 0.2, // deliberately not representable exactly
+            active_cycles: 15,
+        };
+        let mut rec = mocha_obs::MemRecorder::new();
+        golden.record(&mut rec);
+        let stream = parse_stream(&rec.to_jsonl()).unwrap();
+        let rebuilt = counts_from_stream(&stream);
+        assert_eq!(rebuilt, golden);
+        assert_eq!(rebuilt.priced_pj.to_bits(), golden.priced_pj.to_bits());
+    }
+
+    #[test]
+    fn attribution_books_balance_exactly() {
+        let mut rec = mocha_obs::MemRecorder::new();
+        rec.span(|| "group/conv1".into(), 0, 100);
+        rec.span(|| "group/conv1/tile/0/load".into(), 0, 40);
+        rec.span(|| "group/conv1/tile/0/compute".into(), 40, 90);
+        rec.span(|| "group/conv1/tile/0/store".into(), 90, 100);
+        rec.span(|| "group/fc1".into(), 100, 130);
+        rec.span(|| "group/fc1/tile/0/compute".into(), 100, 130);
+        let golden = EventCounts {
+            macs: 1_000_000,
+            dram_read_bytes: 4096,
+            dram_bursts: 64,
+            spm_read_bytes: 2048,
+            noc_flit_hops: 999,
+            priced_pj: 12.375,
+            active_cycles: 130,
+            ..Default::default()
+        };
+        golden.record(&mut rec);
+        let stream = parse_stream(&rec.to_jsonl()).unwrap();
+        let tree = SpanTree::build(&stream.spans).unwrap();
+        let table = EnergyTable::default();
+        let a = attribute(&tree, &stream, &table);
+
+        let b = table.price(&golden);
+        let component_sum = aj(b.compute_pj)
+            + aj(b.rf_pj)
+            + aj(b.spm_pj)
+            + aj(b.noc_pj)
+            + aj(b.dram_pj)
+            + aj(b.codec_pj)
+            + aj(b.leakage_pj);
+        assert_eq!(a.total_aj, component_sum);
+        assert_eq!(a.phases.total_aj(), a.total_aj, "phase sums must balance");
+        let layer_sum: u128 = a.layers.iter().map(LayerEnergy::total_aj).sum();
+        assert_eq!(layer_sum, a.total_aj, "layer sums must balance");
+        assert_eq!(
+            a.phases.unattributed_aj, 0,
+            "simulator streams attribute fully"
+        );
+        // All compute/RF energy lands in compute; DRAM lands in load+store.
+        assert!(a.phases.compute_aj >= aj(b.compute_pj));
+        assert!(a.phases.load_aj + a.phases.store_aj >= aj(b.dram_pj));
+    }
+
+    #[test]
+    fn spanless_stream_parks_everything_unattributed() {
+        let mut rec = mocha_obs::MemRecorder::new();
+        EventCounts {
+            macs: 10,
+            active_cycles: 5,
+            ..Default::default()
+        }
+        .record(&mut rec);
+        let stream = parse_stream(&rec.to_jsonl()).unwrap();
+        let tree = SpanTree::build(&stream.spans).unwrap();
+        let a = attribute(&tree, &stream, &EnergyTable::default());
+        assert_eq!(a.phases.unattributed_aj, a.total_aj);
+        assert_eq!(a.phases.total_aj(), a.total_aj);
+        assert!(a.total_aj > 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Parsing `mocha-obs` output back into structured events.
+//!
+//! Two input shapes are accepted: the JSON-lines event stream
+//! ([`MemRecorder::to_jsonl`](mocha_obs::MemRecorder::to_jsonl) — one
+//! tagged object per line) and the single-object snapshot
+//! ([`MemRecorder::snapshot`](mocha_obs::MemRecorder::snapshot) — counters
+//! and histogram summaries, no spans). Parsing never panics: every failure
+//! is a [`TraceError`] naming the 1-based input line, so the CLI can relay
+//! it as a one-line scriptable message.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse or analysis failure, located at a 1-based input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line of the offending input (1 for whole-input errors).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl TraceError {
+    /// Convenience constructor.
+    pub fn new(line: usize, msg: impl Into<String>) -> Self {
+        Self {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One completed span: a named `[start, end)` interval in fabric cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Slash-separated span path (`job/0/group/conv1/tile/3/load`).
+    pub path: String,
+    /// First cycle of the interval.
+    pub start: u64,
+    /// One past the last cycle of the interval.
+    pub end: u64,
+    /// 1-based input line the span came from (0 for snapshot inputs), so
+    /// tree-building errors can point back at the source.
+    pub line: usize,
+}
+
+/// A histogram summary as exported by the recorder (count/min/max/mean and
+/// the nearest-rank p50/p95/p99).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean of all samples.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// A fully parsed observability stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stream {
+    /// Spans in stream (recording) order.
+    pub spans: Vec<Span>,
+    /// Integer counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Fractional (`f64`) counters by name. Values round-trip the JSON text
+    /// bit for bit (shortest `f64` formatting both ways), which is what
+    /// makes exact energy reconciliation possible downstream.
+    pub fcounters: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub hists: BTreeMap<String, HistSummary>,
+}
+
+impl Stream {
+    /// An integer counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A fractional counter's value (0.0 when absent).
+    pub fn fcounter(&self, name: &str) -> f64 {
+        self.fcounters.get(name).copied().unwrap_or(0.0)
+    }
+}
+
+fn req<'a>(
+    v: &'a mocha_json::Value,
+    key: &str,
+    line: usize,
+) -> Result<&'a mocha_json::Value, TraceError> {
+    v.get(key)
+        .ok_or_else(|| TraceError::new(line, format!("missing field {key:?}")))
+}
+
+fn req_str(v: &mocha_json::Value, key: &str, line: usize) -> Result<String, TraceError> {
+    req(v, key, line)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| TraceError::new(line, format!("field {key:?} is not a string")))
+}
+
+fn req_u64(v: &mocha_json::Value, key: &str, line: usize) -> Result<u64, TraceError> {
+    req(v, key, line)?.as_u64().ok_or_else(|| {
+        TraceError::new(line, format!("field {key:?} is not a non-negative integer"))
+    })
+}
+
+fn req_f64(v: &mocha_json::Value, key: &str, line: usize) -> Result<f64, TraceError> {
+    req(v, key, line)?
+        .as_f64()
+        .ok_or_else(|| TraceError::new(line, format!("field {key:?} is not a number")))
+}
+
+fn hist_summary(v: &mocha_json::Value, line: usize) -> Result<HistSummary, TraceError> {
+    Ok(HistSummary {
+        count: req_u64(v, "count", line)?,
+        min: req_u64(v, "min", line)?,
+        max: req_u64(v, "max", line)?,
+        mean: req_f64(v, "mean", line)?,
+        p50: req_u64(v, "p50", line)?,
+        p95: req_u64(v, "p95", line)?,
+        p99: req_u64(v, "p99", line)?,
+    })
+}
+
+/// Parses a JSON-lines event stream. Blank lines are skipped; anything else
+/// must be one tagged event object per line (a mid-line truncation therefore
+/// fails on its own line number).
+pub fn parse_stream(text: &str) -> Result<Stream, TraceError> {
+    let mut out = Stream::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = mocha_json::parse(raw).map_err(|e| TraceError::new(line, e.to_string()))?;
+        let kind = req_str(&v, "event", line)?;
+        match kind.as_str() {
+            "span" => {
+                let start = req_u64(&v, "start", line)?;
+                let end = req_u64(&v, "end", line)?;
+                if end < start {
+                    return Err(TraceError::new(line, "span ends before it starts"));
+                }
+                out.spans.push(Span {
+                    path: req_str(&v, "path", line)?,
+                    start,
+                    end,
+                    line,
+                });
+            }
+            "counter" => {
+                let name = req_str(&v, "name", line)?;
+                *out.counters.entry(name).or_insert(0) += req_u64(&v, "value", line)?;
+            }
+            "fcounter" => {
+                let name = req_str(&v, "name", line)?;
+                *out.fcounters.entry(name).or_insert(0.0) += req_f64(&v, "value", line)?;
+            }
+            "hist" => {
+                let name = req_str(&v, "name", line)?;
+                out.hists.insert(name, hist_summary(&v, line)?);
+            }
+            other => {
+                return Err(TraceError::new(
+                    line,
+                    format!("unknown event kind {other:?}"),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses either input shape: a whole-input JSON object with a `counters`
+/// member is treated as a recorder snapshot (no spans); everything else goes
+/// through [`parse_stream`].
+pub fn parse_input(text: &str) -> Result<Stream, TraceError> {
+    if let Ok(v) = mocha_json::parse(text) {
+        if v.get("counters").is_some() && v.get("event").is_none() {
+            return stream_from_snapshot(&v);
+        }
+    }
+    parse_stream(text)
+}
+
+fn num_map_u64(v: &mocha_json::Value, key: &str) -> Result<BTreeMap<String, u64>, TraceError> {
+    let mut out = BTreeMap::new();
+    if let Some(mocha_json::Value::Obj(map)) = v.get(key) {
+        for (name, val) in map {
+            let n = val.as_u64().ok_or_else(|| {
+                TraceError::new(1, format!("snapshot {key} {name:?} is not an integer"))
+            })?;
+            out.insert(name.clone(), n);
+        }
+    }
+    Ok(out)
+}
+
+fn stream_from_snapshot(v: &mocha_json::Value) -> Result<Stream, TraceError> {
+    let mut out = Stream {
+        counters: num_map_u64(v, "counters")?,
+        ..Stream::default()
+    };
+    if let Some(mocha_json::Value::Obj(map)) = v.get("fcounters") {
+        for (name, val) in map {
+            let n = val.as_f64().ok_or_else(|| {
+                TraceError::new(1, format!("snapshot fcounter {name:?} is not a number"))
+            })?;
+            out.fcounters.insert(name.clone(), n);
+        }
+    }
+    if let Some(mocha_json::Value::Obj(map)) = v.get("hists") {
+        for (name, val) in map {
+            out.hists.insert(name.clone(), hist_summary(val, 1)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_recorder_stream_round_trip() {
+        use mocha_obs::Recorder;
+        let mut rec = mocha_obs::MemRecorder::new();
+        rec.span(|| "group/conv1".into(), 0, 100);
+        rec.span(|| "group/conv1/tile/0/load".into(), 0, 40);
+        rec.add("fabric.macs", 7);
+        rec.add_f64("fabric.codec_priced_pj", 1.625);
+        rec.sample("core.group_cycles", 100);
+        let s = parse_stream(&rec.to_jsonl()).expect("parses");
+        assert_eq!(s.spans.len(), 2);
+        assert_eq!(s.spans[1].path, "group/conv1/tile/0/load");
+        assert_eq!(s.counter("fabric.macs"), 7);
+        assert_eq!(
+            s.fcounter("fabric.codec_priced_pj").to_bits(),
+            1.625f64.to_bits()
+        );
+        assert_eq!(s.hists["core.group_cycles"].count, 1);
+        assert_eq!(s.counter("absent"), 0);
+    }
+
+    #[test]
+    fn snapshot_input_yields_counters_without_spans() {
+        let mut rec = mocha_obs::MemRecorder::new();
+        use mocha_obs::Recorder;
+        rec.span(|| "group/a".into(), 0, 10);
+        rec.add("fabric.macs", 3);
+        rec.add_f64("fabric.codec_priced_pj", 0.5);
+        rec.sample("core.group_cycles", 10);
+        let text = rec.snapshot().to_string_pretty();
+        let s = parse_input(&text).expect("snapshot parses");
+        assert!(s.spans.is_empty());
+        assert_eq!(s.counter("fabric.macs"), 3);
+        assert_eq!(s.fcounter("fabric.codec_priced_pj"), 0.5);
+        assert_eq!(s.hists["core.group_cycles"].p50, 10);
+    }
+
+    #[test]
+    fn garbage_line_is_named_by_number() {
+        let text = "{\"event\":\"counter\",\"name\":\"a\",\"value\":1}\nnot json\n";
+        let e = parse_stream(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().starts_with("line 2: "));
+    }
+
+    #[test]
+    fn truncated_line_is_named_by_number() {
+        let mut rec = mocha_obs::MemRecorder::new();
+        use mocha_obs::Recorder;
+        rec.span(|| "group/a".into(), 0, 10);
+        rec.add("c", 1);
+        let text = rec.to_jsonl();
+        let cut = &text[..text.len() - 5]; // chop mid-way through line 2
+        let e = parse_stream(cut).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn wrong_field_types_and_unknown_kinds_are_errors_not_panics() {
+        for (text, want_line) in [
+            ("{\"event\":\"span\",\"path\":\"a\",\"start\":\"x\",\"end\":2}", 1),
+            ("{\"event\":\"span\",\"path\":\"a\",\"start\":5,\"end\":2}", 1),
+            ("{\"event\":\"span\",\"start\":1,\"end\":2}", 1),
+            ("{\"event\":\"counter\",\"name\":\"a\",\"value\":-1}", 1),
+            ("{\"event\":\"mystery\"}", 1),
+            ("{\"no_event\":1}", 1),
+            ("{\"event\":\"counter\",\"name\":\"a\",\"value\":1}\n{\"event\":\"hist\",\"name\":\"h\"}", 2),
+        ] {
+            let e = parse_stream(text).unwrap_err();
+            assert_eq!(e.line, want_line, "{text}");
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let s = parse_stream("\n{\"event\":\"counter\",\"name\":\"a\",\"value\":2}\n\n").unwrap();
+        assert_eq!(s.counter("a"), 2);
+    }
+
+    #[test]
+    fn repeated_counter_lines_accumulate() {
+        let line = "{\"event\":\"counter\",\"name\":\"a\",\"value\":2}\n";
+        let s = parse_stream(&format!("{line}{line}")).unwrap();
+        assert_eq!(s.counter("a"), 4);
+    }
+}

@@ -1,0 +1,50 @@
+//! # mocha-trace
+//!
+//! The analysis layer over `mocha-obs`: turns write-only observability
+//! streams into actionable profiles.
+//!
+//! * **Parsing** ([`event`]) — JSON-lines event streams and recorder
+//!   snapshots back into spans/counters/histograms; every failure is a
+//!   [`TraceError`] naming the offending line, never a panic.
+//! * **Span-tree profiling** ([`tree`]) — reconstructs jobs, groups and
+//!   tile stages from the path convention and derives critical paths,
+//!   lane overlap efficiency and fabric idle-gap timelines.
+//! * **Exact energy attribution** ([`energy`]) — rebuilds the run's
+//!   [`EventCounts`](mocha_energy::EventCounts) bit-identically from the
+//!   counter stream, prices it, and apportions each component to
+//!   (layer × phase) cells in integer attojoules with largest-remainder
+//!   rounding — so phase sums, layer sums and the priced total are
+//!   **equal**, not approximately equal.
+//! * **Chrome export** ([`chrome`]) — the tree as Trace Event Format JSON
+//!   for `chrome://tracing` / Perfetto (jobs → pids, lanes → tids).
+//! * **Diffing** ([`diff`]) — profile-to-profile comparison with a
+//!   `--fail-on-regression` gate for CI.
+//!
+//! Everything is a pure function of its input, so identical seeded runs
+//! produce byte-identical summaries, profiles and exports — the same
+//! determinism contract the recorder itself keeps.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod diff;
+pub mod energy;
+pub mod event;
+pub mod profile;
+pub mod tree;
+
+pub use event::{parse_input, parse_stream, HistSummary, Span, Stream, TraceError};
+pub use profile::{Profile, PROFILE_MARKER};
+pub use tree::SpanTree;
+
+/// One-call convenience: parse either input shape, build the tree, and
+/// distil the profile under `table`.
+pub fn profile_input(
+    text: &str,
+    table: &mocha_energy::EnergyTable,
+) -> Result<(Profile, SpanTree), TraceError> {
+    let stream = parse_input(text)?;
+    let tree = SpanTree::build(&stream.spans)?;
+    let (profile, _) = Profile::build(&tree, &stream, table);
+    Ok((profile, tree))
+}

@@ -1,0 +1,374 @@
+//! The distilled profile: everything `trace summary` prints, `trace diff`
+//! compares, and ci.sh pins as a baseline, in one flat JSON-serializable
+//! struct. The JSON form carries the `mocha_trace_profile` marker so the
+//! CLI can tell a saved profile from a raw event stream, and attojoule
+//! totals are serialized as decimal strings (u128 does not fit in a JSON
+//! number losslessly).
+
+use crate::energy::{Attribution, PhaseEnergy};
+use crate::tree::{CriticalPath, LaneCycles, SpanTree};
+use crate::Stream;
+use mocha_energy::EnergyTable;
+use mocha_json::Value;
+
+/// Marker key identifying a serialized profile (value: format version).
+pub const PROFILE_MARKER: &str = "mocha_trace_profile";
+
+/// Per-layer-group row of the profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRow {
+    /// Group name (layer names joined with `+`).
+    pub name: String,
+    /// Summed makespan cycles over the group's executions.
+    pub cycles: u64,
+    /// Critical-path stall cycles summed over executions.
+    pub stall: u64,
+    /// Pipeline overlap efficiency of the group's executions.
+    pub overlap: f64,
+    /// Attributed energy in attojoules.
+    pub energy_aj: u128,
+}
+
+/// A complete run profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Jobs observed (0 in single-tenant streams).
+    pub jobs: u64,
+    /// Fusion groups executed.
+    pub groups: u64,
+    /// Tiles executed.
+    pub tiles: u64,
+    /// Last cycle any span covers (horizon / total cycles).
+    pub makespan: u64,
+    /// Busy cycles per lane over all groups.
+    pub busy: LaneCycles,
+    /// Critical-path cycles over all groups.
+    pub critical: CriticalPath,
+    /// Aggregate overlap efficiency (busy lane cycles / group cycles).
+    pub overlap: f64,
+    /// Cycles with no group executing, and how many such gaps.
+    pub idle_cycles: u64,
+    /// Number of fabric idle gaps.
+    pub idle_gaps: u64,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// Total energy in pJ (the priced breakdown's total).
+    pub energy_pj: f64,
+    /// Exact per-phase energy in attojoules.
+    pub phases: PhaseEnergy,
+    /// Per layer group rows, in order of first execution.
+    pub layers: Vec<LayerRow>,
+    /// Job latency percentiles from `runtime.latency_cycles` (runtime
+    /// streams only).
+    pub latency: Option<(u64, u64, u64)>,
+}
+
+impl Profile {
+    /// Distils a parsed stream + tree into a profile, pricing energy with
+    /// `table` (must match the table the run was priced with).
+    pub fn build(tree: &SpanTree, stream: &Stream, table: &EnergyTable) -> (Profile, Attribution) {
+        let attribution = crate::energy::attribute(tree, stream, table);
+        let stalls: std::collections::HashMap<&str, u64> = {
+            let mut m: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+            for g in &tree.groups {
+                *m.entry(g.name.as_str()).or_insert(0) += g.critical.stall;
+            }
+            m
+        };
+        let layers = attribution
+            .layers
+            .iter()
+            .map(|l| {
+                let busy: u64 = tree
+                    .groups
+                    .iter()
+                    .filter(|g| g.name == l.name)
+                    .map(|g| g.busy.total())
+                    .sum();
+                LayerRow {
+                    name: l.name.clone(),
+                    cycles: l.cycles,
+                    stall: stalls.get(l.name.as_str()).copied().unwrap_or(0),
+                    overlap: if l.cycles == 0 {
+                        0.0
+                    } else {
+                        busy as f64 / l.cycles as f64
+                    },
+                    energy_aj: l.total_aj(),
+                }
+            })
+            .collect();
+        let profile = Profile {
+            jobs: tree.jobs.len() as u64,
+            groups: tree.groups.len() as u64,
+            tiles: tree.tiles() as u64,
+            makespan: tree.makespan,
+            busy: tree.busy(),
+            critical: tree.critical(),
+            overlap: tree.overlap(),
+            idle_cycles: tree.idle_cycles,
+            idle_gaps: tree.idle_gaps.len() as u64,
+            dram_bytes: attribution.counts.dram_bytes(),
+            energy_pj: attribution.breakdown.total_pj(),
+            phases: attribution.phases,
+            layers,
+            latency: stream
+                .hists
+                .get(mocha_obs::names::HIST_JOB_LATENCY)
+                .map(|h| (h.p50, h.p95, h.p99)),
+        };
+        (profile, attribution)
+    }
+
+    /// Serializes the profile (deterministic: `BTreeMap`-ordered keys,
+    /// shortest round-trip float formatting).
+    pub fn to_json(&self) -> Value {
+        let mut v = mocha_json::jobj! {
+            "mocha_trace_profile" => 1u64,
+            "jobs" => self.jobs,
+            "groups" => self.groups,
+            "tiles" => self.tiles,
+            "makespan" => self.makespan,
+            "busy_load" => self.busy.load,
+            "busy_compute" => self.busy.compute,
+            "busy_store" => self.busy.store,
+            "crit_load" => self.critical.load,
+            "crit_compute" => self.critical.compute,
+            "crit_store" => self.critical.store,
+            "crit_stall" => self.critical.stall,
+            "overlap" => self.overlap,
+            "idle_cycles" => self.idle_cycles,
+            "idle_gaps" => self.idle_gaps,
+            "dram_bytes" => self.dram_bytes,
+            "energy_pj" => self.energy_pj,
+            "energy_load_aj" => self.phases.load_aj.to_string(),
+            "energy_compute_aj" => self.phases.compute_aj.to_string(),
+            "energy_store_aj" => self.phases.store_aj.to_string(),
+            "energy_idle_aj" => self.phases.idle_aj.to_string(),
+            "energy_unattributed_aj" => self.phases.unattributed_aj.to_string(),
+            "layers" => self.layers.iter().map(|l| mocha_json::jobj! {
+                "name" => l.name.as_str(),
+                "cycles" => l.cycles,
+                "stall" => l.stall,
+                "overlap" => l.overlap,
+                "energy_aj" => l.energy_aj.to_string(),
+            }).collect::<Vec<_>>(),
+        };
+        if let Some((p50, p95, p99)) = self.latency {
+            v = v
+                .with("latency_p50", p50)
+                .with("latency_p95", p95)
+                .with("latency_p99", p99);
+        }
+        v
+    }
+
+    /// Deserializes a profile saved by [`Self::to_json`].
+    pub fn from_json(v: &Value) -> Result<Profile, String> {
+        if v.get(PROFILE_MARKER).is_none() {
+            return Err("not a mocha-trace profile (missing marker)".into());
+        }
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("profile field {key:?} missing or not an integer"))
+        };
+        let f = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("profile field {key:?} missing or not a number"))
+        };
+        let aj = |val: &Value, key: &str| -> Result<u128, String> {
+            val.get(key)
+                .and_then(Value::as_str)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("profile field {key:?} missing or not a u128 string"))
+        };
+        let mut layers = Vec::new();
+        for l in v.get("layers").and_then(Value::as_arr).unwrap_or(&[]) {
+            layers.push(LayerRow {
+                name: l
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("layer row missing name")?
+                    .to_string(),
+                cycles: l.get("cycles").and_then(Value::as_u64).unwrap_or(0),
+                stall: l.get("stall").and_then(Value::as_u64).unwrap_or(0),
+                overlap: l.get("overlap").and_then(Value::as_f64).unwrap_or(0.0),
+                energy_aj: aj(l, "energy_aj")?,
+            });
+        }
+        Ok(Profile {
+            jobs: u("jobs")?,
+            groups: u("groups")?,
+            tiles: u("tiles")?,
+            makespan: u("makespan")?,
+            busy: LaneCycles {
+                load: u("busy_load")?,
+                compute: u("busy_compute")?,
+                store: u("busy_store")?,
+            },
+            critical: CriticalPath {
+                load: u("crit_load")?,
+                compute: u("crit_compute")?,
+                store: u("crit_store")?,
+                stall: u("crit_stall")?,
+            },
+            overlap: f("overlap")?,
+            idle_cycles: u("idle_cycles")?,
+            idle_gaps: u("idle_gaps")?,
+            dram_bytes: u("dram_bytes")?,
+            energy_pj: f("energy_pj")?,
+            phases: PhaseEnergy {
+                load_aj: aj(v, "energy_load_aj")?,
+                compute_aj: aj(v, "energy_compute_aj")?,
+                store_aj: aj(v, "energy_store_aj")?,
+                idle_aj: aj(v, "energy_idle_aj")?,
+                unattributed_aj: aj(v, "energy_unattributed_aj")?,
+            },
+            layers,
+            latency: match (
+                v.get("latency_p50"),
+                v.get("latency_p95"),
+                v.get("latency_p99"),
+            ) {
+                (Some(a), Some(b), Some(c)) => match (a.as_u64(), b.as_u64(), c.as_u64()) {
+                    (Some(a), Some(b), Some(c)) => Some((a, b, c)),
+                    _ => return Err("latency percentiles are not integers".into()),
+                },
+                _ => None,
+            },
+        })
+    }
+
+    /// The human-readable summary `trace summary` prints. Deterministic.
+    pub fn summary_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let pct = |part: u128, whole: u128| -> f64 {
+            if whole == 0 {
+                0.0
+            } else {
+                100.0 * part as f64 / whole as f64
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{} job(s), {} group(s), {} tile(s), makespan {} cycles",
+            self.jobs, self.groups, self.tiles, self.makespan
+        );
+        let _ = writeln!(
+            out,
+            "lanes: load {} | compute {} | store {} busy cycles, overlap {:.2}x",
+            self.busy.load, self.busy.compute, self.busy.store, self.overlap
+        );
+        let _ = writeln!(
+            out,
+            "critical path: load {} | compute {} | store {} | stall {} cycles",
+            self.critical.load, self.critical.compute, self.critical.store, self.critical.stall
+        );
+        let _ = writeln!(
+            out,
+            "fabric idle: {} cycles in {} gap(s) | DRAM {} bytes",
+            self.idle_cycles, self.idle_gaps, self.dram_bytes
+        );
+        let total = self.phases.total_aj();
+        let _ = writeln!(
+            out,
+            "energy: {:.3} uJ — load {:.1} % | compute {:.1} % | store {:.1} % | idle {:.1} %{}",
+            self.energy_pj / 1e6,
+            pct(self.phases.load_aj, total),
+            pct(self.phases.compute_aj, total),
+            pct(self.phases.store_aj, total),
+            pct(self.phases.idle_aj, total),
+            if self.phases.unattributed_aj > 0 {
+                format!(
+                    " | unattributed {:.1} %",
+                    pct(self.phases.unattributed_aj, total)
+                )
+            } else {
+                String::new()
+            }
+        );
+        if let Some((p50, p95, p99)) = self.latency {
+            let _ = writeln!(out, "job latency: p50 {p50} | p95 {p95} | p99 {p99} cycles");
+        }
+        if !self.layers.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>12} {:>10} {:>8} {:>12} {:>7}",
+                "group", "cycles", "stall", "overlap", "energy uJ", "share"
+            );
+            for l in &self.layers {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>12} {:>10} {:>7.2}x {:>12.3} {:>6.1} %",
+                    l.name,
+                    l.cycles,
+                    l.stall,
+                    l.overlap,
+                    l.energy_aj as f64 / 1e12,
+                    pct(l.energy_aj, total),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_stream;
+    use mocha_energy::EventCounts;
+    use mocha_obs::Recorder;
+
+    fn sample_profile() -> Profile {
+        let mut rec = mocha_obs::MemRecorder::new();
+        rec.span(|| "job/0".into(), 0, 100);
+        rec.span(|| "job/0/group/conv1".into(), 0, 100);
+        rec.span(|| "job/0/group/conv1/tile/0/load".into(), 0, 40);
+        rec.span(|| "job/0/group/conv1/tile/0/compute".into(), 40, 90);
+        rec.span(|| "job/0/group/conv1/tile/0/store".into(), 90, 100);
+        EventCounts {
+            macs: 5000,
+            dram_read_bytes: 256,
+            priced_pj: 3.5,
+            active_cycles: 100,
+            ..Default::default()
+        }
+        .record(&mut rec);
+        rec.sample("runtime.latency_cycles", 100);
+        let stream = parse_stream(&rec.to_jsonl()).unwrap();
+        let tree = SpanTree::build(&stream.spans).unwrap();
+        Profile::build(&tree, &stream, &EnergyTable::default()).0
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let p = sample_profile();
+        let v = p.to_json();
+        assert!(v.get(PROFILE_MARKER).is_some());
+        let q = Profile::from_json(&v).expect("round-trips");
+        assert_eq!(p, q);
+        // And byte-stable through a reprint.
+        let text = v.to_string_pretty();
+        let r = Profile::from_json(&mocha_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(r.to_json().to_string_pretty(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_non_profiles() {
+        assert!(Profile::from_json(&mocha_json::jobj! {"x" => 1u64}).is_err());
+    }
+
+    #[test]
+    fn summary_text_mentions_the_key_lines() {
+        let text = sample_profile().summary_text();
+        assert!(text.contains("1 job(s), 1 group(s), 1 tile(s)"));
+        assert!(text.contains("critical path:"));
+        assert!(text.contains("energy:"));
+        assert!(text.contains("job latency: p50 100"));
+        assert!(text.contains("conv1"));
+    }
+}

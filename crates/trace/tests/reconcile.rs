@@ -1,0 +1,151 @@
+//! The acceptance contract of the trace layer, asserted end-to-end against
+//! real simulator and runtime streams:
+//!
+//! 1. **Exact energy reconciliation** — event counts rebuilt from the
+//!    stream are bit-identical to the simulator's golden totals, the priced
+//!    breakdown matches bit for bit, and the attojoule phase/layer ledgers
+//!    sum to the priced total *exactly*.
+//! 2. **Determinism** — two identical seeded runs produce byte-identical
+//!    summaries, profile JSON and Chrome exports.
+
+use mocha_core::{Accelerator, Objective, Simulator};
+use mocha_energy::EnergyTable;
+use mocha_model::{gen::SparsityProfile, gen::Workload, network};
+use mocha_obs::MemRecorder;
+use mocha_trace::energy::{aj, attribute, counts_from_stream};
+use mocha_trace::{parse_stream, Profile, SpanTree};
+
+fn simulate_stream(net: &str, seed: u64) -> (String, mocha_core::RunMetrics) {
+    let workload = Workload::generate(
+        network::by_name(net).expect("known network"),
+        SparsityProfile::NOMINAL,
+        seed,
+    );
+    let sim = Simulator::new(Accelerator::mocha(Objective::Edp));
+    let mut rec = MemRecorder::new();
+    let run = sim.run_with(&workload, &mut rec);
+    (rec.to_jsonl(), run)
+}
+
+#[test]
+fn energy_attribution_reconciles_exactly_with_the_simulator_golden() {
+    for net in ["tiny", "lenet5"] {
+        let (text, run) = simulate_stream(net, 11);
+        let stream = parse_stream(&text).expect("stream parses");
+        let tree = SpanTree::build(&stream.spans).expect("tree builds");
+        let table = EnergyTable::default();
+
+        // 1. Bit-identical event counts (including the f64 priced_pj).
+        let golden = run.events();
+        let rebuilt = counts_from_stream(&stream);
+        assert_eq!(rebuilt, golden, "{net}: rebuilt counts must equal golden");
+        assert_eq!(
+            rebuilt.priced_pj.to_bits(),
+            golden.priced_pj.to_bits(),
+            "{net}: priced_pj must round-trip bit-exactly"
+        );
+
+        // 2. Bit-identical priced breakdown, hence total energy.
+        let a = attribute(&tree, &stream, &table);
+        let golden_breakdown = table.price(&golden);
+        assert_eq!(
+            a.breakdown.total_pj().to_bits(),
+            golden_breakdown.total_pj().to_bits(),
+            "{net}: breakdown total must be bit-identical"
+        );
+
+        // 3. The integer ledgers balance exactly against the golden.
+        let golden_aj = aj(golden_breakdown.compute_pj)
+            + aj(golden_breakdown.rf_pj)
+            + aj(golden_breakdown.spm_pj)
+            + aj(golden_breakdown.noc_pj)
+            + aj(golden_breakdown.dram_pj)
+            + aj(golden_breakdown.codec_pj)
+            + aj(golden_breakdown.leakage_pj);
+        assert_eq!(a.total_aj, golden_aj, "{net}: attojoule total");
+        assert_eq!(a.phases.total_aj(), golden_aj, "{net}: phase ledger");
+        let layer_sum: u128 = a.layers.iter().map(|l| l.total_aj()).sum();
+        assert_eq!(layer_sum, golden_aj, "{net}: layer ledger");
+        assert_eq!(a.phases.unattributed_aj, 0, "{net}: fully attributed");
+
+        // 4. The tree agrees with the run's timing.
+        assert_eq!(tree.makespan, run.cycles(), "{net}: makespan");
+        assert_eq!(tree.groups.len(), run.groups.len(), "{net}: group count");
+        for (g, m) in tree.groups.iter().zip(&run.groups) {
+            assert_eq!(g.cycles(), m.cycles, "{net}: group cycles");
+            assert_eq!(
+                g.critical.total(),
+                m.cycles,
+                "{net}: critical path covers the group makespan"
+            );
+        }
+    }
+}
+
+#[test]
+fn profile_json_summary_and_chrome_export_are_byte_identical_across_runs() {
+    let (ta, _) = simulate_stream("tiny", 7);
+    let (tb, _) = simulate_stream("tiny", 7);
+    assert_eq!(ta, tb, "streams must already be byte-identical");
+
+    let table = EnergyTable::default();
+    let (pa, tree_a) = mocha_trace::profile_input(&ta, &table).unwrap();
+    let (pb, tree_b) = mocha_trace::profile_input(&tb, &table).unwrap();
+    assert_eq!(
+        pa.to_json().to_string_pretty(),
+        pb.to_json().to_string_pretty()
+    );
+    assert_eq!(pa.summary_text(), pb.summary_text());
+    assert_eq!(
+        mocha_trace::chrome::export(&tree_a).to_string_compact(),
+        mocha_trace::chrome::export(&tree_b).to_string_compact()
+    );
+}
+
+#[test]
+fn runtime_stream_profiles_with_jobs_and_latency() {
+    let traffic = mocha_runtime::TrafficConfig {
+        jobs: 4,
+        load: 2.0,
+        seed: 9,
+        mix: mocha_runtime::Mix::Quick,
+    };
+    let subs = mocha_runtime::generate(&traffic);
+    let cfg = mocha_runtime::RuntimeConfig::default();
+    let mut rec = MemRecorder::new();
+    let report = mocha_runtime::run_with(&cfg, &subs, &mut rec);
+
+    let table = EnergyTable::default();
+    let stream = parse_stream(&rec.to_jsonl()).unwrap();
+    let tree = SpanTree::build(&stream.spans).unwrap();
+    let (profile, _) = Profile::build(&tree, &stream, &table);
+
+    assert_eq!(profile.jobs as usize, report.jobs.len());
+    assert!(profile.groups > 0);
+    assert!(profile.latency.is_some(), "runtime streams carry latency");
+    assert_eq!(profile.phases.total_aj(), {
+        let a = attribute(&tree, &stream, &table);
+        a.total_aj
+    });
+    assert_eq!(profile.phases.unattributed_aj, 0);
+    // Every job's groups fit inside its span.
+    for j in &tree.jobs {
+        for &gi in &j.groups {
+            assert!(tree.groups[gi].start >= j.start);
+            assert!(tree.groups[gi].end <= j.end);
+        }
+    }
+}
+
+#[test]
+fn profile_round_trips_through_saved_json() {
+    let (text, _) = simulate_stream("tiny", 11);
+    let table = EnergyTable::default();
+    let (profile, _) = mocha_trace::profile_input(&text, &table).unwrap();
+    let saved = profile.to_json().to_string_pretty();
+    let loaded = Profile::from_json(&mocha_json::parse(&saved).unwrap()).unwrap();
+    assert_eq!(profile, loaded);
+    // A loaded baseline diffs clean against the live profile.
+    let deltas = mocha_trace::diff::diff(&loaded, &profile);
+    assert!(mocha_trace::diff::regressions(&deltas, 0.0).is_empty());
+}
