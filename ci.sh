@@ -34,6 +34,24 @@ cmp "$obs_tmp/a.jsonl" "$obs_tmp/b.jsonl" || {
     echo "obs streams differ between identical seeded runs"; exit 1
 }
 
+echo "== determinism matrix (--threads 1/2/8: obs streams + trace profiles + r1 table)"
+for t in 1 2 8; do
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        runtime --jobs 3 --load 2.0 --seed 7 --threads "$t" \
+        --obs "$obs_tmp/mat$t.jsonl" > "$obs_tmp/mat$t.report"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        trace summary "$obs_tmp/mat$t.jsonl" --json > "$obs_tmp/mat$t.profile"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        repro r1 --quick --threads "$t" > "$obs_tmp/mat$t.r1"
+done
+for t in 2 8; do
+    for kind in jsonl report profile r1; do
+        cmp "$obs_tmp/mat1.$kind" "$obs_tmp/mat$t.$kind" || {
+            echo "--threads $t $kind output differs from --threads 1"; exit 1
+        }
+    done
+done
+
 echo "== trace perf-regression gate (r1 smoke vs committed baseline)"
 # The committed baseline profile was produced from this exact seeded run;
 # regenerate it with:

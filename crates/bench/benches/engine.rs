@@ -1,0 +1,134 @@
+//! Engine scaling bench: the same DSE candidate sweep and R1 serving sweep
+//! at worker counts 1/2/4/max, asserting byte-identical results at every
+//! width and reporting the wall-clock speedup over the sequential run.
+//!
+//! On a host with ≥4 cores the 4-wide DSE sweep must be at least 2× faster
+//! than 1-wide (the engine's headline acceptance criterion); on smaller
+//! hosts the speedup is reported but not asserted — determinism always is.
+
+use mocha::core::dse::{explore_layer_on, DesignPoint};
+use mocha::engine::Engine;
+use mocha::prelude::*;
+use mocha_bench::{run_by_id, ExpConfig};
+use std::time::Instant;
+
+/// Median-of-3 wall time of `f`, in seconds.
+fn time3<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[1]
+}
+
+/// A stable fingerprint of a Pareto front: every coordinate and config.
+fn fingerprint(fronts: &[Vec<DesignPoint>]) -> String {
+    let mut s = String::new();
+    for front in fronts {
+        for p in front {
+            s.push_str(&format!(
+                "{}|{}|{}|{};",
+                p.plan.cycles,
+                p.plan.energy_pj.to_bits(),
+                p.plan.spm_peak,
+                p.morph
+            ));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut widths = vec![1, 2, 4, cores];
+    widths.sort_unstable();
+    widths.dedup();
+
+    // The DSE sweep: every layer of AlexNet through the full candidate
+    // enumeration — the workload the paper's morphing controller runs per
+    // network, and the engine's primary sharding target.
+    let fabric = FabricConfig::mocha();
+    let costs = CodecCostTable::default();
+    let energy = EnergyTable::default();
+    let ctx = PlanContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+        energy: &energy,
+    };
+    let est = SparsityEstimate {
+        ifmap_sparsity: 0.6,
+        ifmap_mean_run: 3.0,
+        kernel_sparsity: 0.3,
+        ofmap_sparsity: 0.5,
+        ofmap_mean_run: 2.0,
+    };
+    let net = network::alexnet();
+
+    println!("\n== engine scaling: DSE sweep (alexnet, all layers) ==");
+    let mut dse_base = 0.0;
+    let mut dse_fp: Option<String> = None;
+    for &w in &widths {
+        let engine = Engine::new(w);
+        let sweep = || -> Vec<Vec<DesignPoint>> {
+            net.layers()
+                .iter()
+                .map(|l| explore_layer_on(&engine, &ctx, l, &est, true))
+                .collect()
+        };
+        let fp = fingerprint(&sweep());
+        match &dse_fp {
+            None => dse_fp = Some(fp),
+            Some(base) => assert_eq!(*base, fp, "DSE front differs at {w} threads"),
+        }
+        let t = time3(sweep);
+        if w == 1 {
+            dse_base = t;
+        }
+        println!(
+            "dse/threads={w:<3} {:>10.1} ms  speedup {:>5.2}x",
+            t * 1e3,
+            dse_base / t
+        );
+        if w == 4 && cores >= 4 {
+            assert!(
+                dse_base / t >= 2.0,
+                "4-wide DSE sweep must be ≥2x faster than sequential on a \
+                 {cores}-core host (got {:.2}x)",
+                dse_base / t
+            );
+        }
+    }
+
+    // The R1 serving sweep: (load, policy) points sharded across the
+    // engine, table required byte-identical at every width.
+    println!("\n== engine scaling: R1 serving sweep (quick) ==");
+    let mut r1_base = 0.0;
+    let mut r1_out: Option<String> = None;
+    for &w in &widths {
+        let cfg = ExpConfig {
+            quick: true,
+            seed: 42,
+            threads: w,
+        };
+        let out = run_by_id("r1", &cfg).expect("r1 exists");
+        match &r1_out {
+            None => r1_out = Some(out),
+            Some(base) => assert_eq!(*base, out, "R1 table differs at {w} threads"),
+        }
+        let t = time3(|| run_by_id("r1", &cfg));
+        if w == 1 {
+            r1_base = t;
+        }
+        println!(
+            "r1/threads={w:<4} {:>10.1} ms  speedup {:>5.2}x",
+            t * 1e3,
+            r1_base / t
+        );
+    }
+    println!("\nresults byte-identical across thread counts {widths:?} ({cores} cores)");
+}

@@ -7,16 +7,43 @@
 //! cargo run -p mocha-bench --release --bin repro -- all
 //! cargo run -p mocha-bench --release --bin repro -- t1 f5 f8
 //! cargo run -p mocha-bench --release --bin repro -- --quick all
+//! cargo run -p mocha-bench --release --bin repro -- --threads 8 r1
 //! ```
+//!
+//! `--threads N` sets the engine width for sharded sweeps (absent = all
+//! cores, 1 = sequential); tables are byte-identical for every value.
 
 use mocha_bench::{run_by_id, ExpConfig, ALL};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let threads = match args.iter().position(|a| a == "--threads") {
+        None => 0,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--threads needs a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
+    if threads >= 1 {
+        mocha::engine::set_default_threads(threads);
+    }
+    let mut skip_next = false;
     let ids: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--threads" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
         .map(String::as_str)
         .collect();
 
@@ -26,7 +53,11 @@ fn main() {
         ids
     };
 
-    let cfg = ExpConfig { quick, seed: 42 };
+    let cfg = ExpConfig {
+        quick,
+        seed: 42,
+        threads,
+    };
     for id in ids {
         match run_by_id(id, &cfg) {
             Some(out) => {

@@ -26,6 +26,10 @@ pub struct ExpConfig {
     pub quick: bool,
     /// Workload generation seed.
     pub seed: u64,
+    /// Engine worker threads for sharded sweeps (`0` = the process-default
+    /// width, `1` = sequential). Rendered tables are byte-identical for
+    /// every value — sweeps reduce in canonical point order.
+    pub threads: usize,
 }
 
 impl Default for ExpConfig {
@@ -33,6 +37,7 @@ impl Default for ExpConfig {
         Self {
             quick: false,
             seed: 42,
+            threads: 0,
         }
     }
 }

@@ -9,7 +9,8 @@
 //! with load, where arrivals force frequent re-carves.
 
 use crate::table::{f, Table};
-use mocha::obs::{names, MemRecorder};
+use mocha::engine::Engine;
+use mocha::obs::names;
 use mocha_runtime::{generate, run_with, LeasePolicy, Mix, RuntimeConfig, TrafficConfig};
 
 use super::ExpConfig;
@@ -44,11 +45,20 @@ pub fn run(cfg: &ExpConfig) -> String {
         ],
     );
 
-    let mut adaptive_wins_at_peak = false;
-    // One recorder across the whole sweep: its scheduler counters feed the
-    // closing note (groups stepped, interim admissions, deferrals).
-    let mut rec = MemRecorder::new();
-    for &load in loads {
+    // One task per (load, policy) point, sharded across the engine. Each
+    // point regenerates its own arrival trace (a pure function of the
+    // traffic seed) and records into a private shard; shards are merged in
+    // sweep order, so the closing obs note — and the whole table — is
+    // byte-identical for every `cfg.threads` value.
+    let points: Vec<(f64, LeasePolicy)> = loads
+        .iter()
+        .flat_map(|&load| {
+            [LeasePolicy::Adaptive, LeasePolicy::StaticEqual]
+                .into_iter()
+                .map(move |policy| (load, policy))
+        })
+        .collect();
+    let (reports, rec) = Engine::new(cfg.threads).map_recorded(points, |_, (load, policy), rec| {
         let traffic = TrafficConfig {
             jobs,
             load,
@@ -56,20 +66,20 @@ pub fn run(cfg: &ExpConfig) -> String {
             mix: Mix::Quick,
         };
         let subs = generate(&traffic);
-        let mut throughput = [0.0f64; 2];
-        for (i, policy) in [LeasePolicy::Adaptive, LeasePolicy::StaticEqual]
-            .iter()
-            .enumerate()
-        {
-            let rt = RuntimeConfig {
-                policy: *policy,
-                ..RuntimeConfig::default()
-            };
-            let report = run_with(&rt, &subs, &mut rec);
-            throughput[i] = report.jobs_per_mcycle();
+        let rt = RuntimeConfig {
+            policy,
+            ..RuntimeConfig::default()
+        };
+        (load, policy, run_with(&rt, &subs, rec))
+    });
+
+    let mut adaptive_wins_at_peak = false;
+    // Points come back in sweep order: adaptive/static pairs per load.
+    for pair in reports.chunks(2) {
+        for (load, policy, report) in pair {
             let remorphs: usize = report.jobs.iter().map(|j| j.remorphs).sum();
             t.row(vec![
-                f(load, 1),
+                f(*load, 1),
                 policy.name().to_string(),
                 f(report.jobs_per_mcycle(), 2),
                 f(report.latency_percentile(50.0) as f64 / 1e3, 1),
@@ -80,8 +90,8 @@ pub fn run(cfg: &ExpConfig) -> String {
                 remorphs.to_string(),
             ]);
         }
-        if load == *loads.last().unwrap() {
-            adaptive_wins_at_peak = throughput[0] > throughput[1];
+        if pair[0].0 == *loads.last().unwrap() {
+            adaptive_wins_at_peak = pair[0].2.jobs_per_mcycle() > pair[1].2.jobs_per_mcycle();
         }
     }
 

@@ -30,6 +30,7 @@ mod tests {
         let cfg = ExpConfig {
             quick: true,
             seed: 7,
+            ..ExpConfig::default()
         };
         for id in ALL {
             let out = run_by_id(id, &cfg).unwrap_or_else(|| panic!("unknown id {id}"));

@@ -21,6 +21,8 @@ USAGE:
       --no-verify    skip golden-model verification
       --obs FILE|-   export the observability event stream as JSON lines
                      (`-` streams to stdout and moves the report to stderr)
+      --threads N    engine worker threads (default: all cores; 1 = sequential;
+                     output is byte-identical for every value)
   mocha-sim decide <network> [--layer NAME] [--profile P]
                                            show the controller's decision
   mocha-sim area [--grid N] [--spm-kb KB]  silicon area breakdown
@@ -29,6 +31,10 @@ USAGE:
   mocha-sim pareto <network> [--layer NAME] [--profile P]
                                            Pareto front (cycles/energy/storage)
   mocha-sim networks                       list the network zoo
+  mocha-sim repro [ids...] [--quick] [--threads N]
+                                           regenerate the paper's tables and
+                                           figures (t1 t2 f1..f8 a1..a3 r1;
+                                           default/`all` = every experiment)
   mocha-sim runtime [options]              multi-tenant runtime on synthetic traffic
       --jobs N           jobs to generate                     (default 8)
       --load F           offered load, arrivals per service   (default 2.0)
@@ -41,6 +47,7 @@ USAGE:
       --obs FILE|-       export the run's observability event stream
                          (spans, counters, histograms) as JSON lines;
                          `-` streams to stdout, report moves to stderr
+      --threads N        engine worker threads (default: all cores)
   mocha-sim trace summary <FILE|-> [--json] [--energy FILE]
                                            profile an obs stream: span tree,
                                            critical paths, overlap, exact
@@ -57,6 +64,7 @@ USAGE:
                                            exits 1 when a higher-is-worse
                                            metric regressed beyond PCT
   mocha-sim serve [--tcp ADDR] [--once] [--policy P] [--max-tenants N] [--no-verify]
+                  [--threads N]
       JSON-lines batch server: one job request per line on stdin (or one
       TCP connection with --tcp), e.g.
         {\"network\": \"lenet5\", \"profile\": \"sparse\", \"priority\": \"high\",
@@ -69,6 +77,10 @@ USAGE:
 Fabric and energy tables can be overridden from JSON for any command:
   --fabric FILE.json     a serialized FabricConfig
   --energy FILE.json     a serialized EnergyTable
+
+Search-heavy commands (simulate, decide, pareto, runtime, serve) accept
+  --threads N            deterministic engine worker threads; results are
+                         byte-identical across values (default: all cores)
 ";
 
 /// Rejects options the subcommand doesn't know and positionals beyond the
@@ -200,6 +212,7 @@ pub fn simulate(args: &Args) -> i32 {
             "fabric",
             "energy",
             "obs",
+            "threads",
         ],
     ) {
         return code;
@@ -317,7 +330,11 @@ pub fn simulate(args: &Args) -> i32 {
 
 /// `decide` subcommand: show what the controller would pick at a layer.
 pub fn decide(args: &Args) -> i32 {
-    if let Err(code) = strict(args, 1, &["layer", "profile", "fabric", "energy"]) {
+    if let Err(code) = strict(
+        args,
+        1,
+        &["layer", "profile", "fabric", "energy", "threads"],
+    ) {
         return code;
     }
     let net = load_network(args);
@@ -453,6 +470,38 @@ pub fn codec(args: &Args) -> i32 {
     0
 }
 
+/// `repro` subcommand: regenerate the reconstructed paper experiments —
+/// the same suite as `cargo run -p mocha-bench --bin repro`, reachable
+/// from the installed CLI. Tables are byte-identical for every
+/// `--threads` value: sweeps shard over the engine but reduce in
+/// canonical point order.
+pub fn repro(args: &Args) -> i32 {
+    if let Err(code) = strict(args, mocha_bench::ALL.len(), &["quick", "threads"]) {
+        return code;
+    }
+    let ids: Vec<&str> = if args.positional.is_empty() || args.positional.iter().any(|a| a == "all")
+    {
+        mocha_bench::ALL.to_vec()
+    } else {
+        args.positional.iter().map(String::as_str).collect()
+    };
+    let cfg = mocha_bench::ExpConfig {
+        quick: args.flag("quick"),
+        seed: 42,
+        threads: args.opt_u64("threads", 0) as usize,
+    };
+    for id in ids {
+        match mocha_bench::run_by_id(id, &cfg) {
+            Some(out) => println!("{out}"),
+            None => {
+                eprintln!("unknown experiment {id:?}; known: {:?}", mocha_bench::ALL);
+                return 2;
+            }
+        }
+    }
+    0
+}
+
 /// `networks` subcommand.
 pub fn networks(args: &Args) -> i32 {
     if let Err(code) = strict(args, 0, &[]) {
@@ -474,7 +523,11 @@ pub fn networks(args: &Args) -> i32 {
 
 /// `pareto` subcommand: the layer's trade-off surface.
 pub fn pareto(args: &Args) -> i32 {
-    if let Err(code) = strict(args, 1, &["layer", "profile", "fabric", "energy"]) {
+    if let Err(code) = strict(
+        args,
+        1,
+        &["layer", "profile", "fabric", "energy", "threads"],
+    ) {
         return code;
     }
     let net = load_network(args);

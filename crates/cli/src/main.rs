@@ -3,12 +3,14 @@
 //! ```text
 //! mocha-sim simulate <network> [--accelerator A] [--objective O] [--profile P]
 //!                              [--seed N] [--trace] [--json] [--no-verify]
+//!                              [--threads N]
 //! mocha-sim decide   <network> [--layer NAME] [--profile P]
 //! mocha-sim area     [--grid N] [--spm-kb KB]
 //! mocha-sim codec    [--sparsity S] [--clustered] [--elements N] [--seed N]
 //! mocha-sim networks
+//! mocha-sim repro    [ids...] [--quick] [--threads N]
 //! mocha-sim runtime  [--jobs N] [--load F] [--seed N] [--mix M] [--policy P]
-//!                    [--obs FILE|-]
+//!                    [--obs FILE|-] [--threads N]
 //! mocha-sim trace    summary <FILE|-> | export <FILE|-> --chrome OUT
 //!                    | diff <A> <B> [--fail-on-regression PCT]
 //! mocha-sim serve    [--tcp ADDR] [--once] [--policy P] [--max-tenants N]
@@ -28,6 +30,20 @@ use args::Args;
 
 fn main() {
     let parsed = Args::parse(std::env::args().skip(1));
+    // `--threads N` sets the process-default engine width before dispatch,
+    // so every parallel stage (controller search, DSE scoring, job
+    // stepping, repro sweeps) fans out over N workers. Absent = all cores;
+    // 1 = the fully sequential legacy path. Output is byte-identical
+    // either way — the flag only trades wall-clock time.
+    if let Some(t) = parsed.options.get("threads") {
+        match t.parse::<usize>() {
+            Ok(n) if n >= 1 => mocha::engine::set_default_threads(n),
+            _ => {
+                eprintln!("--threads must be a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
     let code = match parsed.command.as_deref() {
         Some("simulate") => commands::simulate(&parsed),
         Some("decide") => commands::decide(&parsed),
@@ -35,6 +51,7 @@ fn main() {
         Some("codec") => commands::codec(&parsed),
         Some("pareto") => commands::pareto(&parsed),
         Some("networks") => commands::networks(&parsed),
+        Some("repro") => commands::repro(&parsed),
         Some("runtime") => serve::runtime_cmd(&parsed),
         Some("trace") => trace_cmd::trace(&parsed),
         Some("serve") => serve::serve(&parsed),

@@ -44,6 +44,9 @@ fn runtime_config(args: &Args) -> Result<RuntimeConfig, String> {
         policy,
         max_tenants,
         verify: !args.flag("no-verify"),
+        // `--threads` was already folded into the process default by main;
+        // 0 defers to that (and to all cores when the flag is absent).
+        threads: 0,
     })
 }
 
@@ -163,6 +166,7 @@ pub fn serve(args: &Args) -> i32 {
             "fabric",
             "tcp",
             "once",
+            "threads",
         ],
     ) {
         return code;
@@ -248,6 +252,7 @@ pub fn runtime_cmd(args: &Args) -> i32 {
             "json",
             "fabric",
             "obs",
+            "threads",
         ],
     ) {
         return code;

@@ -510,3 +510,79 @@ fn bare_invocation_is_an_error_but_help_is_not() {
     assert!(stdout(&help).contains("USAGE"));
     assert!(stdout(&help).contains("mocha-sim serve"));
 }
+
+/// The determinism matrix: the same seeded workload at `--threads 1`, `2`
+/// and `8` must produce byte-identical reports AND byte-identical obs
+/// streams. Parallelism is an execution detail — the engine reduces in
+/// canonical order, so worker count can never leak into any output.
+#[test]
+fn thread_count_never_changes_any_byte_of_output() {
+    let dir = std::env::temp_dir();
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let obs = dir.join(format!("mocha_threads_e2e_{threads}.jsonl"));
+        let out = mocha_sim(&[
+            "runtime",
+            "--jobs",
+            "4",
+            "--load",
+            "2.5",
+            "--seed",
+            "11",
+            "--json",
+            "--threads",
+            threads,
+            "--obs",
+            obs.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "--threads {threads} stderr: {}",
+            stderr(&out)
+        );
+        let obs_bytes = std::fs::read_to_string(&obs).expect("obs file written");
+        let _ = std::fs::remove_file(&obs);
+        runs.push((threads, stdout(&out), obs_bytes));
+    }
+    let (_, base_out, base_obs) = &runs[0];
+    for (threads, out, obs) in &runs[1..] {
+        assert_eq!(
+            out, base_out,
+            "--threads {threads} report differs from --threads 1"
+        );
+        assert_eq!(
+            obs, base_obs,
+            "--threads {threads} obs stream differs from --threads 1"
+        );
+    }
+}
+
+/// `repro r1` — the sharded experiment sweep — is byte-identical across
+/// thread counts too (the ISSUE acceptance criterion, end to end).
+#[test]
+fn repro_r1_is_byte_identical_across_thread_counts() {
+    let mut tables = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let out = mocha_sim(&["repro", "r1", "--quick", "--threads", threads]);
+        assert!(
+            out.status.success(),
+            "--threads {threads} stderr: {}",
+            stderr(&out)
+        );
+        tables.push((threads, stdout(&out)));
+    }
+    let (_, base) = &tables[0];
+    for (threads, table) in &tables[1..] {
+        assert_eq!(table, base, "--threads {threads} table differs");
+    }
+}
+
+/// `--threads` rejects zero and garbage with the one-line exit-2 contract.
+#[test]
+fn bad_thread_counts_exit_nonzero() {
+    for t in ["0", "-1", "lots", ""] {
+        let out = mocha_sim(&["runtime", "--jobs", "1", "--threads", t]);
+        assert_eq!(out.status.code(), Some(2), "--threads {t:?}");
+        assert_eq!(stderr(&out).lines().count(), 1, "--threads {t:?}");
+    }
+}

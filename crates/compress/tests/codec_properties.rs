@@ -209,6 +209,109 @@ fn nibble_size_fn_matches_encoder() {
     });
 }
 
+/// Both codec invariants on one tile under every codec: lossless
+/// round-trip and `encoded_size == encode().len()` (the controller budgets
+/// scratchpad from the size function without materializing the stream).
+fn check_tile(data: &[i8], what: &str) {
+    for codec in [Codec::None, Codec::Zrle, Codec::Bitmask, Codec::Nibble] {
+        let c = Compressed::encode(codec, data);
+        assert_eq!(
+            c.decode(),
+            data,
+            "{what}: {} round-trip lost data (len {})",
+            codec.name(),
+            data.len()
+        );
+        assert_eq!(
+            c.bytes(),
+            codec.encoded_size(data),
+            "{what}: {} encoded_size disagrees with encoder (len {})",
+            codec.name(),
+            data.len()
+        );
+    }
+}
+
+#[test]
+fn exhaustive_zero_patterns_up_to_12_elements() {
+    // The codecs branch only on zero vs nonzero, so sweeping every
+    // zero/nonzero mask at small lengths exhausts their control flow:
+    // every run boundary, every mask-padding case, every tail shape.
+    for len in 0..=12usize {
+        for mask in 0u32..(1 << len) {
+            let data: Vec<i8> = (0..len)
+                .map(|i| if mask & (1 << i) != 0 { -77 } else { 0 })
+                .collect();
+            check_tile(&data, "zero-pattern");
+        }
+    }
+}
+
+#[test]
+fn exhaustive_value_pairs_over_i8_corners() {
+    // Value content must never matter beyond zero/nonzero; prove it on the
+    // i8 corners (sign boundaries included) in every 2-element combination,
+    // bare and zero-padded on both sides.
+    let corners = [-128i8, -127, -2, -1, 1, 2, 126, 127];
+    for &a in &corners {
+        for &b in &corners {
+            check_tile(&[a, b], "value-pair");
+            check_tile(&[0, a, 0, 0, b, 0], "padded-value-pair");
+        }
+    }
+}
+
+#[test]
+fn zrle_exact_run_split_boundaries() {
+    // ZRLE splits zero runs at 256 with a (255, 0) record and encodes a
+    // trailing run as (r-1, 0); hit every off-by-one around both splits
+    // with the run leading, trailing, embedded and alone.
+    for run in [254usize, 255, 256, 257, 511, 512, 513] {
+        let zeros = vec![0i8; run];
+        check_tile(&zeros, "zrle-pure-run");
+        let mut leading = zeros.clone();
+        leading.push(5);
+        check_tile(&leading, "zrle-leading-run");
+        let mut trailing = vec![5i8];
+        trailing.extend(&zeros);
+        check_tile(&trailing, "zrle-trailing-run");
+        let mut embedded = vec![3i8];
+        embedded.extend(&zeros);
+        embedded.push(7);
+        check_tile(&embedded, "zrle-embedded-run");
+    }
+}
+
+#[test]
+fn nibble_exact_run_spill_boundaries() {
+    // Nibble-RLE spills zero runs at 16 with a (15, 0) entry, and packs
+    // two run nibbles per byte — so both the 15/16/17 boundary and the
+    // entry-count parity change the layout.
+    for run in [14usize, 15, 16, 17, 31, 32, 33] {
+        for tail_values in 0..3usize {
+            let data: Vec<i8> = vec![0; run]
+                .into_iter()
+                .chain((0..tail_values).map(|i| i as i8 + 1))
+                .collect();
+            check_tile(&data, "nibble-run-spill");
+        }
+    }
+}
+
+#[test]
+fn bitmask_exact_padding_boundaries() {
+    // The bitmask codec pads the final mask byte; sweep lengths around the
+    // byte boundary with the last element zero, nonzero, and fully dense.
+    for len in [7usize, 8, 9, 15, 16, 17, 63, 64, 65] {
+        let mut data = vec![0i8; len];
+        check_tile(&data, "bitmask-all-zero");
+        *data.last_mut().unwrap() = 1;
+        check_tile(&data, "bitmask-last-nonzero");
+        let dense: Vec<i8> = (0..len).map(|i| (i % 127) as i8 + 1).collect();
+        check_tile(&dense, "bitmask-dense");
+    }
+}
+
 #[test]
 fn ratio_is_consistent_with_sizes() {
     cases(256, |seed, rng| {

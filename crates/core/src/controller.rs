@@ -309,18 +309,21 @@ fn search_group(
         return None;
     }
     let n = cands.len();
-    let best = mocha_par::par_map_vec(cands, |i, morph| {
-        plan_for(ctx, layers, len, &morph, est, store_output)
-            .ok()
-            .map(|plan| (i, morph, plan))
-    })
-    .into_iter()
-    .flatten()
-    .min_by(|(ia, _, pa), (ib, _, pb)| {
-        score(pa, objective)
-            .total_cmp(&score(pb, objective))
-            .then(ia.cmp(ib)) // deterministic tiebreak
-    })?;
+    // Scored on the process-default engine; the min_by below keys on the
+    // canonical candidate index, so the winner is worker-count independent.
+    let best = mocha_engine::Engine::configured()
+        .map_vec(cands, |i, morph| {
+            plan_for(ctx, layers, len, &morph, est, store_output)
+                .ok()
+                .map(|plan| (i, morph, plan))
+        })
+        .into_iter()
+        .flatten()
+        .min_by(|(ia, _, pa), (ib, _, pb)| {
+            score(pa, objective)
+                .total_cmp(&score(pb, objective))
+                .then(ia.cmp(ib)) // deterministic tiebreak
+        })?;
     Some((best.1, best.2, n))
 }
 

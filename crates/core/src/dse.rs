@@ -10,6 +10,7 @@
 use crate::controller::Policy;
 use crate::morph::{MorphConfig, Objective};
 use crate::plan::{plan_layer, LayerPlan, PlanContext, SparsityEstimate};
+use mocha_engine::Engine;
 use mocha_model::layer::Layer;
 
 /// One evaluated design point.
@@ -65,8 +66,22 @@ pub fn pareto_front(mut points: Vec<DesignPoint>) -> Vec<DesignPoint> {
 }
 
 /// Enumerates the full MOCHA candidate space for a single layer and returns
-/// its Pareto front over (cycles, energy, storage).
+/// its Pareto front over (cycles, energy, storage), scored on the
+/// process-default [`Engine`] (see [`mocha_engine::set_default_threads`]).
 pub fn explore_layer(
+    ctx: &PlanContext<'_>,
+    layer: &Layer,
+    est: &SparsityEstimate,
+    store_output: bool,
+) -> Vec<DesignPoint> {
+    explore_layer_on(&Engine::configured(), ctx, layer, est, store_output)
+}
+
+/// [`explore_layer`] with an explicit engine. Candidates are scored in
+/// parallel but reduced in canonical enumeration order, so the front is
+/// byte-identical for every worker count.
+pub fn explore_layer_on(
+    engine: &Engine,
     ctx: &PlanContext<'_>,
     layer: &Layer,
     est: &SparsityEstimate,
@@ -80,14 +95,15 @@ pub fn explore_layer(
         false,
         ctx.fabric.has_codecs(),
     );
-    let points: Vec<DesignPoint> = mocha_par::par_map_vec(candidates, |_, morph| {
-        plan_layer(ctx, layer, &morph, est, store_output)
-            .ok()
-            .map(|plan| DesignPoint { morph, plan })
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+    let points: Vec<DesignPoint> = engine
+        .map_vec(candidates, |_, morph| {
+            plan_layer(ctx, layer, &morph, est, store_output)
+                .ok()
+                .map(|plan| DesignPoint { morph, plan })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     pareto_front(points)
 }
 

@@ -1,0 +1,338 @@
+//! # mocha-engine
+//!
+//! The deterministic parallel simulation engine: a fixed-size worker pool
+//! built from `std::thread` and `std::sync::mpsc` channels (no external
+//! dependencies) that shards embarrassingly-parallel host work — DSE
+//! candidate-plan evaluation, independent multi-tenant job stepping, bench
+//! experiment sweeps — across cores *without changing a single output
+//! byte*.
+//!
+//! ## Determinism contract
+//!
+//! Every map helper reduces results in **canonical item order** (input
+//! index order), never in completion order. Work distribution is dynamic —
+//! workers pull `(index, item)` tasks from a shared channel, so an uneven
+//! sweep still load-balances — but the reduction is keyed purely on the
+//! index, so the output of [`Engine::map_vec`] is a pure function of the
+//! inputs, independent of the worker count, the OS scheduler, and which
+//! worker happened to run which item. `Engine::new(1)` (or a single-core
+//! host) degenerates to the plain inline loop: no threads, no channels —
+//! the legacy sequential path, byte-for-byte.
+//!
+//! Observability is sharded the same way: [`Engine::map_recorded`] gives
+//! every task a private [`MemRecorder`] and merges the shards with
+//! [`MemRecorder::merge`] (span concatenation, counter addition,
+//! [`Histogram::merge`](mocha_obs::Histogram::merge)) in canonical task
+//! order once all workers finish. Because each partial sum is formed at
+//! *task* granularity — not worker granularity — the merged stream is
+//! bit-identical for every `--threads N`, including the non-associative
+//! `f64` fractional counters.
+//!
+//! ## Thread-count resolution
+//!
+//! An [`Engine`] is a cheap value type carrying a resolved worker count.
+//! `Engine::new(0)` and [`Engine::configured`] resolve through the
+//! process-wide default set by [`set_default_threads`] (how `mocha-sim
+//! --threads N` reaches the controller search buried under a simulation),
+//! falling back to [`std::thread::available_parallelism`].
+
+#![warn(missing_docs)]
+
+use mocha_obs::MemRecorder;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Process-wide default worker count; 0 = follow the host's available
+/// parallelism. Set once by front-ends (`--threads N`), read by
+/// [`Engine::configured`].
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count used by [`Engine::configured`]
+/// and `Engine::new(0)`. `0` restores "available parallelism". Front-ends
+/// call this once at startup; library code should prefer an explicit
+/// [`Engine`] value.
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The resolved process-wide default worker count: the value set by
+/// [`set_default_threads`] when non-zero, otherwise the host's available
+/// parallelism (1 when unknown).
+pub fn default_threads() -> usize {
+    let cfg = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if cfg != 0 {
+        return cfg;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A fixed-size deterministic worker pool.
+///
+/// The pool size is fixed at construction; each parallel region spawns
+/// exactly `min(threads, items)` scoped workers that pull tasks from a
+/// shared channel and push `(index, result)` pairs back, and the caller
+/// reduces those pairs in canonical index order. See the crate docs for
+/// the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::configured()
+    }
+}
+
+impl Engine {
+    /// An engine with exactly `threads` workers; `0` resolves through the
+    /// process default ([`set_default_threads`], then available
+    /// parallelism).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// The engine configured for this process (the `--threads` default).
+    pub fn configured() -> Self {
+        Self::new(0)
+    }
+
+    /// The single-threaded engine: every map runs inline on the calling
+    /// thread — the legacy sequential path.
+    pub fn single() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The worker count parallel regions will use (before clamping to the
+    /// item count).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over owned `items` on the pool, returning results in input
+    /// order regardless of worker count or scheduling.
+    pub fn map_vec<T: Send, U: Send>(
+        &self,
+        items: Vec<T>,
+        f: impl Fn(usize, T) -> U + Sync,
+    ) -> Vec<U> {
+        let n = items.len();
+        let workers = self.threads.min(n).max(1);
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+        // Task channel: every (index, item) queued up front, receiver shared
+        // behind a mutex so idle workers self-schedule onto remaining work.
+        let (task_tx, task_rx) = mpsc::channel::<(usize, T)>();
+        for pair in items.into_iter().enumerate() {
+            task_tx.send(pair).expect("queueing tasks cannot fail");
+        }
+        drop(task_tx);
+        let task_rx = Mutex::new(task_rx);
+        let (done_tx, done_rx) = mpsc::channel::<(usize, U)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let done_tx = done_tx.clone();
+                let task_rx = &task_rx;
+                let f = &f;
+                scope.spawn(move || loop {
+                    // Hold the lock only to dequeue, never while running `f`.
+                    let task = task_rx.lock().expect("task queue poisoned").recv();
+                    match task {
+                        Ok((i, item)) => {
+                            let out = f(i, item);
+                            if done_tx.send((i, out)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break, // queue drained
+                    }
+                });
+            }
+        });
+        drop(done_tx);
+        // Canonical-order reduction: place completion-ordered results into
+        // their index slots, then read the slots 0..n.
+        let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for (i, out) in done_rx.iter() {
+            debug_assert!(slots[i].is_none(), "task {i} completed twice");
+            slots[i] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task completed"))
+            .collect()
+    }
+
+    /// Maps `f` over a shared slice on the pool, returning results in input
+    /// order.
+    pub fn map_slice<T: Sync, U: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &T) -> U + Sync,
+    ) -> Vec<U> {
+        self.map_range(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Maps `f(i)` over `0..n` on the pool, returning results in index
+    /// order.
+    pub fn map_range<U: Send>(&self, n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+        let indices: Vec<usize> = (0..n).collect();
+        self.map_vec(indices, |_, i| f(i))
+    }
+
+    /// [`Engine::map_vec`] with a private [`MemRecorder`] per task, merged
+    /// into one recorder in canonical task order after all workers finish.
+    ///
+    /// Partial observability state is formed at *task* granularity, so the
+    /// merged recorder — spans, `u64` counters, exact histograms, and the
+    /// non-associative `f64` fractional counters — is bit-identical for
+    /// every worker count, including 1.
+    pub fn map_recorded<T: Send, U: Send>(
+        &self,
+        items: Vec<T>,
+        f: impl Fn(usize, T, &mut MemRecorder) -> U + Sync,
+    ) -> (Vec<U>, MemRecorder) {
+        let shards = self.map_vec(items, |i, item| {
+            let mut rec = MemRecorder::new();
+            let out = f(i, item, &mut rec);
+            (out, rec)
+        });
+        let mut merged = MemRecorder::new();
+        let mut results = Vec::with_capacity(shards.len());
+        for (out, rec) in shards {
+            merged.merge(&rec);
+            results.push(out);
+        }
+        (results, merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocha_obs::Recorder;
+
+    #[test]
+    fn map_vec_preserves_input_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|v| v * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = Engine::new(threads).map_vec(items.clone(), |_, v| v * 3 + 1);
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_vec_passes_canonical_indices() {
+        let out = Engine::new(4).map_vec(vec!["a", "b", "c", "d", "e"], |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn map_slice_and_range_agree_with_map_vec() {
+        let items: Vec<usize> = (0..31).collect();
+        let e = Engine::new(5);
+        assert_eq!(
+            e.map_slice(&items, |i, &v| i + v),
+            e.map_range(31, |i| 2 * i)
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let e = Engine::new(8);
+        assert!(e.map_vec(Vec::<u8>::new(), |_, v| v).is_empty());
+        assert_eq!(e.map_vec(vec![7u8], |i, v| v + i as u8), vec![7]);
+    }
+
+    #[test]
+    fn single_thread_runs_inline_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let ran_on = Engine::single().map_range(4, |_| std::thread::current().id());
+        assert!(ran_on.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = Engine::new(32).map_vec(vec![1u32, 2], |_, v| v * v);
+        assert_eq!(out, vec![1, 4]);
+    }
+
+    #[test]
+    fn uneven_task_costs_still_reduce_in_order() {
+        // Early tasks sleep so later ones finish first; reduction must not
+        // care about completion order.
+        let out = Engine::new(4).map_range(12, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..12).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    /// Drives a recorder exactly the way a sharded simulation does: spans,
+    /// counters, a histogram and an f64 fractional counter per task.
+    fn record_task(i: usize, rec: &mut MemRecorder) -> u64 {
+        rec.span(|| format!("task/{i}"), i as u64 * 10, i as u64 * 10 + 5);
+        rec.add("engine.tasks", 1);
+        rec.sample("engine.task_cycles", (i as u64 % 7) + 1);
+        // Deltas chosen to have inexact binary sums, so grouping mistakes
+        // in the merge would change the last bits.
+        rec.add_f64("engine.priced_pj", 0.1 + i as f64 * 0.3);
+        (i as u64) * 2
+    }
+
+    #[test]
+    fn map_recorded_merges_shards_byte_identically_across_worker_counts() {
+        let run = |threads: usize| {
+            let (out, rec) = Engine::new(threads)
+                .map_recorded((0..40).collect::<Vec<usize>>(), |i, _, rec| {
+                    record_task(i, rec)
+                });
+            (out, rec.to_jsonl())
+        };
+        let (base_out, base_jsonl) = run(1);
+        assert_eq!(base_out, (0..40).map(|i| i as u64 * 2).collect::<Vec<_>>());
+        for threads in [2, 3, 8] {
+            let (out, jsonl) = run(threads);
+            assert_eq!(out, base_out, "threads={threads}");
+            assert_eq!(jsonl, base_jsonl, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_recorded_merge_matches_one_sequential_recorder() {
+        // The engine's canonical-order merge must equal recording every task
+        // into one recorder sequentially — the legacy single-recorder path.
+        let mut seq = MemRecorder::new();
+        for i in 0..40 {
+            record_task(i, &mut seq);
+        }
+        let (_, merged) = Engine::new(8)
+            .map_recorded((0..40).collect::<Vec<usize>>(), |i, _, rec| {
+                record_task(i, rec)
+            });
+        assert_eq!(merged.to_jsonl(), seq.to_jsonl());
+    }
+
+    #[test]
+    fn configured_default_resolves_to_at_least_one_worker() {
+        assert!(Engine::configured().threads() >= 1);
+        assert!(default_threads() >= 1);
+    }
+}

@@ -231,6 +231,24 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Enforce the JSON grammar before falling back to Rust's (more
+        // lenient) f64 parser: no leading zeros ("01"), a digit required
+        // after the decimal point ("1.") and after the exponent marker.
+        // Every internal producer prints through f64 Display, which never
+        // emits these shapes, so strictness costs nothing on round-trips.
+        let digits = text.strip_prefix('-').unwrap_or(text);
+        let int_part = &digits[..digits.find(['.', 'e', 'E']).unwrap_or(digits.len())];
+        let grammatical = match int_part.len() {
+            0 => false,
+            1 => true,
+            _ => !int_part.starts_with('0'),
+        } && match digits.split_once('.') {
+            None => true,
+            Some((_, frac)) => frac.starts_with(|c: char| c.is_ascii_digit()),
+        };
+        if !grammatical {
+            return Err(JsonError::at(format!("bad number {text:?}"), start));
+        }
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| JsonError::at(format!("bad number {text:?}"), start))

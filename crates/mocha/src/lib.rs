@@ -26,6 +26,9 @@
 //!   simulator, baselines (re-exported at the top level);
 //! * [`runtime`] — multi-tenant serving: disjoint fabric leases, admission
 //!   control, and online re-morphing of in-flight jobs;
+//! * [`engine`] — the deterministic parallel execution engine: a fixed-size
+//!   worker pool whose canonical-order reduction keeps every output
+//!   byte-identical across worker counts;
 //! * [`obs`] — deterministic instrumentation: spans, counters and exact
 //!   histograms, compiled away entirely on the no-op recorder;
 //! * [`trace`] — the analysis layer over `obs` streams: span-tree
@@ -56,6 +59,7 @@
 pub use mocha_compress as compress;
 pub use mocha_core as core;
 pub use mocha_energy as energy;
+pub use mocha_engine as engine;
 pub use mocha_fabric as fabric;
 pub use mocha_model as model;
 pub use mocha_obs as obs;

@@ -136,6 +136,41 @@ impl MemRecorder {
         out
     }
 
+    /// Merges another recorder's state into this one: spans are appended in
+    /// `other`'s recording order (respecting this recorder's span cap),
+    /// counters and fractional counters are added name-wise, and histograms
+    /// are combined with [`Histogram::merge`] — so merge-then-quantile
+    /// equals quantile over the concatenated samples bit for bit.
+    ///
+    /// This is the reduction step of `mocha-engine`'s sharded execution:
+    /// per-task shard recorders merged in canonical task order reproduce
+    /// the sequential stream exactly. Merge order is the caller's contract —
+    /// for byte-identical output across worker counts, shards must be merged
+    /// in an order that does not depend on scheduling (the engine merges in
+    /// task-index order). Fractional (`f64`) counters are added one partial
+    /// sum per name per shard, so the total is a fold over shard partials in
+    /// merge order — invariant to worker count because shards are formed at
+    /// task granularity, never worker granularity.
+    pub fn merge(&mut self, other: &MemRecorder) {
+        for s in &other.spans {
+            if self.span_cap.is_some_and(|cap| self.spans.len() >= cap) {
+                self.spans_dropped += 1;
+            } else {
+                self.spans.push(s.clone());
+            }
+        }
+        self.spans_dropped += other.spans_dropped;
+        for (&name, &v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (&name, &v) in &other.fcounters {
+            *self.fcounters.entry(name).or_insert(0.0) += v;
+        }
+        for (&name, h) in &other.hists {
+            self.hists.entry(name).or_default().merge(h);
+        }
+    }
+
     /// A point-in-time snapshot as one JSON object: every counter, every
     /// histogram summary, and the span tally. The `serve` front-end answers
     /// `stats` requests with this.
@@ -290,6 +325,52 @@ mod tests {
             Some(2)
         );
         assert_eq!(snap.get("spans").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn merge_of_split_recordings_equals_one_sequential_recording() {
+        // Record the sample stream split across two recorders at an
+        // arbitrary boundary; merging must reproduce the sequential stream
+        // byte for byte.
+        let mut a = MemRecorder::new();
+        a.span(|| "job/0".into(), 0, 100);
+        a.span(|| "job/0/group/conv1".into(), 0, 60);
+        a.add("runtime.jobs_admitted", 1);
+        a.add_f64("fabric.codec_priced_pj", 1.5);
+        a.sample("core.group_cycles", 60);
+        let mut b = MemRecorder::new();
+        b.add("runtime.jobs_admitted", 1);
+        b.add("fabric.dram_bursts", 7);
+        b.add_f64("fabric.codec_priced_pj", 0.25);
+        b.sample("core.group_cycles", 40);
+        a.merge(&b);
+        assert_eq!(a.to_jsonl(), sample_recorder().to_jsonl());
+        assert_eq!(
+            a.fcounter("fabric.codec_priced_pj").to_bits(),
+            sample_recorder()
+                .fcounter("fabric.codec_priced_pj")
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn merge_into_empty_recorder_clones_the_stream() {
+        let mut empty = MemRecorder::new();
+        empty.merge(&sample_recorder());
+        assert_eq!(empty.to_jsonl(), sample_recorder().to_jsonl());
+    }
+
+    #[test]
+    fn merge_respects_destination_span_cap_and_propagates_drops() {
+        let mut dst = MemRecorder::with_span_cap(1);
+        let mut src = MemRecorder::with_span_cap(1);
+        src.span(|| "a".into(), 0, 1);
+        src.span(|| "b".into(), 1, 2); // dropped at source: spans_dropped = 1
+        dst.merge(&src); // "a" fits the cap
+        dst.merge(&src); // "a" again overflows the cap
+        assert_eq!(dst.spans().len(), 1);
+        // one drop propagated per merge + one overflow drop in the second.
+        assert_eq!(dst.spans_dropped(), 3);
     }
 
     #[test]

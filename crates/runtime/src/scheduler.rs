@@ -23,9 +23,9 @@
 //! 4. **Stepping**: every ready job executes its next fusion group on the
 //!    sub-fabric of whatever lease it now holds — the controller re-decides
 //!    the morph for that sub-fabric, which is the online re-morph. Ready
-//!    jobs step in parallel through `mocha_par`, which preserves input
-//!    order, so the loop is bit-for-bit deterministic regardless of worker
-//!    count.
+//!    jobs step in parallel on a [`mocha_engine::Engine`] worker pool,
+//!    which reduces results in input order, so the loop is bit-for-bit
+//!    deterministic regardless of worker count.
 //!
 //! ## Safe lease handoff
 //!
@@ -59,6 +59,11 @@ pub struct RuntimeConfig {
     pub max_tenants: usize,
     /// Verify every group against the golden model (slower; on by default).
     pub verify: bool,
+    /// Worker threads for stepping ready jobs (and the controller searches
+    /// under them). `0` = the process-default engine width (see
+    /// [`mocha_engine::set_default_threads`]); `1` = fully sequential.
+    /// Reports and recorder streams are byte-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -68,6 +73,7 @@ impl Default for RuntimeConfig {
             policy: LeasePolicy::Adaptive,
             max_tenants: 4,
             verify: true,
+            threads: 0,
         }
     }
 }
@@ -141,6 +147,7 @@ pub fn run_with<R: Recorder>(
     let cap = cfg.cap();
     let static_slots = carve(&cfg.fabric, &vec![1; cap]);
     let energy = mocha_energy::EnergyTable::default();
+    let engine = mocha_engine::Engine::new(cfg.threads);
 
     let mut queue: Vec<Queued> = Vec::new();
     let mut resident: Vec<Resident> = Vec::new();
@@ -302,7 +309,7 @@ pub fn run_with<R: Recorder>(
             }
         }
         let parent = cfg.fabric;
-        let stepped = mocha_par::par_map_vec(ready, |_, mut r| {
+        let stepped = engine.map_vec(ready, |_, mut r| {
             let sub = r.lease.sub_config(&parent);
             let g = r.session.step_on(&sub);
             let cycles = g.cycles.max(1);

@@ -1,0 +1,194 @@
+//! Fuzz-ish robustness tests for the trace parser: truncated, reordered,
+//! duplicated and byte-mutated inputs derived from a *real* runtime obs
+//! stream. The contract under attack is the module promise of
+//! `mocha_trace::event`: parsing never panics — every failure is a
+//! [`TraceError`] naming a 1-based input line — and inputs that stay
+//! well-formed (reorderings, duplications of whole lines) parse cleanly.
+//!
+//! Mutations are drawn from the model RNG with fixed seeds, so every case
+//! reproduces exactly.
+
+use mocha_model::rng::ModelRng;
+use mocha_obs::MemRecorder;
+use mocha_runtime::{generate, run_with, Mix, RuntimeConfig, TrafficConfig};
+use mocha_trace::{parse_input, parse_stream, SpanTree, TraceError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A real obs stream: the R1-style quick runtime smoke.
+fn runtime_stream() -> String {
+    let traffic = TrafficConfig {
+        jobs: 4,
+        load: 2.0,
+        seed: 7,
+        mix: Mix::Quick,
+    };
+    let mut rec = MemRecorder::new();
+    run_with(&RuntimeConfig::default(), &generate(&traffic), &mut rec);
+    rec.to_jsonl()
+}
+
+/// Parses under `catch_unwind`: any panic fails the test with the input
+/// that triggered it; otherwise returns the ordinary parse result.
+fn must_not_panic(text: &str, what: &str) -> Result<mocha_trace::Stream, TraceError> {
+    catch_unwind(AssertUnwindSafe(|| parse_stream(text)))
+        .unwrap_or_else(|_| panic!("{what}: parse_stream panicked on {text:?}"))
+}
+
+#[test]
+fn every_byte_truncation_errors_with_a_line_number_or_parses() {
+    let text = runtime_stream();
+    let lines = text.lines().count();
+    // Truncating at every byte is O(bytes²) on a big stream; step through
+    // the prefix space instead, always including the hostile region around
+    // each line boundary (mid-record cuts) plus a byte-level sweep of the
+    // first two lines.
+    let mut cuts: Vec<usize> = (0..text.len().min(200)).collect();
+    let mut pos = 0;
+    for line in text.lines() {
+        pos += line.len() + 1;
+        for d in [3usize, 2, 1] {
+            cuts.push(pos.saturating_sub(d));
+        }
+        cuts.push(pos.min(text.len()));
+    }
+    for cut in cuts {
+        let Some(prefix) = text.get(..cut) else {
+            continue;
+        };
+        match must_not_panic(prefix, "truncation") {
+            // A cut at a line boundary leaves a well-formed shorter stream.
+            Ok(_) => {}
+            Err(e) => {
+                assert!(e.line >= 1, "cut {cut}: line must be 1-based");
+                assert!(
+                    e.line <= lines,
+                    "cut {cut}: line {} beyond input ({lines} lines)",
+                    e.line
+                );
+                // The error formats as the scriptable one-liner.
+                assert!(e.to_string().starts_with(&format!("line {}: ", e.line)));
+            }
+        }
+    }
+}
+
+#[test]
+fn reordered_streams_parse_and_keep_the_same_totals() {
+    let text = runtime_stream();
+    let baseline = parse_stream(&text).expect("baseline parses");
+    let mut lines: Vec<&str> = text.lines().collect();
+    for seed in 0..8u64 {
+        let mut rng = ModelRng::seed_from_u64(seed);
+        // Fisher–Yates on whole lines: spans move around (stream order is
+        // presentation, not validity), counters still accumulate to the
+        // same totals.
+        for i in (1..lines.len()).rev() {
+            lines.swap(i, rng.gen_range(0usize..=i));
+        }
+        let shuffled = lines.join("\n");
+        let s = must_not_panic(&shuffled, "reorder").expect("reordered stream stays parseable");
+        assert_eq!(s.counters, baseline.counters, "seed {seed}");
+        assert_eq!(s.hists, baseline.hists, "seed {seed}");
+        assert_eq!(s.spans.len(), baseline.spans.len(), "seed {seed}");
+    }
+}
+
+#[test]
+fn duplicated_span_lines_parse_and_tree_building_never_panics() {
+    let text = runtime_stream();
+    let span_line = text
+        .lines()
+        .find(|l| l.contains("\"span\""))
+        .expect("stream has spans");
+    // Duplicate a span line throughout: parsing must accept it (duplicate
+    // spans are representable) and downstream tree-building must either
+    // build or refuse with an error — never panic.
+    let doubled: String = text
+        .lines()
+        .flat_map(|l| {
+            let dup = l == span_line;
+            std::iter::once(l).chain(dup.then_some(span_line))
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let s = must_not_panic(&doubled, "duplicate-span").expect("duplicated span still parses");
+    let outcome = catch_unwind(AssertUnwindSafe(|| SpanTree::build(&s.spans)));
+    assert!(
+        outcome.is_ok(),
+        "SpanTree::build panicked on duplicate span"
+    );
+}
+
+#[test]
+fn random_byte_mutations_never_panic_the_parser() {
+    // Keep the base stream small so many mutants stay cheap.
+    let mut rec = MemRecorder::new();
+    {
+        use mocha_obs::Recorder;
+        rec.span(|| "job/0".into(), 0, 50);
+        rec.span(|| "job/0/group/conv1".into(), 0, 30);
+        rec.add("runtime.jobs_admitted", 2);
+        rec.add_f64("fabric.codec_priced_pj", 1.5);
+        rec.sample("core.group_cycles", 30);
+    }
+    let base = rec.to_jsonl().into_bytes();
+    for seed in 0..512u64 {
+        let mut rng = ModelRng::seed_from_u64(seed);
+        let mut bytes = base.clone();
+        for _ in 0..=rng.gen_range(0usize..4) {
+            let i = rng.gen_range(0usize..bytes.len());
+            match rng.gen_range(0u32..3) {
+                0 => bytes[i] = rng.gen_range(0u32..=255) as u8, // junk byte
+                1 => {
+                    bytes.remove(i);
+                }
+                _ => bytes.insert(i, rng.gen_range(0u32..=255) as u8),
+            }
+        }
+        let Ok(text) = String::from_utf8(bytes) else {
+            continue; // the parser API takes &str; invalid UTF-8 can't reach it
+        };
+        match must_not_panic(&text, "mutation") {
+            Ok(_) => {}
+            Err(e) => assert!(e.line >= 1, "seed {seed}: line must be 1-based"),
+        }
+        // The sniffing front door must be as solid as the stream parser.
+        let outcome = catch_unwind(AssertUnwindSafe(|| parse_input(&text)));
+        assert!(outcome.is_ok(), "seed {seed}: parse_input panicked");
+    }
+}
+
+#[test]
+fn junk_inputs_error_on_line_one_not_panic() {
+    for junk in [
+        "\u{0}\u{1}\u{2}",
+        "]]]}}}",
+        "{\"event\":",
+        "{\"event\":\"span\"",
+        "\"span\"",
+        "🦀🦀🦀",
+        "{}",
+        "[1,2,3]",
+        "null",
+    ] {
+        let e = must_not_panic(junk, "junk").expect_err("junk must not parse");
+        assert_eq!(e.line, 1, "junk {junk:?}");
+    }
+}
+
+#[test]
+fn snapshot_shaped_junk_goes_through_parse_input_safely() {
+    // `parse_input` sniffs for a snapshot object; hostile near-snapshots
+    // must come back as errors, not panics.
+    for text in [
+        "{\"counters\":{\"a\":-1}}",
+        "{\"counters\":{\"a\":\"x\"}}",
+        "{\"counters\":{},\"fcounters\":{\"f\":\"y\"}}",
+        "{\"counters\":{},\"hists\":{\"h\":{}}}",
+        "{\"counters\":{},\"hists\":{\"h\":{\"count\":1}}}",
+    ] {
+        let outcome = catch_unwind(AssertUnwindSafe(|| parse_input(text)));
+        let res = outcome.unwrap_or_else(|_| panic!("parse_input panicked on {text:?}"));
+        assert!(res.is_err(), "{text:?} should be rejected");
+    }
+}
