@@ -19,6 +19,13 @@ cargo test --workspace -q
 echo "== repro r1 smoke (quick mode)"
 cargo run --release -p mocha-bench --bin repro -- --quick r1
 
+echo "== repro r2 smoke (quick mode; quarantine must beat fail-stop)"
+r2_out="$(cargo run --release -p mocha-bench --bin repro -- --quick r2)"
+echo "$r2_out"
+grep -q "beats fail-stop on goodput AND p99" <<< "$r2_out" || {
+    echo "r2: quarantine-and-remorph no longer beats fail-stop"; exit 1
+}
+
 echo "== obs smoke (stream parses, non-empty, deterministic)"
 obs_tmp="$(mktemp -d)"
 trap 'rm -rf "$obs_tmp"' EXIT
@@ -34,7 +41,7 @@ cmp "$obs_tmp/a.jsonl" "$obs_tmp/b.jsonl" || {
     echo "obs streams differ between identical seeded runs"; exit 1
 }
 
-echo "== determinism matrix (--threads 1/2/8: obs streams + trace profiles + r1 table)"
+echo "== determinism matrix (--threads 1/2/8: obs + profiles + r1/r2 tables + faulted runs)"
 for t in 1 2 8; do
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         runtime --jobs 3 --load 2.0 --seed 7 --threads "$t" \
@@ -43,9 +50,15 @@ for t in 1 2 8; do
         trace summary "$obs_tmp/mat$t.jsonl" --json > "$obs_tmp/mat$t.profile"
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         repro r1 --quick --threads "$t" > "$obs_tmp/mat$t.r1"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        runtime --jobs 8 --load 2.0 --seed 42 --faults rate=15,seed=9 \
+        --json --threads "$t" --obs "$obs_tmp/mat$t.fault.jsonl" \
+        > "$obs_tmp/mat$t.fault.report"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        repro r2 --quick --threads "$t" > "$obs_tmp/mat$t.r2"
 done
 for t in 2 8; do
-    for kind in jsonl report profile r1; do
+    for kind in jsonl report profile r1 fault.jsonl fault.report r2; do
         cmp "$obs_tmp/mat1.$kind" "$obs_tmp/mat$t.$kind" || {
             echo "--threads $t $kind output differs from --threads 1"; exit 1
         }
@@ -61,5 +74,17 @@ echo "== trace perf-regression gate (r1 smoke vs committed baseline)"
 #       trace summary - --json > baselines/r1-smoke.json
 cargo run --release -q -p mocha-cli --bin mocha-sim -- \
     trace diff baselines/r1-smoke.json "$obs_tmp/a.jsonl" --fail-on-regression 5
+
+echo "== trace perf-regression gate (faulted r2 smoke vs committed baseline)"
+# Same contract for the fault-recovery path: the committed baseline profile
+# covers a seeded faulted run (retries, quarantines and re-morphs in play);
+# regenerate it with:
+#   cargo run --release -p mocha-cli --bin mocha-sim -- \
+#       runtime --jobs 8 --load 2.0 --seed 42 --faults rate=15,seed=9 \
+#       --obs - 2>/dev/null \
+#   | cargo run --release -p mocha-cli --bin mocha-sim -- \
+#       trace summary - --json > baselines/r2-smoke.json
+cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+    trace diff baselines/r2-smoke.json "$obs_tmp/mat1.fault.jsonl" --fail-on-regression 5
 
 echo "CI OK"

@@ -1,0 +1,165 @@
+//! R2 (fault recovery) — graceful degradation under injected faults:
+//! goodput, tail latency and energy efficiency vs fault rate, with
+//! quarantine-and-remorph recovery against a fail-stop baseline on the same
+//! arrival trace *and* the same seeded fault schedule.
+//!
+//! The morphing argument applied to reliability: a fabric that can re-carve
+//! its leases at group boundaries can also carve *around* a permanently
+//! faulty region and keep serving degraded, while a fail-stop fabric
+//! restarts every job a permanent fault touches until its retry budget
+//! dies. Fail-stop sheds load — failed jobs free the (undamaged) fabric for
+//! the survivors — so the two modes are compared on a *common time base*:
+//! completions within the longer of the two episodes at each rate, and a
+//! p99 that counts a failed job as never completing (`inf`).
+
+use crate::table::{f, Table};
+use mocha::engine::Engine;
+use mocha::obs::names;
+use mocha_runtime::{
+    generate, run_with, FaultMode, FaultPlan, Mix, RuntimeConfig, RuntimeReport, TrafficConfig,
+};
+
+use super::ExpConfig;
+
+/// Runs the fault-rate sweep and renders its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let jobs = if cfg.quick { 8 } else { 16 };
+    let rates: &[f64] = if cfg.quick {
+        &[0.0, 8.0, 15.0]
+    } else {
+        &[0.0, 8.0, 12.0, 15.0, 18.0]
+    };
+
+    let mut t = Table::new(
+        format!(
+            "R2 — fault injection, {jobs} jobs/point on the quad fabric: \
+             quarantine-and-remorph recovery vs fail-stop"
+        ),
+        &[
+            "flt/Mcyc", "mode", "done", "retried", "failed", "goodput", "p50 kcyc", "p99 kcyc",
+            "util %", "GOPS/W",
+        ],
+    );
+
+    // One task per (rate, mode) point: the zero-rate point runs once (both
+    // modes are identical without faults — the fault layer is inert), each
+    // nonzero rate runs both recovery modes over the *same* arrival trace
+    // and the *same* seeded fault schedule. Shards merge in sweep order, so
+    // the table is byte-identical for every `cfg.threads` value.
+    let points: Vec<(f64, Option<FaultMode>)> = rates
+        .iter()
+        .flat_map(|&rate| {
+            if rate == 0.0 {
+                vec![(rate, None)]
+            } else {
+                vec![
+                    (rate, Some(FaultMode::Quarantine)),
+                    (rate, Some(FaultMode::FailStop)),
+                ]
+            }
+        })
+        .collect();
+    let (reports, rec) = Engine::new(cfg.threads).map_recorded(points, |_, (rate, mode), rec| {
+        let traffic = TrafficConfig {
+            jobs,
+            load: 2.0,
+            seed: cfg.seed,
+            mix: Mix::Quick,
+        };
+        let subs = generate(&traffic);
+        let rt = RuntimeConfig {
+            faults: mode.map(|mode| FaultPlan {
+                rate_per_mcycle: rate,
+                seed: cfg.seed,
+                mode,
+                ..FaultPlan::default()
+            }),
+            ..RuntimeConfig::default()
+        };
+        (rate, mode, run_with(&rt, &subs, rec))
+    });
+
+    let mut quarantine_wins_everywhere = true;
+    let mut i = 0;
+    while i < reports.len() {
+        let (rate, mode, report) = &reports[i];
+        match mode {
+            None => {
+                row(&mut t, *rate, "none", report, report.horizon);
+                i += 1;
+            }
+            Some(_) => {
+                let (_, _, q) = &reports[i];
+                let (_, _, s) = &reports[i + 1];
+                // Common time base: completions within the longer episode.
+                let base = q.horizon.max(s.horizon);
+                row(&mut t, *rate, "quarantine", q, base);
+                row(&mut t, *rate, "failstop", s, base);
+                quarantine_wins_everywhere &= goodput(q, base) > goodput(s, base)
+                    && match (slo_p99(q), slo_p99(s)) {
+                        (Some(qp), Some(sp)) => qp < sp,
+                        (Some(_), None) => true,
+                        _ => false,
+                    };
+                i += 2;
+            }
+        }
+    }
+
+    t.note(format!(
+        "quarantine-and-remorph {} fail-stop on goodput AND p99 at every nonzero fault rate",
+        if quarantine_wins_everywhere {
+            "beats"
+        } else {
+            "does NOT beat"
+        }
+    ));
+    t.note(
+        "same seeded arrival trace and fault schedule for both modes at each rate; \
+         goodput = completions per Mcycle of the rate's longer episode; \
+         p99 counts a failed job as never completing (inf)",
+    );
+    t.note(format!(
+        "obs totals over the sweep: {} faults injected, {} retries, \
+         {} quarantines, {} restarts, {} executed cycles lost",
+        rec.counter(names::FAULT_INJECTED),
+        rec.counter(names::FAULT_RETRIES),
+        rec.counter(names::FAULT_QUARANTINED),
+        rec.counter(names::FAULT_RESTARTS),
+        rec.counter(names::FAULT_LOST_CYCLES),
+    ));
+    t.render()
+}
+
+/// Completed jobs per million cycles of the given time base.
+fn goodput(report: &RuntimeReport, base: u64) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
+    report.completed() as f64 * 1e6 / base as f64
+}
+
+/// p99 latency treating failed jobs as never completing: with the small job
+/// populations swept here, nearest-rank p99 is the worst job, so any
+/// failure makes it unbounded (`None`).
+fn slo_p99(report: &RuntimeReport) -> Option<u64> {
+    (report.failed == 0).then(|| report.latency_percentile(99.0))
+}
+
+fn row(t: &mut Table, rate: f64, mode: &str, report: &RuntimeReport, base: u64) {
+    t.row(vec![
+        f(rate, 0),
+        mode.to_string(),
+        report.completed().to_string(),
+        report.retried.to_string(),
+        report.failed.to_string(),
+        f(goodput(report, base), 2),
+        f(report.latency_percentile(50.0) as f64 / 1e3, 1),
+        match slo_p99(report) {
+            Some(p) => f(p as f64 / 1e3, 1),
+            None => "inf".to_string(),
+        },
+        f(100.0 * report.utilization(), 1),
+        f(report.gops_per_watt(), 1),
+    ]);
+}

@@ -23,6 +23,8 @@ USAGE:
                      (`-` streams to stdout and moves the report to stderr)
       --threads N    engine worker threads (default: all cores; 1 = sequential;
                      output is byte-identical for every value)
+      --faults SPEC  deterministic fault injection (see below); single-tenant
+                     replay: every fault retries the hit group
   mocha-sim decide <network> [--layer NAME] [--profile P]
                                            show the controller's decision
   mocha-sim area [--grid N] [--spm-kb KB]  silicon area breakdown
@@ -33,8 +35,11 @@ USAGE:
   mocha-sim networks                       list the network zoo
   mocha-sim repro [ids...] [--quick] [--threads N]
                                            regenerate the paper's tables and
-                                           figures (t1 t2 f1..f8 a1..a3 r1;
-                                           default/`all` = every experiment)
+                                           figures (t1 t2 f1..f8 a1..a3 r1 r2;
+                                           default/`all` = every experiment;
+                                           r2 sweeps fault rates and compares
+                                           quarantine-and-remorph recovery
+                                           against a fail-stop baseline)
   mocha-sim runtime [options]              multi-tenant runtime on synthetic traffic
       --jobs N           jobs to generate                     (default 8)
       --load F           offered load, arrivals per service   (default 2.0)
@@ -48,6 +53,9 @@ USAGE:
                          (spans, counters, histograms) as JSON lines;
                          `-` streams to stdout, report moves to stderr
       --threads N        engine worker threads (default: all cores)
+      --faults SPEC      inject faults; permanent faults quarantine fabric
+                         regions and jobs re-morph around them (or fail-stop
+                         with mode=failstop)
   mocha-sim trace summary <FILE|-> [--json] [--energy FILE]
                                            profile an obs stream: span tree,
                                            critical paths, overlap, exact
@@ -64,7 +72,7 @@ USAGE:
                                            exits 1 when a higher-is-worse
                                            metric regressed beyond PCT
   mocha-sim serve [--tcp ADDR] [--once] [--policy P] [--max-tenants N] [--no-verify]
-                  [--threads N]
+                  [--threads N] [--faults SPEC]
       JSON-lines batch server: one job request per line on stdin (or one
       TCP connection with --tcp), e.g.
         {\"network\": \"lenet5\", \"profile\": \"sparse\", \"priority\": \"high\",
@@ -77,6 +85,16 @@ USAGE:
 Fabric and energy tables can be overridden from JSON for any command:
   --fabric FILE.json     a serialized FabricConfig
   --energy FILE.json     a serialized EnergyTable
+
+Fault injection (simulate, runtime, serve) takes a seeded, fully
+deterministic specification — same spec, same seed, same schedule at any
+--threads value:
+  --faults rate=R[,seed=N][,mode=quarantine|failstop][,transient=F][,retries=N]
+      rate       faults per million cycles (mandatory; 0 disables)
+      seed       fault schedule seed                       (default 1)
+      mode       permanent-fault recovery policy           (default quarantine)
+      transient  fraction of faults that are transient     (default 0.5)
+      retries    per-job retry budget before it fails      (default 8)
 
 Search-heavy commands (simulate, decide, pareto, runtime, serve) accept
   --threads N            deterministic engine worker threads; results are
@@ -213,10 +231,21 @@ pub fn simulate(args: &Args) -> i32 {
             "energy",
             "obs",
             "threads",
+            "faults",
         ],
     ) {
         return code;
     }
+    let fault_plan = match args.options.get("faults") {
+        None => None,
+        Some(spec) => match mocha::fault::FaultPlan::parse(spec) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+    };
     let net = load_network(args);
     let obj = objective(&args.opt("objective", "edp"));
     let acc = accelerator(&args.opt("accelerator", "mocha"), obj);
@@ -229,6 +258,7 @@ pub fn simulate(args: &Args) -> i32 {
         None => acc.fabric,
         Some(_) => load_fabric(args),
     };
+    let fault_fabric = acc.fabric;
     let mut sim = Simulator::new(acc);
     sim.energy = load_energy(args);
     sim.verify = !args.flag("no-verify");
@@ -243,11 +273,15 @@ pub fn simulate(args: &Args) -> i32 {
     };
     let table = sim.energy;
     let report = run.report(&table);
+    let fault_replay = fault_plan.as_ref().map(|plan| {
+        let lens: Vec<u64> = run.groups.iter().map(|g| g.cycles).collect();
+        replay_faults(plan, &fault_fabric, &lens)
+    });
 
     use std::fmt::Write as _;
     let mut out = String::new();
     if args.flag("json") {
-        let json = mocha_json::jobj! {
+        let mut json = mocha_json::jobj! {
             "network" => run.network.as_str(),
             "accelerator" => run.accelerator.as_str(),
             "cycles" => report.cycles,
@@ -267,6 +301,15 @@ pub fn simulate(args: &Args) -> i32 {
                 "work_macs" => g.work_macs,
             }).collect::<Vec<_>>(),
         };
+        // Fault keys appear only under `--faults`, keeping fault-free JSON
+        // output byte-identical to earlier releases.
+        if let Some(f) = &fault_replay {
+            json = json
+                .with("fault_injected", f.injected)
+                .with("fault_retries", f.retries)
+                .with("fault_lost_cycles", f.lost_cycles)
+                .with("fault_effective_cycles", f.effective_cycles);
+        }
         let _ = writeln!(out, "{}", json.to_string_pretty());
     } else {
         let _ = writeln!(
@@ -309,6 +352,18 @@ pub fn simulate(args: &Args) -> i32 {
             report.dram_bytes as f64 / 1e6,
             run.compression().overall_ratio(),
         );
+        if let Some(f) = &fault_replay {
+            let base = f.effective_cycles - f.lost_cycles;
+            let _ = writeln!(
+                out,
+                "faults: {} injected | {} group retries | {} cycles lost | effective {} cycles (+{:.1} %)",
+                f.injected,
+                f.retries,
+                f.lost_cycles,
+                f.effective_cycles,
+                if base == 0 { 0.0 } else { 100.0 * f.lost_cycles as f64 / base as f64 },
+            );
+        }
     }
 
     match obs_path.as_deref() {
@@ -326,6 +381,64 @@ pub fn simulate(args: &Args) -> i32 {
         }
     }
     0
+}
+
+/// Outcome of the single-tenant fault replay `simulate --faults` runs over
+/// the recorded group schedule.
+struct FaultReplay {
+    /// Fault events landing before the (extended) end of the run.
+    injected: u64,
+    /// Group retries triggered (a fault mid-group loses the partial window).
+    retries: u64,
+    /// Executed cycles lost and redone.
+    lost_cycles: u64,
+    /// Run length including redone work (`Σ group cycles + lost_cycles`).
+    effective_cycles: u64,
+}
+
+/// Replays a seeded fault timeline over a finished single-tenant run: every
+/// fault landing strictly inside a group's execution window retries that
+/// group from scratch (the partially executed window is lost work),
+/// extending the virtual clock; a fault at a group boundary costs nothing
+/// (the group had committed — same tie-break as the runtime scheduler).
+/// Each group retries at most `plan.max_retries` times, after which the
+/// controller forces it through and later faults in its window are only
+/// counted. Full quarantine-and-remorph / fail-stop fidelity lives in
+/// `mocha-sim runtime`, which has spare tenancy to re-carve around;
+/// a single-tenant fabric does not.
+fn replay_faults(
+    plan: &mocha::fault::FaultPlan,
+    fabric: &FabricConfig,
+    group_cycles: &[u64],
+) -> FaultReplay {
+    let mut timeline = mocha::fault::FaultTimeline::new(plan, fabric);
+    let mut r = FaultReplay {
+        injected: 0,
+        retries: 0,
+        lost_cycles: 0,
+        effective_cycles: 0,
+    };
+    let mut clock = 0u64;
+    for &len in group_cycles {
+        let mut start = clock;
+        let mut end = start + len;
+        let mut budget = plan.max_retries;
+        while timeline.peek().is_some_and(|e| e.at < end) {
+            let at = timeline.pop().expect("peeked").at;
+            r.injected += 1;
+            if at <= start || budget == 0 {
+                continue;
+            }
+            budget -= 1;
+            r.retries += 1;
+            r.lost_cycles += at - start;
+            start = at;
+            end = at + len;
+        }
+        clock = end;
+    }
+    r.effective_cycles = clock;
+    r
 }
 
 /// `decide` subcommand: show what the controller would pick at a layer.

@@ -26,7 +26,7 @@ use std::io::{BufRead, BufReader, Write};
 const SERVE_SPAN_CAP: usize = 100_000;
 
 /// Builds the runtime configuration shared by `serve` and `runtime` from
-/// `--fabric`, `--policy`, `--max-tenants` and `--no-verify`.
+/// `--fabric`, `--policy`, `--max-tenants`, `--no-verify` and `--faults`.
 fn runtime_config(args: &Args) -> Result<RuntimeConfig, String> {
     let fabric = match args.options.get("fabric") {
         None => mocha::fabric::FabricConfig::mocha_quad(),
@@ -39,6 +39,10 @@ fn runtime_config(args: &Args) -> Result<RuntimeConfig, String> {
     if max_tenants == 0 {
         return Err("--max-tenants must be at least 1".into());
     }
+    let faults = match args.options.get("faults") {
+        None => None,
+        Some(spec) => Some(mocha::fault::FaultPlan::parse(spec)?),
+    };
     Ok(RuntimeConfig {
         fabric,
         policy,
@@ -47,6 +51,7 @@ fn runtime_config(args: &Args) -> Result<RuntimeConfig, String> {
         // `--threads` was already folded into the process default by main;
         // 0 defers to that (and to all cores when the flag is absent).
         threads: 0,
+        faults,
     })
 }
 
@@ -115,10 +120,12 @@ fn serve_stream(
 
 /// The `stats` response: the recorder snapshot (counters, histogram
 /// summaries, span tally) plus a derived `jobs` block whose counts
-/// reconcile by construction: `admitted == finished + in_flight`.
+/// reconcile by construction: `admitted == finished + failed + in_flight`
+/// (admission counts each job once; fault re-admissions do not inflate it).
 fn stats_json(rec: &MemRecorder) -> mocha_json::Value {
     let admitted = rec.counter(names::RUNTIME_JOBS_ADMITTED);
     let finished = rec.counter(names::RUNTIME_JOBS_FINISHED);
+    let failed = rec.counter(names::RUNTIME_JOBS_FAILED);
     let mut snap = rec.snapshot();
     if let mocha_json::Value::Obj(map) = &mut snap {
         map.insert(
@@ -127,8 +134,10 @@ fn stats_json(rec: &MemRecorder) -> mocha_json::Value {
                 "submitted" => rec.counter(names::RUNTIME_JOBS_SUBMITTED),
                 "admitted" => admitted,
                 "finished" => finished,
+                "retried" => rec.counter(names::RUNTIME_JOBS_RETRIED),
+                "failed" => failed,
                 "rejected" => rec.counter(names::SERVE_REQUESTS_REJECTED),
-                "in_flight" => admitted - finished,
+                "in_flight" => admitted - finished - failed,
             },
         );
     }
@@ -144,6 +153,8 @@ fn summary_json(report: &RuntimeReport) -> mocha_json::Value {
         "completed" => report.completed(),
         "horizon" => report.horizon,
         "jobs_per_mcycle" => report.jobs_per_mcycle(),
+        "retried" => report.retried,
+        "failed" => report.failed,
         "latency_p50" => report.latency_percentile(50.0),
         "latency_p95" => report.latency_percentile(95.0),
         "latency_p99" => report.latency_percentile(99.0),
@@ -167,6 +178,7 @@ pub fn serve(args: &Args) -> i32 {
             "tcp",
             "once",
             "threads",
+            "faults",
         ],
     ) {
         return code;
@@ -253,6 +265,7 @@ pub fn runtime_cmd(args: &Args) -> i32 {
             "fabric",
             "obs",
             "threads",
+            "faults",
         ],
     ) {
         return code;
@@ -337,6 +350,16 @@ pub fn runtime_cmd(args: &Args) -> i32 {
                 j.busy_cycles,
                 j.groups,
                 j.remorphs,
+            );
+        }
+        if cfg.faults.is_some() {
+            let _ = writeln!(
+                out,
+                "faults: {} of {} jobs retried, {} failed ({} completed)",
+                report.retried,
+                traffic.jobs,
+                report.failed,
+                report.completed(),
             );
         }
         let _ = writeln!(

@@ -586,3 +586,207 @@ fn bad_thread_counts_exit_nonzero() {
         assert_eq!(stderr(&out).lines().count(), 1, "--threads {t:?}");
     }
 }
+
+/// Malformed `--faults` specs hit the one-line exit-2 contract on every
+/// command that accepts the option: missing rate, bad values, unknown keys
+/// and bad modes are all rejected before any work starts.
+#[test]
+fn malformed_fault_specs_exit_nonzero() {
+    for spec in [
+        "",
+        "rate=",
+        "rate=fast",
+        "rate=-3",
+        "seed=7", // rate is mandatory
+        "rate=5,mode=maybe",
+        "rate=5,transient=2.0",
+        "rate=5,bogus=1",
+        "rate=5,seed",
+    ] {
+        for cmd in [
+            &["runtime", "--jobs", "1", "--faults"][..],
+            &["simulate", "tiny", "--no-verify", "--faults"][..],
+            &["serve", "--faults"][..],
+        ] {
+            let mut args = cmd.to_vec();
+            args.push(spec);
+            let out = mocha_sim(&args);
+            assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+            assert_eq!(
+                stderr(&out).lines().count(),
+                1,
+                "args: {args:?} stderr: {}",
+                stderr(&out)
+            );
+            assert!(stdout(&out).is_empty(), "args: {args:?}");
+        }
+    }
+}
+
+/// `repro` keeps the strict-argument contract around the new r2 experiment:
+/// unknown ids and unknown options are one-line exit-2 errors.
+#[test]
+fn repro_rejects_unknown_ids_and_options() {
+    for args in [
+        &["repro", "r99"][..],
+        &["repro", "r2", "--bogus", "1"][..],
+        &["repro", "r2", "--faults", "rate=5"][..],
+    ] {
+        let out = mocha_sim(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        assert_eq!(stderr(&out).lines().count(), 1, "args: {args:?}");
+    }
+}
+
+/// The determinism matrix extended to fault injection: a seeded faulted
+/// workload (retries, quarantines and re-morphs in play) still produces
+/// byte-identical JSON reports and obs streams at `--threads 1`, `2`, `8`.
+#[test]
+fn faulted_runtime_is_byte_identical_across_thread_counts() {
+    let dir = std::env::temp_dir();
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let obs = dir.join(format!("mocha_fault_threads_e2e_{threads}.jsonl"));
+        let out = mocha_sim(&[
+            "runtime",
+            "--jobs",
+            "8",
+            "--load",
+            "2.0",
+            "--seed",
+            "42",
+            "--faults",
+            "rate=15,seed=9",
+            "--json",
+            "--threads",
+            threads,
+            "--obs",
+            obs.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "--threads {threads} stderr: {}",
+            stderr(&out)
+        );
+        let obs_bytes = std::fs::read_to_string(&obs).expect("obs file written");
+        let _ = std::fs::remove_file(&obs);
+        runs.push((threads, stdout(&out), obs_bytes));
+    }
+    let (_, base_out, base_obs) = &runs[0];
+    assert!(
+        base_obs.contains("fault"),
+        "rate 15 must inject at least one fault"
+    );
+    for (threads, out, obs) in &runs[1..] {
+        assert_eq!(
+            out, base_out,
+            "--threads {threads} faulted report differs from --threads 1"
+        );
+        assert_eq!(
+            obs, base_obs,
+            "--threads {threads} faulted obs stream differs from --threads 1"
+        );
+    }
+}
+
+/// `repro r2` — the degradation-curve sweep — is byte-identical across
+/// thread counts and carries the headline quarantine-beats-fail-stop note.
+#[test]
+fn repro_r2_is_byte_identical_across_thread_counts() {
+    let mut tables = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let out = mocha_sim(&["repro", "r2", "--quick", "--threads", threads]);
+        assert!(
+            out.status.success(),
+            "--threads {threads} stderr: {}",
+            stderr(&out)
+        );
+        tables.push((threads, stdout(&out)));
+    }
+    let (_, base) = &tables[0];
+    assert!(
+        base.contains("beats fail-stop on goodput AND p99"),
+        "headline claim missing:\n{base}"
+    );
+    for (threads, table) in &tables[1..] {
+        assert_eq!(table, base, "--threads {threads} r2 table differs");
+    }
+}
+
+/// `serve --tcp --faults`: the stats snapshot's job counters reconcile with
+/// the fault-aware split (`admitted == finished + failed + in_flight`), and
+/// the batch summary reports the retried/failed breakdown.
+#[test]
+fn serve_tcp_stats_reconciles_under_faults() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+        .args([
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--faults",
+            "rate=15,seed=9",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mocha-sim serve --tcp --faults");
+    let mut child_err = BufReader::new(child.stderr.take().expect("stderr"));
+    let mut line = String::new();
+    child_err.read_line(&mut line).expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+
+    // Connection 1: a three-job batch under injected faults.
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(
+            b"{\"network\": \"tiny\", \"profile\": \"sparse\", \"seed\": 3}\n\
+              {\"network\": \"tiny\", \"arrival_cycle\": 4000}\n\
+              {\"network\": \"tiny\", \"arrival_cycle\": 9000}\n\n",
+        )
+        .expect("send batch");
+    let mut lines = Vec::new();
+    for l in BufReader::new(stream).lines() {
+        lines.push(l.expect("read response"));
+    }
+    let summary = mocha_json::parse(lines.last().expect("summary line")).expect("summary JSON");
+    assert_eq!(summary.get("summary").and_then(|v| v.as_bool()), Some(true));
+    let completed = summary
+        .get("completed")
+        .and_then(|v| v.as_u64())
+        .expect("completed");
+    let failed = summary
+        .get("failed")
+        .and_then(|v| v.as_u64())
+        .expect("summary carries the failed count");
+    assert!(summary.get("retried").is_some(), "summary: {summary:?}");
+    assert_eq!(completed + failed, 3, "every job is accounted for");
+
+    // Connection 2: the stats snapshot must reconcile with that outcome.
+    let stream = std::net::TcpStream::connect(&addr).expect("connect stats");
+    let mut writer = stream.try_clone().expect("clone");
+    writer.write_all(b"stats\n").expect("send stats");
+    let mut reader = BufReader::new(stream);
+    let mut snap_line = String::new();
+    reader.read_line(&mut snap_line).expect("read snapshot");
+    child.kill().expect("kill server");
+    let _ = child.wait();
+
+    let snap = mocha_json::parse(snap_line.trim()).expect("snapshot is JSON");
+    let jobs = snap.get("jobs").expect("jobs block");
+    let get = |k: &str| jobs.get(k).and_then(|v| v.as_u64()).expect(k);
+    assert_eq!(get("submitted"), 3);
+    assert_eq!(get("rejected"), 0);
+    assert_eq!(get("finished"), completed);
+    assert_eq!(get("failed"), failed);
+    assert_eq!(
+        get("admitted"),
+        get("finished") + get("failed") + get("in_flight"),
+        "jobs block: {jobs:?}"
+    );
+}

@@ -151,6 +151,68 @@ fn oversubscription_and_overlap_are_always_caught() {
     });
 }
 
+/// After quarantining arbitrary faulty regions, the re-carved lease set is
+/// still pairwise-disjoint and in-bounds (validated as a set), avoids every
+/// quarantined rectangle and bank, and its memory-path shares never sum
+/// past what the healthy window of the parent still offers.
+#[test]
+fn recarving_around_arbitrary_quarantines_stays_disjoint_and_clear() {
+    use mocha_fault::{FaultKind, Quarantine};
+    use mocha_runtime::lease::carve_in;
+
+    cases(256, |seed, rng| {
+        let f = parent(rng);
+        let mut q = Quarantine::default();
+        for _ in 0..rng.gen_range(1usize..=4) {
+            let kind = match rng.gen_range(0u32..4) {
+                0 => {
+                    let row0 = rng.gen_range(0usize..f.pe_rows);
+                    let col0 = rng.gen_range(0usize..f.pe_cols);
+                    FaultKind::PeRect {
+                        row0,
+                        rows: rng.gen_range(1usize..=(f.pe_rows - row0)),
+                        col0,
+                        cols: rng.gen_range(1usize..=(f.pe_cols - col0)),
+                    }
+                }
+                1 => FaultKind::SpmBank {
+                    bank: rng.gen_range(0usize..f.spm_banks),
+                },
+                2 => FaultKind::NocLane {
+                    lane: rng.gen_range(0usize..f.noc_dma_lanes),
+                },
+                _ => FaultKind::DmaEngine {
+                    engine: rng.gen_range(0usize..f.dma_engines),
+                },
+            };
+            // `admit` either shrinks the window or (when the fault would
+            // brick the last healthy resources) refuses and changes nothing.
+            q.admit(&kind, &f);
+        }
+        let w = q.window(&f);
+        assert!(
+            w.max_tenants() >= 1,
+            "seed {seed}: admit never bricks the fabric"
+        );
+        let n = rng.gen_range(1usize..=w.max_tenants().min(4));
+        let weights: Vec<usize> = (0..n).map(|_| rng.gen_range(1usize..5)).collect();
+        let leases = carve_in(&f, &w, &weights);
+        FabricPartition::validate_set(&leases, &f).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        for l in &leases {
+            assert!(
+                !q.overlaps_lease(l),
+                "seed {seed}: lease {l:?} touches quarantined hardware {:?}",
+                q.rects()
+            );
+        }
+        // Memory-path shares fit inside what the window still offers (and
+        // therefore inside the parent minus the quarantined units).
+        assert!(leases.iter().map(|l| l.noc_dma_lanes).sum::<usize>() <= w.lanes);
+        assert!(leases.iter().map(|l| l.dma_engines).sum::<usize>() <= w.dmas);
+        assert!(w.lanes <= f.noc_dma_lanes && w.dmas <= f.dma_engines);
+    });
+}
+
 /// `whole` is the identity carve: one lease, sub-config equal to the
 /// parent, for arbitrary parents.
 #[test]

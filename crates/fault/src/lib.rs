@@ -1,0 +1,25 @@
+//! # mocha-fault
+//!
+//! Deterministic fault injection and quarantine model for the MOCHA fabric.
+//!
+//! A [`FaultPlan`] describes a seeded stochastic schedule of hardware faults
+//! (rate, transient/permanent mix, recovery mode). [`FaultTimeline`] expands
+//! the plan into a lazy stream of [`FaultEvent`]s scoped to PE sub-grids,
+//! scratchpad banks, NoC DMA lanes, DMA engines, and DRAM channels — a pure
+//! function of `(plan, fabric)` with no wall clock, so a fixed seed yields a
+//! byte-identical schedule at any worker count. [`Quarantine`] accumulates
+//! permanently-faulty regions and exposes the largest healthy
+//! [`CarveWindow`] the lease manager can still carve tenants from.
+//!
+//! The crate is policy-free: *when* faults are drawn, *who* they hit, and
+//! *how* jobs recover (bounded retry, eviction + re-admission, fail-stop
+//! restart) is decided by `mocha-runtime`'s scheduler. See DESIGN.md
+//! ("Fault model") for the end-to-end story.
+
+mod quarantine;
+mod spec;
+mod timeline;
+
+pub use quarantine::{CarveWindow, Quarantine};
+pub use spec::{FaultMode, FaultPlan};
+pub use timeline::{FaultEvent, FaultKind, FaultTimeline};

@@ -1,0 +1,275 @@
+//! Quarantine set: permanently-faulty regions and the healthy carve window.
+
+use std::collections::BTreeSet;
+
+use mocha_fabric::{FabricConfig, FabricPartition};
+
+use crate::timeline::FaultKind;
+
+/// The largest contiguous healthy region of each resource class that the
+/// lease manager may carve tenant partitions from. With no quarantine it is
+/// the whole fabric ([`CarveWindow::full`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarveWindow {
+    /// First healthy PE column of the window.
+    pub col0: usize,
+    /// Healthy PE columns in the window.
+    pub cols: usize,
+    /// First healthy scratchpad bank of the window.
+    pub bank0: usize,
+    /// Healthy scratchpad banks in the window.
+    pub banks: usize,
+    /// NoC DMA lanes still available.
+    pub lanes: usize,
+    /// DMA engines still available.
+    pub dmas: usize,
+    /// Compression engines still available (codecs never fault).
+    pub codecs: usize,
+}
+
+impl CarveWindow {
+    /// The whole fabric: the zero-quarantine window.
+    pub fn full(parent: &FabricConfig) -> Self {
+        CarveWindow {
+            col0: 0,
+            cols: parent.pe_cols,
+            bank0: 0,
+            banks: parent.spm_banks,
+            lanes: parent.noc_dma_lanes,
+            dmas: parent.dma_engines,
+            codecs: parent.codec_engines,
+        }
+    }
+
+    /// Most tenants this window can host: every tenant needs at least one
+    /// PE column, one bank, one NoC lane, and one DMA engine.
+    pub fn max_tenants(&self) -> usize {
+        self.cols.min(self.banks).min(self.lanes).min(self.dmas)
+    }
+}
+
+/// Accumulated permanently-faulty regions.
+///
+/// PE damage is tracked both as the original rectangles (for reporting and
+/// overlap tests) and as their full-column shadow: leases are full-height
+/// column strips, so a single bad PE condemns its column. Lanes and DMA
+/// engines are interchangeable, so only their lost counts matter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Quarantine {
+    rects: Vec<(usize, usize, usize, usize)>,
+    cols: BTreeSet<usize>,
+    banks: BTreeSet<usize>,
+    lanes_lost: usize,
+    dmas_lost: usize,
+}
+
+impl Quarantine {
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+            && self.banks.is_empty()
+            && self.lanes_lost == 0
+            && self.dmas_lost == 0
+    }
+
+    /// Quarantined PE rectangles as `(row0, rows, col0, cols)`.
+    pub fn rects(&self) -> &[(usize, usize, usize, usize)] {
+        &self.rects
+    }
+
+    /// Try to quarantine the region a permanent fault named. Refuses (and
+    /// leaves the set unchanged) if doing so would leave the fabric unable
+    /// to host even a single tenant — the caller then treats the fault as
+    /// transient, modelling a controller that declines to brick its last
+    /// healthy resources. DRAM faults are never quarantinable.
+    pub fn admit(&mut self, kind: &FaultKind, parent: &FabricConfig) -> bool {
+        let mut trial = self.clone();
+        trial.insert(kind);
+        if trial.window(parent).max_tenants() == 0 {
+            return false;
+        }
+        *self = trial;
+        true
+    }
+
+    /// Record the region unconditionally. Used by the fail-stop baseline,
+    /// which never routes around damage and so never needs the window to
+    /// stay viable.
+    pub fn insert(&mut self, kind: &FaultKind) {
+        match kind {
+            FaultKind::PeRect {
+                row0,
+                rows,
+                col0,
+                cols,
+            } => {
+                self.rects.push((*row0, *rows, *col0, *cols));
+                self.cols.extend(*col0..col0 + cols);
+            }
+            FaultKind::SpmBank { bank } => {
+                self.banks.insert(*bank);
+            }
+            FaultKind::NocLane { .. } => self.lanes_lost += 1,
+            FaultKind::DmaEngine { .. } => self.dmas_lost += 1,
+            FaultKind::DramChannel => {}
+        }
+    }
+
+    /// Largest healthy carve window around the quarantined regions.
+    pub fn window(&self, parent: &FabricConfig) -> CarveWindow {
+        let (col0, cols) = largest_healthy_run(parent.pe_cols, &self.cols);
+        let (bank0, banks) = largest_healthy_run(parent.spm_banks, &self.banks);
+        CarveWindow {
+            col0,
+            cols,
+            bank0,
+            banks,
+            lanes: parent.noc_dma_lanes.saturating_sub(self.lanes_lost),
+            dmas: parent.dma_engines.saturating_sub(self.dmas_lost),
+            codecs: parent.codec_engines,
+        }
+    }
+
+    /// Whether a lease touches quarantined PE columns or banks (the
+    /// geometric classes; lane/DMA damage is anonymous capacity loss).
+    pub fn overlaps_lease(&self, lease: &FabricPartition) -> bool {
+        self.overlap_kind(lease).is_some()
+    }
+
+    /// Which geometric class of this set a lease touches, if any:
+    /// `"pe"` wins over `"spm"` when both overlap.
+    pub fn overlap_kind(&self, lease: &FabricPartition) -> Option<&'static str> {
+        if (lease.pe_col0..lease.pe_col0 + lease.pe_cols).any(|c| self.cols.contains(&c)) {
+            Some("pe")
+        } else if (lease.bank0..lease.bank0 + lease.banks).any(|b| self.banks.contains(&b)) {
+            Some("spm")
+        } else {
+            None
+        }
+    }
+
+    /// Whether a fault region intersects a lease: used for victim selection
+    /// on the geometric fault classes.
+    pub fn kind_hits_lease(kind: &FaultKind, lease: &FabricPartition) -> bool {
+        match kind {
+            FaultKind::PeRect {
+                row0,
+                rows,
+                col0,
+                cols,
+            } => {
+                let row_hit = *row0 < lease.pe_row0 + lease.pe_rows && lease.pe_row0 < row0 + rows;
+                let col_hit = *col0 < lease.pe_col0 + lease.pe_cols && lease.pe_col0 < col0 + cols;
+                row_hit && col_hit
+            }
+            FaultKind::SpmBank { bank } => (lease.bank0..lease.bank0 + lease.banks).contains(bank),
+            _ => false,
+        }
+    }
+}
+
+/// Longest contiguous run of indices in `0..total` absent from `taken`;
+/// ties break toward the lower start. Returns `(start, len)`, `(0, 0)` if
+/// every index is taken.
+fn largest_healthy_run(total: usize, taken: &BTreeSet<usize>) -> (usize, usize) {
+    let (mut best, mut run_start, mut i) = ((0, 0), 0, 0);
+    while i <= total {
+        if i == total || taken.contains(&i) {
+            if i - run_start > best.1 {
+                best = (run_start, i - run_start);
+            }
+            run_start = i + 1;
+        }
+        i += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pe_col(col: usize, rows: usize) -> FaultKind {
+        FaultKind::PeRect {
+            row0: 0,
+            rows,
+            col0: col,
+            cols: 1,
+        }
+    }
+
+    #[test]
+    fn window_shrinks_to_largest_healthy_run() {
+        let parent = FabricConfig::default();
+        let mut q = Quarantine::default();
+        assert_eq!(q.window(&parent), CarveWindow::full(&parent));
+
+        assert!(q.admit(&pe_col(3, parent.pe_rows), &parent));
+        let w = q.window(&parent);
+        assert_eq!((w.col0, w.cols), (4, parent.pe_cols - 4));
+
+        assert!(q.admit(&FaultKind::SpmBank { bank: 0 }, &parent));
+        let w = q.window(&parent);
+        assert_eq!((w.bank0, w.banks), (1, parent.spm_banks - 1));
+
+        assert!(q.admit(&FaultKind::NocLane { lane: 2 }, &parent));
+        assert!(q.admit(&FaultKind::DmaEngine { engine: 0 }, &parent));
+        let w = q.window(&parent);
+        assert_eq!(w.lanes, parent.noc_dma_lanes - 1);
+        assert_eq!(w.dmas, parent.dma_engines - 1);
+        assert_eq!(w.codecs, parent.codec_engines);
+    }
+
+    #[test]
+    fn admit_refuses_to_brick_the_last_tenant_slot() {
+        let parent = FabricConfig::default();
+        let mut q = Quarantine::default();
+        for lane in 0..parent.noc_dma_lanes - 1 {
+            assert!(q.admit(&FaultKind::NocLane { lane }, &parent));
+        }
+        let before = q.clone();
+        assert!(
+            !q.admit(&FaultKind::NocLane { lane: 0 }, &parent),
+            "last lane is refused"
+        );
+        assert_eq!(q, before, "refusal leaves the set unchanged");
+        assert_eq!(q.window(&parent).max_tenants(), 1);
+    }
+
+    #[test]
+    fn sub_column_rect_condemns_its_full_column_shadow() {
+        let parent = FabricConfig::default();
+        let mut q = Quarantine::default();
+        let rect = FaultKind::PeRect {
+            row0: 1,
+            rows: 2,
+            col0: 5,
+            cols: 2,
+        };
+        assert!(q.admit(&rect, &parent));
+        let w = q.window(&parent);
+        // Healthy runs: [0,5) and [7,8); the larger wins.
+        assert_eq!((w.col0, w.cols), (0, 5));
+        assert_eq!(q.rects(), &[(1, 2, 5, 2)]);
+
+        let lease = FabricPartition {
+            pe_row0: 0,
+            pe_rows: parent.pe_rows,
+            pe_col0: 4,
+            pe_cols: 2,
+            bank0: 0,
+            banks: 2,
+            noc_dma_lanes: 1,
+            dma_engines: 1,
+            codec_engines: 0,
+        };
+        assert!(q.overlaps_lease(&lease));
+        assert!(Quarantine::kind_hits_lease(&rect, &lease));
+        let clear = FabricPartition {
+            pe_col0: 0,
+            pe_cols: 4,
+            ..lease
+        };
+        assert!(!q.overlaps_lease(&clear));
+        assert!(!Quarantine::kind_hits_lease(&rect, &clear));
+    }
+}

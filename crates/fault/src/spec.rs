@@ -1,0 +1,170 @@
+//! Fault plan: the user-facing description of a fault schedule.
+
+/// What the runtime does when a fault lands on a leased region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Quarantine permanently-faulty regions, re-carve leases around them,
+    /// and retry only the interrupted fusion group (MOCHA's morphable story).
+    Quarantine,
+    /// Classic fail-stop baseline: any fault restarts the whole job from
+    /// scratch, and broken regions are never routed around.
+    FailStop,
+}
+
+impl FaultMode {
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultMode::Quarantine => "quarantine",
+            FaultMode::FailStop => "failstop",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "quarantine" => Ok(FaultMode::Quarantine),
+            "failstop" => Ok(FaultMode::FailStop),
+            other => Err(format!(
+                "unknown fault mode '{other}' (expected quarantine|failstop)"
+            )),
+        }
+    }
+}
+
+/// Seeded description of a fault schedule plus the recovery policy.
+///
+/// Parsed from the CLI `--faults` spec:
+/// `rate=R[,seed=N][,mode=quarantine|failstop][,transient=F][,retries=N]`
+/// where `R` is the mean fault arrival rate in faults per million cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Mean fault arrivals per million simulated cycles (Poisson process).
+    pub rate_per_mcycle: f64,
+    /// Seed for the fault schedule; independent of workload seeds.
+    pub seed: u64,
+    /// Recovery policy applied by the runtime.
+    pub mode: FaultMode,
+    /// Fraction of faults that are transient (the rest are permanent).
+    pub transient: f64,
+    /// Per-job bound on retries/restarts before the job is dropped as failed.
+    pub max_retries: usize,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            rate_per_mcycle: 0.0,
+            seed: 1,
+            mode: FaultMode::Quarantine,
+            transient: 0.5,
+            max_retries: 8,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parse a CLI spec. Strict: every key must be known, `rate` is
+    /// mandatory, and all values must be well-formed and in range.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        let mut saw_rate = false;
+        if spec.trim().is_empty() {
+            return Err(
+                "fault spec is empty (expected rate=R[,seed=N][,mode=M][,transient=F][,retries=N])"
+                    .into(),
+            );
+        }
+        for part in spec.split(',') {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec item '{part}' is not key=value"))?;
+            match key {
+                "rate" => {
+                    let r: f64 = value
+                        .parse()
+                        .map_err(|_| format!("fault rate '{value}' is not a number"))?;
+                    if !r.is_finite() || r < 0.0 {
+                        return Err(format!("fault rate must be finite and >= 0, got '{value}'"));
+                    }
+                    plan.rate_per_mcycle = r;
+                    saw_rate = true;
+                }
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault seed '{value}' is not a u64"))?;
+                }
+                "mode" => plan.mode = FaultMode::parse(value)?,
+                "transient" => {
+                    let f: f64 = value
+                        .parse()
+                        .map_err(|_| format!("transient fraction '{value}' is not a number"))?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(format!(
+                            "transient fraction must be in [0, 1], got '{value}'"
+                        ));
+                    }
+                    plan.transient = f;
+                }
+                "retries" => {
+                    plan.max_retries = value
+                        .parse()
+                        .map_err(|_| format!("fault retries '{value}' is not a usize"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault spec key '{other}' (expected rate|seed|mode|transient|retries)"
+                    ));
+                }
+            }
+        }
+        if !saw_rate {
+            return Err("fault spec must set rate=<faults per Mcycle>".into());
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_full_spec_and_defaults() {
+        let p = FaultPlan::parse("rate=12.5,seed=9,mode=failstop,transient=0.25,retries=3")
+            .expect("full spec");
+        assert_eq!(p.rate_per_mcycle, 12.5);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.mode, FaultMode::FailStop);
+        assert_eq!(p.transient, 0.25);
+        assert_eq!(p.max_retries, 3);
+
+        let d = FaultPlan::parse("rate=5").expect("rate only");
+        assert_eq!(d.seed, 1);
+        assert_eq!(d.mode, FaultMode::Quarantine);
+        assert_eq!(d.transient, 0.5);
+        assert_eq!(d.max_retries, 8);
+        assert!(
+            FaultPlan::parse("rate=0").is_ok(),
+            "rate 0 is a valid no-op"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs_with_one_line_errors() {
+        for bad in [
+            "",
+            "rate",
+            "seed=3",
+            "rate=banana",
+            "rate=-1",
+            "rate=inf",
+            "rate=5,mode=nope",
+            "rate=5,transient=1.5",
+            "rate=5,retries=-2",
+            "rate=5,bogus=1",
+        ] {
+            let err = FaultPlan::parse(bad).expect_err(bad);
+            assert!(!err.contains('\n'), "error for '{bad}' is one line: {err}");
+        }
+    }
+}

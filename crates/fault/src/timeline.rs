@@ -1,0 +1,210 @@
+//! Lazy, seeded expansion of a [`FaultPlan`] into discrete fault events.
+
+use mocha_fabric::FabricConfig;
+use mocha_model::ModelRng;
+
+use crate::spec::FaultPlan;
+
+/// Hardware scope of one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A rectangle of PEs. The timeline emits full-height single columns
+    /// (leases are full-height column strips, so a column is the natural
+    /// repair granularity), but consumers must handle arbitrary rectangles.
+    PeRect {
+        row0: usize,
+        rows: usize,
+        col0: usize,
+        cols: usize,
+    },
+    /// One scratchpad bank.
+    SpmBank { bank: usize },
+    /// One NoC DMA lane.
+    NocLane { lane: usize },
+    /// One DMA engine.
+    DmaEngine { engine: usize },
+    /// A DRAM channel glitch; always transient (a stuck channel would be a
+    /// board-level failure outside the fabric's repair vocabulary).
+    DramChannel,
+}
+
+impl FaultKind {
+    /// Short stable name used in `fault/<kind>` span paths and docs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::PeRect { .. } => "pe",
+            FaultKind::SpmBank { .. } => "spm",
+            FaultKind::NocLane { .. } => "noc",
+            FaultKind::DmaEngine { .. } => "dma",
+            FaultKind::DramChannel => "dram",
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulated cycle at which the fault manifests.
+    pub at: u64,
+    pub kind: FaultKind,
+    /// Permanent faults brick the region until quarantined (or forever,
+    /// under fail-stop); transient faults only corrupt in-flight work.
+    pub permanent: bool,
+}
+
+/// Deterministic generator of [`FaultEvent`]s.
+///
+/// Inter-arrival gaps are exponential with mean `1e6 / rate_per_mcycle`
+/// cycles; kinds are drawn from a fixed mix (40 % PE, 25 % scratchpad,
+/// 15 % NoC lane, 10 % DMA engine, 10 % DRAM). Every draw consumes a fixed
+/// number of RNG values, so the schedule is a pure function of
+/// `(plan.seed, plan.rate, plan.transient, fabric geometry)`.
+pub struct FaultTimeline {
+    rng: ModelRng,
+    rate: f64,
+    transient: f64,
+    pe_rows: usize,
+    pe_cols: usize,
+    spm_banks: usize,
+    noc_dma_lanes: usize,
+    dma_engines: usize,
+    clock: u64,
+    next: Option<FaultEvent>,
+}
+
+impl FaultTimeline {
+    pub fn new(plan: &FaultPlan, fabric: &FabricConfig) -> Self {
+        let mut tl = FaultTimeline {
+            rng: ModelRng::seed_from_u64(plan.seed ^ 0x6d6f_6368_615f_6656),
+            rate: plan.rate_per_mcycle,
+            transient: plan.transient,
+            pe_rows: fabric.pe_rows,
+            pe_cols: fabric.pe_cols,
+            spm_banks: fabric.spm_banks,
+            noc_dma_lanes: fabric.noc_dma_lanes,
+            dma_engines: fabric.dma_engines,
+            clock: 0,
+            next: None,
+        };
+        tl.advance();
+        tl
+    }
+
+    /// The next scheduled fault, if any.
+    pub fn peek(&self) -> Option<&FaultEvent> {
+        self.next.as_ref()
+    }
+
+    /// Consume and return the next fault, scheduling its successor.
+    pub fn pop(&mut self) -> Option<FaultEvent> {
+        let ev = self.next.take();
+        if ev.is_some() {
+            self.advance();
+        }
+        ev
+    }
+
+    fn advance(&mut self) {
+        if self.rate <= 0.0 {
+            self.next = None;
+            return;
+        }
+        let u = self.rng.gen_f64();
+        let gap = (-(1e6 / self.rate) * (1.0 - u).ln()).ceil().min(1e15) as u64;
+        self.clock = self.clock.saturating_add(gap.max(1));
+        let kind = match self.rng.gen_range(0u32..100) {
+            0..=39 => FaultKind::PeRect {
+                row0: 0,
+                rows: self.pe_rows,
+                col0: self.rng.gen_range(0..self.pe_cols),
+                cols: 1,
+            },
+            40..=64 => FaultKind::SpmBank {
+                bank: self.rng.gen_range(0..self.spm_banks),
+            },
+            65..=79 => FaultKind::NocLane {
+                lane: self.rng.gen_range(0..self.noc_dma_lanes),
+            },
+            80..=89 => FaultKind::DmaEngine {
+                engine: self.rng.gen_range(0..self.dma_engines),
+            },
+            _ => FaultKind::DramChannel,
+        };
+        // Always draw, so the stream position is kind-independent; DRAM
+        // glitches are forced transient afterwards.
+        let transient = self.rng.gen_bool(self.transient);
+        let permanent = !transient && !matches!(kind, FaultKind::DramChannel);
+        self.next = Some(FaultEvent {
+            at: self.clock,
+            kind,
+            permanent,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FaultPlan;
+
+    fn plan(rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            rate_per_mcycle: rate,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    fn take(tl: &mut FaultTimeline, n: usize) -> Vec<FaultEvent> {
+        (0..n).filter_map(|_| tl.pop()).collect()
+    }
+
+    #[test]
+    fn same_seed_yields_identical_schedules() {
+        let fab = FabricConfig::default();
+        let a = take(&mut FaultTimeline::new(&plan(25.0, 7), &fab), 64);
+        let b = take(&mut FaultTimeline::new(&plan(25.0, 7), &fab), 64);
+        assert_eq!(a, b);
+        let c = take(&mut FaultTimeline::new(&plan(25.0, 8), &fab), 64);
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn events_are_strictly_ordered_in_bounds_and_rate_scaled() {
+        let fab = FabricConfig::default();
+        let evs = take(&mut FaultTimeline::new(&plan(50.0, 3), &fab), 200);
+        assert_eq!(evs.len(), 200);
+        for w in evs.windows(2) {
+            assert!(w[0].at < w[1].at, "strictly increasing timestamps");
+        }
+        for e in &evs {
+            match &e.kind {
+                FaultKind::PeRect {
+                    row0,
+                    rows,
+                    col0,
+                    cols,
+                } => {
+                    assert_eq!((*row0, *rows, *cols), (0, fab.pe_rows, 1));
+                    assert!(*col0 < fab.pe_cols);
+                }
+                FaultKind::SpmBank { bank } => assert!(*bank < fab.spm_banks),
+                FaultKind::NocLane { lane } => assert!(*lane < fab.noc_dma_lanes),
+                FaultKind::DmaEngine { engine } => assert!(*engine < fab.dma_engines),
+                FaultKind::DramChannel => assert!(!e.permanent, "DRAM is always transient"),
+            }
+        }
+        // Mean gap should be within 3x of 1e6/rate = 20k cycles for 200 draws.
+        let span = evs.last().unwrap().at - evs[0].at;
+        let mean = span as f64 / 199.0;
+        assert!((6_000.0..60_000.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn zero_rate_schedules_nothing() {
+        let fab = FabricConfig::default();
+        let mut tl = FaultTimeline::new(&plan(0.0, 1), &fab);
+        assert!(tl.peek().is_none());
+        assert!(tl.pop().is_none());
+    }
+}

@@ -21,6 +21,9 @@
 //!   tensors, sparsity-controlled workload generators, golden executor;
 //! * [`compress`] — the codecs with cycle/energy cost models;
 //! * [`fabric`] — PE array, scratchpad, NoC, DRAM, DMA, tile pipeline;
+//! * [`fault`] — deterministic fault injection: seeded fault timelines,
+//!   quarantine geometry and the healthy carve windows recovery re-morphs
+//!   into;
 //! * [`energy`] — event pricing, area model, derived metrics;
 //! * [`core`] — tiling/fusion/parallelism engines, planner, controller,
 //!   simulator, baselines (re-exported at the top level);
@@ -61,6 +64,7 @@ pub use mocha_core as core;
 pub use mocha_energy as energy;
 pub use mocha_engine as engine;
 pub use mocha_fabric as fabric;
+pub use mocha_fault as fault;
 pub use mocha_model as model;
 pub use mocha_obs as obs;
 pub use mocha_runtime as runtime;

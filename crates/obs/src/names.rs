@@ -10,6 +10,8 @@
 //! job/<id>/group/<layers>                   one controller decision (fusion group)
 //! group/<layers>                            the same, in single-tenant simulation
 //! <group path>/tile/<i>/{load,compute,store} tile pipeline stages
+//! fault/<kind>                              fabric time discarded to one fault
+//!                                           (kind ∈ pe|spm|noc|dma|dram)
 //! ```
 
 // ---- fabric: memory-path and datapath event counters ----
@@ -75,6 +77,46 @@ pub const RUNTIME_INTERIM_ADMISSIONS: &str = "runtime.interim_admissions";
 pub const RUNTIME_REMORPHS: &str = "runtime.remorphs";
 /// Fusion groups stepped by the scheduler (over all jobs).
 pub const RUNTIME_GROUPS_STEPPED: &str = "runtime.groups_stepped";
+/// Jobs that needed at least one fault retry/restart (0→1 transitions).
+pub const RUNTIME_JOBS_RETRIED: &str = "runtime.jobs_retried";
+/// Jobs dropped after exhausting their fault-retry budget.
+pub const RUNTIME_JOBS_FAILED: &str = "runtime.jobs_failed";
+
+// ---- fault: injection and recovery counters ----
+
+/// Fault events drawn from the timeline (hit or not).
+pub const FAULT_INJECTED: &str = "fault.injected";
+/// Injected faults that were transient.
+pub const FAULT_TRANSIENT: &str = "fault.transient";
+/// Injected faults that were permanent.
+pub const FAULT_PERMANENT: &str = "fault.permanent";
+/// Injected faults scoped to PE sub-grids.
+pub const FAULT_INJECTED_PE: &str = "fault.injected_pe";
+/// Injected faults scoped to scratchpad banks.
+pub const FAULT_INJECTED_SPM: &str = "fault.injected_spm";
+/// Injected faults scoped to NoC DMA lanes.
+pub const FAULT_INJECTED_NOC: &str = "fault.injected_noc";
+/// Injected faults scoped to DMA engines.
+pub const FAULT_INJECTED_DMA: &str = "fault.injected_dma";
+/// Injected DRAM-channel glitches.
+pub const FAULT_INJECTED_DRAM: &str = "fault.injected_dram";
+/// Faults that corrupted at least one in-flight fusion group.
+pub const FAULT_HITS: &str = "fault.hits";
+/// Fusion-group retries caused by faults (quarantine mode).
+pub const FAULT_RETRIES: &str = "fault.retries";
+/// Residents evicted and re-queued because their lease was quarantined.
+pub const FAULT_EVICTIONS: &str = "fault.evictions";
+/// Whole-job restarts (fail-stop mode).
+pub const FAULT_RESTARTS: &str = "fault.restarts";
+/// Permanent faults successfully quarantined.
+pub const FAULT_QUARANTINED: &str = "fault.quarantined";
+/// Fabric cycles discarded to faults (partial groups and wasted attempts).
+pub const FAULT_LOST_CYCLES: &str = "fault.lost_cycles";
+
+// ---- fault: fractional counters (f64 channel) ----
+
+/// Energy spent on work that faults discarded, pJ (fractional counter).
+pub const FAULT_LOST_ENERGY_PJ: &str = "fault.lost_energy_pj";
 
 // ---- serve: front-end protocol counters ----
 

@@ -7,6 +7,7 @@
 //! make lease transitions converge.
 
 use mocha_fabric::{FabricConfig, FabricPartition};
+use mocha_fault::CarveWindow;
 
 /// How the runtime assigns fabric leases to admitted jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,27 +98,44 @@ pub fn split_proportional(total: usize, weights: &[usize], min: usize) -> Vec<us
 /// # Panics
 /// Panics if more weights are supplied than [`max_tenants`] allows.
 pub fn carve(parent: &FabricConfig, weights: &[usize]) -> Vec<FabricPartition> {
+    carve_in(parent, &CarveWindow::full(parent), weights)
+}
+
+/// [`carve`] restricted to a healthy [`CarveWindow`]: column strips and
+/// bank ranges are laid out inside the window's contiguous spans, and the
+/// memory-path shares are split over the window's remaining lanes, DMA
+/// engines, and codecs. With [`CarveWindow::full`] this *is* [`carve`],
+/// arithmetic and all; with a quarantine window the leases provably avoid
+/// every quarantined column and bank.
+///
+/// # Panics
+/// Panics if more weights are supplied than [`CarveWindow::max_tenants`].
+pub fn carve_in(
+    parent: &FabricConfig,
+    window: &CarveWindow,
+    weights: &[usize],
+) -> Vec<FabricPartition> {
     let n = weights.len();
     if n == 0 {
         return Vec::new();
     }
     assert!(
-        n <= max_tenants(parent),
-        "{n} tenants exceed the fabric's capacity of {}",
-        max_tenants(parent)
+        n <= window.max_tenants(),
+        "{n} tenants exceed the carve window's capacity of {}",
+        window.max_tenants()
     );
-    let cols = split_proportional(parent.pe_cols, weights, 1);
-    let banks = split_proportional(parent.spm_banks, weights, 1);
-    let lanes = split_proportional(parent.noc_dma_lanes, weights, 1);
-    let dma = split_proportional(parent.dma_engines, weights, 1);
+    let cols = split_proportional(window.cols, weights, 1);
+    let banks = split_proportional(window.banks, weights, 1);
+    let lanes = split_proportional(window.lanes, weights, 1);
+    let dma = split_proportional(window.dmas, weights, 1);
     // Codec engines may legitimately be absent (baseline fabrics).
-    let codecs = if parent.codec_engines >= n {
-        split_proportional(parent.codec_engines, weights, 1)
+    let codecs = if window.codecs >= n {
+        split_proportional(window.codecs, weights, 1)
     } else {
-        split_proportional(parent.codec_engines, weights, 0)
+        split_proportional(window.codecs, weights, 0)
     };
     let mut out = Vec::with_capacity(n);
-    let (mut col0, mut bank0) = (0, 0);
+    let (mut col0, mut bank0) = (window.col0, window.bank0);
     for i in 0..n {
         out.push(FabricPartition {
             pe_row0: 0,
@@ -179,6 +197,36 @@ mod tests {
         // Degenerate: as many tenants as units.
         let s = split_proportional(4, &[9, 1, 1, 1], 1);
         assert_eq!(s, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn windowed_carve_is_carve_on_the_full_window_and_stays_in_bounds() {
+        let f = FabricConfig::mocha_quad();
+        assert_eq!(
+            carve(&f, &[3, 1, 2]),
+            carve_in(&f, &CarveWindow::full(&f), &[3, 1, 2])
+        );
+        let w = CarveWindow {
+            col0: 4,
+            cols: 8,
+            bank0: 2,
+            banks: 10,
+            lanes: 3,
+            dmas: 3,
+            codecs: f.codec_engines,
+        };
+        let leases = carve_in(&f, &w, &[1, 2, 1]);
+        FabricPartition::validate_set(&leases, &f).unwrap();
+        for l in &leases {
+            assert!(l.pe_col0 >= w.col0 && l.pe_col0 + l.pe_cols <= w.col0 + w.cols);
+            assert!(l.bank0 >= w.bank0 && l.bank0 + l.banks <= w.bank0 + w.banks);
+        }
+        assert_eq!(leases.iter().map(|l| l.pe_cols).sum::<usize>(), w.cols);
+        assert_eq!(
+            leases.iter().map(|l| l.noc_dma_lanes).sum::<usize>(),
+            w.lanes
+        );
+        assert_eq!(leases.iter().map(|l| l.dma_engines).sum::<usize>(), w.dmas);
     }
 
     #[test]

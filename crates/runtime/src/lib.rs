@@ -12,7 +12,9 @@
 //! * [`lease`] — carving the fabric into validated disjoint partitions,
 //!   adaptively (priority-proportional) or statically (fixed equal slots);
 //! * [`scheduler`] — the deterministic virtual-time event loop: admission,
-//!   safe lease handoff, parallel group stepping;
+//!   safe lease handoff, parallel group stepping, and (via `mocha-fault`)
+//!   fault recovery: bounded group retries, quarantine-and-remorph around
+//!   permanently-faulty regions, or a fail-stop baseline;
 //! * [`workload`] — seeded Poisson-like multi-tenant traffic;
 //! * [`report`] — per-job and fleet-level outcome metrics (latency tails,
 //!   queue wait, utilization, GOPS/W).
@@ -27,6 +29,7 @@ pub mod workload;
 
 pub use job::{JobId, JobSpec, Priority, Submission};
 pub use lease::LeasePolicy;
+pub use mocha_fault::{FaultMode, FaultPlan};
 pub use report::{JobReport, RuntimeReport};
 pub use scheduler::{run, run_with, RuntimeConfig};
 pub use workload::{generate, Mix, TrafficConfig};

@@ -21,6 +21,8 @@ pub struct JobReport {
     /// Boundaries at which the job adopted a *different* lease and
     /// re-morphed onto it (0 under a static policy).
     pub remorphs: usize,
+    /// Fault retries/restarts this job survived (0 without fault injection).
+    pub retries: usize,
     /// Dense work performed, MACs.
     pub work_macs: u64,
     /// Cycles the job spent executing (excludes queue wait).
@@ -59,6 +61,7 @@ impl mocha_json::ToJson for JobReport {
             "latency" => self.latency(),
             "groups" => self.groups,
             "remorphs" => self.remorphs,
+            "retries" => self.retries,
             "work_macs" => self.work_macs,
             "busy_cycles" => self.busy_cycles,
             "energy_pj" => self.energy_pj,
@@ -81,6 +84,12 @@ pub struct RuntimeReport {
     pub leased_pe_cycles: f64,
     /// Clock used to convert cycles to time, GHz.
     pub clock_ghz: f64,
+    /// Jobs that needed at least one fault retry/restart (completed or
+    /// failed); 0 without fault injection.
+    pub retried: usize,
+    /// Jobs dropped after exhausting their fault-retry budget; failed jobs
+    /// do not appear in `jobs`.
+    pub failed: usize,
     /// Per-job records, in completion order (ties broken by id).
     pub jobs: Vec<JobReport>,
 }
@@ -123,7 +132,9 @@ impl RuntimeReport {
         if self.horizon == 0 || self.parent_pes == 0 {
             return 0.0;
         }
-        self.leased_pe_cycles / (self.horizon as f64 * self.parent_pes as f64)
+        // When every job fails, the fault-accounting trims cancel the
+        // accumulator to (negative) zero — clamp so "-0.0" never surfaces.
+        (self.leased_pe_cycles / (self.horizon as f64 * self.parent_pes as f64)).max(0.0)
     }
 
     /// Aggregate compute efficiency: operations per second per watt, in
@@ -144,7 +155,7 @@ impl RuntimeReport {
             return 0.0;
         }
         let ops: f64 = self.jobs.iter().map(|j| 2.0 * j.work_macs as f64).sum();
-        ops / (self.horizon as f64 / self.clock_ghz) // ops per ns = GOPS
+        (ops / (self.horizon as f64 / self.clock_ghz)).max(0.0) // ops per ns = GOPS
     }
 }
 
@@ -155,6 +166,8 @@ impl mocha_json::ToJson for RuntimeReport {
             "horizon" => self.horizon,
             "completed" => self.completed(),
             "jobs_per_mcycle" => self.jobs_per_mcycle(),
+            "retried" => self.retried,
+            "failed" => self.failed,
             "latency_p50" => self.latency_percentile(50.0),
             "latency_p95" => self.latency_percentile(95.0),
             "latency_p99" => self.latency_percentile(99.0),
@@ -188,6 +201,7 @@ mod tests {
             finished,
             groups: 3,
             remorphs: 1,
+            retries: 0,
             work_macs: 1000,
             busy_cycles: finished - admitted,
             energy_pj: 500.0,
@@ -204,6 +218,8 @@ mod tests {
             parent_pes: 256,
             leased_pe_cycles: 0.0,
             clock_ghz: 1.0,
+            retried: 0,
+            failed: 0,
             jobs: (0..4).map(|i| job(i, 0, 0, 100 * (i + 1))).collect(),
         };
         assert_eq!(r.latency_percentile(50.0), 200);
@@ -219,6 +235,8 @@ mod tests {
             parent_pes: 256,
             leased_pe_cycles: 0.0,
             clock_ghz: 1.0,
+            retried: 0,
+            failed: 0,
             jobs: Vec::new(),
         };
         assert_eq!(r.latency_percentile(99.0), 0);
@@ -238,6 +256,8 @@ mod tests {
             parent_pes: 256,
             leased_pe_cycles: 0.0,
             clock_ghz: 1.0,
+            retried: 0,
+            failed: 0,
             jobs: vec![job(0, 10, 20, 510)],
         };
         let equal = RuntimeReport {
@@ -265,6 +285,8 @@ mod tests {
             parent_pes: 256,
             leased_pe_cycles: 128.0 * 1000.0,
             clock_ghz: 1.0,
+            retried: 0,
+            failed: 0,
             jobs: vec![job(0, 0, 0, 1000)],
         };
         assert!((r.utilization() - 0.5).abs() < 1e-12);

@@ -1,11 +1,14 @@
 //! The multi-tenant scheduler: a deterministic virtual-time event loop over
-//! job arrivals and group boundaries.
+//! job arrivals, group boundaries, and (optionally) injected faults.
 //!
 //! ## Model
 //!
-//! Time is fabric cycles. Three things happen, always in this order at any
-//! event instant:
+//! Time is fabric cycles. Things happen, always in this order at any event
+//! instant:
 //!
+//! 0. **Faults** scheduled at or before the instant manifest (only with
+//!    [`RuntimeConfig::faults`]; see "Fault handling" below). Groups whose
+//!    boundary falls on the same instant committed first: commit wins ties.
 //! 1. **Arrivals** at or before the instant join the admission queue.
 //! 2. **Boundaries**: jobs whose current fusion group completes at this
 //!    instant either finish (releasing their lease) or become *ready* for
@@ -39,12 +42,34 @@
 //! counts as free, so an in-place resize is always available) and retries
 //! the exact target at its next boundary; transitions converge as
 //! mid-group holders drain.
+//!
+//! ## Fault handling
+//!
+//! With a [`FaultPlan`], a seeded [`FaultTimeline`] interleaves fault
+//! events with the virtual clock; every event is processed sequentially in
+//! the main loop (never inside the parallel step), so fault runs stay
+//! byte-identical at any worker count. Under
+//! [`FaultMode::Quarantine`] a *transient* fault costs its victim only the
+//! interrupted fusion group, which re-runs in place; a *permanent* fault
+//! additionally quarantines the region — later carves avoid it
+//! ([`CarveWindow`]) and overlapping residents are evicted back to the
+//! queue with their session intact, re-running only the interrupted group
+//! after re-admission (at its recorded cost). Under [`FaultMode::FailStop`]
+//! nothing is routed around: any fault restarts the whole victim job from
+//! scratch, and a job whose group completes on a broken region restarts
+//! too (its output is untrusted). Both modes bound per-job
+//! retries/restarts by [`FaultPlan::max_retries`], after which the job is
+//! dropped as *failed* — so every run terminates. Time and energy thrown
+//! away to faults are attributed via `fault/<kind>` spans and the
+//! `fault.*` counters. With `faults: None` every hook short-circuits and
+//! the loop is the exact pre-fault code path.
 
 use crate::job::{JobId, Priority, Submission};
-use crate::lease::{carve, max_tenants, LeasePolicy};
+use crate::lease::{carve, carve_in, max_tenants, LeasePolicy};
 use crate::report::{JobReport, RuntimeReport};
 use mocha_core::{Accelerator, Session, Simulator};
 use mocha_fabric::{FabricConfig, FabricPartition};
+use mocha_fault::{CarveWindow, FaultKind, FaultMode, FaultPlan, FaultTimeline, Quarantine};
 use mocha_model::gen::Workload;
 use mocha_obs::{names, NoopRecorder, Recorder};
 
@@ -64,6 +89,9 @@ pub struct RuntimeConfig {
     /// [`mocha_engine::set_default_threads`]); `1` = fully sequential.
     /// Reports and recorder streams are byte-identical for every value.
     pub threads: usize,
+    /// Deterministic fault injection; `None` (the default) disables the
+    /// fault layer entirely and reproduces the fault-free loop exactly.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RuntimeConfig {
@@ -74,6 +102,7 @@ impl Default for RuntimeConfig {
             max_tenants: 4,
             verify: true,
             threads: 0,
+            faults: None,
         }
     }
 }
@@ -86,11 +115,30 @@ impl RuntimeConfig {
     }
 }
 
-/// A job waiting for admission.
-#[derive(Debug)]
+/// A job waiting for admission — fresh, or evicted mid-run by a quarantine
+/// and waiting to resume.
 struct Queued {
     id: JobId,
     sub: Submission,
+    resume: Option<Box<Resume>>,
+}
+
+/// Carried state of an evicted resident: its session plus every accumulated
+/// statistic, so re-admission continues the job instead of restarting it.
+struct Resume {
+    session: Session,
+    admitted: u64,
+    remorphs: usize,
+    busy_cycles: u64,
+    leased_pe_cycles: f64,
+    energy_pj: f64,
+    work_macs: u64,
+    groups: usize,
+    retries: usize,
+    /// `(cycles, energy_pj)` of the fusion group the eviction interrupted;
+    /// it re-runs at its recorded cost on the new lease before the
+    /// session's next group.
+    redo: Option<(u64, f64)>,
 }
 
 /// A resident job.
@@ -110,6 +158,33 @@ struct Resident {
     energy_pj: f64,
     work_macs: u64,
     groups: usize,
+    /// Fault retries/restarts consumed so far (bounded by the plan).
+    retries: usize,
+    /// Start cycle of the in-flight fusion group.
+    group_start: u64,
+    /// Cycles of the in-flight fusion group.
+    group_len: u64,
+    /// Energy of the in-flight fusion group, pJ.
+    group_energy: f64,
+    /// Start cycle of the current fail-stop attempt (== admission, until a
+    /// restart).
+    attempt_start: u64,
+    /// Energy accumulated by the current fail-stop attempt, pJ.
+    attempt_energy: f64,
+}
+
+/// Live fault state: the event stream plus the accumulated damage.
+struct Faults {
+    plan: FaultPlan,
+    timeline: FaultTimeline,
+    /// Quarantine mode: permanently-faulty regions later carves avoid.
+    quarantine: Quarantine,
+    /// Fail-stop mode: permanently-faulty regions nobody routes around.
+    broken: Quarantine,
+    /// Largest healthy carve window (the full fabric until a quarantine).
+    window: CarveWindow,
+    /// Static-policy slots re-carved inside the current window.
+    static_slots: Vec<FabricPartition>,
 }
 
 /// Runs the configured runtime over a submission trace and reports.
@@ -124,12 +199,13 @@ pub fn run(cfg: &RuntimeConfig, submissions: &[Submission]) -> RuntimeReport {
 }
 
 /// [`run`] with an observability recorder: the scheduler emits lifecycle
-/// counters (submissions, admissions, deferrals, remorphs), a `job/<id>`
-/// span per finished job with its groups and tile phases nested under it,
-/// and latency/queue-wait histograms — all on the virtual clock, so two
-/// identically-seeded runs record byte-identical streams. With
-/// [`NoopRecorder`] (`ACTIVE = false`) every hook compiles away and the
-/// function is exactly [`run`].
+/// counters (submissions, admissions, deferrals, remorphs, and with faults
+/// enabled the `fault.*` namespace), a `job/<id>` span per finished job
+/// with its groups and tile phases nested under it, a `fault/<kind>` span
+/// per window of fabric time a fault discards, and latency/queue-wait
+/// histograms — all on the virtual clock, so two identically-seeded runs
+/// record byte-identical streams. With [`NoopRecorder`] (`ACTIVE = false`)
+/// every hook compiles away and the function is exactly [`run`].
 pub fn run_with<R: Recorder>(
     cfg: &RuntimeConfig,
     submissions: &[Submission],
@@ -146,8 +222,24 @@ pub fn run_with<R: Recorder>(
     }
     let cap = cfg.cap();
     let static_slots = carve(&cfg.fabric, &vec![1; cap]);
+    let full_window = CarveWindow::full(&cfg.fabric);
     let energy = mocha_energy::EnergyTable::default();
     let engine = mocha_engine::Engine::new(cfg.threads);
+
+    let mut faults = cfg.faults.as_ref().map(|plan| Faults {
+        plan: plan.clone(),
+        timeline: FaultTimeline::new(plan, &cfg.fabric),
+        quarantine: Quarantine::default(),
+        broken: Quarantine::default(),
+        window: full_window,
+        static_slots: static_slots.clone(),
+    });
+    let mut retried_jobs = 0usize;
+    let mut failed_jobs = 0usize;
+    // Latest instant a job left the system *without* finishing: failed jobs
+    // have no JobReport, but the cycles burned on them are real wall-clock,
+    // so the report horizon may not end before the last failure.
+    let mut horizon_floor = 0u64;
 
     let mut queue: Vec<Queued> = Vec::new();
     let mut resident: Vec<Resident> = Vec::new();
@@ -156,14 +248,175 @@ pub fn run_with<R: Recorder>(
     let mut now = submissions.first().map_or(0, |s| s.arrival_cycle);
 
     loop {
+        // 0. Faults at or before `now` manifest, strictly sequentially.
+        while let Some(ev) = faults
+            .as_mut()
+            .filter(|f| f.timeline.peek().is_some_and(|e| e.at <= now))
+            .and_then(|f| f.timeline.pop())
+        {
+            let fs = faults.as_mut().expect("fault state present");
+            rec.add(names::FAULT_INJECTED, 1);
+            rec.add(kind_counter(&ev.kind), 1);
+            rec.add(
+                if ev.permanent {
+                    names::FAULT_PERMANENT
+                } else {
+                    names::FAULT_TRANSIENT
+                },
+                1,
+            );
+            // Permanent damage: quarantine mode retires the region (unless
+            // that would brick the last tenant slot — then the fault is
+            // handled as transient); fail-stop just remembers it broke.
+            let mut quarantined = false;
+            if ev.permanent {
+                match fs.plan.mode {
+                    FaultMode::Quarantine => {
+                        quarantined = fs.quarantine.admit(&ev.kind, &cfg.fabric);
+                        if quarantined {
+                            rec.add(names::FAULT_QUARANTINED, 1);
+                            fs.window = fs.quarantine.window(&cfg.fabric);
+                            let slots = cap.min(fs.window.max_tenants());
+                            fs.static_slots = carve_in(&cfg.fabric, &fs.window, &vec![1; slots]);
+                        }
+                    }
+                    FaultMode::FailStop => fs.broken.insert(&ev.kind),
+                }
+            }
+            let victims = fault_victims(&ev.kind, &resident, now);
+            if victims.iter().any(|&(_, mid)| mid) {
+                rec.add(names::FAULT_HITS, 1);
+            }
+            for &(i, mid_group) in victims.iter().rev() {
+                match fs.plan.mode {
+                    FaultMode::Quarantine => {
+                        if !mid_group {
+                            // The victim's group committed before the fault;
+                            // only a quarantine (its lease / lane share is
+                            // gone) forces it back to the queue — for free.
+                            if quarantined {
+                                rec.add(names::FAULT_EVICTIONS, 1);
+                                queue.push(requeue(resident.remove(i), None));
+                            }
+                            continue;
+                        }
+                        let (lost, lost_energy) = lost_window(&resident[i], now);
+                        if lost > 0 {
+                            rec.span(
+                                || format!("fault/{}", ev.kind.name()),
+                                resident[i].group_start,
+                                now,
+                            );
+                            rec.add(names::FAULT_LOST_CYCLES, lost);
+                            rec.add_f64(names::FAULT_LOST_ENERGY_PJ, lost_energy);
+                        }
+                        if !spend_retry(
+                            &mut resident,
+                            i,
+                            fs.plan.max_retries,
+                            now,
+                            rec,
+                            &mut retried_jobs,
+                            &mut failed_jobs,
+                            &mut horizon_floor,
+                        ) {
+                            continue;
+                        }
+                        if quarantined {
+                            // Lease (or lane/DMA share) is gone: evict, and
+                            // redo the interrupted group after re-admission.
+                            rec.add(names::FAULT_EVICTIONS, 1);
+                            let mut r = resident.remove(i);
+                            // The group was charged in full when it was
+                            // stepped, but only `lost` of it executed here:
+                            // trim the unexecuted remainder (the redo
+                            // re-charges the group on the new lease).
+                            let remainder = r.group_len - lost;
+                            r.busy_cycles -= remainder;
+                            r.leased_pe_cycles -= remainder as f64 * r.lease.pes() as f64;
+                            r.energy_pj -= r.group_energy - lost_energy;
+                            r.attempt_energy -= r.group_energy - lost_energy;
+                            let redo = Some((r.group_len, r.group_energy));
+                            queue.push(requeue(r, redo));
+                        } else {
+                            // Transient: the interrupted group re-runs in
+                            // place; the partial window is pure waste.
+                            rec.add(names::FAULT_RETRIES, 1);
+                            let r = &mut resident[i];
+                            r.busy_cycles += lost;
+                            r.leased_pe_cycles += lost as f64 * r.lease.pes() as f64;
+                            r.energy_pj += lost_energy;
+                            r.attempt_energy += lost_energy;
+                            r.boundary = now + r.group_len;
+                            r.group_start = now;
+                        }
+                    }
+                    FaultMode::FailStop => {
+                        if !mid_group {
+                            continue;
+                        }
+                        restart_or_fail(
+                            &mut resident,
+                            i,
+                            ev.kind.name(),
+                            fs.plan.max_retries,
+                            cfg,
+                            now,
+                            rec,
+                            &mut retried_jobs,
+                            &mut failed_jobs,
+                            &mut horizon_floor,
+                        );
+                    }
+                }
+            }
+        }
+
         // 1. Arrivals at or before `now` join the queue.
         while next_sub < submissions.len() && submissions[next_sub].arrival_cycle <= now {
             queue.push(Queued {
                 id: next_sub as JobId,
                 sub: submissions[next_sub].clone(),
+                resume: None,
             });
             next_sub += 1;
             rec.add(names::RUNTIME_JOBS_SUBMITTED, 1);
+        }
+
+        // 2a. Fail-stop latent-damage detection: a group that completes on
+        //     a broken region produced untrusted output — the whole job
+        //     restarts (and keeps restarting until its retry budget fails
+        //     it; fail-stop never routes around damage).
+        if let Some(fs) = faults
+            .as_mut()
+            .filter(|f| f.plan.mode == FaultMode::FailStop && !f.broken.is_empty())
+        {
+            let mut i = 0;
+            while i < resident.len() {
+                if resident[i].boundary != now {
+                    i += 1;
+                    continue;
+                }
+                let Some(kind) = fs.broken.overlap_kind(&resident[i].lease) else {
+                    i += 1;
+                    continue;
+                };
+                rec.add(names::FAULT_HITS, 1);
+                if restart_or_fail(
+                    &mut resident,
+                    i,
+                    kind,
+                    fs.plan.max_retries,
+                    cfg,
+                    now,
+                    rec,
+                    &mut retried_jobs,
+                    &mut failed_jobs,
+                    &mut horizon_floor,
+                ) {
+                    i += 1;
+                }
+            }
         }
 
         // 2. Boundaries: retire completed jobs.
@@ -184,7 +437,9 @@ pub fn run_with<R: Recorder>(
         // 3. Desired membership: the residents plus the best queued jobs up
         //    to the cap (priority desc, arrival asc, id asc). Targets are
         //    carved for this membership so residents at a boundary shrink
-        //    *now*, making room for the admissions below.
+        //    *now*, making room for the admissions below. With a quarantine
+        //    the carve happens inside the healthy window and the cap shrinks
+        //    to what that window can host.
         queue.sort_by_key(|q| {
             (
                 std::cmp::Reverse(q.sub.spec.priority),
@@ -192,8 +447,13 @@ pub fn run_with<R: Recorder>(
                 q.id,
             )
         });
-        let n_new = (cap - resident.len()).min(queue.len());
-        let (targets, cand_targets) = plan_leases(cfg, &static_slots, &resident, &queue[..n_new]);
+        let (window, slots): (CarveWindow, &[FabricPartition]) = match &faults {
+            Some(fs) => (fs.window, &fs.static_slots),
+            None => (full_window, &static_slots),
+        };
+        let eff_cap = cap.min(window.max_tenants()).max(1);
+        let n_new = eff_cap.saturating_sub(resident.len()).min(queue.len());
+        let (targets, cand_targets) = plan_leases(cfg, &window, slots, &resident, &queue[..n_new]);
 
         // 4. Re-lease ready residents toward their targets, in id order. A
         //    ready job adopts its exact target when the handoff is safe
@@ -220,7 +480,7 @@ pub fn run_with<R: Recorder>(
             let new_lease = if FabricPartition::validate_set(&with_target, &cfg.fabric).is_ok() {
                 targets[i]
             } else {
-                match interim_lease(&cfg.fabric, &others, &targets[i]) {
+                match interim_lease(&cfg.fabric, &window, &others, &targets[i]) {
                     Some(l) if targets[i].pes() < old.pes() || l.pes() > old.pes() => l,
                     _ => old,
                 }
@@ -254,7 +514,7 @@ pub fn run_with<R: Recorder>(
                 // fabric: a sliver admission pins the job to the sliver
                 // for its whole first group, which is worse than waiting
                 // one boundary for real space.
-                match interim_lease(&cfg.fabric, &held, &target) {
+                match interim_lease(&cfg.fabric, &window, &held, &target) {
                     Some(l) if 2 * l.pes() >= target.pes() || l.pes() * cap >= cfg.fabric.pes() => {
                         rec.add(names::RUNTIME_INTERIM_ADMISSIONS, 1);
                         l
@@ -268,28 +528,72 @@ pub fn run_with<R: Recorder>(
                 rec.add(names::RUNTIME_ADMISSION_DEFERRALS, 1);
                 continue;
             };
-            rec.add(names::RUNTIME_JOBS_ADMITTED, 1);
             let cand = queue.remove(qi);
-            let session = make_session(cfg, &cand.sub);
             let at = insertion_point(&resident, cand.id);
-            resident.insert(
-                at,
-                Resident {
-                    id: cand.id,
-                    sub: cand.sub,
-                    admitted: now,
-                    session,
-                    lease,
-                    slot,
-                    boundary: now,
-                    remorphs: 0,
-                    busy_cycles: 0,
-                    leased_pe_cycles: 0.0,
-                    energy_pj: 0.0,
-                    work_macs: 0,
-                    groups: 0,
-                },
-            );
+            let r = match cand.resume {
+                Some(b) => {
+                    let b = *b;
+                    let mut r = Resident {
+                        id: cand.id,
+                        sub: cand.sub,
+                        admitted: b.admitted,
+                        session: b.session,
+                        lease,
+                        slot,
+                        boundary: now,
+                        remorphs: b.remorphs,
+                        busy_cycles: b.busy_cycles,
+                        leased_pe_cycles: b.leased_pe_cycles,
+                        energy_pj: b.energy_pj,
+                        work_macs: b.work_macs,
+                        groups: b.groups,
+                        retries: b.retries,
+                        group_start: now,
+                        group_len: 0,
+                        group_energy: 0.0,
+                        attempt_start: now,
+                        attempt_energy: 0.0,
+                    };
+                    if let Some((cycles, energy_pj)) = b.redo {
+                        // Re-run the group the eviction interrupted, at its
+                        // recorded cost, before the session's next group.
+                        r.boundary = now + cycles;
+                        r.busy_cycles += cycles;
+                        r.leased_pe_cycles += cycles as f64 * lease.pes() as f64;
+                        r.energy_pj += energy_pj;
+                        r.attempt_energy += energy_pj;
+                        r.group_len = cycles;
+                        r.group_energy = energy_pj;
+                    }
+                    r
+                }
+                None => {
+                    rec.add(names::RUNTIME_JOBS_ADMITTED, 1);
+                    let session = make_session(cfg, &cand.sub);
+                    Resident {
+                        id: cand.id,
+                        sub: cand.sub,
+                        admitted: now,
+                        session,
+                        lease,
+                        slot,
+                        boundary: now,
+                        remorphs: 0,
+                        busy_cycles: 0,
+                        leased_pe_cycles: 0.0,
+                        energy_pj: 0.0,
+                        work_macs: 0,
+                        groups: 0,
+                        retries: 0,
+                        group_start: now,
+                        group_len: 0,
+                        group_energy: 0.0,
+                        attempt_start: now,
+                        attempt_energy: 0.0,
+                    }
+                }
+            };
+            resident.insert(at, r);
         }
         debug_assert!(FabricPartition::validate_set(
             &resident.iter().map(|r| r.lease).collect::<Vec<_>>(),
@@ -313,11 +617,16 @@ pub fn run_with<R: Recorder>(
             let sub = r.lease.sub_config(&parent);
             let g = r.session.step_on(&sub);
             let cycles = g.cycles.max(1);
+            let group_energy = g.energy.total_pj();
             r.busy_cycles += cycles;
             r.leased_pe_cycles += cycles as f64 * r.lease.pes() as f64;
-            r.energy_pj += g.energy.total_pj();
+            r.energy_pj += group_energy;
+            r.attempt_energy += group_energy;
             r.work_macs += g.work_macs;
             r.groups += 1;
+            r.group_start = now;
+            r.group_len = cycles;
+            r.group_energy = group_energy;
             r.boundary = now + cycles;
             r
         });
@@ -335,7 +644,8 @@ pub fn run_with<R: Recorder>(
         }
 
         // Advance to the next event: the earliest group boundary or the
-        // next arrival, whichever comes first.
+        // next arrival, whichever comes first — unless a fault lands on a
+        // mid-group resident before that.
         let next_boundary = resident.iter().map(|r| r.boundary).min();
         let next_arrival =
             (next_sub < submissions.len()).then(|| submissions[next_sub].arrival_cycle);
@@ -353,17 +663,216 @@ pub fn run_with<R: Recorder>(
                 now
             }
         };
+        if !resident.is_empty() {
+            if let Some(at) = faults
+                .as_ref()
+                .and_then(|f| f.timeline.peek().map(|e| e.at))
+            {
+                // Faults drained above are strictly past, so `at` exceeds
+                // the instant just processed and the clock still advances;
+                // with nothing resident a fault cannot hit anything and is
+                // simply drained at the next real event.
+                now = now.min(at);
+            }
+        }
     }
 
     done.sort_by_key(|j| (j.finished, j.id));
     let leased_pe_cycles: f64 = done.iter().map(|j| j.leased_pe_cycles).sum();
     RuntimeReport {
         policy: cfg.policy.name().to_string(),
-        horizon: done.iter().map(|j| j.finished).max().unwrap_or(0),
+        horizon: done
+            .iter()
+            .map(|j| j.finished)
+            .max()
+            .unwrap_or(0)
+            .max(horizon_floor),
         parent_pes: cfg.fabric.pes(),
         leased_pe_cycles,
         clock_ghz: energy.clock_ghz,
+        retried: retried_jobs,
+        failed: failed_jobs,
         jobs: done,
+    }
+}
+
+/// The `fault.injected_<kind>` counter for a fault's scope.
+fn kind_counter(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::PeRect { .. } => names::FAULT_INJECTED_PE,
+        FaultKind::SpmBank { .. } => names::FAULT_INJECTED_SPM,
+        FaultKind::NocLane { .. } => names::FAULT_INJECTED_NOC,
+        FaultKind::DmaEngine { .. } => names::FAULT_INJECTED_DMA,
+        FaultKind::DramChannel => names::FAULT_INJECTED_DRAM,
+    }
+}
+
+/// Residents a fault touches, as `(index, mid_group)`. Retiring residents
+/// (done at this boundary) are spared: their output committed first.
+/// Geometric faults (PE rectangles, banks) hit by lease overlap; lane and
+/// DMA faults hit the holder of the faulted unit under a deterministic
+/// cumulative-share numbering in id order (an index past every held share
+/// is a free unit and hits nobody); DRAM glitches hit every mid-group
+/// resident.
+fn fault_victims(kind: &FaultKind, resident: &[Resident], now: u64) -> Vec<(usize, bool)> {
+    let alive = |r: &Resident| !(r.boundary == now && r.session.done());
+    let holder_of = |unit: usize, shares: &dyn Fn(&Resident) -> usize| -> Vec<(usize, bool)> {
+        let mut cum = 0;
+        for (i, r) in resident.iter().enumerate() {
+            if unit < cum + shares(r) {
+                return if alive(r) {
+                    vec![(i, r.boundary > now)]
+                } else {
+                    Vec::new()
+                };
+            }
+            cum += shares(r);
+        }
+        Vec::new()
+    };
+    match kind {
+        FaultKind::PeRect { .. } | FaultKind::SpmBank { .. } => resident
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| alive(r) && Quarantine::kind_hits_lease(kind, &r.lease))
+            .map(|(i, r)| (i, r.boundary > now))
+            .collect(),
+        FaultKind::NocLane { lane } => holder_of(*lane, &|r| r.lease.noc_dma_lanes),
+        FaultKind::DmaEngine { engine } => holder_of(*engine, &|r| r.lease.dma_engines),
+        FaultKind::DramChannel => resident
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.boundary > now)
+            .map(|(i, _)| (i, true))
+            .collect(),
+    }
+}
+
+/// The partial window of the victim's in-flight group a fault just
+/// invalidated: `(cycles, energy_pj)` pro-rated over the group.
+fn lost_window(r: &Resident, now: u64) -> (u64, f64) {
+    let lost = now - r.group_start;
+    let energy = if r.group_len > 0 {
+        r.group_energy * lost as f64 / r.group_len as f64
+    } else {
+        0.0
+    };
+    (lost, energy)
+}
+
+/// Spends one retry of the victim's budget. Returns `true` when the job
+/// lives on; on a blown budget it removes the job (reporting it failed)
+/// and returns `false`.
+#[allow(clippy::too_many_arguments)]
+fn spend_retry<R: Recorder>(
+    resident: &mut Vec<Resident>,
+    i: usize,
+    max_retries: usize,
+    now: u64,
+    rec: &mut R,
+    retried_jobs: &mut usize,
+    failed_jobs: &mut usize,
+    horizon_floor: &mut u64,
+) -> bool {
+    resident[i].retries += 1;
+    if resident[i].retries == 1 {
+        rec.add(names::RUNTIME_JOBS_RETRIED, 1);
+        *retried_jobs += 1;
+    }
+    if resident[i].retries <= max_retries {
+        return true;
+    }
+    let r = resident.remove(i);
+    rec.add(names::RUNTIME_JOBS_FAILED, 1);
+    *failed_jobs += 1;
+    // The fabric was busy with the doomed job until this instant, so the
+    // report horizon (and thus throughput) must cover it.
+    *horizon_floor = (*horizon_floor).max(now);
+    // The job's span still closes, so the trace attributes its fabric time.
+    rec.span(|| format!("job/{}", r.id), r.admitted, now);
+    false
+}
+
+/// Fail-stop recovery: account the wasted attempt, then restart the job
+/// from scratch in place — or drop it when its budget is blown. Returns
+/// `true` when the resident at `i` still exists.
+#[allow(clippy::too_many_arguments)]
+fn restart_or_fail<R: Recorder>(
+    resident: &mut Vec<Resident>,
+    i: usize,
+    kind: &'static str,
+    max_retries: usize,
+    cfg: &RuntimeConfig,
+    now: u64,
+    rec: &mut R,
+    retried_jobs: &mut usize,
+    failed_jobs: &mut usize,
+    horizon_floor: &mut u64,
+) -> bool {
+    {
+        // The interrupted group was charged in full when it was stepped;
+        // trim the part that never executed before accounting the waste.
+        let r = &mut resident[i];
+        let remainder = (r.group_start + r.group_len).saturating_sub(now);
+        if remainder > 0 {
+            r.busy_cycles -= remainder;
+            r.leased_pe_cycles -= remainder as f64 * r.lease.pes() as f64;
+            let unexecuted = r.group_energy * remainder as f64 / r.group_len as f64;
+            r.energy_pj -= unexecuted;
+            r.attempt_energy -= unexecuted;
+        }
+    }
+    let lost = now - resident[i].attempt_start;
+    if lost > 0 {
+        rec.span(|| format!("fault/{kind}"), resident[i].attempt_start, now);
+        rec.add(names::FAULT_LOST_CYCLES, lost);
+        rec.add_f64(names::FAULT_LOST_ENERGY_PJ, resident[i].attempt_energy);
+    }
+    if !spend_retry(
+        resident,
+        i,
+        max_retries,
+        now,
+        rec,
+        retried_jobs,
+        failed_jobs,
+        horizon_floor,
+    ) {
+        return false;
+    }
+    rec.add(names::FAULT_RESTARTS, 1);
+    let r = &mut resident[i];
+    // Everything the attempt computed is discarded; busy cycles and energy
+    // were physically spent and stay counted.
+    r.session = make_session(cfg, &r.sub);
+    r.work_macs = 0;
+    r.boundary = now;
+    r.attempt_start = now;
+    r.attempt_energy = 0.0;
+    r.group_start = now;
+    r.group_len = 0;
+    r.group_energy = 0.0;
+    true
+}
+
+/// Sends an evicted resident back to the admission queue with its session
+/// and statistics intact.
+fn requeue(r: Resident, redo: Option<(u64, f64)>) -> Queued {
+    Queued {
+        id: r.id,
+        sub: r.sub,
+        resume: Some(Box::new(Resume {
+            session: r.session,
+            admitted: r.admitted,
+            remorphs: r.remorphs,
+            busy_cycles: r.busy_cycles,
+            leased_pe_cycles: r.leased_pe_cycles,
+            energy_pj: r.energy_pj,
+            work_macs: r.work_macs,
+            groups: r.groups,
+            retries: r.retries,
+            redo,
+        })),
     }
 }
 
@@ -378,11 +887,15 @@ fn make_session(cfg: &RuntimeConfig, sub: &Submission) -> Session {
 }
 
 /// Plans leases for the *desired* membership: the current residents plus
-/// the given admission candidates. Returns the residents' targets
-/// (index-aligned with `resident`) and each candidate's `(target, slot)`
-/// (index-aligned with `candidates`).
+/// the given admission candidates, carved inside the healthy window.
+/// Returns the residents' targets (index-aligned with `resident`) and each
+/// candidate's `(target, slot)` (index-aligned with `candidates`). When
+/// quarantines have shrunk the window below the current residency, every
+/// resident keeps its lease and no candidates are planned; the set
+/// converges as residents retire.
 fn plan_leases(
     cfg: &RuntimeConfig,
+    window: &CarveWindow,
     static_slots: &[FabricPartition],
     resident: &[Resident],
     candidates: &[Queued],
@@ -392,7 +905,10 @@ fn plan_leases(
         .collect();
     match cfg.policy {
         LeasePolicy::StaticEqual => (
-            resident.iter().map(|r| static_slots[r.slot]).collect(),
+            resident
+                .iter()
+                .map(|r| static_slots.get(r.slot).copied().unwrap_or(r.lease))
+                .collect(),
             candidates
                 .iter()
                 .zip(&free_slots)
@@ -400,6 +916,9 @@ fn plan_leases(
                 .collect(),
         ),
         LeasePolicy::Adaptive => {
+            if resident.len() + candidates.len() > window.max_tenants() {
+                return (resident.iter().map(|r| r.lease).collect(), Vec::new());
+            }
             // Shares are proportional to remaining work scaled by priority:
             // heavy co-residents get more fabric, so tenants tend to finish
             // together instead of a light job retiring early while a heavy
@@ -414,15 +933,16 @@ fn plan_leases(
                     )
                 })
                 .chain(candidates.iter().map(|q| {
-                    (
-                        q.id,
-                        share_weight(q.sub.spec.priority, spec_macs(&q.sub.spec)),
-                    )
+                    let macs = match &q.resume {
+                        Some(b) => b.session.remaining_macs(),
+                        None => spec_macs(&q.sub.spec),
+                    };
+                    (q.id, share_weight(q.sub.spec.priority, macs))
                 }))
                 .collect();
             members.sort_by_key(|&(id, _)| id);
             let weights: Vec<usize> = members.iter().map(|&(_, w)| w).collect();
-            let leases = carve(&cfg.fabric, &weights);
+            let leases = carve_in(&cfg.fabric, window, &weights);
             let by_id =
                 |id: JobId| leases[members.iter().position(|&(m, _)| m == id).expect("member")];
             (
@@ -456,20 +976,53 @@ fn spec_macs(spec: &crate::job::JobSpec) -> u64 {
 
 /// A best-effort interim lease for a candidate whose carve target is still
 /// occupied by mid-group neighbours: a full-height column strip and bank
-/// range in the largest currently-free gaps, with the unleased remainder of
-/// the memory path, all clamped to the target's shares so later admissions
-/// at the same instant still find room. `None` when any required resource
-/// class has no free capacity.
+/// range in the largest currently-free gaps *inside the healthy window*,
+/// with the window's unleased remainder of the memory path, all clamped to
+/// the target's shares so later admissions at the same instant still find
+/// room. `None` when any required resource class has no free capacity.
 fn interim_lease(
     parent: &FabricConfig,
+    window: &CarveWindow,
     held: &[FabricPartition],
     want: &FabricPartition,
 ) -> Option<FabricPartition> {
-    let (pe_col0, cols) = largest_gap(parent.pe_cols, held.iter().map(|l| (l.pe_col0, l.pe_cols)))?;
-    let (bank0, banks) = largest_gap(parent.spm_banks, held.iter().map(|l| (l.bank0, l.banks)))?;
-    let lanes = parent.noc_dma_lanes - held.iter().map(|l| l.noc_dma_lanes).sum::<usize>();
-    let dma = parent.dma_engines - held.iter().map(|l| l.dma_engines).sum::<usize>();
-    let codecs = parent.codec_engines - held.iter().map(|l| l.codec_engines).sum::<usize>();
+    // Space outside the window counts as taken, so the gap search can only
+    // land inside it (`largest_gap` tolerates the overlap with held spans).
+    let col_blind = [
+        (0, window.col0),
+        (
+            window.col0 + window.cols,
+            parent.pe_cols - window.col0 - window.cols,
+        ),
+    ];
+    let bank_blind = [
+        (0, window.bank0),
+        (
+            window.bank0 + window.banks,
+            parent.spm_banks - window.bank0 - window.banks,
+        ),
+    ];
+    let (pe_col0, cols) = largest_gap(
+        parent.pe_cols,
+        held.iter()
+            .map(|l| (l.pe_col0, l.pe_cols))
+            .chain(col_blind.into_iter().filter(|&(_, len)| len > 0)),
+    )?;
+    let (bank0, banks) = largest_gap(
+        parent.spm_banks,
+        held.iter()
+            .map(|l| (l.bank0, l.banks))
+            .chain(bank_blind.into_iter().filter(|&(_, len)| len > 0)),
+    )?;
+    let lanes = window
+        .lanes
+        .saturating_sub(held.iter().map(|l| l.noc_dma_lanes).sum::<usize>());
+    let dma = window
+        .dmas
+        .saturating_sub(held.iter().map(|l| l.dma_engines).sum::<usize>());
+    let codecs = window
+        .codecs
+        .saturating_sub(held.iter().map(|l| l.codec_engines).sum::<usize>());
     if lanes == 0 || dma == 0 {
         return None;
     }
@@ -492,8 +1045,9 @@ fn interim_lease(
 }
 
 /// The largest free interval of `[0, total)` not covered by the `(start,
-/// len)` spans in `taken`; `None` when nothing is free. Spans are disjoint
-/// (they come from a validated lease set).
+/// len)` spans in `taken`; `None` when nothing is free. Held spans are
+/// disjoint (they come from a validated lease set), and window-blinding
+/// spans may overlap them — the cursor max handles both.
 fn largest_gap(
     total: usize,
     taken: impl Iterator<Item = (usize, usize)>,
@@ -526,6 +1080,7 @@ fn finalize(r: Resident, now: u64) -> JobReport {
         finished: now,
         groups: r.groups,
         remorphs: r.remorphs,
+        retries: r.retries,
         work_macs: r.work_macs,
         busy_cycles: r.busy_cycles,
         energy_pj: r.energy_pj,

@@ -82,6 +82,18 @@ pub fn diff(a: &Profile, b: &Profile) -> Vec<MetricDelta> {
     if let (Some((_, a95, _)), Some((_, b95, _))) = (a.latency, b.latency) {
         out.push(delta("latency_p95_cycles", a95 as f64, b95 as f64, true));
     }
+    // Fault-injection metrics appear only when both sides ran with faults,
+    // so fault-free baselines keep their pre-fault-injection diff shape.
+    if (a.fault_events > 0 || a.fault_lost_cycles > 0)
+        && (b.fault_events > 0 || b.fault_lost_cycles > 0)
+    {
+        out.push(delta(
+            "fault_lost_cycles",
+            a.fault_lost_cycles as f64,
+            b.fault_lost_cycles as f64,
+            true,
+        ));
+    }
     out
 }
 
@@ -143,6 +155,8 @@ mod tests {
             phases: PhaseEnergy::default(),
             layers: Vec::new(),
             latency: Some((10, 20, 30)),
+            fault_events: 0,
+            fault_lost_cycles: 0,
         }
     }
 
@@ -180,6 +194,25 @@ mod tests {
         assert!(!diff(&a, &b).iter().any(|d| d.name.starts_with("latency")));
         let deltas = diff(&a, &a);
         assert!(deltas.iter().any(|d| d.name == "latency_p95_cycles"));
+    }
+
+    #[test]
+    fn fault_metric_appears_only_when_both_sides_saw_faults() {
+        let clean = profile(100, 1.0);
+        let mut faulted = profile(100, 1.0);
+        faulted.fault_events = 4;
+        faulted.fault_lost_cycles = 250;
+        assert!(!diff(&clean, &faulted)
+            .iter()
+            .any(|d| d.name.starts_with("fault")));
+        let mut worse = faulted.clone();
+        worse.fault_lost_cycles = 500;
+        let deltas = diff(&faulted, &worse);
+        let d = deltas
+            .iter()
+            .find(|d| d.name == "fault_lost_cycles")
+            .expect("gated fault metric");
+        assert!(d.regressed(5.0));
     }
 
     #[test]

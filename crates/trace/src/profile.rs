@@ -61,6 +61,10 @@ pub struct Profile {
     /// Job latency percentiles from `runtime.latency_cycles` (runtime
     /// streams only).
     pub latency: Option<(u64, u64, u64)>,
+    /// Faults injected (`fault.injected`; 0 without fault injection).
+    pub fault_events: u64,
+    /// Executed-work cycles lost to faults (`fault.lost_cycles`).
+    pub fault_lost_cycles: u64,
 }
 
 impl Profile {
@@ -116,6 +120,16 @@ impl Profile {
                 .hists
                 .get(mocha_obs::names::HIST_JOB_LATENCY)
                 .map(|h| (h.p50, h.p95, h.p99)),
+            fault_events: stream
+                .counters
+                .get(mocha_obs::names::FAULT_INJECTED)
+                .copied()
+                .unwrap_or(0),
+            fault_lost_cycles: stream
+                .counters
+                .get(mocha_obs::names::FAULT_LOST_CYCLES)
+                .copied()
+                .unwrap_or(0),
         };
         (profile, attribution)
     }
@@ -159,6 +173,13 @@ impl Profile {
                 .with("latency_p50", p50)
                 .with("latency_p95", p95)
                 .with("latency_p99", p99);
+        }
+        // Fault fields only appear when faults were injected, so zero-fault
+        // profiles stay byte-identical to pre-fault-injection baselines.
+        if self.fault_events > 0 || self.fault_lost_cycles > 0 {
+            v = v
+                .with("fault_events", self.fault_events)
+                .with("fault_lost_cycles", self.fault_lost_cycles);
         }
         v
     }
@@ -238,6 +259,11 @@ impl Profile {
                 },
                 _ => None,
             },
+            fault_events: v.get("fault_events").and_then(Value::as_u64).unwrap_or(0),
+            fault_lost_cycles: v
+                .get("fault_lost_cycles")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
         })
     }
 
@@ -292,6 +318,13 @@ impl Profile {
         );
         if let Some((p50, p95, p99)) = self.latency {
             let _ = writeln!(out, "job latency: p50 {p50} | p95 {p95} | p99 {p99} cycles");
+        }
+        if self.fault_events > 0 || self.fault_lost_cycles > 0 {
+            let _ = writeln!(
+                out,
+                "faults: {} injected, {} executed cycles lost",
+                self.fault_events, self.fault_lost_cycles
+            );
         }
         if !self.layers.is_empty() {
             let _ = writeln!(
@@ -360,6 +393,26 @@ mod tests {
     #[test]
     fn from_json_rejects_non_profiles() {
         assert!(Profile::from_json(&mocha_json::jobj! {"x" => 1u64}).is_err());
+    }
+
+    #[test]
+    fn fault_fields_serialize_only_when_faults_were_injected() {
+        let clean = sample_profile();
+        assert_eq!(clean.fault_events, 0);
+        let text = clean.to_json().to_string_pretty();
+        assert!(!text.contains("fault"), "zero-fault profiles stay stable");
+        let mut faulted = clean.clone();
+        faulted.fault_events = 3;
+        faulted.fault_lost_cycles = 120;
+        let v = faulted.to_json();
+        assert_eq!(v.get("fault_events").and_then(Value::as_u64), Some(3));
+        let back = Profile::from_json(&v).unwrap();
+        assert_eq!(back, faulted);
+        assert!(faulted
+            .summary_text()
+            .contains("faults: 3 injected, 120 executed cycles lost"));
+        // A pre-fault-injection profile (no fault keys) still loads.
+        assert_eq!(Profile::from_json(&clean.to_json()).unwrap(), clean);
     }
 
     #[test]

@@ -130,6 +130,18 @@ pub struct JobNode {
     pub idle: u64,
 }
 
+/// One fault-recovery interval (`fault/<kind>` span): work the fabric
+/// executed but lost to an injected fault and had to redo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpan {
+    /// Faulted component kind (`pe`, `spm`, `noc`, `dma`, `dram`).
+    pub kind: String,
+    /// Start of the lost window, absolute cycles.
+    pub start: u64,
+    /// End of the lost window (the fault instant), absolute cycles.
+    pub end: u64,
+}
+
 /// The reconstructed profile tree plus fabric-level derived timelines.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SpanTree {
@@ -137,6 +149,9 @@ pub struct SpanTree {
     pub jobs: Vec<JobNode>,
     /// Groups in stream (execution) order.
     pub groups: Vec<GroupNode>,
+    /// Work windows lost to injected faults, in stream order (empty without
+    /// fault injection).
+    pub faults: Vec<FaultSpan>,
     /// Last cycle any span covers.
     pub makespan: u64,
     /// Maximal intervals in `[0, makespan)` where no group was executing.
@@ -172,6 +187,13 @@ impl SpanTree {
                 ["group", name] => {
                     by_path.insert(sp.path.clone(), tree.groups.len());
                     tree.groups.push(new_group(None, name, sp));
+                }
+                ["fault", kind] => {
+                    tree.faults.push(FaultSpan {
+                        kind: kind.to_string(),
+                        start: sp.start,
+                        end: sp.end,
+                    });
                 }
                 [.., "tile", index, stage] => {
                     let prefix_len = sp.path.len() - "/tile//".len() - index.len() - stage.len();
@@ -238,6 +260,11 @@ impl SpanTree {
     /// Total tiles over all groups.
     pub fn tiles(&self) -> usize {
         self.groups.iter().map(|g| g.tiles.len()).sum()
+    }
+
+    /// Total cycles of executed work lost to faults (sum of fault spans).
+    pub fn fault_lost_cycles(&self) -> u64 {
+        self.faults.iter().map(|f| f.end - f.start).sum()
     }
 
     /// Aggregate overlap efficiency: busy lane cycles per group-makespan
@@ -540,6 +567,28 @@ mod tests {
         let e = SpanTree::build(&[span("group/a", 0, 2), span("group/a/tile/0/think", 0, 1)])
             .unwrap_err();
         assert!(e.to_string().contains("think"), "{e}");
+    }
+
+    #[test]
+    fn fault_spans_collect_without_disturbing_the_group_timeline() {
+        let spans = vec![
+            span("job/0", 0, 40),
+            span("job/0/group/a", 0, 20),
+            span("job/0/group/a/tile/0/compute", 0, 20),
+            span("fault/pe", 5, 12),
+            span("fault/dram", 20, 25),
+            span("job/0/group/b", 20, 40),
+            span("job/0/group/b/tile/0/compute", 20, 40),
+        ];
+        let tree = SpanTree::build(&spans).unwrap();
+        assert_eq!(tree.groups.len(), 2);
+        assert_eq!(tree.jobs.len(), 1);
+        assert_eq!(tree.faults.len(), 2);
+        assert_eq!(tree.faults[0].kind, "pe");
+        assert_eq!(tree.fault_lost_cycles(), 12);
+        // Fault spans do not create idle gaps or extend the makespan.
+        assert_eq!(tree.makespan, 40);
+        assert!(tree.idle_gaps.is_empty());
     }
 
     #[test]
