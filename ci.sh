@@ -26,6 +26,13 @@ grep -q "beats fail-stop on goodput AND p99" <<< "$r2_out" || {
     echo "r2: quarantine-and-remorph no longer beats fail-stop"; exit 1
 }
 
+echo "== repro r3 smoke (quick mode; shedding must beat unbounded queueing)"
+r3_out="$(cargo run --release -p mocha-bench --bin repro -- --quick r3)"
+echo "$r3_out"
+grep -q "beats unbounded queueing on goodput AND p99" <<< "$r3_out" || {
+    echo "r3: deadline shedding no longer beats unbounded queueing"; exit 1
+}
+
 echo "== obs smoke (stream parses, non-empty, deterministic)"
 obs_tmp="$(mktemp -d)"
 trap 'rm -rf "$obs_tmp"' EXIT
@@ -41,7 +48,7 @@ cmp "$obs_tmp/a.jsonl" "$obs_tmp/b.jsonl" || {
     echo "obs streams differ between identical seeded runs"; exit 1
 }
 
-echo "== determinism matrix (--threads 1/2/8: obs + profiles + r1/r2 tables + faulted runs)"
+echo "== determinism matrix (--threads 1/2/8: obs + profiles + r1/r2/r3 tables + faulted + open-loop runs)"
 for t in 1 2 8; do
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         runtime --jobs 3 --load 2.0 --seed 7 --threads "$t" \
@@ -56,9 +63,16 @@ for t in 1 2 8; do
         > "$obs_tmp/mat$t.fault.report"
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         repro r2 --quick --threads "$t" > "$obs_tmp/mat$t.r2"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        serve --open-loop --requests 2000 --tenants 100 --load 3.0 --seed 7 \
+        --slo 400000 --shed-policy deadline --json --threads "$t" \
+        --obs "$obs_tmp/mat$t.openloop.jsonl" > "$obs_tmp/mat$t.openloop.report"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        repro r3 --quick --threads "$t" > "$obs_tmp/mat$t.r3"
 done
 for t in 2 8; do
-    for kind in jsonl report profile r1 fault.jsonl fault.report r2; do
+    for kind in jsonl report profile r1 fault.jsonl fault.report r2 \
+                openloop.jsonl openloop.report r3; do
         cmp "$obs_tmp/mat1.$kind" "$obs_tmp/mat$t.$kind" || {
             echo "--threads $t $kind output differs from --threads 1"; exit 1
         }
@@ -86,5 +100,19 @@ echo "== trace perf-regression gate (faulted r2 smoke vs committed baseline)"
 #       trace summary - --json > baselines/r2-smoke.json
 cargo run --release -q -p mocha-cli --bin mocha-sim -- \
     trace diff baselines/r2-smoke.json "$obs_tmp/mat1.fault.jsonl" --fail-on-regression 5
+
+echo "== trace perf-regression gate (open-loop r3 smoke vs committed baseline)"
+# Same contract for the serving path: the committed baseline profile covers
+# a seeded overloaded open-loop run with deadline shedding in play (job
+# spans only — no group/tile nesting, so energy attribution is zero by
+# construction and the latency percentiles carry the gate);
+# regenerate it with:
+#   cargo run --release -p mocha-cli --bin mocha-sim -- \
+#       serve --open-loop --requests 2000 --tenants 100 --load 3.0 --seed 7 \
+#       --slo 400000 --shed-policy deadline --obs - 2>/dev/null \
+#   | cargo run --release -p mocha-cli --bin mocha-sim -- \
+#       trace summary - --json > baselines/r3-smoke.json
+cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+    trace diff baselines/r3-smoke.json "$obs_tmp/mat1.openloop.jsonl" --fail-on-regression 5
 
 echo "CI OK"

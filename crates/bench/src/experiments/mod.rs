@@ -15,6 +15,7 @@ pub mod f7;
 pub mod f8;
 pub mod r1;
 pub mod r2;
+pub mod r3;
 pub mod t1;
 pub mod t2;
 
@@ -45,7 +46,7 @@ impl Default for ExpConfig {
 
 /// All experiment ids in presentation order.
 pub const ALL: &[&str] = &[
-    "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "a1", "a2", "a3", "r1", "r2",
+    "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "a1", "a2", "a3", "r1", "r2", "r3",
 ];
 
 /// Runs one experiment by id; `None` for unknown ids.
@@ -66,6 +67,7 @@ pub fn run_by_id(id: &str, cfg: &ExpConfig) -> Option<String> {
         "a3" => Some(a3::run(cfg)),
         "r1" => Some(r1::run(cfg)),
         "r2" => Some(r2::run(cfg)),
+        "r3" => Some(r3::run(cfg)),
         _ => None,
     }
 }

@@ -35,11 +35,14 @@ USAGE:
   mocha-sim networks                       list the network zoo
   mocha-sim repro [ids...] [--quick] [--threads N]
                                            regenerate the paper's tables and
-                                           figures (t1 t2 f1..f8 a1..a3 r1 r2;
-                                           default/`all` = every experiment;
-                                           r2 sweeps fault rates and compares
-                                           quarantine-and-remorph recovery
-                                           against a fail-stop baseline)
+                                           figures (t1 t2 f1..f8 a1..a3 r1 r2
+                                           r3; default/`all` = every
+                                           experiment; r2 sweeps fault rates
+                                           and compares quarantine-and-remorph
+                                           recovery against a fail-stop
+                                           baseline; r3 sweeps open-loop
+                                           offered load and compares SLO-aware
+                                           shedding against unbounded queueing)
   mocha-sim runtime [options]              multi-tenant runtime on synthetic traffic
       --jobs N           jobs to generate                     (default 8)
       --load F           offered load, arrivals per service   (default 2.0)
@@ -73,14 +76,33 @@ USAGE:
                                            metric regressed beyond PCT
   mocha-sim serve [--tcp ADDR] [--once] [--policy P] [--max-tenants N] [--no-verify]
                   [--threads N] [--faults SPEC]
-      JSON-lines batch server: one job request per line on stdin (or one
-      TCP connection with --tcp), e.g.
+                  [--shed-policy none|queue=N|deadline] [--slo CYCLES]
+      JSON-lines batch server: one job request per line on stdin (or over
+      TCP with --tcp, where a poll-style reactor multiplexes concurrent
+      clients and merges their batches into one runtime invocation), e.g.
         {\"network\": \"lenet5\", \"profile\": \"sparse\", \"priority\": \"high\",
-         \"objective\": \"edp\", \"seed\": 7, \"arrival_cycle\": 0}
-      A blank line (or EOF) closes the batch; per-job reports and a summary
+         \"objective\": \"edp\", \"seed\": 7, \"arrival_cycle\": 0,
+         \"deadline_cycles\": 500000}
+      A blank (or whitespace/CRLF-only) line or EOF closes the batch;
+      request lines are capped at 64 KiB. Per-job reports and a summary
       come back as JSON lines. A batch whose first line is the bare word
       `stats` instead returns one JSON snapshot of the server's counters
-      and histograms (admitted == finished + in_flight by construction).
+      and histograms (admitted == finished + failed + in_flight — plus
+      shed, under a shed policy — by construction).
+      --shed-policy deadline drops requests whose predicted completion
+      (from calibrated per-template service times) would miss their
+      deadline, answering with a one-line `shed` JSON object instead of
+      queueing them; queue=N bounds the number of queued-but-unstarted
+      requests. --slo CYCLES is the default deadline for requests without
+      their own deadline_cycles.
+  mocha-sim serve --open-loop [--requests N] [--tenants N] [--load F] [--seed N]
+                  [--mix quick|full] [--slo CYCLES] [--shed-policy P]
+                  [--trace FILE] [--json] [--obs FILE|-] [--faults SPEC]
+                  [--max-tenants N]
+      Offline open-loop load sweep (experiment R3's engine): generates a
+      seeded heavy-tailed trace (or replays --trace FILE, JSON lines in
+      the request format above) through the calibrated queueing model and
+      prints goodput/latency aggregates. Deterministic at any --threads.
 
 Fabric and energy tables can be overridden from JSON for any command:
   --fabric FILE.json     a serialized FabricConfig
@@ -236,15 +258,12 @@ pub fn simulate(args: &Args) -> i32 {
     ) {
         return code;
     }
-    let fault_plan = match args.options.get("faults") {
-        None => None,
-        Some(spec) => match mocha::fault::FaultPlan::parse(spec) {
-            Ok(plan) => Some(plan),
-            Err(e) => {
-                eprintln!("{e}");
-                return 2;
-            }
-        },
+    let fault_plan = match crate::config::fault_plan(args) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
     };
     let net = load_network(args);
     let obj = objective(&args.opt("objective", "edp"));

@@ -1,0 +1,48 @@
+//! Shared option plumbing for the runtime-backed subcommands (`serve`,
+//! `runtime`, and `simulate`'s fault replay) — one builder instead of three
+//! diverging copies.
+
+use crate::args::Args;
+use crate::commands;
+use mocha::fault::FaultPlan;
+use mocha::runtime::{LeasePolicy, RuntimeConfig};
+
+/// Parses `--faults SPEC` into a plan, `Ok(None)` when the option is
+/// absent.
+pub fn fault_plan(args: &Args) -> Result<Option<FaultPlan>, String> {
+    match args.options.get("faults") {
+        None => Ok(None),
+        Some(spec) => FaultPlan::parse(spec).map(Some),
+    }
+}
+
+/// Builds the runtime configuration shared by `serve` and `runtime` from
+/// `--fabric`, `--policy`, `--max-tenants`, `--no-verify` and `--faults`.
+///
+/// The returned config always carries `threads: 0`. That is deliberate,
+/// not a missing feature: `--threads N` is folded into the process-wide
+/// engine default exactly once by `main` *before* command dispatch, and a
+/// `threads` of 0 here defers to that default (all cores when the flag was
+/// never given). Resolving the flag again in this builder would apply it
+/// twice.
+pub fn runtime_config(args: &Args) -> Result<RuntimeConfig, String> {
+    let fabric = match args.options.get("fabric") {
+        None => mocha::fabric::FabricConfig::mocha_quad(),
+        Some(_) => commands::load_fabric(args),
+    };
+    let policy_name = args.opt("policy", "adaptive");
+    let policy = LeasePolicy::parse(&policy_name)
+        .ok_or_else(|| format!("unknown policy {policy_name:?} (adaptive|static)"))?;
+    let max_tenants = args.opt_u64("max-tenants", 4) as usize;
+    if max_tenants == 0 {
+        return Err("--max-tenants must be at least 1".into());
+    }
+    Ok(RuntimeConfig {
+        fabric,
+        policy,
+        max_tenants,
+        verify: !args.flag("no-verify"),
+        threads: 0,
+        faults: fault_plan(args)?,
+    })
+}

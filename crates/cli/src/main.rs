@@ -14,8 +14,12 @@
 //! mocha-sim trace    summary <FILE|-> | export <FILE|-> --chrome OUT
 //!                    | diff <A> <B> [--fail-on-regression PCT]
 //! mocha-sim serve    [--tcp ADDR] [--once] [--policy P] [--max-tenants N]
+//!                    [--shed-policy none|queue=N|deadline] [--slo CYCLES]
 //!                    (a batch starting with the bare line `stats` returns a
 //!                    counters/histograms snapshot)
+//! mocha-sim serve    --open-loop [--requests N] [--tenants N] [--load F]
+//!                    [--seed N] [--slo CYCLES] [--shed-policy P]
+//!                    [--trace FILE] [--json] [--obs FILE|-]
 //! ```
 //!
 //! Errors are scriptable: unknown subcommands, options or stray arguments
@@ -23,6 +27,7 @@
 
 mod args;
 mod commands;
+mod config;
 mod serve;
 mod trace_cmd;
 

@@ -1,23 +1,37 @@
 //! The serving front-end: `mocha-sim serve` and `mocha-sim runtime`.
 //!
 //! `serve` speaks a std-only JSON-lines protocol: one job request per line,
-//! a blank line (or EOF) closes the batch, and the runtime's per-job
-//! reports plus a summary come back as JSON lines. The same handler runs
-//! over stdin/stdout or a TCP socket (`--tcp ADDR`), so a shell pipe and a
-//! network client see identical behaviour.
+//! a blank (or whitespace/CRLF-only) line closes the batch, and the
+//! runtime's per-job reports plus a summary come back as JSON lines. Over
+//! stdin/stdout one batch is served; with `--tcp ADDR` the deterministic
+//! reactor of [`mocha::serve`] multiplexes many concurrent clients and
+//! merges every batch that completes in one poll round into a single
+//! runtime invocation. With `--shed-policy` the server predicts each
+//! request's start from calibrated service times and sheds doomed or
+//! over-queued work with an explicit `shed` response instead of queueing it
+//! unboundedly; `--slo CYCLES` supplies the default deadline.
 //!
-//! `runtime` is the closed-loop twin: it generates a seeded Poisson-like
-//! arrival trace over a tenant mix and prints per-job rows and fleet
-//! aggregates, in a table or as JSON.
+//! `serve --open-loop` is the offline twin used by experiment R3: a seeded
+//! heavy-tailed open-loop trace (or a `--trace FILE` replay) driven through
+//! the calibrated queueing model, printing goodput/latency aggregates.
+//!
+//! `runtime` is the closed-loop generator: it creates a seeded arrival
+//! trace over a tenant mix and prints per-job rows and fleet aggregates,
+//! in a table or as JSON.
 
 use crate::args::Args;
 use crate::commands;
-use mocha::obs::{names, MemRecorder, Recorder};
-use mocha::runtime::{
-    self, JobSpec, LeasePolicy, Mix, RuntimeConfig, RuntimeReport, Submission, TrafficConfig,
+use crate::config;
+use mocha::engine::Engine;
+use mocha::obs::{names, MemRecorder, NoopRecorder, Recorder};
+use mocha::runtime::{self, JobSpec, Mix, RuntimeConfig, RuntimeReport, Submission, TrafficConfig};
+use mocha::serve::{
+    read_line_capped, run_open_loop, serve_reactor, traffic, BatchHandler, Calibration,
+    ClientBatch, LineRead, OpenLoopParams, ReactorConfig, Request, RequestOutcome, ShedPolicy,
+    MAX_LINE_BYTES,
 };
 use mocha_json::{FromJson, ToJson};
-use std::io::{BufRead, BufReader, Write};
+use std::collections::BTreeMap;
 
 /// Span retention cap for the server's always-on recorder: counters and
 /// histograms are O(names) and never capped, but spans grow with traffic,
@@ -25,38 +39,53 @@ use std::io::{BufRead, BufReader, Write};
 /// `spans_dropped`.
 const SERVE_SPAN_CAP: usize = 100_000;
 
-/// Builds the runtime configuration shared by `serve` and `runtime` from
-/// `--fabric`, `--policy`, `--max-tenants`, `--no-verify` and `--faults`.
-fn runtime_config(args: &Args) -> Result<RuntimeConfig, String> {
-    let fabric = match args.options.get("fabric") {
-        None => mocha::fabric::FabricConfig::mocha_quad(),
-        Some(_) => commands::load_fabric(args),
-    };
-    let policy_name = args.opt("policy", "adaptive");
-    let policy = LeasePolicy::parse(&policy_name)
-        .ok_or_else(|| format!("unknown policy {policy_name:?} (adaptive|static)"))?;
-    let max_tenants = args.opt_u64("max-tenants", 4) as usize;
-    if max_tenants == 0 {
-        return Err("--max-tenants must be at least 1".into());
-    }
-    let faults = match args.options.get("faults") {
-        None => None,
-        Some(spec) => Some(mocha::fault::FaultPlan::parse(spec)?),
-    };
-    Ok(RuntimeConfig {
-        fabric,
-        policy,
-        max_tenants,
-        verify: !args.flag("no-verify"),
-        // `--threads` was already folded into the process default by main;
-        // 0 defers to that (and to all cores when the flag is absent).
-        threads: 0,
-        faults,
-    })
+/// Long-lived server state: the runtime configuration, the admission
+/// policy, the lazily-built per-template service-time cache backing shed
+/// decisions, and the recorder every batch accumulates into.
+struct ServeState {
+    cfg: RuntimeConfig,
+    shed: ShedPolicy,
+    /// Default deadline (cycles after arrival) for requests that do not
+    /// carry their own `deadline_cycles`.
+    slo: Option<u64>,
+    services: BTreeMap<(String, String), u64>,
+    rec: MemRecorder,
 }
 
-/// Parses one JSON-lines request into a submission.
-fn parse_request(line: &str) -> Result<Submission, String> {
+impl ServeState {
+    fn new(cfg: RuntimeConfig, shed: ShedPolicy, slo: Option<u64>) -> Self {
+        ServeState {
+            cfg,
+            shed,
+            slo,
+            services: BTreeMap::new(),
+            rec: MemRecorder::with_span_cap(SERVE_SPAN_CAP),
+        }
+    }
+
+    /// Calibrated one-slot service time for a spec's template, measured on
+    /// first use and cached for the life of the server.
+    fn service(&mut self, spec: &JobSpec) -> u64 {
+        let key = (spec.network.clone(), spec.profile.clone());
+        if let Some(&cycles) = self.services.get(&key) {
+            return cycles;
+        }
+        let cal = Calibration::measure(
+            &self.cfg.fabric,
+            self.cfg.max_tenants,
+            std::slice::from_ref(spec),
+            Engine::configured(),
+        )
+        .expect("spec validated at parse time");
+        let cycles = cal.service(spec);
+        self.services.insert(key, cycles);
+        cycles
+    }
+}
+
+/// Parses one JSON-lines request into a submission plus its optional
+/// per-request deadline.
+fn parse_request(line: &str) -> Result<(Submission, Option<u64>), String> {
     let v = mocha_json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
     let spec = JobSpec::from_json(&v).map_err(|e| format!("bad request: {e}"))?;
     spec.validate()?;
@@ -66,80 +95,175 @@ fn parse_request(line: &str) -> Result<Submission, String> {
             .as_u64()
             .ok_or("arrival_cycle must be a non-negative integer")?,
     };
-    Ok(Submission {
-        arrival_cycle,
-        spec,
-    })
+    let deadline = match v.get("deadline_cycles") {
+        None => None,
+        Some(d) => Some(
+            d.as_u64()
+                .ok_or("deadline_cycles must be a non-negative integer")?,
+        ),
+    };
+    Ok((
+        Submission {
+            arrival_cycle,
+            spec,
+        },
+        deadline,
+    ))
 }
 
-/// Reads a batch of requests, runs the runtime, writes responses. Returns
-/// an error message for protocol failures (reported and non-zero-exited by
-/// the caller in stdin mode, written to the peer in TCP mode).
-fn serve_stream(
-    cfg: &RuntimeConfig,
-    rec: &mut MemRecorder,
-    reader: impl BufRead,
-    writer: &mut impl Write,
-) -> Result<(), String> {
-    let mut subs = Vec::new();
-    let mut first = true;
-    for (n, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| format!("read error: {e}"))?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            break; // blank line closes the batch
+/// Runs one round of client batches through the runtime together: requests
+/// are parsed per client (a bad line fails only that client), merged
+/// across clients in arrival order, optionally filtered by the shed
+/// policy, and executed as a single runtime batch. Returns one response
+/// (or protocol error) per input batch, in order.
+fn run_batches(state: &mut ServeState, batches: &[Vec<String>]) -> Vec<Result<String, String>> {
+    let mut results: Vec<Option<Result<String, String>>> =
+        (0..batches.len()).map(|_| None).collect();
+    let mut merged: Vec<(usize, Submission, Option<u64>)> = Vec::new();
+    let mut valid: Vec<usize> = Vec::new();
+    for (c, lines) in batches.iter().enumerate() {
+        let mut parsed = Vec::new();
+        let mut bad = None;
+        for (n, line) in lines.iter().enumerate() {
+            state.rec.add(names::SERVE_REQUESTS, 1);
+            match parse_request(line.trim()) {
+                Ok(p) => parsed.push(p),
+                Err(e) => {
+                    state.rec.add(names::SERVE_REQUESTS_REJECTED, 1);
+                    bad = Some(format!("line {}: {e}", n + 1));
+                    break;
+                }
+            }
         }
-        // A batch whose first line is the bare word `stats` is a snapshot
-        // request: answer with the recorder's state and close.
-        if first && trimmed == "stats" {
-            rec.add(names::SERVE_STATS_REQUESTS, 1);
-            writeln!(writer, "{}", stats_json(rec).to_string_compact())
-                .map_err(|e| format!("write error: {e}"))?;
-            return Ok(());
+        match bad {
+            Some(e) => results[c] = Some(Err(e)),
+            None => {
+                merged.extend(parsed.into_iter().map(|(sub, d)| (c, sub, d)));
+                valid.push(c);
+            }
         }
-        first = false;
-        rec.add(names::SERVE_REQUESTS, 1);
-        let sub = parse_request(trimmed).map_err(|e| {
-            rec.add(names::SERVE_REQUESTS_REJECTED, 1);
-            format!("line {}: {e}", n + 1)
-        })?;
-        subs.push(sub);
+    }
+    if valid.is_empty() {
+        return results
+            .into_iter()
+            .map(|r| r.expect("every client resolved"))
+            .collect();
     }
     // The scheduler wants non-decreasing arrivals; clients may interleave.
-    subs.sort_by_key(|s| s.arrival_cycle);
-    let report = runtime::run_with(cfg, &subs, rec);
-    rec.add(names::SERVE_BATCHES, 1);
-    for job in &report.jobs {
-        writeln!(writer, "{}", job.to_json().to_string_compact())
-            .map_err(|e| format!("write error: {e}"))?;
+    merged.sort_by_key(|(_, s, _)| s.arrival_cycle);
+
+    // Admission control: predict every start from the calibrated service
+    // times and drop doomed (or over-queued) requests with an explicit
+    // shed line instead of queueing them unboundedly.
+    let mut shed_lines: Vec<Vec<String>> = (0..batches.len()).map(|_| Vec::new()).collect();
+    let mut batch_shed = 0u64;
+    let kept: Vec<(usize, Submission)> = if state.shed.active() && !merged.is_empty() {
+        let requests: Vec<Request> = merged
+            .iter()
+            .map(|(c, s, d)| Request {
+                arrival: s.arrival_cycle,
+                tenant: *c as u64,
+                deadline: d.or(state.slo),
+                spec: s.spec.clone(),
+            })
+            .collect();
+        let services: Vec<u64> = merged
+            .iter()
+            .map(|(_, s, _)| state.service(&s.spec))
+            .collect();
+        let params = OpenLoopParams {
+            fabric: &state.cfg.fabric,
+            slots: state.cfg.max_tenants,
+            shed: state.shed,
+            faults: None,
+            record_spans: false,
+        };
+        let (_, outcomes) = run_open_loop(&params, &requests, &services, &mut NoopRecorder);
+        let mut kept = Vec::new();
+        for ((c, sub, _), outcome) in merged.into_iter().zip(outcomes) {
+            if matches!(outcome, RequestOutcome::Shed) {
+                state.rec.add(names::SERVE_SHED, 1);
+                batch_shed += 1;
+                shed_lines[c].push(
+                    mocha_json::jobj! {
+                        "shed" => true,
+                        "network" => sub.spec.network.as_str(),
+                        "arrival_cycle" => sub.arrival_cycle,
+                        "policy" => state.shed.name().as_str(),
+                    }
+                    .to_string_compact(),
+                );
+            } else {
+                state.rec.add(names::SERVE_ADMITTED, 1);
+                kept.push((c, sub));
+            }
+        }
+        kept
+    } else {
+        merged.into_iter().map(|(c, s, _)| (c, s)).collect()
+    };
+
+    let subs: Vec<Submission> = kept.iter().map(|(_, s)| s.clone()).collect();
+    let report = runtime::run_with(&state.cfg, &subs, &mut state.rec);
+    state.rec.add(names::SERVE_BATCHES, valid.len() as u64);
+
+    let mut summary = summary_json(&report);
+    if state.shed.active() {
+        summary = summary.with("shed", batch_shed);
     }
-    writeln!(writer, "{}", summary_json(&report).to_string_compact())
-        .map_err(|e| format!("write error: {e}"))?;
-    Ok(())
+    let summary = summary.to_string_compact();
+
+    // `report.jobs` excludes failed jobs and is sorted by completion, so
+    // ownership comes from the job id — the index of its submission.
+    let mut out: Vec<String> = (0..batches.len()).map(|_| String::new()).collect();
+    for &c in &valid {
+        for line in &shed_lines[c] {
+            out[c].push_str(line);
+            out[c].push('\n');
+        }
+    }
+    for job in &report.jobs {
+        let owner = kept[job.id as usize].0;
+        out[owner].push_str(&job.to_json().to_string_compact());
+        out[owner].push('\n');
+    }
+    for c in valid {
+        out[c].push_str(&summary);
+        out[c].push('\n');
+        results[c] = Some(Ok(std::mem::take(&mut out[c])));
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every client resolved"))
+        .collect()
 }
 
 /// The `stats` response: the recorder snapshot (counters, histogram
 /// summaries, span tally) plus a derived `jobs` block whose counts
-/// reconcile by construction: `admitted == finished + failed + in_flight`
-/// (admission counts each job once; fault re-admissions do not inflate it).
-fn stats_json(rec: &MemRecorder) -> mocha_json::Value {
+/// reconcile by construction. Without shedding,
+/// `admitted == finished + failed + in_flight`; with a shed policy,
+/// `admitted` counts every request past parsing and
+/// `admitted == finished + failed + shed + in_flight`.
+fn stats_json(rec: &MemRecorder, shed_active: bool) -> mocha_json::Value {
     let admitted = rec.counter(names::RUNTIME_JOBS_ADMITTED);
     let finished = rec.counter(names::RUNTIME_JOBS_FINISHED);
     let failed = rec.counter(names::RUNTIME_JOBS_FAILED);
+    let shed = rec.counter(names::SERVE_SHED);
     let mut snap = rec.snapshot();
     if let mocha_json::Value::Obj(map) = &mut snap {
-        map.insert(
-            "jobs".to_string(),
-            mocha_json::jobj! {
-                "submitted" => rec.counter(names::RUNTIME_JOBS_SUBMITTED),
-                "admitted" => admitted,
-                "finished" => finished,
-                "retried" => rec.counter(names::RUNTIME_JOBS_RETRIED),
-                "failed" => failed,
-                "rejected" => rec.counter(names::SERVE_REQUESTS_REJECTED),
-                "in_flight" => admitted - finished - failed,
-            },
-        );
+        let mut jobs = mocha_json::jobj! {
+            "submitted" => rec.counter(names::RUNTIME_JOBS_SUBMITTED),
+            "admitted" => if shed_active { admitted + shed } else { admitted },
+            "finished" => finished,
+            "retried" => rec.counter(names::RUNTIME_JOBS_RETRIED),
+            "failed" => failed,
+            "rejected" => rec.counter(names::SERVE_REQUESTS_REJECTED),
+            "in_flight" => admitted - finished - failed,
+        };
+        if shed_active {
+            jobs = jobs.with("shed", shed);
+        }
+        map.insert("jobs".to_string(), jobs);
     }
     snap
 }
@@ -165,8 +289,117 @@ fn summary_json(report: &RuntimeReport) -> mocha_json::Value {
     }
 }
 
+/// True when a batch is a `stats` snapshot query. Doubles as the reactor's
+/// early-completion predicate: stats clients keep their write side open,
+/// so the batch must complete without a terminator.
+fn is_stats(lines: &[String]) -> bool {
+    lines.first().map(|l| l.trim()) == Some("stats")
+}
+
+/// One stdin/stdout batch: capped line reads until a terminator (or EOF),
+/// then one runtime invocation. Protocol errors exit 2 with a one-line
+/// message.
+fn serve_stdin(state: &mut ServeState) -> i32 {
+    let stdin = std::io::stdin();
+    let mut reader = stdin.lock();
+    let mut lines: Vec<String> = Vec::new();
+    loop {
+        match read_line_capped(&mut reader, MAX_LINE_BYTES) {
+            Ok(LineRead::Line(l)) => {
+                // A batch whose first line is the bare word `stats` is a
+                // snapshot request: answer immediately and close.
+                if lines.is_empty() && l.trim() == "stats" {
+                    state.rec.add(names::SERVE_STATS_REQUESTS, 1);
+                    println!(
+                        "{}",
+                        stats_json(&state.rec, state.shed.active()).to_string_compact()
+                    );
+                    return 0;
+                }
+                lines.push(l);
+            }
+            Ok(LineRead::Terminator) | Ok(LineRead::Eof) => break,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    }
+    let result = run_batches(state, std::slice::from_ref(&lines))
+        .pop()
+        .expect("one batch in, one response out");
+    match result {
+        Ok(resp) => {
+            print!("{resp}");
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            2
+        }
+    }
+}
+
+/// Drives [`run_batches`] from the TCP reactor: stats queries answer from
+/// the recorder, all job batches of a poll round share one runtime
+/// invocation, and per-client failures come back as one-line JSON errors.
+struct ServeHandler<'a> {
+    state: &'a mut ServeState,
+}
+
+impl BatchHandler for ServeHandler<'_> {
+    fn handle(&mut self, batches: &[ClientBatch]) -> Vec<String> {
+        let mut responses: Vec<Option<String>> = (0..batches.len()).map(|_| None).collect();
+        let mut jobs: Vec<Vec<String>> = Vec::new();
+        let mut job_pos: Vec<usize> = Vec::new();
+        for (i, b) in batches.iter().enumerate() {
+            if !is_stats(&b.lines) {
+                jobs.push(b.lines.clone());
+                job_pos.push(i);
+            }
+        }
+        if !jobs.is_empty() {
+            for (pos, result) in job_pos.into_iter().zip(run_batches(self.state, &jobs)) {
+                responses[pos] = Some(match result {
+                    Ok(r) => r,
+                    Err(e) => format!(
+                        "{}\n",
+                        mocha_json::jobj! { "error" => e.as_str() }.to_string_compact()
+                    ),
+                });
+            }
+        }
+        // Stats queries answer after the round's job batches, so a
+        // snapshot taken in the same round reflects them.
+        let shed_active = self.state.shed.active();
+        responses
+            .into_iter()
+            .map(|r| match r {
+                Some(r) => r,
+                None => {
+                    self.state.rec.add(names::SERVE_STATS_REQUESTS, 1);
+                    format!(
+                        "{}\n",
+                        stats_json(&self.state.rec, shed_active).to_string_compact()
+                    )
+                }
+            })
+            .collect()
+    }
+
+    fn protocol_error(&mut self, msg: &str) -> String {
+        format!(
+            "{}\n",
+            mocha_json::jobj! { "error" => msg }.to_string_compact()
+        )
+    }
+}
+
 /// `serve` subcommand.
 pub fn serve(args: &Args) -> i32 {
+    if args.flag("open-loop") {
+        return open_loop(args);
+    }
     if let Err(code) = commands::strict(
         args,
         0,
@@ -179,30 +412,33 @@ pub fn serve(args: &Args) -> i32 {
             "once",
             "threads",
             "faults",
+            "shed-policy",
+            "slo",
         ],
     ) {
         return code;
     }
-    let cfg = match runtime_config(args) {
+    let cfg = match config::runtime_config(args) {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!("{e}");
             return 2;
         }
     };
-    let mut rec = MemRecorder::with_span_cap(SERVE_SPAN_CAP);
-    match args.options.get("tcp") {
-        None => {
-            let stdin = std::io::stdin();
-            let mut stdout = std::io::stdout().lock();
-            match serve_stream(&cfg, &mut rec, stdin.lock(), &mut stdout) {
-                Ok(()) => 0,
-                Err(e) => {
-                    eprintln!("{e}");
-                    2
-                }
+    let shed = match args.options.get("shed-policy") {
+        None => ShedPolicy::None,
+        Some(s) => match ShedPolicy::parse(s) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
             }
-        }
+        },
+    };
+    let slo = args.options.get("slo").map(|_| args.opt_u64("slo", 0));
+    let mut state = ServeState::new(cfg, shed, slo);
+    match args.options.get("tcp") {
+        None => serve_stdin(&mut state),
         Some(addr) => {
             let listener = match std::net::TcpListener::bind(addr) {
                 Ok(l) => l,
@@ -215,37 +451,203 @@ pub fn serve(args: &Args) -> i32 {
                 Ok(a) => eprintln!("listening on {a}"),
                 Err(_) => eprintln!("listening on {addr}"),
             }
-            loop {
-                let (stream, peer) = match listener.accept() {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("accept failed: {e}");
-                        return 2;
-                    }
-                };
-                eprintln!("batch from {peer}");
-                let reader = match stream.try_clone() {
-                    Ok(r) => BufReader::new(r),
-                    Err(e) => {
-                        eprintln!("cannot clone socket: {e}");
-                        continue;
-                    }
-                };
-                let mut writer = stream;
-                if let Err(e) = serve_stream(&cfg, &mut rec, reader, &mut writer) {
-                    // Report protocol errors to the peer, stay up.
-                    let _ = writeln!(
-                        writer,
-                        "{}",
-                        mocha_json::jobj! { "error" => e.as_str() }.to_string_compact()
-                    );
-                }
-                if args.flag("once") {
-                    return 0;
+            let reactor_cfg = ReactorConfig {
+                once: args.flag("once"),
+                complete_early: Some(is_stats),
+                ..ReactorConfig::default()
+            };
+            let mut handler = ServeHandler { state: &mut state };
+            match serve_reactor(listener, &reactor_cfg, &mut handler) {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("{e}");
+                    2
                 }
             }
         }
     }
+}
+
+/// `serve --open-loop`: the offline load-sweep mode behind experiment R3.
+/// Generates (or replays) a heavy-tailed open-loop trace, calibrates
+/// per-template service times, and runs the deterministic queueing
+/// simulation with the chosen shed policy.
+fn open_loop(args: &Args) -> i32 {
+    if let Err(code) = commands::strict(
+        args,
+        0,
+        &[
+            "open-loop",
+            "requests",
+            "tenants",
+            "load",
+            "seed",
+            "mix",
+            "slo",
+            "shed-policy",
+            "trace",
+            "json",
+            "obs",
+            "fabric",
+            "max-tenants",
+            "threads",
+            "faults",
+        ],
+    ) {
+        return code;
+    }
+    let fabric = match args.options.get("fabric") {
+        None => mocha::fabric::FabricConfig::mocha_quad(),
+        Some(_) => commands::load_fabric(args),
+    };
+    let slots = args.opt_u64("max-tenants", 4) as usize;
+    if slots == 0 {
+        eprintln!("--max-tenants must be at least 1");
+        return 2;
+    }
+    let shed = match args.options.get("shed-policy") {
+        None => ShedPolicy::None,
+        Some(s) => match ShedPolicy::parse(s) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+    };
+    let slo = args.options.get("slo").map(|_| args.opt_u64("slo", 0));
+    let faults = match config::fault_plan(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mix_name = args.opt("mix", "quick");
+    let Some(mix) = Mix::parse(&mix_name) else {
+        eprintln!("unknown mix {mix_name:?} (quick|full)");
+        return 2;
+    };
+    let (label, mut requests) = match args.options.get("trace") {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path:?}: {e}");
+                    return 2;
+                }
+            };
+            match traffic::from_jsonl(&text) {
+                Ok(r) => (format!("replay {path}"), r),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            }
+        }
+        None => {
+            let load = args.opt_f64("load", 2.0);
+            if load <= 0.0 {
+                eprintln!("--load must be positive");
+                return 2;
+            }
+            let tenants = args.opt_u64("tenants", 100) as usize;
+            if tenants == 0 {
+                eprintln!("--tenants must be at least 1");
+                return 2;
+            }
+            let cfg = traffic::OpenLoopConfig {
+                requests: args.opt_u64("requests", 2_000) as usize,
+                tenants,
+                load,
+                seed: args.opt_u64("seed", 42),
+                mix,
+                slo,
+            };
+            (format!("load {load:.2}"), traffic::generate(&cfg))
+        }
+    };
+    // `--slo` is the default deadline: replayed requests keep their own.
+    if let Some(slo) = slo {
+        for r in &mut requests {
+            r.deadline.get_or_insert(slo);
+        }
+    }
+    let specs: Vec<JobSpec> = requests.iter().map(|r| r.spec.clone()).collect();
+    let cal = match Calibration::measure(&fabric, slots, &specs, Engine::configured()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let services: Vec<u64> = requests.iter().map(|r| cal.service(&r.spec)).collect();
+    let obs_path = args.options.get("obs").cloned();
+    let params = OpenLoopParams {
+        fabric: &fabric,
+        slots,
+        shed,
+        faults: faults.as_ref(),
+        record_spans: obs_path.is_some(),
+    };
+    let mut rec = MemRecorder::with_span_cap(SERVE_SPAN_CAP);
+    let (report, _) = run_open_loop(&params, &requests, &services, &mut rec);
+
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if args.flag("json") {
+        let _ = writeln!(out, "{}", report.to_json().to_string_pretty());
+    } else {
+        let _ = writeln!(
+            out,
+            "open-loop ({label}): {} requests on {} slots, policy {}",
+            report.offered, report.servers, report.policy,
+        );
+        let _ = writeln!(
+            out,
+            "  admitted {} | shed {} | completed {} | failed {} | in-SLO {} | misses {}",
+            report.admitted,
+            report.shed,
+            report.completed,
+            report.failed,
+            report.in_slo,
+            report.deadline_misses,
+        );
+        if faults.is_some() {
+            let _ = writeln!(
+                out,
+                "  faults: {} injected | {} quarantined | {} cycles lost",
+                report.faults_injected, report.quarantined, report.lost_cycles,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  goodput {:.3} /Mcycle | p50 {} p95 {} p99 {} cycles | mean wait {:.0} | util {:.1} %",
+            report.goodput_per_mcycle(),
+            report.latency_percentile(50.0),
+            report.latency_percentile(95.0),
+            report.latency_percentile(99.0),
+            report.mean_queue_wait,
+            100.0 * report.utilization(),
+        );
+    }
+    match obs_path.as_deref() {
+        None => print!("{out}"),
+        // `--obs -`: the event stream owns stdout; the report moves to
+        // stderr (same contract as `runtime --obs -`).
+        Some("-") => {
+            print!("{}", rec.to_jsonl());
+            eprint!("{out}");
+        }
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rec.to_jsonl()) {
+                eprintln!("cannot write {path:?}: {e}");
+                return 2;
+            }
+            print!("{out}");
+        }
+    }
+    0
 }
 
 /// `runtime` subcommand.
@@ -270,7 +672,7 @@ pub fn runtime_cmd(args: &Args) -> i32 {
     ) {
         return code;
     }
-    let cfg = match runtime_config(args) {
+    let cfg = match config::runtime_config(args) {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!("{e}");

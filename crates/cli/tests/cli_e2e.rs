@@ -790,3 +790,332 @@ fn serve_tcp_stats_reconciles_under_faults() {
         "jobs block: {jobs:?}"
     );
 }
+
+/// `serve --tcp --shed-policy deadline` with two interleaved clients: the
+/// reactor multiplexes both, the doomed request (1-cycle deadline) comes
+/// back as an explicit `shed` line, the healthy one runs, and the stats
+/// snapshot reconciles the full fate split:
+/// `admitted == finished + failed + shed + in_flight`.
+#[test]
+fn serve_tcp_multi_client_shed_reconciles_in_stats() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+        .args(["serve", "--tcp", "127.0.0.1:0", "--shed-policy", "deadline"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mocha-sim serve --tcp --shed-policy deadline");
+    let mut child_err = BufReader::new(child.stderr.take().expect("stderr"));
+    let mut line = String::new();
+    child_err.read_line(&mut line).expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+
+    // Client A opens its batch but stalls before the terminator; client B
+    // connects afterwards with a request that cannot make its 1-cycle
+    // deadline and completes first — the reactor must answer B while A is
+    // still open.
+    let a = std::net::TcpStream::connect(&addr).expect("connect A");
+    let mut a_writer = a.try_clone().expect("clone A");
+    a_writer
+        .write_all(b"{\"network\": \"tiny\", \"profile\": \"sparse\", \"seed\": 3}\n")
+        .expect("A first line");
+
+    let b = std::net::TcpStream::connect(&addr).expect("connect B");
+    let mut b_writer = b.try_clone().expect("clone B");
+    b_writer
+        .write_all(b"{\"network\": \"tiny\", \"arrival_cycle\": 10, \"deadline_cycles\": 1}\n\n")
+        .expect("B batch");
+    let mut b_lines = Vec::new();
+    for l in BufReader::new(b).lines() {
+        b_lines.push(l.expect("read B response"));
+    }
+    assert_eq!(b_lines.len(), 2, "shed line + summary: {b_lines:?}");
+    let shed = mocha_json::parse(&b_lines[0]).expect("shed line JSON");
+    assert_eq!(shed.get("shed").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        shed.get("policy").and_then(|v| v.as_str()),
+        Some("deadline")
+    );
+
+    // A finishes its batch and still gets its job report.
+    a_writer.write_all(b"\n").expect("A terminator");
+    let mut a_lines = Vec::new();
+    for l in BufReader::new(a).lines() {
+        a_lines.push(l.expect("read A response"));
+    }
+    assert_eq!(a_lines.len(), 2, "job report + summary: {a_lines:?}");
+    let summary = mocha_json::parse(&a_lines[1]).expect("summary JSON");
+    assert_eq!(summary.get("completed").and_then(|v| v.as_u64()), Some(1));
+
+    // The stats snapshot reconciles the split, shed included.
+    let stream = std::net::TcpStream::connect(&addr).expect("connect stats");
+    let mut writer = stream.try_clone().expect("clone");
+    writer.write_all(b"stats\n").expect("send stats");
+    let mut reader = BufReader::new(stream);
+    let mut snap_line = String::new();
+    reader.read_line(&mut snap_line).expect("read snapshot");
+    child.kill().expect("kill server");
+    let _ = child.wait();
+
+    let snap = mocha_json::parse(snap_line.trim()).expect("snapshot is JSON");
+    let jobs = snap.get("jobs").expect("jobs block");
+    let get = |k: &str| jobs.get(k).and_then(|v| v.as_u64()).expect(k);
+    assert_eq!(get("shed"), 1);
+    assert_eq!(get("finished"), 1);
+    assert_eq!(get("rejected"), 0);
+    assert_eq!(
+        get("admitted"),
+        get("finished") + get("failed") + get("shed") + get("in_flight"),
+        "jobs block: {jobs:?}"
+    );
+    let counters = snap.get("counters").expect("counters block");
+    let counter = |k: &str| counters.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    assert_eq!(counter("serve.requests"), 2);
+    assert_eq!(counter("serve.shed"), 1);
+    assert_eq!(counter("serve.admitted"), 1);
+}
+
+/// The TCP reactor inherits the determinism matrix: the same batch served
+/// with `--threads 1`, `2` and `8` produces byte-identical responses.
+#[test]
+fn serve_reactor_is_byte_identical_across_thread_counts() {
+    let mut responses = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+            .args([
+                "serve",
+                "--tcp",
+                "127.0.0.1:0",
+                "--once",
+                "--shed-policy",
+                "deadline",
+                "--slo",
+                "400000",
+                "--threads",
+                threads,
+            ])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn mocha-sim serve --tcp --once");
+        let mut child_err = BufReader::new(child.stderr.take().expect("stderr"));
+        let mut line = String::new();
+        child_err.read_line(&mut line).expect("read listen line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+            .to_string();
+        let stream = std::net::TcpStream::connect(&addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        writer
+            .write_all(
+                b"{\"network\": \"tiny\", \"profile\": \"sparse\", \"seed\": 3}\n\
+                  {\"network\": \"tiny\", \"arrival_cycle\": 4000}\n\
+                  {\"network\": \"tiny\", \"arrival_cycle\": 8000, \"deadline_cycles\": 1}\n\n",
+            )
+            .expect("send batch");
+        let mut response = String::new();
+        use std::io::Read as _;
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .expect("read response");
+        let _ = child.wait();
+        assert!(!response.is_empty(), "--threads {threads}");
+        responses.push((threads, response));
+    }
+    let (_, base) = &responses[0];
+    assert!(base.contains("\"shed\":true"), "response: {base}");
+    for (threads, response) in &responses[1..] {
+        assert_eq!(response, base, "--threads {threads} response differs");
+    }
+}
+
+/// Protocol hardening: an oversized request line is rejected before any
+/// unbounded buffering — one-line stderr, exit 2 on stdin.
+#[test]
+fn oversized_request_lines_exit_nonzero() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mocha-sim serve");
+    let huge = vec![b'x'; 80 * 1024];
+    let mut stdin = child.stdin.take().expect("stdin");
+    // The server may cut the pipe as soon as the cap trips; ignore EPIPE.
+    let _ = stdin.write_all(&huge);
+    let _ = stdin.write_all(b"\n");
+    drop(stdin);
+    let out = child.wait_with_output().expect("wait");
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("exceeds"), "stderr: {err}");
+    assert_eq!(err.lines().count(), 1, "stderr: {err}");
+}
+
+/// CRLF and whitespace-only lines terminate a batch exactly like a bare
+/// blank line (clients on other platforms speak the same protocol).
+#[test]
+fn crlf_and_whitespace_lines_terminate_batches() {
+    for terminator in ["\r\n", "   \n", "\t\r\n"] {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+            .args(["serve"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn mocha-sim serve");
+        let batch = format!(
+            "{}\r\n{}",
+            "{\"network\": \"tiny\", \"seed\": 3}", terminator
+        );
+        child
+            .stdin
+            .take()
+            .expect("stdin")
+            .write_all(batch.as_bytes())
+            .expect("write batch");
+        let out = child.wait_with_output().expect("wait");
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        let text = stdout(&out);
+        assert_eq!(
+            text.lines().count(),
+            2,
+            "terminator {terminator:?}: 1 job report + summary:\n{text}"
+        );
+    }
+}
+
+/// Bad `--shed-policy` and `--slo` values keep the one-line exit-2
+/// contract on both serve modes.
+#[test]
+fn bad_shed_policies_exit_nonzero() {
+    for args in [
+        &["serve", "--shed-policy", "bogus"][..],
+        &["serve", "--shed-policy", "queue="][..],
+        &["serve", "--shed-policy", "queue=x"][..],
+        &["serve", "--slo", "soon"][..],
+        &["serve", "--open-loop", "--shed-policy", "bogus"][..],
+        &["serve", "--open-loop", "--load", "-2"][..],
+        &["serve", "--open-loop", "--tenants", "0"][..],
+        &[
+            "serve",
+            "--open-loop",
+            "--trace",
+            "/nonexistent/trace.jsonl",
+        ][..],
+    ] {
+        let out = mocha_sim(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        assert_eq!(
+            stderr(&out).lines().count(),
+            1,
+            "args: {args:?} stderr: {}",
+            stderr(&out)
+        );
+        assert!(stdout(&out).is_empty(), "args: {args:?}");
+    }
+}
+
+/// `serve --open-loop --json` joins the determinism matrix: byte-identical
+/// reports at `--threads 1`, `2`, `8`, and a generated trace replayed from
+/// a file reproduces the generated run exactly.
+#[test]
+fn serve_open_loop_is_byte_identical_across_thread_counts_and_replay() {
+    let base_args = [
+        "serve",
+        "--open-loop",
+        "--requests",
+        "3000",
+        "--tenants",
+        "120",
+        "--load",
+        "3.0",
+        "--seed",
+        "11",
+        "--slo",
+        "400000",
+        "--shed-policy",
+        "deadline",
+        "--json",
+    ];
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let mut args = base_args.to_vec();
+        args.extend(["--threads", threads]);
+        let out = mocha_sim(&args);
+        assert!(
+            out.status.success(),
+            "--threads {threads} stderr: {}",
+            stderr(&out)
+        );
+        runs.push((threads, stdout(&out)));
+    }
+    let (_, base) = &runs[0];
+    let report = mocha_json::parse(base.trim()).expect("report JSON");
+    assert!(
+        report.get("shed").and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+        "load 3.0 must shed: {base}"
+    );
+    for (threads, run) in &runs[1..] {
+        assert_eq!(run, base, "--threads {threads} open-loop report differs");
+    }
+
+    // Replaying the same trace from a file reproduces the generated run.
+    let trace_cfg = mocha::serve::traffic::OpenLoopConfig {
+        requests: 3000,
+        tenants: 120,
+        load: 3.0,
+        seed: 11,
+        mix: mocha::runtime::Mix::Quick,
+        slo: Some(400_000),
+    };
+    let trace = mocha::serve::traffic::generate(&trace_cfg);
+    let path = std::env::temp_dir().join("mocha_openloop_replay_e2e.jsonl");
+    std::fs::write(&path, mocha::serve::traffic::to_jsonl(&trace)).expect("write trace");
+    let out = mocha_sim(&[
+        "serve",
+        "--open-loop",
+        "--trace",
+        path.to_str().unwrap(),
+        "--slo",
+        "400000",
+        "--shed-policy",
+        "deadline",
+        "--json",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(stdout(&out), *base, "replayed trace must reproduce the run");
+}
+
+/// `repro r3` — the open-loop serving sweep — is byte-identical across
+/// thread counts and carries the headline shedding-beats-queueing note.
+#[test]
+fn repro_r3_is_byte_identical_across_thread_counts() {
+    let mut tables = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let out = mocha_sim(&["repro", "r3", "--quick", "--threads", threads]);
+        assert!(
+            out.status.success(),
+            "--threads {threads} stderr: {}",
+            stderr(&out)
+        );
+        tables.push((threads, stdout(&out)));
+    }
+    let (_, base) = &tables[0];
+    assert!(
+        base.contains("beats unbounded queueing on goodput AND p99"),
+        "headline claim missing:\n{base}"
+    );
+    for (threads, table) in &tables[1..] {
+        assert_eq!(table, base, "--threads {threads} r3 table differs");
+    }
+}

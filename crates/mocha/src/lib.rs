@@ -29,6 +29,9 @@
 //!   simulator, baselines (re-exported at the top level);
 //! * [`runtime`] — multi-tenant serving: disjoint fabric leases, admission
 //!   control, and online re-morphing of in-flight jobs;
+//! * [`serve`] — the serving tier above `runtime`: a deterministic TCP
+//!   reactor multiplexing concurrent clients, service-time calibration,
+//!   SLO-aware load shedding, and seeded heavy-tailed open-loop traffic;
 //! * [`engine`] — the deterministic parallel execution engine: a fixed-size
 //!   worker pool whose canonical-order reduction keeps every output
 //!   byte-identical across worker counts;
@@ -68,6 +71,7 @@ pub use mocha_fault as fault;
 pub use mocha_model as model;
 pub use mocha_obs as obs;
 pub use mocha_runtime as runtime;
+pub use mocha_serve as serve;
 pub use mocha_trace as trace;
 
 /// The commonly-used API surface in one import.

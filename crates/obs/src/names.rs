@@ -128,6 +128,17 @@ pub const SERVE_REQUESTS: &str = "serve.requests";
 pub const SERVE_REQUESTS_REJECTED: &str = "serve.requests_rejected";
 /// `stats` snapshot requests answered.
 pub const SERVE_STATS_REQUESTS: &str = "serve.stats_requests";
+/// Requests admitted past the shed gate (open-loop serving).
+pub const SERVE_ADMITTED: &str = "serve.admitted";
+/// Requests shed by admission control instead of queued.
+pub const SERVE_SHED: &str = "serve.shed";
+/// Completions that finished past their deadline.
+pub const SERVE_DEADLINE_MISSES: &str = "serve.deadline_misses";
+/// Admission-queue depth observed at each arrival (histogram).
+pub const HIST_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Cycles by which a shed request's predicted completion overshot its
+/// deadline (histogram; deadline policy only).
+pub const HIST_SERVE_SHED_SLACK: &str = "serve.shed_slack_cycles";
 
 // ---- histograms ----
 

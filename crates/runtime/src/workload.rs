@@ -35,8 +35,9 @@ impl Mix {
     }
 
     /// The tenant templates: `(network, profile)` pairs cycled through by
-    /// the generator.
-    fn templates(self) -> &'static [(&'static str, &'static str)] {
+    /// the generator. Public so other traffic sources (`mocha-serve`'s
+    /// open-loop generator) draw from the same tenant population.
+    pub fn templates(self) -> &'static [(&'static str, &'static str)] {
         match self {
             Mix::Quick => &[
                 ("tiny", "nominal"),

@@ -1,0 +1,186 @@
+//! Service-time calibration: the admission controller's cost model.
+//!
+//! Shedding decisions need to know how long a request will hold a tenant
+//! slot *before* running it. Rather than hard-coding per-network constants,
+//! the serving tier measures each distinct `(network, profile)` template
+//! once: run the canonical workload alone on one equal-share tenant slot of
+//! the fabric and sum its group cycles. The measurement is the same
+//! deterministic simulation the runtime performs, so the model is exact for
+//! single-occupancy slots and conservative under adaptive lease growth
+//! (a job can only get *more* fabric than its calibration slot).
+
+use std::collections::BTreeSet;
+
+use mocha_core::{Accelerator, Session, Simulator};
+use mocha_engine::Engine;
+use mocha_fabric::FabricConfig;
+use mocha_model::gen::Workload;
+use mocha_runtime::{lease, JobSpec};
+
+/// The canonical workload seed calibration instantiates each template
+/// with. Service times vary only marginally with the data seed (sparsity
+/// masks), so one representative instantiation suffices.
+const CAL_SEED: u64 = 42;
+
+/// Calibrated per-template service times on one tenant slot.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    slot: FabricConfig,
+    entries: Vec<((String, String), u64)>,
+}
+
+impl Calibration {
+    /// Measures every distinct `(network, profile)` template among `specs`
+    /// on one of `slots` equal shares of `fabric` (clamped to what the
+    /// fabric can host). Templates are measured in canonical (sorted)
+    /// order on the engine pool; results are byte-identical at any worker
+    /// count. Fails on specs that do not validate.
+    pub fn measure(
+        fabric: &FabricConfig,
+        slots: usize,
+        specs: &[JobSpec],
+        engine: Engine,
+    ) -> Result<Calibration, String> {
+        for spec in specs {
+            spec.validate()?;
+        }
+        let cap = slots.clamp(1, lease::max_tenants(fabric).max(1));
+        let slot = lease::carve(fabric, &vec![1; cap])[0].sub_config(fabric);
+        let pairs: Vec<(String, String)> = specs
+            .iter()
+            .map(|s| (s.network.clone(), s.profile.clone()))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let cycles = engine.map_slice(&pairs, |_, (network, profile)| {
+            service_cycles(&slot, network, profile)
+        });
+        Ok(Calibration {
+            slot,
+            entries: pairs.into_iter().zip(cycles).collect(),
+        })
+    }
+
+    /// The calibrated slot service time for a spec's template.
+    ///
+    /// # Panics
+    /// Panics if the template was not part of the measured spec set.
+    pub fn service(&self, spec: &JobSpec) -> u64 {
+        self.entries
+            .iter()
+            .find(|((n, p), _)| n == &spec.network && p == &spec.profile)
+            .map(|(_, c)| *c)
+            .unwrap_or_else(|| {
+                panic!(
+                    "template {}/{} was not calibrated",
+                    spec.network, spec.profile
+                )
+            })
+    }
+
+    /// Mean service time over the measured templates (unweighted), cycles.
+    pub fn mean_service(&self) -> u64 {
+        if self.entries.is_empty() {
+            return 0;
+        }
+        let sum: u64 = self.entries.iter().map(|(_, c)| *c).sum();
+        sum / self.entries.len() as u64
+    }
+
+    /// The slot sub-fabric the templates were measured on.
+    pub fn slot(&self) -> &FabricConfig {
+        &self.slot
+    }
+
+    /// The measured `((network, profile), cycles)` table, sorted by
+    /// template.
+    pub fn entries(&self) -> &[((String, String), u64)] {
+        &self.entries
+    }
+
+    /// A calibration from an explicit table — for tests and for callers
+    /// with an external cost model. Entries are sorted into canonical
+    /// order.
+    pub fn from_entries(slot: FabricConfig, mut entries: Vec<((String, String), u64)>) -> Self {
+        entries.sort();
+        Calibration { slot, entries }
+    }
+}
+
+/// Cycles for `network`/`profile` to run start-to-finish, alone, on
+/// `slot`. Verification is off: calibration only needs timing, and the
+/// runtime re-verifies real jobs as configured.
+fn service_cycles(slot: &FabricConfig, network: &str, profile: &str) -> u64 {
+    let net = mocha_model::network::by_name(network).expect("validated above");
+    let prof = JobSpec {
+        network: network.to_string(),
+        profile: profile.to_string(),
+        objective: mocha_core::Objective::Edp,
+        priority: mocha_runtime::Priority::Normal,
+        seed: CAL_SEED,
+    }
+    .sparsity_profile()
+    .expect("validated above");
+    let workload = Workload::generate(net, prof, CAL_SEED);
+    let mut sim = Simulator::new(Accelerator::mocha(mocha_core::Objective::Edp));
+    sim.verify = false;
+    let mut session = Session::new(sim, workload);
+    let mut total = 0u64;
+    while !session.done() {
+        total += session.step_on(slot).cycles;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(network: &str, profile: &str) -> JobSpec {
+        JobSpec {
+            network: network.into(),
+            profile: profile.into(),
+            objective: mocha_core::Objective::Edp,
+            priority: mocha_runtime::Priority::Normal,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn calibration_is_deterministic_and_dedups_templates() {
+        let fabric = FabricConfig::mocha_quad();
+        let specs = vec![
+            spec("tiny", "nominal"),
+            spec("tiny", "sparse"),
+            spec("tiny", "nominal"),
+        ];
+        let a = Calibration::measure(&fabric, 4, &specs, Engine::single()).unwrap();
+        let b = Calibration::measure(&fabric, 4, &specs, Engine::new(4)).unwrap();
+        assert_eq!(a.entries(), b.entries(), "engine width changes nothing");
+        assert_eq!(a.entries().len(), 2, "duplicates measured once");
+        assert!(a.service(&spec("tiny", "nominal")) > 0);
+        assert!(a.mean_service() > 0);
+    }
+
+    #[test]
+    fn quarter_slot_service_exceeds_whole_fabric_service() {
+        let fabric = FabricConfig::mocha_quad();
+        let specs = vec![spec("tiny", "nominal")];
+        let slotted = Calibration::measure(&fabric, 4, &specs, Engine::single()).unwrap();
+        let whole = Calibration::measure(&fabric, 1, &specs, Engine::single()).unwrap();
+        assert!(
+            slotted.service(&specs[0]) > whole.service(&specs[0]),
+            "{} vs {}",
+            slotted.service(&specs[0]),
+            whole.service(&specs[0])
+        );
+    }
+
+    #[test]
+    fn invalid_specs_fail_measurement() {
+        let fabric = FabricConfig::mocha_quad();
+        assert!(
+            Calibration::measure(&fabric, 4, &[spec("nope", "nominal")], Engine::single()).is_err()
+        );
+    }
+}

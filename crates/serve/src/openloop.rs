@@ -1,0 +1,825 @@
+//! The deterministic open-loop serving simulation behind experiment R3.
+//!
+//! Arrivals from a [`Request`] trace are admitted onto `c` tenant slots —
+//! FIFO per slot, earliest-free-slot placement, which is the classic
+//! `c`-server FIFO queue — where each admitted request holds its slot for
+//! its *calibrated* service time ([`crate::calibrate`]). This is a
+//! queueing-level model, not a re-run of the cycle-accurate runtime: it
+//! keeps 10⁵-request load sweeps tractable while preserving exactly the
+//! quantities R3 studies — queueing delay, deadline misses, shed rate,
+//! goodput — and the calibration ties its service times to the real
+//! simulator.
+//!
+//! Faults compose the same way they do in the runtime: a seeded
+//! [`FaultTimeline`] interleaves with arrivals; a fault that lands on a
+//! busy slot discards the in-progress attempt (bounded retries, then the
+//! job fails), and a *permanent* fault is offered to [`Quarantine`] — when
+//! admitted, the healthy carve window shrinks and excess slots are evicted,
+//! their residents migrating to the surviving slots. Shedding therefore
+//! reacts to fault-driven capacity loss with no extra coupling: fewer
+//! slots ⇒ later predicted starts ⇒ more sheds.
+//!
+//! The whole simulation is a sequential pure function of `(trace,
+//! services, policy, fault plan)`: byte-identical output at any worker
+//! count, which is what lets `ci.sh` gate R3 across `--threads 1/2/8`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use mocha_fabric::FabricConfig;
+use mocha_fault::{FaultEvent, FaultKind, FaultPlan, FaultTimeline, Quarantine};
+use mocha_json::{ToJson, Value};
+use mocha_obs::{names, Recorder};
+use mocha_runtime::lease;
+
+use crate::shed::ShedPolicy;
+use crate::traffic::Request;
+
+/// Open-loop simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopParams<'a> {
+    /// The parent fabric slots are carved from.
+    pub fabric: &'a FabricConfig,
+    /// Requested tenant slots (clamped to what the fabric can host).
+    pub slots: usize,
+    /// Admission-control policy.
+    pub shed: ShedPolicy,
+    /// Optional fault schedule; permanent faults shrink capacity via
+    /// quarantine, exactly composing with shedding.
+    pub faults: Option<&'a FaultPlan>,
+    /// Record per-request `job/<idx>` spans and `fault/<kind>` lost-work
+    /// spans (queue-depth and latency histograms are always recorded).
+    pub record_spans: bool,
+}
+
+/// Per-request fate, indexed like the input trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Shed at admission; never ran.
+    Shed,
+    /// Completed: first service start and finish cycles.
+    Done {
+        /// Cycle the first service attempt began.
+        start: u64,
+        /// Completion cycle.
+        finish: u64,
+    },
+    /// Admitted but dropped after exhausting its fault-retry budget.
+    Failed,
+}
+
+/// Aggregate outcome of one open-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopReport {
+    /// Shed policy name.
+    pub policy: String,
+    /// Tenant slots the run started with.
+    pub servers: usize,
+    /// Requests offered by the trace.
+    pub offered: usize,
+    /// Requests admitted past the shed gate.
+    pub admitted: usize,
+    /// Requests shed at admission.
+    pub shed: usize,
+    /// Admitted requests that completed.
+    pub completed: usize,
+    /// Admitted requests dropped after exhausting fault retries.
+    pub failed: usize,
+    /// Completions that finished past their deadline.
+    pub deadline_misses: usize,
+    /// Completions within their deadline (all completions when a request
+    /// has no deadline).
+    pub in_slo: usize,
+    /// Last simulated cycle (max of arrivals and completions).
+    pub horizon: u64,
+    /// Slot-cycles spent on successful service attempts.
+    pub busy_cycles: u64,
+    /// Slot-cycles discarded to faults (interrupted attempts).
+    pub lost_cycles: u64,
+    /// Fault events drawn from the timeline.
+    pub faults_injected: usize,
+    /// Permanent faults admitted into quarantine.
+    pub quarantined: usize,
+    /// Mean first-start queue wait over completions, cycles.
+    pub mean_queue_wait: f64,
+    latencies: Vec<u64>, // sorted
+}
+
+impl OpenLoopReport {
+    /// Nearest-rank latency percentile over completions (0 when none).
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let rank = (p / 100.0 * self.latencies.len() as f64).ceil() as usize;
+        self.latencies[rank.clamp(1, self.latencies.len()) - 1]
+    }
+
+    /// In-SLO completions per million cycles of horizon — the goodput R3
+    /// plots against offered load.
+    pub fn goodput_per_mcycle(&self) -> f64 {
+        if self.horizon == 0 {
+            return 0.0;
+        }
+        self.in_slo as f64 * 1e6 / self.horizon as f64
+    }
+
+    /// Fraction of slot-cycles spent serving (successful or discarded
+    /// attempts), over the initial slot count.
+    pub fn utilization(&self) -> f64 {
+        if self.horizon == 0 || self.servers == 0 {
+            return 0.0;
+        }
+        (self.busy_cycles + self.lost_cycles) as f64 / (self.horizon * self.servers as u64) as f64
+    }
+}
+
+impl ToJson for OpenLoopReport {
+    fn to_json(&self) -> Value {
+        mocha_json::jobj! {
+            "open_loop" => true,
+            "policy" => self.policy.as_str(),
+            "servers" => self.servers as u64,
+            "offered" => self.offered as u64,
+            "admitted" => self.admitted as u64,
+            "shed" => self.shed as u64,
+            "completed" => self.completed as u64,
+            "failed" => self.failed as u64,
+            "deadline_misses" => self.deadline_misses as u64,
+            "in_slo" => self.in_slo as u64,
+            "horizon" => self.horizon,
+            "busy_cycles" => self.busy_cycles,
+            "lost_cycles" => self.lost_cycles,
+            "faults_injected" => self.faults_injected as u64,
+            "quarantined" => self.quarantined as u64,
+            "goodput_per_mcycle" => self.goodput_per_mcycle(),
+            "latency_p50" => self.latency_percentile(50.0),
+            "latency_p95" => self.latency_percentile(95.0),
+            "latency_p99" => self.latency_percentile(99.0),
+            "mean_queue_wait" => self.mean_queue_wait,
+            "utilization" => self.utilization(),
+        }
+    }
+}
+
+/// One admitted request somewhere in a slot's FIFO queue.
+struct Job {
+    idx: usize,
+    arrival: u64,
+    deadline: u64, // u64::MAX = no SLO
+    len: u64,
+    /// Current attempt's scheduled start.
+    attempt_start: u64,
+    /// Current attempt's scheduled completion.
+    end: u64,
+    /// Start of the *first* attempt, frozen the first time a fault
+    /// interrupts the job after it began (queue wait is measured to here).
+    first_start: Option<u64>,
+    attempts: usize,
+}
+
+struct Slot {
+    queue: VecDeque<Job>,
+    free_at: u64,
+}
+
+struct Sim {
+    slots: Vec<Slot>,
+    requested: usize,
+    quarantine: Quarantine,
+    /// Scheduled first-attempt starts of admitted-but-unstarted requests;
+    /// its length after popping elapsed entries is the queue depth.
+    /// Rebuilt whenever a fault shifts schedules.
+    unstarted: BinaryHeap<Reverse<u64>>,
+    outcomes: Vec<RequestOutcome>,
+    admitted: usize,
+    shed: usize,
+    completed: usize,
+    failed: usize,
+    misses: usize,
+    in_slo: usize,
+    busy: u64,
+    lost: u64,
+    wait_sum: u64,
+    horizon: u64,
+    faults_injected: usize,
+    quarantined: usize,
+    latencies: Vec<u64>,
+}
+
+/// Runs the open-loop simulation over a trace. `services[i]` is the
+/// calibrated slot service time of `requests[i]` (see
+/// [`Calibration::service`](crate::Calibration::service)). Returns the
+/// aggregate report and the per-request outcomes in trace order.
+pub fn run_open_loop<R: Recorder>(
+    p: &OpenLoopParams,
+    requests: &[Request],
+    services: &[u64],
+    rec: &mut R,
+) -> (OpenLoopReport, Vec<RequestOutcome>) {
+    assert_eq!(
+        requests.len(),
+        services.len(),
+        "one service time per request"
+    );
+    debug_assert!(requests.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    let servers = p.slots.clamp(1, lease::max_tenants(p.fabric).max(1));
+    let mut timeline = p.faults.map(|plan| FaultTimeline::new(plan, p.fabric));
+    let mut sim = Sim {
+        slots: (0..servers)
+            .map(|_| Slot {
+                queue: VecDeque::new(),
+                free_at: 0,
+            })
+            .collect(),
+        requested: servers,
+        quarantine: Quarantine::default(),
+        unstarted: BinaryHeap::new(),
+        outcomes: vec![RequestOutcome::Shed; requests.len()],
+        admitted: 0,
+        shed: 0,
+        completed: 0,
+        failed: 0,
+        misses: 0,
+        in_slo: 0,
+        busy: 0,
+        lost: 0,
+        wait_sum: 0,
+        horizon: 0,
+        faults_injected: 0,
+        quarantined: 0,
+        latencies: Vec::new(),
+    };
+
+    for (i, (req, &service)) in requests.iter().zip(services).enumerate() {
+        sim.drain_faults(&mut timeline, p, req.arrival, rec);
+        sim.retire_completed(req.arrival, rec, p.record_spans);
+        while let Some(&Reverse(s)) = sim.unstarted.peek() {
+            if s > req.arrival {
+                break;
+            }
+            sim.unstarted.pop();
+        }
+        let depth = sim.unstarted.len();
+        rec.add(names::SERVE_REQUESTS, 1);
+        rec.sample(names::HIST_SERVE_QUEUE_DEPTH, depth as u64);
+        sim.horizon = sim.horizon.max(req.arrival);
+        let j = sim.argmin_free();
+        let start = req.arrival.max(sim.slots[j].free_at);
+        let deadline = req.deadline.unwrap_or(u64::MAX);
+        let shed = match p.shed {
+            ShedPolicy::None => false,
+            ShedPolicy::Queue(cap) => depth >= cap,
+            ShedPolicy::Deadline => {
+                deadline != u64::MAX
+                    && start.saturating_add(service) > req.arrival.saturating_add(deadline)
+            }
+        };
+        if shed {
+            sim.shed += 1;
+            rec.add(names::SERVE_SHED, 1);
+            if matches!(p.shed, ShedPolicy::Deadline) {
+                rec.sample(
+                    names::HIST_SERVE_SHED_SLACK,
+                    start + service - (req.arrival + deadline),
+                );
+            }
+            continue; // outcome stays Shed
+        }
+        sim.admitted += 1;
+        rec.add(names::SERVE_ADMITTED, 1);
+        sim.slots[j].queue.push_back(Job {
+            idx: i,
+            arrival: req.arrival,
+            deadline,
+            len: service,
+            attempt_start: start,
+            end: start + service,
+            first_start: None,
+            attempts: 0,
+        });
+        sim.slots[j].free_at = start + service;
+        if start > req.arrival {
+            sim.unstarted.push(Reverse(start));
+        }
+    }
+
+    // Trailing faults: keep drawing while events land before the last
+    // scheduled completion, so a fault cannot be skipped just because no
+    // arrival follows it.
+    loop {
+        let last = sim.slots.iter().map(|s| s.free_at).max().unwrap_or(0);
+        let Some(tl) = timeline.as_mut() else { break };
+        match tl.peek() {
+            Some(ev) if ev.at <= last => {
+                let ev = tl.pop().expect("peeked");
+                sim.apply_fault(ev, p, rec);
+            }
+            _ => break,
+        }
+    }
+    sim.retire_completed(u64::MAX, rec, p.record_spans);
+
+    let Sim {
+        admitted,
+        shed,
+        completed,
+        failed,
+        misses,
+        in_slo,
+        busy,
+        lost,
+        wait_sum,
+        horizon,
+        faults_injected,
+        quarantined,
+        mut latencies,
+        outcomes,
+        ..
+    } = sim;
+    latencies.sort_unstable();
+    let report = OpenLoopReport {
+        policy: p.shed.name(),
+        servers,
+        offered: requests.len(),
+        admitted,
+        shed,
+        completed,
+        failed,
+        deadline_misses: misses,
+        in_slo,
+        horizon,
+        busy_cycles: busy,
+        lost_cycles: lost,
+        faults_injected,
+        quarantined,
+        mean_queue_wait: if completed == 0 {
+            0.0
+        } else {
+            wait_sum as f64 / completed as f64
+        },
+        latencies,
+    };
+    (report, outcomes)
+}
+
+impl Sim {
+    /// Earliest-free slot, ties toward the lowest index.
+    fn argmin_free(&self) -> usize {
+        let mut best = 0;
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.free_at < self.slots[best].free_at {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn drain_faults<R: Recorder>(
+        &mut self,
+        timeline: &mut Option<FaultTimeline>,
+        p: &OpenLoopParams,
+        upto: u64,
+        rec: &mut R,
+    ) {
+        let Some(tl) = timeline.as_mut() else { return };
+        while let Some(ev) = tl.peek() {
+            if ev.at > upto {
+                break;
+            }
+            let ev = tl.pop().expect("peeked");
+            self.apply_fault(ev, p, rec);
+        }
+    }
+
+    fn retire_completed<R: Recorder>(&mut self, now: u64, rec: &mut R, spans: bool) {
+        for v in 0..self.slots.len() {
+            while let Some(front) = self.slots[v].queue.front() {
+                if front.end > now {
+                    break;
+                }
+                let job = self.slots[v].queue.pop_front().expect("checked");
+                self.complete(job, rec, spans);
+            }
+        }
+    }
+
+    fn complete<R: Recorder>(&mut self, job: Job, rec: &mut R, spans: bool) {
+        let first = job.first_start.unwrap_or(job.attempt_start);
+        let latency = job.end - job.arrival;
+        let wait = first - job.arrival;
+        self.completed += 1;
+        self.busy += job.len;
+        self.wait_sum += wait;
+        self.horizon = self.horizon.max(job.end);
+        self.latencies.push(latency);
+        rec.sample(names::HIST_JOB_LATENCY, latency);
+        rec.sample(names::HIST_QUEUE_WAIT, wait);
+        if latency <= job.deadline {
+            self.in_slo += 1;
+        } else {
+            self.misses += 1;
+            rec.add(names::SERVE_DEADLINE_MISSES, 1);
+        }
+        if spans {
+            let idx = job.idx;
+            rec.span(|| format!("job/{idx}"), first, job.end);
+        }
+        self.outcomes[job.idx] = RequestOutcome::Done {
+            start: first,
+            finish: job.end,
+        };
+    }
+
+    fn fail(&mut self, job: Job) {
+        self.failed += 1;
+        self.outcomes[job.idx] = RequestOutcome::Failed;
+    }
+
+    /// Slots a fault's hardware scope maps onto: geometric kinds project
+    /// proportionally onto the slot strip (leases are ordered column/bank
+    /// intervals), anonymous capacity kinds round-robin, and a DRAM glitch
+    /// is channel-wide — it corrupts the active attempt on every slot.
+    fn victims(&self, kind: &FaultKind, fabric: &FabricConfig) -> Vec<usize> {
+        let n = self.slots.len();
+        let clamp = |i: usize| i.min(n - 1);
+        match kind {
+            FaultKind::PeRect { col0, .. } => vec![clamp(col0 * n / fabric.pe_cols.max(1))],
+            FaultKind::SpmBank { bank } => vec![clamp(bank * n / fabric.spm_banks.max(1))],
+            FaultKind::NocLane { lane } => vec![lane % n],
+            FaultKind::DmaEngine { engine } => vec![engine % n],
+            FaultKind::DramChannel => (0..n).collect(),
+        }
+    }
+
+    fn apply_fault<R: Recorder>(&mut self, ev: FaultEvent, p: &OpenLoopParams, rec: &mut R) {
+        let plan = p.faults.expect("fault event implies a plan");
+        self.faults_injected += 1;
+        rec.add(names::FAULT_INJECTED, 1);
+        rec.add(
+            if ev.permanent {
+                names::FAULT_PERMANENT
+            } else {
+                names::FAULT_TRANSIENT
+            },
+            1,
+        );
+        rec.add(kind_counter(&ev.kind), 1);
+        // Work that finished strictly before the fault commits first —
+        // the runtime's commit-wins-ties event ordering.
+        self.retire_completed(ev.at, rec, p.record_spans);
+        let mut changed = false;
+        for v in self.victims(&ev.kind, p.fabric) {
+            changed |= self.disrupt(v, ev.at, &ev.kind, plan, rec, p.record_spans);
+        }
+        if ev.permanent && self.quarantine.admit(&ev.kind, p.fabric) {
+            self.quarantined += 1;
+            rec.add(names::FAULT_QUARANTINED, 1);
+            let cap = self
+                .requested
+                .min(self.quarantine.window(p.fabric).max_tenants())
+                .max(1);
+            while self.slots.len() > cap {
+                self.evict_last(ev.at, &ev.kind, plan, rec, p.record_spans);
+                changed = true;
+            }
+        }
+        if changed {
+            self.rebuild_unstarted(ev.at);
+        }
+    }
+
+    /// Interrupts the attempt in progress on slot `v` at `t`, if any:
+    /// bounded retry in place, then FIFO reflow of everything queued
+    /// behind it. Returns whether any schedule changed.
+    fn disrupt<R: Recorder>(
+        &mut self,
+        v: usize,
+        t: u64,
+        kind: &FaultKind,
+        plan: &FaultPlan,
+        rec: &mut R,
+        spans: bool,
+    ) -> bool {
+        let Some(k) = self.slots[v]
+            .queue
+            .iter()
+            .position(|j| j.attempt_start <= t && t < j.end)
+        else {
+            return false;
+        };
+        rec.add(names::FAULT_HITS, 1);
+        let failed;
+        {
+            let job = &mut self.slots[v].queue[k];
+            let lost = t - job.attempt_start;
+            rec.add(names::FAULT_LOST_CYCLES, lost);
+            if spans {
+                let kn = kind.name();
+                rec.span(|| format!("fault/{kn}"), job.attempt_start, t);
+            }
+            if job.first_start.is_none() {
+                job.first_start = Some(job.attempt_start);
+            }
+            job.attempts += 1;
+            failed = job.attempts > plan.max_retries;
+            if !failed {
+                rec.add(names::FAULT_RETRIES, 1);
+                job.attempt_start = t;
+                job.end = t + job.len;
+            }
+            self.lost += lost;
+        }
+        if failed {
+            let job = self.slots[v].queue.remove(k).expect("index in range");
+            self.fail(job);
+            let prev_end = if k == 0 {
+                t
+            } else {
+                self.slots[v].queue[k - 1].end
+            };
+            self.reflow(v, k, prev_end);
+        } else {
+            let prev_end = self.slots[v].queue[k].end;
+            self.reflow(v, k + 1, prev_end);
+        }
+        true
+    }
+
+    /// Recomputes the FIFO chain of slot `v` from queue position `from`,
+    /// following a shifted predecessor ending at `prev_end`.
+    fn reflow(&mut self, v: usize, from: usize, mut prev_end: u64) {
+        for job in self.slots[v].queue.iter_mut().skip(from) {
+            let start = prev_end.max(job.arrival);
+            job.attempt_start = start;
+            job.end = start + job.len;
+            prev_end = job.end;
+        }
+        self.slots[v].free_at = self.slots[v]
+            .queue
+            .back()
+            .map(|j| j.end)
+            .unwrap_or(prev_end);
+    }
+
+    /// Removes the last slot (quarantine shrank the carve window) and
+    /// migrates its residents onto the surviving slots, restarting any
+    /// in-progress attempt.
+    fn evict_last<R: Recorder>(
+        &mut self,
+        t: u64,
+        kind: &FaultKind,
+        plan: &FaultPlan,
+        rec: &mut R,
+        spans: bool,
+    ) {
+        let mut slot = self.slots.pop().expect("capacity is at least one");
+        while let Some(mut job) = slot.queue.pop_front() {
+            rec.add(names::FAULT_EVICTIONS, 1);
+            if job.attempt_start <= t {
+                // The active attempt loses its work.
+                let lost = t - job.attempt_start;
+                self.lost += lost;
+                rec.add(names::FAULT_LOST_CYCLES, lost);
+                if spans {
+                    let kn = kind.name();
+                    rec.span(|| format!("fault/{kn}"), job.attempt_start, t);
+                }
+                if job.first_start.is_none() {
+                    job.first_start = Some(job.attempt_start);
+                }
+                job.attempts += 1;
+                if job.attempts > plan.max_retries {
+                    self.fail(job);
+                    continue;
+                }
+                rec.add(names::FAULT_RETRIES, 1);
+            }
+            let j = self.argmin_free();
+            let start = t.max(self.slots[j].free_at).max(job.arrival);
+            job.attempt_start = start;
+            job.end = start + job.len;
+            self.slots[j].free_at = job.end;
+            self.slots[j].queue.push_back(job);
+        }
+    }
+
+    /// Re-derives the unstarted-start heap after schedules shifted at `t`.
+    fn rebuild_unstarted(&mut self, t: u64) {
+        self.unstarted.clear();
+        for slot in &self.slots {
+            for job in &slot.queue {
+                if job.first_start.is_none() && job.attempt_start > t {
+                    self.unstarted.push(Reverse(job.attempt_start));
+                }
+            }
+        }
+    }
+}
+
+fn kind_counter(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::PeRect { .. } => names::FAULT_INJECTED_PE,
+        FaultKind::SpmBank { .. } => names::FAULT_INJECTED_SPM,
+        FaultKind::NocLane { .. } => names::FAULT_INJECTED_NOC,
+        FaultKind::DmaEngine { .. } => names::FAULT_INJECTED_DMA,
+        FaultKind::DramChannel => names::FAULT_INJECTED_DRAM,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocha_core::Objective;
+    use mocha_obs::{MemRecorder, NoopRecorder};
+    use mocha_runtime::{JobSpec, Priority};
+
+    fn req(arrival: u64, deadline: Option<u64>) -> Request {
+        Request {
+            arrival,
+            tenant: 0,
+            deadline,
+            spec: JobSpec {
+                network: "tiny".into(),
+                profile: "nominal".into(),
+                objective: Objective::Edp,
+                priority: Priority::Normal,
+                seed: 1,
+            },
+        }
+    }
+
+    fn params(fabric: &FabricConfig, shed: ShedPolicy) -> OpenLoopParams<'_> {
+        OpenLoopParams {
+            fabric,
+            slots: 4,
+            shed,
+            faults: None,
+            record_spans: false,
+        }
+    }
+
+    /// `n` arrivals every `gap` cycles, all with service `len`.
+    fn trace(n: usize, gap: u64, deadline: Option<u64>) -> (Vec<Request>, Vec<u64>) {
+        let reqs: Vec<Request> = (0..n).map(|i| req(i as u64 * gap, deadline)).collect();
+        let services = vec![1_000u64; n];
+        (reqs, services)
+    }
+
+    #[test]
+    fn light_load_completes_everything_without_waiting() {
+        let fabric = FabricConfig::mocha_quad();
+        let (reqs, svc) = trace(16, 2_000, Some(5_000));
+        let (r, outs) = run_open_loop(
+            &params(&fabric, ShedPolicy::None),
+            &reqs,
+            &svc,
+            &mut NoopRecorder,
+        );
+        assert_eq!((r.admitted, r.shed, r.completed, r.failed), (16, 0, 16, 0));
+        assert_eq!(r.in_slo, 16);
+        assert_eq!(r.mean_queue_wait, 0.0);
+        assert_eq!(r.latency_percentile(99.0), 1_000);
+        assert!(outs
+            .iter()
+            .all(|o| matches!(o, RequestOutcome::Done { .. })));
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_conserve_requests() {
+        let fabric = FabricConfig::mocha_quad();
+        let (reqs, svc) = trace(500, 120, Some(3_000));
+        for shed in [ShedPolicy::None, ShedPolicy::Queue(4), ShedPolicy::Deadline] {
+            let p = params(&fabric, shed);
+            let mut rec_a = MemRecorder::new();
+            let mut rec_b = MemRecorder::new();
+            let (a, outs) = run_open_loop(&p, &reqs, &svc, &mut rec_a);
+            let (b, _) = run_open_loop(&p, &reqs, &svc, &mut rec_b);
+            assert_eq!(a, b);
+            assert_eq!(rec_a.to_jsonl(), rec_b.to_jsonl());
+            assert_eq!(a.offered, a.admitted + a.shed, "{shed:?}");
+            assert_eq!(a.admitted, a.completed + a.failed, "{shed:?}");
+            let shed_n = outs
+                .iter()
+                .filter(|o| matches!(o, RequestOutcome::Shed))
+                .count();
+            assert_eq!(shed_n, a.shed);
+        }
+    }
+
+    #[test]
+    fn deadline_shedding_only_completes_in_slo_work() {
+        let fabric = FabricConfig::mocha_quad();
+        let (reqs, svc) = trace(400, 100, Some(2_500));
+        let (r, _) = run_open_loop(
+            &params(&fabric, ShedPolicy::Deadline),
+            &reqs,
+            &svc,
+            &mut NoopRecorder,
+        );
+        assert!(r.shed > 0, "overload must shed");
+        assert_eq!(r.deadline_misses, 0, "admitted work meets its deadline");
+        assert_eq!(r.in_slo, r.completed);
+    }
+
+    #[test]
+    fn past_saturation_shedding_beats_unbounded_queueing() {
+        let fabric = FabricConfig::mocha_quad();
+        // 4 slots x 1000-cycle service, arrivals every 100 cycles: offered
+        // ~2.5x capacity with a 3000-cycle SLO.
+        let (reqs, svc) = trace(2_000, 100, Some(3_000));
+        let (none, _) = run_open_loop(
+            &params(&fabric, ShedPolicy::None),
+            &reqs,
+            &svc,
+            &mut NoopRecorder,
+        );
+        let (shed, _) = run_open_loop(
+            &params(&fabric, ShedPolicy::Deadline),
+            &reqs,
+            &svc,
+            &mut NoopRecorder,
+        );
+        assert!(
+            shed.goodput_per_mcycle() > 2.0 * none.goodput_per_mcycle(),
+            "goodput {} vs {}",
+            shed.goodput_per_mcycle(),
+            none.goodput_per_mcycle()
+        );
+        assert!(
+            shed.latency_percentile(99.0) < none.latency_percentile(99.0) / 4,
+            "p99 {} vs {}",
+            shed.latency_percentile(99.0),
+            none.latency_percentile(99.0)
+        );
+    }
+
+    #[test]
+    fn bounded_queue_bounds_observed_depth() {
+        let fabric = FabricConfig::mocha_quad();
+        let (reqs, svc) = trace(600, 50, None);
+        let mut rec = MemRecorder::new();
+        let (r, _) = run_open_loop(
+            &params(&fabric, ShedPolicy::Queue(3)),
+            &reqs,
+            &svc,
+            &mut rec,
+        );
+        assert!(r.shed > 0);
+        let depth = rec.hist(names::HIST_SERVE_QUEUE_DEPTH).expect("recorded");
+        let max = depth.max().unwrap_or(0);
+        assert!(max <= 3, "observed depth {max}");
+    }
+
+    #[test]
+    fn faults_shrink_capacity_and_conservation_still_holds() {
+        let fabric = FabricConfig::mocha_quad();
+        let plan = FaultPlan::parse("rate=40,seed=5,transient=0.2").unwrap();
+        let (reqs, svc) = trace(800, 300, Some(6_000));
+        let p = OpenLoopParams {
+            fabric: &fabric,
+            slots: 4,
+            shed: ShedPolicy::Deadline,
+            faults: Some(&plan),
+            record_spans: false,
+        };
+        let mut rec = MemRecorder::new();
+        let (r, _) = run_open_loop(&p, &reqs, &svc, &mut rec);
+        assert!(r.faults_injected > 0);
+        assert!(r.quarantined > 0, "permanent faults quarantine");
+        assert!(r.lost_cycles > 0, "interrupted attempts lose work");
+        assert_eq!(r.offered, r.admitted + r.shed);
+        assert_eq!(r.admitted, r.completed + r.failed);
+        assert_eq!(rec.counter(names::FAULT_QUARANTINED), r.quarantined as u64);
+        // Same plan, same trace: byte-identical.
+        let mut rec2 = MemRecorder::new();
+        let (r2, _) = run_open_loop(&p, &reqs, &svc, &mut rec2);
+        assert_eq!(r, r2);
+        assert_eq!(rec.to_jsonl(), rec2.to_jsonl());
+    }
+
+    #[test]
+    fn spans_cover_completions_and_lost_work() {
+        let fabric = FabricConfig::mocha_quad();
+        let plan = FaultPlan::parse("rate=25,seed=3,transient=0.8").unwrap();
+        let (reqs, svc) = trace(60, 400, None);
+        let p = OpenLoopParams {
+            fabric: &fabric,
+            slots: 4,
+            shed: ShedPolicy::None,
+            faults: Some(&plan),
+            record_spans: true,
+        };
+        let mut rec = MemRecorder::new();
+        let (r, _) = run_open_loop(&p, &reqs, &svc, &mut rec);
+        let jobs = rec
+            .spans()
+            .iter()
+            .filter(|s| s.path.starts_with("job/"))
+            .count();
+        assert_eq!(jobs, r.completed);
+        if r.lost_cycles > 0 {
+            assert!(rec.spans().iter().any(|s| s.path.starts_with("fault/")));
+        }
+    }
+}

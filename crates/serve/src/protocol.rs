@@ -1,0 +1,168 @@
+//! JSON-lines protocol hardening shared by the stdin front-end and the
+//! TCP reactor: batch terminators and capped request lines.
+//!
+//! Two rules, applied identically on every transport:
+//!
+//! * a line that is empty **or whitespace-only** (covers bare `\r` from
+//!   CRLF clients) terminates the batch;
+//! * a request line longer than the cap is a protocol error — the server
+//!   answers with a one-line error instead of buffering unboundedly.
+
+use std::io::BufRead;
+
+/// Default cap on one request line, bytes. Generous for job specs (tens of
+/// bytes each) while bounding what a misbehaving client can make the
+/// server buffer.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// One read from a request stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineRead {
+    /// A non-blank request line (terminator stripped, whitespace intact).
+    Line(String),
+    /// A blank or whitespace/CRLF-only line: the batch terminator.
+    Terminator,
+    /// End of stream with no pending bytes.
+    Eof,
+}
+
+fn oversized(cap: usize) -> String {
+    format!("request line exceeds {cap} bytes")
+}
+
+fn classify(bytes: &[u8]) -> LineRead {
+    let s = String::from_utf8_lossy(bytes);
+    if s.trim().is_empty() {
+        LineRead::Terminator
+    } else {
+        LineRead::Line(s.into_owned())
+    }
+}
+
+/// Reads one `\n`-terminated line from `reader` without ever buffering
+/// more than `cap` bytes of it; the final line before EOF may be
+/// unterminated. Errors are one-line strings (I/O failure or an oversized
+/// line).
+pub fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> Result<LineRead, String> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let (complete, used) = {
+            let chunk = reader.fill_buf().map_err(|e| format!("read error: {e}"))?;
+            if chunk.is_empty() {
+                if line.is_empty() {
+                    return Ok(LineRead::Eof);
+                }
+                (true, 0) // EOF closes the final unterminated line
+            } else {
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        line.extend_from_slice(&chunk[..i]);
+                        (true, i + 1)
+                    }
+                    None => {
+                        line.extend_from_slice(chunk);
+                        (false, chunk.len())
+                    }
+                }
+            }
+        };
+        reader.consume(used);
+        if line.len() > cap {
+            return Err(oversized(cap));
+        }
+        if complete {
+            return Ok(classify(&line));
+        }
+    }
+}
+
+/// Pops the first complete line from the front of an in-memory receive
+/// buffer (the reactor's per-connection buffer). `Ok(None)` when no full
+/// line is buffered yet; an error when the line — or the unterminated
+/// prefix — already exceeds `cap`. Never returns [`LineRead::Eof`].
+pub fn pop_line(buf: &mut Vec<u8>, cap: usize) -> Result<Option<LineRead>, String> {
+    match buf.iter().position(|&b| b == b'\n') {
+        Some(i) => {
+            if i > cap {
+                return Err(oversized(cap));
+            }
+            let rest = buf.split_off(i + 1);
+            let mut line = std::mem::replace(buf, rest);
+            line.pop(); // the newline itself
+            Ok(Some(classify(&line)))
+        }
+        None if buf.len() > cap => Err(oversized(cap)),
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read_all(input: &str, cap: usize) -> Vec<LineRead> {
+        let mut r = BufReader::new(input.as_bytes());
+        let mut out = Vec::new();
+        loop {
+            match read_line_capped(&mut r, cap).unwrap() {
+                LineRead::Eof => return out,
+                other => out.push(other),
+            }
+        }
+    }
+
+    #[test]
+    fn lines_terminators_and_eof() {
+        let got = read_all("{\"a\":1}\n \t \n{\"b\":2}", 1024);
+        assert_eq!(
+            got,
+            vec![
+                LineRead::Line("{\"a\":1}".into()),
+                LineRead::Terminator,
+                LineRead::Line("{\"b\":2}".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn crlf_only_lines_terminate_batches() {
+        let got = read_all("{\"a\":1}\r\n\r\n", 1024);
+        assert_eq!(got[0], LineRead::Line("{\"a\":1}\r".into()));
+        assert_eq!(got[1], LineRead::Terminator);
+    }
+
+    #[test]
+    fn oversized_lines_error_without_unbounded_buffering() {
+        let long = "x".repeat(100);
+        let mut r = BufReader::new(long.as_bytes());
+        let err = read_line_capped(&mut r, 10).unwrap_err();
+        assert!(err.contains("exceeds 10 bytes"), "{err}");
+        // Terminated oversized lines fail too.
+        let terminated = format!("{long}\n");
+        let mut r = BufReader::new(terminated.as_bytes());
+        assert!(read_line_capped(&mut r, 10).is_err());
+    }
+
+    #[test]
+    fn pop_line_matches_the_streaming_reader() {
+        let mut buf = b"{\"a\":1}\n\npartial".to_vec();
+        assert_eq!(
+            pop_line(&mut buf, 1024).unwrap(),
+            Some(LineRead::Line("{\"a\":1}".into()))
+        );
+        assert_eq!(
+            pop_line(&mut buf, 1024).unwrap(),
+            Some(LineRead::Terminator)
+        );
+        assert_eq!(
+            pop_line(&mut buf, 1024).unwrap(),
+            None,
+            "incomplete line waits"
+        );
+        assert_eq!(buf, b"partial");
+        // A growing unterminated prefix trips the cap before any newline.
+        let mut buf = vec![b'y'; 50];
+        assert!(pop_line(&mut buf, 10).is_err());
+    }
+}

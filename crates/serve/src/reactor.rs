@@ -1,0 +1,360 @@
+//! A deterministic poll-style TCP reactor: many concurrent clients, one
+//! thread, no async runtime.
+//!
+//! The reactor multiplexes connections with non-blocking `std` sockets and
+//! a readiness sweep — accept everything pending, read everything readable,
+//! then hand *all* batches that completed this round to the
+//! [`BatchHandler`] in one call, ordered by accept sequence. That single
+//! call site is what makes cross-client batching possible (the handler
+//! sees concurrent clients' requests together and can merge them into one
+//! runtime batch) and what keeps the server deterministic: batch contents
+//! depend only on which requests each client sent, never on poll timing —
+//! arrival interleaving affects *grouping* across rounds, but each
+//! client's own batch, and the handler's per-client responses, are a pure
+//! function of that client's lines.
+//!
+//! Connections follow the one-shot JSON-lines protocol of
+//! [`crate::protocol`]: lines accumulate until a blank/whitespace-only
+//! terminator (or EOF), the handler's response is written back, and the
+//! connection closes. Oversized lines short-circuit to
+//! [`BatchHandler::protocol_error`] without unbounded buffering.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use crate::protocol::{pop_line, LineRead, MAX_LINE_BYTES};
+
+/// One client's completed request batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientBatch {
+    /// Accept-order connection id (0-based, monotonic).
+    pub client: u64,
+    /// The batch's request lines, terminator excluded.
+    pub lines: Vec<String>,
+}
+
+/// Reactor tuning.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Return after the first round that handles at least one batch
+    /// (`serve --once`: smoke tests and goldens).
+    pub once: bool,
+    /// Per-line byte cap ([`MAX_LINE_BYTES`] by default).
+    pub line_cap: usize,
+    /// Sleep when a sweep makes no progress, to avoid spinning.
+    pub idle: Duration,
+    /// Checked after every received line: returning `true` completes the
+    /// batch immediately, without waiting for a terminator. Lets one-line
+    /// query protocols (the `stats` snapshot) answer clients that keep
+    /// their write side open.
+    pub complete_early: Option<fn(&[String]) -> bool>,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            once: false,
+            line_cap: MAX_LINE_BYTES,
+            idle: Duration::from_millis(1),
+            complete_early: None,
+        }
+    }
+}
+
+/// What the reactor drives: batch execution and protocol-error rendering.
+pub trait BatchHandler {
+    /// Handles every batch that completed this readiness round, ordered by
+    /// accept sequence. Returns one response per batch (same order); each
+    /// response is written verbatim to its client, which is then closed.
+    fn handle(&mut self, batches: &[ClientBatch]) -> Vec<String>;
+
+    /// Renders a protocol error (oversized line) as the one-line response
+    /// for a misbehaving client.
+    fn protocol_error(&mut self, msg: &str) -> String;
+}
+
+enum State {
+    Reading,
+    Complete,
+    Errored(String),
+}
+
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    buf: Vec<u8>,
+    lines: Vec<String>,
+    state: State,
+}
+
+impl Conn {
+    /// Drains complete lines out of the receive buffer until the batch
+    /// terminator, a protocol error, or the buffer runs dry.
+    fn drain_lines(&mut self, cfg: &ReactorConfig) {
+        while matches!(self.state, State::Reading) {
+            match pop_line(&mut self.buf, cfg.line_cap) {
+                Ok(Some(LineRead::Line(l))) => {
+                    self.lines.push(l);
+                    if cfg.complete_early.is_some_and(|f| f(&self.lines)) {
+                        self.state = State::Complete;
+                    }
+                }
+                Ok(Some(LineRead::Terminator)) => self.state = State::Complete,
+                Ok(Some(LineRead::Eof)) | Ok(None) => break,
+                Err(e) => self.state = State::Errored(e),
+            }
+        }
+    }
+
+    /// Reads whatever is currently available. Returns whether any bytes
+    /// arrived (progress accounting for the idle sleep).
+    fn pump(&mut self, cfg: &ReactorConfig) -> bool {
+        let cap = cfg.line_cap;
+        let mut progressed = false;
+        let mut chunk = [0u8; 4096];
+        while matches!(self.state, State::Reading) {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF closes the final (possibly unterminated) line and
+                    // the batch, same as the stdin reader.
+                    if !self.buf.is_empty() {
+                        if self.buf.len() > cap {
+                            self.state =
+                                State::Errored(format!("request line exceeds {cap} bytes"));
+                        } else {
+                            let text = String::from_utf8_lossy(&self.buf).into_owned();
+                            if !text.trim().is_empty() {
+                                self.lines.push(text);
+                            }
+                            self.buf.clear();
+                        }
+                    }
+                    if matches!(self.state, State::Reading) {
+                        self.state = State::Complete;
+                    }
+                    progressed = true;
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    self.drain_lines(cfg);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.state = State::Errored(format!("read error: {e}"));
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    }
+
+    fn finished(&self) -> bool {
+        !matches!(self.state, State::Reading)
+    }
+}
+
+/// Writes a response and closes the connection. Best-effort: a client that
+/// already disappeared is simply dropped.
+fn respond(mut stream: TcpStream, response: &str) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Runs the reactor loop on `listener` until `cfg.once` completes a round
+/// (or forever otherwise). Only listener-level failures are hard errors;
+/// per-connection failures drop that connection.
+pub fn serve_reactor<H: BatchHandler>(
+    listener: TcpListener,
+    cfg: &ReactorConfig,
+    handler: &mut H,
+) -> Result<(), String> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("listener error: {e}"))?;
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut next_id = 0u64;
+    loop {
+        let mut progressed = false;
+
+        // Accept everything pending.
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    eprintln!("batch from {peer}");
+                    if let Err(e) = stream.set_nonblocking(true) {
+                        eprintln!("dropping {peer}: {e}");
+                        continue;
+                    }
+                    conns.push(Conn {
+                        id: next_id,
+                        stream,
+                        buf: Vec::new(),
+                        lines: Vec::new(),
+                        state: State::Reading,
+                    });
+                    next_id += 1;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("accept error: {e}")),
+            }
+        }
+
+        // Read sweep.
+        for conn in conns.iter_mut() {
+            progressed |= conn.pump(cfg);
+        }
+
+        // Collect this round's finished connections, accept order.
+        let mut round: Vec<Conn> = Vec::new();
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].finished() {
+                round.push(conns.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if !round.is_empty() {
+            round.sort_by_key(|c| c.id);
+            let mut ok: Vec<Conn> = Vec::new();
+            for conn in round {
+                match conn.state {
+                    State::Errored(ref msg) => {
+                        let resp = handler.protocol_error(msg);
+                        respond(conn.stream, &resp);
+                    }
+                    _ => ok.push(conn),
+                }
+            }
+            if !ok.is_empty() {
+                let batches: Vec<ClientBatch> = ok
+                    .iter()
+                    .map(|c| ClientBatch {
+                        client: c.id,
+                        lines: c.lines.clone(),
+                    })
+                    .collect();
+                let responses = handler.handle(&batches);
+                debug_assert_eq!(responses.len(), batches.len());
+                for (conn, resp) in ok.into_iter().zip(responses) {
+                    respond(conn.stream, &resp);
+                }
+            }
+            if cfg.once {
+                return Ok(());
+            }
+            progressed = true;
+        }
+
+        if !progressed {
+            std::thread::sleep(cfg.idle);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl BatchHandler for Echo {
+        fn handle(&mut self, batches: &[ClientBatch]) -> Vec<String> {
+            batches
+                .iter()
+                .map(|b| format!("lines={}\n", b.lines.len()))
+                .collect()
+        }
+        fn protocol_error(&mut self, msg: &str) -> String {
+            format!("error: {msg}\n")
+        }
+    }
+
+    fn spawn_reactor(cfg: ReactorConfig) -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || serve_reactor(listener, &cfg, &mut Echo).unwrap());
+        addr
+    }
+
+    #[test]
+    fn interleaved_clients_each_get_their_own_batch() {
+        let addr = spawn_reactor(ReactorConfig::default());
+        let mut a = TcpStream::connect(addr).unwrap();
+        let mut b = TcpStream::connect(addr).unwrap();
+        // A starts a batch but stalls; B completes first.
+        a.write_all(b"{\"n\":1}\n").unwrap();
+        b.write_all(b"{\"n\":2}\n{\"n\":3}\n\n").unwrap();
+        let mut resp_b = String::new();
+        b.read_to_string(&mut resp_b).unwrap();
+        assert_eq!(resp_b, "lines=2\n", "B's two lines, despite A stalling");
+        // A finishes afterwards and still reconciles.
+        a.write_all(b"{\"n\":4}\n\n").unwrap();
+        let mut resp_a = String::new();
+        a.read_to_string(&mut resp_a).unwrap();
+        assert_eq!(resp_a, "lines=2\n");
+    }
+
+    #[test]
+    fn eof_without_terminator_closes_the_batch() {
+        let addr = spawn_reactor(ReactorConfig::default());
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"{\"n\":1}\n{\"n\":2}").unwrap(); // no \n, no terminator
+        c.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut resp = String::new();
+        c.read_to_string(&mut resp).unwrap();
+        assert_eq!(resp, "lines=2\n");
+    }
+
+    #[test]
+    fn oversized_lines_get_a_protocol_error() {
+        let addr = spawn_reactor(ReactorConfig {
+            line_cap: 16,
+            ..ReactorConfig::default()
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx\n").unwrap();
+        let mut resp = String::new();
+        c.read_to_string(&mut resp).unwrap();
+        assert_eq!(resp, "error: request line exceeds 16 bytes\n");
+    }
+
+    #[test]
+    fn complete_early_answers_without_a_terminator() {
+        let addr = spawn_reactor(ReactorConfig {
+            complete_early: Some(|lines: &[String]| {
+                lines.first().map(String::as_str) == Some("query")
+            }),
+            ..ReactorConfig::default()
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        // No terminator and the write side stays open: the predicate must
+        // complete the batch on its own.
+        c.write_all(b"query\n").unwrap();
+        let mut resp = String::new();
+        c.read_to_string(&mut resp).unwrap();
+        assert_eq!(resp, "lines=1\n");
+    }
+
+    #[test]
+    fn once_returns_after_the_first_handled_round() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let cfg = ReactorConfig {
+            once: true,
+            ..ReactorConfig::default()
+        };
+        let join = std::thread::spawn(move || serve_reactor(listener, &cfg, &mut Echo));
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"{\"n\":1}\n\n").unwrap();
+        let mut resp = String::new();
+        c.read_to_string(&mut resp).unwrap();
+        assert_eq!(resp, "lines=1\n");
+        join.join().unwrap().unwrap();
+    }
+}

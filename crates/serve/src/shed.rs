@@ -1,0 +1,78 @@
+//! Admission-control policies: what the serving tier does when demand
+//! outruns fabric capacity.
+
+/// How the serving tier sheds load past saturation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Queue every request unboundedly — the classic baseline. Nothing is
+    /// ever shed, so past saturation queue waits (and tail latency) grow
+    /// without bound and in-SLO goodput collapses.
+    None,
+    /// Bound the admission queue at `cap` waiting requests; arrivals that
+    /// find the queue full are shed immediately.
+    Queue(usize),
+    /// SLO-aware: shed a request at arrival when its predicted completion
+    /// — earliest slot start plus calibrated service time — would already
+    /// miss its deadline. Requests without a deadline are never shed.
+    Deadline,
+}
+
+impl ShedPolicy {
+    /// Stable CLI/report name (`none`, `queue=N`, `deadline`).
+    pub fn name(self) -> String {
+        match self {
+            ShedPolicy::None => "none".to_string(),
+            ShedPolicy::Queue(cap) => format!("queue={cap}"),
+            ShedPolicy::Deadline => "deadline".to_string(),
+        }
+    }
+
+    /// Parses a CLI name; the inverse of [`ShedPolicy::name`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s == "none" {
+            return Ok(ShedPolicy::None);
+        }
+        if s == "deadline" {
+            return Ok(ShedPolicy::Deadline);
+        }
+        if let Some(cap) = s.strip_prefix("queue=") {
+            let cap: usize = cap
+                .parse()
+                .map_err(|_| format!("queue bound {cap:?} is not an integer"))?;
+            return Ok(ShedPolicy::Queue(cap));
+        }
+        Err(format!("unknown shed policy {s:?} (none|queue=N|deadline)"))
+    }
+
+    /// Whether this policy can ever shed a request.
+    pub fn active(self) -> bool {
+        self != ShedPolicy::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in [ShedPolicy::None, ShedPolicy::Queue(8), ShedPolicy::Deadline] {
+            assert_eq!(ShedPolicy::parse(&p.name()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn bad_names_are_one_line_errors() {
+        for bad in ["", "quue", "queue=", "queue=x", "queue=-1", "slo"] {
+            let err = ShedPolicy::parse(bad).expect_err(bad);
+            assert!(!err.contains('\n'), "{err}");
+        }
+    }
+
+    #[test]
+    fn only_none_is_inactive() {
+        assert!(!ShedPolicy::None.active());
+        assert!(ShedPolicy::Queue(0).active());
+        assert!(ShedPolicy::Deadline.active());
+    }
+}
