@@ -48,7 +48,7 @@ cmp "$obs_tmp/a.jsonl" "$obs_tmp/b.jsonl" || {
     echo "obs streams differ between identical seeded runs"; exit 1
 }
 
-echo "== determinism matrix (--threads 1/2/8: obs + profiles + r1/r2/r3 tables + faulted + open-loop runs)"
+echo "== determinism matrix (--threads 1/2/8: obs + profiles + r1/r2/r3 tables + faulted + open-loop + cached runs)"
 for t in 1 2 8; do
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         runtime --jobs 3 --load 2.0 --seed 7 --threads "$t" \
@@ -69,14 +69,52 @@ for t in 1 2 8; do
         --obs "$obs_tmp/mat$t.openloop.jsonl" > "$obs_tmp/mat$t.openloop.report"
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         repro r3 --quick --threads "$t" > "$obs_tmp/mat$t.r3"
+    # Cache-enabled rows: the same seeded runs with the morph-decision
+    # cache on must also be byte-identical at every worker count.
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        runtime --jobs 3 --load 2.0 --seed 7 --threads "$t" --cache \
+        --obs "$obs_tmp/mat$t.cache.jsonl" > "$obs_tmp/mat$t.cache.report"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        serve --open-loop --requests 2000 --tenants 100 --load 3.0 --seed 7 \
+        --slo 400000 --shed-policy deadline --json --threads "$t" --cache \
+        > "$obs_tmp/mat$t.cache.openloop"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        repro r1 --quick --threads "$t" --cache > "$obs_tmp/mat$t.cache.r1"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        repro r2 --quick --threads "$t" --cache > "$obs_tmp/mat$t.cache.r2"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        repro r3 --quick --threads "$t" --cache > "$obs_tmp/mat$t.cache.r3"
 done
 for t in 2 8; do
     for kind in jsonl report profile r1 fault.jsonl fault.report r2 \
-                openloop.jsonl openloop.report r3; do
+                openloop.jsonl openloop.report r3 \
+                cache.jsonl cache.report cache.openloop \
+                cache.r1 cache.r2 cache.r3; do
         cmp "$obs_tmp/mat1.$kind" "$obs_tmp/mat$t.$kind" || {
             echo "--threads $t $kind output differs from --threads 1"; exit 1
         }
     done
+done
+
+echo "== cache differential (cache-on replays cache-off byte-for-byte)"
+# Reports, tables and obs streams must be unchanged by the cache; the only
+# permitted stream delta is the cache.* counter lines themselves.
+cmp "$obs_tmp/mat1.report" "$obs_tmp/mat1.cache.report" || {
+    echo "cache-on runtime report differs from cache-off"; exit 1
+}
+grep -q '"cache\.' "$obs_tmp/mat1.cache.jsonl" || {
+    echo "cache-on run recorded no cache.* counters"; exit 1
+}
+grep -v '"cache\.' "$obs_tmp/mat1.cache.jsonl" | cmp - "$obs_tmp/mat1.jsonl" || {
+    echo "cache-on obs stream differs beyond cache.* lines"; exit 1
+}
+cmp "$obs_tmp/mat1.openloop.report" "$obs_tmp/mat1.cache.openloop" || {
+    echo "cache-on open-loop report differs from cache-off"; exit 1
+}
+for r in r1 r2 r3; do
+    cmp "$obs_tmp/mat1.$r" "$obs_tmp/mat1.cache.$r" || {
+        echo "cache-on repro $r table differs from cache-off"; exit 1
+    }
 done
 
 echo "== trace perf-regression gate (r1 smoke vs committed baseline)"
@@ -114,5 +152,39 @@ echo "== trace perf-regression gate (open-loop r3 smoke vs committed baseline)"
 #       trace summary - --json > baselines/r3-smoke.json
 cargo run --release -q -p mocha-cli --bin mocha-sim -- \
     trace diff baselines/r3-smoke.json "$obs_tmp/mat1.openloop.jsonl" --fail-on-regression 5
+
+echo "== warm-cache bench smoke (gated vs committed baselines/cache-smoke.json)"
+# The engine bench's decision-cache sections emit one `cache-smoke {...}`
+# JSON line under CACHE_SMOKE_JSON=1 (CACHE_SMOKE_ONLY=1 skips the slow
+# scaling sweeps). The hit/miss counters are deterministic and must match
+# the committed baseline exactly; the warm-DSE speedup must stay above the
+# gated floor, and the serve-path batch speedup must stay within 5% of the
+# committed baseline.
+smoke_out="$(CACHE_SMOKE_JSON=1 CACHE_SMOKE_ONLY=1 \
+    cargo bench -q -p mocha-bench --bench engine)"
+smoke="$(grep '^cache-smoke ' <<< "$smoke_out" | sed 's/^cache-smoke //')"
+test -n "$smoke" || { echo "engine bench emitted no cache-smoke line"; exit 1; }
+echo "cache-smoke: $smoke"
+field() { sed -n "s/.*\"$1\":[[:space:]]*\([0-9.]*\).*/\1/p" <<< "$2"; }
+smoke_base="$(cat baselines/cache-smoke.json)"
+for k in decisions hits misses entries; do
+    got="$(field "$k" "$smoke")"
+    want="$(field "$k" "$smoke_base")"
+    [ "$got" = "$want" ] || {
+        echo "cache smoke: $k = $got, baseline expects $want"; exit 1
+    }
+done
+dse="$(field dse_speedup "$smoke")"
+dse_floor="$(field dse_speedup_floor "$smoke_base")"
+awk -v got="$dse" -v floor="$dse_floor" 'BEGIN { exit !(got >= floor) }' || {
+    echo "warm-cache DSE speedup ${dse}x fell below the gated floor ${dse_floor}x"
+    exit 1
+}
+batch="$(field batch_speedup "$smoke")"
+batch_base="$(field batch_speedup "$smoke_base")"
+awk -v got="$batch" -v base="$batch_base" 'BEGIN { exit !(got >= 0.95 * base) }' || {
+    echo "warm-cache batch speedup ${batch}x regressed >5% vs baseline ${batch_base}x"
+    exit 1
+}
 
 echo "CI OK"

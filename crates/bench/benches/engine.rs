@@ -1,14 +1,25 @@
 //! Engine scaling bench: the same DSE candidate sweep and R1 serving sweep
 //! at worker counts 1/2/4/max, asserting byte-identical results at every
-//! width and reporting the wall-clock speedup over the sequential run.
+//! width and reporting the wall-clock speedup over the sequential run —
+//! plus the morph-decision cache's cold-vs-warm passes, asserting the warm
+//! replay is byte-identical and gating its speedup.
 //!
 //! On a host with ≥4 cores the 4-wide DSE sweep must be at least 2× faster
 //! than 1-wide (the engine's headline acceptance criterion); on smaller
 //! hosts the speedup is reported but not asserted — determinism always is.
+//! The warm-cache controller sweep is gated everywhere (≥2×): a warm hit is
+//! a table lookup, so the floor is machine-independent.
+//!
+//! With `CACHE_SMOKE_JSON=1` the cache section emits one `cache-smoke {...}`
+//! JSON line for `ci.sh`, which gates it against `baselines/cache-smoke.json`.
 
+use mocha::core::controller::{decide_cached, Policy};
 use mocha::core::dse::{explore_layer_on, DesignPoint};
+use mocha::core::{DecisionCache, DecisionShard, Objective};
 use mocha::engine::Engine;
+use mocha::obs::NoopRecorder;
 use mocha::prelude::*;
+use mocha::runtime::{generate, run_with, run_with_cache, Mix, RuntimeConfig, TrafficConfig};
 use mocha_bench::{run_by_id, ExpConfig};
 use std::time::Instant;
 
@@ -48,6 +59,9 @@ fn main() {
     let mut widths = vec![1, 2, 4, cores];
     widths.sort_unstable();
     widths.dedup();
+    // ci.sh's cache smoke sets this to skip the (slow) scaling sweeps and
+    // run only the decision-cache sections.
+    let smoke_only = std::env::var_os("CACHE_SMOKE_ONLY").is_some();
 
     // The DSE sweep: every layer of AlexNet through the full candidate
     // enumeration — the workload the paper's morphing controller runs per
@@ -69,15 +83,128 @@ fn main() {
     };
     let net = network::alexnet();
 
+    if !smoke_only {
+        scaling_sweeps(&widths, cores, &ctx, &net, &est);
+    }
+
+    // ---- morph-decision cache: cold vs warm controller sweep ------------
+    // Every layer tail of AlexNet through the full `decide` search. A warm
+    // hit replays the memoized decision without searching, so the speedup
+    // floor (2x) holds on any machine — and the warm decisions must render
+    // byte-identically to the cold ones.
+    println!("\n== decision cache: cold vs warm controller sweep (alexnet) ==");
+    let policy = Policy::Mocha {
+        objective: Objective::Edp,
+    };
+    let controller_sweep = |cache: &mut DecisionCache| -> String {
+        let mut out = String::new();
+        for start in 0..net.layers().len() {
+            let mut shard = DecisionShard::new(cache);
+            let d = decide_cached(&ctx, policy, &net.layers()[start..], &est, true, &mut shard);
+            out.push_str(&format!("{d:?}\n"));
+            cache.absorb(shard.into_delta(), &mut NoopRecorder);
+        }
+        out
+    };
+    let cold_fp = controller_sweep(&mut DecisionCache::new());
+    let cold_t = time3(|| controller_sweep(&mut DecisionCache::new()));
+    let mut warm_cache = DecisionCache::new();
+    controller_sweep(&mut warm_cache);
+    let warm_fp = controller_sweep(&mut warm_cache);
+    assert_eq!(cold_fp, warm_fp, "warm controller sweep changed a decision");
+    let warm_t = time3(|| controller_sweep(&mut warm_cache));
+    let dse_speedup = cold_t / warm_t;
+    println!(
+        "decide/cold {:>10.1} ms   decide/warm {:>10.1} ms   speedup {:>5.2}x   \
+         ({} hits / {} decisions)",
+        cold_t * 1e3,
+        warm_t * 1e3,
+        dse_speedup,
+        warm_cache.hits(),
+        warm_cache.decisions(),
+    );
+    assert!(
+        dse_speedup >= 2.0,
+        "warm decision cache must be ≥2x faster than cold search (got {dse_speedup:.2}x)"
+    );
+
+    // ---- morph-decision cache: cold vs warm serve-path batch ------------
+    // The serving tier's steady state: the same runtime batch replayed
+    // through one shared cache. The warm batch must reproduce the cache-off
+    // report byte-for-byte; the wall-clock win is Amdahl-limited by the
+    // functional simulation, so it is reported (and smoke-gated in ci.sh),
+    // not floor-asserted here.
+    println!("\n== decision cache: cold vs warm runtime batch (serve path) ==");
+    let subs = generate(&TrafficConfig {
+        jobs: 8,
+        load: 3.0,
+        seed: 42,
+        mix: Mix::Quick,
+    });
+    let rt_cfg = RuntimeConfig {
+        threads: 2,
+        ..RuntimeConfig::default()
+    };
+    let plain = run_with(&rt_cfg, &subs, &mut NoopRecorder);
+    let mut serve_cache = DecisionCache::new();
+    let first = run_with_cache(&rt_cfg, &subs, &mut serve_cache, &mut NoopRecorder);
+    assert_eq!(first, plain, "cold cached batch diverged from cache-off");
+    let batch_cold_t = time3(|| {
+        let mut c = DecisionCache::new();
+        run_with_cache(&rt_cfg, &subs, &mut c, &mut NoopRecorder)
+    });
+    let warm = run_with_cache(&rt_cfg, &subs, &mut serve_cache, &mut NoopRecorder);
+    assert_eq!(warm, plain, "warm cached batch diverged from cache-off");
+    let hits_before_timing = serve_cache.hits();
+    let batch_warm_t =
+        time3(|| run_with_cache(&rt_cfg, &subs, &mut serve_cache, &mut NoopRecorder));
+    assert!(
+        serve_cache.hits() > hits_before_timing,
+        "warm serve batches must hit the shared cache"
+    );
+    let batch_speedup = batch_cold_t / batch_warm_t;
+    println!(
+        "batch/cold  {:>10.1} ms   batch/warm  {:>10.1} ms   speedup {:>5.2}x",
+        batch_cold_t * 1e3,
+        batch_warm_t * 1e3,
+        batch_speedup,
+    );
+
+    if std::env::var_os("CACHE_SMOKE_JSON").is_some() {
+        // Deterministic counters plus the measured speedups, for the ci.sh
+        // smoke gate against baselines/cache-smoke.json.
+        println!(
+            "cache-smoke {{\"decisions\":{},\"hits\":{},\"misses\":{},\"entries\":{},\
+             \"dse_speedup\":{:.3},\"batch_speedup\":{:.3}}}",
+            warm_cache.decisions(),
+            warm_cache.hits(),
+            warm_cache.misses(),
+            warm_cache.len(),
+            dse_speedup,
+            batch_speedup,
+        );
+    }
+}
+
+/// The engine scaling sections: the DSE sweep and the R1 serving sweep at
+/// every worker width, byte-identity asserted throughout. Skipped under
+/// `CACHE_SMOKE_ONLY` so ci.sh's cache smoke stays fast.
+fn scaling_sweeps(
+    widths: &[usize],
+    cores: usize,
+    ctx: &PlanContext,
+    net: &Network,
+    est: &SparsityEstimate,
+) {
     println!("\n== engine scaling: DSE sweep (alexnet, all layers) ==");
     let mut dse_base = 0.0;
     let mut dse_fp: Option<String> = None;
-    for &w in &widths {
+    for &w in widths {
         let engine = Engine::new(w);
         let sweep = || -> Vec<Vec<DesignPoint>> {
             net.layers()
                 .iter()
-                .map(|l| explore_layer_on(&engine, &ctx, l, &est, true))
+                .map(|l| explore_layer_on(&engine, ctx, l, est, true))
                 .collect()
         };
         let fp = fingerprint(&sweep());
@@ -109,11 +236,12 @@ fn main() {
     println!("\n== engine scaling: R1 serving sweep (quick) ==");
     let mut r1_base = 0.0;
     let mut r1_out: Option<String> = None;
-    for &w in &widths {
+    for &w in widths {
         let cfg = ExpConfig {
             quick: true,
             seed: 42,
             threads: w,
+            cache: false,
         };
         let out = run_by_id("r1", &cfg).expect("r1 exists");
         match &r1_out {

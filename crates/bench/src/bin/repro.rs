@@ -18,6 +18,7 @@ use mocha_bench::{run_by_id, ExpConfig, ALL};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let cache = args.iter().any(|a| a == "--cache");
     let threads = match args.iter().position(|a| a == "--threads") {
         None => 0,
         Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
@@ -57,6 +58,7 @@ fn main() {
         quick,
         seed: 42,
         threads,
+        cache,
     };
     for id in ids {
         match run_by_id(id, &cfg) {

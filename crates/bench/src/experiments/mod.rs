@@ -32,6 +32,10 @@ pub struct ExpConfig {
     /// width, `1` = sequential). Rendered tables are byte-identical for
     /// every value — sweeps reduce in canonical point order.
     pub threads: usize,
+    /// Consult a morph-decision cache in the runtime-backed experiments
+    /// (r1, r2) and calibration (r3). Tables are byte-identical either
+    /// way — the cache only skips repeated controller searches.
+    pub cache: bool,
 }
 
 impl Default for ExpConfig {
@@ -40,6 +44,7 @@ impl Default for ExpConfig {
             quick: false,
             seed: 42,
             threads: 0,
+            cache: false,
         }
     }
 }

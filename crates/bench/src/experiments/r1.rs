@@ -68,6 +68,7 @@ pub fn run(cfg: &ExpConfig) -> String {
         let subs = generate(&traffic);
         let rt = RuntimeConfig {
             policy,
+            cache: cfg.cache,
             ..RuntimeConfig::default()
         };
         (load, policy, run_with(&rt, &subs, rec))

@@ -74,6 +74,7 @@ pub fn run(cfg: &ExpConfig) -> String {
                 mode,
                 ..FaultPlan::default()
             }),
+            cache: cfg.cache,
             ..RuntimeConfig::default()
         };
         (rate, mode, run_with(&rt, &subs, rec))

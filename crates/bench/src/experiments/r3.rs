@@ -53,8 +53,15 @@ pub fn run(cfg: &ExpConfig) -> String {
             seed: cfg.seed,
         })
         .collect();
-    let cal = Calibration::measure(&fabric, slots, &specs, Engine::new(cfg.threads))
-        .expect("mix templates validate");
+    // With `cfg.cache` the calibration shares one decision cache across
+    // templates; measured cycles (and thus the whole table) are identical.
+    let cal = if cfg.cache {
+        let mut cache = mocha::core::DecisionCache::new();
+        Calibration::measure_cached(&fabric, slots, &specs, Engine::new(cfg.threads), &mut cache)
+    } else {
+        Calibration::measure(&fabric, slots, &specs, Engine::new(cfg.threads))
+    }
+    .expect("mix templates validate");
     let slo = 4 * cal.mean_service();
 
     let mut t = Table::new(

@@ -33,7 +33,7 @@ USAGE:
   mocha-sim pareto <network> [--layer NAME] [--profile P]
                                            Pareto front (cycles/energy/storage)
   mocha-sim networks                       list the network zoo
-  mocha-sim repro [ids...] [--quick] [--threads N]
+  mocha-sim repro [ids...] [--quick] [--threads N] [--cache]
                                            regenerate the paper's tables and
                                            figures (t1 t2 f1..f8 a1..a3 r1 r2
                                            r3; default/`all` = every
@@ -59,6 +59,10 @@ USAGE:
       --faults SPEC      inject faults; permanent faults quarantine fabric
                          regions and jobs re-morph around them (or fail-stop
                          with mode=failstop)
+      --cache            share a morph-decision cache across jobs: repeated
+                         controller searches are memoized; reports and
+                         streams stay byte-identical (only cache.* counters
+                         are added)
   mocha-sim trace summary <FILE|-> [--json] [--energy FILE]
                                            profile an obs stream: span tree,
                                            critical paths, overlap, exact
@@ -75,7 +79,7 @@ USAGE:
                                            exits 1 when a higher-is-worse
                                            metric regressed beyond PCT
   mocha-sim serve [--tcp ADDR] [--once] [--policy P] [--max-tenants N] [--no-verify]
-                  [--threads N] [--faults SPEC]
+                  [--threads N] [--faults SPEC] [--cache]
                   [--shed-policy none|queue=N|deadline] [--slo CYCLES]
       JSON-lines batch server: one job request per line on stdin (or over
       TCP with --tcp, where a poll-style reactor multiplexes concurrent
@@ -94,7 +98,9 @@ USAGE:
       deadline, answering with a one-line `shed` JSON object instead of
       queueing them; queue=N bounds the number of queued-but-unstarted
       requests. --slo CYCLES is the default deadline for requests without
-      their own deadline_cycles.
+      their own deadline_cycles. --cache keeps a morph-decision cache for
+      the life of the server, so later batches skip controller searches
+      earlier ones already did (`stats` exposes cache.hit/cache.miss).
   mocha-sim serve --open-loop [--requests N] [--tenants N] [--load F] [--seed N]
                   [--mix quick|full] [--slo CYCLES] [--shed-policy P]
                   [--trace FILE] [--json] [--obs FILE|-] [--faults SPEC]
@@ -608,7 +614,7 @@ pub fn codec(args: &Args) -> i32 {
 /// `--threads` value: sweeps shard over the engine but reduce in
 /// canonical point order.
 pub fn repro(args: &Args) -> i32 {
-    if let Err(code) = strict(args, mocha_bench::ALL.len(), &["quick", "threads"]) {
+    if let Err(code) = strict(args, mocha_bench::ALL.len(), &["quick", "threads", "cache"]) {
         return code;
     }
     let ids: Vec<&str> = if args.positional.is_empty() || args.positional.iter().any(|a| a == "all")
@@ -621,6 +627,7 @@ pub fn repro(args: &Args) -> i32 {
         quick: args.flag("quick"),
         seed: 42,
         threads: args.opt_u64("threads", 0) as usize,
+        cache: args.flag("cache"),
     };
     for id in ids {
         match mocha_bench::run_by_id(id, &cfg) {

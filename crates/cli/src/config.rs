@@ -17,7 +17,8 @@ pub fn fault_plan(args: &Args) -> Result<Option<FaultPlan>, String> {
 }
 
 /// Builds the runtime configuration shared by `serve` and `runtime` from
-/// `--fabric`, `--policy`, `--max-tenants`, `--no-verify` and `--faults`.
+/// `--fabric`, `--policy`, `--max-tenants`, `--no-verify`, `--faults` and
+/// `--cache`.
 ///
 /// The returned config always carries `threads: 0`. That is deliberate,
 /// not a missing feature: `--threads N` is folded into the process-wide
@@ -44,5 +45,6 @@ pub fn runtime_config(args: &Args) -> Result<RuntimeConfig, String> {
         verify: !args.flag("no-verify"),
         threads: 0,
         faults: fault_plan(args)?,
+        cache: args.flag("cache"),
     })
 }

@@ -24,7 +24,9 @@ use crate::commands;
 use crate::config;
 use mocha::engine::Engine;
 use mocha::obs::{names, MemRecorder, NoopRecorder, Recorder};
-use mocha::runtime::{self, JobSpec, Mix, RuntimeConfig, RuntimeReport, Submission, TrafficConfig};
+use mocha::runtime::{
+    self, DecisionCache, JobSpec, Mix, RuntimeConfig, RuntimeReport, Submission, TrafficConfig,
+};
 use mocha::serve::{
     read_line_capped, run_open_loop, serve_reactor, traffic, BatchHandler, Calibration,
     ClientBatch, LineRead, OpenLoopParams, ReactorConfig, Request, RequestOutcome, ShedPolicy,
@@ -50,16 +52,22 @@ struct ServeState {
     slo: Option<u64>,
     services: BTreeMap<(String, String), u64>,
     rec: MemRecorder,
+    /// Morph-decision cache shared across batches (with `--cache`): later
+    /// batches reuse decisions from earlier ones, and the `cache.*`
+    /// counters in `stats` expose the hit rate.
+    cache: Option<DecisionCache>,
 }
 
 impl ServeState {
     fn new(cfg: RuntimeConfig, shed: ShedPolicy, slo: Option<u64>) -> Self {
+        let cache = cfg.cache.then(DecisionCache::new);
         ServeState {
             cfg,
             shed,
             slo,
             services: BTreeMap::new(),
             rec: MemRecorder::with_span_cap(SERVE_SPAN_CAP),
+            cache,
         }
     }
 
@@ -204,7 +212,10 @@ fn run_batches(state: &mut ServeState, batches: &[Vec<String>]) -> Vec<Result<St
     };
 
     let subs: Vec<Submission> = kept.iter().map(|(_, s)| s.clone()).collect();
-    let report = runtime::run_with(&state.cfg, &subs, &mut state.rec);
+    let report = match state.cache.as_mut() {
+        Some(cache) => runtime::run_with_cache(&state.cfg, &subs, cache, &mut state.rec),
+        None => runtime::run_with(&state.cfg, &subs, &mut state.rec),
+    };
     state.rec.add(names::SERVE_BATCHES, valid.len() as u64);
 
     let mut summary = summary_json(&report);
@@ -414,6 +425,7 @@ pub fn serve(args: &Args) -> i32 {
             "faults",
             "shed-policy",
             "slo",
+            "cache",
         ],
     ) {
         return code;
@@ -492,6 +504,7 @@ fn open_loop(args: &Args) -> i32 {
             "max-tenants",
             "threads",
             "faults",
+            "cache",
         ],
     ) {
         return code;
@@ -574,7 +587,15 @@ fn open_loop(args: &Args) -> i32 {
         }
     }
     let specs: Vec<JobSpec> = requests.iter().map(|r| r.spec.clone()).collect();
-    let cal = match Calibration::measure(&fabric, slots, &specs, Engine::configured()) {
+    // `--cache`: calibration shares one decision cache across templates.
+    // Measured cycles are byte-identical either way; only the controller
+    // search work is saved.
+    let cal = match if args.flag("cache") {
+        let mut cache = DecisionCache::new();
+        Calibration::measure_cached(&fabric, slots, &specs, Engine::configured(), &mut cache)
+    } else {
+        Calibration::measure(&fabric, slots, &specs, Engine::configured())
+    } {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
@@ -668,6 +689,7 @@ pub fn runtime_cmd(args: &Args) -> i32 {
             "obs",
             "threads",
             "faults",
+            "cache",
         ],
     ) {
         return code;

@@ -1096,6 +1096,231 @@ fn serve_open_loop_is_byte_identical_across_thread_counts_and_replay() {
     assert_eq!(stdout(&out), *base, "replayed trace must reproduce the run");
 }
 
+/// Drops the `cache.*` counter lines from an obs stream — the only delta a
+/// cache-enabled run is allowed to introduce.
+fn strip_cache_lines(jsonl: &str) -> String {
+    jsonl
+        .lines()
+        .filter(|l| !l.contains("\"cache."))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// The determinism matrix extended to the morph-decision cache: `runtime
+/// --cache` must reproduce the uncached JSON report byte-for-byte at
+/// `--threads 1`, `2`, `8`, the obs stream may differ only in its `cache.*`
+/// counter lines, and the cache-enabled stream itself is byte-identical at
+/// every worker count.
+#[test]
+fn cached_runtime_is_byte_identical_to_uncached_across_thread_counts() {
+    let dir = std::env::temp_dir();
+    let base_args = [
+        "runtime", "--jobs", "4", "--load", "2.5", "--seed", "11", "--json",
+    ];
+
+    let obs = dir.join("mocha_cache_e2e_off.jsonl");
+    let mut args = base_args.to_vec();
+    args.extend(["--obs", obs.to_str().unwrap()]);
+    let out = mocha_sim(&args);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let off_report = stdout(&out);
+    let off_obs = std::fs::read_to_string(&obs).expect("obs file written");
+    let _ = std::fs::remove_file(&obs);
+    assert!(
+        !off_obs.contains("\"cache."),
+        "uncached run must record no cache counters"
+    );
+
+    let mut cached_streams = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let obs = dir.join(format!("mocha_cache_e2e_on_{threads}.jsonl"));
+        let mut args = base_args.to_vec();
+        args.extend([
+            "--cache",
+            "--threads",
+            threads,
+            "--obs",
+            obs.to_str().unwrap(),
+        ]);
+        let out = mocha_sim(&args);
+        assert!(
+            out.status.success(),
+            "--threads {threads} stderr: {}",
+            stderr(&out)
+        );
+        assert_eq!(
+            stdout(&out),
+            off_report,
+            "--threads {threads} cached report differs from uncached"
+        );
+        let on_obs = std::fs::read_to_string(&obs).expect("obs file written");
+        let _ = std::fs::remove_file(&obs);
+        assert!(
+            on_obs.contains("\"cache."),
+            "--threads {threads}: cached run recorded no cache counters"
+        );
+        assert_eq!(
+            strip_cache_lines(&on_obs),
+            off_obs,
+            "--threads {threads} obs stream differs beyond cache.* lines"
+        );
+        cached_streams.push((threads, on_obs));
+    }
+    let (_, base) = &cached_streams[0];
+    for (threads, obs) in &cached_streams[1..] {
+        assert_eq!(
+            obs, base,
+            "--threads {threads} cached obs stream differs from --threads 1"
+        );
+    }
+}
+
+/// `repro r1/r2/r3 --cache` replays the uncached experiment tables
+/// byte-for-byte at every thread count: memoized morph decisions can never
+/// leak into a result.
+#[test]
+fn cached_repro_tables_match_uncached_across_thread_counts() {
+    for id in ["r1", "r2", "r3"] {
+        let base = mocha_sim(&["repro", id, "--quick", "--threads", "2"]);
+        assert!(base.status.success(), "{id} stderr: {}", stderr(&base));
+        let base_table = stdout(&base);
+        for threads in ["1", "2", "8"] {
+            let out = mocha_sim(&["repro", id, "--quick", "--threads", threads, "--cache"]);
+            assert!(
+                out.status.success(),
+                "{id} --threads {threads} stderr: {}",
+                stderr(&out)
+            );
+            assert_eq!(
+                stdout(&out),
+                base_table,
+                "{id} --threads {threads} cached table differs from uncached"
+            );
+        }
+    }
+}
+
+/// `serve --open-loop --cache` joins the matrix too: the calibrated report
+/// is byte-identical to the uncached run at every thread count.
+#[test]
+fn cached_open_loop_report_matches_uncached_across_thread_counts() {
+    let base_args = [
+        "serve",
+        "--open-loop",
+        "--requests",
+        "2000",
+        "--tenants",
+        "100",
+        "--load",
+        "3.0",
+        "--seed",
+        "7",
+        "--slo",
+        "400000",
+        "--shed-policy",
+        "deadline",
+        "--json",
+    ];
+    let base = mocha_sim(&base_args);
+    assert!(base.status.success(), "stderr: {}", stderr(&base));
+    let base_report = stdout(&base);
+    for threads in ["1", "2", "8"] {
+        let mut args = base_args.to_vec();
+        args.extend(["--cache", "--threads", threads]);
+        let out = mocha_sim(&args);
+        assert!(
+            out.status.success(),
+            "--threads {threads} stderr: {}",
+            stderr(&out)
+        );
+        assert_eq!(
+            stdout(&out),
+            base_report,
+            "--threads {threads} cached open-loop report differs"
+        );
+    }
+}
+
+/// `serve --tcp --cache` cold vs warm: the first batch fills the cache, an
+/// identical second batch hits it, and every `stats` snapshot reconciles
+/// `cache.hit + cache.miss == cache.decisions` — while both batches answer
+/// with byte-identical job reports.
+#[test]
+fn serve_tcp_cache_stats_reconcile_cold_and_warm() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+        .args(["serve", "--tcp", "127.0.0.1:0", "--cache"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mocha-sim serve --tcp --cache");
+    let mut child_err = BufReader::new(child.stderr.take().expect("stderr"));
+    let mut line = String::new();
+    child_err.read_line(&mut line).expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+
+    let batch = b"{\"network\": \"tiny\", \"profile\": \"sparse\", \"seed\": 3}\n\
+                  {\"network\": \"tiny\", \"arrival_cycle\": 4000}\n\n";
+    let send_batch = || {
+        let stream = std::net::TcpStream::connect(&addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        writer.write_all(batch).expect("send batch");
+        let mut lines = Vec::new();
+        for l in BufReader::new(stream).lines() {
+            lines.push(l.expect("read response"));
+        }
+        lines
+    };
+    let stats = || {
+        let stream = std::net::TcpStream::connect(&addr).expect("connect stats");
+        let mut writer = stream.try_clone().expect("clone");
+        writer.write_all(b"stats\n").expect("send stats");
+        let mut reader = BufReader::new(stream);
+        let mut snap_line = String::new();
+        reader.read_line(&mut snap_line).expect("read snapshot");
+        mocha_json::parse(snap_line.trim()).expect("snapshot is JSON")
+    };
+    let cache_counters = |snap: &mocha_json::Value| -> (u64, u64, u64) {
+        let counters = snap.get("counters").expect("counters block");
+        let c = |k: &str| counters.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        (c("cache.hit"), c("cache.miss"), c("cache.decisions"))
+    };
+
+    // Cold batch: every decision is a miss, but the counters reconcile.
+    let cold_lines = send_batch();
+    assert_eq!(
+        cold_lines.len(),
+        3,
+        "2 job reports + summary: {cold_lines:?}"
+    );
+    let cold_snap = stats();
+    let (h1, m1, d1) = cache_counters(&cold_snap);
+    assert!(
+        d1 > 0,
+        "cold batch never consulted the cache: {cold_snap:?}"
+    );
+    assert_eq!(h1 + m1, d1, "cold snapshot: hit + miss != decisions");
+
+    // Warm batch: identical requests replay identical reports via the
+    // shared cache, hits grow, and the snapshot still reconciles.
+    let warm_lines = send_batch();
+    let warm_snap = stats();
+    child.kill().expect("kill server");
+    let _ = child.wait();
+    assert_eq!(
+        warm_lines, cold_lines,
+        "warm batch answered differently from the cold batch"
+    );
+    let (h2, m2, d2) = cache_counters(&warm_snap);
+    assert_eq!(h2 + m2, d2, "warm snapshot: hit + miss != decisions");
+    assert!(d2 > d1, "warm batch never consulted the cache");
+    assert!(h2 > h1, "warm batch did not hit the shared decision cache");
+}
+
 /// `repro r3` — the open-loop serving sweep — is byte-identical across
 /// thread counts and carries the headline shedding-beats-queueing note.
 #[test]

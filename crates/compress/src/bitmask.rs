@@ -15,7 +15,37 @@
 //! on absent weights is elided, raising effective throughput).
 
 /// Encodes an i8 element stream into `mask ++ nonzeros`.
+///
+/// Two-pass: a chunked nonzero count sizes the output exactly, then one
+/// sweep over 8-element chunks builds each mask byte in a register and
+/// writes the surviving values — a single allocation, no `Vec` growth.
 pub fn encode(input: &[i8]) -> Vec<u8> {
+    let mask_len = input.len().div_ceil(8);
+    let nnz = crate::scan::count_nonzero(input);
+    let mut out = vec![0u8; mask_len + nnz];
+    {
+        let (mask, values) = out.split_at_mut(mask_len);
+        let mut vi = 0usize;
+        for (byte, chunk) in mask.iter_mut().zip(input.chunks(8)) {
+            let mut m = 0u8;
+            for (j, &v) in chunk.iter().enumerate() {
+                if v != 0 {
+                    m |= 1 << j;
+                    values[vi] = v as u8;
+                    vi += 1;
+                }
+            }
+            *byte = m;
+        }
+        debug_assert_eq!(vi, nnz, "count pass disagrees with encoder");
+    }
+    out
+}
+
+/// The original growth-reallocating encoder, kept as the differential oracle
+/// for the chunked implementation above.
+#[cfg(test)]
+pub(crate) fn encode_scalar(input: &[i8]) -> Vec<u8> {
     let mask_len = input.len().div_ceil(8);
     let mut out = vec![0u8; mask_len];
     for (i, &v) in input.iter().enumerate() {
@@ -56,7 +86,15 @@ pub fn decode(stream: &[u8], len: usize) -> Vec<i8> {
 }
 
 /// Exact compressed size in bytes without materializing the encoding.
+/// The nonzero count is accumulated chunk-wise so it vectorizes.
 pub fn encoded_size(input: &[i8]) -> usize {
+    input.len().div_ceil(8) + crate::scan::count_nonzero(input)
+}
+
+/// The original element-at-a-time size pass, kept as the differential
+/// oracle for the chunked implementation above.
+#[cfg(test)]
+pub(crate) fn encoded_size_scalar(input: &[i8]) -> usize {
     input.len().div_ceil(8) + input.iter().filter(|&&v| v != 0).count()
 }
 
@@ -138,6 +176,36 @@ mod tests {
     #[should_panic(expected = "surplus value bytes")]
     fn surplus_values_panic() {
         decode(&[0b0000_0000, 42], 8);
+    }
+
+    #[test]
+    fn batched_encoder_matches_scalar_oracle_over_boundary_sweep() {
+        // Non-multiple-of-8 lengths and chunk-scan boundary lengths, with a
+        // nonzero planted at every position, plus all-zero and all-dense.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65] {
+            let zeros = vec![0i8; len];
+            assert_eq!(encode(&zeros), encode_scalar(&zeros), "all-zero {len}");
+            assert_eq!(encoded_size(&zeros), encoded_size_scalar(&zeros));
+            roundtrip(&zeros);
+            let dense: Vec<i8> = (0..len).map(|i| (i % 127) as i8 + 1).collect();
+            assert_eq!(encode(&dense), encode_scalar(&dense), "dense {len}");
+            assert_eq!(encoded_size(&dense), encoded_size_scalar(&dense));
+            roundtrip(&dense);
+            for hit in 0..len {
+                let mut data = vec![0i8; len];
+                data[hit] = -7;
+                assert_eq!(encode(&data), encode_scalar(&data), "len {len} hit {hit}");
+                assert_eq!(encoded_size(&data), encoded_size_scalar(&data));
+            }
+        }
+        // Seeded scattered-zero kernels at several sparsities.
+        use mocha_model::gen;
+        use mocha_model::shape::KernelShape;
+        for (seed, sparsity) in [(1, 0.2), (2, 0.6), (3, 0.95)] {
+            let k = gen::kernel(KernelShape::new(5, 7, 3), sparsity, &mut gen::rng(seed));
+            assert_eq!(encode(k.data()), encode_scalar(k.data()), "seed {seed}");
+            assert_eq!(encoded_size(k.data()), encoded_size_scalar(k.data()));
+        }
     }
 
     #[test]

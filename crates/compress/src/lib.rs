@@ -32,6 +32,7 @@
 pub mod bitmask;
 pub mod cost;
 pub mod nibble;
+mod scan;
 pub mod stats;
 pub mod stream;
 pub mod zrle;

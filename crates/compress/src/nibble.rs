@@ -15,9 +15,95 @@
 //! (heavily clustered) data — which is exactly why the morphing controller
 //! gets to choose per stream.
 
-/// Entries (run, value) of the logical stream, before packing.
-fn entries(input: &[i8]) -> Vec<(u8, i8)> {
-    let mut out = Vec::with_capacity(input.len() / 2 + 4);
+/// Number of (run, value) entries the stream encodes to, computed run-by-run
+/// over chunked scans without materializing the entries.
+fn entry_count(input: &[i8]) -> usize {
+    let mut e = 0usize;
+    let mut i = 0usize;
+    while i < input.len() {
+        match crate::scan::first_nonzero(&input[i..]) {
+            Some(z) => {
+                // A (15, 0) spill per full 16 zeros, then the value entry.
+                e += z / 16 + 1;
+                i += z + 1;
+            }
+            None => {
+                let zeros = input.len() - i;
+                e += zeros / 16 + usize::from(zeros % 16 > 0);
+                break;
+            }
+        }
+    }
+    e
+}
+
+/// Encodes an i8 element stream into packed nibble-RLE.
+///
+/// Two-pass: [`entry_count`] sizes the output exactly, then runs are written
+/// straight into the split nibble/value planes — no intermediate entry
+/// vector, no growth reallocation.
+pub fn encode(input: &[i8]) -> Vec<u8> {
+    let e_total = entry_count(input);
+    let nib_len = e_total.div_ceil(2);
+    let mut out = vec![0u8; nib_len + e_total];
+    {
+        let (nibbles, values) = out.split_at_mut(nib_len);
+        let mut e = 0usize;
+        {
+            let mut push = |run: u8, v: i8| {
+                debug_assert!(run < 16);
+                nibbles[e / 2] |= run << (4 * (e % 2));
+                values[e] = v as u8;
+                e += 1;
+            };
+            let mut i = 0usize;
+            while i < input.len() {
+                match crate::scan::first_nonzero(&input[i..]) {
+                    Some(z) => {
+                        for _ in 0..z / 16 {
+                            push(15, 0);
+                        }
+                        push((z % 16) as u8, input[i + z]);
+                        i += z + 1;
+                    }
+                    None => {
+                        // Trailing run: (15, 0) spills plus a final
+                        // (remainder - 1, 0) entry, matching the ZRLE tail rule.
+                        let zeros = input.len() - i;
+                        for _ in 0..zeros / 16 {
+                            push(15, 0);
+                        }
+                        if zeros % 16 > 0 {
+                            push((zeros % 16 - 1) as u8, 0);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(e, e_total, "entry count pass disagrees with encoder");
+    }
+    out
+}
+
+/// The original entry-materializing encoder, kept as the differential oracle
+/// for the chunked implementation above.
+#[cfg(test)]
+pub(crate) fn encode_scalar(input: &[i8]) -> Vec<u8> {
+    let es = entries_scalar(input);
+    let mut out = vec![0u8; es.len().div_ceil(2)];
+    for (i, (run, _)) in es.iter().enumerate() {
+        out[i / 2] |= run << (4 * (i % 2));
+    }
+    out.extend(es.iter().map(|&(_, v)| v as u8));
+    out
+}
+
+/// Entries (run, value) of the logical stream, element at a time — the
+/// oracle's helper.
+#[cfg(test)]
+fn entries_scalar(input: &[i8]) -> Vec<(u8, i8)> {
+    let mut out = Vec::new();
     let mut zeros = 0usize;
     for &v in input {
         if v == 0 {
@@ -34,18 +120,6 @@ fn entries(input: &[i8]) -> Vec<(u8, i8)> {
     if zeros > 0 {
         out.push(((zeros - 1) as u8, 0));
     }
-    out
-}
-
-/// Encodes an i8 element stream into packed nibble-RLE.
-pub fn encode(input: &[i8]) -> Vec<u8> {
-    let es = entries(input);
-    let mut out = vec![0u8; es.len().div_ceil(2)];
-    for (i, (run, _)) in es.iter().enumerate() {
-        debug_assert!(*run < 16);
-        out[i / 2] |= run << (4 * (i % 2));
-    }
-    out.extend(es.iter().map(|&(_, v)| v as u8));
     out
 }
 
@@ -83,9 +157,18 @@ pub fn decode(stream: &[u8], len: usize) -> Vec<i8> {
     out
 }
 
-/// Exact encoded size in bytes without materializing the encoding.
+/// Exact encoded size in bytes without materializing the encoding —
+/// allocation-free: counts entries run-by-run over chunked scans.
 pub fn encoded_size(input: &[i8]) -> usize {
-    let e = entries(input).len();
+    let e = entry_count(input);
+    e.div_ceil(2) + e
+}
+
+/// The original entry-materializing size pass, kept as the differential
+/// oracle for the chunked implementation above.
+#[cfg(test)]
+pub(crate) fn encoded_size_scalar(input: &[i8]) -> usize {
+    let e = entries_scalar(input).len();
     e.div_ceil(2) + e
 }
 
@@ -189,6 +272,48 @@ mod tests {
     fn wrong_length_panics() {
         let enc = encode(&[1, 2, 3]);
         decode(&enc, 5);
+    }
+
+    #[test]
+    fn batched_encoder_matches_scalar_oracle_over_boundary_sweep() {
+        // Zero runs straddling the 16-entry spill and chunk-scan boundaries,
+        // in every position: leading, embedded, and trailing.
+        let runs = [
+            0usize, 1, 14, 15, 16, 17, 31, 32, 33, 47, 48, 49, 64, 65, 100,
+        ];
+        for &lead in &runs {
+            for &tail in &runs {
+                let mut data = vec![0i8; lead];
+                data.push(7);
+                data.extend(std::iter::repeat_n(0i8, tail));
+                data.push(-3);
+                data.extend(std::iter::repeat_n(0i8, tail));
+                assert_eq!(
+                    encode(&data),
+                    encode_scalar(&data),
+                    "lead {lead} tail {tail}"
+                );
+                assert_eq!(
+                    encoded_size(&data),
+                    encoded_size_scalar(&data),
+                    "lead {lead} tail {tail}"
+                );
+                roundtrip(&data);
+            }
+            // All-zero streams of every boundary length.
+            let zeros = vec![0i8; lead];
+            assert_eq!(encode(&zeros), encode_scalar(&zeros), "all-zero {lead}");
+            assert_eq!(encoded_size(&zeros), encoded_size_scalar(&zeros));
+            roundtrip(&zeros);
+        }
+        // Seeded irregular data: mixed runs, negatives, dense stretches.
+        use mocha_model::gen;
+        use mocha_model::shape::TensorShape;
+        for (seed, sparsity) in [(1, 0.2), (2, 0.6), (3, 0.95)] {
+            let t = gen::activations(TensorShape::new(3, 17, 29), sparsity, &mut gen::rng(seed));
+            assert_eq!(encode(t.data()), encode_scalar(t.data()), "seed {seed}");
+            assert_eq!(encoded_size(t.data()), encoded_size_scalar(t.data()));
+        }
     }
 
     #[test]

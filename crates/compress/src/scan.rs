@@ -1,0 +1,76 @@
+//! Chunked scanning primitives shared by the codec hot paths.
+//!
+//! The encoders spend most of their time walking zero runs one element at a
+//! time. Scanning in fixed-size chunks lets the compiler vectorize the
+//! all-zero test, so a long run costs a few wide compares instead of one
+//! branch per element — the codecs' inner loops then advance run-by-run
+//! rather than element-by-element.
+
+/// Elements per scan chunk. Wide enough to vectorize, small enough that the
+/// tail rescan after a hit stays cheap.
+const CHUNK: usize = 32;
+
+/// Index of the first nonzero element, or `None` when the slice is all
+/// zeros. Whole chunks are rejected with a single vectorizable any-nonzero
+/// test; only the hit chunk is rescanned element-wise.
+pub(crate) fn first_nonzero(data: &[i8]) -> Option<usize> {
+    let mut chunks = data.chunks_exact(CHUNK);
+    let mut base = 0usize;
+    for c in &mut chunks {
+        if c.iter().any(|&v| v != 0) {
+            return c.iter().position(|&v| v != 0).map(|p| base + p);
+        }
+        base += CHUNK;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&v| v != 0)
+        .map(|p| base + p)
+}
+
+/// Number of nonzero elements, accumulated chunk-wise so the compare/add
+/// loop vectorizes.
+pub(crate) fn count_nonzero(data: &[i8]) -> usize {
+    let mut chunks = data.chunks_exact(CHUNK);
+    let mut n = 0usize;
+    for c in &mut chunks {
+        n += c.iter().map(|&v| usize::from(v != 0)).sum::<usize>();
+    }
+    n + chunks
+        .remainder()
+        .iter()
+        .map(|&v| usize::from(v != 0))
+        .sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_nonzero_finds_every_position_across_chunk_boundaries() {
+        for len in [0, 1, 31, 32, 33, 63, 64, 65, 100] {
+            assert_eq!(first_nonzero(&vec![0i8; len]), None, "all-zero len {len}");
+            for hit in 0..len {
+                let mut data = vec![0i8; len];
+                data[hit] = -1;
+                assert_eq!(first_nonzero(&data), Some(hit), "len {len} hit {hit}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_nonzero_matches_filter_count() {
+        for len in [0, 1, 31, 32, 33, 65, 257] {
+            let data: Vec<i8> = (0..len)
+                .map(|i| if i % 3 == 0 { 0 } else { i as i8 })
+                .collect();
+            assert_eq!(
+                count_nonzero(&data),
+                data.iter().filter(|&&v| v != 0).count(),
+                "len {len}"
+            );
+        }
+    }
+}

@@ -23,8 +23,53 @@
 /// Encodes an i8 element stream into ZRLE records.
 ///
 /// Returns the raw record bytes; the element count travels out-of-band in
-/// [`crate::stream::Compressed`].
+/// [`crate::stream::Compressed`]. Two-pass: the exact output size is
+/// computed first so the record buffer is allocated once, then the encoder
+/// advances zero-run by zero-run over chunked scans instead of branching
+/// per element.
 pub fn encode(input: &[i8]) -> Vec<u8> {
+    let size = encoded_size(input);
+    let mut out = Vec::with_capacity(size);
+    let mut i = 0usize;
+    while i < input.len() {
+        match crate::scan::first_nonzero(&input[i..]) {
+            Some(z) => {
+                // `z` zeros then a nonzero: a (255, 0) record per full 256
+                // zeros, then the value record carrying the remainder.
+                for _ in 0..z / 256 {
+                    out.push(255);
+                    out.push(0);
+                }
+                out.push((z % 256) as u8);
+                out.push(input[i + z] as u8);
+                i += z + 1;
+            }
+            None => {
+                // Trailing run: full (255, 0) chunks plus a final
+                // (remainder - 1, 0) record (each record carries
+                // `zeros + 1` elements, so the tail folds one zero into
+                // its value byte).
+                let zeros = input.len() - i;
+                for _ in 0..zeros / 256 {
+                    out.push(255);
+                    out.push(0);
+                }
+                if zeros % 256 > 0 {
+                    out.push((zeros % 256 - 1) as u8);
+                    out.push(0);
+                }
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), size, "size pass disagrees with encoder");
+    out
+}
+
+/// The original element-at-a-time encoder, kept as the differential oracle
+/// for the chunked implementation above.
+#[cfg(test)]
+pub(crate) fn encode_scalar(input: &[i8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 8);
     let mut zeros: usize = 0;
     for &v in input {
@@ -71,8 +116,33 @@ pub fn decode(records: &[u8], len: usize) -> Vec<i8> {
 }
 
 /// Exact compressed size in bytes without materializing the encoding —
-/// used by the morphing controller's storage estimator.
+/// used by the morphing controller's storage estimator and by the
+/// simulator's data path, which prices transfers without keeping payloads.
+/// Advances run-by-run over chunked scans, so dense zero regions cost a
+/// few wide compares instead of a branch per element.
 pub fn encoded_size(input: &[i8]) -> usize {
+    let mut records = 0usize;
+    let mut i = 0usize;
+    while i < input.len() {
+        match crate::scan::first_nonzero(&input[i..]) {
+            Some(z) => {
+                records += z / 256 + 1;
+                i += z + 1;
+            }
+            None => {
+                let zeros = input.len() - i;
+                records += zeros / 256 + usize::from(zeros % 256 > 0);
+                break;
+            }
+        }
+    }
+    records * 2
+}
+
+/// The original element-at-a-time size pass, kept as the differential
+/// oracle for the chunked implementation above.
+#[cfg(test)]
+pub(crate) fn encoded_size_scalar(input: &[i8]) -> usize {
     let mut records = 0usize;
     let mut zeros = 0usize;
     for &v in input {
@@ -207,6 +277,48 @@ mod tests {
     #[should_panic(expected = "whole records")]
     fn decode_odd_stream_panics() {
         decode(&[1, 2, 3], 4);
+    }
+
+    #[test]
+    fn batched_encoder_matches_scalar_oracle_over_boundary_sweep() {
+        // Zero runs straddling the 256-record and chunk-scan boundaries, in
+        // every position: leading, embedded, and trailing.
+        let runs = [
+            0usize, 1, 15, 16, 17, 31, 32, 33, 255, 256, 257, 511, 512, 513, 600,
+        ];
+        for &lead in &runs {
+            for &tail in &runs {
+                let mut data = vec![0i8; lead];
+                data.push(7);
+                data.extend(std::iter::repeat_n(0i8, tail));
+                data.push(-3);
+                data.extend(std::iter::repeat_n(0i8, tail));
+                assert_eq!(
+                    encode(&data),
+                    encode_scalar(&data),
+                    "lead {lead} tail {tail}"
+                );
+                assert_eq!(
+                    encoded_size(&data),
+                    encoded_size_scalar(&data),
+                    "lead {lead} tail {tail}"
+                );
+                roundtrip(&data);
+            }
+            // All-zero streams of every boundary length.
+            let zeros = vec![0i8; lead];
+            assert_eq!(encode(&zeros), encode_scalar(&zeros), "all-zero {lead}");
+            assert_eq!(encoded_size(&zeros), encoded_size_scalar(&zeros));
+            roundtrip(&zeros);
+        }
+        // Seeded irregular data: mixed runs, negatives, dense stretches.
+        use mocha_model::gen;
+        use mocha_model::shape::TensorShape;
+        for (seed, sparsity) in [(1, 0.2), (2, 0.6), (3, 0.95)] {
+            let t = gen::activations(TensorShape::new(3, 17, 29), sparsity, &mut gen::rng(seed));
+            assert_eq!(encode(t.data()), encode_scalar(t.data()), "seed {seed}");
+            assert_eq!(encoded_size(t.data()), encoded_size_scalar(t.data()));
+        }
     }
 
     #[test]

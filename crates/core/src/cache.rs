@@ -1,0 +1,713 @@
+//! The morph-decision cache: a deterministic memo table for controller
+//! decisions, shared across jobs and safely sharded across engine workers.
+//!
+//! Under the multi-tenant serve tier the controller re-runs a full
+//! design-space search per layer per job, yet the same (fabric slice, layer
+//! geometry, sparsity estimate, objective) inputs recur constantly —
+//! repeated batches of the same templates, fault retries, calibration and
+//! warm benchmark passes all re-pose questions the controller has already
+//! answered. This module memoizes those answers without ever changing one:
+//!
+//! * [`DecisionKey`] normalizes every input the controller reads. Lease
+//!   rectangles are keyed through their *sub-fabric signature*
+//!   ([`FabricSig`]), which is offset-free — two leases carving the same
+//!   counts at different offsets produce equal keys. Sparsity estimates are
+//!   organized into quantized buckets ([`EstBucket`]); entries *within* a
+//!   bucket are discriminated by the exact f64 bit patterns ([`EstBits`]),
+//!   so a hit replays a decision for bit-identical inputs only — which is
+//!   what makes cache-on runs byte-identical to cache-off runs.
+//! * [`DecisionCache`] is the shared table plus hit/miss/invalidate
+//!   counters.
+//! * [`DecisionShard`] is the per-worker view: reads against an immutable
+//!   snapshot of the shared table plus its own private delta. Workers never
+//!   synchronize; the scheduler absorbs deltas in canonical task order
+//!   (first insert wins), so the merged table — and therefore every
+//!   downstream byte — is identical at any `--threads` count.
+//! * [`DecisionCache::invalidate_window`] evicts entries whose fabric
+//!   signature no longer fits a quarantine-shrunk healthy window. Keys
+//!   capture every input, so entries can never go *stale*; invalidation is
+//!   hygiene that keeps dead geometry from occupying the table.
+
+use std::collections::HashMap;
+
+use crate::controller::{Decision, Policy};
+use crate::morph::{MorphConfig, Objective};
+use crate::plan::{LayerPlan, SparsityEstimate};
+use mocha_fabric::FabricConfig;
+use mocha_model::layer::{Layer, LayerKind};
+use mocha_obs::Recorder;
+
+/// Structural signature of a fabric instance: every [`FabricConfig`] field,
+/// with the one `f64` rate captured by its bit pattern so the signature is
+/// hashable and exact. Built by exhaustive destructuring — adding a field to
+/// `FabricConfig` breaks this compile, which is the intended reminder to
+/// extend the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FabricSig {
+    pe_rows: usize,
+    pe_cols: usize,
+    rf_bytes_per_pe: usize,
+    macs_per_pe_per_cycle: usize,
+    spm_banks: usize,
+    spm_bank_kb: usize,
+    spm_bank_bytes_per_cycle: usize,
+    noc_link_bytes_per_cycle: usize,
+    noc_hop_latency: u64,
+    noc_dma_lanes: usize,
+    dram_bytes_per_cycle_bits: u64,
+    dram_burst_bytes: usize,
+    dram_latency_cycles: u64,
+    dma_engines: usize,
+    codec_engines: usize,
+    morphable: bool,
+}
+
+impl FabricSig {
+    /// Signature of a fabric instance.
+    pub fn of(fabric: &FabricConfig) -> Self {
+        let FabricConfig {
+            pe_rows,
+            pe_cols,
+            rf_bytes_per_pe,
+            macs_per_pe_per_cycle,
+            spm_banks,
+            spm_bank_kb,
+            spm_bank_bytes_per_cycle,
+            noc_link_bytes_per_cycle,
+            noc_hop_latency,
+            noc_dma_lanes,
+            dram_bytes_per_cycle,
+            dram_burst_bytes,
+            dram_latency_cycles,
+            dma_engines,
+            codec_engines,
+            morphable,
+        } = *fabric;
+        Self {
+            pe_rows,
+            pe_cols,
+            rf_bytes_per_pe,
+            macs_per_pe_per_cycle,
+            spm_banks,
+            spm_bank_kb,
+            spm_bank_bytes_per_cycle,
+            noc_link_bytes_per_cycle,
+            noc_hop_latency,
+            noc_dma_lanes,
+            dram_bytes_per_cycle_bits: dram_bytes_per_cycle.to_bits(),
+            dram_burst_bytes,
+            dram_latency_cycles,
+            dma_engines,
+            codec_engines,
+            morphable,
+        }
+    }
+
+    /// Whether a fabric with this signature still fits inside a healthy
+    /// window of the given capacities (quarantine shrinks windows; leases
+    /// carved inside the old window may exceed the new one).
+    fn fits_window(
+        &self,
+        cols: usize,
+        banks: usize,
+        lanes: usize,
+        dmas: usize,
+        codecs: usize,
+    ) -> bool {
+        self.pe_cols <= cols
+            && self.spm_banks <= banks
+            && self.noc_dma_lanes <= lanes
+            && self.dma_engines <= dmas
+            && self.codec_engines <= codecs
+    }
+}
+
+/// Geometry signature of one layer: operator, input shape and requant
+/// shift — everything the planner reads. The human-readable `name` is
+/// deliberately excluded (it only feeds panic messages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerSig {
+    kind: LayerKind,
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    requant_shift: u32,
+}
+
+impl LayerSig {
+    /// Signature of one layer.
+    pub fn of(layer: &Layer) -> Self {
+        Self {
+            kind: layer.kind,
+            in_c: layer.input.c,
+            in_h: layer.input.h,
+            in_w: layer.input.w,
+            requant_shift: layer.requant_shift,
+        }
+    }
+}
+
+/// Quantized sparsity-estimate bucket: sparsities in 1/256 steps, mean zero
+/// runs in 1/16 steps. Estimates in the same bucket share a [`DecisionKey`];
+/// estimates across a bucket boundary get distinct keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EstBucket([u32; 5]);
+
+impl EstBucket {
+    /// Bucket of a sparsity estimate.
+    pub fn of(est: &SparsityEstimate) -> Self {
+        // `as u32` saturates on out-of-range floats and maps NaN to 0, so
+        // any estimate buckets deterministically.
+        let qs = |x: f64| (x * 256.0).floor() as u32;
+        let qr = |x: f64| (x * 16.0).floor() as u32;
+        Self([
+            qs(est.ifmap_sparsity),
+            qr(est.ifmap_mean_run),
+            qs(est.kernel_sparsity),
+            qs(est.ofmap_sparsity),
+            qr(est.ofmap_mean_run),
+        ])
+    }
+}
+
+/// Exact bit patterns of a sparsity estimate's five statistics. Hits are
+/// granted only on an exact match, so a cached decision is replayed for
+/// bit-identical controller inputs only — the byte-exactness guarantee.
+pub type EstBits = [u64; 5];
+
+/// The exact bit patterns of an estimate.
+pub fn est_bits(est: &SparsityEstimate) -> EstBits {
+    [
+        est.ifmap_sparsity.to_bits(),
+        est.ifmap_mean_run.to_bits(),
+        est.kernel_sparsity.to_bits(),
+        est.ofmap_sparsity.to_bits(),
+        est.ofmap_mean_run.to_bits(),
+    ]
+}
+
+/// Which controller entry point a key memoizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyKind {
+    /// A whole `decide` call (fusion-depth search included).
+    Decide,
+    /// One `search_group` call over the first `len` layers.
+    Group {
+        /// Group length searched.
+        len: usize,
+    },
+}
+
+/// The normalized morph-decision cache key: fabric-slice signature, policy
+/// and objective, the layer-geometry window the controller can read
+/// (`decide` never looks past `MAX_GROUP_DEPTH` layers), and the sparsity
+/// bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DecisionKey {
+    fabric: FabricSig,
+    policy: Policy,
+    objective: Objective,
+    store_output: bool,
+    kind: KeyKind,
+    layers: Vec<LayerSig>,
+    bucket: EstBucket,
+}
+
+impl DecisionKey {
+    /// Key for a whole `decide` call at the head of `layers`. Only the
+    /// first `MAX_GROUP_DEPTH` layers are keyed — the controller reads no
+    /// further — and shorter tails are distinguished by their signature
+    /// count.
+    pub fn decide(
+        fabric: &FabricConfig,
+        policy: Policy,
+        objective: Objective,
+        layers: &[Layer],
+        est: &SparsityEstimate,
+        store_output: bool,
+    ) -> Self {
+        let window = layers.len().min(crate::fusion::MAX_GROUP_DEPTH);
+        Self {
+            fabric: FabricSig::of(fabric),
+            policy,
+            objective,
+            store_output,
+            kind: KeyKind::Decide,
+            layers: layers[..window].iter().map(LayerSig::of).collect(),
+            bucket: EstBucket::of(est),
+        }
+    }
+
+    /// Key for one `search_group` call over `layers[..len]`.
+    pub fn group(
+        fabric: &FabricConfig,
+        policy: Policy,
+        objective: Objective,
+        layers: &[Layer],
+        len: usize,
+        est: &SparsityEstimate,
+        store_output: bool,
+    ) -> Self {
+        Self {
+            fabric: FabricSig::of(fabric),
+            policy,
+            objective,
+            store_output,
+            kind: KeyKind::Group { len },
+            layers: layers[..len].iter().map(LayerSig::of).collect(),
+            bucket: EstBucket::of(est),
+        }
+    }
+}
+
+/// A memoized controller result.
+#[derive(Debug, Clone)]
+pub enum CachedValue {
+    /// Result of a whole `decide` call.
+    Decide(Decision),
+    /// Result of one `search_group` call (`None` — infeasible — is a
+    /// result too, and is memoized).
+    Group(Option<(MorphConfig, LayerPlan, usize)>),
+}
+
+/// The shared morph-decision memo table plus its telemetry counters.
+///
+/// Entries are grouped by [`DecisionKey`] (bucket granularity) and
+/// discriminated within a bucket by exact estimate bits.
+#[derive(Debug, Default)]
+pub struct DecisionCache {
+    map: HashMap<DecisionKey, Vec<(EstBits, CachedValue)>>,
+    hits: u64,
+    misses: u64,
+    invalidated: u64,
+}
+
+impl DecisionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get(&self, key: &DecisionKey, bits: &EstBits) -> Option<&CachedValue> {
+        self.map
+            .get(key)?
+            .iter()
+            .find(|(b, _)| b == bits)
+            .map(|(_, v)| v)
+    }
+
+    fn insert_if_absent(&mut self, key: DecisionKey, bits: EstBits, value: CachedValue) {
+        let slot = self.map.entry(key).or_default();
+        // First insert wins: deltas are absorbed in canonical task order,
+        // so the surviving entry is worker-count independent. (All entries
+        // for equal inputs hold equal values anyway; this just pins which
+        // clone survives.)
+        if !slot.iter().any(|(b, _)| b == &bits) {
+            slot.push((bits, value));
+        }
+    }
+
+    /// Cached consultations that were answered from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Consultations that fell through to a fresh search.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total cache consultations (`hits + misses` by construction).
+    pub fn decisions(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Entries evicted by quarantine-window invalidation.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated
+    }
+
+    /// Number of memoized results currently in the table.
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Merges one worker's delta into the shared table (first insert wins)
+    /// and flows its counters into `rec` under the `cache.*` names. Callers
+    /// absorb deltas in canonical task order, which makes the merged table
+    /// and the recorded counters byte-identical at any worker count.
+    pub fn absorb<R: Recorder>(&mut self, delta: CacheDelta, rec: &mut R) {
+        for (key, bits, value) in delta.entries {
+            self.insert_if_absent(key, bits, value);
+        }
+        self.hits += delta.hits;
+        self.misses += delta.misses;
+        rec.add(mocha_obs::names::CACHE_DECISIONS, delta.hits + delta.misses);
+        rec.add(mocha_obs::names::CACHE_HITS, delta.hits);
+        rec.add(mocha_obs::names::CACHE_MISSES, delta.misses);
+    }
+
+    /// Evicts every entry whose fabric signature no longer fits a healthy
+    /// window of the given capacities, recording the eviction count under
+    /// `cache.invalidate`. Called by the runtime when `mocha-fault`
+    /// quarantine shrinks the healthy-window geometry: leases carved inside
+    /// the old window can never be granted again, so their entries are dead
+    /// weight. Entries for still-carveable sub-fabrics stay — their keys
+    /// capture every controller input, so they cannot be stale.
+    pub fn invalidate_window<R: Recorder>(
+        &mut self,
+        cols: usize,
+        banks: usize,
+        lanes: usize,
+        dmas: usize,
+        codecs: usize,
+        rec: &mut R,
+    ) -> u64 {
+        let before = self.len();
+        self.map
+            .retain(|key, _| key.fabric.fits_window(cols, banks, lanes, dmas, codecs));
+        let evicted = (before - self.len()) as u64;
+        self.invalidated += evicted;
+        rec.add(mocha_obs::names::CACHE_INVALIDATED, evicted);
+        evicted
+    }
+}
+
+/// One worker's accumulated cache traffic: fresh entries in insertion order
+/// plus hit/miss counts. Produced by [`DecisionShard::into_delta`], consumed
+/// by [`DecisionCache::absorb`].
+#[derive(Debug, Default)]
+pub struct CacheDelta {
+    entries: Vec<(DecisionKey, EstBits, CachedValue)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A per-worker cache view: an immutable snapshot of the shared table plus
+/// a private delta of this worker's fresh results. Lookups consult the
+/// delta first (within-task reuse), then the snapshot. Workers never write
+/// shared state — determinism comes from absorbing deltas in canonical
+/// order afterwards.
+///
+/// A [`DecisionShard::disabled`] shard answers every lookup with `None`,
+/// records nothing and counts nothing, so the cache-off path is exactly the
+/// pre-cache controller.
+#[derive(Debug)]
+pub struct DecisionShard<'a> {
+    base: Option<&'a DecisionCache>,
+    delta: CacheDelta,
+}
+
+impl<'a> DecisionShard<'a> {
+    /// A shard reading against a snapshot of the shared cache.
+    pub fn new(base: &'a DecisionCache) -> Self {
+        Self {
+            base: Some(base),
+            delta: CacheDelta::default(),
+        }
+    }
+
+    /// The always-miss, never-counting shard (cache disabled).
+    pub fn disabled() -> Self {
+        Self {
+            base: None,
+            delta: CacheDelta::default(),
+        }
+    }
+
+    /// Whether this shard participates in caching.
+    pub fn enabled(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// Looks up a memoized result, counting a hit or miss. Disabled shards
+    /// return `None` without counting.
+    pub fn get(&mut self, key: &DecisionKey, bits: &EstBits) -> Option<CachedValue> {
+        let base = self.base?;
+        let found = self
+            .delta
+            .entries
+            .iter()
+            .find(|(k, b, _)| k == key && b == bits)
+            .map(|(_, _, v)| v.clone())
+            .or_else(|| base.get(key, bits).cloned());
+        if found.is_some() {
+            self.delta.hits += 1;
+        } else {
+            self.delta.misses += 1;
+        }
+        found
+    }
+
+    /// Records a fresh result in the private delta. No-op when disabled.
+    pub fn insert(&mut self, key: DecisionKey, bits: EstBits, value: CachedValue) {
+        if self.base.is_some() {
+            self.delta.entries.push((key, bits, value));
+        }
+    }
+
+    /// Consumes the shard into its delta for canonical-order absorption.
+    pub fn into_delta(self) -> CacheDelta {
+        self.delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morph::Objective;
+    use mocha_fabric::FabricPartition;
+    use mocha_model::network;
+    use mocha_obs::NoopRecorder;
+
+    fn est(s: f64, r: f64) -> SparsityEstimate {
+        SparsityEstimate {
+            ifmap_sparsity: s,
+            ifmap_mean_run: r,
+            kernel_sparsity: 0.3,
+            ofmap_sparsity: 0.5,
+            ofmap_mean_run: 2.0,
+        }
+    }
+
+    fn mocha_policy() -> Policy {
+        Policy::Mocha {
+            objective: Objective::Edp,
+        }
+    }
+
+    fn key_for(fabric: &FabricConfig, e: &SparsityEstimate) -> DecisionKey {
+        let net = network::tiny();
+        DecisionKey::decide(
+            fabric,
+            mocha_policy(),
+            Objective::Edp,
+            net.layers(),
+            e,
+            true,
+        )
+    }
+
+    #[test]
+    fn permuted_but_equivalent_lease_rectangles_share_a_key() {
+        // Two leases carving the same counts at different offsets of the
+        // quad fabric must normalize to the same sub-fabric signature.
+        let parent = FabricConfig::mocha_quad();
+        let a = FabricPartition {
+            pe_row0: 0,
+            pe_rows: 8,
+            pe_col0: 0,
+            pe_cols: 8,
+            bank0: 0,
+            banks: 16,
+            noc_dma_lanes: 4,
+            dma_engines: 2,
+            codec_engines: 12,
+        };
+        let b = FabricPartition {
+            pe_row0: 8,
+            pe_rows: 8,
+            pe_col0: 8,
+            pe_cols: 8,
+            bank0: 16,
+            banks: 16,
+            noc_dma_lanes: 4,
+            dma_engines: 2,
+            codec_engines: 12,
+        };
+        assert_ne!(a, b, "rectangles are genuinely different");
+        let e = est(0.6, 3.0);
+        assert_eq!(
+            key_for(&a.sub_config(&parent), &e),
+            key_for(&b.sub_config(&parent), &e)
+        );
+    }
+
+    #[test]
+    fn same_bucket_estimates_share_a_key_and_boundaries_split() {
+        let fabric = FabricConfig::mocha();
+        // 1/256 sparsity steps: both land in bucket floor(0.6*256) = 153.
+        let within = (est(153.2 / 256.0, 3.0), est(153.8 / 256.0, 3.0));
+        assert_eq!(key_for(&fabric, &within.0), key_for(&fabric, &within.1));
+        // Crossing the boundary to bucket 154 must split keys.
+        let across = est(154.1 / 256.0, 3.0);
+        assert_ne!(key_for(&fabric, &within.0), key_for(&fabric, &across));
+        // Mean-run boundary at 1/16 steps.
+        let run_a = est(0.6, 3.01);
+        let run_b = est(0.6, 3.05); // same 1/16 bucket (48)
+        let run_c = est(0.6, 3.07); // bucket 49
+        assert_eq!(key_for(&fabric, &run_a), key_for(&fabric, &run_b));
+        assert_ne!(key_for(&fabric, &run_a), key_for(&fabric, &run_c));
+    }
+
+    #[test]
+    fn layer_names_do_not_enter_the_key() {
+        let net = network::tiny();
+        let mut renamed: Vec<Layer> = net.layers().to_vec();
+        for l in &mut renamed {
+            l.name = format!("renamed-{}", l.name);
+        }
+        let fabric = FabricConfig::mocha();
+        let e = est(0.6, 3.0);
+        let a = DecisionKey::decide(
+            &fabric,
+            mocha_policy(),
+            Objective::Edp,
+            net.layers(),
+            &e,
+            true,
+        );
+        let b = DecisionKey::decide(&fabric, mocha_policy(), Objective::Edp, &renamed, &e, true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shorter_tails_get_distinct_keys() {
+        let net = network::tiny();
+        let fabric = FabricConfig::mocha();
+        let e = est(0.6, 3.0);
+        let full = DecisionKey::decide(
+            &fabric,
+            mocha_policy(),
+            Objective::Edp,
+            net.layers(),
+            &e,
+            true,
+        );
+        let two = DecisionKey::decide(
+            &fabric,
+            mocha_policy(),
+            Objective::Edp,
+            &net.layers()[..2],
+            &e,
+            true,
+        );
+        // Three-deep and deeper tails share the key: the controller never
+        // reads past MAX_GROUP_DEPTH layers.
+        let three = DecisionKey::decide(
+            &fabric,
+            mocha_policy(),
+            Objective::Edp,
+            &net.layers()[..3],
+            &e,
+            true,
+        );
+        assert_ne!(full, two);
+        assert_eq!(full, three);
+    }
+
+    #[test]
+    fn shard_hits_its_own_delta_and_merges_first_insert_wins() {
+        let net = network::tiny();
+        let fabric = FabricConfig::mocha();
+        let e = est(0.6, 3.0);
+        let key = DecisionKey::group(
+            &fabric,
+            mocha_policy(),
+            Objective::Edp,
+            net.layers(),
+            1,
+            &e,
+            true,
+        );
+        let bits = est_bits(&e);
+        let mut cache = DecisionCache::new();
+        let mut shard = DecisionShard::new(&cache);
+        assert!(shard.get(&key, &bits).is_none());
+        shard.insert(key.clone(), bits, CachedValue::Group(None));
+        assert!(matches!(
+            shard.get(&key, &bits),
+            Some(CachedValue::Group(None))
+        ));
+        let delta = shard.into_delta();
+        cache.absorb(delta, &mut NoopRecorder);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.decisions(), 2);
+        assert_eq!(cache.len(), 1);
+        // A second delta for the same key does not displace the first entry.
+        let mut shard2 = DecisionShard::new(&cache);
+        assert!(shard2.get(&key, &bits).is_some());
+        shard2.insert(key, bits, CachedValue::Group(None));
+        cache.absorb(shard2.into_delta(), &mut NoopRecorder);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disabled_shard_never_counts_or_stores() {
+        let net = network::tiny();
+        let fabric = FabricConfig::mocha();
+        let e = est(0.6, 3.0);
+        let key = DecisionKey::decide(
+            &fabric,
+            mocha_policy(),
+            Objective::Edp,
+            net.layers(),
+            &e,
+            true,
+        );
+        let mut shard = DecisionShard::disabled();
+        assert!(!shard.enabled());
+        assert!(shard.get(&key, &est_bits(&e)).is_none());
+        shard.insert(key, est_bits(&e), CachedValue::Group(None));
+        let delta = shard.into_delta();
+        let mut cache = DecisionCache::new();
+        cache.absorb(delta, &mut NoopRecorder);
+        assert_eq!(cache.decisions(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn window_shrink_invalidates_oversized_entries_only() {
+        let net = network::tiny();
+        let quad = FabricConfig::mocha_quad();
+        let parent = &quad;
+        // A half-fabric lease (8 cols) and a full-width one (16 cols).
+        let half = FabricPartition {
+            pe_row0: 0,
+            pe_rows: 16,
+            pe_col0: 0,
+            pe_cols: 8,
+            bank0: 0,
+            banks: 16,
+            noc_dma_lanes: 4,
+            dma_engines: 2,
+            codec_engines: 12,
+        }
+        .sub_config(parent);
+        let e = est(0.6, 3.0);
+        let mut cache = DecisionCache::new();
+        let mut shard = DecisionShard::new(&cache);
+        let small = DecisionKey::decide(
+            &half,
+            mocha_policy(),
+            Objective::Edp,
+            net.layers(),
+            &e,
+            true,
+        );
+        let big = DecisionKey::decide(
+            &quad,
+            mocha_policy(),
+            Objective::Edp,
+            net.layers(),
+            &e,
+            true,
+        );
+        shard.insert(small, est_bits(&e), CachedValue::Group(None));
+        shard.insert(big, est_bits(&e), CachedValue::Group(None));
+        cache.absorb(shard.into_delta(), &mut NoopRecorder);
+        assert_eq!(cache.len(), 2);
+        // Shrink the healthy window to 12 columns: the 16-col entry dies,
+        // the 8-col entry survives.
+        let evicted = cache.invalidate_window(12, 32, 8, 4, 24, &mut NoopRecorder);
+        assert_eq!(evicted, 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.invalidated(), 1);
+    }
+}

@@ -17,6 +17,7 @@
 //! search to a single optimization — the inflexibility the abstract
 //! contrasts MOCHA against.
 
+use crate::cache::{est_bits, CachedValue, DecisionKey, DecisionShard};
 use crate::exec::default_morph;
 use crate::fusion::{can_extend, plan_group, FusionGroup, MAX_GROUP_DEPTH};
 use crate::morph::{CompressionChoice, LoopOrder, MorphConfig, Objective, Parallelism, Tiling};
@@ -283,9 +284,46 @@ fn plan_for(
     }
 }
 
-/// Searches the best (config, plan) for a group of the first `len` layers.
-/// Returns `None` when no candidate fits the fabric.
+/// Searches the best (config, plan) for a group of the first `len` layers,
+/// consulting the morph-decision cache shard first. Returns `None` when no
+/// candidate fits the fabric — which is itself a memoizable result.
+#[allow(clippy::too_many_arguments)]
 fn search_group(
+    ctx: &PlanContext<'_>,
+    policy: Policy,
+    layers: &[Layer],
+    len: usize,
+    est: &SparsityEstimate,
+    objective: Objective,
+    store_output: bool,
+    shard: &mut DecisionShard<'_>,
+) -> Option<(MorphConfig, LayerPlan, usize)> {
+    if !shard.enabled() {
+        return search_group_fresh(ctx, policy, layers, len, est, objective, store_output);
+    }
+    let key = DecisionKey::group(
+        ctx.fabric,
+        policy,
+        objective,
+        layers,
+        len,
+        est,
+        store_output,
+    );
+    let bits = est_bits(est);
+    match shard.get(&key, &bits) {
+        Some(CachedValue::Group(g)) => return g,
+        Some(CachedValue::Decide(_)) => unreachable!("Group key resolved to a Decide value"),
+        None => {}
+    }
+    let g = search_group_fresh(ctx, policy, layers, len, est, objective, store_output);
+    shard.insert(key, bits, CachedValue::Group(g));
+    g
+}
+
+/// The uncached group search.
+#[allow(clippy::too_many_arguments)]
+fn search_group_fresh(
     ctx: &PlanContext<'_>,
     policy: Policy,
     layers: &[Layer],
@@ -391,6 +429,29 @@ pub fn decide_with_lease(
     est: &SparsityEstimate,
     store_output: bool,
 ) -> Decision {
+    decide_with_lease_cached(
+        ctx,
+        lease,
+        policy,
+        layers,
+        est,
+        store_output,
+        &mut DecisionShard::disabled(),
+    )
+}
+
+/// [`decide_with_lease`] consulting a morph-decision cache shard. The cache
+/// key is built from the lease's *sub-fabric* — which is offset-free — so
+/// permuted-but-equivalent lease rectangles share cached decisions.
+pub fn decide_with_lease_cached(
+    ctx: &PlanContext<'_>,
+    lease: &mocha_fabric::FabricPartition,
+    policy: Policy,
+    layers: &[Layer],
+    est: &SparsityEstimate,
+    store_output: bool,
+    shard: &mut DecisionShard<'_>,
+) -> Decision {
     lease
         .validate(ctx.fabric)
         .unwrap_or_else(|e| panic!("invalid lease: {e}"));
@@ -400,7 +461,7 @@ pub fn decide_with_lease(
         codec_costs: ctx.codec_costs,
         energy: ctx.energy,
     };
-    decide(&sub_ctx, policy, layers, est, store_output)
+    decide_cached(&sub_ctx, policy, layers, est, store_output, shard)
 }
 
 /// Decides the next group (fusion depth + morph config) at the head of
@@ -421,11 +482,61 @@ pub fn decide(
     est: &SparsityEstimate,
     store_output: bool,
 ) -> Decision {
+    decide_cached(
+        ctx,
+        policy,
+        layers,
+        est,
+        store_output,
+        &mut DecisionShard::disabled(),
+    )
+}
+
+/// [`decide`] consulting a morph-decision cache shard: the whole decision
+/// is memoized under a [`DecisionKey`], and on a miss each inner group
+/// search is memoized too, so partial work is reused across fusion-depth
+/// comparisons and across calls. With a disabled shard this is exactly the
+/// pre-cache controller.
+pub fn decide_cached(
+    ctx: &PlanContext<'_>,
+    policy: Policy,
+    layers: &[Layer],
+    est: &SparsityEstimate,
+    store_output: bool,
+    shard: &mut DecisionShard<'_>,
+) -> Decision {
     assert!(!layers.is_empty());
     let objective = match policy {
         Policy::Mocha { objective } | Policy::MochaNoCompression { objective } => objective,
         _ => Objective::Edp,
     };
+    if !shard.enabled() {
+        return decide_searched(ctx, policy, layers, est, objective, store_output, shard);
+    }
+    let key = DecisionKey::decide(ctx.fabric, policy, objective, layers, est, store_output);
+    let bits = est_bits(est);
+    match shard.get(&key, &bits) {
+        Some(CachedValue::Decide(d)) => return d,
+        Some(CachedValue::Group(_)) => unreachable!("Decide key resolved to a Group value"),
+        None => {}
+    }
+    let d = decide_searched(ctx, policy, layers, est, objective, store_output, shard);
+    shard.insert(key, bits, CachedValue::Decide(d.clone()));
+    d
+}
+
+/// The fusion-depth search behind [`decide`], group-level memoization
+/// included.
+#[allow(clippy::too_many_arguments)]
+fn decide_searched(
+    ctx: &PlanContext<'_>,
+    policy: Policy,
+    layers: &[Layer],
+    est: &SparsityEstimate,
+    objective: Objective,
+    store_output: bool,
+    shard: &mut DecisionShard<'_>,
+) -> Decision {
     let fusion_allowed = matches!(
         policy,
         Policy::Mocha { .. } | Policy::MochaNoCompression { .. } | Policy::FusionOnly
@@ -439,7 +550,7 @@ pub fn decide(
         // pin member kernels whole.
         for d in (1..=deepest).rev() {
             if let Some((morph, plan, candidates)) =
-                search_group(ctx, policy, layers, d, est, objective, store_output)
+                search_group(ctx, policy, layers, d, est, objective, store_output, shard)
             {
                 return Decision {
                     group_len: d,
@@ -468,6 +579,7 @@ pub fn decide(
             &chain_est,
             objective,
             store_output,
+            shard,
         );
         if let Some((m, p, c)) = &single {
             total_candidates += c;
@@ -486,7 +598,7 @@ pub fn decide(
 
         if d > 1 {
             if let Some((m, p, c)) =
-                search_group(ctx, policy, layers, d, est, objective, store_output)
+                search_group(ctx, policy, layers, d, est, objective, store_output, shard)
             {
                 total_candidates += c;
                 let s = score(&p, objective);

@@ -1,17 +1,18 @@
 //! Functional execution of one layer under a morph configuration —
 //! bit-exact, with exact (data-dependent) timing and energy accounting.
 //!
-//! Every tile's streams are *actually encoded* with the configured codecs,
-//! decoded back, and asserted equal to the source bytes — so a run is
-//! simultaneously the timing simulation and the proof that morphing never
-//! changes results. Compressed sizes entering the timing model are therefore
-//! exact, not estimates (the analytical mirror lives in [`crate::plan`]).
+//! Every tile's streams are priced by the codecs' *exact* size passes —
+//! not estimates (the analytical mirror lives in [`crate::plan`]). Debug
+//! builds additionally encode every stream, decode it back, and assert it
+//! equal to the source bytes, so `cargo test` remains the proof that
+//! morphing never changes results; release builds skip the materialization
+//! and keep the hot loop allocation-free.
 
 use crate::morph::{LoopOrder, MorphConfig};
 use crate::parallel::{compute_phase, map_tile, TileWork};
 use crate::streams;
 use crate::tiling::{input_window, reduction_depth, reduction_slabs, tiles, OutputTile, Region};
-use mocha_compress::{Codec, CodecCostTable, Compressed, CompressionStats};
+use mocha_compress::{Codec, CodecCostTable, CompressionStats};
 use mocha_energy::EventCounts;
 use mocha_fabric::{
     pipeline_cycles, scratchpad, Buffering, CapacityError, FabricConfig, RegionClass, Scratchpad,
@@ -53,33 +54,56 @@ pub struct LayerRun {
 const LOAD_LANES: usize = 2;
 const STORE_LANES: usize = 2;
 
-/// Encodes `data` under `codec`, proves the roundtrip is bit-exact, and
-/// returns the encoded size in bytes.
+/// Prices `data` under `codec`: the exact encoded size in bytes, computed
+/// by the codec's allocation-free size pass. Debug builds additionally
+/// encode, decode, and assert the roundtrip is bit-exact and that the size
+/// pass agrees with the real encoder — the timing model and the
+/// bit-exactness proof stay one code path under test.
 fn encode_checked(codec: Codec, data: &[i8]) -> usize {
-    let enc = Compressed::encode(codec, data);
-    debug_assert_eq!(
-        enc.decode(),
-        data,
-        "codec {} roundtrip broken",
-        codec.name()
-    );
-    enc.bytes()
+    let size = codec.encoded_size(data);
+    #[cfg(debug_assertions)]
+    {
+        let enc = mocha_compress::Compressed::encode(codec, data);
+        debug_assert_eq!(
+            enc.decode(),
+            data,
+            "codec {} roundtrip broken",
+            codec.name()
+        );
+        debug_assert_eq!(
+            enc.bytes(),
+            size,
+            "codec {} size pass disagrees with encoder",
+            codec.name()
+        );
+    }
+    size
 }
 
-/// Extracts the raw bytes of an input window, handling the fc flattened
-/// special case (where the "window" is a flat reduction range).
-fn window_bytes(layer: &Layer, input: &Tensor<i8>, win: &Region) -> Vec<i8> {
+/// Extracts the raw bytes of an input window into a caller-owned scratch
+/// buffer (cleared first), handling the fc flattened special case (where
+/// the "window" is a flat reduction range). Row-wise copies straight from
+/// the source tensor — no intermediate window tensor, and the tile loop
+/// reuses one allocation across all its DMA transfers.
+fn window_bytes_into(layer: &Layer, input: &Tensor<i8>, win: &Region, out: &mut Vec<i8>) {
+    out.clear();
     // A tile whose receptive field lies entirely in padding (possible with
     // stride > 1 and generous padding) has an empty clipped window.
     if win.volume() == 0 {
-        return Vec::new();
+        return;
     }
     match layer.kind {
-        LayerKind::Fc { .. } => input.data()[win.c0..win.c0 + win.cn].to_vec(),
-        _ => input
-            .window(win.c0, win.cn, win.y0, win.yn, win.x0, win.xn)
-            .data()
-            .to_vec(),
+        LayerKind::Fc { .. } => out.extend_from_slice(&input.data()[win.c0..win.c0 + win.cn]),
+        _ => {
+            out.reserve(win.volume());
+            let shape = input.shape();
+            for c in win.c0..win.c0 + win.cn {
+                for y in win.y0..win.y0 + win.yn {
+                    let src = shape.index(c, y, win.x0);
+                    out.extend_from_slice(&input.data()[src..src + win.xn]);
+                }
+            }
+        }
     }
 }
 
@@ -134,6 +158,11 @@ pub fn execute_weighted(
     // Pinned-operand state: (block key, scratchpad region, encoded bytes).
     let mut pinned: Option<(usize, mocha_fabric::RegionId, usize)> = None;
 
+    // One scratch buffer for every raw stream the tile loop materializes —
+    // windows and kernel blocks are priced and discarded, so the allocation
+    // is reused across all tiles and slabs.
+    let mut scratch: Vec<i8> = Vec::new();
+
     for tile in &tile_list {
         let out_vol = tile.out.volume();
 
@@ -148,20 +177,30 @@ pub fn execute_weighted(
                 if let Some((_, region, _)) = pinned.take() {
                     spm.free(region);
                 }
-                let (class, raw, codec) = match morph.loop_order {
+                let (class, codec) = match morph.loop_order {
                     LoopOrder::WeightStationary => {
-                        let raw =
-                            kernel.filter_block(tile.out.c0, tile.out.cn, 0, depth_channels(layer));
-                        (RegionClass::KernelBlock, raw, morph.compression.kernel)
+                        kernel.filter_block_into(
+                            tile.out.c0,
+                            tile.out.cn,
+                            0,
+                            depth_channels(layer),
+                            &mut scratch,
+                        );
+                        (RegionClass::KernelBlock, morph.compression.kernel)
                     }
                     LoopOrder::InputStationary => {
                         let win = input_window(layer, &tile.out, 0, depth);
-                        let raw = window_bytes(layer, input, &win);
-                        (RegionClass::IfmapTile, raw, morph.compression.ifmap)
+                        window_bytes_into(layer, input, &win, &mut scratch);
+                        (RegionClass::IfmapTile, morph.compression.ifmap)
                     }
                 };
-                let encoded = encode_checked(codec, &raw);
-                compression.record(codec, class == RegionClass::KernelBlock, raw.len(), encoded);
+                let encoded = encode_checked(codec, &scratch);
+                compression.record(
+                    codec,
+                    class == RegionClass::KernelBlock,
+                    scratch.len(),
+                    encoded,
+                );
                 let region = spm.alloc(class, encoded)?;
                 let transfer = streams::load_encoded(encoded, LOAD_LANES);
                 transfer.count_events(ctx.fabric, &mut events);
@@ -182,24 +221,24 @@ pub fn execute_weighted(
         let mut ifmap_raw_tile = 0usize; // raw ifmap bytes the tile reads
         let mut kernel_raw_tile = 0usize; // raw kernel bytes the tile reads
         for &(ic0, icn) in &slabs {
-            let (raw, codec, is_kernel) = match morph.loop_order {
+            let (codec, is_kernel) = match morph.loop_order {
                 LoopOrder::WeightStationary => {
                     let win = input_window(layer, &tile.out, ic0, icn);
-                    let raw = window_bytes(layer, input, &win);
-                    (raw, morph.compression.ifmap, false)
+                    window_bytes_into(layer, input, &win, &mut scratch);
+                    (morph.compression.ifmap, false)
                 }
                 LoopOrder::InputStationary => {
-                    let raw = kernel.filter_block(tile.out.c0, tile.out.cn, ic0, icn);
-                    (raw, morph.compression.kernel, true)
+                    kernel.filter_block_into(tile.out.c0, tile.out.cn, ic0, icn, &mut scratch);
+                    (morph.compression.kernel, true)
                 }
             };
             if is_kernel {
-                kernel_raw_tile += raw.len();
+                kernel_raw_tile += scratch.len();
             } else {
-                ifmap_raw_tile += raw.len();
+                ifmap_raw_tile += scratch.len();
             }
-            let encoded = encode_checked(codec, &raw);
-            compression.record(codec, is_kernel, raw.len(), encoded);
+            let encoded = encode_checked(codec, &scratch);
+            compression.record(codec, is_kernel, scratch.len(), encoded);
             streamed_encoded_total += encoded;
             max_slab_encoded = max_slab_encoded.max(encoded);
             let transfer = streams::load_encoded(encoded, LOAD_LANES);
@@ -333,13 +372,27 @@ fn depth_divisor(_layer: &Layer) -> usize {
     1
 }
 
-/// Fraction of zero weights in the kernel block a tile consumes.
+/// Fraction of zero weights in the kernel block a tile consumes, counted
+/// in place over the filter slices — no block materialization.
 fn kernel_zero_fraction(kernel: &Kernel, tile: &OutputTile, layer: &Layer) -> f64 {
-    let block = kernel.filter_block(tile.out.c0, tile.out.cn, 0, depth_channels(layer));
-    if block.is_empty() {
+    let shape = kernel.shape();
+    let kk = shape.k * shape.k;
+    let cn = depth_channels(layer);
+    let total = tile.out.cn * cn * kk;
+    if total == 0 {
         return 0.0;
     }
-    block.iter().filter(|&&v| v == 0).count() as f64 / block.len() as f64
+    let mut zeros = 0usize;
+    for oc in tile.out.c0..tile.out.c0 + tile.out.cn {
+        for ic in 0..cn {
+            let base = shape.index(oc, ic, 0, 0);
+            zeros += kernel.data()[base..base + kk]
+                .iter()
+                .filter(|&&v| v == 0)
+                .count();
+        }
+    }
+    zeros as f64 / total as f64
 }
 
 /// Computes one output tile functionally (bit-exact), reading the input via
@@ -467,11 +520,12 @@ pub fn execute_pool(
     let mut compression = CompressionStats::default();
     let mut phases = Vec::with_capacity(tile_list.len());
 
+    let mut scratch: Vec<i8> = Vec::new();
     for tile in &tile_list {
         let win = input_window(layer, &tile.out, tile.out.c0, tile.out.cn);
-        let raw = window_bytes(layer, input, &win);
-        let encoded = encode_checked(morph.compression.ifmap, &raw);
-        compression.record(morph.compression.ifmap, false, raw.len(), encoded);
+        window_bytes_into(layer, input, &win, &mut scratch);
+        let encoded = encode_checked(morph.compression.ifmap, &scratch);
+        compression.record(morph.compression.ifmap, false, scratch.len(), encoded);
 
         let in_buf = spm.alloc(RegionClass::IfmapTile, encoded * buffer_sets)?;
         let out_vol = tile.out.volume();
@@ -496,12 +550,12 @@ pub fn execute_pool(
         phase.count_events(&mut events);
         let decode_cycles = ctx
             .codec_costs
-            .decode_cycles(morph.compression.ifmap, raw.len());
+            .decode_cycles(morph.compression.ifmap, scratch.len());
         events.priced_pj += ctx
             .codec_costs
-            .energy_pj(morph.compression.ifmap, raw.len());
+            .energy_pj(morph.compression.ifmap, scratch.len());
         if morph.compression.ifmap != Codec::None {
-            events.codec_bytes += raw.len() as u64;
+            events.codec_bytes += scratch.len() as u64;
         }
         events.spm_read_bytes += encoded as u64;
         events.spm_write_bytes += out_vol as u64;

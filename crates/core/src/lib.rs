@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cache;
 pub mod controller;
 pub mod dse;
 pub mod exec;
@@ -37,6 +38,7 @@ pub mod tiling;
 pub mod trace;
 
 pub use baseline::Accelerator;
+pub use cache::{CacheDelta, DecisionCache, DecisionKey, DecisionShard};
 pub use controller::{decide, decide_with_lease, Decision, Policy};
 pub use dse::{explore_layer, pareto_front, DesignPoint};
 pub use exec::{execute_layer, ExecContext, LayerRun};

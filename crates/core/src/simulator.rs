@@ -7,7 +7,8 @@
 //! verifying bit-exactness against the golden model — and accumulates
 //! metrics. This is the entry point every experiment drives.
 
-use crate::controller::decide;
+use crate::cache::DecisionShard;
+use crate::controller::decide_cached;
 use crate::exec::{execute_layer, ExecContext};
 use crate::fusion::{execute_group, FusionGroup};
 use crate::metrics::{GroupMetrics, RunMetrics};
@@ -283,6 +284,28 @@ impl Session {
         fabric: &mocha_fabric::FabricConfig,
         rec: &mut R,
     ) -> &GroupMetrics {
+        self.step_on_shard_with(fabric, &mut DecisionShard::disabled(), rec)
+    }
+
+    /// [`Session::step_on`] consulting a morph-decision cache shard: both
+    /// controller calls (the primary decision and the compression-overflow
+    /// fallback) go through the shard. With a disabled shard this is
+    /// exactly [`Session::step_on`].
+    pub fn step_on_shard(
+        &mut self,
+        fabric: &mocha_fabric::FabricConfig,
+        shard: &mut DecisionShard<'_>,
+    ) -> &GroupMetrics {
+        self.step_on_shard_with(fabric, shard, &mut NoopRecorder)
+    }
+
+    /// [`Session::step_on_with`] consulting a morph-decision cache shard.
+    pub fn step_on_shard_with<R: Recorder>(
+        &mut self,
+        fabric: &mocha_fabric::FabricConfig,
+        shard: &mut DecisionShard<'_>,
+        rec: &mut R,
+    ) -> &GroupMetrics {
         assert!(!self.done(), "session already complete");
         let sim = &self.sim;
         let i = self.pos;
@@ -294,7 +317,14 @@ impl Session {
         };
 
         let est = sim.estimate(&self.workload, i, &self.current);
-        let mut decision = decide(&pctx, sim.accelerator.policy, &layers[i..], &est, true);
+        let mut decision = decide_cached(
+            &pctx,
+            sim.accelerator.policy,
+            &layers[i..],
+            &est,
+            true,
+            shard,
+        );
 
         // Execute the decision. Compressed plans size buffers from
         // *estimated* encoded sizes (with a 2 % planning margin); on
@@ -309,7 +339,7 @@ impl Session {
                 }
                 p => p,
             };
-            decision = decide(&pctx, fallback_policy, &layers[i..], &est, true);
+            decision = decide_cached(&pctx, fallback_policy, &layers[i..], &est, true, shard);
             attempt = sim.execute_decision(fabric, &self.workload, i, &self.current, &decision);
             rec.add(mocha_obs::names::CORE_COMPRESSION_FALLBACKS, 1);
         }

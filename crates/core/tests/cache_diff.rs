@@ -1,0 +1,160 @@
+//! Differential tests for the morph-decision cache at the controller and
+//! simulator level: every cached path must produce byte-identical results
+//! to the uncached path, and warm replays must actually hit.
+//!
+//! `Decision` and `GroupMetrics` are compared through their `Debug`
+//! renderings — full-precision float formatting makes that a byte-level
+//! equality check without imposing `PartialEq` on production types. The
+//! runtime- and serve-level shapes (R1/R2 schedules, R3 calibration) are
+//! covered by `crates/runtime/tests/cache_diff.rs` and the serve crate's
+//! cached-calibration test.
+
+use mocha_compress::CodecCostTable;
+use mocha_core::controller::{decide, decide_cached, decide_with_lease, decide_with_lease_cached};
+use mocha_core::plan::{PlanContext, SparsityEstimate};
+use mocha_core::{Accelerator, DecisionCache, DecisionShard, Objective, Session, Simulator};
+use mocha_energy::EnergyTable;
+use mocha_fabric::{FabricConfig, FabricPartition};
+use mocha_model::gen::{SparsityProfile, Workload};
+use mocha_model::network;
+use mocha_obs::NoopRecorder;
+
+fn est(ifs: f64, run: f64, ks: f64) -> SparsityEstimate {
+    SparsityEstimate {
+        ifmap_sparsity: ifs,
+        ifmap_mean_run: run,
+        kernel_sparsity: ks,
+        ofmap_sparsity: ifs * 0.8,
+        ofmap_mean_run: run * 0.5,
+    }
+}
+
+/// Sweeps `decide` over objectives, networks, tail positions and estimates,
+/// asserting the cached controller replays the uncached controller exactly —
+/// on a cold shard, and again on a warm shard that must actually hit.
+#[test]
+fn cached_decide_is_byte_identical_to_uncached_across_sweep() {
+    let fabric = FabricConfig::mocha();
+    let costs = CodecCostTable::default();
+    let energy = EnergyTable::default();
+    let ctx = PlanContext {
+        fabric: &fabric,
+        codec_costs: &costs,
+        energy: &energy,
+    };
+    let mut cache = DecisionCache::new();
+    let mut checked = 0usize;
+    for objective in [Objective::Edp, Objective::Throughput, Objective::Energy] {
+        let policy = mocha_core::controller::Policy::Mocha { objective };
+        for net in [network::tiny(), network::lenet5()] {
+            let layers = net.layers();
+            for start in 0..layers.len() {
+                for e in [est(0.55, 3.0, 0.3), est(0.9, 11.0, 0.6), est(0.1, 1.2, 0.0)] {
+                    let tail = &layers[start..];
+                    let plain = decide(&ctx, policy, tail, &e, true);
+                    let mut shard = DecisionShard::new(&cache);
+                    let cold = decide_cached(&ctx, policy, tail, &e, true, &mut shard);
+                    cache.absorb(shard.into_delta(), &mut NoopRecorder);
+                    let mut warm_shard = DecisionShard::new(&cache);
+                    let warm = decide_cached(&ctx, policy, tail, &e, true, &mut warm_shard);
+                    let hits_before = cache.hits();
+                    cache.absorb(warm_shard.into_delta(), &mut NoopRecorder);
+                    assert_eq!(format!("{plain:?}"), format!("{cold:?}"));
+                    assert_eq!(format!("{plain:?}"), format!("{warm:?}"));
+                    assert!(cache.hits() > hits_before, "warm replay must hit");
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked >= 30, "sweep too small to be meaningful: {checked}");
+    assert_eq!(cache.decisions(), cache.hits() + cache.misses());
+}
+
+/// Lease-restricted decisions: the cached path must agree with the uncached
+/// one, and two leases carving equal counts at different offsets must share
+/// cache entries (the second carve hits without any fresh search).
+#[test]
+fn cached_lease_decisions_match_and_offset_permuted_leases_hit() {
+    let parent = FabricConfig::mocha_quad();
+    let costs = CodecCostTable::default();
+    let energy = EnergyTable::default();
+    let ctx = PlanContext {
+        fabric: &parent,
+        codec_costs: &costs,
+        energy: &energy,
+    };
+    let policy = mocha_core::controller::Policy::Mocha {
+        objective: Objective::Edp,
+    };
+    let lease_at = |row0: usize, col0: usize, bank0: usize| FabricPartition {
+        pe_row0: row0,
+        pe_rows: 8,
+        pe_col0: col0,
+        pe_cols: 8,
+        bank0,
+        banks: 16,
+        noc_dma_lanes: 4,
+        dma_engines: 2,
+        codec_engines: 12,
+    };
+    let net = network::tiny();
+    let e = est(0.6, 4.0, 0.4);
+    let mut cache = DecisionCache::new();
+
+    let a = lease_at(0, 0, 0);
+    let plain = decide_with_lease(&ctx, &a, policy, net.layers(), &e, true);
+    let mut shard = DecisionShard::new(&cache);
+    let cached = decide_with_lease_cached(&ctx, &a, policy, net.layers(), &e, true, &mut shard);
+    cache.absorb(shard.into_delta(), &mut NoopRecorder);
+    assert_eq!(format!("{plain:?}"), format!("{cached:?}"));
+    let misses_after_cold = cache.misses();
+
+    // Same counts, different rectangle: must be answered from the cache.
+    let b = lease_at(8, 8, 16);
+    let mut shard = DecisionShard::new(&cache);
+    let moved = decide_with_lease_cached(&ctx, &b, policy, net.layers(), &e, true, &mut shard);
+    cache.absorb(shard.into_delta(), &mut NoopRecorder);
+    assert_eq!(format!("{plain:?}"), format!("{moved:?}"));
+    assert_eq!(
+        cache.misses(),
+        misses_after_cold,
+        "offset-permuted lease must not miss"
+    );
+    assert!(cache.hits() > 0);
+}
+
+/// Steps two identically-seeded sessions — one with the cache disabled, one
+/// sharing a cache across *three* replays — and asserts every group metric
+/// is byte-identical while the warm replays hit.
+#[test]
+fn session_stepping_with_shared_cache_replays_bit_exactly() {
+    let mk_session = || {
+        let acc = Accelerator::mocha(Objective::Edp);
+        let workload = Workload::generate(network::tiny(), SparsityProfile::NOMINAL, 11);
+        Session::new(Simulator::new(acc), workload)
+    };
+    let fabric = FabricConfig::mocha();
+
+    // Reference: cache-off stepping.
+    let mut reference = Vec::new();
+    let mut off = mk_session();
+    while !off.done() {
+        reference.push(format!("{:?}", off.step_on(&fabric)));
+    }
+
+    let mut cache = DecisionCache::new();
+    for replay in 0..3 {
+        let mut s = mk_session();
+        let mut groups = Vec::new();
+        while !s.done() {
+            let mut shard = DecisionShard::new(&cache);
+            groups.push(format!("{:?}", s.step_on_shard(&fabric, &mut shard)));
+            cache.absorb(shard.into_delta(), &mut NoopRecorder);
+        }
+        assert_eq!(groups, reference, "replay {replay} diverged");
+    }
+    // Replays 1 and 2 re-pose identical questions: the table must answer.
+    assert!(cache.hits() > 0, "warm replays never hit the cache");
+    assert_eq!(cache.decisions(), cache.hits() + cache.misses());
+}

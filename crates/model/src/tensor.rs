@@ -157,16 +157,32 @@ impl Kernel {
     /// channels `[ic0, ic0+cn)` — the bytes a tile DMA actually ships when
     /// both output- and input-channel tiling are active.
     pub fn filter_block(&self, oc0: usize, n: usize, ic0: usize, cn: usize) -> Vec<i8> {
+        let mut out = Vec::new();
+        self.filter_block_into(oc0, n, ic0, cn, &mut out);
+        out
+    }
+
+    /// [`Self::filter_block`] into a caller-owned buffer, clearing it first —
+    /// lets the simulator's tile loop reuse one scratch allocation instead
+    /// of allocating per DMA transfer.
+    pub fn filter_block_into(
+        &self,
+        oc0: usize,
+        n: usize,
+        ic0: usize,
+        cn: usize,
+        out: &mut Vec<i8>,
+    ) {
         assert!(oc0 + n <= self.shape.out_c && ic0 + cn <= self.shape.in_c);
         let kk = self.shape.k * self.shape.k;
-        let mut out = Vec::with_capacity(n * cn * kk);
+        out.clear();
+        out.reserve(n * cn * kk);
         for oc in oc0..oc0 + n {
             for ic in ic0..ic0 + cn {
                 let base = self.shape.index(oc, ic, 0, 0);
                 out.extend_from_slice(&self.data[base..base + kk]);
             }
         }
-        out
     }
 
     /// Fraction of weights that are exactly zero.

@@ -61,6 +61,17 @@ pub const CORE_CANDIDATES: &str = "core.candidates";
 /// without compression.
 pub const CORE_COMPRESSION_FALLBACKS: &str = "core.compression_fallbacks";
 
+// ---- cache: morph-decision cache counters ----
+
+/// Morph-decision cache consultations (`cache.hit + cache.miss`).
+pub const CACHE_DECISIONS: &str = "cache.decisions";
+/// Consultations answered from the memo table.
+pub const CACHE_HITS: &str = "cache.hit";
+/// Consultations that fell through to a fresh controller search.
+pub const CACHE_MISSES: &str = "cache.miss";
+/// Entries evicted when quarantine shrank the healthy-window geometry.
+pub const CACHE_INVALIDATED: &str = "cache.invalidate";
+
 // ---- runtime: scheduler lifecycle counters ----
 
 /// Submissions that entered the admission queue.

@@ -29,7 +29,8 @@ pub mod workload;
 
 pub use job::{JobId, JobSpec, Priority, Submission};
 pub use lease::LeasePolicy;
+pub use mocha_core::DecisionCache;
 pub use mocha_fault::{FaultMode, FaultPlan};
 pub use report::{JobReport, RuntimeReport};
-pub use scheduler::{run, run_with, RuntimeConfig};
+pub use scheduler::{run, run_with, run_with_cache, RuntimeConfig};
 pub use workload::{generate, Mix, TrafficConfig};

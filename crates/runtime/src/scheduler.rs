@@ -67,7 +67,7 @@
 use crate::job::{JobId, Priority, Submission};
 use crate::lease::{carve, carve_in, max_tenants, LeasePolicy};
 use crate::report::{JobReport, RuntimeReport};
-use mocha_core::{Accelerator, Session, Simulator};
+use mocha_core::{Accelerator, DecisionCache, DecisionShard, Session, Simulator};
 use mocha_fabric::{FabricConfig, FabricPartition};
 use mocha_fault::{CarveWindow, FaultKind, FaultMode, FaultPlan, FaultTimeline, Quarantine};
 use mocha_model::gen::Workload;
@@ -92,6 +92,12 @@ pub struct RuntimeConfig {
     /// Deterministic fault injection; `None` (the default) disables the
     /// fault layer entirely and reproduces the fault-free loop exactly.
     pub faults: Option<FaultPlan>,
+    /// Consult a morph-decision cache across jobs (off by default). The
+    /// cache memoizes controller searches keyed on normalized geometry and
+    /// hits only on exact estimate bits, so every report and recorder
+    /// stream except the `cache.*` counters is byte-identical to an
+    /// uncached run at any thread count.
+    pub cache: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -103,6 +109,7 @@ impl Default for RuntimeConfig {
             verify: true,
             threads: 0,
             faults: None,
+            cache: false,
         }
     }
 }
@@ -211,6 +218,35 @@ pub fn run_with<R: Recorder>(
     submissions: &[Submission],
     rec: &mut R,
 ) -> RuntimeReport {
+    if cfg.cache {
+        let mut cache = DecisionCache::new();
+        run_impl(cfg, submissions, Some(&mut cache), rec)
+    } else {
+        run_impl(cfg, submissions, None, rec)
+    }
+}
+
+/// [`run_with`] sharing a caller-owned morph-decision cache, so repeated
+/// batches (a serving reactor, a warm benchmark pass) reuse decisions from
+/// earlier runs. The cache is consulted regardless of
+/// [`RuntimeConfig::cache`]; per-round worker shards are merged back in
+/// canonical job order, so reports and streams stay byte-identical at any
+/// [`RuntimeConfig::threads`].
+pub fn run_with_cache<R: Recorder>(
+    cfg: &RuntimeConfig,
+    submissions: &[Submission],
+    cache: &mut DecisionCache,
+    rec: &mut R,
+) -> RuntimeReport {
+    run_impl(cfg, submissions, Some(cache), rec)
+}
+
+fn run_impl<R: Recorder>(
+    cfg: &RuntimeConfig,
+    submissions: &[Submission],
+    mut cache: Option<&mut DecisionCache>,
+    rec: &mut R,
+) -> RuntimeReport {
     for (i, s) in submissions.iter().enumerate() {
         s.spec.validate().unwrap_or_else(|e| panic!("job {i}: {e}"));
         if i > 0 {
@@ -278,6 +314,19 @@ pub fn run_with<R: Recorder>(
                             fs.window = fs.quarantine.window(&cfg.fabric);
                             let slots = cap.min(fs.window.max_tenants());
                             fs.static_slots = carve_in(&cfg.fabric, &fs.window, &vec![1; slots]);
+                            // The healthy window shrank: cached decisions
+                            // for sub-fabrics the window can no longer host
+                            // are dead geometry — evict them.
+                            if let Some(c) = cache.as_deref_mut() {
+                                c.invalidate_window(
+                                    fs.window.cols,
+                                    fs.window.banks,
+                                    fs.window.lanes,
+                                    fs.window.dmas,
+                                    fs.window.codecs,
+                                    rec,
+                                );
+                            }
                         }
                     }
                     FaultMode::FailStop => fs.broken.insert(&ev.kind),
@@ -613,24 +662,39 @@ pub fn run_with<R: Recorder>(
             }
         }
         let parent = cfg.fabric;
-        let stepped = engine.map_vec(ready, |_, mut r| {
-            let sub = r.lease.sub_config(&parent);
-            let g = r.session.step_on(&sub);
-            let cycles = g.cycles.max(1);
-            let group_energy = g.energy.total_pj();
-            r.busy_cycles += cycles;
-            r.leased_pe_cycles += cycles as f64 * r.lease.pes() as f64;
-            r.energy_pj += group_energy;
-            r.attempt_energy += group_energy;
-            r.work_macs += g.work_macs;
-            r.groups += 1;
-            r.group_start = now;
-            r.group_len = cycles;
-            r.group_energy = group_energy;
-            r.boundary = now + cycles;
-            r
-        });
-        for r in stepped {
+        // Each parallel task reads an immutable snapshot of the cache
+        // through a private shard and returns its delta; deltas are
+        // absorbed below in canonical (id) order, first insert wins, so
+        // the cache contents — and everything downstream — are identical
+        // at any worker count.
+        let stepped = {
+            let snap = cache.as_deref();
+            engine.map_vec(ready, |_, mut r| {
+                let mut shard = match snap {
+                    Some(c) => DecisionShard::new(c),
+                    None => DecisionShard::disabled(),
+                };
+                let sub = r.lease.sub_config(&parent);
+                let g = r.session.step_on_shard(&sub, &mut shard);
+                let cycles = g.cycles.max(1);
+                let group_energy = g.energy.total_pj();
+                r.busy_cycles += cycles;
+                r.leased_pe_cycles += cycles as f64 * r.lease.pes() as f64;
+                r.energy_pj += group_energy;
+                r.attempt_energy += group_energy;
+                r.work_macs += g.work_macs;
+                r.groups += 1;
+                r.group_start = now;
+                r.group_len = cycles;
+                r.group_energy = group_energy;
+                r.boundary = now + cycles;
+                (r, shard.into_delta())
+            })
+        };
+        for (r, delta) in stepped {
+            if let Some(c) = cache.as_deref_mut() {
+                c.absorb(delta, rec);
+            }
             rec.add(names::RUNTIME_GROUPS_STEPPED, 1);
             if R::ACTIVE {
                 // Stepping happens inside the parallel map, so the recorder

@@ -1,0 +1,184 @@
+//! Differential tests for the morph-decision cache at the runtime level:
+//! cache-on runs must be byte-identical to cache-off runs — reports, obs
+//! streams and trace profiles — at every worker count, the *only* permitted
+//! stream delta being the `cache.*` counter lines themselves. Workload
+//! shapes mirror the repro experiments: R1's multi-tenant schedule, R2's
+//! faulted schedule with quarantine re-carves (which must invalidate cached
+//! geometry), and R3-style repeated warm batches through a shared cache.
+
+use mocha_energy::EnergyTable;
+use mocha_obs::{names, MemRecorder};
+use mocha_runtime::{
+    generate, run_with, run_with_cache, DecisionCache, FaultMode, FaultPlan, Mix, RuntimeConfig,
+    TrafficConfig,
+};
+
+fn traffic(jobs: usize, seed: u64) -> TrafficConfig {
+    TrafficConfig {
+        jobs,
+        load: 3.0,
+        seed,
+        mix: Mix::Quick,
+    }
+}
+
+fn cfg(cache: bool, threads: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        cache,
+        threads,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Drops the `cache.*` counter lines — the only stream delta a cache-on run
+/// is allowed to introduce.
+fn strip_cache_lines(jsonl: &str) -> String {
+    jsonl
+        .lines()
+        .filter(|l| !l.contains("\"cache."))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// Builds the trace profile JSON from an obs stream.
+fn profile_json(jsonl: &str) -> String {
+    let (profile, _) = mocha_trace::profile_input(jsonl, &EnergyTable::default())
+        .expect("runtime stream must parse into a trace profile");
+    profile.to_json().to_string_compact()
+}
+
+/// R1-shaped differential: the same multi-tenant schedule with the cache on
+/// and off, across worker counts. Reports byte-identical, streams identical
+/// after stripping `cache.*`, trace profiles identical verbatim — and the
+/// cache-on stream itself identical at every thread count.
+#[test]
+fn r1_shaped_run_is_byte_identical_with_cache_on_across_threads() {
+    let subs = generate(&traffic(6, 13));
+    let mut off_rec = MemRecorder::new();
+    let off_report = run_with(&cfg(false, 1), &subs, &mut off_rec);
+    let off_jsonl = off_rec.to_jsonl();
+    assert!(
+        !off_jsonl.contains("\"cache."),
+        "cache-off run must record no cache counters"
+    );
+
+    let mut on_streams = Vec::new();
+    for threads in [1, 2, 8] {
+        let mut rec = MemRecorder::new();
+        let report = run_with(&cfg(true, threads), &subs, &mut rec);
+        assert_eq!(report, off_report, "{threads} threads: report diverged");
+        let jsonl = rec.to_jsonl();
+        assert_eq!(
+            strip_cache_lines(&jsonl),
+            off_jsonl,
+            "{threads} threads: stream diverged beyond cache.* lines"
+        );
+        assert_eq!(profile_json(&jsonl), profile_json(&off_jsonl));
+        // Counters reconcile by construction: hit + miss == decisions.
+        let (h, m, d) = (
+            rec.counter(names::CACHE_HITS),
+            rec.counter(names::CACHE_MISSES),
+            rec.counter(names::CACHE_DECISIONS),
+        );
+        assert_eq!(h + m, d);
+        assert!(d > 0, "cache-on run never consulted the cache");
+        on_streams.push(jsonl);
+    }
+    // Byte-identical at every worker count, cache.* lines included.
+    assert_eq!(on_streams[0], on_streams[1]);
+    assert_eq!(on_streams[0], on_streams[2]);
+}
+
+/// R2-shaped differential: a faulted schedule whose quarantine re-carves
+/// shrink the healthy window. Cache-on must still replay the cache-off run
+/// byte-for-byte, and the re-carve must flow through `cache.invalidate`.
+#[test]
+fn r2_shaped_faulted_run_is_byte_identical_and_quarantine_invalidates() {
+    let faults = Some(FaultPlan {
+        rate_per_mcycle: 15.0,
+        seed: 7,
+        mode: FaultMode::Quarantine,
+        ..FaultPlan::default()
+    });
+    let subs = generate(&traffic(8, 7));
+    let base = RuntimeConfig {
+        faults: faults.clone(),
+        ..RuntimeConfig::default()
+    };
+
+    let mut off_rec = MemRecorder::new();
+    let off_report = run_with(
+        &RuntimeConfig {
+            cache: false,
+            threads: 1,
+            ..base.clone()
+        },
+        &subs,
+        &mut off_rec,
+    );
+    assert!(
+        off_rec.counter(names::FAULT_QUARANTINED) > 0,
+        "schedule must actually quarantine for this test to bite"
+    );
+
+    for threads in [1, 2, 8] {
+        let mut rec = MemRecorder::new();
+        let report = run_with(
+            &RuntimeConfig {
+                cache: true,
+                threads,
+                ..base.clone()
+            },
+            &subs,
+            &mut rec,
+        );
+        assert_eq!(
+            report, off_report,
+            "{threads} threads: faulted report diverged"
+        );
+        assert_eq!(
+            strip_cache_lines(&rec.to_jsonl()),
+            off_rec.to_jsonl(),
+            "{threads} threads: faulted stream diverged beyond cache.* lines"
+        );
+        // Every quarantine re-carve consults invalidation; the counter line
+        // must exist in the stream (value may legitimately be zero when no
+        // cached geometry exceeded the shrunk window).
+        assert!(
+            rec.to_jsonl().contains("\"cache.invalidate\""),
+            "{threads} threads: quarantine re-carve never reached the cache"
+        );
+        assert_eq!(
+            rec.counter(names::CACHE_HITS) + rec.counter(names::CACHE_MISSES),
+            rec.counter(names::CACHE_DECISIONS)
+        );
+    }
+}
+
+/// R3-shaped warm reuse: repeated identical batches through one shared
+/// cache (the serving tier's steady state). Every batch's report must equal
+/// the cold cache-off report, and later batches must hit.
+#[test]
+fn warm_shared_cache_batches_replay_bit_exactly_and_hit() {
+    let subs = generate(&traffic(5, 21));
+    let base = cfg(false, 2);
+    let mut off_rec = MemRecorder::new();
+    let off_report = run_with(&base, &subs, &mut off_rec);
+
+    let mut cache = DecisionCache::new();
+    let mut prev_hits = 0;
+    for batch in 0..3 {
+        let mut rec = MemRecorder::new();
+        let report = run_with_cache(&base, &subs, &mut cache, &mut rec);
+        assert_eq!(report, off_report, "batch {batch} diverged");
+        assert_eq!(strip_cache_lines(&rec.to_jsonl()), off_rec.to_jsonl());
+        if batch > 0 {
+            assert!(
+                cache.hits() > prev_hits,
+                "batch {batch}: warm batch did not hit"
+            );
+        }
+        prev_hits = cache.hits();
+    }
+    assert_eq!(cache.decisions(), cache.hits() + cache.misses());
+}

@@ -167,6 +167,55 @@ fn quarantine_degrades_more_gracefully_than_fail_stop() {
     assert!(quarantine.completed() > failstop.completed());
 }
 
+/// Property sweep over fault seeds: whenever a quarantine re-carve shrinks
+/// the healthy window during a cached run, the re-carve must consult the
+/// morph-decision cache's invalidation hook (the `cache.invalidate` counter
+/// is recorded) — and the faulted cached run must still reproduce the
+/// uncached report exactly.
+#[test]
+fn quarantine_recarve_always_invalidates_cached_geometry() {
+    use mocha_obs::names;
+    let mut quarantined_seeds = 0;
+    for fault_seed in 1..=6u64 {
+        let base = faulted(20.0, fault_seed, FaultMode::Quarantine);
+        let cached = RuntimeConfig {
+            cache: true,
+            ..base.clone()
+        };
+        let subs = traffic(8, 42);
+        let plain = run_with(&base, &subs, &mut NoopRecorder);
+        let mut rec = MemRecorder::new();
+        let report = run_with(&cached, &subs, &mut rec);
+        assert_eq!(
+            report, plain,
+            "seed {fault_seed}: cached faulted run diverged"
+        );
+        let quarantines = rec.counter(names::FAULT_QUARANTINED);
+        let invalidate_records = rec
+            .to_jsonl()
+            .lines()
+            .filter(|l| l.contains("\"cache.invalidate\""))
+            .count() as u64;
+        if quarantines > 0 {
+            quarantined_seeds += 1;
+            assert!(
+                invalidate_records > 0,
+                "seed {fault_seed}: {quarantines} quarantines but no invalidation consult"
+            );
+        } else {
+            assert_eq!(
+                rec.counter(names::CACHE_INVALIDATED),
+                0,
+                "seed {fault_seed}: invalidation without a quarantine"
+            );
+        }
+    }
+    assert!(
+        quarantined_seeds > 0,
+        "sweep never quarantined; property untested"
+    );
+}
+
 /// Completed jobs keep verifying bit-exactly against the single-tenant
 /// golden run even when faults forced retries, evictions and re-morphs.
 #[test]

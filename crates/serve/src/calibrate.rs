@@ -11,10 +11,11 @@
 
 use std::collections::BTreeSet;
 
-use mocha_core::{Accelerator, Session, Simulator};
+use mocha_core::{Accelerator, DecisionCache, DecisionShard, Session, Simulator};
 use mocha_engine::Engine;
 use mocha_fabric::FabricConfig;
 use mocha_model::gen::Workload;
+use mocha_obs::NoopRecorder;
 use mocha_runtime::{lease, JobSpec};
 
 /// The canonical workload seed calibration instantiates each template
@@ -41,6 +42,32 @@ impl Calibration {
         specs: &[JobSpec],
         engine: Engine,
     ) -> Result<Calibration, String> {
+        Self::measure_impl(fabric, slots, specs, engine, None)
+    }
+
+    /// [`Calibration::measure`] sharing a caller-owned morph-decision
+    /// cache: each template's simulation consults a private shard over an
+    /// immutable snapshot, and deltas merge back in canonical template
+    /// order — measured cycles are byte-identical to the uncached path at
+    /// any worker count, and later calibrations (or the runtime itself,
+    /// handed the same cache) skip the controller searches already done.
+    pub fn measure_cached(
+        fabric: &FabricConfig,
+        slots: usize,
+        specs: &[JobSpec],
+        engine: Engine,
+        cache: &mut DecisionCache,
+    ) -> Result<Calibration, String> {
+        Self::measure_impl(fabric, slots, specs, engine, Some(cache))
+    }
+
+    fn measure_impl(
+        fabric: &FabricConfig,
+        slots: usize,
+        specs: &[JobSpec],
+        engine: Engine,
+        mut cache: Option<&mut DecisionCache>,
+    ) -> Result<Calibration, String> {
         for spec in specs {
             spec.validate()?;
         }
@@ -52,9 +79,24 @@ impl Calibration {
             .collect::<BTreeSet<_>>()
             .into_iter()
             .collect();
-        let cycles = engine.map_slice(&pairs, |_, (network, profile)| {
-            service_cycles(&slot, network, profile)
-        });
+        let measured = {
+            let snap = cache.as_deref();
+            engine.map_slice(&pairs, |_, (network, profile)| {
+                let mut shard = match snap {
+                    Some(c) => DecisionShard::new(c),
+                    None => DecisionShard::disabled(),
+                };
+                let cycles = service_cycles(&slot, network, profile, &mut shard);
+                (cycles, shard.into_delta())
+            })
+        };
+        let mut cycles = Vec::with_capacity(measured.len());
+        for (c, delta) in measured {
+            if let Some(cache) = cache.as_deref_mut() {
+                cache.absorb(delta, &mut NoopRecorder);
+            }
+            cycles.push(c);
+        }
         Ok(Calibration {
             slot,
             entries: pairs.into_iter().zip(cycles).collect(),
@@ -110,7 +152,12 @@ impl Calibration {
 /// Cycles for `network`/`profile` to run start-to-finish, alone, on
 /// `slot`. Verification is off: calibration only needs timing, and the
 /// runtime re-verifies real jobs as configured.
-fn service_cycles(slot: &FabricConfig, network: &str, profile: &str) -> u64 {
+fn service_cycles(
+    slot: &FabricConfig,
+    network: &str,
+    profile: &str,
+    shard: &mut DecisionShard<'_>,
+) -> u64 {
     let net = mocha_model::network::by_name(network).expect("validated above");
     let prof = JobSpec {
         network: network.to_string(),
@@ -127,7 +174,7 @@ fn service_cycles(slot: &FabricConfig, network: &str, profile: &str) -> u64 {
     let mut session = Session::new(sim, workload);
     let mut total = 0u64;
     while !session.done() {
-        total += session.step_on(slot).cycles;
+        total += session.step_on_shard(slot, shard).cycles;
     }
     total
 }
@@ -173,6 +220,30 @@ mod tests {
             "{} vs {}",
             slotted.service(&specs[0]),
             whole.service(&specs[0])
+        );
+    }
+
+    #[test]
+    fn cached_calibration_measures_identical_cycles_and_warms_up() {
+        let fabric = FabricConfig::mocha_quad();
+        let specs = vec![spec("tiny", "nominal"), spec("tiny", "sparse")];
+        let plain = Calibration::measure(&fabric, 4, &specs, Engine::single()).unwrap();
+        let mut cache = DecisionCache::new();
+        let cold =
+            Calibration::measure_cached(&fabric, 4, &specs, Engine::new(4), &mut cache).unwrap();
+        assert!(cache.decisions() > 0 && !cache.is_empty());
+        let warm =
+            Calibration::measure_cached(&fabric, 4, &specs, Engine::single(), &mut cache).unwrap();
+        assert!(cache.hits() > 0, "re-measurement hits the cache");
+        assert_eq!(
+            plain.entries(),
+            cold.entries(),
+            "cold cache changes nothing"
+        );
+        assert_eq!(
+            plain.entries(),
+            warm.entries(),
+            "warm cache changes nothing"
         );
     }
 
