@@ -32,6 +32,9 @@ echo "$r3_out"
 grep -q "beats unbounded queueing on goodput AND p99" <<< "$r3_out" || {
     echo "r3: deadline shedding no longer beats unbounded queueing"; exit 1
 }
+grep -q "fires before the goodput knee" <<< "$r3_out" || {
+    echo "r3: windowed burn-rate alert no longer leads the goodput knee"; exit 1
+}
 
 echo "== obs smoke (stream parses, non-empty, deterministic)"
 obs_tmp="$(mktemp -d)"
@@ -52,7 +55,9 @@ echo "== determinism matrix (--threads 1/2/8: obs + profiles + r1/r2/r3 tables +
 for t in 1 2 8; do
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         runtime --jobs 3 --load 2.0 --seed 7 --threads "$t" \
-        --obs "$obs_tmp/mat$t.jsonl" > "$obs_tmp/mat$t.report"
+        --obs "$obs_tmp/mat$t.jsonl" \
+        --metrics-window 200000 --metrics "$obs_tmp/mat$t.metrics.jsonl" \
+        > "$obs_tmp/mat$t.report"
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         trace summary "$obs_tmp/mat$t.jsonl" --json > "$obs_tmp/mat$t.profile"
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
@@ -67,16 +72,27 @@ for t in 1 2 8; do
         serve --open-loop --requests 2000 --tenants 100 --load 3.0 --seed 7 \
         --slo 400000 --shed-policy deadline --json --threads "$t" \
         --obs "$obs_tmp/mat$t.openloop.jsonl" > "$obs_tmp/mat$t.openloop.report"
+    # The windowed export runs separately from the --obs row above: with an
+    # SLO in play it also records slo.* alert events into the obs stream,
+    # which would shift the committed r3-smoke baseline.
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        serve --open-loop --requests 2000 --tenants 100 --load 3.0 --seed 7 \
+        --slo 400000 --shed-policy deadline --json --threads "$t" \
+        --metrics-window 100000 --metrics "$obs_tmp/mat$t.openloop.metrics.jsonl" \
+        > /dev/null
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         repro r3 --quick --threads "$t" > "$obs_tmp/mat$t.r3"
     # Cache-enabled rows: the same seeded runs with the morph-decision
     # cache on must also be byte-identical at every worker count.
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         runtime --jobs 3 --load 2.0 --seed 7 --threads "$t" --cache \
-        --obs "$obs_tmp/mat$t.cache.jsonl" > "$obs_tmp/mat$t.cache.report"
+        --obs "$obs_tmp/mat$t.cache.jsonl" \
+        --metrics-window 200000 --metrics "$obs_tmp/mat$t.cache.metrics.jsonl" \
+        > "$obs_tmp/mat$t.cache.report"
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         serve --open-loop --requests 2000 --tenants 100 --load 3.0 --seed 7 \
         --slo 400000 --shed-policy deadline --json --threads "$t" --cache \
+        --metrics-window 100000 --metrics "$obs_tmp/mat$t.cache.openloop.metrics.jsonl" \
         > "$obs_tmp/mat$t.cache.openloop"
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         repro r1 --quick --threads "$t" --cache > "$obs_tmp/mat$t.cache.r1"
@@ -88,7 +104,9 @@ done
 for t in 2 8; do
     for kind in jsonl report profile r1 fault.jsonl fault.report r2 \
                 openloop.jsonl openloop.report r3 \
+                metrics.jsonl openloop.metrics.jsonl \
                 cache.jsonl cache.report cache.openloop \
+                cache.metrics.jsonl cache.openloop.metrics.jsonl \
                 cache.r1 cache.r2 cache.r3; do
         cmp "$obs_tmp/mat1.$kind" "$obs_tmp/mat$t.$kind" || {
             echo "--threads $t $kind output differs from --threads 1"; exit 1
@@ -116,6 +134,15 @@ for r in r1 r2 r3; do
         echo "cache-on repro $r table differs from cache-off"; exit 1
     }
 done
+# The windowed metrics exports are pure functions of the reports, so the
+# cache cannot change a byte of them either.
+cmp "$obs_tmp/mat1.metrics.jsonl" "$obs_tmp/mat1.cache.metrics.jsonl" || {
+    echo "cache-on runtime metrics export differs from cache-off"; exit 1
+}
+cmp "$obs_tmp/mat1.openloop.metrics.jsonl" \
+    "$obs_tmp/mat1.cache.openloop.metrics.jsonl" || {
+    echo "cache-on open-loop metrics export differs from cache-off"; exit 1
+}
 
 echo "== trace perf-regression gate (r1 smoke vs committed baseline)"
 # The committed baseline profile was produced from this exact seeded run;
@@ -153,6 +180,61 @@ echo "== trace perf-regression gate (open-loop r3 smoke vs committed baseline)"
 cargo run --release -q -p mocha-cli --bin mocha-sim -- \
     trace diff baselines/r3-smoke.json "$obs_tmp/mat1.openloop.jsonl" --fail-on-regression 5
 
+echo "== serve metrics exposition gate (vs committed baselines/metrics-smoke.json)"
+# A scripted stdin serve session: one three-request batch (one doomed
+# request sheds), then a live `metrics` query. The exposition + snapshot
+# must be byte-identical at --threads 1/2/8; the snapshot's counter name
+# set must match the committed baseline exactly, and its burn-rate fields
+# must stay within 5%. Regenerate the baseline with:
+#   printf '%s\n' \
+#       '{"network": "tiny", "profile": "sparse", "seed": 3}' \
+#       '{"network": "tiny", "arrival_cycle": 4000}' \
+#       '{"network": "tiny", "arrival_cycle": 8000, "deadline_cycles": 1}' \
+#       '' metrics \
+#   | cargo run --release -p mocha-cli --bin mocha-sim -- \
+#       serve --shed-policy deadline --slo 400000 --metrics-window 100000 \
+#   | grep '"metrics":true' > baselines/metrics-smoke.json
+serve_metrics_smoke() {
+    printf '%s\n' \
+        '{"network": "tiny", "profile": "sparse", "seed": 3}' \
+        '{"network": "tiny", "arrival_cycle": 4000}' \
+        '{"network": "tiny", "arrival_cycle": 8000, "deadline_cycles": 1}' \
+        '' metrics \
+    | cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        serve --shed-policy deadline --slo 400000 --metrics-window 100000 \
+        --threads "$1"
+}
+for t in 1 2 8; do
+    serve_metrics_smoke "$t" > "$obs_tmp/metrics$t.out"
+done
+for t in 2 8; do
+    cmp "$obs_tmp/metrics1.out" "$obs_tmp/metrics$t.out" || {
+        echo "--threads $t serve metrics output differs from --threads 1"; exit 1
+    }
+done
+grep -q '^# TYPE mocha_' "$obs_tmp/metrics1.out" || {
+    echo "metrics query produced no exposition TYPE lines"; exit 1
+}
+snap="$(grep '"metrics":true' "$obs_tmp/metrics1.out")"
+test -n "$snap" || { echo "metrics query produced no snapshot line"; exit 1; }
+grep -o '"name":"[^"]*"' <<< "$snap" | sort -u > "$obs_tmp/metrics.names"
+grep -o '"name":"[^"]*"' baselines/metrics-smoke.json | sort -u \
+    > "$obs_tmp/metrics.names.base"
+diff "$obs_tmp/metrics.names.base" "$obs_tmp/metrics.names" || {
+    echo "metrics snapshot counter set diverged from the committed baseline"
+    exit 1
+}
+field() { sed -n "s/.*\"$1\":[[:space:]]*\([0-9.]*\).*/\1/p" <<< "$2"; }
+metrics_base="$(cat baselines/metrics-smoke.json)"
+for k in burn_fast burn_slow peak_burn_fast peak_burn_slow; do
+    got="$(field "$k" "$snap")"
+    want="$(field "$k" "$metrics_base")"
+    awk -v got="$got" -v want="$want" \
+        'BEGIN { d = got - want; if (d < 0) d = -d; exit !(d <= 0.05 * want + 1e-9) }' || {
+        echo "metrics smoke: $k = $got drifted >5% from baseline $want"; exit 1
+    }
+done
+
 echo "== warm-cache bench smoke (gated vs committed baselines/cache-smoke.json)"
 # The engine bench's decision-cache sections emit one `cache-smoke {...}`
 # JSON line under CACHE_SMOKE_JSON=1 (CACHE_SMOKE_ONLY=1 skips the slow
@@ -165,7 +247,6 @@ smoke_out="$(CACHE_SMOKE_JSON=1 CACHE_SMOKE_ONLY=1 \
 smoke="$(grep '^cache-smoke ' <<< "$smoke_out" | sed 's/^cache-smoke //')"
 test -n "$smoke" || { echo "engine bench emitted no cache-smoke line"; exit 1; }
 echo "cache-smoke: $smoke"
-field() { sed -n "s/.*\"$1\":[[:space:]]*\([0-9.]*\).*/\1/p" <<< "$2"; }
 smoke_base="$(cat baselines/cache-smoke.json)"
 for k in decisions hits misses entries; do
     got="$(field "$k" "$smoke")"

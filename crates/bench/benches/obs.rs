@@ -2,7 +2,7 @@
 //! and the zero-overhead claim — a simulator run with the no-op recorder
 //! timed against the plain entry point.
 
-use mocha::obs::{Histogram, MemRecorder, NoopRecorder, Recorder};
+use mocha::obs::{names, Histogram, MemRecorder, NoopRecorder, Recorder};
 use mocha::prelude::*;
 use mocha_bench::micro::Group;
 use std::time::Duration;
@@ -21,9 +21,9 @@ fn main() {
     group.bench("recorder/add_1k_counters", None, || {
         let mut r = MemRecorder::new();
         for _ in 0..1000 {
-            r.add("fabric.macs", 7);
+            r.add(names::FABRIC_MACS, 7);
         }
-        r.counter("fabric.macs")
+        r.counter(names::FABRIC_MACS)
     });
     group.bench("recorder/span_256", None, || {
         let mut r = MemRecorder::new();

@@ -14,9 +14,10 @@
 
 use crate::table::{f, Table};
 use mocha::engine::Engine;
-use mocha::obs::names;
+use mocha::obs::{names, WindowSpec};
 use mocha::serve::{
-    run_open_loop, traffic, Calibration, OpenLoopParams, OpenLoopReport, ShedPolicy,
+    run_open_loop, traffic, windows_from_open_loop, Calibration, OpenLoopParams, OpenLoopReport,
+    ShedPolicy,
 };
 use mocha_runtime::{JobSpec, Mix, Priority};
 
@@ -100,14 +101,28 @@ pub fn run(cfg: &ExpConfig) -> String {
             faults: None,
             record_spans: false,
         };
-        let (report, _) = run_open_loop(&params, &trace, &services, rec);
-        (load, report)
+        let (report, outcomes) = run_open_loop(&params, &trace, &services, rec);
+        // Windowed SLO telemetry for the unbounded-queueing runs: the
+        // multi-window burn-rate pair is the *leading* indicator the
+        // whole-run goodput column can only show after the fact.
+        let burn = matches!(shed, ShedPolicy::None).then(|| {
+            let m = windows_from_open_loop(
+                WindowSpec::tumbling(8 * slo),
+                &trace,
+                &outcomes,
+                &report.fault_log,
+                shed,
+            );
+            let (fast, slow) = m.peak_burn();
+            (m.alerts(), fast, slow, m.first_alert_cycle())
+        });
+        (load, report, burn)
     });
 
     let mut shed_wins_past_saturation = true;
     for pair in reports.chunks(2) {
-        let (load, queueing) = &pair[0];
-        let (_, shedding) = &pair[1];
+        let (load, queueing, _) = &pair[0];
+        let (_, shedding, _) = &pair[1];
         row(&mut t, *load, queueing);
         row(&mut t, *load, shedding);
         if *load > 1.0 {
@@ -138,7 +153,65 @@ pub fn run(cfg: &ExpConfig) -> String {
         rec.counter(names::SERVE_SHED),
         rec.counter(names::SERVE_DEADLINE_MISSES),
     ));
-    t.render()
+
+    // Windowed burn-rate section: for the *unbounded queueing* runs, the
+    // fast/slow burn pair over tumbling 8×SLO windows raises its alert
+    // partway into the overloaded runs — an operator watching `metrics`
+    // sees the collapse long before the whole-run goodput column exists.
+    let mut w = Table::new(
+        format!(
+            "R3w — windowed SLO burn (unbounded queueing, tumbling {} cycle windows): \
+             the burn-rate pair is a leading indicator of the goodput knee",
+            8 * slo
+        ),
+        &[
+            "load",
+            "goodput",
+            "burn fast",
+            "burn slow",
+            "alerts",
+            "1st alert kcyc",
+            "% of run",
+        ],
+    );
+    let mut calm_below_saturation = true;
+    let mut alert_past_saturation = true;
+    let mut alert_leads = true;
+    for (load, report, burn) in &reports {
+        let Some((alerts, peak_fast, peak_slow, first_alert)) = burn else {
+            continue;
+        };
+        let pct_of_run = first_alert.map(|c| 100.0 * c as f64 / report.horizon as f64);
+        w.row(vec![
+            f(*load, 1),
+            f(report.goodput_per_mcycle(), 2),
+            f(*peak_fast, 2),
+            f(*peak_slow, 2),
+            alerts.to_string(),
+            first_alert.map_or("-".into(), |c| f(c as f64 / 1e3, 1)),
+            pct_of_run.map_or("-".into(), |p| f(p, 1)),
+        ]);
+        if *load < 1.0 {
+            calm_below_saturation &= *alerts == 0;
+        } else if *load > 1.0 {
+            alert_past_saturation &= *alerts > 0;
+            // "Leading": the first alert lands in the front half of the run,
+            // well before the aggregate goodput number is even computable.
+            alert_leads &= pct_of_run.is_some_and(|p| p < 50.0);
+        }
+    }
+    w.note(format!(
+        "burn-rate alert {} the goodput knee: quiet below saturation ({}), firing in the \
+         first half of every overloaded run ({})",
+        if calm_below_saturation && alert_past_saturation && alert_leads {
+            "fires before"
+        } else {
+            "does NOT fire before"
+        },
+        calm_below_saturation,
+        alert_past_saturation && alert_leads,
+    ));
+    format!("{}\n{}", t.render(), w.render())
 }
 
 fn row(t: &mut Table, load: f64, r: &OpenLoopReport) {

@@ -63,6 +63,11 @@ USAGE:
                          controller searches are memoized; reports and
                          streams stay byte-identical (only cache.* counters
                          are added)
+      --metrics-window W  window the run's telemetry: W cycles tumbling
+                         (or tumbling:W, rolling:WIDTH/STRIDE); needs
+                         --metrics FILE
+      --metrics FILE     write per-window counters and histogram summaries
+                         as JSON lines (byte-identical at any --threads)
   mocha-sim trace summary <FILE|-> [--json] [--energy FILE]
                                            profile an obs stream: span tree,
                                            critical paths, overlap, exact
@@ -81,6 +86,7 @@ USAGE:
   mocha-sim serve [--tcp ADDR] [--once] [--policy P] [--max-tenants N] [--no-verify]
                   [--threads N] [--faults SPEC] [--cache]
                   [--shed-policy none|queue=N|deadline] [--slo CYCLES]
+                  [--metrics-window W]
       JSON-lines batch server: one job request per line on stdin (or over
       TCP with --tcp, where a poll-style reactor multiplexes concurrent
       clients and merges their batches into one runtime invocation), e.g.
@@ -101,10 +107,14 @@ USAGE:
       their own deadline_cycles. --cache keeps a morph-decision cache for
       the life of the server, so later batches skip controller searches
       earlier ones already did (`stats` exposes cache.hit/cache.miss).
+      With --metrics-window W, a batch whose first line is the bare word
+      `metrics` returns a Prometheus-style text exposition of the server's
+      windowed counters, histogram quantiles, and SLO burn rates, followed
+      by one JSON snapshot line.
   mocha-sim serve --open-loop [--requests N] [--tenants N] [--load F] [--seed N]
                   [--mix quick|full] [--slo CYCLES] [--shed-policy P]
                   [--trace FILE] [--json] [--obs FILE|-] [--faults SPEC]
-                  [--max-tenants N]
+                  [--max-tenants N] [--metrics-window W --metrics FILE]
       Offline open-loop load sweep (experiment R3's engine): generates a
       seeded heavy-tailed trace (or replays --trace FILE, JSON lines in
       the request format above) through the calibrated queueing model and

@@ -11,15 +11,19 @@
 //! mocha-sim repro    [ids...] [--quick] [--threads N]
 //! mocha-sim runtime  [--jobs N] [--load F] [--seed N] [--mix M] [--policy P]
 //!                    [--obs FILE|-] [--threads N]
+//!                    [--metrics-window W --metrics FILE]
 //! mocha-sim trace    summary <FILE|-> | export <FILE|-> --chrome OUT
 //!                    | diff <A> <B> [--fail-on-regression PCT]
 //! mocha-sim serve    [--tcp ADDR] [--once] [--policy P] [--max-tenants N]
 //!                    [--shed-policy none|queue=N|deadline] [--slo CYCLES]
+//!                    [--metrics-window W]
 //!                    (a batch starting with the bare line `stats` returns a
-//!                    counters/histograms snapshot)
+//!                    counters/histograms snapshot; `metrics` returns the
+//!                    windowed exposition + JSON snapshot)
 //! mocha-sim serve    --open-loop [--requests N] [--tenants N] [--load F]
 //!                    [--seed N] [--slo CYCLES] [--shed-policy P]
 //!                    [--trace FILE] [--json] [--obs FILE|-]
+//!                    [--metrics-window W --metrics FILE]
 //! ```
 //!
 //! Errors are scriptable: unknown subcommands, options or stray arguments

@@ -23,14 +23,14 @@ use crate::args::Args;
 use crate::commands;
 use crate::config;
 use mocha::engine::Engine;
-use mocha::obs::{names, MemRecorder, NoopRecorder, Recorder};
+use mocha::obs::{names, MemRecorder, Recorder, WindowSpec, WindowedMetrics};
 use mocha::runtime::{
     self, DecisionCache, JobSpec, Mix, RuntimeConfig, RuntimeReport, Submission, TrafficConfig,
 };
 use mocha::serve::{
-    read_line_capped, run_open_loop, serve_reactor, traffic, BatchHandler, Calibration,
-    ClientBatch, LineRead, OpenLoopParams, ReactorConfig, Request, RequestOutcome, ShedPolicy,
-    MAX_LINE_BYTES,
+    read_line_capped, run_open_loop, serve_reactor, traffic, windows_from_open_loop,
+    windows_from_runtime, BatchHandler, Calibration, ClientBatch, LineRead, OpenLoopParams,
+    ReactorConfig, Request, RequestOutcome, ShedPolicy, MAX_LINE_BYTES,
 };
 use mocha_json::{FromJson, ToJson};
 use std::collections::BTreeMap;
@@ -40,6 +40,148 @@ use std::collections::BTreeMap;
 /// so a long-running server keeps the first ~100k and counts the rest in
 /// `spans_dropped`.
 const SERVE_SPAN_CAP: usize = 100_000;
+
+/// Windowed telemetry for a long-running server (`--metrics-window`).
+///
+/// Every runtime batch restarts its clock at zero, so batch-relative
+/// cycles are offset by a running server clock before they land in the
+/// window store — consecutive batches occupy consecutive windows and the
+/// export stays a pure function of the request sequence (byte-identical
+/// at any `--threads`).
+struct ServeMetrics {
+    m: WindowedMetrics,
+    /// Cycle offset applied to the next batch's relative times.
+    clock: u64,
+    /// Cache (hits, misses) already attributed to earlier batches.
+    cache_seen: (u64, u64),
+}
+
+impl ServeMetrics {
+    fn new(spec: WindowSpec) -> Self {
+        ServeMetrics {
+            m: WindowedMetrics::new(spec),
+            clock: 0,
+            cache_seen: (0, 0),
+        }
+    }
+
+    /// Folds one merged batch into the windows: sheds (with their policy
+    /// reason) and admissions at arrival, completions at finish with
+    /// latency/wait histograms and the per-request deadline verdict, and
+    /// the batch's cache hit/miss deltas at the batch-start window. The
+    /// clock then advances past everything the batch touched.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_batch(
+        &mut self,
+        shed: &[(u64, usize, String)],
+        reason: &'static str,
+        kept: &[(usize, Submission, Option<u64>)],
+        default_slo: Option<u64>,
+        report: &RuntimeReport,
+        rec: &MemRecorder,
+    ) {
+        let spec = self.m.windows.spec();
+        let clock = self.clock;
+        if default_slo.is_some() || kept.iter().any(|(_, _, d)| d.is_some()) {
+            self.m.enable_slo();
+        }
+        let mut touched = 0u64;
+        for (arrival, client, network) in shed {
+            let tenant = client.to_string();
+            let labels = self.m.windows.intern(&[
+                ("tenant", &tenant),
+                ("template", network),
+                ("reason", reason),
+            ]);
+            let at = clock + arrival;
+            self.m.windows.add_at(names::SERVE_REQUESTS, labels, at, 1);
+            self.m.windows.add_at(names::SERVE_SHED, labels, at, 1);
+            if let Some(slo) = self.m.slo.as_mut() {
+                slo.error(spec.cell(at), 1);
+            }
+            touched = touched.max(*arrival);
+        }
+        for (client, sub, _) in kept {
+            let tenant = client.to_string();
+            let labels = self
+                .m
+                .windows
+                .intern(&[("tenant", &tenant), ("template", &sub.spec.network)]);
+            let at = clock + sub.arrival_cycle;
+            self.m.windows.add_at(names::SERVE_REQUESTS, labels, at, 1);
+            self.m.windows.add_at(names::SERVE_ADMITTED, labels, at, 1);
+            touched = touched.max(sub.arrival_cycle);
+        }
+        for job in &report.jobs {
+            let (client, sub, deadline) = &kept[job.id as usize];
+            let tenant = client.to_string();
+            let labels = self
+                .m
+                .windows
+                .intern(&[("tenant", &tenant), ("template", &sub.spec.network)]);
+            let tmpl = self.m.windows.intern(&[("template", &sub.spec.network)]);
+            let finish = clock + job.finished;
+            self.m
+                .windows
+                .add_at(names::SERVE_COMPLETED, labels, finish, 1);
+            let latency = job.finished - job.arrival;
+            self.m
+                .windows
+                .sample_at(names::HIST_JOB_LATENCY, tmpl, finish, latency);
+            self.m.windows.sample_at(
+                names::HIST_QUEUE_WAIT,
+                tmpl,
+                finish,
+                job.admitted - job.arrival,
+            );
+            if let Some(deadline) = deadline.or(default_slo) {
+                let name = if latency <= deadline {
+                    names::SERVE_IN_SLO
+                } else {
+                    names::SERVE_DEADLINE_MISSES
+                };
+                self.m.windows.add_at(name, labels, finish, 1);
+                let slo = self.m.slo.as_mut().expect("deadline implies tracker");
+                if latency <= deadline {
+                    slo.good(spec.cell(finish), 1);
+                } else {
+                    slo.miss(spec.cell(finish), 1);
+                }
+            }
+        }
+        if report.failed > 0 {
+            let at = clock + report.horizon;
+            self.m.windows.add_at(
+                names::SERVE_FAILED,
+                mocha::obs::LabelSet::EMPTY,
+                at,
+                report.failed as u64,
+            );
+            if let Some(slo) = self.m.slo.as_mut() {
+                slo.error(spec.cell(at), report.failed as u64);
+            }
+        }
+        let hits = rec.counter(names::CACHE_HITS);
+        let misses = rec.counter(names::CACHE_MISSES);
+        let (seen_h, seen_m) = self.cache_seen;
+        if hits > seen_h {
+            let l = self.m.windows.intern(&[("result", "hit")]);
+            self.m
+                .windows
+                .add_at(names::CACHE_DECISIONS, l, clock, hits - seen_h);
+        }
+        if misses > seen_m {
+            let l = self.m.windows.intern(&[("result", "miss")]);
+            self.m
+                .windows
+                .add_at(names::CACHE_DECISIONS, l, clock, misses - seen_m);
+        }
+        self.cache_seen = (hits, misses);
+        let advance = report.horizon.max(touched);
+        self.m.windows.observe_cycle(clock + advance);
+        self.clock = clock + advance + 1;
+    }
+}
 
 /// Long-lived server state: the runtime configuration, the admission
 /// policy, the lazily-built per-template service-time cache backing shed
@@ -56,10 +198,17 @@ struct ServeState {
     /// batches reuse decisions from earlier ones, and the `cache.*`
     /// counters in `stats` expose the hit rate.
     cache: Option<DecisionCache>,
+    /// Windowed telemetry behind the `metrics` query (`--metrics-window`).
+    metrics: Option<ServeMetrics>,
 }
 
 impl ServeState {
-    fn new(cfg: RuntimeConfig, shed: ShedPolicy, slo: Option<u64>) -> Self {
+    fn new(
+        cfg: RuntimeConfig,
+        shed: ShedPolicy,
+        slo: Option<u64>,
+        window: Option<WindowSpec>,
+    ) -> Self {
         let cache = cfg.cache.then(DecisionCache::new);
         ServeState {
             cfg,
@@ -68,6 +217,7 @@ impl ServeState {
             services: BTreeMap::new(),
             rec: MemRecorder::with_span_cap(SERVE_SPAN_CAP),
             cache,
+            metrics: window.map(ServeMetrics::new),
         }
     }
 
@@ -164,8 +314,9 @@ fn run_batches(state: &mut ServeState, batches: &[Vec<String>]) -> Vec<Result<St
     // times and drop doomed (or over-queued) requests with an explicit
     // shed line instead of queueing them unboundedly.
     let mut shed_lines: Vec<Vec<String>> = (0..batches.len()).map(|_| Vec::new()).collect();
+    let mut shed_events: Vec<(u64, usize, String)> = Vec::new();
     let mut batch_shed = 0u64;
-    let kept: Vec<(usize, Submission)> = if state.shed.active() && !merged.is_empty() {
+    let kept: Vec<(usize, Submission, Option<u64>)> = if state.shed.active() && !merged.is_empty() {
         let requests: Vec<Request> = merged
             .iter()
             .map(|(c, s, d)| Request {
@@ -186,12 +337,23 @@ fn run_batches(state: &mut ServeState, batches: &[Vec<String>]) -> Vec<Result<St
             faults: None,
             record_spans: false,
         };
-        let (_, outcomes) = run_open_loop(&params, &requests, &services, &mut NoopRecorder);
+        // The admission pre-pass records the queue-depth and shed-slack
+        // histograms into a scratch recorder; only those histograms are
+        // absorbed — the serve.* counters are re-added below per decision.
+        let mut scratch = MemRecorder::new();
+        let (_, outcomes) = run_open_loop(&params, &requests, &services, &mut scratch);
+        state
+            .rec
+            .absorb_hist(names::HIST_SERVE_QUEUE_DEPTH, &scratch);
+        state
+            .rec
+            .absorb_hist(names::HIST_SERVE_SHED_SLACK, &scratch);
         let mut kept = Vec::new();
-        for ((c, sub, _), outcome) in merged.into_iter().zip(outcomes) {
+        for ((c, sub, d), outcome) in merged.into_iter().zip(outcomes) {
             if matches!(outcome, RequestOutcome::Shed) {
                 state.rec.add(names::SERVE_SHED, 1);
                 batch_shed += 1;
+                shed_events.push((sub.arrival_cycle, c, sub.spec.network.clone()));
                 shed_lines[c].push(
                     mocha_json::jobj! {
                         "shed" => true,
@@ -203,20 +365,30 @@ fn run_batches(state: &mut ServeState, batches: &[Vec<String>]) -> Vec<Result<St
                 );
             } else {
                 state.rec.add(names::SERVE_ADMITTED, 1);
-                kept.push((c, sub));
+                kept.push((c, sub, d));
             }
         }
         kept
     } else {
-        merged.into_iter().map(|(c, s, _)| (c, s)).collect()
+        merged
     };
 
-    let subs: Vec<Submission> = kept.iter().map(|(_, s)| s.clone()).collect();
+    let subs: Vec<Submission> = kept.iter().map(|(_, s, _)| s.clone()).collect();
     let report = match state.cache.as_mut() {
         Some(cache) => runtime::run_with_cache(&state.cfg, &subs, cache, &mut state.rec),
         None => runtime::run_with(&state.cfg, &subs, &mut state.rec),
     };
     state.rec.add(names::SERVE_BATCHES, valid.len() as u64);
+    if let Some(metrics) = state.metrics.as_mut() {
+        metrics.absorb_batch(
+            &shed_events,
+            state.shed.reason(),
+            &kept,
+            state.slo,
+            &report,
+            &state.rec,
+        );
+    }
 
     let mut summary = summary_json(&report);
     if state.shed.active() {
@@ -300,53 +472,100 @@ fn summary_json(report: &RuntimeReport) -> mocha_json::Value {
     }
 }
 
-/// True when a batch is a `stats` snapshot query. Doubles as the reactor's
-/// early-completion predicate: stats clients keep their write side open,
-/// so the batch must complete without a terminator.
+/// True when a batch is a `stats` snapshot query.
 fn is_stats(lines: &[String]) -> bool {
     lines.first().map(|l| l.trim()) == Some("stats")
 }
 
-/// One stdin/stdout batch: capped line reads until a terminator (or EOF),
-/// then one runtime invocation. Protocol errors exit 2 with a one-line
-/// message.
+/// True when a batch is a `metrics` exposition query.
+fn is_metrics(lines: &[String]) -> bool {
+    lines.first().map(|l| l.trim()) == Some("metrics")
+}
+
+/// The reactor's early-completion predicate: query clients (`stats`,
+/// `metrics`) keep their write side open, so the batch must complete
+/// without a terminator.
+fn is_query(lines: &[String]) -> bool {
+    is_stats(lines) || is_metrics(lines)
+}
+
+/// The `metrics` response: the Prometheus-style text exposition followed
+/// by one compact JSON snapshot line — or a one-line error when the
+/// server was started without `--metrics-window`.
+fn metrics_response(state: &mut ServeState) -> String {
+    state.rec.add(names::SERVE_METRICS_REQUESTS, 1);
+    match &state.metrics {
+        None => format!(
+            "{}\n",
+            mocha_json::jobj! {
+                "error" => "metrics disabled (run with --metrics-window)",
+            }
+            .to_string_compact()
+        ),
+        Some(sm) => format!(
+            "{}{}\n",
+            sm.m.exposition(),
+            sm.m.snapshot_json().to_string_compact()
+        ),
+    }
+}
+
+/// Serves stdin/stdout batches until EOF: capped line reads until a
+/// terminator close each batch (one runtime invocation per batch), and
+/// bare `stats` / `metrics` lines at a batch boundary answer inline.
+/// Protocol errors exit 2 with a one-line message. EOF mid-batch runs the
+/// buffered lines, so a single unterminated batch still serves — the
+/// original one-shot contract.
 fn serve_stdin(state: &mut ServeState) -> i32 {
     let stdin = std::io::stdin();
     let mut reader = stdin.lock();
     let mut lines: Vec<String> = Vec::new();
+    let mut served = 0usize;
     loop {
-        match read_line_capped(&mut reader, MAX_LINE_BYTES) {
+        let run_now = match read_line_capped(&mut reader, MAX_LINE_BYTES) {
             Ok(LineRead::Line(l)) => {
-                // A batch whose first line is the bare word `stats` is a
-                // snapshot request: answer immediately and close.
                 if lines.is_empty() && l.trim() == "stats" {
                     state.rec.add(names::SERVE_STATS_REQUESTS, 1);
                     println!(
                         "{}",
                         stats_json(&state.rec, state.shed.active()).to_string_compact()
                     );
-                    return 0;
+                    served += 1;
+                    continue;
+                }
+                if lines.is_empty() && l.trim() == "metrics" {
+                    print!("{}", metrics_response(state));
+                    served += 1;
+                    continue;
                 }
                 lines.push(l);
+                continue;
             }
-            Ok(LineRead::Terminator) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::Terminator) => true,
+            // An empty EOF after at least one served batch is a clean
+            // shutdown; a bare EOF with no input at all still runs one
+            // empty batch (the historical empty-input summary).
+            Ok(LineRead::Eof) => !lines.is_empty() || served == 0,
             Err(e) => {
                 eprintln!("{e}");
                 return 2;
             }
-        }
-    }
-    let result = run_batches(state, std::slice::from_ref(&lines))
-        .pop()
-        .expect("one batch in, one response out");
-    match result {
-        Ok(resp) => {
-            print!("{resp}");
-            0
-        }
-        Err(e) => {
-            eprintln!("{e}");
-            2
+        };
+        if run_now {
+            let result = run_batches(state, std::slice::from_ref(&lines))
+                .pop()
+                .expect("one batch in, one response out");
+            lines.clear();
+            served += 1;
+            match result {
+                Ok(resp) => print!("{resp}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            }
+        } else {
+            return 0;
         }
     }
 }
@@ -364,7 +583,7 @@ impl BatchHandler for ServeHandler<'_> {
         let mut jobs: Vec<Vec<String>> = Vec::new();
         let mut job_pos: Vec<usize> = Vec::new();
         for (i, b) in batches.iter().enumerate() {
-            if !is_stats(&b.lines) {
+            if !is_query(&b.lines) {
                 jobs.push(b.lines.clone());
                 job_pos.push(i);
             }
@@ -380,13 +599,15 @@ impl BatchHandler for ServeHandler<'_> {
                 });
             }
         }
-        // Stats queries answer after the round's job batches, so a
+        // Query batches answer after the round's job batches, so a
         // snapshot taken in the same round reflects them.
         let shed_active = self.state.shed.active();
-        responses
-            .into_iter()
-            .map(|r| match r {
+        batches
+            .iter()
+            .zip(responses)
+            .map(|(b, r)| match r {
                 Some(r) => r,
+                None if is_metrics(&b.lines) => metrics_response(self.state),
                 None => {
                     self.state.rec.add(names::SERVE_STATS_REQUESTS, 1);
                     format!(
@@ -426,6 +647,7 @@ pub fn serve(args: &Args) -> i32 {
             "shed-policy",
             "slo",
             "cache",
+            "metrics-window",
         ],
     ) {
         return code;
@@ -448,7 +670,20 @@ pub fn serve(args: &Args) -> i32 {
         },
     };
     let slo = args.options.get("slo").map(|_| args.opt_u64("slo", 0));
-    let mut state = ServeState::new(cfg, shed, slo);
+    // Live servers expose windows through the `metrics` query, not a file.
+    let window = match args
+        .options
+        .get("metrics-window")
+        .map(|w| WindowSpec::parse(w))
+    {
+        None => None,
+        Some(Ok(w)) => Some(w),
+        Some(Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mut state = ServeState::new(cfg, shed, slo, window);
     match args.options.get("tcp") {
         None => serve_stdin(&mut state),
         Some(addr) => {
@@ -465,7 +700,7 @@ pub fn serve(args: &Args) -> i32 {
             }
             let reactor_cfg = ReactorConfig {
                 once: args.flag("once"),
-                complete_early: Some(is_stats),
+                complete_early: Some(is_query),
                 ..ReactorConfig::default()
             };
             let mut handler = ServeHandler { state: &mut state };
@@ -476,6 +711,32 @@ pub fn serve(args: &Args) -> i32 {
                     2
                 }
             }
+        }
+    }
+}
+
+/// Parses the paired offline metrics flags: `--metrics-window W` selects
+/// the windowing and `--metrics FILE` the JSONL destination — both or
+/// neither.
+fn metrics_flags(args: &Args) -> Result<Option<(WindowSpec, String)>, String> {
+    match (args.options.get("metrics-window"), args.options.get("metrics")) {
+        (None, None) => Ok(None),
+        (Some(_), None) => {
+            Err("--metrics-window needs --metrics FILE for the windowed JSONL export".to_string())
+        }
+        (None, Some(_)) => {
+            Err("--metrics FILE needs --metrics-window (WIDTH, tumbling:WIDTH, or rolling:WIDTH/STRIDE)"
+                .to_string())
+        }
+        (Some(w), Some(path)) => {
+            let spec = WindowSpec::parse(w)?;
+            if path == "-" {
+                return Err(
+                    "--metrics writes a file; `-` is reserved for --obs (the report owns stdout)"
+                        .to_string(),
+                );
+            }
+            Ok(Some((spec, path.clone())))
         }
     }
 }
@@ -505,10 +766,19 @@ fn open_loop(args: &Args) -> i32 {
             "threads",
             "faults",
             "cache",
+            "metrics-window",
+            "metrics",
         ],
     ) {
         return code;
     }
+    let metrics = match metrics_flags(args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let fabric = match args.options.get("fabric") {
         None => mocha::fabric::FabricConfig::mocha_quad(),
         Some(_) => commands::load_fabric(args),
@@ -612,7 +882,20 @@ fn open_loop(args: &Args) -> i32 {
         record_spans: obs_path.is_some(),
     };
     let mut rec = MemRecorder::with_span_cap(SERVE_SPAN_CAP);
-    let (report, _) = run_open_loop(&params, &requests, &services, &mut rec);
+    let (report, outcomes) = run_open_loop(&params, &requests, &services, &mut rec);
+
+    if let Some((spec, path)) = metrics {
+        let m = windows_from_open_loop(spec, &requests, &outcomes, &report.fault_log, shed);
+        // SLO alerts also land in the obs stream (counter + spans) so the
+        // trace tooling sees them without parsing the metrics file.
+        if m.slo.is_some() {
+            m.record_alerts(&mut rec);
+        }
+        if let Err(e) = std::fs::write(&path, m.to_jsonl()) {
+            eprintln!("cannot write {path:?}: {e}");
+            return 2;
+        }
+    }
 
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -690,10 +973,19 @@ pub fn runtime_cmd(args: &Args) -> i32 {
             "threads",
             "faults",
             "cache",
+            "metrics-window",
+            "metrics",
         ],
     ) {
         return code;
     }
+    let metrics = match metrics_flags(args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let cfg = match config::runtime_config(args) {
         Ok(cfg) => cfg,
         Err(e) => {
@@ -726,6 +1018,14 @@ pub fn runtime_cmd(args: &Args) -> i32 {
         None => runtime::run(&cfg, &subs),
         Some(_) => runtime::run_with(&cfg, &subs, &mut rec),
     };
+
+    if let Some((spec, path)) = metrics {
+        let m = windows_from_runtime(spec, &report);
+        if let Err(e) = std::fs::write(&path, m.to_jsonl()) {
+            eprintln!("cannot write {path:?}: {e}");
+            return 2;
+        }
+    }
 
     use std::fmt::Write as _;
     let mut out = String::new();

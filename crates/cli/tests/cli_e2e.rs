@@ -1321,6 +1321,294 @@ fn serve_tcp_cache_stats_reconcile_cold_and_warm() {
     assert!(h2 > h1, "warm batch did not hit the shared decision cache");
 }
 
+/// Malformed `--metrics-window` specs and broken `--metrics-window` /
+/// `--metrics` pairings hit the one-line exit-2 contract on every command
+/// that accepts them, before any work starts.
+#[test]
+fn malformed_metrics_flags_exit_nonzero() {
+    // Bad window specs on every accepting command.
+    for spec in [
+        "bogus",
+        "0",
+        "tumbling:",
+        "rolling:100",
+        "rolling:100/0",
+        "rolling:100/200",
+        "rolling:100/33",
+    ] {
+        for cmd in [
+            &[
+                "runtime",
+                "--jobs",
+                "1",
+                "--metrics",
+                "/tmp/m.jsonl",
+                "--metrics-window",
+            ][..],
+            &["serve", "--metrics-window"][..],
+            &[
+                "serve",
+                "--open-loop",
+                "--requests",
+                "1",
+                "--metrics",
+                "/tmp/m.jsonl",
+                "--metrics-window",
+            ][..],
+        ] {
+            let mut args = cmd.to_vec();
+            args.push(spec);
+            let out = mocha_sim(&args);
+            assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+            let err = stderr(&out);
+            assert_eq!(err.lines().count(), 1, "args: {args:?} stderr: {err}");
+            assert!(
+                err.contains("bad window spec"),
+                "args: {args:?} stderr: {err}"
+            );
+            assert!(stdout(&out).is_empty(), "args: {args:?}");
+        }
+    }
+    // Export flags come as a pair; `-` is reserved for `--obs`.
+    for args in [
+        &["runtime", "--jobs", "1", "--metrics-window", "1000"][..],
+        &["runtime", "--jobs", "1", "--metrics", "/tmp/m.jsonl"][..],
+        &[
+            "runtime",
+            "--jobs",
+            "1",
+            "--metrics-window",
+            "1000",
+            "--metrics",
+            "-",
+        ][..],
+        &["serve", "--open-loop", "--metrics-window", "1000"][..],
+        &["serve", "--open-loop", "--metrics", "/tmp/m.jsonl"][..],
+    ] {
+        let out = mocha_sim(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        assert_eq!(
+            stderr(&out).lines().count(),
+            1,
+            "args: {args:?} stderr: {}",
+            stderr(&out)
+        );
+        assert!(stdout(&out).is_empty(), "args: {args:?}");
+    }
+}
+
+/// `runtime --metrics` exports the windowed JSONL stream: tagged lines,
+/// a `window_spec` header, per-window counters and histogram summaries —
+/// byte-identical across two identical seeded runs.
+#[test]
+fn runtime_metrics_export_is_deterministic_and_well_formed() {
+    let dir = std::env::temp_dir();
+    let mut exports = Vec::new();
+    for i in 0..2 {
+        let f = dir.join(format!("mocha_metrics_e2e_{i}.jsonl"));
+        let out = mocha_sim(&[
+            "runtime",
+            "--jobs",
+            "4",
+            "--load",
+            "2.5",
+            "--seed",
+            "11",
+            "--metrics-window",
+            "200000",
+            "--metrics",
+            f.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        exports.push(std::fs::read_to_string(&f).expect("metrics file written"));
+        let _ = std::fs::remove_file(&f);
+    }
+    assert_eq!(exports[0], exports[1], "metrics export must be byte-stable");
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in exports[0].lines() {
+        let v = mocha_json::parse(line).expect("every metrics line is JSON");
+        kinds.insert(
+            v.get("event")
+                .and_then(|e| e.as_str())
+                .unwrap_or_else(|| panic!("untagged metrics line: {line}"))
+                .to_string(),
+        );
+    }
+    for kind in ["window_spec", "window", "whist"] {
+        assert!(kinds.contains(kind), "kinds: {kinds:?}");
+    }
+
+    // `trace summary` distils the export into the per-window tail table.
+    let obs = dir.join("mocha_metrics_e2e_sum.jsonl");
+    let metrics = dir.join("mocha_metrics_e2e_sum.metrics.jsonl");
+    let out = mocha_sim(&[
+        "runtime",
+        "--jobs",
+        "4",
+        "--load",
+        "2.5",
+        "--seed",
+        "11",
+        "--obs",
+        obs.to_str().unwrap(),
+        "--metrics-window",
+        "200000",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let mut joined = std::fs::read_to_string(&obs).expect("obs written");
+    joined.push_str(&std::fs::read_to_string(&metrics).expect("metrics written"));
+    let both = dir.join("mocha_metrics_e2e_sum.both.jsonl");
+    std::fs::write(&both, &joined).expect("write joined stream");
+    let summary = mocha_sim(&["trace", "summary", both.to_str().unwrap()]);
+    assert!(summary.status.success(), "stderr: {}", stderr(&summary));
+    let text = stdout(&summary);
+    assert!(text.contains("windowed:"), "summary:\n{text}");
+    assert!(text.contains("p99"), "summary:\n{text}");
+    for f in [obs, metrics, both] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+/// Satellite: with a shed policy active, the `stats` snapshot's `hists`
+/// block carries nearest-rank percentiles for the admission-control
+/// histograms (queue depth at arrival, shed slack).
+#[test]
+fn serve_stats_hists_carry_admission_percentiles() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+        .args(["serve", "--shed-policy", "deadline", "--slo", "400000"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mocha-sim serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(
+            b"{\"network\": \"tiny\", \"profile\": \"sparse\", \"seed\": 3}\n\
+              {\"network\": \"tiny\", \"arrival_cycle\": 4000}\n\
+              {\"network\": \"tiny\", \"arrival_cycle\": 8000, \"deadline_cycles\": 1}\n\n\
+              stats\n",
+        )
+        .expect("write batch + stats query");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let snap_line = text.lines().last().expect("stats line");
+    let snap = mocha_json::parse(snap_line).expect("snapshot is JSON");
+    let hists = snap.get("hists").expect("hists block");
+    for name in ["serve.queue_depth", "serve.shed_slack_cycles"] {
+        let h = hists
+            .get(name)
+            .unwrap_or_else(|| panic!("missing {name} in {hists:?}"));
+        for key in ["count", "p50", "p95", "p99"] {
+            assert!(h.get(key).is_some(), "{name} missing {key}: {h:?}");
+        }
+        assert!(
+            h.get("count").and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+            "{name} recorded no samples: {h:?}"
+        );
+    }
+}
+
+/// The live `metrics` query over stdin: after a served batch, the response
+/// is a Prometheus-style exposition followed by one JSON snapshot line,
+/// and the snapshot's counters reconcile with the batch.
+#[test]
+fn serve_stdin_metrics_query_returns_exposition_and_snapshot() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+        .args([
+            "serve",
+            "--shed-policy",
+            "deadline",
+            "--slo",
+            "400000",
+            "--metrics-window",
+            "100000",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mocha-sim serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(
+            b"{\"network\": \"tiny\", \"profile\": \"sparse\", \"seed\": 3}\n\
+              {\"network\": \"tiny\", \"arrival_cycle\": 4000}\n\
+              {\"network\": \"tiny\", \"arrival_cycle\": 8000, \"deadline_cycles\": 1}\n\n\
+              metrics\n",
+        )
+        .expect("write batch + metrics query");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.lines().any(|l| l.starts_with("# TYPE mocha_")),
+        "no exposition TYPE lines:\n{text}"
+    );
+    assert!(
+        text.contains("mocha_serve_requests"),
+        "missing serve.requests metric:\n{text}"
+    );
+    let snap_line = text
+        .lines()
+        .filter(|l| l.starts_with('{'))
+        .find(|l| {
+            mocha_json::parse(l)
+                .ok()
+                .and_then(|v| v.get("metrics").and_then(|m| m.as_bool()))
+                == Some(true)
+        })
+        .unwrap_or_else(|| panic!("no snapshot line in:\n{text}"));
+    let snap = mocha_json::parse(snap_line).expect("snapshot is JSON");
+    let counters = snap
+        .get("counters")
+        .and_then(|v| v.as_arr())
+        .expect("counters");
+    let total: u64 = counters
+        .iter()
+        .filter(|c| c.get("name").and_then(|n| n.as_str()) == Some("serve.requests"))
+        .filter_map(|c| c.get("value").and_then(|v| v.as_u64()))
+        .sum();
+    assert_eq!(total, 3, "every request lands in a window: {snap_line}");
+    let slo = snap.get("slo").expect("slo block (deadline policy active)");
+    assert!(slo.get("burn_slow").is_some(), "slo block: {slo:?}");
+
+    // Without `--metrics-window` the query answers with a one-line error
+    // instead of an exposition — and the server stays up.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mocha-sim"))
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mocha-sim serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"metrics\n{\"network\": \"tiny\", \"seed\": 3}\n\n")
+        .expect("write query + batch");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let first = text.lines().next().expect("error line");
+    let err = mocha_json::parse(first).expect("error line is JSON");
+    assert!(
+        err.get("error")
+            .and_then(|v| v.as_str())
+            .is_some_and(|m| m.contains("--metrics-window")),
+        "error line: {first}"
+    );
+    assert!(text.lines().count() > 1, "batch still served:\n{text}");
+}
+
 /// `repro r3` — the open-loop serving sweep — is byte-identical across
 /// thread counts and carries the headline shedding-beats-queueing note.
 #[test]
@@ -1339,6 +1627,10 @@ fn repro_r3_is_byte_identical_across_thread_counts() {
     assert!(
         base.contains("beats unbounded queueing on goodput AND p99"),
         "headline claim missing:\n{base}"
+    );
+    assert!(
+        base.contains("fires before the goodput knee"),
+        "windowed burn-rate claim missing:\n{base}"
     );
     for (threads, table) in &tables[1..] {
         assert_eq!(table, base, "--threads {threads} r3 table differs");

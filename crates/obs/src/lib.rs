@@ -27,9 +27,13 @@
 mod hist;
 pub mod names;
 mod record;
+pub mod window;
 
 pub use hist::Histogram;
 pub use record::{MemRecorder, SpanEvent};
+pub use window::{
+    LabelInterner, LabelSet, SloRow, SloTracker, WindowSet, WindowSpec, WindowedMetrics,
+};
 
 /// The instrumentation sink. Everything the simulator, fabric and runtime
 /// report goes through these three methods.

@@ -139,10 +139,19 @@ pub const SERVE_REQUESTS: &str = "serve.requests";
 pub const SERVE_REQUESTS_REJECTED: &str = "serve.requests_rejected";
 /// `stats` snapshot requests answered.
 pub const SERVE_STATS_REQUESTS: &str = "serve.stats_requests";
+/// `metrics` exposition requests answered.
+pub const SERVE_METRICS_REQUESTS: &str = "serve.metrics_requests";
 /// Requests admitted past the shed gate (open-loop serving).
 pub const SERVE_ADMITTED: &str = "serve.admitted";
 /// Requests shed by admission control instead of queued.
 pub const SERVE_SHED: &str = "serve.shed";
+/// Admitted requests that completed (windowed serving telemetry).
+pub const SERVE_COMPLETED: &str = "serve.completed";
+/// Admitted requests dropped after exhausting fault retries (windowed
+/// serving telemetry).
+pub const SERVE_FAILED: &str = "serve.failed";
+/// Completions within their deadline (windowed serving telemetry).
+pub const SERVE_IN_SLO: &str = "serve.in_slo";
 /// Completions that finished past their deadline.
 pub const SERVE_DEADLINE_MISSES: &str = "serve.deadline_misses";
 /// Admission-queue depth observed at each arrival (histogram).
@@ -150,6 +159,12 @@ pub const HIST_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 /// Cycles by which a shed request's predicted completion overshot its
 /// deadline (histogram; deadline policy only).
 pub const HIST_SERVE_SHED_SLACK: &str = "serve.shed_slack_cycles";
+
+// ---- slo: windowed error-budget tracking ----
+
+/// Error-budget burn alerts raised (rising edges of the fast/slow pair —
+/// see [`crate::SloTracker`]). Recorded alongside `slo/alert` spans.
+pub const SLO_ALERTS: &str = "slo.alerts";
 
 // ---- histograms ----
 
@@ -159,3 +174,110 @@ pub const HIST_GROUP_CYCLES: &str = "core.group_cycles";
 pub const HIST_JOB_LATENCY: &str = "runtime.latency_cycles";
 /// Admission queue wait per finished job, cycles.
 pub const HIST_QUEUE_WAIT: &str = "runtime.queue_wait_cycles";
+
+// ---- registry ----
+
+/// Every counter, fractional counter and histogram name, in declaration
+/// order. New names MUST be added here: the registry is what keeps the
+/// namespace collision-free (see the uniqueness test below), feeds
+/// tooling that wants the full vocabulary (docs, exposition surfaces),
+/// and is the one place a reviewer can see the whole taxonomy.
+pub const ALL: &[&str] = &[
+    FABRIC_MACS,
+    FABRIC_MACS_SKIPPED,
+    FABRIC_DRAM_READ_BYTES,
+    FABRIC_DRAM_WRITE_BYTES,
+    FABRIC_DRAM_BURSTS,
+    FABRIC_NOC_FLIT_HOPS,
+    FABRIC_SPM_READ_BYTES,
+    FABRIC_SPM_WRITE_BYTES,
+    FABRIC_CODEC_BYTES,
+    FABRIC_POOL_OPS,
+    FABRIC_RF_READS,
+    FABRIC_RF_WRITES,
+    FABRIC_ACTIVE_CYCLES,
+    FABRIC_CODEC_PRICED_PJ,
+    CORE_GROUPS,
+    CORE_CANDIDATES,
+    CORE_COMPRESSION_FALLBACKS,
+    CACHE_DECISIONS,
+    CACHE_HITS,
+    CACHE_MISSES,
+    CACHE_INVALIDATED,
+    RUNTIME_JOBS_SUBMITTED,
+    RUNTIME_JOBS_ADMITTED,
+    RUNTIME_JOBS_FINISHED,
+    RUNTIME_ADMISSION_DEFERRALS,
+    RUNTIME_INTERIM_ADMISSIONS,
+    RUNTIME_REMORPHS,
+    RUNTIME_GROUPS_STEPPED,
+    RUNTIME_JOBS_RETRIED,
+    RUNTIME_JOBS_FAILED,
+    FAULT_INJECTED,
+    FAULT_TRANSIENT,
+    FAULT_PERMANENT,
+    FAULT_INJECTED_PE,
+    FAULT_INJECTED_SPM,
+    FAULT_INJECTED_NOC,
+    FAULT_INJECTED_DMA,
+    FAULT_INJECTED_DRAM,
+    FAULT_HITS,
+    FAULT_RETRIES,
+    FAULT_EVICTIONS,
+    FAULT_RESTARTS,
+    FAULT_QUARANTINED,
+    FAULT_LOST_CYCLES,
+    FAULT_LOST_ENERGY_PJ,
+    SERVE_BATCHES,
+    SERVE_REQUESTS,
+    SERVE_REQUESTS_REJECTED,
+    SERVE_STATS_REQUESTS,
+    SERVE_METRICS_REQUESTS,
+    SERVE_ADMITTED,
+    SERVE_SHED,
+    SERVE_COMPLETED,
+    SERVE_FAILED,
+    SERVE_IN_SLO,
+    SERVE_DEADLINE_MISSES,
+    HIST_SERVE_QUEUE_DEPTH,
+    HIST_SERVE_SHED_SLACK,
+    SLO_ALERTS,
+    HIST_GROUP_CYCLES,
+    HIST_JOB_LATENCY,
+    HIST_QUEUE_WAIT,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut seen = BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(name), "duplicate metric name {name:?}");
+        }
+    }
+
+    #[test]
+    fn registry_names_are_namespaced_and_metric_safe() {
+        for name in ALL {
+            let (layer, metric) = name
+                .split_once('.')
+                .unwrap_or_else(|| panic!("{name:?} is not layer.metric"));
+            for part in [layer, metric] {
+                assert!(!part.is_empty(), "{name:?} has an empty segment");
+                assert!(
+                    part.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                    "{name:?} is not lowercase snake_case"
+                );
+            }
+            assert_eq!(
+                name.matches('.').count(),
+                1,
+                "{name:?} must have exactly one namespace dot"
+            );
+        }
+    }
+}

@@ -171,6 +171,17 @@ impl MemRecorder {
         }
     }
 
+    /// Merges exactly one of `other`'s histograms into this recorder,
+    /// leaving every other channel untouched. The serve front-end uses
+    /// this to fold the shed pre-pass's queue-depth and shed-slack
+    /// histograms into the long-lived stats recorder without
+    /// double-counting the counters the front-end re-records itself.
+    pub fn absorb_hist(&mut self, name: &'static str, other: &MemRecorder) {
+        if let Some(h) = other.hists.get(name) {
+            self.hists.entry(name).or_default().merge(h);
+        }
+    }
+
     /// A point-in-time snapshot as one JSON object: every counter, every
     /// histogram summary, and the span tally. The `serve` front-end answers
     /// `stats` requests with this.
@@ -371,6 +382,28 @@ mod tests {
         assert_eq!(dst.spans().len(), 1);
         // one drop propagated per merge + one overflow drop in the second.
         assert_eq!(dst.spans_dropped(), 3);
+    }
+
+    #[test]
+    fn absorb_hist_takes_one_histogram_and_nothing_else() {
+        let src = sample_recorder();
+        let mut dst = MemRecorder::new();
+        dst.sample("core.group_cycles", 10);
+        dst.absorb_hist("core.group_cycles", &src);
+        dst.absorb_hist("not.recorded", &src);
+        let h = dst.hist("core.group_cycles").expect("merged");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(
+            dst.counter("runtime.jobs_admitted"),
+            0,
+            "counters untouched"
+        );
+        assert!(dst.spans().is_empty(), "spans untouched");
+        assert!(
+            dst.hist("not.recorded").is_none(),
+            "absent source hist is a no-op"
+        );
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Property tests for the windowed telemetry layer: windowing must be
+//! **lossless**. Tumbling windows partition the run, so merging every
+//! per-window histogram (or summing every per-window counter) must
+//! reproduce the whole-run aggregate bit for bit — the property that lets
+//! an analyser trust window views as a decomposition rather than an
+//! approximation. Rolling views must likewise be exact merges of their
+//! base cells.
+
+use mocha_obs::{Histogram, LabelSet, WindowSet, WindowSpec};
+
+/// Deterministic xorshift generator — the tests need arbitrary-looking
+/// streams, not statistical quality.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// A seeded stream of (cycle, value, label-choice) events.
+fn events(seed: u64, n: usize, horizon: u64) -> Vec<(u64, u64, usize)> {
+    let mut rng = Rng(seed | 1);
+    (0..n)
+        .map(|_| {
+            let cycle = rng.next() % horizon;
+            let value = rng.next() % 10_000;
+            let label = (rng.next() % 3) as usize;
+            (cycle, value, label)
+        })
+        .collect()
+}
+
+#[test]
+fn merging_all_tumbling_windows_reproduces_the_whole_run_histogram() {
+    for (seed, width, n, horizon) in [
+        (3, 1u64, 500, 2_000),
+        (7, 250, 4_000, 50_000),
+        (11, 1_000, 4_000, 50_000),
+        (13, 7_919, 4_000, 50_000),
+    ] {
+        let spec = WindowSpec::tumbling(width);
+        let mut ws = WindowSet::new(spec);
+        let labels = [
+            LabelSet::EMPTY,
+            ws.intern(&[("tenant", "0")]),
+            ws.intern(&[("tenant", "1"), ("template", "vgg16")]),
+        ];
+        let mut whole = Histogram::new();
+        for (cycle, value, l) in events(seed, n, horizon) {
+            ws.sample_at("lat", labels[l], cycle, value);
+            whole.record(value);
+        }
+        let mut merged = Histogram::new();
+        for w in 0..ws.window_count() {
+            merged.merge(&ws.window_hist("lat", w));
+        }
+        assert_eq!(
+            merged, whole,
+            "width {width}: windowing lost or duplicated samples"
+        );
+        assert_eq!(ws.merged_hist("lat"), whole, "whole-run merge across cells");
+    }
+}
+
+#[test]
+fn summing_all_tumbling_windows_reproduces_the_whole_run_counter() {
+    let spec = WindowSpec::tumbling(512);
+    let mut ws = WindowSet::new(spec);
+    let labels = [
+        LabelSet::EMPTY,
+        ws.intern(&[("kind", "pe")]),
+        ws.intern(&[("kind", "dram")]),
+    ];
+    let mut whole = 0u64;
+    for (cycle, value, l) in events(17, 4_000, 50_000) {
+        let delta = value % 7 + 1;
+        ws.add_at("hits", labels[l], cycle, delta);
+        whole += delta;
+    }
+    let windowed: u64 = (0..ws.window_count())
+        .map(|w| ws.window_counter("hits", w))
+        .sum();
+    assert_eq!(windowed, whole);
+    assert_eq!(ws.counter_total("hits"), whole);
+}
+
+#[test]
+fn rolling_windows_are_exact_merges_of_their_base_cells() {
+    let spec = WindowSpec::parse("rolling:2000/500").unwrap();
+    let mut ws = WindowSet::new(spec);
+    // A tumbling set at stride granularity is the base-cell oracle.
+    let mut cells = WindowSet::new(WindowSpec::tumbling(500));
+    for (cycle, value, _) in events(23, 3_000, 20_000) {
+        ws.sample_at("lat", LabelSet::EMPTY, cycle, value);
+        cells.sample_at("lat", LabelSet::EMPTY, cycle, value);
+    }
+    assert_eq!(ws.window_count(), cells.window_count());
+    for w in 0..ws.window_count() {
+        let mut oracle = Histogram::new();
+        for c in w..(w + spec.cells_per_window()).min(cells.window_count()) {
+            oracle.merge(&cells.window_hist("lat", c));
+        }
+        assert_eq!(ws.window_hist("lat", w), oracle, "window {w}");
+    }
+}
+
+#[test]
+fn stray_quantiles_inside_windows_match_a_sort_oracle() {
+    // Windowed quantiles are the same exact nearest-rank walk as the
+    // whole-run histogram: spot-check one window against a sorted vector.
+    let spec = WindowSpec::tumbling(1_000);
+    let mut ws = WindowSet::new(spec);
+    let mut in_window: Vec<u64> = Vec::new();
+    for (cycle, value, _) in events(29, 2_000, 10_000) {
+        ws.sample_at("lat", LabelSet::EMPTY, cycle, value);
+        if spec.cell(cycle) == 4 {
+            in_window.push(value);
+        }
+    }
+    in_window.sort_unstable();
+    let h = ws.window_hist("lat", 4);
+    assert_eq!(h.count(), in_window.len() as u64);
+    for p in [50.0, 95.0, 99.0] {
+        let rank = ((p / 100.0) * in_window.len() as f64).ceil() as usize;
+        let oracle = in_window[rank.clamp(1, in_window.len()) - 1];
+        assert_eq!(h.quantile(p), Some(oracle), "p{p}");
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod metrics;
 pub mod openloop;
 pub mod protocol;
 pub mod reactor;
@@ -40,6 +41,7 @@ pub mod shed;
 pub mod traffic;
 
 pub use calibrate::Calibration;
+pub use metrics::{windows_from_open_loop, windows_from_runtime};
 pub use openloop::{run_open_loop, OpenLoopParams, OpenLoopReport, RequestOutcome};
 pub use protocol::{read_line_capped, LineRead, MAX_LINE_BYTES};
 pub use reactor::{serve_reactor, BatchHandler, ClientBatch, ReactorConfig};

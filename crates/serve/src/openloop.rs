@@ -65,7 +65,10 @@ pub enum RequestOutcome {
         finish: u64,
     },
     /// Admitted but dropped after exhausting its fault-retry budget.
-    Failed,
+    Failed {
+        /// Cycle of the fault that exhausted the budget.
+        at: u64,
+    },
 }
 
 /// Aggregate outcome of one open-loop run.
@@ -102,6 +105,10 @@ pub struct OpenLoopReport {
     pub quarantined: usize,
     /// Mean first-start queue wait over completions, cycles.
     pub mean_queue_wait: f64,
+    /// Every fault event drawn, in injection order: `(cycle, kind name)`.
+    /// Feeds the fault-kind dimension of windowed telemetry; not part of
+    /// the JSON report (which keeps its pre-telemetry byte shape).
+    pub fault_log: Vec<(u64, &'static str)>,
     latencies: Vec<u64>, // sorted
 }
 
@@ -204,6 +211,7 @@ struct Sim {
     horizon: u64,
     faults_injected: usize,
     quarantined: usize,
+    fault_log: Vec<(u64, &'static str)>,
     latencies: Vec<u64>,
 }
 
@@ -248,6 +256,7 @@ pub fn run_open_loop<R: Recorder>(
         horizon: 0,
         faults_injected: 0,
         quarantined: 0,
+        fault_log: Vec::new(),
         latencies: Vec::new(),
     };
 
@@ -333,6 +342,7 @@ pub fn run_open_loop<R: Recorder>(
         horizon,
         faults_injected,
         quarantined,
+        fault_log,
         mut latencies,
         outcomes,
         ..
@@ -358,6 +368,7 @@ pub fn run_open_loop<R: Recorder>(
         } else {
             wait_sum as f64 / completed as f64
         },
+        fault_log,
         latencies,
     };
     (report, outcomes)
@@ -431,9 +442,9 @@ impl Sim {
         };
     }
 
-    fn fail(&mut self, job: Job) {
+    fn fail(&mut self, job: Job, at: u64) {
         self.failed += 1;
-        self.outcomes[job.idx] = RequestOutcome::Failed;
+        self.outcomes[job.idx] = RequestOutcome::Failed { at };
     }
 
     /// Slots a fault's hardware scope maps onto: geometric kinds project
@@ -455,6 +466,7 @@ impl Sim {
     fn apply_fault<R: Recorder>(&mut self, ev: FaultEvent, p: &OpenLoopParams, rec: &mut R) {
         let plan = p.faults.expect("fault event implies a plan");
         self.faults_injected += 1;
+        self.fault_log.push((ev.at, ev.kind.name()));
         rec.add(names::FAULT_INJECTED, 1);
         rec.add(
             if ev.permanent {
@@ -532,7 +544,7 @@ impl Sim {
         }
         if failed {
             let job = self.slots[v].queue.remove(k).expect("index in range");
-            self.fail(job);
+            self.fail(job, t);
             let prev_end = if k == 0 {
                 t
             } else {
@@ -590,7 +602,7 @@ impl Sim {
                 }
                 job.attempts += 1;
                 if job.attempts > plan.max_retries {
-                    self.fail(job);
+                    self.fail(job, t);
                     continue;
                 }
                 rec.add(names::FAULT_RETRIES, 1);

@@ -48,6 +48,16 @@ impl ShedPolicy {
     pub fn active(self) -> bool {
         self != ShedPolicy::None
     }
+
+    /// Static shed-reason label for windowed telemetry (`queue` for any
+    /// bound, `deadline`, `none`).
+    pub fn reason(self) -> &'static str {
+        match self {
+            ShedPolicy::None => "none",
+            ShedPolicy::Queue(_) => "queue",
+            ShedPolicy::Deadline => "deadline",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -94,6 +94,27 @@ pub fn diff(a: &Profile, b: &Profile) -> Vec<MetricDelta> {
             true,
         ));
     }
+    // SLO burn metrics gate only when both sides tracked an SLO over
+    // windowed telemetry — a candidate that burns error budget faster (or
+    // raises more alerts) than the baseline is a serving regression even
+    // when mean throughput looks fine.
+    if let (Some(sa), Some(sb)) = (
+        a.windowed.as_ref().and_then(|w| w.slo.as_ref()),
+        b.windowed.as_ref().and_then(|w| w.slo.as_ref()),
+    ) {
+        out.push(delta(
+            "slo_burn_peak_slow",
+            sa.burn_peak_slow,
+            sb.burn_peak_slow,
+            true,
+        ));
+        out.push(delta(
+            "slo_alerts",
+            sa.alerts as f64,
+            sb.alerts as f64,
+            true,
+        ));
+    }
     out
 }
 
@@ -157,6 +178,7 @@ mod tests {
             latency: Some((10, 20, 30)),
             fault_events: 0,
             fault_lost_cycles: 0,
+            windowed: None,
         }
     }
 
@@ -213,6 +235,39 @@ mod tests {
             .find(|d| d.name == "fault_lost_cycles")
             .expect("gated fault metric");
         assert!(d.regressed(5.0));
+    }
+
+    #[test]
+    fn slo_burn_gates_only_when_both_sides_tracked_an_slo() {
+        use crate::profile::{SloProfile, WindowProfile};
+        let windowed = |alerts: u64, peak: f64| {
+            let mut p = profile(100, 1.0);
+            p.windowed = Some(WindowProfile {
+                width: 1000,
+                stride: 1000,
+                count: 4,
+                tail: Vec::new(),
+                slo: Some(SloProfile {
+                    alerts,
+                    burn_peak_fast: peak,
+                    burn_peak_slow: peak,
+                }),
+            });
+            p
+        };
+        let plain = profile(100, 1.0);
+        assert!(!diff(&plain, &windowed(1, 2.0))
+            .iter()
+            .any(|d| d.name.starts_with("slo")));
+        let deltas = diff(&windowed(0, 0.5), &windowed(2, 2.0));
+        let burn = deltas
+            .iter()
+            .find(|d| d.name == "slo_burn_peak_slow")
+            .expect("burn metric");
+        assert!(burn.regressed(5.0), "4x burn is a regression");
+        assert!(deltas
+            .iter()
+            .any(|d| d.name == "slo_alerts" && d.higher_is_worse));
     }
 
     #[test]

@@ -72,6 +72,75 @@ pub struct HistSummary {
     pub p99: u64,
 }
 
+/// The `window_spec` header of a windowed-metrics export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowMeta {
+    /// Window width, cycles.
+    pub width: u64,
+    /// Window stride, cycles (== width for tumbling windows).
+    pub stride: u64,
+    /// Windows the export covers.
+    pub windows: u64,
+}
+
+/// One per-window counter row (`window` event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowValue {
+    /// Window index.
+    pub window: u64,
+    /// First cycle of the window.
+    pub start: u64,
+    /// One past the last cycle.
+    pub end: u64,
+    /// Counter name.
+    pub name: String,
+    /// Canonical label text (`k=v,k=v`; empty for the unlabelled total).
+    pub labels: String,
+    /// Counter total over the window.
+    pub value: u64,
+}
+
+/// One per-window histogram row (`whist` event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowHist {
+    /// Window index.
+    pub window: u64,
+    /// First cycle of the window.
+    pub start: u64,
+    /// One past the last cycle.
+    pub end: u64,
+    /// Histogram name.
+    pub name: String,
+    /// Canonical label text (empty = the all-labels aggregate).
+    pub labels: String,
+    /// The window's summary.
+    pub summary: HistSummary,
+}
+
+/// One per-cell SLO row (`slo` event): goodput, miss ratio, and the
+/// fast/slow error-budget burn pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRecord {
+    /// Base-cell index.
+    pub window: u64,
+    /// In-SLO completions in the cell.
+    pub good: u64,
+    /// Deadline misses in the cell.
+    pub misses: u64,
+    /// Errors (misses + sheds + failures) in the cell.
+    pub errors: u64,
+    /// In-SLO completions per million cycles.
+    pub goodput_per_mcycle: f64,
+    /// Misses over completions.
+    pub miss_ratio: f64,
+    /// Fast-window burn rate (error ratio over budget).
+    pub burn_fast: f64,
+    /// Slow-window burn rate.
+    pub burn_slow: f64,
+    /// Rising-edge alert in this cell.
+    pub alert: bool,
+}
+
 /// A fully parsed observability stream.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stream {
@@ -85,6 +154,15 @@ pub struct Stream {
     pub fcounters: BTreeMap<String, f64>,
     /// Histogram summaries by name.
     pub hists: BTreeMap<String, HistSummary>,
+    /// Windowed-metrics header, when the input is (or embeds) a
+    /// `--metrics` export.
+    pub window_spec: Option<WindowMeta>,
+    /// Per-window counter rows, in export order.
+    pub windows: Vec<WindowValue>,
+    /// Per-window histogram rows, in export order.
+    pub whists: Vec<WindowHist>,
+    /// Per-cell SLO rows, in export order.
+    pub slo: Vec<SloRecord>,
 }
 
 impl Stream {
@@ -176,6 +254,48 @@ pub fn parse_stream(text: &str) -> Result<Stream, TraceError> {
             "hist" => {
                 let name = req_str(&v, "name", line)?;
                 out.hists.insert(name, hist_summary(&v, line)?);
+            }
+            "window_spec" => {
+                out.window_spec = Some(WindowMeta {
+                    width: req_u64(&v, "width", line)?,
+                    stride: req_u64(&v, "stride", line)?,
+                    windows: req_u64(&v, "windows", line)?,
+                });
+            }
+            "window" => {
+                out.windows.push(WindowValue {
+                    window: req_u64(&v, "window", line)?,
+                    start: req_u64(&v, "start", line)?,
+                    end: req_u64(&v, "end", line)?,
+                    name: req_str(&v, "name", line)?,
+                    labels: req_str(&v, "labels", line)?,
+                    value: req_u64(&v, "value", line)?,
+                });
+            }
+            "whist" => {
+                out.whists.push(WindowHist {
+                    window: req_u64(&v, "window", line)?,
+                    start: req_u64(&v, "start", line)?,
+                    end: req_u64(&v, "end", line)?,
+                    name: req_str(&v, "name", line)?,
+                    labels: req_str(&v, "labels", line)?,
+                    summary: hist_summary(&v, line)?,
+                });
+            }
+            "slo" => {
+                out.slo.push(SloRecord {
+                    window: req_u64(&v, "window", line)?,
+                    good: req_u64(&v, "good", line)?,
+                    misses: req_u64(&v, "misses", line)?,
+                    errors: req_u64(&v, "errors", line)?,
+                    goodput_per_mcycle: req_f64(&v, "goodput_per_mcycle", line)?,
+                    miss_ratio: req_f64(&v, "miss_ratio", line)?,
+                    burn_fast: req_f64(&v, "burn_fast", line)?,
+                    burn_slow: req_f64(&v, "burn_slow", line)?,
+                    alert: req(&v, "alert", line)?
+                        .as_bool()
+                        .ok_or_else(|| TraceError::new(line, "field \"alert\" is not a boolean"))?,
+                });
             }
             other => {
                 return Err(TraceError::new(
@@ -273,6 +393,31 @@ mod tests {
         assert_eq!(s.counter("fabric.macs"), 3);
         assert_eq!(s.fcounter("fabric.codec_priced_pj"), 0.5);
         assert_eq!(s.hists["core.group_cycles"].p50, 10);
+    }
+
+    #[test]
+    fn parses_a_windowed_metrics_export_round_trip() {
+        use mocha_obs::{WindowSpec, WindowedMetrics};
+        let mut m = WindowedMetrics::new(WindowSpec::tumbling(100));
+        let l = m.windows.intern(&[("tenant", "0")]);
+        m.windows.add_at("serve.requests", l, 5, 2);
+        m.windows.sample_at("runtime.latency_cycles", l, 105, 40);
+        m.enable_slo();
+        m.slo.as_mut().unwrap().good(0, 3);
+        m.slo.as_mut().unwrap().miss(1, 1);
+        let s = parse_stream(&m.to_jsonl()).expect("parses");
+        let meta = s.window_spec.expect("header present");
+        assert_eq!((meta.width, meta.stride, meta.windows), (100, 100, 2));
+        assert!(s
+            .windows
+            .iter()
+            .any(|w| w.name == "serve.requests" && w.labels == "tenant=0" && w.value == 2));
+        // Labelled histograms also export an empty-label aggregate row.
+        assert!(s.whists.iter().any(|h| h.name == "runtime.latency_cycles"
+            && h.labels.is_empty()
+            && h.summary.count == 1));
+        assert_eq!(s.slo.len(), 2);
+        assert!(s.slo[1].burn_fast > 0.0, "a miss burns budget");
     }
 
     #[test]

@@ -29,6 +29,49 @@ pub struct LayerRow {
     pub energy_aj: u128,
 }
 
+/// One per-window tail-latency row, from the empty-label (aggregate)
+/// `runtime.latency_cycles` window histograms of a `--metrics` export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowTail {
+    /// Window index.
+    pub window: u64,
+    /// Completions in the window.
+    pub count: u64,
+    /// Median latency, cycles.
+    pub p50: u64,
+    /// 95th percentile latency.
+    pub p95: u64,
+    /// 99th percentile latency.
+    pub p99: u64,
+}
+
+/// SLO burn summary of a windowed export.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloProfile {
+    /// Rising-edge burn alerts over the run.
+    pub alerts: u64,
+    /// Peak fast-window burn rate.
+    pub burn_peak_fast: f64,
+    /// Peak slow-window burn rate.
+    pub burn_peak_slow: f64,
+}
+
+/// The windowed-telemetry view of a profile — present only when the input
+/// stream embeds a `--metrics` export (window/whist/slo events).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowProfile {
+    /// Window width, cycles.
+    pub width: u64,
+    /// Window stride, cycles.
+    pub stride: u64,
+    /// Windows covered.
+    pub count: u64,
+    /// Per-window tail-latency rows, in window order.
+    pub tail: Vec<WindowTail>,
+    /// SLO burn summary (absent when the run carried no deadlines).
+    pub slo: Option<SloProfile>,
+}
+
 /// A complete run profile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
@@ -65,6 +108,9 @@ pub struct Profile {
     pub fault_events: u64,
     /// Executed-work cycles lost to faults (`fault.lost_cycles`).
     pub fault_lost_cycles: u64,
+    /// Windowed telemetry (only when the stream embeds a `--metrics`
+    /// export, so pre-telemetry profiles stay byte-identical).
+    pub windowed: Option<WindowProfile>,
 }
 
 impl Profile {
@@ -130,6 +176,28 @@ impl Profile {
                 .get(mocha_obs::names::FAULT_LOST_CYCLES)
                 .copied()
                 .unwrap_or(0),
+            windowed: stream.window_spec.map(|meta| WindowProfile {
+                width: meta.width,
+                stride: meta.stride,
+                count: meta.windows,
+                tail: stream
+                    .whists
+                    .iter()
+                    .filter(|h| h.name == mocha_obs::names::HIST_JOB_LATENCY && h.labels.is_empty())
+                    .map(|h| WindowTail {
+                        window: h.window,
+                        count: h.summary.count,
+                        p50: h.summary.p50,
+                        p95: h.summary.p95,
+                        p99: h.summary.p99,
+                    })
+                    .collect(),
+                slo: (!stream.slo.is_empty()).then(|| SloProfile {
+                    alerts: stream.slo.iter().filter(|r| r.alert).count() as u64,
+                    burn_peak_fast: stream.slo.iter().map(|r| r.burn_fast).fold(0.0, f64::max),
+                    burn_peak_slow: stream.slo.iter().map(|r| r.burn_slow).fold(0.0, f64::max),
+                }),
+            }),
         };
         (profile, attribution)
     }
@@ -180,6 +248,34 @@ impl Profile {
             v = v
                 .with("fault_events", self.fault_events)
                 .with("fault_lost_cycles", self.fault_lost_cycles);
+        }
+        // Window fields likewise only appear for windowed streams.
+        if let Some(w) = &self.windowed {
+            v = v
+                .with("windows", w.count)
+                .with("window_width", w.width)
+                .with("window_stride", w.stride)
+                .with(
+                    "window_latency",
+                    w.tail
+                        .iter()
+                        .map(|t| {
+                            mocha_json::jobj! {
+                                "window" => t.window,
+                                "count" => t.count,
+                                "p50" => t.p50,
+                                "p95" => t.p95,
+                                "p99" => t.p99,
+                            }
+                        })
+                        .collect::<Vec<_>>(),
+                );
+            if let Some(slo) = &w.slo {
+                v = v
+                    .with("slo_alerts", slo.alerts)
+                    .with("slo_burn_peak_fast", slo.burn_peak_fast)
+                    .with("slo_burn_peak_slow", slo.burn_peak_slow);
+            }
         }
         v
     }
@@ -264,6 +360,44 @@ impl Profile {
                 .get("fault_lost_cycles")
                 .and_then(Value::as_u64)
                 .unwrap_or(0),
+            windowed: match v.get("windows") {
+                None => None,
+                Some(_) => {
+                    let mut tail = Vec::new();
+                    for t in v
+                        .get("window_latency")
+                        .and_then(Value::as_arr)
+                        .unwrap_or(&[])
+                    {
+                        let tu = |key: &str| -> Result<u64, String> {
+                            t.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                                format!("window_latency field {key:?} missing or not an integer")
+                            })
+                        };
+                        tail.push(WindowTail {
+                            window: tu("window")?,
+                            count: tu("count")?,
+                            p50: tu("p50")?,
+                            p95: tu("p95")?,
+                            p99: tu("p99")?,
+                        });
+                    }
+                    Some(WindowProfile {
+                        width: u("window_width")?,
+                        stride: u("window_stride")?,
+                        count: u("windows")?,
+                        tail,
+                        slo: match v.get("slo_alerts") {
+                            None => None,
+                            Some(_) => Some(SloProfile {
+                                alerts: u("slo_alerts")?,
+                                burn_peak_fast: f("slo_burn_peak_fast")?,
+                                burn_peak_slow: f("slo_burn_peak_slow")?,
+                            }),
+                        },
+                    })
+                }
+            },
         })
     }
 
@@ -325,6 +459,39 @@ impl Profile {
                 "faults: {} injected, {} executed cycles lost",
                 self.fault_events, self.fault_lost_cycles
             );
+        }
+        if let Some(w) = &self.windowed {
+            let _ = writeln!(
+                out,
+                "windowed: {} window(s) of {} cycles (stride {})",
+                w.count, w.width, w.stride
+            );
+            if let Some(slo) = &w.slo {
+                let _ = writeln!(
+                    out,
+                    "SLO: {} alert(s) | peak burn fast {:.2} slow {:.2}",
+                    slo.alerts, slo.burn_peak_fast, slo.burn_peak_slow
+                );
+            }
+            if !w.tail.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {:>6} {:>12} {:>8} {:>10} {:>10} {:>10}",
+                    "window", "start", "count", "p50", "p95", "p99"
+                );
+                for t in &w.tail {
+                    let _ = writeln!(
+                        out,
+                        "  {:>6} {:>12} {:>8} {:>10} {:>10} {:>10}",
+                        t.window,
+                        t.window * w.stride,
+                        t.count,
+                        t.p50,
+                        t.p95,
+                        t.p99,
+                    );
+                }
+            }
         }
         if !self.layers.is_empty() {
             let _ = writeln!(
@@ -413,6 +580,68 @@ mod tests {
             .contains("faults: 3 injected, 120 executed cycles lost"));
         // A pre-fault-injection profile (no fault keys) still loads.
         assert_eq!(Profile::from_json(&clean.to_json()).unwrap(), clean);
+    }
+
+    #[test]
+    fn window_fields_serialize_only_for_windowed_streams() {
+        let clean = sample_profile();
+        assert!(clean.windowed.is_none());
+        assert!(!clean.to_json().to_string_pretty().contains("window"));
+        let mut windowed = clean.clone();
+        windowed.windowed = Some(WindowProfile {
+            width: 1_000,
+            stride: 500,
+            count: 3,
+            tail: vec![WindowTail {
+                window: 0,
+                count: 4,
+                p50: 10,
+                p95: 20,
+                p99: 30,
+            }],
+            slo: Some(SloProfile {
+                alerts: 2,
+                burn_peak_fast: 8.5,
+                burn_peak_slow: 1.25,
+            }),
+        });
+        let back = Profile::from_json(&windowed.to_json()).expect("round-trips");
+        assert_eq!(back, windowed);
+        let text = windowed.summary_text();
+        assert!(text.contains("windowed: 3 window(s) of 1000 cycles"));
+        assert!(text.contains("SLO: 2 alert(s)"));
+        assert!(text.contains("p99"), "tail table header");
+        // Pre-telemetry profiles (no window keys) still load.
+        assert_eq!(Profile::from_json(&clean.to_json()).unwrap(), clean);
+    }
+
+    #[test]
+    fn build_distils_an_embedded_metrics_export() {
+        use mocha_obs::{WindowSpec, WindowedMetrics};
+        let mut rec = mocha_obs::MemRecorder::new();
+        rec.span(|| "job/0".into(), 0, 100);
+        rec.span(|| "job/0/group/conv1".into(), 0, 100);
+        rec.span(|| "job/0/group/conv1/tile/0/compute".into(), 0, 100);
+        let mut m = WindowedMetrics::new(WindowSpec::tumbling(200));
+        let l = m.windows.intern(&[("template", "tiny")]);
+        m.windows
+            .sample_at(mocha_obs::names::HIST_JOB_LATENCY, l, 100, 100);
+        m.windows
+            .sample_at(mocha_obs::names::HIST_JOB_LATENCY, l, 250, 70);
+        m.enable_slo();
+        m.slo.as_mut().unwrap().good(0, 1);
+        m.slo.as_mut().unwrap().miss(1, 1);
+        let text = format!("{}{}", rec.to_jsonl(), m.to_jsonl());
+        let stream = parse_stream(&text).unwrap();
+        let tree = SpanTree::build(&stream.spans).unwrap();
+        let (p, _) = Profile::build(&tree, &stream, &EnergyTable::default());
+        let w = p.windowed.expect("windowed stream distils windows");
+        assert_eq!((w.width, w.count), (200, 2));
+        // One aggregate (empty-label) tail row per window.
+        assert_eq!(w.tail.len(), 2);
+        assert_eq!((w.tail[0].p99, w.tail[1].p99), (100, 70));
+        let slo = w.slo.expect("slo rows distil");
+        assert!(slo.burn_peak_fast > 0.0);
     }
 
     #[test]
