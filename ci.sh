@@ -36,6 +36,33 @@ grep -q "fires before the goodput knee" <<< "$r3_out" || {
     echo "r3: windowed burn-rate alert no longer leads the goodput knee"; exit 1
 }
 
+field() { sed -n "s/.*\"$1\":[[:space:]]*\([0-9.]*\).*/\1/p" <<< "$2"; }
+
+echo "== repro r4 smoke (quick mode; elastic tracking claims + exact counters)"
+r4_out="$(cargo run --release -p mocha-bench --bin repro -- --quick r4)"
+echo "$r4_out"
+grep -q "tracks the healthy window" <<< "$r4_out" || {
+    echo "r4: morph controller no longer tracks the shrinking window"; exit 1
+}
+grep -q "at least as large as the fixed-tiling baseline" <<< "$r4_out" || {
+    echo "r4: morphing no longer matches the fixed-tiling baseline's variant"; exit 1
+}
+# The quick sweep is fully deterministic, so its smoke line (window/variant
+# counts, cache counters, claim bits) must match the committed baseline
+# exactly. Regenerate with:
+#   cargo run --release -p mocha-bench --bin repro -- --quick r4 \
+#   | sed -n 's/.*r4-smoke //p' > baselines/r4-smoke.json
+r4_smoke="$(sed -n 's/.*r4-smoke //p' <<< "$r4_out")"
+test -n "$r4_smoke" || { echo "r4 emitted no r4-smoke line"; exit 1; }
+r4_base="$(cat baselines/r4-smoke.json)"
+for k in windows variants decisions hits misses tracks ge_baseline; do
+    got="$(field "$k" "$r4_smoke")"
+    want="$(field "$k" "$r4_base")"
+    [ "$got" = "$want" ] || {
+        echo "r4 smoke: $k = $got, baseline expects $want"; exit 1
+    }
+done
+
 echo "== obs smoke (stream parses, non-empty, deterministic)"
 obs_tmp="$(mktemp -d)"
 trap 'rm -rf "$obs_tmp"' EXIT
@@ -51,7 +78,7 @@ cmp "$obs_tmp/a.jsonl" "$obs_tmp/b.jsonl" || {
     echo "obs streams differ between identical seeded runs"; exit 1
 }
 
-echo "== determinism matrix (--threads 1/2/8: obs + profiles + r1/r2/r3 tables + faulted + open-loop + cached runs)"
+echo "== determinism matrix (--threads 1/2/8: obs + profiles + r1-r4 tables + faulted + open-loop + cached runs)"
 for t in 1 2 8; do
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         runtime --jobs 3 --load 2.0 --seed 7 --threads "$t" \
@@ -82,6 +109,8 @@ for t in 1 2 8; do
         > /dev/null
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         repro r3 --quick --threads "$t" > "$obs_tmp/mat$t.r3"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        repro r4 --quick --threads "$t" > "$obs_tmp/mat$t.r4"
     # Cache-enabled rows: the same seeded runs with the morph-decision
     # cache on must also be byte-identical at every worker count.
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
@@ -100,14 +129,16 @@ for t in 1 2 8; do
         repro r2 --quick --threads "$t" --cache > "$obs_tmp/mat$t.cache.r2"
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         repro r3 --quick --threads "$t" --cache > "$obs_tmp/mat$t.cache.r3"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        repro r4 --quick --threads "$t" --cache > "$obs_tmp/mat$t.cache.r4"
 done
 for t in 2 8; do
     for kind in jsonl report profile r1 fault.jsonl fault.report r2 \
-                openloop.jsonl openloop.report r3 \
+                openloop.jsonl openloop.report r3 r4 \
                 metrics.jsonl openloop.metrics.jsonl \
                 cache.jsonl cache.report cache.openloop \
                 cache.metrics.jsonl cache.openloop.metrics.jsonl \
-                cache.r1 cache.r2 cache.r3; do
+                cache.r1 cache.r2 cache.r3 cache.r4; do
         cmp "$obs_tmp/mat1.$kind" "$obs_tmp/mat$t.$kind" || {
             echo "--threads $t $kind output differs from --threads 1"; exit 1
         }
@@ -129,7 +160,7 @@ grep -v '"cache\.' "$obs_tmp/mat1.cache.jsonl" | cmp - "$obs_tmp/mat1.jsonl" || 
 cmp "$obs_tmp/mat1.openloop.report" "$obs_tmp/mat1.cache.openloop" || {
     echo "cache-on open-loop report differs from cache-off"; exit 1
 }
-for r in r1 r2 r3; do
+for r in r1 r2 r3 r4; do
     cmp "$obs_tmp/mat1.$r" "$obs_tmp/mat1.cache.$r" || {
         echo "cache-on repro $r table differs from cache-off"; exit 1
     }
@@ -224,7 +255,6 @@ diff "$obs_tmp/metrics.names.base" "$obs_tmp/metrics.names" || {
     echo "metrics snapshot counter set diverged from the committed baseline"
     exit 1
 }
-field() { sed -n "s/.*\"$1\":[[:space:]]*\([0-9.]*\).*/\1/p" <<< "$2"; }
 metrics_base="$(cat baselines/metrics-smoke.json)"
 for k in burn_fast burn_slow peak_burn_fast peak_burn_slow; do
     got="$(field "$k" "$snap")"

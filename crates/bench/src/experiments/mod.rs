@@ -16,6 +16,7 @@ pub mod f8;
 pub mod r1;
 pub mod r2;
 pub mod r3;
+pub mod r4;
 pub mod t1;
 pub mod t2;
 
@@ -52,6 +53,7 @@ impl Default for ExpConfig {
 /// All experiment ids in presentation order.
 pub const ALL: &[&str] = &[
     "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "a1", "a2", "a3", "r1", "r2", "r3",
+    "r4",
 ];
 
 /// Runs one experiment by id; `None` for unknown ids.
@@ -73,6 +75,7 @@ pub fn run_by_id(id: &str, cfg: &ExpConfig) -> Option<String> {
         "r1" => Some(r1::run(cfg)),
         "r2" => Some(r2::run(cfg)),
         "r3" => Some(r3::run(cfg)),
+        "r4" => Some(r4::run(cfg)),
         _ => None,
     }
 }

@@ -656,10 +656,17 @@ pub fn networks(args: &Args) -> i32 {
     if let Err(code) = strict(args, 0, &[]) {
         return code;
     }
-    for name in ["tiny", "lenet5", "mobilenet", "alexnet", "vgg16"] {
+    for name in [
+        "tiny",
+        "lenet5",
+        "mobilenet",
+        "mobilenet_v1",
+        "alexnet",
+        "vgg16",
+    ] {
         let n = network::by_name(name).unwrap();
         println!(
-            "{:8} {:3} layers  input {:>11}  {:>8.1} M MACs  {:>7.2} MB weights",
+            "{:12} {:3} layers  input {:>11}  {:>8.1} M MACs  {:>7.2} MB weights",
             name,
             n.len(),
             n.input_shape().to_string(),

@@ -373,7 +373,8 @@ pub fn propagate_estimate(layer: &Layer, est: &SparsityEstimate) -> SparsityEsti
     let (ofmap_sparsity, ofmap_mean_run) = match layer.kind {
         LayerKind::Conv { relu, .. }
         | LayerKind::Fc { relu, .. }
-        | LayerKind::DwConv { relu, .. } => {
+        | LayerKind::DwConv { relu, .. }
+        | LayerKind::Pointwise { relu, .. } => {
             if relu {
                 (0.5, 2.0)
             } else {

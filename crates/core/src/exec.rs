@@ -137,6 +137,7 @@ pub fn execute_weighted(
         LayerKind::Conv { k, relu, .. } | LayerKind::DwConv { k, relu, .. } => {
             (k, (layer.requant_shift, relu))
         }
+        LayerKind::Pointwise { relu, .. } => (1, (layer.requant_shift, relu)),
         LayerKind::Fc { relu, .. } => (1, (layer.requant_shift, relu)),
         LayerKind::Pool { .. } => panic!("{}: pool layer on weighted path", layer.name),
     };
@@ -430,6 +431,22 @@ pub fn compute_tile(
                                         * kernel.get(c, ic, ky, kx) as i32;
                                 }
                             }
+                        }
+                        out[(ci * r.yn + yi) * r.xn + xi] = requantize(acc, shift, relu);
+                    }
+                }
+            }
+        }
+        LayerKind::Pointwise { .. } => {
+            // Pointwise ≡ conv with k = 1, stride = 1, pad = 0: one full
+            // input-channel reduction per output pixel, no spatial taps.
+            let in_shape = layer.input;
+            for (ci, c) in (r.c0..r.c0 + r.cn).enumerate() {
+                for (yi, oy) in (r.y0..r.y0 + r.yn).enumerate() {
+                    for (xi, ox) in (r.x0..r.x0 + r.xn).enumerate() {
+                        let mut acc: i32 = 0;
+                        for ic in 0..in_shape.c {
+                            acc += input.get(ic, oy, ox) as i32 * kernel.get(c, ic, 0, 0) as i32;
                         }
                         out[(ci * r.yn + yi) * r.xn + xi] = requantize(acc, shift, relu);
                     }

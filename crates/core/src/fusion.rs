@@ -65,11 +65,17 @@ pub fn can_extend(group_len: usize, last: &Layer, next: &Layer) -> bool {
     }
     let last_ok = matches!(
         last.kind,
-        LayerKind::Conv { .. } | LayerKind::Pool { .. } | LayerKind::DwConv { .. }
+        LayerKind::Conv { .. }
+            | LayerKind::Pool { .. }
+            | LayerKind::DwConv { .. }
+            | LayerKind::Pointwise { .. }
     );
     let next_ok = matches!(
         next.kind,
-        LayerKind::Conv { .. } | LayerKind::Pool { .. } | LayerKind::DwConv { .. }
+        LayerKind::Conv { .. }
+            | LayerKind::Pool { .. }
+            | LayerKind::DwConv { .. }
+            | LayerKind::Pointwise { .. }
     );
     // A group must begin with a conv; `group_len >= 1` callers guarantee the
     // first member was weighted.
@@ -87,8 +93,8 @@ pub fn back_regions(layers: &[Layer], final_region: Region) -> (Vec<Region>, Reg
         let consumer = &layers[i + 1];
         let needed = regions[i + 1];
         regions[i] = match consumer.kind {
-            // A conv consumer needs all of its input channels.
-            LayerKind::Conv { .. } => {
+            // A conv or pointwise consumer needs all of its input channels.
+            LayerKind::Conv { .. } | LayerKind::Pointwise { .. } => {
                 let w = input_window(consumer, &needed, 0, consumer.input.c);
                 Region {
                     c0: 0,
@@ -296,6 +302,26 @@ fn compute_region(
                 }
             }
         }
+        LayerKind::Pointwise { relu, .. } => {
+            // Pointwise ≡ conv with k = 1, stride = 1, pad = 0.
+            let kernel = kernel.expect("pointwise needs weights");
+            let in_c = layer.input.c;
+            for (ci, c) in (r.c0..r.c0 + r.cn).enumerate() {
+                for (yi, oy) in (r.y0..r.y0 + r.yn).enumerate() {
+                    for (xi, ox) in (r.x0..r.x0 + r.xn).enumerate() {
+                        let mut acc: i32 = 0;
+                        for ic in 0..in_c {
+                            let a = input.get(ic, oy as isize, ox as isize) as i32;
+                            if a != 0 {
+                                acc += a * kernel.get(c, ic, 0, 0) as i32;
+                            }
+                        }
+                        buf.data[(ci * r.yn + yi) * r.xn + xi] =
+                            requantize(acc, layer.requant_shift, relu);
+                    }
+                }
+            }
+        }
         LayerKind::Fc { .. } => unreachable!("fc never fuses"),
     }
     buf
@@ -454,7 +480,11 @@ pub fn execute_group(
             let produced = compute_region(layer, &reader, kernels[i], region);
 
             match layer.kind {
-                LayerKind::Conv { k, .. } | LayerKind::DwConv { k, .. } => {
+                LayerKind::Conv { .. } | LayerKind::DwConv { .. } | LayerKind::Pointwise { .. } => {
+                    let k = match layer.kind {
+                        LayerKind::Conv { k, .. } | LayerKind::DwConv { k, .. } => k,
+                        _ => 1, // pointwise
+                    };
                     let kernel = kernels[i].expect("weighted layer needs weights");
                     let reduction_c = if matches!(layer.kind, LayerKind::DwConv { .. }) {
                         1
@@ -666,7 +696,11 @@ pub fn plan_group(
         for (i, layer) in group.layers.iter().enumerate() {
             let region = regions[i];
             match layer.kind {
-                LayerKind::Conv { k, .. } | LayerKind::DwConv { k, .. } => {
+                LayerKind::Conv { .. } | LayerKind::DwConv { .. } | LayerKind::Pointwise { .. } => {
+                    let k = match layer.kind {
+                        LayerKind::Conv { k, .. } | LayerKind::DwConv { k, .. } => k,
+                        _ => 1, // pointwise
+                    };
                     let reduction_c = if matches!(layer.kind, LayerKind::DwConv { .. }) {
                         1
                     } else {

@@ -152,7 +152,7 @@ pub fn plan_weighted(
     let depth = reduction_depth(layer);
     let k = match layer.kind {
         LayerKind::Conv { k, .. } | LayerKind::DwConv { k, .. } => k,
-        LayerKind::Fc { .. } => 1,
+        LayerKind::Pointwise { .. } | LayerKind::Fc { .. } => 1,
         LayerKind::Pool { .. } => panic!("{}: pool layer on weighted path", layer.name),
     };
     let depth_c = match layer.kind {

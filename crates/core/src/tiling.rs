@@ -97,6 +97,16 @@ pub fn input_window(layer: &Layer, out: &Region, ic0: usize, icn: usize) -> Regi
                 xn,
             }
         }
+        // Pointwise ≡ conv with k=1, s=1, p=0: the input window is the
+        // tile's own spatial footprint over the reduction channel slab.
+        LayerKind::Pointwise { .. } => Region {
+            c0: ic0,
+            cn: icn,
+            y0: out.y0,
+            yn: out.yn,
+            x0: out.x0,
+            xn: out.xn,
+        },
         LayerKind::Pool { k, stride, .. } => {
             // Pooling is per-channel: the input channels are the tile's own
             // output channels; `ic0/icn` are ignored by construction (callers
@@ -200,6 +210,7 @@ pub fn tiles(layer: &Layer, tiling: Tiling, loop_order: LoopOrder) -> Vec<Output
 pub fn reduction_depth(layer: &Layer) -> usize {
     match layer.kind {
         LayerKind::Conv { .. } => layer.input.c,
+        LayerKind::Pointwise { .. } => layer.input.c,
         LayerKind::Fc { .. } => layer.input.volume(),
         LayerKind::Pool { .. } => layer.input.c,
         // Depthwise convolution has no cross-channel reduction.
@@ -241,6 +252,7 @@ mod tests {
                 stride,
                 pad,
                 relu: true,
+                groups: 1,
             },
             input: TensorShape::new(in_c, h, w),
             requant_shift: 8,

@@ -124,6 +124,94 @@ fn cached_lease_decisions_match_and_offset_permuted_leases_hit() {
     assert!(cache.hits() > 0);
 }
 
+/// Operator kind is part of the cache key: a depthwise conv, a dense conv,
+/// a grouped conv and a pointwise conv over the *same* (H, W, C, K)
+/// geometry must all produce distinct `DecisionKey`s, so a decision cached
+/// for one operator can never be replayed for another.
+#[test]
+fn operator_kind_discriminates_decision_keys_on_identical_geometry() {
+    use mocha_core::DecisionKey;
+    use mocha_model::layer::{Layer, LayerKind};
+    use mocha_model::shape::TensorShape;
+
+    let input = TensorShape::new(8, 16, 16);
+    let mk = |kind: LayerKind| Layer {
+        name: "probe".into(),
+        kind,
+        input,
+        requant_shift: 6,
+    };
+    // Same spatial extent, channel count and kernel size everywhere; the
+    // dense conv keeps C_out = C_in so even output shapes agree with the
+    // depthwise layer's.
+    let variants = [
+        mk(LayerKind::Conv {
+            out_c: 8,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+            groups: 1,
+        }),
+        mk(LayerKind::Conv {
+            out_c: 8,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+            groups: 2,
+        }),
+        mk(LayerKind::DwConv {
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        }),
+        // k = 1 dense conv vs pointwise: numerically the same operator,
+        // still keyed apart (their LayerKind differs).
+        mk(LayerKind::Conv {
+            out_c: 8,
+            k: 1,
+            stride: 1,
+            pad: 0,
+            relu: true,
+            groups: 1,
+        }),
+        mk(LayerKind::Pointwise {
+            out_c: 8,
+            relu: true,
+        }),
+    ];
+
+    let fabric = FabricConfig::mocha();
+    let policy = mocha_core::controller::Policy::Mocha {
+        objective: Objective::Edp,
+    };
+    let e = est(0.5, 2.0, 0.3);
+    let keys: Vec<DecisionKey> = variants
+        .iter()
+        .map(|l| {
+            DecisionKey::decide(
+                &fabric,
+                policy,
+                Objective::Edp,
+                std::slice::from_ref(l),
+                &e,
+                true,
+            )
+        })
+        .collect();
+    for i in 0..keys.len() {
+        for j in i + 1..keys.len() {
+            assert_ne!(
+                keys[i], keys[j],
+                "{:?} and {:?} share a decision key",
+                variants[i].kind, variants[j].kind
+            );
+        }
+    }
+}
+
 /// Steps two identically-seeded sessions — one with the cache disabled, one
 /// sharing a cache across *three* replays — and asserts every group metric
 /// is byte-identical while the warm replays hit.

@@ -39,6 +39,7 @@ fn conv_layer(rng: &mut ModelRng) -> Layer {
                     stride,
                     pad,
                     relu,
+                    groups: 1,
                 },
                 input: TensorShape::new(in_c, h, w),
                 requant_shift: 6,

@@ -1,0 +1,226 @@
+//! Closed-form per-layer op and traffic accounting.
+//!
+//! This is the *workload characterization* model: an idealized single-pass
+//! execution in which every input element is fetched from DRAM once, every
+//! MAC reads one activation byte and one weight byte from the scratchpad,
+//! and every output element is written once. It is deliberately distinct
+//! from the tiled simulator's cost model (`mocha-core`), which charges for
+//! re-fetches, buffering and compression; the accounting here is the
+//! dataflow-independent floor those costs are compared against, and the
+//! quantity per-layer-type analyses (depthwise vs pointwise) reason about.
+//!
+//! Conventions (i8 datapath, one byte per element):
+//! * `macs` counts every kernel tap, padding included — the standard
+//!   `H·W·C·K²` (depthwise) / `H·W·C·F` (pointwise) op counts, identical to
+//!   [`Layer::macs`].
+//! * `spm_read_bytes = 2·macs` (activation + weight byte per MAC); pooling
+//!   layers read one byte per window element instead.
+//! * `spm_write_bytes = dram_write_bytes =` output volume.
+//! * `dram_read_bytes` counts each *unique touched in-bounds* input element
+//!   once (padding contributes taps to `macs` but no bytes), plus the
+//!   layer's weight bytes.
+//!
+//! Every formula here is cross-checked against a brute-force per-element
+//! oracle in `tests/accounting_oracle.rs`.
+
+use crate::layer::{Layer, LayerKind};
+use crate::network::Network;
+
+/// Exact op and byte counters for one idealized layer execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpTraffic {
+    /// Multiply-accumulate operations (every kernel tap, padding included).
+    pub macs: u64,
+    /// Scratchpad bytes read (2 per MAC; 1 per pooled window element).
+    pub spm_read_bytes: u64,
+    /// Scratchpad bytes written (one per output element).
+    pub spm_write_bytes: u64,
+    /// DRAM bytes read: unique touched in-bounds inputs + weights.
+    pub dram_read_bytes: u64,
+    /// DRAM bytes written (one per output element).
+    pub dram_write_bytes: u64,
+}
+
+impl std::ops::Add for OpTraffic {
+    type Output = Self;
+
+    /// Component-wise sum.
+    fn add(self, other: Self) -> Self {
+        Self {
+            macs: self.macs + other.macs,
+            spm_read_bytes: self.spm_read_bytes + other.spm_read_bytes,
+            spm_write_bytes: self.spm_write_bytes + other.spm_write_bytes,
+            dram_read_bytes: self.dram_read_bytes + other.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes + other.dram_write_bytes,
+        }
+    }
+}
+
+/// Number of *unique in-bounds* input positions along one dimension touched
+/// by a sliding window of size `k`, stride `s`, symmetric padding `p`, over
+/// `out` output positions on an input of extent `n`.
+///
+/// For `s <= k` (every network in the zoo) consecutive windows overlap or
+/// abut, so the union is the single interval `[-p, (out-1)·s - p + k)`
+/// clipped to `[0, n)` — a pure closed form. For `s > k` the windows are
+/// disjoint and each window's clipped length is summed.
+pub fn touched_1d(n: usize, k: usize, s: usize, p: usize, out: usize) -> u64 {
+    if out == 0 {
+        return 0;
+    }
+    if s <= k {
+        return ((out - 1) * s + k).saturating_sub(p).min(n) as u64;
+    }
+    let mut total = 0u64;
+    for o in 0..out {
+        let start = (o * s) as isize - p as isize;
+        let end = start + k as isize;
+        let clipped = end.min(n as isize) - start.max(0);
+        total += clipped.max(0) as u64;
+    }
+    total
+}
+
+/// Closed-form accounting for one layer.
+pub fn layer(l: &Layer) -> OpTraffic {
+    let out = l.output();
+    let in_s = l.input;
+    let out_vol = out.volume() as u64;
+    let weight_bytes = l.kernel_shape().map_or(0, |ks| ks.bytes()) as u64;
+    let macs = l.macs();
+    match l.kind {
+        LayerKind::Conv { k, stride, pad, .. } => {
+            // All input channels are touched: each group's outputs read that
+            // group's channel slice, and the groups partition the input.
+            let touched = touched_1d(in_s.h, k, stride, pad, out.h)
+                * touched_1d(in_s.w, k, stride, pad, out.w)
+                * in_s.c as u64;
+            OpTraffic {
+                macs,
+                spm_read_bytes: 2 * macs,
+                spm_write_bytes: out_vol,
+                dram_read_bytes: touched + weight_bytes,
+                dram_write_bytes: out_vol,
+            }
+        }
+        // H·W·C·F MACs; the 1×1 window touches every input element exactly
+        // once, so unique input traffic is the full input volume.
+        LayerKind::Pointwise { .. } => OpTraffic {
+            macs,
+            spm_read_bytes: 2 * macs,
+            spm_write_bytes: out_vol,
+            dram_read_bytes: in_s.volume() as u64 + weight_bytes,
+            dram_write_bytes: out_vol,
+        },
+        // H·W·C·K² MACs; each channel slides its own window, so spatial
+        // coverage is identical across channels.
+        LayerKind::DwConv { k, stride, pad, .. } => {
+            let touched = touched_1d(in_s.h, k, stride, pad, out.h)
+                * touched_1d(in_s.w, k, stride, pad, out.w)
+                * in_s.c as u64;
+            OpTraffic {
+                macs,
+                spm_read_bytes: 2 * macs,
+                spm_write_bytes: out_vol,
+                dram_read_bytes: touched + weight_bytes,
+                dram_write_bytes: out_vol,
+            }
+        }
+        LayerKind::Fc { .. } => OpTraffic {
+            macs,
+            spm_read_bytes: 2 * macs,
+            spm_write_bytes: out_vol,
+            dram_read_bytes: in_s.volume() as u64 + weight_bytes,
+            dram_write_bytes: out_vol,
+        },
+        LayerKind::Pool { k, stride, .. } => {
+            let touched = touched_1d(in_s.h, k, stride, 0, out.h)
+                * touched_1d(in_s.w, k, stride, 0, out.w)
+                * in_s.c as u64;
+            OpTraffic {
+                macs: 0,
+                spm_read_bytes: l.pool_ops(),
+                spm_write_bytes: out_vol,
+                dram_read_bytes: touched,
+                dram_write_bytes: out_vol,
+            }
+        }
+    }
+}
+
+/// Whole-network accounting: the component-wise sum over all layers.
+pub fn network(n: &Network) -> OpTraffic {
+    n.layers()
+        .iter()
+        .map(layer)
+        .fold(OpTraffic::default(), std::ops::Add::add)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network;
+    use crate::shape::TensorShape;
+
+    #[test]
+    fn pointwise_traffic_is_h_w_c_f() {
+        let l = Layer {
+            name: "pw".into(),
+            kind: LayerKind::Pointwise {
+                out_c: 128,
+                relu: true,
+            },
+            input: TensorShape::new(64, 28, 28),
+            requant_shift: 8,
+        };
+        let t = layer(&l);
+        assert_eq!(t.macs, 28 * 28 * 64 * 128);
+        assert_eq!(t.spm_read_bytes, 2 * t.macs);
+        assert_eq!(t.spm_write_bytes, 28 * 28 * 128);
+        assert_eq!(t.dram_read_bytes, 28 * 28 * 64 + 64 * 128);
+        assert_eq!(t.dram_write_bytes, 28 * 28 * 128);
+    }
+
+    #[test]
+    fn depthwise_traffic_is_h_w_c_k2() {
+        let l = Layer {
+            name: "dw".into(),
+            kind: LayerKind::DwConv {
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: true,
+            },
+            input: TensorShape::new(32, 112, 112),
+            requant_shift: 6,
+        };
+        let t = layer(&l);
+        assert_eq!(t.macs, 112 * 112 * 32 * 9);
+        // Stride 1, pad 1: every input element is touched.
+        assert_eq!(t.dram_read_bytes, 32 * 112 * 112 + 32 * 9);
+        assert_eq!(t.dram_write_bytes, 32 * 112 * 112);
+    }
+
+    #[test]
+    fn touched_1d_contiguous_and_strided() {
+        // k3 s1 p1 over n=8: out=8, covers all 8.
+        assert_eq!(touched_1d(8, 3, 1, 1, 8), 8);
+        // k3 s2 p0 over n=7: out=3, windows [0,3),[2,5),[4,7) cover all 7.
+        assert_eq!(touched_1d(7, 3, 2, 0, 3), 7);
+        // k1 s2 p0 over n=5: out=3, touches indices {0,2,4}.
+        assert_eq!(touched_1d(5, 1, 2, 0, 3), 3);
+        // Degenerate s>k: k1 s3 p0 over n=7: out=3, touches {0,3,6}.
+        assert_eq!(touched_1d(7, 1, 3, 0, 3), 3);
+        // Empty output.
+        assert_eq!(touched_1d(4, 3, 1, 0, 0), 0);
+    }
+
+    #[test]
+    fn network_totals_sum_layers() {
+        let n = network::mobilenet();
+        let total = network(&n);
+        let sum: u64 = n.layers().iter().map(|l| layer(l).macs).sum();
+        assert_eq!(total.macs, sum);
+        assert_eq!(total.macs, n.total_macs());
+    }
+}

@@ -1,0 +1,281 @@
+//! Elastic (once-for-all-style) sub-network families.
+//!
+//! An [`ElasticFamily`] describes a depthwise-separable super-network —
+//! a stem convolution, a sequence of stages, and a pool/fc tail — together
+//! with the elastic axes a deployment can shrink: per-stage *depth* (how
+//! many dw+pw blocks a stage keeps) and a global *width* multiplier (what
+//! fraction of each stage's channels survive). Enumerating the choices
+//! yields hundreds of concrete sub-network variants, each an ordinary
+//! validated [`Network`] that flows through the simulator, controller and
+//! serving tier like any zoo model.
+//!
+//! Determinism contract: enumeration is a pure function of the family
+//! description. Variants are ordered lexicographically — width multiplier
+//! index first (widest first), then per-stage depths as a mixed-radix
+//! counter (deepest first, first stage most significant) — and variant `i`
+//! is always named `family#i`, so `network::by_name("elastic_tiny#3")`
+//! resolves to the same network on every host, forever. Shrinking any
+//! single axis (a stage's depth, or the width multiplier) never increases
+//! the variant's total op count; the property tests pin this.
+
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::TensorShape;
+
+/// One stage of the super-network: a run of identical dw+pw blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticStage {
+    /// Pointwise output channels at width 1.0.
+    pub width: usize,
+    /// Maximum number of dw+pw blocks the stage can keep.
+    pub max_depth: usize,
+    /// Depthwise stride of the stage's *first* block (later blocks always
+    /// stride 1), so spatial downsampling survives any depth choice.
+    pub stride: usize,
+}
+
+/// A depthwise-separable super-network with elastic depth and width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElasticFamily {
+    name: String,
+    input: TensorShape,
+    /// Stem conv output channels (not width-scaled — keeps the first
+    /// feature map stable across variants).
+    stem_c: usize,
+    stem_stride: usize,
+    stages: Vec<ElasticStage>,
+    /// Depth options per stage, e.g. `[1, 2]`; values above a stage's
+    /// `max_depth` are skipped for that stage.
+    depth_choices: Vec<usize>,
+    /// Global width multipliers in percent, e.g. `[100, 75, 50]`. Scaled
+    /// widths round down but never below one channel.
+    width_percents: Vec<u32>,
+    classes: usize,
+}
+
+/// Requant shifts mirror the zoo's conventions (see `network::shifts`).
+const SHIFT_DW: u32 = 6;
+const SHIFT_PW: u32 = 8;
+const SHIFT_FC: u32 = 10;
+
+impl ElasticFamily {
+    /// A small, fast family over a 32×32 input: 2 stages × depths {1,2} ×
+    /// widths {100%, 50%} = 8 variants. Sized for tests, the runtime mix
+    /// and quick-mode experiment sweeps.
+    pub fn tiny() -> Self {
+        Self {
+            name: "elastic_tiny".into(),
+            input: TensorShape::new(3, 32, 32),
+            stem_c: 8,
+            stem_stride: 1,
+            stages: vec![
+                ElasticStage {
+                    width: 16,
+                    max_depth: 2,
+                    stride: 2,
+                },
+                ElasticStage {
+                    width: 32,
+                    max_depth: 2,
+                    stride: 2,
+                },
+            ],
+            depth_choices: vec![2, 1],
+            width_percents: vec![100, 50],
+            classes: 10,
+        }
+    }
+
+    /// A MobileNet-scale family over a 96×96 input: 4 stages × depths
+    /// {1,2} × widths {100%, 75%, 50%} = 48 variants.
+    pub fn mobilenet() -> Self {
+        Self {
+            name: "elastic_mobilenet".into(),
+            input: TensorShape::new(3, 96, 96),
+            stem_c: 16,
+            stem_stride: 2,
+            stages: vec![
+                ElasticStage {
+                    width: 32,
+                    max_depth: 2,
+                    stride: 1,
+                },
+                ElasticStage {
+                    width: 64,
+                    max_depth: 2,
+                    stride: 2,
+                },
+                ElasticStage {
+                    width: 128,
+                    max_depth: 2,
+                    stride: 2,
+                },
+                ElasticStage {
+                    width: 256,
+                    max_depth: 2,
+                    stride: 2,
+                },
+            ],
+            depth_choices: vec![2, 1],
+            width_percents: vec![100, 75, 50],
+            classes: 100,
+        }
+    }
+
+    /// Families keyed by name.
+    pub fn family_by_name(name: &str) -> Option<Self> {
+        match name {
+            "elastic_tiny" => Some(Self::tiny()),
+            "elastic_mobilenet" => Some(Self::mobilenet()),
+            _ => None,
+        }
+    }
+
+    /// The family name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Depth options actually available to stage `s`.
+    fn stage_depths(&self, s: usize) -> Vec<usize> {
+        self.depth_choices
+            .iter()
+            .copied()
+            .filter(|&d| d <= self.stages[s].max_depth)
+            .collect()
+    }
+
+    /// Number of enumerable variants.
+    pub fn len(&self) -> usize {
+        self.width_percents.len()
+            * (0..self.stages.len())
+                .map(|s| self.stage_depths(s).len())
+                .product::<usize>()
+    }
+
+    /// Whether the family has no variants (never true for a well-formed
+    /// family).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A stage width under a percent multiplier: floor-rounded, floored at
+    /// one channel so every variant stays well-formed.
+    fn scaled(width: usize, pct: u32) -> usize {
+        (width * pct as usize / 100).max(1)
+    }
+
+    /// Decodes variant index `idx` into (width index, per-stage depths),
+    /// lexicographic: width is the most significant digit, then stage 0.
+    fn decode(&self, idx: usize) -> Option<(usize, Vec<usize>)> {
+        if idx >= self.len() {
+            return None;
+        }
+        let radices: Vec<Vec<usize>> = (0..self.stages.len())
+            .map(|s| self.stage_depths(s))
+            .collect();
+        let depth_combos: usize = radices.iter().map(Vec::len).product();
+        let w = idx / depth_combos;
+        let mut rest = idx % depth_combos;
+        // Mixed-radix decode, most-significant (stage 0) first.
+        let mut depths = Vec::with_capacity(radices.len());
+        let mut tail: usize = depth_combos;
+        for choices in &radices {
+            tail /= choices.len();
+            let digit = rest / tail;
+            rest %= tail;
+            depths.push(choices[digit]);
+        }
+        Some((w, depths))
+    }
+
+    /// The elastic configuration behind variant `idx`: its width percent
+    /// and per-stage depths. This is the coordinate the ops-monotonicity
+    /// contract is stated over: shrinking any component never increases
+    /// the variant's total op count.
+    pub fn config(&self, idx: usize) -> Option<(u32, Vec<usize>)> {
+        let (w, depths) = self.decode(idx)?;
+        Some((self.width_percents[w], depths))
+    }
+
+    /// Builds variant `idx` (named `family#idx`), or `None` when out of
+    /// range.
+    pub fn variant(&self, idx: usize) -> Option<Network> {
+        let (w, depths) = self.decode(idx)?;
+        let pct = self.width_percents[w];
+        let mut b = NetworkBuilder::new(format!("{}#{idx}", self.name), self.input);
+        b.conv("stem", self.stem_c, 3, self.stem_stride, 1, true, SHIFT_DW);
+        for (s, (stage, &depth)) in self.stages.iter().zip(&depths).enumerate() {
+            let out_c = Self::scaled(stage.width, pct);
+            for blk in 0..depth {
+                let stride = if blk == 0 { stage.stride } else { 1 };
+                b.dwconv(&format!("s{s}b{blk}_dw"), 3, stride, 1, true, SHIFT_DW)
+                    .pointwise(&format!("s{s}b{blk}_pw"), out_c, true, SHIFT_PW);
+            }
+        }
+        let spatial = b.next_input_shape().h;
+        b.avg_pool("pool", spatial, spatial)
+            .fc("fc", self.classes, false, SHIFT_FC);
+        Some(b.build())
+    }
+
+    /// Enumerates every variant in canonical order.
+    pub fn enumerate(&self) -> Vec<Network> {
+        (0..self.len())
+            .map(|i| self.variant(i).expect("index in range"))
+            .collect()
+    }
+}
+
+/// Resolves an elastic variant name of the form `family#index` (e.g.
+/// `elastic_tiny#3`). Returns `None` for anything else.
+pub fn by_name(name: &str) -> Option<Network> {
+    let (family, idx) = name.split_once('#')?;
+    // Reject non-canonical indices ("03", "+1", "1 ") so names round-trip.
+    if idx.is_empty() || idx.chars().any(|c| !c.is_ascii_digit()) {
+        return None;
+    }
+    if idx.len() > 1 && idx.starts_with('0') {
+        return None;
+    }
+    ElasticFamily::family_by_name(family)?.variant(idx.parse().ok()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_family_enumerates_eight_variants() {
+        let fam = ElasticFamily::tiny();
+        assert_eq!(fam.len(), 8);
+        let all = fam.enumerate();
+        assert_eq!(all.len(), 8);
+        // Variant 0 is the widest, deepest sub-network.
+        assert_eq!(all[0].name, "elastic_tiny#0");
+        let widest: u64 = all[0].total_macs();
+        for v in &all {
+            assert!(v.total_macs() <= widest);
+        }
+    }
+
+    #[test]
+    fn variant_names_round_trip_through_by_name() {
+        let fam = ElasticFamily::mobilenet();
+        for idx in [0, 1, fam.len() - 1] {
+            let v = fam.variant(idx).unwrap();
+            let resolved = by_name(&v.name).unwrap();
+            assert_eq!(v, resolved);
+        }
+        assert!(by_name("elastic_tiny#8").is_none()); // out of range
+        assert!(by_name("elastic_tiny#03").is_none()); // non-canonical
+        assert!(by_name("elastic_tiny#").is_none());
+        assert!(by_name("no_such_family#0").is_none());
+        assert!(by_name("elastic_tiny").is_none()); // bare family name
+    }
+
+    #[test]
+    fn out_of_range_variant_is_none() {
+        let fam = ElasticFamily::tiny();
+        assert!(fam.variant(fam.len()).is_none());
+    }
+}

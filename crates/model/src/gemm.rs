@@ -13,8 +13,18 @@ use crate::tensor::{requantize, Kernel, Tensor};
 /// `rows = out_h × out_w` patches, `cols = in_c × k × k` patch elements,
 /// row-major. Padding positions contribute zeros.
 pub fn im2col(layer: &Layer, input: &Tensor<i8>) -> Vec<i8> {
-    let LayerKind::Conv { k, stride, pad, .. } = layer.kind else {
-        panic!("{}: im2col is defined for conv layers", layer.name);
+    let LayerKind::Conv {
+        k,
+        stride,
+        pad,
+        groups: 1,
+        ..
+    } = layer.kind
+    else {
+        panic!(
+            "{}: im2col is defined for ungrouped conv layers",
+            layer.name
+        );
     };
     let out = layer.output();
     let in_shape = input.shape();
@@ -99,6 +109,7 @@ mod tests {
                 stride,
                 pad,
                 relu: true,
+                groups: 1,
             },
             input: TensorShape::new(in_c, h, w),
             requant_shift: 7,

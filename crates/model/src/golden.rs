@@ -22,6 +22,7 @@ pub fn conv(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> {
         stride,
         pad,
         relu,
+        groups,
     } = layer.kind
     else {
         panic!("{}: not a conv layer", layer.name);
@@ -44,14 +45,20 @@ pub fn conv(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> {
     let shift = layer.requant_shift;
     let plane = out_shape.plane();
 
+    // Each output channel reduces over its group's input-channel slice;
+    // groups == 1 degenerates to the familiar all-channel reduction.
+    let group_in_c = in_shape.c / groups;
+    let group_out_c = out_c / groups;
+
     let mut out = Tensor::zeros(out_shape);
     // Each output channel writes a disjoint plane: embarrassingly parallel.
     mocha_par::par_chunks_mut(out.data_mut(), plane, |oc, out_plane| {
         debug_assert!(oc < out_c);
+        let ic_base = (oc / group_out_c) * group_in_c;
         for oy in 0..out_shape.h {
             for ox in 0..out_shape.w {
                 let mut acc: i32 = 0;
-                for ic in 0..in_shape.c {
+                for ic in 0..group_in_c {
                     for ky in 0..k {
                         // Signed arithmetic for the padded coordinate.
                         let iy = (oy * stride + ky) as isize - pad as isize;
@@ -63,11 +70,51 @@ pub fn conv(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> {
                             if ix < 0 || ix as usize >= in_shape.w {
                                 continue;
                             }
-                            let a = input.get(ic, iy as usize, ix as usize) as i32;
+                            let a = input.get(ic_base + ic, iy as usize, ix as usize) as i32;
                             let w = kernel.get(oc, ic, ky, kx) as i32;
                             acc += a * w;
                         }
                     }
+                }
+                out_plane[oy * out_shape.w + ox] = requantize(acc, shift, relu);
+            }
+        }
+    });
+    out
+}
+
+/// Pointwise (1×1) convolution: every output pixel is a dense cross-channel
+/// mix of the input pixel at the same location.
+pub fn pointwise(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> {
+    let LayerKind::Pointwise { out_c, relu } = layer.kind else {
+        panic!("{}: not a pointwise layer", layer.name);
+    };
+    assert_eq!(
+        input.shape(),
+        layer.input,
+        "{}: input shape mismatch",
+        layer.name
+    );
+    assert_eq!(
+        Some(kernel.shape()),
+        layer.kernel_shape(),
+        "{}: kernel shape mismatch",
+        layer.name
+    );
+
+    let out_shape = layer.output();
+    let in_shape = input.shape();
+    let shift = layer.requant_shift;
+    let plane = out_shape.plane();
+
+    let mut out = Tensor::zeros(out_shape);
+    mocha_par::par_chunks_mut(out.data_mut(), plane, |oc, out_plane| {
+        debug_assert!(oc < out_c);
+        for oy in 0..out_shape.h {
+            for ox in 0..out_shape.w {
+                let mut acc: i32 = 0;
+                for ic in 0..in_shape.c {
+                    acc += input.get(ic, oy, ox) as i32 * kernel.get(oc, ic, 0, 0) as i32;
                 }
                 out_plane[oy * out_shape.w + ox] = requantize(acc, shift, relu);
             }
@@ -221,6 +268,9 @@ pub fn dwconv(layer: &Layer, input: &Tensor<i8>, kernel: &Kernel) -> Tensor<i8> 
 pub fn layer(l: &Layer, input: &Tensor<i8>, kernel: Option<&Kernel>) -> Tensor<i8> {
     match l.kind {
         LayerKind::Conv { .. } => conv(l, input, kernel.expect("conv needs weights")),
+        LayerKind::Pointwise { .. } => {
+            pointwise(l, input, kernel.expect("pointwise needs weights"))
+        }
         LayerKind::Pool { .. } => pool(l, input),
         LayerKind::Fc { .. } => fc(l, input, kernel.expect("fc needs weights")),
         LayerKind::DwConv { .. } => dwconv(l, input, kernel.expect("dwconv needs weights")),
@@ -264,6 +314,7 @@ mod tests {
                 stride,
                 pad,
                 relu,
+                groups: 1,
             },
             input,
             requant_shift: 0,
@@ -449,6 +500,89 @@ mod tests {
         let out = dwconv(&l, &input, &k);
         assert!(out.channel(1).iter().all(|&v| v == 0));
         assert!(out.channel(0).iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn pointwise_matches_one_by_one_conv() {
+        // A Pointwise layer and a 1×1 dense conv over the same input and
+        // weights must be bit-identical.
+        let shape = TensorShape::new(6, 9, 9);
+        let input = gen::activations(shape, 0.4, &mut gen::rng(11));
+        let k = gen::kernel(KernelShape::new(10, 6, 1), 0.2, &mut gen::rng(12));
+        let pw = Layer {
+            name: "pw".into(),
+            kind: LayerKind::Pointwise {
+                out_c: 10,
+                relu: true,
+            },
+            input: shape,
+            requant_shift: 6,
+        };
+        let dense = Layer {
+            name: "conv".into(),
+            kind: LayerKind::Conv {
+                out_c: 10,
+                k: 1,
+                stride: 1,
+                pad: 0,
+                relu: true,
+                groups: 1,
+            },
+            input: shape,
+            requant_shift: 6,
+        };
+        assert_eq!(pointwise(&pw, &input, &k), conv(&dense, &input, &k));
+    }
+
+    #[test]
+    fn grouped_conv_matches_per_group_dense_convs() {
+        // groups=2 over 4→6 channels: each group is a dense 2→3 conv over
+        // its channel slice; results must match slice-wise.
+        let shape = TensorShape::new(4, 7, 7);
+        let input = gen::activations(shape, 0.3, &mut gen::rng(21));
+        let k = gen::kernel(KernelShape::new(6, 2, 3), 0.2, &mut gen::rng(22));
+        let grouped = Layer {
+            name: "g".into(),
+            kind: LayerKind::Conv {
+                out_c: 6,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: false,
+                groups: 2,
+            },
+            input: shape,
+            requant_shift: 5,
+        };
+        let out = conv(&grouped, &input, &k);
+        for g in 0..2 {
+            let sub_shape = TensorShape::new(2, 7, 7);
+            let mut sub_in = Tensor::zeros(sub_shape);
+            for c in 0..2 {
+                for y in 0..7 {
+                    for x in 0..7 {
+                        sub_in.set(c, y, x, input.get(2 * g + c, y, x));
+                    }
+                }
+            }
+            let sub_k = Kernel::from_vec(
+                KernelShape::new(3, 2, 3),
+                k.data()[g * 3 * 2 * 9..(g + 1) * 3 * 2 * 9].to_vec(),
+            );
+            let dense = conv_layer(sub_shape, 3, 3, 1, 1, false);
+            let dense = Layer {
+                requant_shift: 5,
+                ..dense
+            };
+            let sub_out = conv(&dense, &sub_in, &sub_k);
+            for c in 0..3 {
+                assert_eq!(
+                    out.channel(3 * g + c),
+                    sub_out.channel(c),
+                    "group {g} channel {c}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,12 @@ pub enum PoolKind {
 /// Operator payload of a layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
-    /// 2-D convolution over all input channels.
+    /// 2-D convolution. Channel grouping is explicit: the input and output
+    /// channels are split into `groups` equal slices and each output slice
+    /// reduces over its own input slice only. `groups == 1` is the ordinary
+    /// dense convolution; `groups == in_c` with `out_c == in_c` degenerates
+    /// to a depthwise conv (which has its own kind, [`LayerKind::DwConv`],
+    /// because the fabric schedules it differently).
     Conv {
         /// Number of output channels (filters).
         out_c: usize,
@@ -32,6 +37,19 @@ pub enum LayerKind {
         stride: usize,
         /// Symmetric zero padding.
         pad: usize,
+        /// Whether a ReLU is fused into the requantization step.
+        relu: bool,
+        /// Channel groups; must divide both `in_c` and `out_c`.
+        groups: usize,
+    },
+    /// Pointwise (1×1) convolution: a pure cross-channel mix with no spatial
+    /// window — the second half of a depthwise-separable block. Numerically
+    /// and in every cost model it is exactly `Conv { k: 1, stride: 1,
+    /// pad: 0, groups: 1 }`; it is a distinct kind so per-layer-type
+    /// accounting and morph-decision cache keys can tell the two apart.
+    Pointwise {
+        /// Number of output channels (filters).
+        out_c: usize,
         /// Whether a ReLU is fused into the requantization step.
         relu: bool,
     },
@@ -86,7 +104,8 @@ impl Layer {
     ///
     /// # Panics
     /// Panics if the operator does not fit the input (e.g. kernel larger than
-    /// the padded input) — network construction is expected to be validated.
+    /// the padded input) or if a conv's `groups` does not evenly divide both
+    /// channel counts — network construction is expected to be validated.
     pub fn output(&self) -> TensorShape {
         match self.kind {
             LayerKind::Conv {
@@ -94,13 +113,23 @@ impl Layer {
                 k,
                 stride,
                 pad,
+                groups,
                 ..
             } => {
+                if groups == 0 || self.input.c % groups != 0 || out_c % groups != 0 {
+                    panic!(
+                        "{}: groups={groups} does not divide channels {}->{out_c}",
+                        self.name, self.input.c
+                    );
+                }
                 let h = conv_out_dim(self.input.h, k, stride, pad)
                     .unwrap_or_else(|| panic!("{}: kernel does not fit input", self.name));
                 let w = conv_out_dim(self.input.w, k, stride, pad)
                     .unwrap_or_else(|| panic!("{}: kernel does not fit input", self.name));
                 TensorShape::new(out_c, h, w)
+            }
+            LayerKind::Pointwise { out_c, .. } => {
+                TensorShape::new(out_c, self.input.h, self.input.w)
             }
             LayerKind::Pool { k, stride, .. } => {
                 let h = conv_out_dim(self.input.h, k, stride, 0)
@@ -125,7 +154,10 @@ impl Layer {
     /// is exactly how the fabric executes it.
     pub fn kernel_shape(&self) -> Option<KernelShape> {
         match self.kind {
-            LayerKind::Conv { out_c, k, .. } => Some(KernelShape::new(out_c, self.input.c, k)),
+            LayerKind::Conv {
+                out_c, k, groups, ..
+            } => Some(KernelShape::new(out_c, self.input.c / groups, k)),
+            LayerKind::Pointwise { out_c, .. } => Some(KernelShape::new(out_c, self.input.c, 1)),
             LayerKind::Fc { out, .. } => Some(KernelShape::new(out, self.input.volume(), 1)),
             LayerKind::DwConv { k, .. } => Some(KernelShape::new(self.input.c, 1, k)),
             LayerKind::Pool { .. } => None,
@@ -138,11 +170,14 @@ impl Layer {
     /// ops.
     pub fn macs(&self) -> u64 {
         match self.kind {
-            LayerKind::Conv { k, .. } => {
+            LayerKind::Conv { k, groups, .. } => {
                 let out = self.output();
-                out.volume() as u64 * (self.input.c * k * k) as u64
+                out.volume() as u64 * (self.input.c / groups * k * k) as u64
             }
+            // H·W·F outputs, each reducing over all C input channels.
+            LayerKind::Pointwise { .. } => self.output().volume() as u64 * self.input.c as u64,
             LayerKind::Fc { out, .. } => out as u64 * self.input.volume() as u64,
+            // H·W·C outputs, each over its own k×k spatial window.
             LayerKind::DwConv { k, .. } => self.output().volume() as u64 * (k * k) as u64,
             // Pooling does comparisons/adds, not MACs; we count one op per
             // window element for utilization purposes but report it
@@ -164,6 +199,7 @@ impl Layer {
         matches!(
             self.kind,
             LayerKind::Conv { relu: true, .. }
+                | LayerKind::Pointwise { relu: true, .. }
                 | LayerKind::Fc { relu: true, .. }
                 | LayerKind::DwConv { relu: true, .. }
         )
@@ -184,15 +220,31 @@ impl fmt::Display for Layer {
                 stride,
                 pad,
                 relu,
+                groups,
             } => write!(
                 f,
-                "{}: conv {}→{} k{}s{}p{}{} [{}→{}]",
+                "{}: conv {}→{} k{}s{}p{}{}{} [{}→{}]",
                 self.name,
                 self.input.c,
                 out_c,
                 k,
                 stride,
                 pad,
+                if groups > 1 {
+                    format!("g{groups}")
+                } else {
+                    String::new()
+                },
+                if relu { "+relu" } else { "" },
+                self.input,
+                self.output()
+            ),
+            LayerKind::Pointwise { out_c, relu } => write!(
+                f,
+                "{}: pw {}→{}{} [{}→{}]",
+                self.name,
+                self.input.c,
+                out_c,
                 if relu { "+relu" } else { "" },
                 self.input,
                 self.output()
@@ -260,6 +312,7 @@ mod tests {
                 stride,
                 pad,
                 relu: true,
+                groups: 1,
             },
             input,
             requant_shift: 8,
@@ -344,5 +397,114 @@ mod tests {
         assert!(s.contains("conv1"));
         assert!(s.contains("k11s4p0"));
         assert!(s.contains("96x55x55"));
+    }
+
+    #[test]
+    fn pointwise_is_a_one_by_one_conv() {
+        let shape = TensorShape::new(64, 28, 28);
+        let pw = Layer {
+            name: "pw".into(),
+            kind: LayerKind::Pointwise {
+                out_c: 128,
+                relu: true,
+            },
+            input: shape,
+            requant_shift: 8,
+        };
+        let dense = Layer {
+            name: "conv".into(),
+            kind: LayerKind::Conv {
+                out_c: 128,
+                k: 1,
+                stride: 1,
+                pad: 0,
+                relu: true,
+                groups: 1,
+            },
+            input: shape,
+            requant_shift: 8,
+        };
+        assert_eq!(pw.output(), dense.output());
+        assert_eq!(pw.kernel_shape(), dense.kernel_shape());
+        // ops = H·W·C·F: every output element reduces over all C inputs.
+        assert_eq!(pw.macs(), dense.macs());
+        assert_eq!(pw.macs(), 28 * 28 * 64 * 128);
+        assert!(pw.has_relu());
+        assert!(pw.to_string().contains("pw 64→128+relu"));
+    }
+
+    #[test]
+    fn dwconv_ops_are_h_w_c_k2() {
+        let l = Layer {
+            name: "dw".into(),
+            kind: LayerKind::DwConv {
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: true,
+            },
+            input: TensorShape::new(32, 112, 112),
+            requant_shift: 6,
+        };
+        assert_eq!(l.macs(), 112 * 112 * 32 * 9);
+    }
+
+    #[test]
+    fn grouped_conv_divides_reduction_and_weights() {
+        let l = Layer {
+            name: "g".into(),
+            kind: LayerKind::Conv {
+                out_c: 8,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: false,
+                groups: 2,
+            },
+            input: TensorShape::new(4, 8, 8),
+            requant_shift: 6,
+        };
+        // Each of the 8 output channels reduces over 4/2 = 2 input channels.
+        assert_eq!(l.kernel_shape(), Some(KernelShape::new(8, 2, 3)));
+        assert_eq!(l.macs(), 8 * 8 * 8 * 2 * 9);
+        assert!(l.to_string().contains("g2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "groups=3 does not divide channels 4->8")]
+    fn inconsistent_groups_are_rejected_with_one_line_error() {
+        let l = Layer {
+            name: "bad".into(),
+            kind: LayerKind::Conv {
+                out_c: 8,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: false,
+                groups: 3,
+            },
+            input: TensorShape::new(4, 8, 8),
+            requant_shift: 6,
+        };
+        l.output();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide channels")]
+    fn zero_groups_are_rejected() {
+        let l = Layer {
+            name: "bad".into(),
+            kind: LayerKind::Conv {
+                out_c: 8,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: false,
+                groups: 0,
+            },
+            input: TensorShape::new(4, 8, 8),
+            requant_shift: 6,
+        };
+        l.output();
     }
 }

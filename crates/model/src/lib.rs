@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod accounting;
+pub mod elastic;
 pub mod gemm;
 pub mod gen;
 pub mod golden;
@@ -27,6 +29,8 @@ pub mod shape;
 pub mod stats;
 pub mod tensor;
 
+pub use accounting::OpTraffic;
+pub use elastic::{ElasticFamily, ElasticStage};
 pub use gen::{SparsityProfile, Workload};
 pub use layer::{Layer, LayerKind, PoolKind};
 pub use network::Network;

@@ -86,6 +86,12 @@ impl NetworkBuilder {
         }
     }
 
+    /// The input shape the next appended layer will receive (the previous
+    /// layer's output, or the network input when empty).
+    pub fn next_input_shape(&self) -> TensorShape {
+        self.next_input
+    }
+
     fn push(&mut self, name: String, kind: LayerKind, requant_shift: u32) -> &mut Self {
         let layer = Layer {
             name,
@@ -99,7 +105,8 @@ impl NetworkBuilder {
         self
     }
 
-    /// Appends a convolution (+ optional fused ReLU).
+    /// Appends a dense convolution (+ optional fused ReLU). Grouping is
+    /// explicit in the IR; this builder always produces `groups == 1`.
     #[allow(clippy::too_many_arguments)]
     pub fn conv(
         &mut self,
@@ -119,9 +126,44 @@ impl NetworkBuilder {
                 stride,
                 pad,
                 relu,
+                groups: 1,
             },
             requant_shift,
         )
+    }
+
+    /// Appends a grouped convolution. `groups` must divide both the current
+    /// channel count and `out_c`; inconsistent configs are rejected eagerly
+    /// with a one-line error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn grouped_conv(
+        &mut self,
+        name: &str,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+        relu: bool,
+        requant_shift: u32,
+    ) -> &mut Self {
+        self.push(
+            name.into(),
+            LayerKind::Conv {
+                out_c,
+                k,
+                stride,
+                pad,
+                relu,
+                groups,
+            },
+            requant_shift,
+        )
+    }
+
+    /// Appends a pointwise (1×1) convolution (+ optional fused ReLU).
+    pub fn pointwise(&mut self, name: &str, out_c: usize, relu: bool, shift: u32) -> &mut Self {
+        self.push(name.into(), LayerKind::Pointwise { out_c, relu }, shift)
     }
 
     /// Appends a max-pooling layer.
@@ -313,21 +355,49 @@ pub fn mobilenet() -> Network {
     ];
     for (i, &(out_c, stride)) in blocks.iter().enumerate() {
         b.dwconv(&format!("dw{}", i + 2), 3, stride, 1, true, shifts::SMALL)
-            .conv(
-                &format!("pw{}", i + 2),
-                out_c,
-                1,
-                1,
-                0,
-                true,
-                shifts::MEDIUM,
-            );
+            .pointwise(&format!("pw{}", i + 2), out_c, true, shifts::MEDIUM);
     }
     b.avg_pool("pool", 3, 3).fc("fc", 100, false, shifts::LARGE);
     b.build()
 }
 
-/// All zoo networks keyed by name; `None` for unknown names.
+/// The full MobileNetV1 shape table (224×224 RGB input, width 1.0): a 3×3
+/// stride-2 stem to 32 channels, thirteen depthwise-separable blocks, global
+/// 7×7 average pooling and a 1000-class fully-connected head. Strides and
+/// channel doublings follow the original architecture (the antepenultimate
+/// block strides 2 into 1024 channels).
+pub fn mobilenet_v1() -> Network {
+    let mut b = NetworkBuilder::new("mobilenet_v1", TensorShape::new(3, 224, 224));
+    b.conv("conv1", 32, 3, 2, 1, true, shifts::SMALL);
+    let blocks: &[(usize, usize)] = &[
+        // (pointwise out channels, depthwise stride); input sizes in the
+        // comments are the feature map entering the block.
+        (64, 1),   // 112×112×32
+        (128, 2),  // 112×112×64
+        (128, 1),  // 56×56×128
+        (256, 2),  // 56×56×128
+        (256, 1),  // 28×28×256
+        (512, 2),  // 28×28×256
+        (512, 1),  // 14×14×512
+        (512, 1),  // 14×14×512
+        (512, 1),  // 14×14×512
+        (512, 1),  // 14×14×512
+        (512, 1),  // 14×14×512
+        (1024, 2), // 14×14×512
+        (1024, 1), // 7×7×1024
+    ];
+    for (i, &(out_c, stride)) in blocks.iter().enumerate() {
+        b.dwconv(&format!("dw{}", i + 2), 3, stride, 1, true, shifts::SMALL)
+            .pointwise(&format!("pw{}", i + 2), out_c, true, shifts::MEDIUM);
+    }
+    b.avg_pool("pool", 7, 7)
+        .fc("fc", 1000, false, shifts::LARGE);
+    b.build()
+}
+
+/// All zoo networks keyed by name; `None` for unknown names. Elastic
+/// sub-network variants resolve through `family#index` names (e.g.
+/// `elastic_tiny#3`) — see [`crate::elastic`].
 pub fn by_name(name: &str) -> Option<Network> {
     match name {
         "lenet5" => Some(lenet5()),
@@ -335,7 +405,8 @@ pub fn by_name(name: &str) -> Option<Network> {
         "vgg16" => Some(vgg16()),
         "tiny" => Some(tiny()),
         "mobilenet" => Some(mobilenet()),
-        _ => None,
+        "mobilenet_v1" => Some(mobilenet_v1()),
+        _ => crate::elastic::by_name(name),
     }
 }
 
@@ -428,18 +499,68 @@ mod tests {
             .iter()
             .map(|l| matches!(l.kind, LayerKind::DwConv { .. }))
             .collect();
-        // dw layers exist and each is followed by a 1x1 conv.
+        // dw layers exist and each is followed by a pointwise conv.
         let dw_count = kinds.iter().filter(|&&b| b).count();
         assert_eq!(dw_count, 7);
         for (i, &is_dw) in kinds.iter().enumerate() {
             if is_dw {
                 assert!(
-                    matches!(n.layers()[i + 1].kind, LayerKind::Conv { k: 1, .. }),
+                    matches!(n.layers()[i + 1].kind, LayerKind::Pointwise { .. }),
                     "dw at {i} not followed by pointwise conv"
                 );
             }
         }
         assert!(by_name("mobilenet").is_some());
+    }
+
+    #[test]
+    fn mobilenet_v1_matches_reference_shape_table() {
+        let n = mobilenet_v1();
+        // Stem, 13 dw+pw blocks, pool, fc.
+        assert_eq!(n.len(), 1 + 13 * 2 + 2);
+        assert_eq!(n.layers()[0].output(), TensorShape::new(32, 112, 112));
+        // Feature maps entering each separable block, per the published
+        // table: (channels, spatial) after the preceding layer.
+        let expected: &[(usize, usize)] = &[
+            (64, 112),
+            (128, 56),
+            (128, 56),
+            (256, 28),
+            (256, 28),
+            (512, 14),
+            (512, 14),
+            (512, 14),
+            (512, 14),
+            (512, 14),
+            (512, 14),
+            (1024, 7),
+            (1024, 7),
+        ];
+        for (b, &(c, hw)) in expected.iter().enumerate() {
+            let pw = &n.layers()[1 + 2 * b + 1];
+            assert!(matches!(pw.kind, LayerKind::Pointwise { .. }), "block {b}");
+            assert_eq!(pw.output(), TensorShape::new(c, hw, hw), "block {b}");
+        }
+        assert_eq!(n.output_shape(), TensorShape::new(1000, 1, 1));
+        // ~569 M MACs at width 1.0 (the published count, conv+fc).
+        let total = n.total_macs();
+        assert!(total > 550_000_000 && total < 600_000_000, "got {total}");
+        assert!(by_name("mobilenet_v1").is_some());
+    }
+
+    #[test]
+    fn grouped_conv_builder_validates_eagerly() {
+        let mut b = NetworkBuilder::new("g", TensorShape::new(8, 16, 16));
+        b.grouped_conv("g1", 16, 3, 1, 1, 4, true, shifts::MEDIUM);
+        let n = b.build();
+        assert_eq!(n.layers()[0].macs(), 16 * 16 * 16 * 2 * 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups=3 does not divide channels 8->16")]
+    fn grouped_conv_builder_rejects_inconsistent_groups() {
+        let mut b = NetworkBuilder::new("g", TensorShape::new(8, 16, 16));
+        b.grouped_conv("g1", 16, 3, 1, 1, 3, true, shifts::MEDIUM);
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Brute-force oracle for the closed-form op/traffic accounting.
+//!
+//! [`mocha_model::accounting`] derives MAC and byte counts from closed
+//! forms; this oracle re-derives them the slow way — walk every output
+//! element, tally one MAC per kernel tap (padding included), and mark every
+//! in-bounds input element a tap reads in a boolean grid — then demands
+//! exact equality. The two derivations share no code, so agreement on the
+//! full MobileNetV1 shape table plus hundreds of randomized shapes makes a
+//! shared-bug coincidence vastly unlikely.
+
+use mocha_model::accounting::{self, OpTraffic};
+use mocha_model::layer::{Layer, LayerKind, PoolKind};
+use mocha_model::network;
+use mocha_model::rng::ModelRng;
+use mocha_model::shape::TensorShape;
+
+/// Runs `f` over `n` deterministic seeded cases (the offline build has no
+/// proptest); failures report the seed, which reproduces the case exactly.
+fn cases(n: u64, mut f: impl FnMut(u64, &mut ModelRng)) {
+    for seed in 0..n {
+        let mut rng = ModelRng::seed_from_u64(seed);
+        f(seed, &mut rng);
+    }
+}
+
+/// Marks the in-bounds tap (`c`, `iy`, `ix`) in the touched-input grid.
+fn touch(touched: &mut [bool], shape: TensorShape, c: usize, iy: isize, ix: isize) {
+    if iy >= 0 && ix >= 0 && (iy as usize) < shape.h && (ix as usize) < shape.w {
+        touched[shape.index(c, iy as usize, ix as usize)] = true;
+    }
+}
+
+/// The brute-force mirror of [`accounting::layer`]: every output element,
+/// every kernel tap, one bool per input element.
+fn oracle(l: &Layer) -> OpTraffic {
+    let out = l.output();
+    let in_s = l.input;
+    let mut touched = vec![false; in_s.volume()];
+    let mut macs = 0u64;
+    let mut window_reads = 0u64; // pooling's per-tap scratchpad reads
+    match l.kind {
+        LayerKind::Conv {
+            out_c,
+            k,
+            stride,
+            pad,
+            groups,
+            ..
+        } => {
+            let group_in_c = in_s.c / groups;
+            let group_out_c = out_c / groups;
+            for oc in 0..out_c {
+                let ic_base = (oc / group_out_c) * group_in_c;
+                for oy in 0..out.h {
+                    for ox in 0..out.w {
+                        for ic in 0..group_in_c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    macs += 1;
+                                    touch(&mut touched, in_s, ic_base + ic, iy, ix);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        LayerKind::Pointwise { out_c, .. } => {
+            for _oc in 0..out_c {
+                for oy in 0..out.h {
+                    for ox in 0..out.w {
+                        for ic in 0..in_s.c {
+                            macs += 1;
+                            touch(&mut touched, in_s, ic, oy as isize, ox as isize);
+                        }
+                    }
+                }
+            }
+        }
+        LayerKind::DwConv { k, stride, pad, .. } => {
+            for c in 0..in_s.c {
+                for oy in 0..out.h {
+                    for ox in 0..out.w {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                macs += 1;
+                                touch(&mut touched, in_s, c, iy, ix);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        LayerKind::Fc { out, .. } => {
+            for _oc in 0..out {
+                macs += in_s.volume() as u64;
+            }
+            touched.fill(true);
+        }
+        LayerKind::Pool { k, stride, .. } => {
+            for c in 0..in_s.c {
+                for oy in 0..out.h {
+                    for ox in 0..out.w {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                window_reads += 1;
+                                touch(
+                                    &mut touched,
+                                    in_s,
+                                    c,
+                                    (oy * stride + ky) as isize,
+                                    (ox * stride + kx) as isize,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let out_vol = out.volume() as u64;
+    let weight_bytes = l.kernel_shape().map_or(0, |ks| ks.bytes()) as u64;
+    let unique_inputs = touched.iter().filter(|&&t| t).count() as u64;
+    OpTraffic {
+        macs,
+        spm_read_bytes: if matches!(l.kind, LayerKind::Pool { .. }) {
+            window_reads
+        } else {
+            2 * macs
+        },
+        spm_write_bytes: out_vol,
+        dram_read_bytes: unique_inputs + weight_bytes,
+        dram_write_bytes: out_vol,
+    }
+}
+
+/// Every layer of the full 224×224 MobileNetV1 table agrees with the
+/// closed forms, and the summed totals match the hand-checked ~569M MACs.
+#[test]
+fn closed_forms_match_oracle_on_full_mobilenet_v1_table() {
+    let net = network::mobilenet_v1();
+    let mut total = OpTraffic::default();
+    for l in net.layers() {
+        let slow = oracle(l);
+        let fast = accounting::layer(l);
+        assert_eq!(slow, fast, "layer {}", l.name);
+        total = total + slow;
+    }
+    assert_eq!(total, accounting::network(&net));
+    assert_eq!(total.macs, net.total_macs());
+}
+
+/// The small zoo networks (which exercise max/avg pooling, fc heads, and
+/// the dw+pw alternation) agree layer by layer.
+#[test]
+fn closed_forms_match_oracle_on_small_zoo_networks() {
+    for name in ["tiny", "lenet5", "mobilenet"] {
+        let net = network::by_name(name).unwrap();
+        for l in net.layers() {
+            assert_eq!(oracle(l), accounting::layer(l), "{name}/{}", l.name);
+        }
+    }
+}
+
+/// 120 randomized conv shapes — channels, spatial extent, kernel, stride,
+/// padding and grouping all drawn at random (groups constrained to divide
+/// both channel counts, as the layer IR demands).
+#[test]
+fn randomized_conv_shapes_match_oracle() {
+    cases(120, |seed, rng| {
+        let groups = [1usize, 1, 2, 4][rng.gen_range(0usize..4)];
+        let in_c = groups * rng.gen_range(1usize..5);
+        let out_c = groups * rng.gen_range(1usize..6);
+        let h = rng.gen_range(1usize..14);
+        let w = rng.gen_range(1usize..14);
+        let k = rng.gen_range(1usize..5);
+        let stride = rng.gen_range(1usize..4);
+        let pad = rng.gen_range(0usize..3);
+        if h + 2 * pad < k || w + 2 * pad < k {
+            return; // no output positions; the layer would be rejected
+        }
+        let l = Layer {
+            name: format!("conv[{seed}]"),
+            kind: LayerKind::Conv {
+                out_c,
+                k,
+                stride,
+                pad,
+                relu: true,
+                groups,
+            },
+            input: TensorShape::new(in_c, h, w),
+            requant_shift: 6,
+        };
+        assert_eq!(oracle(&l), accounting::layer(&l), "seed {seed}: {l}");
+    });
+}
+
+/// 120 randomized depthwise + pointwise pairs, the separable-conv split the
+/// tentpole accounting exists for.
+#[test]
+fn randomized_separable_shapes_match_oracle() {
+    cases(120, |seed, rng| {
+        let c = rng.gen_range(1usize..24);
+        let h = rng.gen_range(1usize..16);
+        let w = rng.gen_range(1usize..16);
+        let k = rng.gen_range(1usize..4);
+        let stride = rng.gen_range(1usize..4);
+        let pad = rng.gen_range(0usize..2);
+        if h + 2 * pad < k || w + 2 * pad < k {
+            return;
+        }
+        let dw = Layer {
+            name: format!("dw[{seed}]"),
+            kind: LayerKind::DwConv {
+                k,
+                stride,
+                pad,
+                relu: true,
+            },
+            input: TensorShape::new(c, h, w),
+            requant_shift: 6,
+        };
+        assert_eq!(oracle(&dw), accounting::layer(&dw), "seed {seed}: {dw}");
+        let pw = Layer {
+            name: format!("pw[{seed}]"),
+            kind: LayerKind::Pointwise {
+                out_c: rng.gen_range(1usize..32),
+                relu: true,
+            },
+            input: dw.output(),
+            requant_shift: 8,
+        };
+        assert_eq!(oracle(&pw), accounting::layer(&pw), "seed {seed}: {pw}");
+    });
+}
+
+/// 60 randomized pooling and fc shapes cover the remaining layer kinds,
+/// including the strided `s > k` pooling branch of `touched_1d` where the
+/// windows are disjoint and inputs go *untouched* between them.
+#[test]
+fn randomized_pool_and_fc_shapes_match_oracle() {
+    cases(60, |seed, rng| {
+        let c = rng.gen_range(1usize..12);
+        let k = rng.gen_range(1usize..4);
+        let stride = rng.gen_range(1usize..5); // deliberately allows s > k
+        let h = k + rng.gen_range(0usize..12);
+        let w = k + rng.gen_range(0usize..12);
+        let kind = if rng.gen_bool(0.5) {
+            PoolKind::Max
+        } else {
+            PoolKind::Avg
+        };
+        let pool = Layer {
+            name: format!("pool[{seed}]"),
+            kind: LayerKind::Pool { kind, k, stride },
+            input: TensorShape::new(c, h, w),
+            requant_shift: 0,
+        };
+        assert_eq!(
+            oracle(&pool),
+            accounting::layer(&pool),
+            "seed {seed}: {pool}"
+        );
+        let fc = Layer {
+            name: format!("fc[{seed}]"),
+            kind: LayerKind::Fc {
+                out: rng.gen_range(1usize..40),
+                relu: false,
+            },
+            input: pool.output(),
+            requant_shift: 10,
+        };
+        assert_eq!(oracle(&fc), accounting::layer(&fc), "seed {seed}: {fc}");
+    });
+}

@@ -1,0 +1,146 @@
+//! Property tests for [`mocha_model::elastic::ElasticFamily`] — the
+//! determinism, uniqueness, well-formedness and monotonicity contracts the
+//! module docs promise. Everything here is exhaustive over the family
+//! (both presets are small enough), so these are properties proved over
+//! the whole enumeration, not sampled.
+
+use mocha_model::elastic::{by_name, ElasticFamily};
+use mocha_model::network::Network;
+
+fn families() -> Vec<ElasticFamily> {
+    vec![ElasticFamily::tiny(), ElasticFamily::mobilenet()]
+}
+
+/// A variant's structure with the name stripped: layer kinds and shapes
+/// only, so two variants that differ *only* in their `family#idx` label
+/// would still collide.
+fn structure(net: &Network) -> String {
+    net.layers()
+        .iter()
+        .map(|l| format!("{:?}@{:?}", l.kind, l.input))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Enumeration is a pure function of the family description: two calls
+/// agree exactly, and each indexed variant matches its enumerated slot.
+#[test]
+fn enumeration_is_deterministic() {
+    for fam in families() {
+        let a = fam.enumerate();
+        let b = fam.enumerate();
+        assert_eq!(a, b, "{}: enumerate() disagrees with itself", fam.name());
+        for (i, v) in a.iter().enumerate() {
+            assert_eq!(
+                Some(v),
+                fam.variant(i).as_ref(),
+                "{}: variant({i}) != enumerate()[{i}]",
+                fam.name()
+            );
+            assert_eq!(v.name, format!("{}#{i}", fam.name()));
+            assert_eq!(Some(v), by_name(&v.name).as_ref());
+        }
+    }
+}
+
+/// No two variants share a name *or* a layer structure — every index is a
+/// genuinely distinct sub-network.
+#[test]
+fn enumeration_is_duplicate_free() {
+    for fam in families() {
+        let all = fam.enumerate();
+        assert_eq!(all.len(), fam.len());
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i].name, all[j].name, "{}: duplicate name", fam.name());
+                assert_ne!(
+                    structure(&all[i]),
+                    structure(&all[j]),
+                    "{}: variants #{i} and #{j} have identical structure",
+                    fam.name()
+                );
+            }
+        }
+    }
+}
+
+/// Every variant is internally continuous: each layer consumes exactly the
+/// tensor the previous layer produces. (The builder enforces this by
+/// construction; this pins it from the outside so a builder refactor
+/// cannot silently break it.)
+#[test]
+fn every_variant_has_continuous_channels() {
+    for fam in families() {
+        for net in fam.enumerate() {
+            let layers = net.layers();
+            assert_eq!(layers[0].input, net.input_shape(), "{}", net.name);
+            for w in layers.windows(2) {
+                assert_eq!(
+                    w[1].input,
+                    w[0].output(),
+                    "{}: {} -> {} shape break",
+                    net.name,
+                    w[0].name,
+                    w[1].name
+                );
+            }
+        }
+    }
+}
+
+/// The monotonicity contract: whenever variant `a`'s configuration is
+/// componentwise ≤ variant `b`'s (narrower or equal width AND no stage
+/// deeper), `a` costs at most as many ops. Checked over every ordered
+/// pair in both families.
+#[test]
+fn shrinking_depth_or_width_never_increases_ops() {
+    for fam in families() {
+        let all = fam.enumerate();
+        let configs: Vec<(u32, Vec<usize>)> =
+            (0..fam.len()).map(|i| fam.config(i).unwrap()).collect();
+        let mut compared = 0usize;
+        for i in 0..all.len() {
+            for j in 0..all.len() {
+                let (wi, di) = &configs[i];
+                let (wj, dj) = &configs[j];
+                let le = wi <= wj && di.iter().zip(dj).all(|(a, b)| a <= b);
+                if i != j && le {
+                    compared += 1;
+                    assert!(
+                        all[i].total_macs() <= all[j].total_macs(),
+                        "{}: #{i} {:?} <= #{j} {:?} but {} > {} MACs",
+                        fam.name(),
+                        configs[i],
+                        configs[j],
+                        all[i].total_macs(),
+                        all[j].total_macs()
+                    );
+                }
+            }
+        }
+        // The partial order is dense enough to be meaningful: every
+        // non-maximal variant is dominated by at least one other.
+        assert!(
+            compared >= fam.len() - 1,
+            "{}: only {compared} comparable pairs",
+            fam.name()
+        );
+    }
+}
+
+/// Variant 0 is the super-network — the unique maximum of the partial
+/// order — and strictly bigger than every other variant.
+#[test]
+fn variant_zero_is_the_super_network() {
+    for fam in families() {
+        let all = fam.enumerate();
+        for v in all.iter().skip(1) {
+            assert!(
+                v.total_macs() < all[0].total_macs(),
+                "{}: {} is not strictly smaller than the super-network",
+                fam.name(),
+                v.name
+            );
+        }
+    }
+}

@@ -87,6 +87,7 @@ fn conv_scales_with_kernel() {
                 stride: 1,
                 pad: 1,
                 relu: false,
+                groups: 1,
             },
             input: in_shape,
             requant_shift: 0,

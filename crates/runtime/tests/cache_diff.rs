@@ -6,11 +6,12 @@
 //! faulted schedule with quarantine re-carves (which must invalidate cached
 //! geometry), and R3-style repeated warm batches through a shared cache.
 
+use mocha_core::Objective;
 use mocha_energy::EnergyTable;
 use mocha_obs::{names, MemRecorder};
 use mocha_runtime::{
-    generate, run_with, run_with_cache, DecisionCache, FaultMode, FaultPlan, Mix, RuntimeConfig,
-    TrafficConfig,
+    generate, run_with, run_with_cache, DecisionCache, FaultMode, FaultPlan, JobSpec, Mix,
+    Priority, RuntimeConfig, Submission, TrafficConfig,
 };
 
 fn traffic(jobs: usize, seed: u64) -> TrafficConfig {
@@ -151,6 +152,58 @@ fn r2_shaped_faulted_run_is_byte_identical_and_quarantine_invalidates() {
         assert_eq!(
             rec.counter(names::CACHE_HITS) + rec.counter(names::CACHE_MISSES),
             rec.counter(names::CACHE_DECISIONS)
+        );
+    }
+}
+
+/// R4-shaped differential: a sweep over every `elastic_tiny` sub-network
+/// variant. Cache-on must replay the cache-off sweep byte-for-byte at every
+/// worker count, and because depth/width siblings share layer signatures,
+/// the sweep must hit the cache across *different* networks — the
+/// amplification effect R4 measures.
+#[test]
+fn elastic_variant_sweep_is_byte_identical_and_hits_across_variants() {
+    // One job per elastic_tiny variant, every job identically seeded so
+    // shared layer geometry yields bit-identical sparsity estimates.
+    let subs: Vec<Submission> = (0..8)
+        .map(|i| Submission {
+            arrival_cycle: i * 30_000,
+            spec: JobSpec {
+                network: format!("elastic_tiny#{i}"),
+                profile: "nominal".into(),
+                objective: Objective::Edp,
+                priority: Priority::Normal,
+                seed: 17,
+            },
+        })
+        .collect();
+
+    let mut off_rec = MemRecorder::new();
+    let off_report = run_with(&cfg(false, 1), &subs, &mut off_rec);
+    let off_jsonl = off_rec.to_jsonl();
+    assert_eq!(off_report.jobs.len(), 8, "all variants must complete");
+
+    for threads in [1, 2, 8] {
+        let mut rec = MemRecorder::new();
+        let report = run_with(&cfg(true, threads), &subs, &mut rec);
+        assert_eq!(report, off_report, "{threads} threads: report diverged");
+        assert_eq!(
+            strip_cache_lines(&rec.to_jsonl()),
+            off_jsonl,
+            "{threads} threads: stream diverged beyond cache.* lines"
+        );
+        let (h, m, d) = (
+            rec.counter(names::CACHE_HITS),
+            rec.counter(names::CACHE_MISSES),
+            rec.counter(names::CACHE_DECISIONS),
+        );
+        assert_eq!(h + m, d);
+        // Every job is a *distinct* network, so cache hits can only come
+        // from variants sharing layer signatures (plus the limited repeat
+        // structure inside one variant).
+        assert!(
+            h > 0,
+            "{threads} threads: elastic siblings never shared a decision"
         );
     }
 }
