@@ -63,6 +63,35 @@ for k in windows variants decisions hits misses tracks ge_baseline; do
     }
 done
 
+echo "== repro r5 smoke (quick mode; routing claims + exact counters)"
+r5_out="$(cargo run --release -p mocha-bench --bin repro -- --quick r5)"
+echo "$r5_out"
+grep -q "p2c beats round-robin and locality beats round-robin" <<< "$r5_out" || {
+    echo "r5: state-aware routing no longer beats round-robin under faults"; exit 1
+}
+grep -q "re-balancing is visible at every nonzero rate" <<< "$r5_out" || {
+    echo "r5: quarantine-triggered re-balancing is no longer visible"; exit 1
+}
+grep -q "amplifies the morph-decision cache at fleet scale" <<< "$r5_out" || {
+    echo "r5: locality routing no longer amplifies the decision cache"; exit 1
+}
+# The quick sweep is fully deterministic, so its smoke line (fleet shape,
+# routing counters, claim bits) must match the committed baseline exactly.
+# Regenerate with:
+#   cargo run --release -p mocha-bench --bin repro -- --quick r5 \
+#   | sed -n 's/.*r5-smoke //p' > baselines/r5-smoke.json
+r5_smoke="$(sed -n 's/.*r5-smoke //p' <<< "$r5_out")"
+test -n "$r5_smoke" || { echo "r5 emitted no r5-smoke line"; exit 1; }
+r5_base="$(cat baselines/r5-smoke.json)"
+for k in shards points routed rebalanced cold warm p2c_wins locality_wins \
+         rebalance_visible locality_warmer; do
+    got="$(field "$k" "$r5_smoke")"
+    want="$(field "$k" "$r5_base")"
+    [ "$got" = "$want" ] || {
+        echo "r5 smoke: $k = $got, baseline expects $want"; exit 1
+    }
+done
+
 echo "== obs smoke (stream parses, non-empty, deterministic)"
 obs_tmp="$(mktemp -d)"
 trap 'rm -rf "$obs_tmp"' EXIT
@@ -78,7 +107,7 @@ cmp "$obs_tmp/a.jsonl" "$obs_tmp/b.jsonl" || {
     echo "obs streams differ between identical seeded runs"; exit 1
 }
 
-echo "== determinism matrix (--threads 1/2/8: obs + profiles + r1-r4 tables + faulted + open-loop + cached runs)"
+echo "== determinism matrix (--threads 1/2/8: obs + profiles + r1-r5 tables + faulted + open-loop + fleet + cached runs)"
 for t in 1 2 8; do
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         runtime --jobs 3 --load 2.0 --seed 7 --threads "$t" \
@@ -111,6 +140,20 @@ for t in 1 2 8; do
         repro r3 --quick --threads "$t" > "$obs_tmp/mat$t.r3"
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         repro r4 --quick --threads "$t" > "$obs_tmp/mat$t.r4"
+    # Fleet rows: the batch router over a heterogeneous fleet, the fleet
+    # open-loop engine with per-shard faults and re-balancing in play, and
+    # the R5 table — all byte-identical at every worker count.
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        fleet --jobs 3 --load 2.0 --seed 7 --threads "$t" \
+        --fleet preset=quad/preset=mocha,count=2 --route p2c \
+        --obs "$obs_tmp/mat$t.fleet.jsonl" > "$obs_tmp/mat$t.fleet.report"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        fleet --open-loop --fleet preset=quad/preset=mocha --route locality \
+        --requests 2000 --tenants 100 --load 3.0 --seed 7 --slo 2000000 \
+        --faults rate=0.5,seed=9 --cold-penalty 20000 --json --threads "$t" \
+        --obs "$obs_tmp/mat$t.openfleet.jsonl" > "$obs_tmp/mat$t.openfleet.report"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        repro r5 --quick --threads "$t" > "$obs_tmp/mat$t.r5"
     # Cache-enabled rows: the same seeded runs with the morph-decision
     # cache on must also be byte-identical at every worker count.
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
@@ -131,14 +174,22 @@ for t in 1 2 8; do
         repro r3 --quick --threads "$t" --cache > "$obs_tmp/mat$t.cache.r3"
     cargo run --release -q -p mocha-cli --bin mocha-sim -- \
         repro r4 --quick --threads "$t" --cache > "$obs_tmp/mat$t.cache.r4"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        fleet --jobs 3 --load 2.0 --seed 7 --threads "$t" --cache \
+        --fleet preset=quad/preset=mocha,count=2 --route p2c \
+        --obs "$obs_tmp/mat$t.cache.fleet.jsonl" > "$obs_tmp/mat$t.cache.fleet.report"
+    cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+        repro r5 --quick --threads "$t" --cache > "$obs_tmp/mat$t.cache.r5"
 done
 for t in 2 8; do
     for kind in jsonl report profile r1 fault.jsonl fault.report r2 \
                 openloop.jsonl openloop.report r3 r4 \
+                fleet.jsonl fleet.report openfleet.jsonl openfleet.report r5 \
                 metrics.jsonl openloop.metrics.jsonl \
                 cache.jsonl cache.report cache.openloop \
                 cache.metrics.jsonl cache.openloop.metrics.jsonl \
-                cache.r1 cache.r2 cache.r3 cache.r4; do
+                cache.r1 cache.r2 cache.r3 cache.r4 \
+                cache.fleet.jsonl cache.fleet.report cache.r5; do
         cmp "$obs_tmp/mat1.$kind" "$obs_tmp/mat$t.$kind" || {
             echo "--threads $t $kind output differs from --threads 1"; exit 1
         }
@@ -160,11 +211,19 @@ grep -v '"cache\.' "$obs_tmp/mat1.cache.jsonl" | cmp - "$obs_tmp/mat1.jsonl" || 
 cmp "$obs_tmp/mat1.openloop.report" "$obs_tmp/mat1.cache.openloop" || {
     echo "cache-on open-loop report differs from cache-off"; exit 1
 }
-for r in r1 r2 r3 r4; do
+for r in r1 r2 r3 r4 r5; do
     cmp "$obs_tmp/mat1.$r" "$obs_tmp/mat1.cache.$r" || {
         echo "cache-on repro $r table differs from cache-off"; exit 1
     }
 done
+# Fleet runs honour the same contract: cache-on replays cache-off except
+# for the cache.* counter lines in the obs stream.
+cmp "$obs_tmp/mat1.fleet.report" "$obs_tmp/mat1.cache.fleet.report" || {
+    echo "cache-on fleet report differs from cache-off"; exit 1
+}
+grep -v '"cache\.' "$obs_tmp/mat1.cache.fleet.jsonl" | cmp - "$obs_tmp/mat1.fleet.jsonl" || {
+    echo "cache-on fleet obs stream differs beyond cache.* lines"; exit 1
+}
 # The windowed metrics exports are pure functions of the reports, so the
 # cache cannot change a byte of them either.
 cmp "$obs_tmp/mat1.metrics.jsonl" "$obs_tmp/mat1.cache.metrics.jsonl" || {
@@ -173,6 +232,23 @@ cmp "$obs_tmp/mat1.metrics.jsonl" "$obs_tmp/mat1.cache.metrics.jsonl" || {
 cmp "$obs_tmp/mat1.openloop.metrics.jsonl" \
     "$obs_tmp/mat1.cache.openloop.metrics.jsonl" || {
     echo "cache-on open-loop metrics export differs from cache-off"; exit 1
+}
+
+echo "== fleet-of-1 differential (zero faults: fleet wraps runtime byte-for-byte)"
+# A one-shard fleet must be the single-fabric runtime path plus fleet.*
+# telemetry and nothing else: stripping the fleet lines from its obs stream
+# recovers the solo stream byte-for-byte.
+cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+    runtime --jobs 3 --load 2.0 --seed 7 \
+    --obs "$obs_tmp/solo.jsonl" > "$obs_tmp/solo.report"
+cargo run --release -q -p mocha-cli --bin mocha-sim -- \
+    fleet --jobs 3 --load 2.0 --seed 7 \
+    --obs "$obs_tmp/fleet1.jsonl" > /dev/null
+grep -q '"fleet' "$obs_tmp/fleet1.jsonl" || {
+    echo "fleet-of-1 run recorded no fleet.* telemetry"; exit 1
+}
+grep -v '"fleet' "$obs_tmp/fleet1.jsonl" | cmp - "$obs_tmp/solo.jsonl" || {
+    echo "fleet-of-1 obs stream differs from solo runtime beyond fleet lines"; exit 1
 }
 
 echo "== trace perf-regression gate (r1 smoke vs committed baseline)"

@@ -17,6 +17,7 @@ pub mod r1;
 pub mod r2;
 pub mod r3;
 pub mod r4;
+pub mod r5;
 pub mod t1;
 pub mod t2;
 
@@ -53,7 +54,7 @@ impl Default for ExpConfig {
 /// All experiment ids in presentation order.
 pub const ALL: &[&str] = &[
     "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "a1", "a2", "a3", "r1", "r2", "r3",
-    "r4",
+    "r4", "r5",
 ];
 
 /// Runs one experiment by id; `None` for unknown ids.
@@ -76,6 +77,7 @@ pub fn run_by_id(id: &str, cfg: &ExpConfig) -> Option<String> {
         "r2" => Some(r2::run(cfg)),
         "r3" => Some(r3::run(cfg)),
         "r4" => Some(r4::run(cfg)),
+        "r5" => Some(r5::run(cfg)),
         _ => None,
     }
 }

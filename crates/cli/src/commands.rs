@@ -36,13 +36,16 @@ USAGE:
   mocha-sim repro [ids...] [--quick] [--threads N] [--cache]
                                            regenerate the paper's tables and
                                            figures (t1 t2 f1..f8 a1..a3 r1 r2
-                                           r3; default/`all` = every
+                                           r3 r4 r5; default/`all` = every
                                            experiment; r2 sweeps fault rates
                                            and compares quarantine-and-remorph
                                            recovery against a fail-stop
                                            baseline; r3 sweeps open-loop
                                            offered load and compares SLO-aware
-                                           shedding against unbounded queueing)
+                                           shedding against unbounded queueing;
+                                           r5 sweeps per-shard fault rates over
+                                           a heterogeneous fleet and compares
+                                           the three routing policies)
   mocha-sim runtime [options]              multi-tenant runtime on synthetic traffic
       --jobs N           jobs to generate                     (default 8)
       --load F           offered load, arrivals per service   (default 2.0)
@@ -68,6 +71,45 @@ USAGE:
                          --metrics FILE
       --metrics FILE     write per-window counters and histogram summaries
                          as JSON lines (byte-identical at any --threads)
+  mocha-sim fleet [options]                deterministic fleet router: shard a
+                                           seeded closed-loop trace across N
+                                           simulated fabric instances and run
+                                           each shard's cycle-accurate
+                                           scheduler (the fleet twin of
+                                           `runtime`; a fleet of one is
+                                           byte-identical to `runtime` modulo
+                                           fleet.* telemetry)
+      --fleet SPEC       `/`-separated instances of comma `key=value` pairs:
+                         preset=mocha|quad|baseline, grid=N (square PE grid),
+                         banks=N, kb=N (per SPM bank), lanes=N, dma=N,
+                         codecs=N, count=N (replicas); e.g.
+                         `preset=quad/grid=8,banks=16,count=2`
+                         (default: one quad fabric; max 64 shards)
+      --route POLICY     round-robin (rr) | locality | p2c (power-of-two)
+                                                            (default round-robin)
+      --route-seed N     seed for stochastic policies (p2c) (default 42)
+      --jobs/--load/--seed/--mix/--policy/--max-tenants/--no-verify/--json/
+      --obs/--threads/--faults/--cache    as for `runtime`; every shard runs
+                         an independent fault domain (the plan's seed is
+                         stepped per shard) and `--cache` shares one
+                         morph-decision cache across shards
+  mocha-sim fleet --open-loop [options]    fleet open-loop queueing sweep
+                                           (experiment R5's engine; also
+                                           reachable as `serve --open-loop
+                                           --fleet SPEC`): routes R3's
+                                           open-loop arrival traces across
+                                           the fleet, with per-shard fault
+                                           domains, quarantine-triggered live
+                                           re-balancing of queued jobs onto
+                                           healthy shards, and template-warmth
+                                           cold penalties
+      --fleet/--route/--route-seed        as above
+      --cold-penalty N   extra service cycles the first job of a template
+                         pays on a shard that has never seen it (models the
+                         shard's cold decision cache)      (default 0)
+      --requests/--tenants/--load/--seed/--mix/--slo/--shed-policy/--trace/
+      --json/--obs/--max-tenants/--threads/--faults/--cache/
+      --metrics-window/--metrics          as for `serve --open-loop`
   mocha-sim trace summary <FILE|-> [--json] [--energy FILE]
                                            profile an obs stream: span tree,
                                            critical paths, overlap, exact

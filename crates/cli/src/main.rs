@@ -12,6 +12,14 @@
 //! mocha-sim runtime  [--jobs N] [--load F] [--seed N] [--mix M] [--policy P]
 //!                    [--obs FILE|-] [--threads N]
 //!                    [--metrics-window W --metrics FILE]
+//! mocha-sim fleet    [--fleet SPEC] [--route POLICY] [--route-seed N]
+//!                    [--jobs N] [--load F] [--seed N] [--mix M] [--faults SPEC]
+//!                    [--obs FILE|-] [--json] [--threads N]
+//! mocha-sim fleet    --open-loop [--fleet SPEC] [--route POLICY]
+//!                    [--cold-penalty N] [--requests N] [--load F] [--seed N]
+//!                    [--slo CYCLES] [--shed-policy P] [--faults SPEC]
+//!                    [--trace FILE] [--json] [--obs FILE|-]
+//!                    [--metrics-window W --metrics FILE]
 //! mocha-sim trace    summary <FILE|-> | export <FILE|-> --chrome OUT
 //!                    | diff <A> <B> [--fail-on-regression PCT]
 //! mocha-sim serve    [--tcp ADDR] [--once] [--policy P] [--max-tenants N]
@@ -32,6 +40,7 @@
 mod args;
 mod commands;
 mod config;
+mod fleet_cmd;
 mod serve;
 mod trace_cmd;
 
@@ -62,6 +71,7 @@ fn main() {
         Some("networks") => commands::networks(&parsed),
         Some("repro") => commands::repro(&parsed),
         Some("runtime") => serve::runtime_cmd(&parsed),
+        Some("fleet") => fleet_cmd::fleet(&parsed),
         Some("trace") => trace_cmd::trace(&parsed),
         Some("serve") => serve::serve(&parsed),
         Some("help") => {

@@ -718,7 +718,7 @@ pub fn serve(args: &Args) -> i32 {
 /// Parses the paired offline metrics flags: `--metrics-window W` selects
 /// the windowing and `--metrics FILE` the JSONL destination — both or
 /// neither.
-fn metrics_flags(args: &Args) -> Result<Option<(WindowSpec, String)>, String> {
+pub(crate) fn metrics_flags(args: &Args) -> Result<Option<(WindowSpec, String)>, String> {
     match (args.options.get("metrics-window"), args.options.get("metrics")) {
         (None, None) => Ok(None),
         (Some(_), None) => {
@@ -746,6 +746,11 @@ fn metrics_flags(args: &Args) -> Result<Option<(WindowSpec, String)>, String> {
 /// per-template service times, and runs the deterministic queueing
 /// simulation with the chosen shed policy.
 fn open_loop(args: &Args) -> i32 {
+    // `serve --open-loop --fleet SPEC` is the fleet path: same trace and
+    // calibration contract, sharded over N fabrics by `mocha::fleet`.
+    if args.options.contains_key("fleet") || args.options.contains_key("route") {
+        return crate::fleet_cmd::open_loop(args);
+    }
     if let Err(code) = commands::strict(
         args,
         0,

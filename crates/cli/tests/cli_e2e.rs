@@ -1636,3 +1636,233 @@ fn repro_r3_is_byte_identical_across_thread_counts() {
         assert_eq!(table, base, "--threads {threads} r3 table differs");
     }
 }
+
+/// Malformed `--fleet` / `--route` specs follow the scriptable error
+/// contract everywhere they are accepted: exit code 2, exactly one stderr
+/// line, nothing on stdout — the same shape as `--faults`.
+#[test]
+fn malformed_fleet_specs_exit_nonzero() {
+    for spec in [
+        "",
+        "/",
+        "preset=quad/",
+        "preset=warp",
+        "grid",
+        "grid=fast",
+        "grid=0",
+        "grid=65",
+        "count=0",
+        "banks=4,bogus=1",
+        "count=65",          // single instance past MAX_SHARDS
+        "count=40/count=40", // total past MAX_SHARDS
+    ] {
+        for cmd in [
+            &["fleet", "--fleet"][..],
+            &["fleet", "--open-loop", "--requests", "10", "--fleet"][..],
+            &["serve", "--open-loop", "--requests", "10", "--fleet"][..],
+        ] {
+            let mut args = cmd.to_vec();
+            args.push(spec);
+            let out = mocha_sim(&args);
+            assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+            assert_eq!(
+                stderr(&out).lines().count(),
+                1,
+                "args: {args:?} stderr: {}",
+                stderr(&out)
+            );
+            assert!(stdout(&out).is_empty(), "args: {args:?}");
+        }
+    }
+    for route in ["", "fastest", "p3c", "roundrobin"] {
+        for cmd in [
+            &["fleet", "--route"][..],
+            &["fleet", "--open-loop", "--requests", "10", "--route"][..],
+            &["serve", "--open-loop", "--requests", "10", "--route"][..],
+        ] {
+            let mut args = cmd.to_vec();
+            args.push(route);
+            let out = mocha_sim(&args);
+            assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+            assert_eq!(stderr(&out).lines().count(), 1, "args: {args:?}");
+            assert!(stdout(&out).is_empty(), "args: {args:?}");
+        }
+    }
+}
+
+/// The fleet property pair, end to end: routing is deterministic (the JSON
+/// report and obs stream replay byte-identical at `--threads 1`, `2`, `8`)
+/// and conserves jobs — every admitted request is accounted for in
+/// per-shard tallies, with migrations balancing out fleet-wide.
+#[test]
+fn fleet_open_loop_conserves_jobs_and_is_byte_identical_across_thread_counts() {
+    let dir = std::env::temp_dir();
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let obs = dir.join(format!("mocha_fleet_e2e_{threads}.jsonl"));
+        let out = mocha_sim(&[
+            "fleet",
+            "--open-loop",
+            "--fleet",
+            "preset=quad/preset=mocha,count=2",
+            "--route",
+            "p2c",
+            "--requests",
+            "2000",
+            "--tenants",
+            "100",
+            "--load",
+            "3.0",
+            "--seed",
+            "11",
+            "--slo",
+            "2000000",
+            "--faults",
+            "rate=0.5,seed=9",
+            "--json",
+            "--threads",
+            threads,
+            "--obs",
+            obs.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "--threads {threads} stderr: {}",
+            stderr(&out)
+        );
+        let stream = std::fs::read_to_string(&obs).expect("obs stream");
+        let _ = std::fs::remove_file(&obs);
+        runs.push((threads, stdout(&out), stream));
+    }
+    let (_, base_report, base_stream) = &runs[0];
+    for (threads, report, stream) in &runs[1..] {
+        assert_eq!(report, base_report, "--threads {threads} report differs");
+        assert_eq!(
+            stream, base_stream,
+            "--threads {threads} obs stream differs"
+        );
+    }
+
+    let report = mocha_json::parse(base_report.trim()).expect("report JSON");
+    let field = |v: &mocha_json::Value, k: &str| {
+        v.get(k)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("missing {k}: {base_report}"))
+    };
+    let admitted = field(&report, "admitted");
+    let shards = match report.get("shards") {
+        Some(mocha_json::Value::Arr(shards)) => shards,
+        other => panic!("shards must be an array, got {other:?}"),
+    };
+    assert_eq!(shards.len(), 3, "spec names three shards");
+    let mut routed = 0;
+    let mut settled = 0;
+    let mut reb_in = 0;
+    let mut reb_out = 0;
+    for s in shards {
+        routed += field(s, "routed");
+        settled +=
+            field(s, "shed") + field(s, "completed") + field(s, "failed") + field(s, "in_flight");
+        reb_in += field(s, "rebalanced_in");
+        reb_out += field(s, "rebalanced_out");
+    }
+    // Fleet-wide conservation: the router routes every offered request, a
+    // migrated job exits one shard's ledger via rebalanced_out and enters
+    // another's via rebalanced_in, so summing the per-shard identities the
+    // migration terms cancel and every request settles exactly once.
+    assert_eq!(routed, field(&report, "offered"), "router loses requests");
+    assert_eq!(
+        admitted + field(&report, "shed"),
+        settled,
+        "admitted jobs leak: {base_report}"
+    );
+    assert_eq!(reb_in, reb_out, "migrations must balance fleet-wide");
+    assert!(
+        field(&report, "rebalanced") > 0,
+        "quarantines at rate=0.5 must trigger re-balancing: {base_report}"
+    );
+}
+
+/// The fleet-of-1 differential at the binary level: with zero faults,
+/// `fleet` over a single default shard reproduces the single-fabric
+/// `runtime` obs stream byte-for-byte once its `fleet.*` telemetry lines
+/// are stripped — the router provably adds telemetry and nothing else.
+#[test]
+fn fleet_of_one_with_zero_faults_matches_runtime_byte_for_byte() {
+    let dir = std::env::temp_dir();
+    let solo_obs = dir.join("mocha_fleet1_solo_e2e.jsonl");
+    let fleet_obs = dir.join("mocha_fleet1_fleet_e2e.jsonl");
+    let solo = mocha_sim(&[
+        "runtime",
+        "--jobs",
+        "6",
+        "--load",
+        "2.0",
+        "--seed",
+        "17",
+        "--obs",
+        solo_obs.to_str().unwrap(),
+    ]);
+    assert!(solo.status.success(), "stderr: {}", stderr(&solo));
+    let fleet = mocha_sim(&[
+        "fleet",
+        "--jobs",
+        "6",
+        "--load",
+        "2.0",
+        "--seed",
+        "17",
+        "--obs",
+        fleet_obs.to_str().unwrap(),
+    ]);
+    assert!(fleet.status.success(), "stderr: {}", stderr(&fleet));
+    let solo_stream = std::fs::read_to_string(&solo_obs).expect("solo stream");
+    let fleet_stream = std::fs::read_to_string(&fleet_obs).expect("fleet stream");
+    let _ = std::fs::remove_file(&solo_obs);
+    let _ = std::fs::remove_file(&fleet_obs);
+    assert!(
+        fleet_stream.lines().any(|l| l.contains("\"fleet")),
+        "fleet run must record fleet.* telemetry"
+    );
+    let stripped: String = fleet_stream
+        .lines()
+        .filter(|l| !l.contains("\"fleet"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(
+        stripped, solo_stream,
+        "fleet-of-1 must wrap runtime byte-for-byte beyond fleet lines"
+    );
+}
+
+/// `repro r5` — the fleet degradation sweep — is byte-identical across
+/// thread counts and carries its routing and re-balancing claims.
+#[test]
+fn repro_r5_is_byte_identical_across_thread_counts() {
+    let mut tables = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let out = mocha_sim(&["repro", "r5", "--quick", "--threads", threads]);
+        assert!(
+            out.status.success(),
+            "--threads {threads} stderr: {}",
+            stderr(&out)
+        );
+        tables.push((threads, stdout(&out)));
+    }
+    let (_, base) = &tables[0];
+    assert!(
+        base.contains("p2c beats round-robin and locality beats round-robin"),
+        "headline claim missing:\n{base}"
+    );
+    assert!(
+        base.contains("re-balancing is visible at every nonzero rate"),
+        "re-balancing claim missing:\n{base}"
+    );
+    assert!(
+        base.contains("amplifies the morph-decision cache at fleet scale"),
+        "cache amplification claim missing:\n{base}"
+    );
+    for (threads, table) in &tables[1..] {
+        assert_eq!(table, base, "--threads {threads} r5 table differs");
+    }
+}

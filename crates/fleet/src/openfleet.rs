@@ -1,0 +1,1126 @@
+//! The deterministic fleet-level open-loop simulation behind experiment R5.
+//!
+//! This generalises `mocha-serve`'s single-fabric open-loop queueing model
+//! ([`mocha_serve::openloop`]) to N heterogeneous shards. Each arrival is
+//! routed to one shard by a [`RoutePolicy`], then admitted onto that
+//! shard's FIFO tenant slots exactly as the single-fabric simulation would
+//! (earliest-free-slot, calibrated service times, shed gate). Each shard
+//! owns an *independent* fault domain: its own seeded [`FaultTimeline`]
+//! (seed derived via [`shard_seed`]) and its own [`Quarantine`]. When a
+//! quarantine shrinks a shard's carve window, the evicted residents are
+//! *re-balanced*: each surviving job is re-routed through the same policy
+//! across the whole fleet, and a cross-shard move re-costs the job with the
+//! destination's calibrated service time (plus the cold penalty if the
+//! destination has never seen its template).
+//!
+//! Template warmth is the fleet-level face of the PR-7 decision cache: the
+//! first job of a template on a shard pays `cold_penalty` extra cycles
+//! (the morph decisions have to be made from scratch), later jobs of the
+//! same template on the same shard run at the calibrated time. A
+//! quarantine clears the shard's warm set — the carve geometry changed, so
+//! every cached decision is stale — which is exactly why locality-aware
+//! routing amplifies the cache: it concentrates templates, so fewer
+//! (shard, template) pairs ever pay the cold cost.
+//!
+//! The whole simulation is a sequential pure function of `(fleet spec,
+//! trace, per-shard services, route policy + seed, shed policy, fault
+//! plan, cold penalty)`: byte-identical output at any `--threads` count.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+use mocha_fabric::FabricConfig;
+use mocha_fault::{FaultEvent, FaultKind, FaultPlan, FaultTimeline, Quarantine};
+use mocha_json::{ToJson, Value};
+use mocha_obs::{names, Recorder};
+use mocha_runtime::lease;
+use mocha_serve::shed::ShedPolicy;
+use mocha_serve::{Request, RequestOutcome};
+
+use crate::route::{RouteKind, RoutePolicy, ShardView};
+use crate::spec::{shard_seed, FleetSpec};
+
+/// Fleet open-loop simulation parameters.
+pub struct FleetOpenLoopParams<'a> {
+    /// The fleet: per-shard fabric geometry in canonical order.
+    pub fleet: &'a FleetSpec,
+    /// Requested tenant slots per shard (clamped per shard to what that
+    /// fabric can host).
+    pub slots: usize,
+    /// Admission-control policy, applied on the routed shard.
+    pub shed: ShedPolicy,
+    /// Routing policy.
+    pub route: RouteKind,
+    /// Seed for stochastic routing policies (p2c).
+    pub route_seed: u64,
+    /// Optional per-shard fault schedule. Shard `s` runs the plan with its
+    /// seed stepped by [`shard_seed`], so fault domains are independent.
+    pub faults: Option<&'a FaultPlan>,
+    /// Extra cycles the first job of a template pays on a shard whose
+    /// decision cache has never seen that template.
+    pub cold_penalty: u64,
+    /// Record per-request `fleet/shard<s>/job/<idx>` spans and
+    /// `fleet/shard<s>/fault/<kind>` lost-work spans.
+    pub record_spans: bool,
+}
+
+/// Per-shard tallies of one fleet open-loop run, in canonical shard order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetShardStats {
+    /// Shard label from the spec (`16x16/32b`).
+    pub label: String,
+    /// Tenant slots the shard started with.
+    pub servers: usize,
+    /// Requests the router sent here (including ones shed at admission).
+    pub routed: usize,
+    /// Requests shed at this shard's admission gate.
+    pub shed: usize,
+    /// Jobs that completed here (including re-balanced arrivals).
+    pub completed: usize,
+    /// Jobs that exhausted their fault-retry budget here.
+    pub failed: usize,
+    /// Jobs still queued when the simulation ended (always 0 today: the
+    /// final drain retires everything; kept explicit for the conservation
+    /// identity).
+    pub in_flight: usize,
+    /// Jobs that migrated *in* from a quarantined shard.
+    pub rebalanced_in: usize,
+    /// Jobs that migrated *out* when this shard quarantined.
+    pub rebalanced_out: usize,
+    /// Fault events drawn from this shard's timeline.
+    pub faults_injected: usize,
+    /// Permanent faults admitted into this shard's quarantine.
+    pub quarantined: usize,
+    /// Slot-cycles spent on successful service attempts.
+    pub busy_cycles: u64,
+    /// Slot-cycles discarded to faults.
+    pub lost_cycles: u64,
+    latencies: Vec<u64>, // sorted
+}
+
+impl FleetShardStats {
+    /// Nearest-rank latency percentile over this shard's completions.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        percentile(&self.latencies, p)
+    }
+
+    /// Per-shard conservation: everything routed or migrated in was shed,
+    /// finished, failed, migrated out, or is still in flight.
+    pub fn conserved(&self) -> bool {
+        self.routed + self.rebalanced_in
+            == self.shed + self.completed + self.failed + self.rebalanced_out + self.in_flight
+    }
+}
+
+impl ToJson for FleetShardStats {
+    fn to_json(&self) -> Value {
+        mocha_json::jobj! {
+            "label" => self.label.as_str(),
+            "servers" => self.servers as u64,
+            "routed" => self.routed as u64,
+            "shed" => self.shed as u64,
+            "completed" => self.completed as u64,
+            "failed" => self.failed as u64,
+            "in_flight" => self.in_flight as u64,
+            "rebalanced_in" => self.rebalanced_in as u64,
+            "rebalanced_out" => self.rebalanced_out as u64,
+            "faults_injected" => self.faults_injected as u64,
+            "quarantined" => self.quarantined as u64,
+            "busy_cycles" => self.busy_cycles,
+            "lost_cycles" => self.lost_cycles,
+            "latency_p99" => self.latency_percentile(99.0),
+        }
+    }
+}
+
+/// Aggregate outcome of one fleet open-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOpenLoopReport {
+    /// Routing policy name.
+    pub route: String,
+    /// Shed policy name.
+    pub policy: String,
+    /// Per-shard tallies in canonical shard order.
+    pub shards: Vec<FleetShardStats>,
+    /// Requests offered by the trace.
+    pub offered: usize,
+    /// Requests admitted past the shed gate (on their routed shard).
+    pub admitted: usize,
+    /// Requests shed at admission.
+    pub shed: usize,
+    /// Admitted requests that completed.
+    pub completed: usize,
+    /// Admitted requests dropped after exhausting fault retries.
+    pub failed: usize,
+    /// Completions past their deadline.
+    pub deadline_misses: usize,
+    /// Completions within their deadline.
+    pub in_slo: usize,
+    /// Cross-shard migrations triggered by quarantines.
+    pub rebalanced: usize,
+    /// Admissions that paid the cold decision-cache penalty.
+    pub cold_misses: usize,
+    /// Admissions that landed on a warm (template, shard) pair.
+    pub warm_hits: usize,
+    /// Fault events drawn across all shard timelines.
+    pub faults_injected: usize,
+    /// Permanent faults admitted into quarantine across all shards.
+    pub quarantined: usize,
+    /// Last simulated cycle across the fleet.
+    pub horizon: u64,
+    /// Slot-cycles spent on successful attempts, fleet-wide.
+    pub busy_cycles: u64,
+    /// Slot-cycles discarded to faults, fleet-wide.
+    pub lost_cycles: u64,
+    /// Mean first-start queue wait over completions, cycles.
+    pub mean_queue_wait: f64,
+    /// Every fault event drawn, merged over shards and sorted by
+    /// `(cycle, shard)`: feeds windowed telemetry, not part of the JSON
+    /// report.
+    pub fault_log: Vec<(u64, &'static str)>,
+    latencies: Vec<u64>, // sorted
+}
+
+impl FleetOpenLoopReport {
+    /// Nearest-rank latency percentile over fleet-wide completions.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        percentile(&self.latencies, p)
+    }
+
+    /// In-SLO completions per million cycles of horizon.
+    pub fn goodput_per_mcycle(&self) -> f64 {
+        if self.horizon == 0 {
+            return 0.0;
+        }
+        self.in_slo as f64 * 1e6 / self.horizon as f64
+    }
+
+    /// Fraction of fleet slot-cycles spent serving (successful or
+    /// discarded attempts), over the initial slot counts.
+    pub fn utilization(&self) -> f64 {
+        let servers: u64 = self.shards.iter().map(|s| s.servers as u64).sum();
+        if self.horizon == 0 || servers == 0 {
+            return 0.0;
+        }
+        (self.busy_cycles + self.lost_cycles) as f64 / (self.horizon * servers) as f64
+    }
+}
+
+impl ToJson for FleetOpenLoopReport {
+    fn to_json(&self) -> Value {
+        let shards: Vec<Value> = self.shards.iter().map(|s| s.to_json()).collect();
+        mocha_json::jobj! {
+            "fleet" => true,
+            "route" => self.route.as_str(),
+            "policy" => self.policy.as_str(),
+            "shards" => Value::Arr(shards),
+            "offered" => self.offered as u64,
+            "admitted" => self.admitted as u64,
+            "shed" => self.shed as u64,
+            "completed" => self.completed as u64,
+            "failed" => self.failed as u64,
+            "deadline_misses" => self.deadline_misses as u64,
+            "in_slo" => self.in_slo as u64,
+            "rebalanced" => self.rebalanced as u64,
+            "cold_misses" => self.cold_misses as u64,
+            "warm_hits" => self.warm_hits as u64,
+            "faults_injected" => self.faults_injected as u64,
+            "quarantined" => self.quarantined as u64,
+            "horizon" => self.horizon,
+            "busy_cycles" => self.busy_cycles,
+            "lost_cycles" => self.lost_cycles,
+            "goodput_per_mcycle" => self.goodput_per_mcycle(),
+            "latency_p50" => self.latency_percentile(50.0),
+            "latency_p95" => self.latency_percentile(95.0),
+            "latency_p99" => self.latency_percentile(99.0),
+            "mean_queue_wait" => self.mean_queue_wait,
+            "utilization" => self.utilization(),
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Derives each request's template index: requests sharing `(network,
+/// profile)` share an index, numbered in first-appearance order.
+pub fn template_ids(requests: &[Request]) -> Vec<usize> {
+    let mut keys: Vec<(String, String)> = Vec::new();
+    requests
+        .iter()
+        .map(|r| {
+            let k = (r.spec.network.clone(), r.spec.profile.clone());
+            match keys.iter().position(|x| *x == k) {
+                Some(i) => i,
+                None => {
+                    keys.push(k);
+                    keys.len() - 1
+                }
+            }
+        })
+        .collect()
+}
+
+struct Job {
+    idx: usize,
+    template: usize,
+    arrival: u64,
+    deadline: u64, // u64::MAX = no SLO
+    len: u64,
+    attempt_start: u64,
+    end: u64,
+    first_start: Option<u64>,
+    attempts: usize,
+}
+
+struct Slot {
+    queue: VecDeque<Job>,
+    free_at: u64,
+}
+
+struct Shard {
+    fabric: FabricConfig,
+    label: String,
+    slots: Vec<Slot>,
+    requested: usize,
+    servers: usize,
+    quarantine: Quarantine,
+    /// Scheduled first-attempt starts of admitted-but-unstarted jobs;
+    /// lazily popped, rebuilt when a fault shifts schedules.
+    unstarted: BinaryHeap<Reverse<u64>>,
+    /// Templates whose morph decisions this shard has already cached.
+    warm: BTreeSet<usize>,
+    routed: usize,
+    shed: usize,
+    completed: usize,
+    failed: usize,
+    rebalanced_in: usize,
+    rebalanced_out: usize,
+    faults_injected: usize,
+    quarantined: usize,
+    busy: u64,
+    lost: u64,
+    latencies: Vec<u64>,
+}
+
+impl Shard {
+    fn argmin_free(&self) -> usize {
+        let mut best = 0;
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.free_at < self.slots[best].free_at {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+struct FleetSim<'a> {
+    shards: Vec<Shard>,
+    timelines: Vec<Option<FaultTimeline>>,
+    policy: Box<dyn RoutePolicy>,
+    services: &'a [Vec<u64>],
+    cold_penalty: u64,
+    max_retries: usize,
+    record_spans: bool,
+    outcomes: Vec<RequestOutcome>,
+    admitted: usize,
+    shed: usize,
+    completed: usize,
+    failed: usize,
+    misses: usize,
+    in_slo: usize,
+    rebalanced: usize,
+    cold_misses: usize,
+    warm_hits: usize,
+    wait_sum: u64,
+    horizon: u64,
+    fault_log: Vec<(u64, usize, &'static str)>,
+    latencies: Vec<u64>,
+}
+
+/// Runs the fleet open-loop simulation. `services[s][i]` is the calibrated
+/// service time of request `i` on shard `s` (see
+/// [`mocha_serve::Calibration`]). Returns the aggregate report and the
+/// per-request outcomes in trace order.
+pub fn run_fleet_open_loop<R: Recorder>(
+    p: &FleetOpenLoopParams,
+    requests: &[Request],
+    services: &[Vec<u64>],
+    rec: &mut R,
+) -> (FleetOpenLoopReport, Vec<RequestOutcome>) {
+    assert_eq!(services.len(), p.fleet.len(), "one service table per shard");
+    for svc in services {
+        assert_eq!(svc.len(), requests.len(), "one service time per request");
+    }
+    debug_assert!(requests.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    let templates = template_ids(requests);
+    let n = p.fleet.len();
+    rec.add(names::FLEET_SHARDS, n as u64);
+    let mut sim = FleetSim {
+        shards: p
+            .fleet
+            .shards()
+            .iter()
+            .map(|s| {
+                let servers = p.slots.clamp(1, lease::max_tenants(&s.fabric).max(1));
+                Shard {
+                    fabric: s.fabric,
+                    label: s.label.clone(),
+                    slots: (0..servers)
+                        .map(|_| Slot {
+                            queue: VecDeque::new(),
+                            free_at: 0,
+                        })
+                        .collect(),
+                    requested: servers,
+                    servers,
+                    quarantine: Quarantine::default(),
+                    unstarted: BinaryHeap::new(),
+                    warm: BTreeSet::new(),
+                    routed: 0,
+                    shed: 0,
+                    completed: 0,
+                    failed: 0,
+                    rebalanced_in: 0,
+                    rebalanced_out: 0,
+                    faults_injected: 0,
+                    quarantined: 0,
+                    busy: 0,
+                    lost: 0,
+                    latencies: Vec::new(),
+                }
+            })
+            .collect(),
+        timelines: match p.faults {
+            Some(plan) => p
+                .fleet
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(s, shard)| {
+                    let mut per_shard = plan.clone();
+                    per_shard.seed = shard_seed(plan.seed, s);
+                    Some(FaultTimeline::new(&per_shard, &shard.fabric))
+                })
+                .collect(),
+            None => Vec::new(),
+        },
+        policy: p.route.policy(n, p.route_seed),
+        services,
+        cold_penalty: p.cold_penalty,
+        max_retries: p.faults.map(|f| f.max_retries).unwrap_or(0),
+        record_spans: p.record_spans,
+        outcomes: vec![RequestOutcome::Shed; requests.len()],
+        admitted: 0,
+        shed: 0,
+        completed: 0,
+        failed: 0,
+        misses: 0,
+        in_slo: 0,
+        rebalanced: 0,
+        cold_misses: 0,
+        warm_hits: 0,
+        wait_sum: 0,
+        horizon: 0,
+        fault_log: Vec::new(),
+        latencies: Vec::new(),
+    };
+    if sim.timelines.is_empty() {
+        sim.timelines = (0..n).map(|_| None).collect();
+    }
+
+    for (i, req) in requests.iter().enumerate() {
+        for s in 0..n {
+            sim.drain_faults(s, req.arrival, rec);
+        }
+        for s in 0..n {
+            sim.retire_completed(s, req.arrival, rec);
+        }
+        let views = sim.views_at(req.arrival);
+        let template = templates[i];
+        let chosen = sim.policy.route(template, &views);
+        debug_assert!(chosen < n, "policy returned a valid shard");
+        let depth = views[chosen].depth as u64;
+        rec.add(names::SERVE_REQUESTS, 1);
+        rec.add(names::FLEET_ROUTED, 1);
+        rec.sample(names::HIST_SERVE_QUEUE_DEPTH, depth);
+        rec.sample(names::HIST_FLEET_SHARD_DEPTH, depth);
+        sim.horizon = sim.horizon.max(req.arrival);
+        sim.shards[chosen].routed += 1;
+        let cold = !sim.shards[chosen].warm.contains(&template);
+        let service = services[chosen][i] + if cold { p.cold_penalty } else { 0 };
+        let j = sim.shards[chosen].argmin_free();
+        let start = req.arrival.max(sim.shards[chosen].slots[j].free_at);
+        let deadline = req.deadline.unwrap_or(u64::MAX);
+        let shed = match p.shed {
+            ShedPolicy::None => false,
+            ShedPolicy::Queue(cap) => views[chosen].depth >= cap,
+            ShedPolicy::Deadline => {
+                deadline != u64::MAX
+                    && start.saturating_add(service) > req.arrival.saturating_add(deadline)
+            }
+        };
+        if shed {
+            sim.shed += 1;
+            sim.shards[chosen].shed += 1;
+            rec.add(names::SERVE_SHED, 1);
+            if matches!(p.shed, ShedPolicy::Deadline) {
+                rec.sample(
+                    names::HIST_SERVE_SHED_SLACK,
+                    start + service - (req.arrival + deadline),
+                );
+            }
+            continue; // outcome stays Shed; the shard stays cold
+        }
+        sim.admitted += 1;
+        rec.add(names::SERVE_ADMITTED, 1);
+        if cold {
+            sim.cold_misses += 1;
+            rec.add(names::FLEET_COLD_MISSES, 1);
+            sim.shards[chosen].warm.insert(template);
+        } else {
+            sim.warm_hits += 1;
+            rec.add(names::FLEET_WARM_HITS, 1);
+        }
+        sim.shards[chosen].slots[j].queue.push_back(Job {
+            idx: i,
+            template,
+            arrival: req.arrival,
+            deadline,
+            len: service,
+            attempt_start: start,
+            end: start + service,
+            first_start: None,
+            attempts: 0,
+        });
+        sim.shards[chosen].slots[j].free_at = start + service;
+        if start > req.arrival {
+            sim.shards[chosen].unstarted.push(Reverse(start));
+        }
+    }
+
+    // Trailing faults: keep drawing on every shard while events land
+    // before the fleet's last scheduled completion. Re-balancing can
+    // extend another shard's schedule, so sweep until a full pass makes no
+    // progress.
+    loop {
+        let last = sim
+            .shards
+            .iter()
+            .flat_map(|sh| sh.slots.iter().map(|s| s.free_at))
+            .max()
+            .unwrap_or(0);
+        let mut progressed = false;
+        for s in 0..n {
+            let due = sim.timelines[s]
+                .as_ref()
+                .and_then(|tl| tl.peek())
+                .is_some_and(|ev| ev.at <= last);
+            if due {
+                let ev = sim.timelines[s]
+                    .as_mut()
+                    .and_then(|tl| tl.pop())
+                    .expect("peeked");
+                sim.apply_fault(s, ev, rec);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for s in 0..n {
+        sim.retire_completed(s, u64::MAX, rec);
+    }
+
+    let FleetSim {
+        shards,
+        outcomes,
+        admitted,
+        shed,
+        completed,
+        failed,
+        misses,
+        in_slo,
+        rebalanced,
+        cold_misses,
+        warm_hits,
+        wait_sum,
+        horizon,
+        mut fault_log,
+        mut latencies,
+        ..
+    } = sim;
+    fault_log.sort_by_key(|&(at, shard, _)| (at, shard));
+    latencies.sort_unstable();
+    let shard_stats: Vec<FleetShardStats> = shards
+        .into_iter()
+        .map(|mut sh| {
+            sh.latencies.sort_unstable();
+            FleetShardStats {
+                label: sh.label,
+                servers: sh.servers,
+                routed: sh.routed,
+                shed: sh.shed,
+                completed: sh.completed,
+                failed: sh.failed,
+                in_flight: sh.slots.iter().map(|s| s.queue.len()).sum(),
+                rebalanced_in: sh.rebalanced_in,
+                rebalanced_out: sh.rebalanced_out,
+                faults_injected: sh.faults_injected,
+                quarantined: sh.quarantined,
+                busy_cycles: sh.busy,
+                lost_cycles: sh.lost,
+                latencies: sh.latencies,
+            }
+        })
+        .collect();
+    let report = FleetOpenLoopReport {
+        route: p.route.name().to_string(),
+        policy: p.shed.name(),
+        offered: requests.len(),
+        admitted,
+        shed,
+        completed,
+        failed,
+        deadline_misses: misses,
+        in_slo,
+        rebalanced,
+        cold_misses,
+        warm_hits,
+        faults_injected: shard_stats.iter().map(|s| s.faults_injected).sum(),
+        quarantined: shard_stats.iter().map(|s| s.quarantined).sum(),
+        horizon,
+        busy_cycles: shard_stats.iter().map(|s| s.busy_cycles).sum(),
+        lost_cycles: shard_stats.iter().map(|s| s.lost_cycles).sum(),
+        mean_queue_wait: if completed == 0 {
+            0.0
+        } else {
+            wait_sum as f64 / completed as f64
+        },
+        fault_log: fault_log.into_iter().map(|(at, _, k)| (at, k)).collect(),
+        latencies,
+        shards: shard_stats,
+    };
+    (report, outcomes)
+}
+
+impl FleetSim<'_> {
+    /// Instantaneous shard views at cycle `t`, in canonical shard order.
+    fn views_at(&mut self, t: u64) -> Vec<ShardView> {
+        self.shards
+            .iter_mut()
+            .map(|sh| {
+                while let Some(&Reverse(s)) = sh.unstarted.peek() {
+                    if s > t {
+                        break;
+                    }
+                    sh.unstarted.pop();
+                }
+                ShardView {
+                    depth: sh.unstarted.len(),
+                    backlog: sh.slots.iter().map(|s| s.free_at.saturating_sub(t)).sum(),
+                }
+            })
+            .collect()
+    }
+
+    fn drain_faults<R: Recorder>(&mut self, s: usize, upto: u64, rec: &mut R) {
+        loop {
+            let due = self.timelines[s]
+                .as_ref()
+                .and_then(|tl| tl.peek())
+                .is_some_and(|ev| ev.at <= upto);
+            if !due {
+                break;
+            }
+            let ev = self.timelines[s]
+                .as_mut()
+                .and_then(|tl| tl.pop())
+                .expect("peeked");
+            self.apply_fault(s, ev, rec);
+        }
+    }
+
+    fn retire_completed<R: Recorder>(&mut self, s: usize, now: u64, rec: &mut R) {
+        for v in 0..self.shards[s].slots.len() {
+            while let Some(front) = self.shards[s].slots[v].queue.front() {
+                if front.end > now {
+                    break;
+                }
+                let job = self.shards[s].slots[v].queue.pop_front().expect("checked");
+                self.complete(s, job, rec);
+            }
+        }
+    }
+
+    fn complete<R: Recorder>(&mut self, s: usize, job: Job, rec: &mut R) {
+        let first = job.first_start.unwrap_or(job.attempt_start);
+        let latency = job.end - job.arrival;
+        let wait = first - job.arrival;
+        self.completed += 1;
+        self.wait_sum += wait;
+        self.horizon = self.horizon.max(job.end);
+        self.latencies.push(latency);
+        let sh = &mut self.shards[s];
+        sh.completed += 1;
+        sh.busy += job.len;
+        sh.latencies.push(latency);
+        rec.sample(names::HIST_JOB_LATENCY, latency);
+        rec.sample(names::HIST_QUEUE_WAIT, wait);
+        if latency <= job.deadline {
+            self.in_slo += 1;
+        } else {
+            self.misses += 1;
+            rec.add(names::SERVE_DEADLINE_MISSES, 1);
+        }
+        if self.record_spans {
+            let idx = job.idx;
+            rec.span(|| format!("fleet/shard{s}/job/{idx}"), first, job.end);
+        }
+        self.outcomes[job.idx] = RequestOutcome::Done {
+            start: first,
+            finish: job.end,
+        };
+    }
+
+    fn fail(&mut self, s: usize, job: Job, at: u64) {
+        self.failed += 1;
+        self.shards[s].failed += 1;
+        self.outcomes[job.idx] = RequestOutcome::Failed { at };
+    }
+
+    /// Slots of shard `s` a fault's hardware scope maps onto; same
+    /// projection as the single-fabric open loop, against this shard's own
+    /// geometry.
+    fn victims(&self, s: usize, kind: &FaultKind) -> Vec<usize> {
+        let sh = &self.shards[s];
+        let n = sh.slots.len();
+        let clamp = |i: usize| i.min(n - 1);
+        match kind {
+            FaultKind::PeRect { col0, .. } => vec![clamp(col0 * n / sh.fabric.pe_cols.max(1))],
+            FaultKind::SpmBank { bank } => vec![clamp(bank * n / sh.fabric.spm_banks.max(1))],
+            FaultKind::NocLane { lane } => vec![lane % n],
+            FaultKind::DmaEngine { engine } => vec![engine % n],
+            FaultKind::DramChannel => (0..n).collect(),
+        }
+    }
+
+    fn apply_fault<R: Recorder>(&mut self, s: usize, ev: FaultEvent, rec: &mut R) {
+        self.shards[s].faults_injected += 1;
+        self.fault_log.push((ev.at, s, ev.kind.name()));
+        rec.add(names::FAULT_INJECTED, 1);
+        rec.add(
+            if ev.permanent {
+                names::FAULT_PERMANENT
+            } else {
+                names::FAULT_TRANSIENT
+            },
+            1,
+        );
+        rec.add(kind_counter(&ev.kind), 1);
+        // Work that finished strictly before the fault commits first.
+        self.retire_completed(s, ev.at, rec);
+        let mut changed = false;
+        for v in self.victims(s, &ev.kind) {
+            changed |= self.disrupt(s, v, ev.at, &ev.kind, rec);
+        }
+        let fabric = self.shards[s].fabric;
+        if ev.permanent && self.shards[s].quarantine.admit(&ev.kind, &fabric) {
+            self.shards[s].quarantined += 1;
+            rec.add(names::FAULT_QUARANTINED, 1);
+            // The carve geometry changed: every cached morph decision on
+            // this shard is stale, and routing must stop chasing it.
+            let evicted_templates = self.shards[s].warm.len() as u64;
+            if evicted_templates > 0 {
+                rec.add(names::FLEET_WARM_EVICTIONS, evicted_templates);
+            }
+            self.shards[s].warm.clear();
+            self.policy.forget_shard(s);
+            let cap = self.shards[s]
+                .requested
+                .min(self.shards[s].quarantine.window(&fabric).max_tenants())
+                .max(1);
+            while self.shards[s].slots.len() > cap {
+                self.evict_last(s, ev.at, &ev.kind, rec);
+                changed = true;
+            }
+        }
+        if changed {
+            self.rebuild_unstarted(s, ev.at);
+        }
+    }
+
+    /// Interrupts the attempt in progress on slot `v` of shard `s` at `t`.
+    fn disrupt<R: Recorder>(
+        &mut self,
+        s: usize,
+        v: usize,
+        t: u64,
+        kind: &FaultKind,
+        rec: &mut R,
+    ) -> bool {
+        let Some(k) = self.shards[s].slots[v]
+            .queue
+            .iter()
+            .position(|j| j.attempt_start <= t && t < j.end)
+        else {
+            return false;
+        };
+        rec.add(names::FAULT_HITS, 1);
+        let failed;
+        {
+            let job = &mut self.shards[s].slots[v].queue[k];
+            let lost = t - job.attempt_start;
+            rec.add(names::FAULT_LOST_CYCLES, lost);
+            if self.record_spans {
+                let kn = kind.name();
+                rec.span(
+                    || format!("fleet/shard{s}/fault/{kn}"),
+                    job.attempt_start,
+                    t,
+                );
+            }
+            if job.first_start.is_none() {
+                job.first_start = Some(job.attempt_start);
+            }
+            job.attempts += 1;
+            failed = job.attempts > self.max_retries;
+            if !failed {
+                rec.add(names::FAULT_RETRIES, 1);
+                job.attempt_start = t;
+                job.end = t + job.len;
+            }
+            self.shards[s].lost += lost;
+        }
+        if failed {
+            let job = self.shards[s].slots[v].queue.remove(k).expect("in range");
+            self.fail(s, job, t);
+            let prev_end = if k == 0 {
+                t
+            } else {
+                self.shards[s].slots[v].queue[k - 1].end
+            };
+            self.reflow(s, v, k, prev_end);
+        } else {
+            let prev_end = self.shards[s].slots[v].queue[k].end;
+            self.reflow(s, v, k + 1, prev_end);
+        }
+        true
+    }
+
+    fn reflow(&mut self, s: usize, v: usize, from: usize, mut prev_end: u64) {
+        let slot = &mut self.shards[s].slots[v];
+        for job in slot.queue.iter_mut().skip(from) {
+            let start = prev_end.max(job.arrival);
+            job.attempt_start = start;
+            job.end = start + job.len;
+            prev_end = job.end;
+        }
+        slot.free_at = slot.queue.back().map(|j| j.end).unwrap_or(prev_end);
+    }
+
+    /// Removes shard `s`'s last slot (quarantine shrank the carve window)
+    /// and *re-balances* its residents: each surviving job is re-routed
+    /// through the fleet policy, so healthy shards absorb the displaced
+    /// work. A cross-shard move is re-costed with the destination's
+    /// calibrated service time (plus the cold penalty if the destination
+    /// has never seen the template).
+    fn evict_last<R: Recorder>(&mut self, s: usize, t: u64, kind: &FaultKind, rec: &mut R) {
+        let mut slot = self.shards[s]
+            .slots
+            .pop()
+            .expect("capacity is at least one");
+        while let Some(mut job) = slot.queue.pop_front() {
+            rec.add(names::FAULT_EVICTIONS, 1);
+            if job.attempt_start <= t {
+                // The active attempt loses its work.
+                let lost = t - job.attempt_start;
+                self.shards[s].lost += lost;
+                rec.add(names::FAULT_LOST_CYCLES, lost);
+                if self.record_spans {
+                    let kn = kind.name();
+                    rec.span(
+                        || format!("fleet/shard{s}/fault/{kn}"),
+                        job.attempt_start,
+                        t,
+                    );
+                }
+                if job.first_start.is_none() {
+                    job.first_start = Some(job.attempt_start);
+                }
+                job.attempts += 1;
+                if job.attempts > self.max_retries {
+                    self.fail(s, job, t);
+                    continue;
+                }
+                rec.add(names::FAULT_RETRIES, 1);
+            }
+            let views = self.views_at(t);
+            let dest = self.policy.route(job.template, &views);
+            if dest != s {
+                self.rebalanced += 1;
+                rec.add(names::FLEET_REBALANCED, 1);
+                self.shards[s].rebalanced_out += 1;
+                self.shards[dest].rebalanced_in += 1;
+                let cold = !self.shards[dest].warm.contains(&job.template);
+                job.len = self.services[dest][job.idx] + if cold { self.cold_penalty } else { 0 };
+                if cold {
+                    self.cold_misses += 1;
+                    rec.add(names::FLEET_COLD_MISSES, 1);
+                    self.shards[dest].warm.insert(job.template);
+                } else {
+                    self.warm_hits += 1;
+                    rec.add(names::FLEET_WARM_HITS, 1);
+                }
+            }
+            let sh = &mut self.shards[dest];
+            let j = sh.argmin_free();
+            let start = t.max(sh.slots[j].free_at).max(job.arrival);
+            job.attempt_start = start;
+            job.end = start + job.len;
+            sh.slots[j].free_at = job.end;
+            if job.first_start.is_none() && start > t {
+                sh.unstarted.push(Reverse(start));
+            }
+            sh.slots[j].queue.push_back(job);
+        }
+    }
+
+    /// Re-derives shard `s`'s unstarted-start heap after schedules shifted.
+    fn rebuild_unstarted(&mut self, s: usize, t: u64) {
+        let sh = &mut self.shards[s];
+        sh.unstarted.clear();
+        for slot in &sh.slots {
+            for job in &slot.queue {
+                if job.first_start.is_none() && job.attempt_start > t {
+                    sh.unstarted.push(Reverse(job.attempt_start));
+                }
+            }
+        }
+    }
+}
+
+fn kind_counter(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::PeRect { .. } => names::FAULT_INJECTED_PE,
+        FaultKind::SpmBank { .. } => names::FAULT_INJECTED_SPM,
+        FaultKind::NocLane { .. } => names::FAULT_INJECTED_NOC,
+        FaultKind::DmaEngine { .. } => names::FAULT_INJECTED_DMA,
+        FaultKind::DramChannel => names::FAULT_INJECTED_DRAM,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocha_core::Objective;
+    use mocha_obs::{MemRecorder, NoopRecorder};
+    use mocha_runtime::{JobSpec, Priority};
+
+    fn req(i: usize, arrival: u64, deadline: Option<u64>) -> Request {
+        Request {
+            arrival,
+            tenant: (i % 3) as u64,
+            deadline,
+            spec: JobSpec {
+                network: ["tiny", "lenet5", "tinyconv"][i % 3].to_string(),
+                profile: "nominal".into(),
+                objective: Objective::Edp,
+                priority: Priority::Normal,
+                seed: i as u64,
+            },
+        }
+    }
+
+    /// `n` arrivals every `gap` cycles over 3 templates; shard 0 serves at
+    /// `base`, every further shard 40 % slower per index.
+    fn trace(
+        fleet: &FleetSpec,
+        n: usize,
+        gap: u64,
+        base: u64,
+        deadline: Option<u64>,
+    ) -> (Vec<Request>, Vec<Vec<u64>>) {
+        let reqs: Vec<Request> = (0..n).map(|i| req(i, i as u64 * gap, deadline)).collect();
+        let services = (0..fleet.len())
+            .map(|s| vec![base + s as u64 * base * 2 / 5; n])
+            .collect();
+        (reqs, services)
+    }
+
+    fn fleet3() -> FleetSpec {
+        FleetSpec::parse("preset=quad/preset=mocha,count=2").unwrap()
+    }
+
+    fn params<'a>(
+        fleet: &'a FleetSpec,
+        route: RouteKind,
+        faults: Option<&'a FaultPlan>,
+    ) -> FleetOpenLoopParams<'a> {
+        FleetOpenLoopParams {
+            fleet,
+            slots: 4,
+            shed: ShedPolicy::None,
+            route,
+            route_seed: 42,
+            faults,
+            cold_penalty: 200,
+            record_spans: false,
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_conserve_requests() {
+        let fleet = fleet3();
+        let plan = FaultPlan::parse("rate=30,seed=5,transient=0.3").unwrap();
+        let (reqs, svc) = trace(&fleet, 600, 150, 1_000, Some(6_000));
+        for route in RouteKind::all() {
+            let p = params(&fleet, route, Some(&plan));
+            let mut rec_a = MemRecorder::new();
+            let mut rec_b = MemRecorder::new();
+            let (a, outs) = run_fleet_open_loop(&p, &reqs, &svc, &mut rec_a);
+            let (b, _) = run_fleet_open_loop(&p, &reqs, &svc, &mut rec_b);
+            assert_eq!(a, b, "{route:?}");
+            assert_eq!(rec_a.to_jsonl(), rec_b.to_jsonl(), "{route:?}");
+            // Fleet-level conservation.
+            assert_eq!(a.offered, a.admitted + a.shed, "{route:?}");
+            assert_eq!(a.admitted, a.completed + a.failed, "{route:?}");
+            let in_flight: usize = a.shards.iter().map(|s| s.in_flight).sum();
+            assert_eq!(
+                a.offered,
+                a.shards
+                    .iter()
+                    .map(|s| s.shed + s.completed + s.failed)
+                    .sum::<usize>()
+                    + in_flight,
+                "{route:?}"
+            );
+            // Per-shard conservation, including migrations.
+            for sh in &a.shards {
+                assert!(sh.conserved(), "{route:?} shard {} conserves", sh.label);
+            }
+            assert_eq!(
+                a.shards.iter().map(|s| s.rebalanced_in).sum::<usize>(),
+                a.shards.iter().map(|s| s.rebalanced_out).sum::<usize>(),
+            );
+            assert_eq!(a.offered, a.shards.iter().map(|s| s.routed).sum::<usize>());
+            let shed_outs = outs
+                .iter()
+                .filter(|o| matches!(o, RequestOutcome::Shed))
+                .count();
+            assert_eq!(shed_outs, a.shed);
+        }
+    }
+
+    #[test]
+    fn quarantine_on_one_shard_rebalances_onto_the_others() {
+        let fleet = fleet3();
+        // High permanent-fault rate: quarantines are certain.
+        let plan = FaultPlan::parse("rate=80,seed=7,transient=0.1").unwrap();
+        let (reqs, svc) = trace(&fleet, 500, 200, 1_200, Some(8_000));
+        let p = params(&fleet, RouteKind::PowerOfTwo, Some(&plan));
+        let mut rec = MemRecorder::new();
+        let (r, _) = run_fleet_open_loop(&p, &reqs, &svc, &mut rec);
+        assert!(r.quarantined > 0, "permanent faults quarantine");
+        assert!(r.rebalanced > 0, "quarantine displaces work across shards");
+        assert_eq!(rec.counter(names::FLEET_REBALANCED), r.rebalanced as u64);
+        assert_eq!(rec.counter(names::FLEET_ROUTED), r.offered as u64);
+        assert_eq!(rec.counter(names::FLEET_SHARDS), fleet.len() as u64);
+    }
+
+    #[test]
+    fn locality_routing_pays_fewer_cold_misses_than_round_robin() {
+        // Two shards against three templates: round-robin smears every
+        // template over both shards, locality pins each to one.
+        let fleet = FleetSpec::parse("preset=quad/preset=mocha").unwrap();
+        let (reqs, svc) = trace(&fleet, 300, 2_000, 1_000, None);
+        let (loc, _) = run_fleet_open_loop(
+            &params(&fleet, RouteKind::Locality, None),
+            &reqs,
+            &svc,
+            &mut NoopRecorder,
+        );
+        let (rr, _) = run_fleet_open_loop(
+            &params(&fleet, RouteKind::RoundRobin, None),
+            &reqs,
+            &svc,
+            &mut NoopRecorder,
+        );
+        assert!(
+            loc.cold_misses < rr.cold_misses,
+            "locality concentrates templates: {} vs {} cold misses",
+            loc.cold_misses,
+            rr.cold_misses
+        );
+        assert!(loc.warm_hits > rr.warm_hits);
+    }
+
+    #[test]
+    fn fleet_of_one_routes_everything_to_shard_zero() {
+        let fleet = FleetSpec::parse("preset=quad").unwrap();
+        let (reqs, svc) = trace(&fleet, 100, 500, 1_000, Some(4_000));
+        for route in RouteKind::all() {
+            let (r, _) =
+                run_fleet_open_loop(&params(&fleet, route, None), &reqs, &svc, &mut NoopRecorder);
+            assert_eq!(r.shards[0].routed, 100, "{route:?}");
+            assert_eq!(r.rebalanced, 0);
+        }
+    }
+
+    #[test]
+    fn spans_cover_completions_and_lost_work_under_fleet_namespace() {
+        let fleet = fleet3();
+        let plan = FaultPlan::parse("rate=40,seed=3,transient=0.5").unwrap();
+        let (reqs, svc) = trace(&fleet, 120, 400, 1_000, None);
+        let mut p = params(&fleet, RouteKind::RoundRobin, Some(&plan));
+        p.record_spans = true;
+        let mut rec = MemRecorder::new();
+        let (r, _) = run_fleet_open_loop(&p, &reqs, &svc, &mut rec);
+        let jobs = rec
+            .spans()
+            .iter()
+            .filter(|s| s.path.starts_with("fleet/shard") && s.path.contains("/job/"))
+            .count();
+        assert_eq!(jobs, r.completed);
+        assert!(
+            rec.spans().iter().all(|s| s.path.starts_with("fleet/")),
+            "every span is fleet-namespaced"
+        );
+        if r.lost_cycles > 0 {
+            assert!(rec.spans().iter().any(|s| s.path.contains("/fault/")));
+        }
+    }
+
+    #[test]
+    fn fault_log_is_sorted_and_feeds_windowing() {
+        let fleet = fleet3();
+        let plan = FaultPlan::parse("rate=50,seed=9").unwrap();
+        let (reqs, svc) = trace(&fleet, 300, 250, 1_000, Some(6_000));
+        let p = params(&fleet, RouteKind::Locality, Some(&plan));
+        let (r, outs) = run_fleet_open_loop(&p, &reqs, &svc, &mut NoopRecorder);
+        assert!(r.fault_log.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(r.fault_log.len(), r.faults_injected);
+        let m = mocha_serve::windows_from_open_loop(
+            mocha_obs::WindowSpec::tumbling(10_000),
+            &reqs,
+            &outs,
+            &r.fault_log,
+            p.shed,
+        );
+        assert_eq!(
+            m.windows.counter_total(names::SERVE_REQUESTS),
+            reqs.len() as u64
+        );
+        assert_eq!(
+            m.windows.counter_total(names::FAULT_INJECTED),
+            r.faults_injected as u64
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Fleet spec: the user-facing description of a heterogeneous fleet.
+//!
+//! A fleet is an ordered list of fabric *instances* (shards) of possibly
+//! differing grid/SPM geometry. The CLI grammar mirrors [`FaultPlan`]'s
+//! strict key=value contract: instances are `/`-separated, each instance is
+//! a comma list of `key=value` pairs, every key must be known, and every
+//! value must be well-formed and in range — one-line errors, exit 2 at the
+//! CLI boundary.
+//!
+//! ```text
+//! --fleet preset=quad/preset=mocha,count=2
+//! --fleet grid=16,banks=32/grid=8,banks=16,kb=16
+//! ```
+//!
+//! [`FaultPlan`]: mocha_fault::FaultPlan
+
+use mocha_fabric::FabricConfig;
+
+/// Hard cap on fleet size: large enough for every experiment, small enough
+/// that a typo'd `count=` cannot allocate a silly simulation.
+pub const MAX_SHARDS: usize = 64;
+
+/// One fabric instance of the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSpec {
+    /// Structural geometry of this instance.
+    pub fabric: FabricConfig,
+    /// Short human label (`16x16/32b`), used by reports and tables.
+    pub label: String,
+}
+
+/// An ordered, validated list of fabric instances. Shard order is the
+/// canonical order every fleet report and recorder stream merges in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    shards: Vec<ShardSpec>,
+}
+
+impl FleetSpec {
+    /// Parse a CLI fleet spec. Strict: instances are `/`-separated comma
+    /// lists of `key=value` pairs where every key is one of
+    /// `preset|grid|banks|kb|lanes|dma|codecs|count`; each instance starts
+    /// from its preset (default `mocha`) and applies overrides; every
+    /// resulting fabric must validate; 1..=[`MAX_SHARDS`] shards total.
+    pub fn parse(spec: &str) -> Result<FleetSpec, String> {
+        if spec.trim().is_empty() {
+            return Err(
+                "fleet spec is empty (expected /-separated instances of preset=P,grid=N,banks=N,kb=N,lanes=N,dma=N,codecs=N,count=N)"
+                    .into(),
+            );
+        }
+        let mut shards = Vec::new();
+        for part in spec.split('/') {
+            if part.is_empty() {
+                return Err("fleet spec has an empty instance (stray '/')".into());
+            }
+            let mut fabric = FabricConfig::mocha();
+            let mut count = 1usize;
+            for item in part.split(',') {
+                let (key, value) = item
+                    .split_once('=')
+                    .ok_or_else(|| format!("fleet spec item '{item}' is not key=value"))?;
+                match key {
+                    "preset" => {
+                        fabric = match value {
+                            "mocha" => FabricConfig::mocha(),
+                            "quad" => FabricConfig::mocha_quad(),
+                            "baseline" => FabricConfig::baseline(),
+                            other => {
+                                return Err(format!(
+                                    "unknown fleet preset '{other}' (expected mocha|quad|baseline)"
+                                ))
+                            }
+                        };
+                    }
+                    "grid" => {
+                        let n = parse_dim("fleet grid", value, 1, 64)?;
+                        fabric.pe_rows = n;
+                        fabric.pe_cols = n;
+                    }
+                    "banks" => fabric.spm_banks = parse_dim("fleet banks", value, 1, 256)?,
+                    "kb" => fabric.spm_bank_kb = parse_dim("fleet bank kb", value, 1, 1024)?,
+                    "lanes" => fabric.noc_dma_lanes = parse_dim("fleet lanes", value, 1, 64)?,
+                    "dma" => fabric.dma_engines = parse_dim("fleet dma", value, 1, 64)?,
+                    "codecs" => fabric.codec_engines = parse_dim("fleet codecs", value, 0, 256)?,
+                    "count" => count = parse_dim("fleet count", value, 1, MAX_SHARDS)?,
+                    other => {
+                        return Err(format!(
+                            "unknown fleet spec key '{other}' (expected preset|grid|banks|kb|lanes|dma|codecs|count)"
+                        ));
+                    }
+                }
+            }
+            fabric
+                .validate()
+                .map_err(|e| format!("fleet instance '{part}' is invalid: {e}"))?;
+            let label = format!(
+                "{}x{}/{}b",
+                fabric.pe_rows, fabric.pe_cols, fabric.spm_banks
+            );
+            for _ in 0..count {
+                shards.push(ShardSpec {
+                    fabric,
+                    label: label.clone(),
+                });
+            }
+        }
+        if shards.len() > MAX_SHARDS {
+            return Err(format!(
+                "fleet spec names {} shards, the maximum is {MAX_SHARDS}",
+                shards.len()
+            ));
+        }
+        Ok(FleetSpec { shards })
+    }
+
+    /// A fleet of exactly one instance — the off-switch configuration the
+    /// fleet-of-1 differential tests pin against the single-fabric runtime.
+    pub fn single(fabric: FabricConfig) -> FleetSpec {
+        FleetSpec {
+            shards: vec![ShardSpec {
+                label: format!(
+                    "{}x{}/{}b",
+                    fabric.pe_rows, fabric.pe_cols, fabric.spm_banks
+                ),
+                fabric,
+            }],
+        }
+    }
+
+    /// The shards in canonical (spec) order.
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A spec is never empty once parsed; this exists for clippy symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+}
+
+/// Deterministic per-shard derivation of a base seed: shard 0 keeps the
+/// base seed *unchanged* (so a fleet of one replays the single-fabric run
+/// bit for bit), later shards step by the SplitMix64 increment.
+pub fn shard_seed(base: u64, shard: usize) -> u64 {
+    base.wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn parse_dim(what: &str, value: &str, min: usize, max: usize) -> Result<usize, String> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| format!("{what} '{value}' is not an integer"))?;
+    if n < min || n > max {
+        return Err(format!("{what} must be in [{min}, {max}], got '{value}'"));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_presets_overrides_and_counts() {
+        let f = FleetSpec::parse("preset=quad/preset=mocha,count=2").expect("valid");
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.shards()[0].fabric, FabricConfig::mocha_quad());
+        assert_eq!(f.shards()[1].fabric, FabricConfig::mocha());
+        assert_eq!(f.shards()[1], f.shards()[2]);
+        assert_eq!(f.shards()[0].label, "16x16/32b");
+
+        let f = FleetSpec::parse("grid=16,banks=32,kb=16").expect("valid");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.shards()[0].fabric.pe_rows, 16);
+        assert_eq!(f.shards()[0].fabric.spm_bank_kb, 16);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs_with_one_line_errors() {
+        for bad in [
+            "",
+            " ",
+            "grid",
+            "grid=0",
+            "grid=banana",
+            "grid=9999",
+            "preset=nope",
+            "grid=8,bogus=1",
+            "grid=8//grid=8",
+            "grid=8,count=0",
+            "grid=8,count=65",
+            "preset=mocha,count=33/preset=mocha,count=32",
+        ] {
+            let err = FleetSpec::parse(bad).expect_err(bad);
+            assert!(!err.contains('\n'), "error for '{bad}' is one line: {err}");
+        }
+    }
+
+    #[test]
+    fn every_parsed_fabric_validates() {
+        let f = FleetSpec::parse("grid=4,banks=4,lanes=2,dma=2,codecs=0/preset=baseline").unwrap();
+        for s in f.shards() {
+            s.fabric.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn shard_zero_keeps_the_base_seed() {
+        assert_eq!(shard_seed(7, 0), 7);
+        assert_ne!(shard_seed(7, 1), 7);
+        assert_ne!(shard_seed(7, 1), shard_seed(7, 2));
+    }
+
+    #[test]
+    fn single_matches_a_parsed_one_instance_spec() {
+        assert_eq!(
+            FleetSpec::single(FabricConfig::mocha_quad()),
+            FleetSpec::parse("preset=quad").unwrap()
+        );
+    }
+}

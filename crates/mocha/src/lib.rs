@@ -32,6 +32,10 @@
 //! * [`serve`] — the serving tier above `runtime`: a deterministic TCP
 //!   reactor multiplexing concurrent clients, service-time calibration,
 //!   SLO-aware load shedding, and seeded heavy-tailed open-loop traffic;
+//! * [`fleet`] — the fleet layer above `runtime`/`serve`: N heterogeneous
+//!   fabric instances behind one deterministic router (round-robin,
+//!   locality-aware, power-of-two-choices), with per-shard fault domains
+//!   and quarantine-triggered re-balancing;
 //! * [`engine`] — the deterministic parallel execution engine: a fixed-size
 //!   worker pool whose canonical-order reduction keeps every output
 //!   byte-identical across worker counts;
@@ -68,6 +72,7 @@ pub use mocha_energy as energy;
 pub use mocha_engine as engine;
 pub use mocha_fabric as fabric;
 pub use mocha_fault as fault;
+pub use mocha_fleet as fleet;
 pub use mocha_model as model;
 pub use mocha_obs as obs;
 pub use mocha_runtime as runtime;

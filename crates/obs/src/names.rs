@@ -12,6 +12,10 @@
 //! <group path>/tile/<i>/{load,compute,store} tile pipeline stages
 //! fault/<kind>                              fabric time discarded to one fault
 //!                                           (kind ∈ pe|spm|noc|dma|dram)
+//! fleet/shard<s>                            one shard's slice of a fleet batch run
+//! fleet/shard<s>/job/<idx>                  one completed request, fleet open loop
+//! fleet/shard<s>/fault/<kind>               shard time discarded to one fault,
+//!                                           fleet open loop
 //! ```
 
 // ---- fabric: memory-path and datapath event counters ----
@@ -160,6 +164,26 @@ pub const HIST_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 /// deadline (histogram; deadline policy only).
 pub const HIST_SERVE_SHED_SLACK: &str = "serve.shed_slack_cycles";
 
+// ---- fleet: router and cross-shard counters ----
+
+/// Shards the fleet router started with (recorded once per run).
+pub const FLEET_SHARDS: &str = "fleet.shards";
+/// Requests/submissions routed to a shard (one per arrival).
+pub const FLEET_ROUTED: &str = "fleet.routed";
+/// Jobs migrated to a different shard when a quarantine shrank their
+/// original shard's carve window.
+pub const FLEET_REBALANCED: &str = "fleet.rebalanced";
+/// Admissions that paid the cold decision-cache penalty (first job of a
+/// template on a shard).
+pub const FLEET_COLD_MISSES: &str = "fleet.cold_misses";
+/// Admissions that landed on a warm (template, shard) pair.
+pub const FLEET_WARM_HITS: &str = "fleet.warm_hits";
+/// Warm template entries dropped because a quarantine changed a shard's
+/// carve geometry (all cached morph decisions went stale).
+pub const FLEET_WARM_EVICTIONS: &str = "fleet.warm_evictions";
+/// Queue depth of the chosen shard at each routing decision (histogram).
+pub const HIST_FLEET_SHARD_DEPTH: &str = "fleet.shard_queue_depth";
+
 // ---- slo: windowed error-budget tracking ----
 
 /// Error-budget burn alerts raised (rising edges of the fast/slow pair —
@@ -241,6 +265,13 @@ pub const ALL: &[&str] = &[
     SERVE_DEADLINE_MISSES,
     HIST_SERVE_QUEUE_DEPTH,
     HIST_SERVE_SHED_SLACK,
+    FLEET_SHARDS,
+    FLEET_ROUTED,
+    FLEET_REBALANCED,
+    FLEET_COLD_MISSES,
+    FLEET_WARM_HITS,
+    FLEET_WARM_EVICTIONS,
+    HIST_FLEET_SHARD_DEPTH,
     SLO_ALERTS,
     HIST_GROUP_CYCLES,
     HIST_JOB_LATENCY,

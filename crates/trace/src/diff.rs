@@ -179,6 +179,7 @@ mod tests {
             fault_events: 0,
             fault_lost_cycles: 0,
             windowed: None,
+            fleet: None,
         }
     }
 

@@ -14,6 +14,15 @@ use mocha_json::Value;
 /// Marker key identifying a serialized profile (value: format version).
 pub const PROFILE_MARKER: &str = "mocha_trace_profile";
 
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
+fn nearest_rank(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
+}
+
 /// Per-layer-group row of the profile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerRow {
@@ -54,6 +63,37 @@ pub struct SloProfile {
     pub burn_peak_fast: f64,
     /// Peak slow-window burn rate.
     pub burn_peak_slow: f64,
+}
+
+/// One per-shard tail row of a fleet stream, from `fleet/shard<s>/job/*`
+/// residency spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTail {
+    /// Shard index.
+    pub shard: u64,
+    /// Requests that completed on this shard.
+    pub jobs: u64,
+    /// Median in-service residency, cycles.
+    pub p50: u64,
+    /// 95th percentile residency.
+    pub p95: u64,
+    /// 99th percentile residency.
+    pub p99: u64,
+}
+
+/// The fleet view of a profile — present only when the stream carries
+/// `fleet.*` telemetry (a `mocha-sim fleet` or `serve --fleet` run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetProfile {
+    /// Shards the fleet router started with (`fleet.shards`).
+    pub shards: u64,
+    /// Requests routed (`fleet.routed`).
+    pub routed: u64,
+    /// Quarantine-triggered cross-shard migrations (`fleet.rebalanced`).
+    pub rebalanced: u64,
+    /// Per-shard residency tails, sorted by shard index (empty when the
+    /// stream has no per-shard job spans, e.g. span-capped runs).
+    pub tail: Vec<ShardTail>,
 }
 
 /// The windowed-telemetry view of a profile — present only when the input
@@ -111,6 +151,9 @@ pub struct Profile {
     /// Windowed telemetry (only when the stream embeds a `--metrics`
     /// export, so pre-telemetry profiles stay byte-identical).
     pub windowed: Option<WindowProfile>,
+    /// Fleet telemetry (only when the stream carries `fleet.*` counters,
+    /// so single-fabric profiles stay byte-identical).
+    pub fleet: Option<FleetProfile>,
 }
 
 impl Profile {
@@ -198,6 +241,42 @@ impl Profile {
                     burn_peak_slow: stream.slo.iter().map(|r| r.burn_slow).fold(0.0, f64::max),
                 }),
             }),
+            fleet: stream
+                .counters
+                .get(mocha_obs::names::FLEET_SHARDS)
+                .map(|&shards| {
+                    let mut by_shard: std::collections::BTreeMap<u64, Vec<u64>> =
+                        std::collections::BTreeMap::new();
+                    for j in &tree.shard_jobs {
+                        by_shard.entry(j.shard).or_default().push(j.end - j.start);
+                    }
+                    FleetProfile {
+                        shards,
+                        routed: stream
+                            .counters
+                            .get(mocha_obs::names::FLEET_ROUTED)
+                            .copied()
+                            .unwrap_or(0),
+                        rebalanced: stream
+                            .counters
+                            .get(mocha_obs::names::FLEET_REBALANCED)
+                            .copied()
+                            .unwrap_or(0),
+                        tail: by_shard
+                            .into_iter()
+                            .map(|(shard, mut durations)| {
+                                durations.sort_unstable();
+                                ShardTail {
+                                    shard,
+                                    jobs: durations.len() as u64,
+                                    p50: nearest_rank(&durations, 50),
+                                    p95: nearest_rank(&durations, 95),
+                                    p99: nearest_rank(&durations, 99),
+                                }
+                            })
+                            .collect(),
+                    }
+                }),
         };
         (profile, attribution)
     }
@@ -276,6 +355,29 @@ impl Profile {
                     .with("slo_burn_peak_fast", slo.burn_peak_fast)
                     .with("slo_burn_peak_slow", slo.burn_peak_slow);
             }
+        }
+        // Fleet fields only appear for fleet streams, so single-fabric
+        // profiles stay byte-identical to pre-fleet baselines.
+        if let Some(fl) = &self.fleet {
+            v = v
+                .with("fleet_shards", fl.shards)
+                .with("fleet_routed", fl.routed)
+                .with("fleet_rebalanced", fl.rebalanced)
+                .with(
+                    "shard_latency",
+                    fl.tail
+                        .iter()
+                        .map(|t| {
+                            mocha_json::jobj! {
+                                "shard" => t.shard,
+                                "jobs" => t.jobs,
+                                "p50" => t.p50,
+                                "p95" => t.p95,
+                                "p99" => t.p99,
+                            }
+                        })
+                        .collect::<Vec<_>>(),
+                );
         }
         v
     }
@@ -398,6 +500,36 @@ impl Profile {
                     })
                 }
             },
+            fleet: match v.get("fleet_shards") {
+                None => None,
+                Some(_) => {
+                    let mut tail = Vec::new();
+                    for t in v
+                        .get("shard_latency")
+                        .and_then(Value::as_arr)
+                        .unwrap_or(&[])
+                    {
+                        let tu = |key: &str| -> Result<u64, String> {
+                            t.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                                format!("shard_latency field {key:?} missing or not an integer")
+                            })
+                        };
+                        tail.push(ShardTail {
+                            shard: tu("shard")?,
+                            jobs: tu("jobs")?,
+                            p50: tu("p50")?,
+                            p95: tu("p95")?,
+                            p99: tu("p99")?,
+                        });
+                    }
+                    Some(FleetProfile {
+                        shards: u("fleet_shards")?,
+                        routed: u("fleet_routed")?,
+                        rebalanced: u("fleet_rebalanced")?,
+                        tail,
+                    })
+                }
+            },
         })
     }
 
@@ -489,6 +621,27 @@ impl Profile {
                         t.p50,
                         t.p95,
                         t.p99,
+                    );
+                }
+            }
+        }
+        if let Some(fl) = &self.fleet {
+            let _ = writeln!(
+                out,
+                "fleet: {} shard(s) | {} routed | {} rebalanced",
+                fl.shards, fl.routed, fl.rebalanced
+            );
+            if !fl.tail.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {:>6} {:>8} {:>10} {:>10} {:>10}",
+                    "shard", "jobs", "p50", "p95", "p99"
+                );
+                for t in &fl.tail {
+                    let _ = writeln!(
+                        out,
+                        "  {:>6} {:>8} {:>10} {:>10} {:>10}",
+                        t.shard, t.jobs, t.p50, t.p95, t.p99,
                     );
                 }
             }
@@ -642,6 +795,62 @@ mod tests {
         assert_eq!((w.tail[0].p99, w.tail[1].p99), (100, 70));
         let slo = w.slo.expect("slo rows distil");
         assert!(slo.burn_peak_fast > 0.0);
+    }
+
+    #[test]
+    fn fleet_fields_serialize_only_for_fleet_streams() {
+        let clean = sample_profile();
+        assert!(clean.fleet.is_none());
+        assert!(!clean.to_json().to_string_pretty().contains("fleet"));
+        let mut fleet = clean.clone();
+        fleet.fleet = Some(FleetProfile {
+            shards: 3,
+            routed: 40,
+            rebalanced: 5,
+            tail: vec![ShardTail {
+                shard: 1,
+                jobs: 12,
+                p50: 90,
+                p95: 200,
+                p99: 250,
+            }],
+        });
+        let back = Profile::from_json(&fleet.to_json()).expect("round-trips");
+        assert_eq!(back, fleet);
+        let text = fleet.summary_text();
+        assert!(text.contains("fleet: 3 shard(s) | 40 routed | 5 rebalanced"));
+        assert!(text.contains("shard"), "per-shard tail table header");
+        // Pre-fleet profiles (no fleet keys) still load.
+        assert_eq!(Profile::from_json(&clean.to_json()).unwrap(), clean);
+    }
+
+    #[test]
+    fn build_distils_fleet_streams_into_per_shard_tails() {
+        let mut rec = mocha_obs::MemRecorder::new();
+        rec.span(|| "fleet/shard0".into(), 0, 300);
+        rec.span(|| "fleet/shard0/job/0".into(), 0, 100);
+        rec.span(|| "fleet/shard0/job/2".into(), 100, 300);
+        rec.span(|| "fleet/shard1/job/1".into(), 0, 50);
+        rec.span(|| "fleet/shard1/fault/pe".into(), 60, 80);
+        rec.add(mocha_obs::names::FLEET_SHARDS, 2);
+        rec.add(mocha_obs::names::FLEET_ROUTED, 3);
+        rec.add(mocha_obs::names::FLEET_REBALANCED, 1);
+        let stream = parse_stream(&rec.to_jsonl()).unwrap();
+        let tree = SpanTree::build(&stream.spans).unwrap();
+        let (p, _) = Profile::build(&tree, &stream, &EnergyTable::default());
+        let fl = p
+            .fleet
+            .clone()
+            .expect("fleet stream distils a fleet section");
+        assert_eq!((fl.shards, fl.routed, fl.rebalanced), (2, 3, 1));
+        assert_eq!(fl.tail.len(), 2);
+        assert_eq!((fl.tail[0].shard, fl.tail[0].jobs), (0, 2));
+        assert_eq!((fl.tail[0].p50, fl.tail[0].p99), (100, 200));
+        assert_eq!((fl.tail[1].shard, fl.tail[1].p99), (1, 50));
+        // The lost-work span lands in the shared fault list.
+        assert_eq!(tree.faults.len(), 1);
+        assert_eq!(tree.faults[0].kind, "pe");
+        assert!(p.summary_text().contains("fleet: 2 shard(s)"));
     }
 
     #[test]

@@ -142,6 +142,20 @@ pub struct FaultSpan {
     pub end: u64,
 }
 
+/// One completed fleet request (`fleet/shard<s>/job/<idx>` span): its
+/// in-service residency from first start to completion on one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardJob {
+    /// Shard index from the span path.
+    pub shard: u64,
+    /// Request index from the span path.
+    pub idx: u64,
+    /// First service start, absolute cycles.
+    pub start: u64,
+    /// Completion, absolute cycles.
+    pub end: u64,
+}
+
 /// The reconstructed profile tree plus fabric-level derived timelines.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SpanTree {
@@ -150,8 +164,15 @@ pub struct SpanTree {
     /// Groups in stream (execution) order.
     pub groups: Vec<GroupNode>,
     /// Work windows lost to injected faults, in stream order (empty without
-    /// fault injection).
+    /// fault injection). Fleet streams contribute their per-shard
+    /// `fleet/shard<s>/fault/<kind>` windows here too.
     pub faults: Vec<FaultSpan>,
+    /// Completed fleet requests (`fleet/shard<s>/job/<idx>`), in stream
+    /// order (empty outside fleet streams).
+    pub shard_jobs: Vec<ShardJob>,
+    /// Whole-shard slices of a fleet batch run (`fleet/shard<s>` spans):
+    /// `(shard, start, end)`, in stream order.
+    pub shard_slices: Vec<(u64, u64, u64)>,
     /// Last cycle any span covers.
     pub makespan: u64,
     /// Maximal intervals in `[0, makespan)` where no group was executing.
@@ -189,6 +210,26 @@ impl SpanTree {
                     tree.groups.push(new_group(None, name, sp));
                 }
                 ["fault", kind] => {
+                    tree.faults.push(FaultSpan {
+                        kind: kind.to_string(),
+                        start: sp.start,
+                        end: sp.end,
+                    });
+                }
+                ["fleet", shard] => {
+                    let shard = parse_shard(shard, sp)?;
+                    tree.shard_slices.push((shard, sp.start, sp.end));
+                }
+                ["fleet", shard, "job", idx] => {
+                    tree.shard_jobs.push(ShardJob {
+                        shard: parse_shard(shard, sp)?,
+                        idx: parse_id(idx, "fleet job", sp)?,
+                        start: sp.start,
+                        end: sp.end,
+                    });
+                }
+                ["fleet", shard, "fault", kind] => {
+                    parse_shard(shard, sp)?;
                     tree.faults.push(FaultSpan {
                         kind: kind.to_string(),
                         start: sp.start,
@@ -276,6 +317,17 @@ impl SpanTree {
         }
         self.busy().total() as f64 / span as f64
     }
+}
+
+fn parse_shard(text: &str, sp: &Span) -> Result<u64, TraceError> {
+    text.strip_prefix("shard")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| {
+            TraceError::new(
+                sp.line,
+                format!("invalid fleet shard {text:?} in span {:?}", sp.path),
+            )
+        })
 }
 
 fn parse_id(text: &str, what: &str, sp: &Span) -> Result<u64, TraceError> {
